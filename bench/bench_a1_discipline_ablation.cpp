@@ -1,0 +1,48 @@
+// A1 — Ablation: scheduling discipline in the cost-minimisation problem.
+//
+// Re-runs E6's sizing with non-preemptive priority, preemptive-resume
+// priority, processor sharing and FCFS. Expected shape: preemptive-resume
+// protects gold hardest (cheapest under tight gold SLAs, at the price of
+// the worst bronze delays); PS sits between priority and FCFS; FCFS costs
+// the most.
+#include <iostream>
+
+#include "scenarios.hpp"
+
+int main() {
+  using namespace cpm;
+
+  const auto base = core::make_enterprise_model(0.85).with_rate_scale(2.0);
+
+  print_banner(std::cout, "A1: discipline ablation on P-C sizing");
+  Table t({"gold SLA s", "discipline", "cost", "gold s", "bronze s"});
+
+  for (double gold_sla : {0.25, 0.15, 0.12}) {
+    for (auto d : {queueing::Discipline::kNonPreemptivePriority,
+                   queueing::Discipline::kPreemptiveResume,
+                   queueing::Discipline::kProcessorSharing,
+                   queueing::Discipline::kFcfs}) {
+      std::vector<core::WorkloadClass> classes = base.classes();
+      classes[0].sla.max_mean_e2e_delay = gold_sla;
+      classes[1].sla.max_mean_e2e_delay = 0.60;
+      classes[2].sla.max_mean_e2e_delay = 2.00;
+      const core::ClusterModel model =
+          core::ClusterModel(base.tiers(), classes).with_discipline(d);
+
+      const auto r = core::minimize_cost_for_slas(model);
+      if (!r.feasible) {
+        t.row().add(gold_sla, 2).add(queueing::discipline_name(d))
+            .add("infeasible").add("-").add("-");
+        continue;
+      }
+      t.row()
+          .add(gold_sla, 2)
+          .add(queueing::discipline_name(d))
+          .add(r.total_cost, 2)
+          .add(r.evaluation.net.e2e_delay[0])
+          .add(r.evaluation.net.e2e_delay[2]);
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

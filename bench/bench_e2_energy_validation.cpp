@@ -1,0 +1,43 @@
+// E2 — Model validation: ENERGY metrics, analytic vs simulation
+// (reconstructs the accuracy table for "computing ... an average energy
+// consumption for multiple class customers").
+//
+// Reported: per-class marginal (dynamic) energy per request, cluster
+// average power, per-tier utilisation. Expected shape: power/utilisation
+// near-exact at every load (they depend on no queueing approximation);
+// per-class energy within sampling noise.
+#include <iostream>
+
+#include "scenarios.hpp"
+
+int main() {
+  using namespace cpm;
+
+  print_banner(std::cout, "E2: energy & power, analytic vs simulation");
+  Table t({"load", "metric", "analytic", "simulated", "+-CI", "err %"});
+
+  double worst = 0.0;
+  for (double load : bench::load_sweep()) {
+    const auto model = core::make_enterprise_model(load);
+    const auto report = core::validate_model(model, model.max_frequencies(),
+                                             bench::validation_settings());
+    for (const auto& row : report.rows) {
+      const bool energy_row = row.metric.rfind("energy[", 0) == 0 ||
+                              row.metric.rfind("power[", 0) == 0 ||
+                              row.metric.rfind("util[", 0) == 0;
+      if (!energy_row) continue;
+      t.row()
+          .add(load, 2)
+          .add(row.metric)
+          .add(row.analytic)
+          .add(row.simulated)
+          .add(row.ci_half_width)
+          .add(row.error_pct, 2);
+      if (row.error_pct > worst) worst = row.error_pct;
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nworst energy/power/util error: " << format_double(worst, 2)
+            << "%\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// E3 — P-D: minimise mean E2E delay subject to a cluster power budget
+// (reconstructs the paper's delay-vs-energy-budget trade-off figure).
+//
+// The budget sweeps from just above the minimum feasible power to the
+// full-speed power. Baseline: uniform frequency scaling (all tiers share
+// one knob). Expected shape: a convex decreasing frontier; the per-tier
+// optimiser dominates the uniform baseline, most visibly at tight budgets
+// where it spends the scarce watts on the bottleneck tier.
+#include <iostream>
+
+#include "scenarios.hpp"
+
+int main() {
+  using namespace cpm;
+
+  const auto model = core::make_enterprise_model(0.7);
+  const double p_min = model.power_at(model.min_stable_frequencies());
+  const double p_max = model.power_at(model.max_frequencies());
+
+  print_banner(std::cout, "E3: optimal mean E2E delay vs power budget (P-D)");
+  std::cout << "power range: [" << format_double(p_min, 1) << ", "
+            << format_double(p_max, 1) << "] W\n";
+
+  Table t({"budget W", "opt delay s", "opt power W", "f_web", "f_app", "f_db",
+           "uniform delay s", "gain %"});
+
+  for (double frac : {0.05, 0.15, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const double budget = p_min + frac * (p_max - p_min);
+    const auto opt = core::minimize_delay_with_power_budget(model, budget);
+    const auto base = core::uniform_frequency_baseline(model, budget);
+    if (!opt.feasible || !base.feasible) {
+      t.row().add(budget, 1).add("infeasible").add("-").add("-").add("-")
+          .add("-").add("-").add("-");
+      continue;
+    }
+    const double gain = 100.0 * (base.mean_delay - opt.mean_delay) / base.mean_delay;
+    t.row()
+        .add(budget, 1)
+        .add(opt.mean_delay)
+        .add(opt.power, 1)
+        .add(opt.frequencies[0], 3)
+        .add(opt.frequencies[1], 3)
+        .add(opt.frequencies[2], 3)
+        .add(base.mean_delay)
+        .add(gain, 1);
+  }
+  t.print(std::cout);
+  std::cout << "\n'gain %' = delay reduction of the per-tier optimiser over\n"
+               "uniform frequency scaling at the same power budget.\n";
+  return 0;
+}

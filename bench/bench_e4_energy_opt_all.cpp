@@ -1,0 +1,49 @@
+// E4 — P-E (all classes): minimise cluster power subject to an aggregate
+// mean E2E delay bound (reconstructs the energy-vs-delay-bound figure).
+//
+// The bound sweeps from just above the full-speed delay (tight) to several
+// multiples of it (loose). Baseline: no DVFS (always f_max). Expected
+// shape: convex decreasing power as the bound loosens, saturating at the
+// minimum stable power; savings over no-DVFS grow with the bound.
+#include <iostream>
+
+#include "scenarios.hpp"
+
+int main() {
+  using namespace cpm;
+
+  const auto model = core::make_enterprise_model(0.7);
+  const double d_fast = model.mean_delay_at(model.max_frequencies());
+  const double p_max = model.power_at(model.max_frequencies());
+  const double p_floor = model.power_at(model.min_stable_frequencies());
+
+  print_banner(std::cout, "E4: optimal power vs aggregate delay bound (P-E/all)");
+  std::cout << "delay at f_max: " << format_double(d_fast, 4)
+            << " s; no-DVFS power: " << format_double(p_max, 1)
+            << " W; floor: " << format_double(p_floor, 1) << " W\n";
+
+  Table t({"bound s", "opt power W", "delay s", "f_web", "f_app", "f_db",
+           "saving %"});
+
+  for (double mult : {1.05, 1.2, 1.5, 2.0, 3.0, 5.0, 10.0}) {
+    const double bound = mult * d_fast;
+    const auto opt = core::minimize_power_with_delay_bound(model, bound);
+    if (!opt.feasible) {
+      t.row().add(bound, 4).add("infeasible").add("-").add("-").add("-")
+          .add("-").add("-");
+      continue;
+    }
+    const double saving = 100.0 * (p_max - opt.power) / p_max;
+    t.row()
+        .add(bound, 4)
+        .add(opt.power, 1)
+        .add(opt.mean_delay)
+        .add(opt.frequencies[0], 3)
+        .add(opt.frequencies[1], 3)
+        .add(opt.frequencies[2], 3)
+        .add(saving, 1);
+  }
+  t.print(std::cout);
+  std::cout << "\n'saving %' is relative to the no-DVFS (f_max) baseline.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// P1 — Performance microbenchmarks (google-benchmark).
+//
+// Not a paper table: engineering numbers for the library itself — cost of
+// one analytic evaluation, simulator event throughput, solver wall time —
+// so regressions in the hot paths are visible.
+#include <benchmark/benchmark.h>
+
+#include "cpm/core/cpm.hpp"
+
+namespace {
+
+using namespace cpm;
+
+void BM_AnalyticEvaluation(benchmark::State& state) {
+  const auto model = core::make_enterprise_model(0.7);
+  const auto f = model.max_frequencies();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate(f));
+  }
+}
+BENCHMARK(BM_AnalyticEvaluation);
+
+void BM_StationAnalysis(benchmark::State& state) {
+  const auto n_classes = static_cast<std::size_t>(state.range(0));
+  std::vector<queueing::ClassFlow> flows;
+  for (std::size_t k = 0; k < n_classes; ++k)
+    flows.push_back(queueing::ClassFlow{0.8 / static_cast<double>(n_classes),
+                                        Distribution::exponential(1.0)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queueing::analyze_station(
+        2, queueing::Discipline::kNonPreemptivePriority, flows));
+  }
+}
+BENCHMARK(BM_StationAnalysis)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  const auto model = core::make_enterprise_model(0.7);
+  std::uint64_t events = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto cfg = model.to_sim_config(model.max_frequencies(), 0.0,
+                                         200.0, seed++);
+    const auto r = sim::simulate(cfg);
+    events += r.events_fired;
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(1.0));
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_DistributionSampleHyperExp(benchmark::State& state) {
+  Rng rng(1);
+  const auto d = Distribution::hyper_exp2(1.0, 4.0);
+  for (auto _ : state) benchmark::DoNotOptimize(d.sample(rng));
+}
+BENCHMARK(BM_DistributionSampleHyperExp);
+
+void BM_EnergyOptimizer(benchmark::State& state) {
+  const auto model = core::make_enterprise_model(0.7);
+  const double bound = 2.0 * model.mean_delay_at(model.max_frequencies());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::minimize_power_with_delay_bound(model, bound));
+  }
+}
+BENCHMARK(BM_EnergyOptimizer)->Unit(benchmark::kMillisecond);
+
+void BM_CostOptimizer(benchmark::State& state) {
+  const auto model = core::make_enterprise_model(0.85).with_rate_scale(2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::minimize_cost_for_slas(model));
+  }
+}
+BENCHMARK(BM_CostOptimizer)->Unit(benchmark::kMillisecond);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) q.schedule(rng.uniform(0.0, 1000.0), [] {});
+    while (!q.empty()) q.run_next();
+  }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+// Shared scenario parameters for the experiment harness (E1-E7, A1-A4).
+//
+// Every bench binary reproduces one table/figure of the reconstructed
+// evaluation (see DESIGN.md). They all run the same 3-tier enterprise
+// application from core::make_enterprise_model so results are comparable
+// across experiments, and use the settings below so simulation effort is
+// uniform.
+#pragma once
+
+#include <vector>
+
+#include "cpm/core/cpm.hpp"
+
+namespace cpm::bench {
+
+/// Bottleneck-utilisation sweep used by the validation experiments.
+inline std::vector<double> load_sweep() { return {0.3, 0.5, 0.7, 0.8, 0.9, 0.95}; }
+
+/// Simulation effort for validation runs: enough for ~1-3% CIs at
+/// moderate load in a few seconds per point on one core.
+inline core::SimSettings validation_settings() {
+  core::SimSettings s;
+  s.warmup_time = 100.0;
+  s.end_time = 1100.0;
+  s.replications = 8;
+  s.seed = 20110516;
+  return s;
+}
+
+}  // namespace cpm::bench

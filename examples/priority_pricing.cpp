@@ -1,0 +1,56 @@
+// Priority pricing: what does a premium tier actually buy?
+//
+// The paper's setting prices customer classes by priority: customers
+// paying more are scheduled first. This example quantifies the product
+// being sold — per-class delay and per-request energy (with full idle-cost
+// attribution, i.e. the provider's electricity bill split across classes)
+// as load grows — under the three scheduling policies a provider could
+// deploy.
+#include <iostream>
+
+#include "cpm/core/cpm.hpp"
+
+int main() {
+  using namespace cpm;
+
+  print_banner(std::cout, "per-class delay vs load under three disciplines");
+  Table t({"load", "sched", "gold s", "silver s", "bronze s", "gold J",
+           "bronze J"});
+
+  for (double load : {0.4, 0.6, 0.8, 0.9}) {
+    for (auto d : {queueing::Discipline::kNonPreemptivePriority,
+                   queueing::Discipline::kPreemptiveResume,
+                   queueing::Discipline::kFcfs}) {
+      const auto model = core::make_enterprise_model(load, d);
+      const auto ev = model.evaluate(model.max_frequencies());
+      if (!ev.stable) continue;
+      t.row()
+          .add(load, 2)
+          .add(queueing::discipline_name(d))
+          .add(ev.net.e2e_delay[0])
+          .add(ev.net.e2e_delay[1])
+          .add(ev.net.e2e_delay[2])
+          .add(ev.energy.per_request_energy[0], 2)
+          .add(ev.energy.per_request_energy[2], 2);
+    }
+  }
+  t.print(std::cout);
+
+  std::cout <<
+      "\nReading the table: under FCFS all classes degrade together as the\n"
+      "cluster fills; under (non)preemptive priority the gold delay stays\n"
+      "almost flat to 90% load - that flatness is the sellable guarantee.\n";
+
+  // Price hint: delay a bronze customer would see if upgraded, per load.
+  print_banner(std::cout, "value of an upgrade (bronze -> gold) at 90% load");
+  const auto model = core::make_enterprise_model(0.9);
+  const auto ev = model.evaluate(model.max_frequencies());
+  if (ev.stable) {
+    const double speedup = ev.net.e2e_delay[2] / ev.net.e2e_delay[0];
+    std::cout << "bronze mean delay " << format_double(ev.net.e2e_delay[2], 3)
+              << " s vs gold " << format_double(ev.net.e2e_delay[0], 3)
+              << " s  ->  " << format_double(speedup, 1)
+              << "x faster end-to-end for the premium class\n";
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Trace replay: when the Poisson assumption lies to you.
+//
+// The analytic model (and any M/*/c formula) assumes Poisson arrivals. A
+// bursty production trace with the SAME average rate produces far worse
+// delays. This example builds a bursty MMPP-like trace, shows its
+// burstiness statistics, replays it exactly through the simulator, and
+// compares against both the Poisson-based analytic prediction and a
+// Poisson trace of equal rate — quantifying how much the enterprise
+// operator should distrust rate-only capacity planning.
+#include <iostream>
+
+#include "cpm/core/cpm.hpp"
+#include "cpm/queueing/gg.hpp"
+#include "cpm/workload/trace.hpp"
+
+int main() {
+  using namespace cpm;
+  using queueing::Discipline;
+  using queueing::Visit;
+
+  // A bursty source: ON/OFF with rate 2.0 in ON (mean 30 s) and 0.1 in
+  // OFF (mean 30 s); long-run rate ~1.05/s.
+  const auto bursty_schedule =
+      workload::RateSchedule::mmpp2(0.1, 2.0, 30.0, 30.0, 4000.0, 7, 2000);
+  Rng rng(99);
+  std::vector<double> times;
+  double t = 0.0;
+  for (;;) {
+    t = bursty_schedule.next_arrival(t, rng);
+    if (t >= 4000.0) break;
+    times.push_back(t);
+  }
+  const auto bursty = workload::ArrivalTrace::from_timestamps(times);
+  const auto stats = bursty.stats();
+
+  print_banner(std::cout, "trace characteristics");
+  Table s({"metric", "bursty trace"});
+  s.row().add("arrivals").add(stats.count);
+  s.row().add("mean rate /s").add(stats.mean_rate);
+  s.row().add("interarrival SCV").add(stats.interarrival_scv);
+  s.row().add("peak/mean").add(stats.peak_to_mean);
+  s.print(std::cout);
+
+  // The server: a single M/G/1-style queue at rho ~ 0.7.
+  const double service_mean = 0.7 / stats.mean_rate;
+  auto config_for = [&](std::vector<double> arrivals) {
+    sim::SimConfig cfg;
+    cfg.stations = {sim::SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0, 1.0}};
+    sim::SimClass cls;
+    cls.name = "req";
+    cls.route = {Visit{0, Distribution::exponential(service_mean)}};
+    cls.arrival_times = std::move(arrivals);
+    cfg.classes = {cls};
+    cfg.warmup_time = 200.0;
+    cfg.end_time = 4100.0;
+    cfg.seed = 17;
+    return cfg;
+  };
+
+  const auto bursty_run = sim::simulate(config_for(bursty.timestamps()));
+  const auto poisson = workload::ArrivalTrace::poisson(stats.mean_rate, 4000.0, 31);
+  const auto poisson_run = sim::simulate(config_for(poisson.timestamps()));
+  const auto analytic = queueing::mm1(stats.mean_rate, 1.0 / service_mean);
+
+  // Two-moment correction from the trace's measured inter-arrival SCV.
+  const auto kingman = queueing::gg1(stats.mean_rate, stats.interarrival_scv,
+                                     Distribution::exponential(service_mean));
+
+  print_banner(std::cout, "mean sojourn at identical average rate");
+  Table r({"source", "mean delay s", "p95 s"});
+  r.row().add("M/M/1 analytic").add(analytic.mean_sojourn).add("-");
+  r.row().add("G/M/1 Kingman (trace SCV)").add(kingman.mean_sojourn).add("-");
+  r.row()
+      .add("Poisson trace replay")
+      .add(poisson_run.classes[0].mean_e2e_delay)
+      .add(poisson_run.classes[0].p95_e2e_delay);
+  r.row()
+      .add("bursty trace replay")
+      .add(bursty_run.classes[0].mean_e2e_delay)
+      .add(bursty_run.classes[0].p95_e2e_delay);
+  r.print(std::cout);
+
+  const double penalty = bursty_run.classes[0].mean_e2e_delay /
+                         poisson_run.classes[0].mean_e2e_delay;
+  std::cout << "\nburstiness penalty: " << format_double(penalty, 1)
+            << "x the Poisson delay at the same average rate.\n"
+            << "The Kingman two-moment correction (from the measured SCV)\n"
+            << "closes much of the gap but still underestimates: MMPP\n"
+            << "arrivals are CORRELATED, not just variable. Moral: check\n"
+            << "trace-stats before trusting rate-based sizing, and replay\n"
+            << "the trace when it looks bursty.\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Error handling for the cpm library.
+//
+// The library throws cpm::Error (derived from std::runtime_error) for all
+// recoverable contract violations: invalid model parameters, unstable
+// queueing systems passed to analytical evaluators, infeasible optimisation
+// problems, and so on. Internal invariants use assert().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cpm {
+
+/// Exception type thrown by every cpm module for invalid input or
+/// analytically meaningless requests (e.g. delay of an unstable queue).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws cpm::Error with `msg` when `cond` is false. Used to validate
+/// public-API preconditions; cheap enough to keep enabled in release builds.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw Error(msg);
+}
+
+}  // namespace cpm

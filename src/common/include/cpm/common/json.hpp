@@ -1,0 +1,83 @@
+// Minimal JSON value type, parser and serialiser.
+//
+// The CLI front-end (tools/cpmctl) reads cluster models from JSON files;
+// the repro environment has no third-party JSON library, so this is a
+// small self-contained implementation of the JSON subset the model format
+// needs: null, booleans, finite doubles, strings (with \uXXXX escapes for
+// the BMP), arrays and objects. Parse errors carry line/column positions.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cpm {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/// std::map keeps object keys ordered, making dumps deterministic.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                    // NOLINT
+  Json(double d) : type_(Type::kNumber), num_(d) {}                 // NOLINT
+  Json(int i) : type_(Type::kNumber), num_(i) {}                    // NOLINT
+  Json(const char* s) : type_(Type::kString), str_(s) {}            // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {} // NOLINT
+  Json(JsonArray a);                                                // NOLINT
+  Json(JsonObject o);                                               // NOLINT
+
+  /// Parses a complete JSON document; throws cpm::Error with a
+  /// line:column message on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw cpm::Error on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object member access; throws when not an object / key missing.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Object member with a fallback when the key is absent.
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+
+  /// Array element access; throws when not an array / out of range.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serialises; `indent` > 0 pretty-prints with that many spaces.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  // Indirection keeps Json small and allows the recursive types.
+  std::shared_ptr<JsonArray> arr_;
+  std::shared_ptr<JsonObject> obj_;
+};
+
+}  // namespace cpm

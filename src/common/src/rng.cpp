@@ -1,0 +1,94 @@
+#include "cpm/common/rng.hpp"
+
+#include <cmath>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm {
+
+namespace {
+
+constexpr std::uint64_t kGoldenGamma = 0x9E3779B97F4A7C15ULL;
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += kGoldenGamma);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // All-zero state would lock xoshiro at zero forever; SplitMix64 cannot
+  // produce four consecutive zeros in practice, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = kGoldenGamma;
+}
+
+Rng Rng::substream(std::uint64_t index) const {
+  // Distinct seeds spaced by the golden gamma land in decorrelated regions
+  // of the SplitMix64 sequence, which then seed disjoint xoshiro states.
+  return Rng(seed_ + kGoldenGamma * (index + 1));
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // Top 53 bits -> double in [0, 1) with full mantissa resolution.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  require(lo <= hi, "Rng::uniform: lo > hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::exponential(double rate) {
+  require(rate > 0.0, "Rng::exponential: rate must be positive");
+  // 1 - U avoids log(0); U in [0,1) so 1-U in (0,1].
+  return -std::log1p(-uniform01()) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  require(stddev >= 0.0, "Rng::normal: stddev must be non-negative");
+  double u, v, s;
+  do {
+    u = 2.0 * uniform01() - 1.0;
+    v = 2.0 * uniform01() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  require(n > 0, "Rng::below: n must be positive");
+  // Lemire's rejection-free-in-expectation bounded generation.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  require(p >= 0.0 && p <= 1.0, "Rng::bernoulli: p outside [0,1]");
+  return uniform01() < p;
+}
+
+}  // namespace cpm

@@ -1,0 +1,178 @@
+// ClusterModel: the paper's system model as a single value type.
+//
+// A service provider's cluster hosts one enterprise application as a
+// pipeline of tiers; K business-customer classes (0 = highest priority,
+// i.e. the customers paying the most) send Poisson request streams that
+// traverse per-class routes through the tiers. Each tier is a group of
+// identical DVFS-capable servers.
+//
+// Service demands are specified at the tier's base frequency; evaluating
+// the model at an operating point (a frequency per tier) rescales every
+// demand by 1/speedup(f) and runs the analytical network + energy models
+// of cpm::queueing / cpm::power. The same model compiles to a simulator
+// configuration (to_sim_config) so every analytical number can be checked
+// against discrete-event simulation — the paper's validation methodology.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cpm/power/energy.hpp"
+#include "cpm/power/server_power.hpp"
+#include "cpm/queueing/network.hpp"
+#include "cpm/sim/simulator.hpp"
+
+namespace cpm::core {
+
+/// Per-class service-level agreement. Unset bounds are +infinity.
+/// Percentile bounds follow the SLA practice of this line of work:
+/// "95% of gold requests finish within X seconds" — checked against the
+/// gamma-fit analytic percentile (queueing::percentile_e2e_delay).
+struct Sla {
+  double max_mean_e2e_delay = std::numeric_limits<double>::infinity();
+  /// Bound on the `percentile`-quantile of E2E delay (default p95).
+  double max_percentile_e2e_delay = std::numeric_limits<double>::infinity();
+  double percentile = 0.95;
+
+  [[nodiscard]] bool mean_bounded() const {
+    return max_mean_e2e_delay != std::numeric_limits<double>::infinity();
+  }
+  [[nodiscard]] bool percentile_bounded() const {
+    return max_percentile_e2e_delay != std::numeric_limits<double>::infinity();
+  }
+  [[nodiscard]] bool bounded() const {
+    return mean_bounded() || percentile_bounded();
+  }
+};
+
+/// One tier of the cluster.
+struct Tier {
+  std::string name;
+  int servers = 1;
+  queueing::Discipline discipline = queueing::Discipline::kNonPreemptivePriority;
+  power::ServerPower power = power::ServerPower::typical_2011_server();
+  /// Cost of provisioning one server of this tier (arbitrary money units);
+  /// only the cost optimiser reads it.
+  double server_cost = 1.0;
+};
+
+/// One step of a class's route: tier index + service demand at f_base.
+struct Demand {
+  int tier = 0;
+  Distribution base_service = Distribution::exponential(1.0);
+};
+
+/// One customer class; vector order defines priority (0 = highest).
+struct WorkloadClass {
+  std::string name;
+  double rate = 0.0;
+  std::vector<Demand> route;
+  Sla sla;
+};
+
+/// Full analytic evaluation of an operating point.
+struct Evaluation {
+  bool stable = false;
+  queueing::NetworkMetrics net;    ///< valid only when stable
+  power::EnergyMetrics energy;     ///< valid only when stable
+};
+
+class ClusterModel {
+ public:
+  ClusterModel(std::vector<Tier> tiers, std::vector<WorkloadClass> classes);
+
+  [[nodiscard]] const std::vector<Tier>& tiers() const { return tiers_; }
+  [[nodiscard]] const std::vector<WorkloadClass>& classes() const { return classes_; }
+  [[nodiscard]] std::size_t num_tiers() const { return tiers_.size(); }
+  [[nodiscard]] std::size_t num_classes() const { return classes_.size(); }
+  [[nodiscard]] double total_rate() const;
+
+  /// Returns a copy with different per-tier server counts (same order).
+  [[nodiscard]] ClusterModel with_servers(const std::vector<int>& servers) const;
+
+  /// Returns a copy with every class's arrival rate scaled by `factor` —
+  /// the load-sweep knob of the validation experiments.
+  [[nodiscard]] ClusterModel with_rate_scale(double factor) const;
+
+  /// Returns a copy with per-class arrival rates replaced (one per class).
+  /// The online controller re-plans against measured rates with this.
+  [[nodiscard]] ClusterModel with_rates(const std::vector<double>& rates) const;
+
+  /// All tiers at their maximum (resp. minimum) DVFS frequency.
+  [[nodiscard]] std::vector<double> max_frequencies() const;
+  [[nodiscard]] std::vector<double> min_frequencies() const;
+
+  /// The lowest frequency per tier that keeps it stable with margin
+  /// (rho <= 1 - margin), clamped into the DVFS range. Because cluster
+  /// power is componentwise increasing in f over the stable region, this
+  /// point attains the minimum feasible power — the reference point for
+  /// P-D feasibility checks and the energy-optimisation floor. The point
+  /// may still be unstable when even f_max cannot carry a tier's load;
+  /// callers must check stable_at().
+  [[nodiscard]] std::vector<double> min_stable_frequencies(
+      double margin = 1e-3) const;
+
+  /// The queueing network at frequencies `f` (demands rescaled by speedup).
+  [[nodiscard]] std::vector<queueing::NetworkStation> network_stations() const;
+  [[nodiscard]] std::vector<queueing::CustomerClass> network_classes(
+      const std::vector<double>& frequencies) const;
+
+  /// Per-tier power operating points at frequencies `f` (inputs to
+  /// power::compute_energy for callers wanting a non-default attribution).
+  [[nodiscard]] std::vector<power::TierPower> tier_power(
+      const std::vector<double>& frequencies) const;
+
+  /// Returns a copy with every tier switched to `discipline` (the
+  /// priority-vs-FCFS comparisons of E6/E7 use this).
+  [[nodiscard]] ClusterModel with_discipline(queueing::Discipline discipline) const;
+
+  /// True iff every tier is stable at frequencies `f`.
+  [[nodiscard]] bool stable_at(const std::vector<double>& frequencies) const;
+
+  /// Analytic per-class delays, power and energy at an operating point.
+  /// Returns stable=false (and no metrics) instead of throwing when some
+  /// tier saturates — optimisers probe infeasible points routinely.
+  [[nodiscard]] Evaluation evaluate(const std::vector<double>& frequencies) const;
+
+  /// Cluster average power at `f`, +infinity when unstable.
+  [[nodiscard]] double power_at(const std::vector<double>& frequencies) const;
+
+  /// Traffic-weighted mean E2E delay at `f`, +infinity when unstable.
+  [[nodiscard]] double mean_delay_at(const std::vector<double>& frequencies) const;
+
+  /// Compiles the model at an operating point into a simulator config.
+  /// Service distributions are pre-scaled to the chosen frequencies and
+  /// station speeds are fixed at 1 — for static (fixed-frequency) runs.
+  [[nodiscard]] sim::SimConfig to_sim_config(const std::vector<double>& frequencies,
+                                             double warmup_time, double end_time,
+                                             std::uint64_t seed) const;
+
+  /// Variant for ONLINE-managed runs: service distributions stay at their
+  /// base (f_base) demands and each station instead carries a runtime
+  /// speed multiplier speedup(f_i), so a control hook can retune
+  /// frequencies mid-simulation via sim::TierSetting.
+  [[nodiscard]] sim::SimConfig to_controlled_sim_config(
+      const std::vector<double>& initial_frequencies, double warmup_time,
+      double end_time, std::uint64_t seed) const;
+
+  /// Translates a frequency vector into the simulator's runtime tier
+  /// settings (speed + dynamic watts), for control hooks.
+  [[nodiscard]] std::vector<sim::TierSetting> tier_settings(
+      const std::vector<double>& frequencies) const;
+
+ private:
+  void check_frequencies(const std::vector<double>& frequencies) const;
+
+  std::vector<Tier> tiers_;
+  std::vector<WorkloadClass> classes_;
+};
+
+/// A ready-made 3-tier (web / application / database), 3-class
+/// (gold / silver / bronze) enterprise scenario used by examples, tests and
+/// benches. `load` in (0, 1) sets the bottleneck utilisation at f_max.
+ClusterModel make_enterprise_model(double load = 0.6,
+                                   queueing::Discipline discipline =
+                                       queueing::Discipline::kNonPreemptivePriority);
+
+}  // namespace cpm::core

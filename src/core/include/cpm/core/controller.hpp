@@ -1,0 +1,77 @@
+// Online power management: a reactive DVFS controller.
+//
+// The paper's title is power and performance MANAGEMENT; this module turns
+// the static P-E optimiser into a runtime policy. Every control period the
+// controller observes measured per-class arrival rates from the simulator,
+// smooths them (EWMA), re-solves "minimise power s.t. the delay SLA" on a
+// copy of the model carrying those rates (plus a safety headroom), and
+// retunes tier frequencies through the simulator's control hook. When the
+// re-solve is infeasible (demand spike beyond what the SLA permits at any
+// frequency) it fails safe to f_max.
+//
+// Experiment E9 runs this controller against a diurnal + flash-crowd
+// workload and compares energy/SLA against the static f_max policy and an
+// oracle that knows each window's true rate.
+#pragma once
+
+#include <vector>
+
+#include "cpm/core/cluster_model.hpp"
+#include "cpm/core/optimizers.hpp"
+
+namespace cpm::core {
+
+class ReactiveDvfsController {
+ public:
+  struct Options {
+    /// Aggregate mean E2E delay bound the controller must protect.
+    double delay_bound = 0.5;
+    /// EWMA weight on the newest rate measurement (1 = no smoothing).
+    double rate_smoothing = 0.5;
+    /// Measured rates are multiplied by this before re-planning, buying
+    /// slack against within-window ramps.
+    double headroom = 1.15;
+    /// The controller plans to margin * delay_bound, reserving the rest
+    /// for reaction lag (the window where demand rose but the plan hasn't
+    /// caught up yet). 1 = no reserve.
+    double planning_margin = 0.85;
+    /// > 0: plan on a discrete frequency grid of this many levels
+    /// (fast exhaustive lattice); 0: continuous augmented-Lagrangian.
+    /// Discrete planning is the default — a controller re-solving every
+    /// few seconds wants the cheap solver.
+    int levels = 9;
+  };
+
+  /// One control decision, recorded for post-run analysis.
+  struct Decision {
+    double time = 0.0;
+    std::vector<double> measured_rates;   ///< raw window measurement
+    std::vector<double> planned_rates;    ///< smoothed + headroom
+    std::vector<double> frequencies;      ///< applied operating point
+    double predicted_power = 0.0;         ///< analytic power at the plan
+    bool feasible = false;                ///< false -> failed safe to f_max
+  };
+
+  ReactiveDvfsController(ClusterModel model, Options options);
+
+  /// The hook to install as sim::SimConfig::control. The controller must
+  /// outlive the simulation run.
+  [[nodiscard]] sim::ControlHook hook();
+
+  /// Frequencies the controller would start with (the plan for the
+  /// model's nominal rates); use with to_controlled_sim_config.
+  [[nodiscard]] std::vector<double> initial_frequencies() const;
+
+  [[nodiscard]] const std::vector<Decision>& history() const { return history_; }
+
+ private:
+  std::vector<sim::TierSetting> on_snapshot(const sim::ControlSnapshot& snap);
+  [[nodiscard]] FrequencyOptResult plan(const ClusterModel& at_rates) const;
+
+  ClusterModel model_;
+  Options options_;
+  std::vector<double> smoothed_rates_;
+  std::vector<Decision> history_;
+};
+
+}  // namespace cpm::core

@@ -1,0 +1,53 @@
+// Analytic-vs-simulation validation harness.
+//
+// The paper's headline claim is that the analytical delay/energy model is
+// "efficient and accurate" against simulation. This harness runs both sides
+// on the same ClusterModel operating point and reports, per metric, the
+// analytic value, the simulated mean with its confidence interval, and the
+// relative error — the rows of experiments E1/E2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpm/core/cluster_model.hpp"
+#include "cpm/sim/replication.hpp"
+
+namespace cpm::core {
+
+struct SimSettings {
+  double warmup_time = 50.0;
+  double end_time = 550.0;
+  int replications = 8;
+  int threads = 0;
+  std::uint64_t seed = 20110516;  ///< default: the paper's publication date
+};
+
+/// One compared metric.
+struct ValidationRow {
+  std::string metric;
+  double analytic = 0.0;
+  double simulated = 0.0;
+  double ci_half_width = 0.0;
+  /// |analytic - simulated| / simulated (percent).
+  double error_pct = 0.0;
+  /// True when the analytic value lies inside the simulation CI.
+  bool within_ci = false;
+};
+
+struct ValidationReport {
+  std::vector<ValidationRow> rows;
+  double max_error_pct = 0.0;
+  /// The raw replicated simulation output, for callers needing more.
+  sim::ReplicatedResult sim;
+};
+
+/// Compares per-class E2E delay, traffic-weighted mean delay, per-class
+/// marginal E2E energy, cluster average power and per-tier utilisation.
+/// Throws cpm::Error when the operating point is analytically unstable
+/// (there is no steady state to validate).
+ValidationReport validate_model(const ClusterModel& model,
+                                const std::vector<double>& frequencies,
+                                const SimSettings& settings = {});
+
+}  // namespace cpm::core

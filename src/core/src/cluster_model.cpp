@@ -1,0 +1,273 @@
+#include "cpm/core/cluster_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::core {
+
+ClusterModel::ClusterModel(std::vector<Tier> tiers, std::vector<WorkloadClass> classes)
+    : tiers_(std::move(tiers)), classes_(std::move(classes)) {
+  require(!tiers_.empty(), "ClusterModel: need at least one tier");
+  require(!classes_.empty(), "ClusterModel: need at least one class");
+  for (const auto& t : tiers_) {
+    require(t.servers >= 1, "ClusterModel: tier '" + t.name + "' needs >= 1 server");
+    require(t.server_cost > 0.0,
+            "ClusterModel: tier '" + t.name + "' needs positive cost");
+  }
+  for (const auto& c : classes_) {
+    require(c.rate >= 0.0, "ClusterModel: class '" + c.name + "' has negative rate");
+    require(!c.route.empty(), "ClusterModel: class '" + c.name + "' has empty route");
+    for (const auto& d : c.route)
+      require(d.tier >= 0 && static_cast<std::size_t>(d.tier) < tiers_.size(),
+              "ClusterModel: class '" + c.name + "' routes to unknown tier");
+  }
+}
+
+double ClusterModel::total_rate() const {
+  double r = 0.0;
+  for (const auto& c : classes_) r += c.rate;
+  return r;
+}
+
+ClusterModel ClusterModel::with_servers(const std::vector<int>& servers) const {
+  require(servers.size() == tiers_.size(), "with_servers: size mismatch");
+  std::vector<Tier> tiers = tiers_;
+  for (std::size_t i = 0; i < tiers.size(); ++i) tiers[i].servers = servers[i];
+  return ClusterModel(std::move(tiers), classes_);
+}
+
+ClusterModel ClusterModel::with_rate_scale(double factor) const {
+  require(factor >= 0.0, "with_rate_scale: factor must be >= 0");
+  std::vector<WorkloadClass> classes = classes_;
+  for (auto& c : classes) c.rate *= factor;
+  return ClusterModel(tiers_, std::move(classes));
+}
+
+ClusterModel ClusterModel::with_rates(const std::vector<double>& rates) const {
+  require(rates.size() == classes_.size(), "with_rates: one rate per class");
+  std::vector<WorkloadClass> classes = classes_;
+  for (std::size_t k = 0; k < classes.size(); ++k) classes[k].rate = rates[k];
+  return ClusterModel(tiers_, std::move(classes));
+}
+
+std::vector<double> ClusterModel::max_frequencies() const {
+  std::vector<double> f(tiers_.size());
+  for (std::size_t i = 0; i < tiers_.size(); ++i) f[i] = tiers_[i].power.dvfs().f_max;
+  return f;
+}
+
+std::vector<double> ClusterModel::min_frequencies() const {
+  std::vector<double> f(tiers_.size());
+  for (std::size_t i = 0; i < tiers_.size(); ++i) f[i] = tiers_[i].power.dvfs().f_min;
+  return f;
+}
+
+std::vector<double> ClusterModel::min_stable_frequencies(double margin) const {
+  require(margin > 0.0 && margin < 1.0, "min_stable_frequencies: margin in (0,1)");
+  // Per-tier offered load per server at f_base; tier i is stable at
+  // frequency f iff load_i * f_base / f < 1.
+  std::vector<double> load(tiers_.size(), 0.0);
+  for (const auto& c : classes_)
+    for (const auto& d : c.route)
+      load[static_cast<std::size_t>(d.tier)] +=
+          c.rate * d.base_service.mean() /
+          static_cast<double>(tiers_[static_cast<std::size_t>(d.tier)].servers);
+
+  std::vector<double> f(tiers_.size());
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    const auto& dvfs = tiers_[i].power.dvfs();
+    const double f_crit = load[i] * dvfs.f_base / (1.0 - margin);
+    f[i] = std::clamp(f_crit, dvfs.f_min, dvfs.f_max);
+  }
+  return f;
+}
+
+void ClusterModel::check_frequencies(const std::vector<double>& frequencies) const {
+  require(frequencies.size() == tiers_.size(),
+          "ClusterModel: one frequency per tier required");
+  for (std::size_t i = 0; i < tiers_.size(); ++i)
+    tiers_[i].power.check_frequency(frequencies[i]);
+}
+
+std::vector<queueing::NetworkStation> ClusterModel::network_stations() const {
+  std::vector<queueing::NetworkStation> stations;
+  stations.reserve(tiers_.size());
+  for (const auto& t : tiers_)
+    stations.push_back(queueing::NetworkStation{t.name, t.servers, t.discipline});
+  return stations;
+}
+
+std::vector<queueing::CustomerClass> ClusterModel::network_classes(
+    const std::vector<double>& frequencies) const {
+  check_frequencies(frequencies);
+  std::vector<queueing::CustomerClass> classes;
+  classes.reserve(classes_.size());
+  for (const auto& c : classes_) {
+    queueing::CustomerClass qc;
+    qc.name = c.name;
+    qc.rate = c.rate;
+    qc.route.reserve(c.route.size());
+    for (const auto& d : c.route) {
+      const auto tier = static_cast<std::size_t>(d.tier);
+      const double speedup = tiers_[tier].power.speedup(frequencies[tier]);
+      qc.route.push_back(queueing::Visit{
+          d.tier, d.base_service.scaled_to_mean(d.base_service.mean() / speedup)});
+    }
+    classes.push_back(std::move(qc));
+  }
+  return classes;
+}
+
+std::vector<power::TierPower> ClusterModel::tier_power(
+    const std::vector<double>& frequencies) const {
+  check_frequencies(frequencies);
+  std::vector<power::TierPower> tp;
+  tp.reserve(tiers_.size());
+  for (std::size_t i = 0; i < tiers_.size(); ++i)
+    tp.push_back(power::TierPower{tiers_[i].power, frequencies[i], tiers_[i].servers});
+  return tp;
+}
+
+ClusterModel ClusterModel::with_discipline(queueing::Discipline discipline) const {
+  std::vector<Tier> tiers = tiers_;
+  for (auto& t : tiers) t.discipline = discipline;
+  return ClusterModel(std::move(tiers), classes_);
+}
+
+bool ClusterModel::stable_at(const std::vector<double>& frequencies) const {
+  return queueing::network_stable(network_stations(), network_classes(frequencies));
+}
+
+Evaluation ClusterModel::evaluate(const std::vector<double>& frequencies) const {
+  Evaluation ev;
+  const auto stations = network_stations();
+  const auto classes = network_classes(frequencies);
+  if (!queueing::network_stable(stations, classes)) return ev;  // stable=false
+  ev.stable = true;
+  ev.net = queueing::analyze_network(stations, classes);
+
+  std::vector<power::TierPower> tier_power;
+  tier_power.reserve(tiers_.size());
+  for (std::size_t i = 0; i < tiers_.size(); ++i)
+    tier_power.push_back(
+        power::TierPower{tiers_[i].power, frequencies[i], tiers_[i].servers});
+  ev.energy = power::compute_energy(tier_power, classes, ev.net);
+  return ev;
+}
+
+double ClusterModel::power_at(const std::vector<double>& frequencies) const {
+  const Evaluation ev = evaluate(frequencies);
+  return ev.stable ? ev.energy.cluster_avg_power
+                   : std::numeric_limits<double>::infinity();
+}
+
+double ClusterModel::mean_delay_at(const std::vector<double>& frequencies) const {
+  const Evaluation ev = evaluate(frequencies);
+  return ev.stable ? ev.net.mean_e2e_delay : std::numeric_limits<double>::infinity();
+}
+
+sim::SimConfig ClusterModel::to_sim_config(const std::vector<double>& frequencies,
+                                           double warmup_time, double end_time,
+                                           std::uint64_t seed) const {
+  check_frequencies(frequencies);
+  sim::SimConfig cfg;
+  cfg.warmup_time = warmup_time;
+  cfg.end_time = end_time;
+  cfg.seed = seed;
+
+  cfg.stations.reserve(tiers_.size());
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    const auto& t = tiers_[i];
+    cfg.stations.push_back(sim::SimStation{
+        t.name, t.servers, t.discipline, t.power.idle_power(),
+        t.power.dynamic_power(frequencies[i])});
+  }
+
+  const auto classes = network_classes(frequencies);
+  cfg.classes.reserve(classes.size());
+  for (const auto& c : classes)
+    cfg.classes.push_back(sim::SimClass{c.name, c.rate, c.route, std::nullopt});
+  return cfg;
+}
+
+std::vector<sim::TierSetting> ClusterModel::tier_settings(
+    const std::vector<double>& frequencies) const {
+  check_frequencies(frequencies);
+  std::vector<sim::TierSetting> settings(tiers_.size());
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    settings[i].speed = tiers_[i].power.speedup(frequencies[i]);
+    settings[i].dynamic_watts = tiers_[i].power.dynamic_power(frequencies[i]);
+  }
+  return settings;
+}
+
+sim::SimConfig ClusterModel::to_controlled_sim_config(
+    const std::vector<double>& initial_frequencies, double warmup_time,
+    double end_time, std::uint64_t seed) const {
+  const auto settings = tier_settings(initial_frequencies);
+  sim::SimConfig cfg;
+  cfg.warmup_time = warmup_time;
+  cfg.end_time = end_time;
+  cfg.seed = seed;
+
+  cfg.stations.reserve(tiers_.size());
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    const auto& t = tiers_[i];
+    cfg.stations.push_back(sim::SimStation{t.name, t.servers, t.discipline,
+                                           t.power.idle_power(),
+                                           settings[i].dynamic_watts,
+                                           settings[i].speed});
+  }
+
+  cfg.classes.reserve(classes_.size());
+  for (const auto& c : classes_) {
+    sim::SimClass sc;
+    sc.name = c.name;
+    sc.rate = c.rate;
+    sc.route.reserve(c.route.size());
+    for (const auto& d : c.route)
+      sc.route.push_back(queueing::Visit{d.tier, d.base_service});
+    cfg.classes.push_back(std::move(sc));
+  }
+  return cfg;
+}
+
+ClusterModel make_enterprise_model(double load, queueing::Discipline discipline) {
+  require(load > 0.0 && load < 1.0, "make_enterprise_model: load in (0,1)");
+
+  const power::ServerPower server = power::ServerPower::typical_2011_server();
+
+  std::vector<Tier> tiers = {
+      Tier{"web", 2, discipline, server, /*server_cost=*/1.0},
+      Tier{"app", 1, discipline, server, /*server_cost=*/1.5},
+      Tier{"db", 1, discipline, server, /*server_cost=*/2.5},
+  };
+
+  // Demands at f_base (seconds). The database is the bottleneck; per-class
+  // traffic mix is 20% gold / 30% silver / 50% bronze.
+  const double mean_db_demand = 0.2 * 0.020 + 0.3 * 0.030 + 0.5 * 0.035;
+  const double total_rate = load / mean_db_demand;  // sets rho_db = load
+
+  auto route = [&](double web, double app, double db,
+                   double db_scv) -> std::vector<Demand> {
+    return {Demand{0, Distribution::exponential(web)},
+            Demand{1, Distribution::exponential(app)},
+            Demand{2, Distribution::from_mean_scv(db, db_scv)}};
+  };
+
+  std::vector<WorkloadClass> classes = {
+      WorkloadClass{"gold", 0.2 * total_rate, route(0.020, 0.015, 0.020, 1.0),
+                    Sla{0.25}},
+      WorkloadClass{"silver", 0.3 * total_rate, route(0.025, 0.020, 0.030, 1.0),
+                    Sla{0.60}},
+      WorkloadClass{"bronze", 0.5 * total_rate, route(0.030, 0.022, 0.035, 2.0),
+                    Sla{2.00}},
+  };
+
+  return ClusterModel(std::move(tiers), std::move(classes));
+}
+
+}  // namespace cpm::core

@@ -1,0 +1,73 @@
+#include "cpm/core/controller.hpp"
+
+#include <algorithm>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::core {
+
+ReactiveDvfsController::ReactiveDvfsController(ClusterModel model, Options options)
+    : model_(std::move(model)), options_(options) {
+  require(options_.delay_bound > 0.0, "controller: delay bound must be positive");
+  require(options_.rate_smoothing > 0.0 && options_.rate_smoothing <= 1.0,
+          "controller: rate_smoothing in (0, 1]");
+  require(options_.headroom >= 1.0, "controller: headroom must be >= 1");
+  require(options_.planning_margin > 0.0 && options_.planning_margin <= 1.0,
+          "controller: planning_margin in (0, 1]");
+  require(options_.levels >= 0, "controller: levels must be >= 0");
+  smoothed_rates_.reserve(model_.num_classes());
+  for (const auto& c : model_.classes()) smoothed_rates_.push_back(c.rate);
+}
+
+FrequencyOptResult ReactiveDvfsController::plan(const ClusterModel& at_rates) const {
+  const double target = options_.planning_margin * options_.delay_bound;
+  if (options_.levels > 0)
+    return minimize_power_with_delay_bound_discrete(at_rates, target,
+                                                    options_.levels);
+  return minimize_power_with_delay_bound(at_rates, target);
+}
+
+std::vector<double> ReactiveDvfsController::initial_frequencies() const {
+  const auto r = plan(model_);
+  return r.feasible ? r.frequencies : model_.max_frequencies();
+}
+
+sim::ControlHook ReactiveDvfsController::hook() {
+  return [this](const sim::ControlSnapshot& snap) { return on_snapshot(snap); };
+}
+
+std::vector<sim::TierSetting> ReactiveDvfsController::on_snapshot(
+    const sim::ControlSnapshot& snap) {
+  require(snap.arrival_rate.size() == model_.num_classes(),
+          "controller: snapshot class count mismatch");
+
+  Decision decision;
+  decision.time = snap.time;
+  decision.measured_rates = snap.arrival_rate;
+
+  const double w = options_.rate_smoothing;
+  decision.planned_rates.resize(model_.num_classes());
+  for (std::size_t k = 0; k < model_.num_classes(); ++k) {
+    smoothed_rates_[k] = w * snap.arrival_rate[k] + (1.0 - w) * smoothed_rates_[k];
+    decision.planned_rates[k] = smoothed_rates_[k] * options_.headroom;
+  }
+
+  const ClusterModel at_rates = model_.with_rates(decision.planned_rates);
+  const FrequencyOptResult r = plan(at_rates);
+  if (r.feasible) {
+    decision.frequencies = r.frequencies;
+    decision.predicted_power = r.power;
+    decision.feasible = true;
+  } else {
+    // Fail safe: run flat out until demand subsides.
+    decision.frequencies = model_.max_frequencies();
+    decision.predicted_power = at_rates.power_at(decision.frequencies);
+    decision.feasible = false;
+  }
+
+  auto settings = model_.tier_settings(decision.frequencies);
+  history_.push_back(std::move(decision));
+  return settings;
+}
+
+}  // namespace cpm::core

@@ -1,0 +1,427 @@
+#include "cpm/core/optimizers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "cpm/common/error.hpp"
+#include "cpm/common/math.hpp"
+#include "cpm/opt/scalar.hpp"
+
+namespace cpm::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+opt::Box frequency_box(const ClusterModel& model) {
+  return opt::Box{model.min_frequencies(), model.max_frequencies()};
+}
+
+FrequencyOptResult finish(const ClusterModel& model, std::vector<double> f,
+                          bool feasible) {
+  FrequencyOptResult r;
+  r.frequencies = std::move(f);
+  r.feasible = feasible;
+  r.evaluation = model.evaluate(r.frequencies);
+  if (r.evaluation.stable) {
+    r.mean_delay = r.evaluation.net.mean_e2e_delay;
+    r.power = r.evaluation.energy.cluster_avg_power;
+  } else {
+    r.mean_delay = kInf;
+    r.power = kInf;
+    r.feasible = false;
+  }
+  return r;
+}
+
+}  // namespace
+
+FrequencyOptResult minimize_delay_with_power_budget(
+    const ClusterModel& model, double power_budget,
+    const FrequencyOptOptions& options) {
+  require(power_budget > 0.0, "P-D: power budget must be positive");
+  const opt::Box box = frequency_box(model);
+
+  // Normalise the power constraint by the budget so the solver tolerance
+  // has a scale-free meaning.
+  auto delay = [&](const std::vector<double>& f) { return model.mean_delay_at(f); };
+  std::vector<opt::Objective> cons = {[&, power_budget](const std::vector<double>& f) {
+    return model.power_at(f) / power_budget - 1.0;
+  }};
+
+  opt::AugLagOptions al = options.solver;
+  al.violation_tol = std::max(al.violation_tol, options.constraint_scale_tol);
+
+  // Feasibility precheck: cluster power is componentwise increasing in f
+  // over the stable region, so the min-stable point attains minimum power.
+  const std::vector<double> f_floor = model.min_stable_frequencies();
+  if (!model.stable_at(f_floor) || model.power_at(f_floor) > power_budget)
+    return finish(model, f_floor, false);
+
+  // Start from max frequencies (best delay) — the solver then trades delay
+  // for feasibility.
+  const auto r = opt::augmented_lagrangian(delay, cons, box, model.max_frequencies(), al);
+  if (!r.feasible) return finish(model, f_floor, true);  // fall back to floor
+  return finish(model, r.x, r.feasible);
+}
+
+FrequencyOptResult minimize_power_with_delay_bound(const ClusterModel& model,
+                                                   double max_mean_delay,
+                                                   const FrequencyOptOptions& options) {
+  require(max_mean_delay > 0.0, "P-E: delay bound must be positive");
+  const opt::Box box = frequency_box(model);
+
+  auto power = [&](const std::vector<double>& f) { return model.power_at(f); };
+  std::vector<opt::Objective> cons = {
+      [&, max_mean_delay](const std::vector<double>& f) {
+        return model.mean_delay_at(f) / max_mean_delay - 1.0;
+      }};
+
+  opt::AugLagOptions al = options.solver;
+  al.violation_tol = std::max(al.violation_tol, options.constraint_scale_tol);
+
+  // Delay is minimised at f_max; if the bound fails even there, the
+  // program is infeasible.
+  if (model.mean_delay_at(model.max_frequencies()) > max_mean_delay)
+    return finish(model, model.max_frequencies(), false);
+
+  const auto r =
+      opt::augmented_lagrangian(power, cons, box, model.max_frequencies(), al);
+  if (!r.feasible) return finish(model, model.max_frequencies(), true);
+  return finish(model, r.x, r.feasible);
+}
+
+FrequencyOptResult minimize_power_with_class_delay_bounds(
+    const ClusterModel& model, const std::vector<double>& bounds,
+    const FrequencyOptOptions& options) {
+  require(bounds.size() == model.num_classes(),
+          "P-E/each: one bound per class required");
+  for (double b : bounds) require(b > 0.0, "P-E/each: bounds must be positive");
+  const opt::Box box = frequency_box(model);
+
+  auto power = [&](const std::vector<double>& f) { return model.power_at(f); };
+  std::vector<opt::Objective> cons;
+  cons.reserve(bounds.size());
+  for (std::size_t k = 0; k < bounds.size(); ++k) {
+    if (bounds[k] == kInf) continue;
+    cons.push_back([&, k, bound = bounds[k]](const std::vector<double>& f) {
+      const Evaluation ev = model.evaluate(f);
+      if (!ev.stable) return kInf;
+      return ev.net.e2e_delay[k] / bound - 1.0;
+    });
+  }
+
+  opt::AugLagOptions al = options.solver;
+  al.violation_tol = std::max(al.violation_tol, options.constraint_scale_tol);
+
+  // Every per-class delay is minimised at f_max.
+  {
+    const Evaluation fast = model.evaluate(model.max_frequencies());
+    if (!fast.stable) return finish(model, model.max_frequencies(), false);
+    for (std::size_t k = 0; k < bounds.size(); ++k)
+      if (fast.net.e2e_delay[k] > bounds[k])
+        return finish(model, model.max_frequencies(), false);
+  }
+
+  const auto r =
+      opt::augmented_lagrangian(power, cons, box, model.max_frequencies(), al);
+  if (!r.feasible) return finish(model, model.max_frequencies(), true);
+  return finish(model, r.x, r.feasible);
+}
+
+FrequencyOptResult uniform_frequency_baseline(const ClusterModel& model,
+                                              double power_budget) {
+  require(power_budget > 0.0, "uniform baseline: power budget must be positive");
+  // Uniform scaling is parametrised by t in [0,1] interpolating every tier
+  // from its lowest stable frequency to f_max; power is monotone increasing
+  // in t over that segment, so the best (delay-minimising) in-budget
+  // setting is the largest feasible t.
+  const std::vector<double> lo = model.min_stable_frequencies();
+  const std::vector<double> hi = model.max_frequencies();
+  auto freqs_at = [&](double t) {
+    std::vector<double> f(lo.size());
+    for (std::size_t i = 0; i < f.size(); ++i) f[i] = lo[i] + t * (hi[i] - lo[i]);
+    return f;
+  };
+  auto within_budget = [&](double t) {
+    return model.power_at(freqs_at(t)) <= power_budget;
+  };
+  if (!within_budget(0.0)) return finish(model, freqs_at(0.0), false);
+  const double t = opt::monotone_threshold(within_budget, 0.0, 1.0, 1e-10);
+  return finish(model, freqs_at(t), true);
+}
+
+FrequencyOptResult no_dvfs_baseline(const ClusterModel& model,
+                                    const std::vector<double>& class_bounds) {
+  require(class_bounds.size() == model.num_classes(),
+          "no_dvfs_baseline: one bound per class required");
+  FrequencyOptResult r = finish(model, model.max_frequencies(), true);
+  if (!r.evaluation.stable) return r;
+  for (std::size_t k = 0; k < class_bounds.size(); ++k) {
+    if (r.evaluation.net.e2e_delay[k] > class_bounds[k]) {
+      r.feasible = false;
+      break;
+    }
+  }
+  return r;
+}
+
+CostOptResult minimize_cost_for_slas(const ClusterModel& model,
+                                     const CostOptOptions& options) {
+  require(options.max_servers_per_tier >= 1,
+          "P-C: max_servers_per_tier must be >= 1");
+  const std::size_t n_tiers = model.num_tiers();
+  std::vector<double> freqs = options.frequencies.empty() ? model.max_frequencies()
+                                                          : options.frequencies;
+  require(freqs.size() == n_tiers, "P-C: one frequency per tier required");
+
+  opt::IntegerProblem problem;
+  problem.n_min.assign(n_tiers, 1);
+  problem.n_max.assign(n_tiers, options.max_servers_per_tier);
+  problem.cost.resize(n_tiers);
+  for (std::size_t i = 0; i < n_tiers; ++i)
+    problem.cost[i] = model.tiers()[i].server_cost;
+
+  problem.feasible = [&model, &freqs](const std::vector<int>& n) {
+    const Evaluation ev = model.with_servers(n).evaluate(freqs);
+    if (!ev.stable) return false;
+    for (std::size_t k = 0; k < model.num_classes(); ++k) {
+      const Sla& sla = model.classes()[k].sla;
+      if (sla.mean_bounded() && ev.net.e2e_delay[k] > sla.max_mean_e2e_delay)
+        return false;
+      if (sla.percentile_bounded() &&
+          queueing::percentile_e2e_delay(ev.net, k, sla.percentile) >
+              sla.max_percentile_e2e_delay)
+        return false;
+    }
+    return true;
+  };
+
+  const opt::IntegerResult ir = options.greedy_only
+                                    ? opt::greedy_descend(problem)
+                                    : opt::minimize_monotone_cost(problem);
+
+  CostOptResult r;
+  r.servers = ir.n;
+  r.total_cost = ir.cost;
+  r.feasible = ir.feasible;
+  r.nodes_explored = ir.nodes_explored;
+  if (ir.feasible) r.evaluation = model.with_servers(ir.n).evaluate(freqs);
+  return r;
+}
+
+std::vector<std::vector<double>> frequency_grids(const ClusterModel& model,
+                                                 int levels) {
+  require(levels >= 2, "frequency_grids: need at least 2 levels");
+  std::vector<std::vector<double>> grids;
+  grids.reserve(model.num_tiers());
+  const auto lo = model.min_frequencies();
+  const auto hi = model.max_frequencies();
+  for (std::size_t i = 0; i < model.num_tiers(); ++i)
+    grids.push_back(linspace(lo[i], hi[i], static_cast<std::size_t>(levels)));
+  return grids;
+}
+
+namespace {
+
+// Exhaustive lattice search shared by the two discrete programs.
+// `objective` is minimised over stable grid points satisfying `admissible`.
+FrequencyOptResult lattice_search(
+    const ClusterModel& model, const std::vector<std::vector<double>>& grids,
+    const std::function<double(const Evaluation&)>& objective,
+    const std::function<bool(const Evaluation&)>& admissible) {
+  const std::size_t n = grids.size();
+
+  // Per-tier stability floor: tier i is stable iff f_i exceeds its own
+  // critical frequency, independent of the other tiers — prune below it.
+  const std::vector<double> floor = model.min_stable_frequencies();
+
+  std::vector<std::size_t> idx(n, 0);
+  std::vector<double> f(n);
+  FrequencyOptResult best;
+  double best_value = kInf;
+
+  for (;;) {
+    bool viable = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      f[i] = grids[i][idx[i]];
+      if (f[i] < floor[i]) viable = false;  // tier saturated at this level
+    }
+    if (viable) {
+      const Evaluation ev = model.evaluate(f);
+      if (ev.stable && admissible(ev)) {
+        const double value = objective(ev);
+        if (value < best_value) {
+          best_value = value;
+          best.frequencies = f;
+          best.evaluation = ev;
+          best.feasible = true;
+        }
+      }
+    }
+    // Odometer increment.
+    std::size_t d = 0;
+    while (d < n && ++idx[d] == grids[d].size()) {
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == n) break;
+  }
+
+  if (best.feasible) {
+    best.mean_delay = best.evaluation.net.mean_e2e_delay;
+    best.power = best.evaluation.energy.cluster_avg_power;
+  } else {
+    best.frequencies = model.max_frequencies();
+    best.mean_delay = kInf;
+    best.power = kInf;
+  }
+  return best;
+}
+
+}  // namespace
+
+namespace {
+
+// All SLA (mean + percentile) bounds of `model` hold at evaluation `ev`.
+bool slas_hold(const ClusterModel& model, const Evaluation& ev) {
+  if (!ev.stable) return false;
+  for (std::size_t k = 0; k < model.num_classes(); ++k) {
+    const Sla& sla = model.classes()[k].sla;
+    if (sla.mean_bounded() && ev.net.e2e_delay[k] > sla.max_mean_e2e_delay)
+      return false;
+    if (sla.percentile_bounded() &&
+        queueing::percentile_e2e_delay(ev.net, k, sla.percentile) >
+            sla.max_percentile_e2e_delay)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TcoResult minimize_total_cost_of_ownership(const ClusterModel& model,
+                                           const TcoOptions& options) {
+  require(options.energy_price_per_kwh >= 0.0, "TCO: negative energy price");
+  require(options.billing_hours > 0.0, "TCO: billing hours must be positive");
+  require(options.max_servers_per_tier >= 1, "TCO: max servers must be >= 1");
+  require(options.levels >= 2, "TCO: need >= 2 frequency levels");
+
+  const std::size_t n_tiers = model.num_tiers();
+  const double kwh_factor = options.energy_price_per_kwh * options.billing_hours /
+                            1000.0;  // watts -> money
+
+  TcoResult best;
+  best.total_cost = std::numeric_limits<double>::infinity();
+  long nodes = 0;
+
+  // Unavoidable opex lower bound for an allocation: its idle power.
+  auto idle_opex = [&](const std::vector<int>& n) {
+    double idle = 0.0;
+    for (std::size_t i = 0; i < n_tiers; ++i)
+      idle += model.tiers()[i].power.idle_power() * n[i];
+    return idle * kwh_factor;
+  };
+  auto capex = [&](const std::vector<int>& n) {
+    double c = 0.0;
+    for (std::size_t i = 0; i < n_tiers; ++i)
+      c += model.tiers()[i].server_cost * n[i];
+    return c;
+  };
+
+  // Odometer enumeration of server vectors with cost pruning; feasibility
+  // screened cheaply at f_max before paying for the inner lattice solve.
+  std::vector<int> n(n_tiers, 1);
+  for (;;) {
+    ++nodes;
+    const double floor_cost = capex(n) + idle_opex(n);
+    if (floor_cost < best.total_cost) {
+      const ClusterModel sized = model.with_servers(n);
+      const Evaluation at_max = sized.evaluate(sized.max_frequencies());
+      if (slas_hold(sized, at_max)) {
+        // Inner problem: cheapest power meeting the SLAs, over the grid.
+        const auto grids = frequency_grids(sized, options.levels);
+        // Reuse the generic lattice by inlining an SLA-admissible search.
+        std::vector<std::size_t> idx(n_tiers, 0);
+        std::vector<double> f(n_tiers);
+        const std::vector<double> floor_f = sized.min_stable_frequencies();
+        double best_power = at_max.energy.cluster_avg_power;
+        std::vector<double> best_f = sized.max_frequencies();
+        Evaluation best_ev = at_max;
+        for (;;) {
+          bool viable = true;
+          for (std::size_t i = 0; i < n_tiers; ++i) {
+            f[i] = grids[i][idx[i]];
+            if (f[i] < floor_f[i]) viable = false;
+          }
+          if (viable) {
+            const Evaluation ev = sized.evaluate(f);
+            if (slas_hold(sized, ev) &&
+                ev.energy.cluster_avg_power < best_power) {
+              best_power = ev.energy.cluster_avg_power;
+              best_f = f;
+              best_ev = ev;
+            }
+          }
+          std::size_t d = 0;
+          while (d < n_tiers && ++idx[d] == grids[d].size()) {
+            idx[d] = 0;
+            ++d;
+          }
+          if (d == n_tiers) break;
+        }
+
+        const double total = capex(n) + best_power * kwh_factor;
+        if (total < best.total_cost) {
+          best.servers = n;
+          best.frequencies = best_f;
+          best.capex = capex(n);
+          best.opex = best_power * kwh_factor;
+          best.total_cost = total;
+          best.power = best_power;
+          best.feasible = true;
+          best.evaluation = best_ev;
+        }
+      }
+    }
+    // Advance the odometer.
+    std::size_t d = 0;
+    while (d < n_tiers && ++n[d] > options.max_servers_per_tier) {
+      n[d] = 1;
+      ++d;
+    }
+    if (d == n_tiers) break;
+  }
+
+  best.nodes_explored = nodes;
+  if (!best.feasible) best.total_cost = 0.0;
+  return best;
+}
+
+FrequencyOptResult minimize_power_with_delay_bound_discrete(
+    const ClusterModel& model, double max_mean_delay, int levels) {
+  require(max_mean_delay > 0.0, "P-E discrete: delay bound must be positive");
+  const auto grids = frequency_grids(model, levels);
+  return lattice_search(
+      model, grids,
+      [](const Evaluation& ev) { return ev.energy.cluster_avg_power; },
+      [max_mean_delay](const Evaluation& ev) {
+        return ev.net.mean_e2e_delay <= max_mean_delay;
+      });
+}
+
+FrequencyOptResult minimize_delay_with_power_budget_discrete(
+    const ClusterModel& model, double power_budget, int levels) {
+  require(power_budget > 0.0, "P-D discrete: power budget must be positive");
+  const auto grids = frequency_grids(model, levels);
+  return lattice_search(
+      model, grids,
+      [](const Evaluation& ev) { return ev.net.mean_e2e_delay; },
+      [power_budget](const Evaluation& ev) {
+        return ev.energy.cluster_avg_power <= power_budget;
+      });
+}
+
+}  // namespace cpm::core

@@ -1,0 +1,74 @@
+#include "cpm/core/validation.hpp"
+
+#include <cmath>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::core {
+
+namespace {
+
+ValidationRow make_row(std::string metric, double analytic,
+                       const ConfidenceInterval& sim_ci) {
+  ValidationRow row;
+  row.metric = std::move(metric);
+  row.analytic = analytic;
+  row.simulated = sim_ci.mean;
+  row.ci_half_width = sim_ci.half_width;
+  row.error_pct = sim_ci.mean != 0.0
+                      ? 100.0 * std::abs(analytic - sim_ci.mean) / sim_ci.mean
+                      : 0.0;
+  row.within_ci = analytic >= sim_ci.lo() && analytic <= sim_ci.hi();
+  return row;
+}
+
+}  // namespace
+
+ValidationReport validate_model(const ClusterModel& model,
+                                const std::vector<double>& frequencies,
+                                const SimSettings& settings) {
+  const Evaluation ev = model.evaluate(frequencies);
+  require(ev.stable, "validate_model: operating point is unstable");
+
+  // Marginal (dynamic-only) energy matches what the simulator accounts per
+  // request; the proportional-idle variant is validated via average power.
+  const power::EnergyMetrics marginal =
+      power::compute_energy(model.tier_power(frequencies),
+                            model.network_classes(frequencies), ev.net,
+                            power::IdleAttribution::kMarginalOnly);
+
+  sim::ReplicationOptions rep;
+  rep.replications = settings.replications;
+  rep.threads = settings.threads;
+  const sim::SimConfig cfg = model.to_sim_config(
+      frequencies, settings.warmup_time, settings.end_time, settings.seed);
+  sim::ReplicatedResult sim = sim::replicate(cfg, rep);
+
+  ValidationReport report;
+  for (std::size_t k = 0; k < model.num_classes(); ++k) {
+    report.rows.push_back(make_row("delay[" + model.classes()[k].name + "]",
+                                   ev.net.e2e_delay[k],
+                                   sim.classes[k].mean_e2e_delay));
+  }
+  report.rows.push_back(make_row("delay[mean]", ev.net.mean_e2e_delay,
+                                 sim.mean_e2e_delay));
+  for (std::size_t k = 0; k < model.num_classes(); ++k) {
+    report.rows.push_back(make_row("energy[" + model.classes()[k].name + "]",
+                                   marginal.per_request_energy[k],
+                                   sim.classes[k].mean_e2e_energy));
+  }
+  report.rows.push_back(make_row("power[cluster]", ev.energy.cluster_avg_power,
+                                 sim.cluster_avg_power));
+  for (std::size_t s = 0; s < model.num_tiers(); ++s) {
+    report.rows.push_back(make_row("util[" + model.tiers()[s].name + "]",
+                                   ev.net.station_utilization[s],
+                                   sim.station_utilization[s]));
+  }
+
+  for (const auto& row : report.rows)
+    report.max_error_pct = std::max(report.max_error_pct, row.error_pct);
+  report.sim = std::move(sim);
+  return report;
+}
+
+}  // namespace cpm::core

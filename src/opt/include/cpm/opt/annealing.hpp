@@ -1,0 +1,28 @@
+// Simulated annealing over a box.
+//
+// Kept as a robustness baseline for the solver-comparison ablation (A4):
+// it needs no smoothness at all and provides an independent check that the
+// gradient/simplex solvers are not stuck in poor local minima.
+#pragma once
+
+#include <cstdint>
+
+#include "cpm/opt/types.hpp"
+
+namespace cpm::opt {
+
+struct AnnealingOptions {
+  int iterations = 20000;
+  double t0 = 1.0;            ///< initial temperature (scaled by |f(x0)|)
+  double cooling = 0.999;     ///< geometric cooling per iteration
+  double step_fraction = 0.1; ///< proposal sigma, relative to box span
+  std::uint64_t seed = 7;
+};
+
+/// Minimises `f` over the box starting from `x0`. Infinite objective values
+/// are treated as automatic rejections.
+VectorResult simulated_annealing(const Objective& f, const Box& box,
+                                 const std::vector<double>& x0,
+                                 const AnnealingOptions& options = {});
+
+}  // namespace cpm::opt

@@ -1,0 +1,52 @@
+// Augmented-Lagrangian solver for inequality-constrained minimisation.
+//
+//   minimise f(x)  subject to  g_j(x) <= 0,  x in box
+//
+// This is the solver behind P-D (delay s.t. power budget) and P-E (power
+// s.t. delay bounds). The classic augmented Lagrangian for inequalities
+// (Rockafellar) is minimised over the box by an inner derivative-free or
+// gradient solver; multipliers are updated by the standard rule and the
+// penalty weight grows when feasibility stalls.
+//
+// Objectives/constraints may return +infinity outside their domain (e.g.
+// delay of an unstable allocation); the default Nelder–Mead inner solver
+// handles that gracefully, which is why it is the default.
+#pragma once
+
+#include "cpm/opt/gradient.hpp"
+#include "cpm/opt/nelder_mead.hpp"
+#include "cpm/opt/types.hpp"
+
+namespace cpm::opt {
+
+enum class InnerSolver { kNelderMead, kProjectedGradient };
+
+struct AugLagOptions {
+  int max_outer = 40;
+  double mu0 = 10.0;             ///< initial penalty weight
+  double mu_growth = 4.0;        ///< growth factor when violation stalls
+  double violation_tol = 1e-7;   ///< feasibility tolerance on max_j g_j(x)
+  double stall_factor = 0.25;    ///< violation must shrink by this per round
+  InnerSolver inner = InnerSolver::kNelderMead;
+  int nm_starts = 4;             ///< multistarts of the inner Nelder–Mead
+  NelderMeadOptions nm;
+  GradientOptions pg;
+};
+
+struct ConstrainedResult {
+  std::vector<double> x;
+  double value = 0.0;               ///< f at the returned point
+  double max_violation = 0.0;       ///< max_j g_j(x), <= tol when feasible
+  std::vector<double> multipliers;  ///< final Lagrange multiplier estimates
+  int outer_iterations = 0;
+  bool feasible = false;
+};
+
+/// Solves the program above. `x0` seeds the first inner solve; pass the
+/// box centre when nothing better is known.
+ConstrainedResult augmented_lagrangian(const Objective& f,
+                                       const std::vector<Objective>& inequalities,
+                                       const Box& box, const std::vector<double>& x0,
+                                       const AugLagOptions& options = {});
+
+}  // namespace cpm::opt

@@ -1,0 +1,35 @@
+// Projected gradient descent with numerical gradients.
+//
+// The paper's continuous programs are smooth inside the stability region;
+// projected gradient with Armijo backtracking converges fast there and the
+// box projection keeps frequencies inside the DVFS range. Gradients are
+// central finite differences: objective evaluations (queueing formulas) are
+// cheap, so the 2n evaluations per step are a non-issue.
+#pragma once
+
+#include "cpm/opt/types.hpp"
+
+namespace cpm::opt {
+
+struct GradientOptions {
+  int max_iter = 500;
+  double g_tol = 1e-8;        ///< stop when projected-gradient norm is below
+  double f_tol = 1e-14;       ///< ... or the step improves f by less (relative)
+  double initial_step = 1.0;  ///< first trial step of each backtracking search
+  double backtrack = 0.5;     ///< step shrink factor
+  double armijo = 1e-4;       ///< sufficient-decrease coefficient
+  double fd_step = 1e-6;      ///< finite-difference step, relative to box span
+};
+
+/// Central finite-difference gradient of `f` at `x`, staying inside the box
+/// (one-sided difference at the boundary).
+std::vector<double> numerical_gradient(const Objective& f, const Box& box,
+                                       const std::vector<double>& x,
+                                       double rel_step = 1e-6);
+
+/// Minimises `f` over the box from `x0` (projected into the box first).
+VectorResult projected_gradient(const Objective& f, const Box& box,
+                                const std::vector<double>& x0,
+                                const GradientOptions& options = {});
+
+}  // namespace cpm::opt

@@ -1,0 +1,50 @@
+// Integer resource allocation under a monotone feasibility oracle.
+//
+// The cost-minimisation problem P-C chooses integer server counts n_i per
+// tier to minimise total cost subject to per-class SLA bounds. Its key
+// structure: adding a server can only help (per-class delays are
+// non-increasing in every n_i), so feasibility is a monotone predicate on
+// the integer lattice. Both solvers here exploit that:
+//
+//   greedy_descend        start fully provisioned, repeatedly drop the most
+//                         expensive droppable server — fast, near-optimal,
+//                         used as the branch-and-bound incumbent;
+//   minimize_monotone_cost exact depth-first branch-and-bound with cost
+//                         lower bounds and monotone infeasibility pruning.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace cpm::opt {
+
+struct IntegerProblem {
+  std::vector<int> n_min;      ///< per-dimension lower bounds (>= 1 typical)
+  std::vector<int> n_max;      ///< per-dimension upper bounds
+  std::vector<double> cost;    ///< per-unit cost of each dimension (> 0)
+  /// Monotone feasibility oracle: if feasible(n) and m >= n elementwise,
+  /// then feasible(m). The solvers rely on this.
+  std::function<bool(const std::vector<int>&)> feasible;
+
+  void validate() const;  ///< throws cpm::Error on malformed input
+  [[nodiscard]] double total_cost(const std::vector<int>& n) const;
+};
+
+struct IntegerResult {
+  std::vector<int> n;
+  double cost = 0.0;
+  bool feasible = false;
+  long nodes_explored = 0;  ///< oracle invocations
+};
+
+/// Greedy: from n_max, repeatedly removes the unit with the highest cost
+/// whose removal keeps the oracle satisfied. Terminates at a minimal
+/// feasible point (no single unit can be dropped), not necessarily optimal.
+IntegerResult greedy_descend(const IntegerProblem& problem);
+
+/// Exact branch-and-bound. Returns feasible=false when even n_max fails
+/// the oracle. Worst case enumerates the full box; pruning keeps practical
+/// instances (<= ~6 dimensions, ranges of tens) fast.
+IntegerResult minimize_monotone_cost(const IntegerProblem& problem);
+
+}  // namespace cpm::opt

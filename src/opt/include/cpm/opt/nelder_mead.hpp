@@ -1,0 +1,33 @@
+// Nelder–Mead downhill simplex with box constraints.
+//
+// Derivative-free workhorse for the paper's small (2–10 dimensional)
+// frequency-allocation programs; box feasibility is maintained by
+// projecting every trial point. Multi-start (see multistart_nelder_mead)
+// guards against the method's known stagnation on ridges.
+#pragma once
+
+#include <cstdint>
+
+#include "cpm/opt/types.hpp"
+
+namespace cpm::opt {
+
+struct NelderMeadOptions {
+  int max_iter = 2000;
+  double f_tol = 1e-12;       ///< stop when simplex f-spread drops below
+  double x_tol = 1e-10;       ///< ... or simplex diameter drops below
+  double initial_step = 0.1;  ///< initial simplex edge, relative to box span
+};
+
+/// Minimises `f` over the box starting from `x0` (projected into the box).
+VectorResult nelder_mead(const Objective& f, const Box& box,
+                         const std::vector<double>& x0,
+                         const NelderMeadOptions& options = {});
+
+/// Runs nelder_mead from `starts` quasi-random points (plus the box centre)
+/// and returns the best result. Deterministic for a fixed seed.
+VectorResult multistart_nelder_mead(const Objective& f, const Box& box,
+                                    int starts = 8, std::uint64_t seed = 42,
+                                    const NelderMeadOptions& options = {});
+
+}  // namespace cpm::opt

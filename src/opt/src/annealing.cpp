@@ -1,0 +1,55 @@
+#include "cpm/opt/annealing.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "cpm/common/error.hpp"
+#include "cpm/common/rng.hpp"
+
+namespace cpm::opt {
+
+VectorResult simulated_annealing(const Objective& f, const Box& box,
+                                 const std::vector<double>& x0,
+                                 const AnnealingOptions& options) {
+  box.validate();
+  const std::size_t n = box.dim();
+  require(x0.size() == n, "simulated_annealing: x0 dimension mismatch");
+  require(options.iterations >= 1, "simulated_annealing: iterations >= 1");
+
+  Rng rng(options.seed);
+  std::vector<double> x = box.project(x0);
+  double fx = f(x);
+  // Scale the temperature to the objective's magnitude so acceptance
+  // probabilities are meaningful regardless of units (watts vs seconds).
+  double temp = options.t0 * std::max(1.0, std::abs(fx));
+
+  VectorResult best;
+  best.x = x;
+  best.value = fx;
+
+  for (int it = 0; it < options.iterations; ++it, temp *= options.cooling) {
+    std::vector<double> xn = x;
+    // Perturb one random coordinate — better acceptance in low dimensions
+    // than full-vector moves.
+    const std::size_t i = static_cast<std::size_t>(rng.below(n));
+    const double span = box.hi[i] - box.lo[i];
+    xn[i] += rng.normal(0.0, options.step_fraction * (span > 0.0 ? span : 1.0));
+    xn = box.project(std::move(xn));
+    const double fn = f(xn);
+    if (!std::isfinite(fn)) continue;
+    const double delta = fn - fx;
+    if (delta <= 0.0 || rng.uniform01() < std::exp(-delta / std::max(temp, 1e-300))) {
+      x = std::move(xn);
+      fx = fn;
+      if (fx < best.value) {
+        best.x = x;
+        best.value = fx;
+      }
+    }
+  }
+  best.iterations = options.iterations;
+  best.converged = std::isfinite(best.value);
+  return best;
+}
+
+}  // namespace cpm::opt

@@ -1,0 +1,102 @@
+#include "cpm/opt/gradient.hpp"
+
+#include <cmath>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::opt {
+
+std::vector<double> numerical_gradient(const Objective& f, const Box& box,
+                                       const std::vector<double>& x,
+                                       double rel_step) {
+  box.validate();
+  const std::size_t n = box.dim();
+  require(x.size() == n, "numerical_gradient: dimension mismatch");
+  std::vector<double> g(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double span = box.hi[i] - box.lo[i];
+    const double h = rel_step * (span > 0.0 ? span : 1.0);
+    if (h == 0.0) continue;
+    double xp = std::min(x[i] + h, box.hi[i]);
+    double xm = std::max(x[i] - h, box.lo[i]);
+    if (xp == xm) continue;  // degenerate axis
+    std::vector<double> xx = x;
+    xx[i] = xp;
+    const double fp = f(xx);
+    xx[i] = xm;
+    const double fm = f(xx);
+    g[i] = (fp - fm) / (xp - xm);
+  }
+  return g;
+}
+
+VectorResult projected_gradient(const Objective& f, const Box& box,
+                                const std::vector<double>& x0,
+                                const GradientOptions& options) {
+  box.validate();
+  const std::size_t n = box.dim();
+  require(x0.size() == n, "projected_gradient: x0 dimension mismatch");
+
+  std::vector<double> x = box.project(x0);
+  double fx = f(x);
+  VectorResult result;
+
+  for (result.iterations = 0; result.iterations < options.max_iter;
+       ++result.iterations) {
+    const std::vector<double> g = numerical_gradient(f, box, x, options.fd_step);
+
+    // Projected-gradient norm: the magnitude of the move a unit step
+    // actually achieves after projection.
+    double pg_norm2 = 0.0;
+    {
+      std::vector<double> probe(n);
+      for (std::size_t i = 0; i < n; ++i) probe[i] = x[i] - g[i];
+      probe = box.project(std::move(probe));
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = probe[i] - x[i];
+        pg_norm2 += d * d;
+      }
+    }
+    if (std::sqrt(pg_norm2) <= options.g_tol) {
+      result.converged = true;
+      break;
+    }
+
+    // Armijo backtracking along the projected path.
+    double step = options.initial_step;
+    bool improved = false;
+    for (int bt = 0; bt < 60; ++bt) {
+      std::vector<double> xn(n);
+      for (std::size_t i = 0; i < n; ++i) xn[i] = x[i] - step * g[i];
+      xn = box.project(std::move(xn));
+      double decrease_needed = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        decrease_needed += g[i] * (x[i] - xn[i]);
+      const double fn = f(xn);
+      if (fn <= fx - options.armijo * decrease_needed) {
+        const double rel_impr =
+            std::abs(fx - fn) / std::max(1.0, std::abs(fx));
+        x = std::move(xn);
+        const bool tiny = rel_impr <= options.f_tol;
+        fx = fn;
+        improved = true;
+        if (tiny) {
+          result.converged = true;
+          result.iterations += 1;
+        }
+        break;
+      }
+      step *= options.backtrack;
+    }
+    if (!improved || result.converged) {
+      result.converged = result.converged || !improved;
+      break;
+    }
+  }
+
+  result.x = std::move(x);
+  result.value = fx;
+  return result;
+}
+
+}  // namespace cpm::opt

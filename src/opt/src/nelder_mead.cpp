@@ -1,0 +1,133 @@
+#include "cpm/opt/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cpm/common/error.hpp"
+#include "cpm/common/rng.hpp"
+
+namespace cpm::opt {
+
+VectorResult nelder_mead(const Objective& f, const Box& box,
+                         const std::vector<double>& x0,
+                         const NelderMeadOptions& options) {
+  box.validate();
+  const std::size_t n = box.dim();
+  require(x0.size() == n, "nelder_mead: x0 dimension mismatch");
+
+  // Standard coefficients.
+  constexpr double kReflect = 1.0;
+  constexpr double kExpand = 2.0;
+  constexpr double kContract = 0.5;
+  constexpr double kShrink = 0.5;
+
+  struct Vertex {
+    std::vector<double> x;
+    double fx;
+  };
+  std::vector<Vertex> simplex;
+  simplex.reserve(n + 1);
+
+  auto eval = [&](std::vector<double> x) {
+    x = box.project(std::move(x));
+    const double fx = f(x);
+    return Vertex{std::move(x), fx};
+  };
+
+  simplex.push_back(eval(x0));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> xi = simplex[0].x;
+    const double span = box.hi[i] - box.lo[i];
+    double step = options.initial_step * (span > 0.0 ? span : 1.0);
+    if (xi[i] + step > box.hi[i]) step = -step;  // step inward at the edge
+    xi[i] += step;
+    simplex.push_back(eval(std::move(xi)));
+  }
+
+  auto order = [&] {
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Vertex& a, const Vertex& b) { return a.fx < b.fx; });
+  };
+  order();
+
+  VectorResult result;
+  for (result.iterations = 0; result.iterations < options.max_iter;
+       ++result.iterations) {
+    // Convergence: function spread and simplex diameter.
+    const double f_spread = simplex.back().fx - simplex.front().fx;
+    double diameter = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double lo = simplex[0].x[i], hi = simplex[0].x[i];
+      for (const auto& v : simplex) {
+        lo = std::min(lo, v.x[i]);
+        hi = std::max(hi, v.x[i]);
+      }
+      diameter = std::max(diameter, hi - lo);
+    }
+    if (f_spread <= options.f_tol || diameter <= options.x_tol) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t v = 0; v < n; ++v)
+      for (std::size_t i = 0; i < n; ++i) centroid[i] += simplex[v].x[i];
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto along = [&](double t) {
+      std::vector<double> x(n);
+      for (std::size_t i = 0; i < n; ++i)
+        x[i] = centroid[i] + t * (centroid[i] - simplex.back().x[i]);
+      return eval(std::move(x));
+    };
+
+    Vertex reflected = along(kReflect);
+    if (reflected.fx < simplex.front().fx) {
+      Vertex expanded = along(kExpand);
+      simplex.back() = (expanded.fx < reflected.fx) ? std::move(expanded)
+                                                    : std::move(reflected);
+    } else if (reflected.fx < simplex[n - 1].fx) {
+      simplex.back() = std::move(reflected);
+    } else {
+      const bool outside = reflected.fx < simplex.back().fx;
+      Vertex contracted = along(outside ? kContract : -kContract);
+      const double bar = outside ? reflected.fx : simplex.back().fx;
+      if (contracted.fx < bar) {
+        simplex.back() = std::move(contracted);
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t v = 1; v <= n; ++v) {
+          std::vector<double> x(n);
+          for (std::size_t i = 0; i < n; ++i)
+            x[i] = simplex[0].x[i] + kShrink * (simplex[v].x[i] - simplex[0].x[i]);
+          simplex[v] = eval(std::move(x));
+        }
+      }
+    }
+    order();
+  }
+
+  result.x = simplex.front().x;
+  result.value = simplex.front().fx;
+  return result;
+}
+
+VectorResult multistart_nelder_mead(const Objective& f, const Box& box, int starts,
+                                    std::uint64_t seed,
+                                    const NelderMeadOptions& options) {
+  box.validate();
+  require(starts >= 1, "multistart_nelder_mead: starts must be >= 1");
+  Rng rng(seed);
+  VectorResult best = nelder_mead(f, box, box.center(), options);
+  for (int s = 1; s < starts; ++s) {
+    std::vector<double> x0(box.dim());
+    for (std::size_t i = 0; i < box.dim(); ++i)
+      x0[i] = rng.uniform(box.lo[i], box.hi[i]);
+    VectorResult r = nelder_mead(f, box, x0, options);
+    if (r.value < best.value) best = std::move(r);
+  }
+  return best;
+}
+
+}  // namespace cpm::opt

@@ -1,0 +1,56 @@
+// Cluster-level energy metrics derived from a network analysis.
+//
+// Two quantities matter to the paper's optimisation problems:
+//   * cluster average power (watts) — the constraint/objective of P-D and
+//     P-E; computed exactly from per-station utilisations;
+//   * per-class end-to-end energy per request (joules) — "average energy
+//     consumption for multiple class customers".
+//
+// Idle power has no unambiguous owner, so per-request energy supports two
+// attribution policies:
+//   kMarginalOnly        only the dynamic energy drawn while the request
+//                        holds servers (the request's causal footprint);
+//   kProportionalToLoad  additionally splits each station's full idle power
+//                        across classes in proportion to their utilisation
+//                        share, so that sum_k lambda_k E_k equals total
+//                        cluster power (full cost recovery).
+#pragma once
+
+#include <vector>
+
+#include "cpm/power/server_power.hpp"
+#include "cpm/queueing/network.hpp"
+
+namespace cpm::power {
+
+enum class IdleAttribution { kMarginalOnly, kProportionalToLoad };
+
+/// Operating point of one tier: its power curve, chosen frequency and
+/// server count (must match the NetworkStation it describes).
+struct TierPower {
+  ServerPower server = ServerPower::typical_2011_server();
+  double frequency = 1.0;
+  int servers = 1;
+};
+
+struct EnergyMetrics {
+  /// Total cluster average power in watts.
+  double cluster_avg_power = 0.0;
+  /// Per-station average power in watts.
+  std::vector<double> station_avg_power;
+  /// Per-class mean end-to-end energy per request (joules).
+  std::vector<double> per_request_energy;
+  /// Traffic-weighted mean of per_request_energy.
+  double mean_per_request_energy = 0.0;
+};
+
+/// Computes energy metrics for an analysed network. `tiers[i]` describes
+/// stations[i]; `net` must come from analyze_network on the same inputs
+/// (class service times already expressed at the tier frequencies).
+EnergyMetrics compute_energy(const std::vector<TierPower>& tiers,
+                             const std::vector<queueing::CustomerClass>& classes,
+                             const queueing::NetworkMetrics& net,
+                             IdleAttribution attribution =
+                                 IdleAttribution::kProportionalToLoad);
+
+}  // namespace cpm::power

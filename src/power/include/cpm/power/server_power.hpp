@@ -1,0 +1,78 @@
+// Server power model with DVFS.
+//
+// Each server runs at a frequency f in [f_min, f_max]. The model follows
+// the convention of 2011-era power-aware queueing work:
+//
+//   * service capacity scales linearly: mu(f) = mu_base * f / f_base;
+//   * instantaneous power is idle power plus a dynamic term drawn only
+//     while serving: P(f, busy) = P_idle + [busy] * c * f^alpha,
+//     with c calibrated so that P(f_base, busy) equals a given busy power;
+//   * average power at utilisation rho: P_idle + c * f^alpha * rho.
+//
+// alpha ~ 3 models CMOS dynamic power (V scales with f); alpha = 1 models
+// pure clock gating. Experiment A2 sweeps alpha.
+//
+// Note the key interaction the optimisers exploit: at fixed throughput,
+// utilisation rho(f) is proportional to 1/f, so the dynamic energy term
+// scales as f^(alpha-1) — slowing down saves energy but inflates delay.
+#pragma once
+
+namespace cpm::power {
+
+/// DVFS frequency range, in the same (arbitrary) unit as f_base.
+struct DvfsRange {
+  double f_min = 0.6;
+  double f_max = 1.0;
+  double f_base = 1.0;  ///< frequency at which mu_base and busy power are quoted
+};
+
+/// Power curve of one server.
+class ServerPower {
+ public:
+  /// `idle_watts`: power when not serving; `busy_watts_at_base`: power when
+  /// serving at f_base (must exceed idle); `alpha`: dynamic exponent >= 1.
+  ServerPower(double idle_watts, double busy_watts_at_base, double alpha,
+              DvfsRange dvfs);
+
+  /// A typical dual-socket 2011 server: 150 W idle, 250 W busy at nominal
+  /// frequency, cubic dynamic power, DVFS down to 60% of nominal.
+  static ServerPower typical_2011_server();
+
+  /// An (aspirationally) energy-proportional server in the Barroso–Hölzle
+  /// sense: 25 W idle, 250 W busy at nominal, same DVFS range. With cheap
+  /// idling, spreading load over MORE, SLOWER servers can beat
+  /// consolidation — the crossover experiment E10 probes.
+  static ServerPower energy_proportional_server();
+
+  [[nodiscard]] const DvfsRange& dvfs() const { return dvfs_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double idle_power() const { return idle_; }
+
+  /// Validates and clamps nothing: throws cpm::Error when f is outside
+  /// [f_min, f_max].
+  void check_frequency(double f) const;
+
+  /// Instantaneous power while serving at frequency f.
+  [[nodiscard]] double busy_power(double f) const;
+
+  /// Average power at frequency f and utilisation rho in [0, 1).
+  [[nodiscard]] double average_power(double f, double rho) const;
+
+  /// Service-capacity multiplier mu(f)/mu_base = f / f_base.
+  [[nodiscard]] double speedup(double f) const;
+
+  /// Dynamic (busy minus idle) power at frequency f.
+  [[nodiscard]] double dynamic_power(double f) const;
+
+  /// Energy drawn beyond idle to serve one request of mean duration
+  /// `mean_service` (already expressed at frequency f).
+  [[nodiscard]] double marginal_energy_per_request(double f, double mean_service) const;
+
+ private:
+  double idle_;
+  double dyn_coeff_;  // c such that busy(f) = idle + c f^alpha
+  double alpha_;
+  DvfsRange dvfs_;
+};
+
+}  // namespace cpm::power

@@ -1,0 +1,67 @@
+#include "cpm/power/energy.hpp"
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::power {
+
+EnergyMetrics compute_energy(const std::vector<TierPower>& tiers,
+                             const std::vector<queueing::CustomerClass>& classes,
+                             const queueing::NetworkMetrics& net,
+                             IdleAttribution attribution) {
+  const std::size_t n_stations = net.station_utilization.size();
+  const std::size_t n_classes = classes.size();
+  require(tiers.size() == n_stations, "compute_energy: tiers/stations size mismatch");
+  for (const auto& t : tiers)
+    require(t.servers >= 1, "compute_energy: tier needs >= 1 server");
+
+  EnergyMetrics em;
+  em.station_avg_power.resize(n_stations);
+  em.per_request_energy.assign(n_classes, 0.0);
+
+  for (std::size_t s = 0; s < n_stations; ++s) {
+    const auto& t = tiers[s];
+    const double per_server =
+        t.server.average_power(t.frequency, net.station_utilization[s]);
+    em.station_avg_power[s] = per_server * static_cast<double>(t.servers);
+    em.cluster_avg_power += em.station_avg_power[s];
+  }
+
+  // Dynamic energy: each visit of class k to station s burns
+  // dynamic_power(f_s) * E[S] joules while holding a server.
+  for (std::size_t k = 0; k < n_classes; ++k) {
+    for (const auto& v : classes[k].route) {
+      const auto s = static_cast<std::size_t>(v.station);
+      em.per_request_energy[k] +=
+          tiers[s].server.marginal_energy_per_request(tiers[s].frequency,
+                                                      v.service.mean());
+    }
+  }
+
+  if (attribution == IdleAttribution::kProportionalToLoad) {
+    // Split each station's idle power across classes by utilisation share;
+    // a class's per-request share is its power share divided by its rate.
+    for (std::size_t s = 0; s < n_stations; ++s) {
+      const double idle_total =
+          tiers[s].server.idle_power() * static_cast<double>(tiers[s].servers);
+      double rho_sum = 0.0;
+      for (std::size_t k = 0; k < n_classes; ++k) rho_sum += net.station_rho[s][k];
+      if (rho_sum <= 0.0) continue;  // nobody to attribute to
+      for (std::size_t k = 0; k < n_classes; ++k) {
+        if (classes[k].rate <= 0.0) continue;
+        const double share = net.station_rho[s][k] / rho_sum;
+        em.per_request_energy[k] += idle_total * share / classes[k].rate;
+      }
+    }
+  }
+
+  double weighted = 0.0;
+  double total_rate = 0.0;
+  for (std::size_t k = 0; k < n_classes; ++k) {
+    weighted += classes[k].rate * em.per_request_energy[k];
+    total_rate += classes[k].rate;
+  }
+  em.mean_per_request_energy = total_rate > 0.0 ? weighted / total_rate : 0.0;
+  return em;
+}
+
+}  // namespace cpm::power

@@ -1,0 +1,60 @@
+#include "cpm/power/server_power.hpp"
+
+#include <cmath>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::power {
+
+ServerPower::ServerPower(double idle_watts, double busy_watts_at_base, double alpha,
+                         DvfsRange dvfs)
+    : idle_(idle_watts), alpha_(alpha), dvfs_(dvfs) {
+  require(idle_watts >= 0.0, "ServerPower: idle power must be >= 0");
+  require(busy_watts_at_base > idle_watts,
+          "ServerPower: busy power must exceed idle power");
+  require(alpha >= 1.0, "ServerPower: alpha must be >= 1");
+  require(dvfs.f_base > 0.0 && dvfs.f_min > 0.0,
+          "ServerPower: frequencies must be positive");
+  require(dvfs.f_min <= dvfs.f_max, "ServerPower: f_min must be <= f_max");
+  dyn_coeff_ = (busy_watts_at_base - idle_watts) / std::pow(dvfs.f_base, alpha);
+}
+
+ServerPower ServerPower::typical_2011_server() {
+  return ServerPower(150.0, 250.0, 3.0, DvfsRange{0.6, 1.0, 1.0});
+}
+
+ServerPower ServerPower::energy_proportional_server() {
+  return ServerPower(25.0, 250.0, 3.0, DvfsRange{0.6, 1.0, 1.0});
+}
+
+void ServerPower::check_frequency(double f) const {
+  require(f >= dvfs_.f_min && f <= dvfs_.f_max,
+          "ServerPower: frequency outside DVFS range");
+}
+
+double ServerPower::busy_power(double f) const {
+  check_frequency(f);
+  return idle_ + dyn_coeff_ * std::pow(f, alpha_);
+}
+
+double ServerPower::average_power(double f, double rho) const {
+  require(rho >= 0.0 && rho <= 1.0, "ServerPower: utilisation outside [0,1]");
+  return idle_ + dynamic_power(f) * rho;
+}
+
+double ServerPower::speedup(double f) const {
+  check_frequency(f);
+  return f / dvfs_.f_base;
+}
+
+double ServerPower::dynamic_power(double f) const {
+  check_frequency(f);
+  return dyn_coeff_ * std::pow(f, alpha_);
+}
+
+double ServerPower::marginal_energy_per_request(double f, double mean_service) const {
+  require(mean_service >= 0.0, "ServerPower: service time must be >= 0");
+  return dynamic_power(f) * mean_service;
+}
+
+}  // namespace cpm::power

@@ -1,0 +1,35 @@
+// Kleinrock's square-root capacity assignment.
+//
+// The classic closed-form ancestor of the paper's P-D problem: assign
+// service capacities mu_i to independent M/M/1 stations carrying flows
+// lambda_i so that the traffic-weighted mean delay
+//
+//     T(mu) = (1/Lambda) sum_i lambda_i / (mu_i - lambda_i)
+//
+// is minimised subject to a linear capacity budget sum_i c_i mu_i <= C.
+// The optimum assigns each station its own load plus a share of the slack
+// proportional to sqrt(lambda_i / c_i) — the "square-root rule".
+//
+// The library uses it two ways: as a standalone planning utility, and as
+// an exact cross-check of the numerical constrained solvers (the unit
+// tests verify opt::augmented_lagrangian reproduces this closed form).
+#pragma once
+
+#include <vector>
+
+namespace cpm::queueing {
+
+struct CapacityAssignment {
+  std::vector<double> mu;   ///< optimal service rates
+  double mean_delay = 0.0;  ///< traffic-weighted mean delay at the optimum
+  bool feasible = false;    ///< budget covers at least the offered loads
+};
+
+/// Solves the program above. `lambda[i]` > 0 flows, `cost[i]` > 0 per unit
+/// of capacity, `budget` the total capacity money. Infeasible (feasible =
+/// false) when the budget cannot even cover sum_i c_i lambda_i.
+CapacityAssignment kleinrock_assignment(const std::vector<double>& lambda,
+                                        const std::vector<double>& cost,
+                                        double budget);
+
+}  // namespace cpm::queueing

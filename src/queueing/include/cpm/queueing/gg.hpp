@@ -1,0 +1,30 @@
+// Non-Poisson arrivals: G/G/1 and G/G/c two-moment approximations.
+//
+// The network model assumes Poisson arrivals; real traces are often
+// burstier (workload::TraceStats::interarrival_scv > 1). The classical
+// two-moment corrections estimate the damage:
+//
+//   Allen–Cunneen:  Wq(G/G/c) ≈ (Ca² + Cs²)/2 · Wq(M/M/c)
+//   Kingman:        the same form at c = 1 (heavy-traffic upper bound)
+//
+// where Ca², Cs² are the squared coefficients of variation of
+// inter-arrival and service times. Exact for M/M/c (Ca² = Cs² = 1); an
+// engineering approximation elsewhere — good for renewal arrivals, an
+// underestimate for correlated (e.g. MMPP) traffic, which is why the
+// trace_replay example still recommends exact replay for bursty logs.
+#pragma once
+
+#include "cpm/queueing/basic.hpp"
+
+namespace cpm::queueing {
+
+/// Allen–Cunneen approximate metrics of a G/G/c queue with arrival rate
+/// `lambda`, inter-arrival SCV `arrival_scv` and the given service law.
+/// Throws cpm::Error when unstable.
+QueueMetrics ggc(int servers, double lambda, double arrival_scv,
+                 const Distribution& service);
+
+/// Convenience G/G/1 (Kingman) form.
+QueueMetrics gg1(double lambda, double arrival_scv, const Distribution& service);
+
+}  // namespace cpm::queueing

@@ -1,0 +1,35 @@
+// M/M/c/K: finite-capacity stations and admission control.
+//
+// A station that holds at most K requests (serving + waiting) rejects
+// arrivals when full — the admission-control knob a provider uses to cap
+// worst-case delay at the price of dropped requests. Special cases pinned
+// by tests: K = c is the Erlang loss system (blocking = Erlang-B);
+// K -> infinity recovers M/M/c.
+#pragma once
+
+namespace cpm::queueing {
+
+struct FiniteQueueMetrics {
+  double blocking_probability = 0.0;  ///< P(arrival finds the system full)
+  double throughput = 0.0;            ///< accepted rate lambda (1 - P_block)
+  double mean_in_system = 0.0;        ///< L, counting jobs in service
+  double mean_queue_len = 0.0;        ///< Lq, waiting only
+  double mean_sojourn = 0.0;          ///< W of ACCEPTED jobs (Little on L)
+  double mean_wait = 0.0;             ///< Wq of accepted jobs
+  double utilization = 0.0;           ///< busy servers / c
+};
+
+/// Exact M/M/c/K analysis. `capacity` K >= servers c >= 1; lambda, mu > 0.
+/// Works at any load (finite systems are always stable). Computed in a
+/// numerically stable normalised form (no factorial overflow).
+FiniteQueueMetrics mmck(int servers, int capacity, double lambda, double mu);
+
+/// Smallest capacity K in [servers, k_max] whose accepted-job mean sojourn
+/// stays <= max_sojourn while blocking <= max_blocking; returns -1 when no
+/// K qualifies. The admission-control design helper: small K caps delay
+/// but drops traffic, large K the reverse.
+int smallest_capacity_for(int servers, double lambda, double mu,
+                          double max_sojourn, double max_blocking,
+                          int k_max = 10000);
+
+}  // namespace cpm::queueing

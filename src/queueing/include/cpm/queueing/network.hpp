@@ -1,0 +1,100 @@
+// Open multi-class queueing-network analysis by station decomposition.
+//
+// The cluster hosting the enterprise application is modelled as an open
+// network: K customer classes (class 0 = highest priority) each follow a
+// fixed route — an ordered list of station visits with a per-visit service
+// requirement. Stations are multi-server priority queues.
+//
+// The analysis decomposes the network into independent stations: each
+// station sees, per class, a Poisson flow whose rate is the class's external
+// rate times its number of visits there, with a two-moment-matched service
+// mixture over those visits. Per-class end-to-end delay is the sum of the
+// class's per-visit sojourn times. The decomposition is exact for the first
+// station on a route and approximate downstream (departures of priority
+// queues are not Poisson); experiment E1 quantifies the resulting error
+// against simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpm/queueing/priority.hpp"
+
+namespace cpm::queueing {
+
+/// A service station (tier) of the network.
+struct NetworkStation {
+  std::string name;
+  int servers = 1;
+  Discipline discipline = Discipline::kNonPreemptivePriority;
+};
+
+/// One step of a class's route.
+struct Visit {
+  int station = 0;          ///< index into the stations vector
+  Distribution service = Distribution::exponential(1.0);  ///< service here
+};
+
+/// A customer class. Priority equals its index in the classes vector
+/// (0 = highest) at every priority-scheduled station.
+struct CustomerClass {
+  std::string name;
+  double rate = 0.0;        ///< external Poisson arrival rate
+  std::vector<Visit> route; ///< visited front to back
+};
+
+/// Per-class, per-station analysis results assembled network-wide.
+struct NetworkMetrics {
+  /// Mean end-to-end sojourn per class (sum of per-visit sojourns).
+  std::vector<double> e2e_delay;
+  /// Variance of the end-to-end sojourn per class, assuming per-visit
+  /// sojourns are independent (the same assumption as the decomposition
+  /// itself): sum over visits of Var(wait) + Var(service). May be
+  /// +infinity when a service third moment is infinite.
+  std::vector<double> e2e_delay_variance;
+  /// Per class, per route step: mean sojourn of that visit.
+  std::vector<std::vector<double>> visit_sojourn;
+  /// Per station, per class: mean delay beyond service (0 when the class
+  /// does not visit the station).
+  std::vector<std::vector<double>> station_wait;
+  /// Per station, per class: raw second moment of that delay (see
+  /// StationMetrics::wait_m2 for exactness notes).
+  std::vector<std::vector<double>> station_wait_m2;
+  /// Per station, per class: utilisation contribution lambda E[S]/c.
+  std::vector<std::vector<double>> station_rho;
+  /// Per station total utilisation.
+  std::vector<double> station_utilization;
+  /// Traffic-weighted mean E2E delay: sum_k lambda_k T_k / sum_k lambda_k.
+  double mean_e2e_delay = 0.0;
+  /// Total external arrival rate.
+  double total_rate = 0.0;
+};
+
+/// Validates a network description: station indices in range, rates
+/// non-negative, routes non-empty. Throws cpm::Error on violation.
+void validate_network(const std::vector<NetworkStation>& stations,
+                      const std::vector<CustomerClass>& classes);
+
+/// True iff every station is stable under the offered per-class flows.
+bool network_stable(const std::vector<NetworkStation>& stations,
+                    const std::vector<CustomerClass>& classes);
+
+/// Per-station utilisation (length = stations.size()).
+std::vector<double> network_utilizations(const std::vector<NetworkStation>& stations,
+                                         const std::vector<CustomerClass>& classes);
+
+/// Full decomposition analysis. Throws cpm::Error when any station is
+/// unstable.
+NetworkMetrics analyze_network(const std::vector<NetworkStation>& stations,
+                               const std::vector<CustomerClass>& classes);
+
+/// The p-th percentile (p in (0,1)) of class `cls`'s end-to-end delay,
+/// from a gamma distribution fitted to the analytic mean and variance.
+/// Exact when the true E2E delay is exponential (e.g. a single M/M/1);
+/// an engineering approximation otherwise, validated by experiment E8.
+/// Returns the mean when the variance is zero and +infinity when the
+/// variance is infinite.
+double percentile_e2e_delay(const NetworkMetrics& metrics, std::size_t cls,
+                            double p);
+
+}  // namespace cpm::queueing

@@ -1,0 +1,42 @@
+#include "cpm/queueing/capacity.hpp"
+
+#include <cmath>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::queueing {
+
+CapacityAssignment kleinrock_assignment(const std::vector<double>& lambda,
+                                        const std::vector<double>& cost,
+                                        double budget) {
+  require(!lambda.empty(), "kleinrock: need at least one station");
+  require(lambda.size() == cost.size(), "kleinrock: lambda/cost size mismatch");
+  double base_cost = 0.0;      // cost of carrying the load with zero slack
+  double sqrt_sum = 0.0;       // sum_j sqrt(c_j lambda_j)
+  double total_rate = 0.0;
+  for (std::size_t i = 0; i < lambda.size(); ++i) {
+    require(lambda[i] > 0.0, "kleinrock: flows must be positive");
+    require(cost[i] > 0.0, "kleinrock: costs must be positive");
+    base_cost += cost[i] * lambda[i];
+    sqrt_sum += std::sqrt(cost[i] * lambda[i]);
+    total_rate += lambda[i];
+  }
+
+  CapacityAssignment r;
+  if (budget <= base_cost) return r;  // cannot even keep stations stable
+
+  const double slack = budget - base_cost;
+  r.mu.resize(lambda.size());
+  double weighted_delay = 0.0;
+  for (std::size_t i = 0; i < lambda.size(); ++i) {
+    // mu_i = lambda_i + sqrt(lambda_i / c_i) * slack / sum_j sqrt(c_j l_j)
+    const double extra = std::sqrt(lambda[i] / cost[i]) * slack / sqrt_sum;
+    r.mu[i] = lambda[i] + extra;
+    weighted_delay += lambda[i] / extra;  // lambda_i / (mu_i - lambda_i)
+  }
+  r.mean_delay = weighted_delay / total_rate;
+  r.feasible = true;
+  return r;
+}
+
+}  // namespace cpm::queueing

@@ -1,0 +1,34 @@
+#include "cpm/queueing/gg.hpp"
+
+#include "cpm/common/error.hpp"
+#include "cpm/queueing/erlang.hpp"
+
+namespace cpm::queueing {
+
+QueueMetrics ggc(int servers, double lambda, double arrival_scv,
+                 const Distribution& service) {
+  require(servers >= 1, "ggc: servers must be >= 1");
+  require(lambda >= 0.0, "ggc: lambda must be >= 0");
+  require(arrival_scv >= 0.0, "ggc: arrival SCV must be >= 0");
+
+  const double es = service.mean();
+  const double rho = lambda * es / static_cast<double>(servers);
+  require(rho < 1.0, "ggc: unstable (rho >= 1)");
+
+  QueueMetrics m;
+  m.utilization = rho;
+  if (lambda > 0.0) {
+    const double base_wait = mmc_mean_wait(servers, lambda, 1.0 / es);
+    m.mean_wait = 0.5 * (arrival_scv + service.scv()) * base_wait;
+  }
+  m.mean_sojourn = m.mean_wait + es;
+  m.mean_queue_len = lambda * m.mean_wait;
+  m.mean_in_system = lambda * m.mean_sojourn;
+  return m;
+}
+
+QueueMetrics gg1(double lambda, double arrival_scv, const Distribution& service) {
+  return ggc(1, lambda, arrival_scv, service);
+}
+
+}  // namespace cpm::queueing

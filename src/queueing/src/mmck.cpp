@@ -1,0 +1,74 @@
+#include "cpm/queueing/mmck.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::queueing {
+
+FiniteQueueMetrics mmck(int servers, int capacity, double lambda, double mu) {
+  require(servers >= 1, "mmck: servers must be >= 1");
+  require(capacity >= servers, "mmck: capacity must be >= servers");
+  require(lambda >= 0.0 && mu > 0.0, "mmck: bad rates");
+
+  FiniteQueueMetrics m;
+  if (lambda == 0.0) return m;
+
+  // Unnormalised state probabilities built by the birth-death recurrence
+  // q_{n+1} = q_n * lambda / (min(n+1, c) mu), with q_0 = 1; normalising at
+  // the end avoids factorial overflow entirely.
+  const auto k = static_cast<std::size_t>(capacity);
+  std::vector<double> q(k + 1);
+  q[0] = 1.0;
+  double norm = 1.0;
+  for (std::size_t n = 0; n < k; ++n) {
+    const double service_rate =
+        mu * static_cast<double>(std::min<int>(static_cast<int>(n) + 1, servers));
+    q[n + 1] = q[n] * lambda / service_rate;
+    norm += q[n + 1];
+    // Renormalise on the fly if the terms explode (very high load).
+    if (q[n + 1] > 1e290) {
+      for (std::size_t i = 0; i <= n + 1; ++i) q[i] /= 1e290;
+      norm /= 1e290;
+    }
+  }
+
+  double l = 0.0, lq = 0.0, busy = 0.0;
+  for (std::size_t n = 0; n <= k; ++n) {
+    const double p = q[n] / norm;
+    const auto nn = static_cast<double>(n);
+    l += nn * p;
+    if (static_cast<int>(n) > servers) lq += (nn - servers) * p;
+    busy += static_cast<double>(std::min<int>(static_cast<int>(n), servers)) * p;
+  }
+
+  m.blocking_probability = q[k] / norm;
+  m.throughput = lambda * (1.0 - m.blocking_probability);
+  m.mean_in_system = l;
+  m.mean_queue_len = lq;
+  m.utilization = busy / static_cast<double>(servers);
+  // Little's law on the ACCEPTED stream.
+  m.mean_sojourn = m.throughput > 0.0 ? l / m.throughput : 0.0;
+  m.mean_wait = m.throughput > 0.0 ? lq / m.throughput : 0.0;
+  return m;
+}
+
+int smallest_capacity_for(int servers, double lambda, double mu,
+                          double max_sojourn, double max_blocking, int k_max) {
+  require(max_sojourn > 0.0 && max_blocking >= 0.0 && max_blocking <= 1.0,
+          "smallest_capacity_for: bad bounds");
+  require(k_max >= servers, "smallest_capacity_for: k_max < servers");
+  // Sojourn of accepted jobs grows with K while blocking shrinks, so scan
+  // upward and return the first K meeting both (delay is the binding
+  // constraint from above, blocking from below).
+  for (int k = servers; k <= k_max; ++k) {
+    const auto m = mmck(servers, k, lambda, mu);
+    if (m.mean_sojourn <= max_sojourn && m.blocking_probability <= max_blocking)
+      return k;
+    if (m.mean_sojourn > max_sojourn) return -1;  // delay already violated
+  }
+  return -1;
+}
+
+}  // namespace cpm::queueing

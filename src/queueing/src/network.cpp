@@ -1,0 +1,166 @@
+#include "cpm/queueing/network.hpp"
+
+#include <cmath>
+
+#include "cpm/common/error.hpp"
+#include "cpm/common/math.hpp"
+
+namespace cpm::queueing {
+
+void validate_network(const std::vector<NetworkStation>& stations,
+                      const std::vector<CustomerClass>& classes) {
+  require(!stations.empty(), "network: need at least one station");
+  require(!classes.empty(), "network: need at least one class");
+  for (const auto& s : stations)
+    require(s.servers >= 1, "network: station '" + s.name + "' needs >= 1 server");
+  for (const auto& c : classes) {
+    require(c.rate >= 0.0, "network: class '" + c.name + "' has negative rate");
+    require(!c.route.empty(), "network: class '" + c.name + "' has empty route");
+    for (const auto& v : c.route) {
+      require(v.station >= 0 && static_cast<std::size_t>(v.station) < stations.size(),
+              "network: class '" + c.name + "' visits unknown station");
+    }
+  }
+}
+
+namespace {
+
+// Per-station flow build: one merged flow per class that visits the
+// station, two-moment matched over its visits, plus the flow->class map.
+struct StationFlows {
+  std::vector<ClassFlow> flows;          // ordered by class index (priority)
+  std::vector<std::size_t> flow_class;   // class index of each flow
+};
+
+StationFlows flows_at_station(std::size_t station,
+                              const std::vector<CustomerClass>& classes) {
+  StationFlows out;
+  for (std::size_t k = 0; k < classes.size(); ++k) {
+    const auto& cls = classes[k];
+    double visits = 0.0;
+    double sum_mean = 0.0;
+    double sum_m2 = 0.0;
+    const Visit* only_visit = nullptr;
+    for (const auto& v : cls.route) {
+      if (static_cast<std::size_t>(v.station) != station) continue;
+      visits += 1.0;
+      sum_mean += v.service.mean();
+      sum_m2 += v.service.second_moment();
+      only_visit = &v;
+    }
+    if (visits == 0.0) continue;
+    if (visits == 1.0) {
+      // Single visit: keep the exact service law (preserves the third
+      // moment, which the Takács wait-m2 formula consumes).
+      out.flows.push_back(ClassFlow{cls.rate, only_visit->service});
+    } else {
+      // Multiple visits merge into one flow with a two-moment-matched
+      // mixture proxy.
+      const double mix_mean = sum_mean / visits;
+      const double mix_m2 = sum_m2 / visits;
+      const double var = mix_m2 - mix_mean * mix_mean;
+      const double scv =
+          mix_mean > 0.0 ? std::max(0.0, var) / (mix_mean * mix_mean) : 0.0;
+      out.flows.push_back(ClassFlow{
+          cls.rate * visits,
+          Distribution::from_mean_scv(std::max(mix_mean, 1e-300), scv)});
+    }
+    out.flow_class.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> network_utilizations(const std::vector<NetworkStation>& stations,
+                                         const std::vector<CustomerClass>& classes) {
+  validate_network(stations, classes);
+  std::vector<double> util(stations.size(), 0.0);
+  for (std::size_t s = 0; s < stations.size(); ++s) {
+    const StationFlows sf = flows_at_station(s, classes);
+    if (!sf.flows.empty()) util[s] = station_utilization(stations[s].servers, sf.flows);
+  }
+  return util;
+}
+
+bool network_stable(const std::vector<NetworkStation>& stations,
+                    const std::vector<CustomerClass>& classes) {
+  for (double u : network_utilizations(stations, classes))
+    if (u >= 1.0) return false;
+  return true;
+}
+
+NetworkMetrics analyze_network(const std::vector<NetworkStation>& stations,
+                               const std::vector<CustomerClass>& classes) {
+  validate_network(stations, classes);
+
+  NetworkMetrics m;
+  const std::size_t n_stations = stations.size();
+  const std::size_t n_classes = classes.size();
+  m.e2e_delay.assign(n_classes, 0.0);
+  m.e2e_delay_variance.assign(n_classes, 0.0);
+  m.visit_sojourn.assign(n_classes, {});
+  m.station_wait.assign(n_stations, std::vector<double>(n_classes, 0.0));
+  m.station_wait_m2.assign(n_stations, std::vector<double>(n_classes, 0.0));
+  m.station_rho.assign(n_stations, std::vector<double>(n_classes, 0.0));
+  m.station_utilization.assign(n_stations, 0.0);
+
+  // Analyse each station independently and scatter per-class waits.
+  for (std::size_t s = 0; s < n_stations; ++s) {
+    const StationFlows sf = flows_at_station(s, classes);
+    if (sf.flows.empty()) continue;
+    const StationMetrics sm =
+        analyze_station(stations[s].servers, stations[s].discipline, sf.flows);
+    m.station_utilization[s] = sm.total_utilization;
+    for (std::size_t i = 0; i < sf.flows.size(); ++i) {
+      m.station_wait[s][sf.flow_class[i]] = sm.mean_wait[i];
+      m.station_wait_m2[s][sf.flow_class[i]] = sm.wait_m2[i];
+      m.station_rho[s][sf.flow_class[i]] = sm.rho[i];
+    }
+  }
+
+  // Per-class end-to-end delay: each visit contributes the class's station
+  // wait plus the visit's own mean service time.
+  double weighted = 0.0;
+  for (std::size_t k = 0; k < n_classes; ++k) {
+    const auto& cls = classes[k];
+    m.visit_sojourn[k].reserve(cls.route.size());
+    double total = 0.0;
+    double variance = 0.0;
+    for (const auto& v : cls.route) {
+      const auto s = static_cast<std::size_t>(v.station);
+      const double wait = m.station_wait[s][k];
+      const double sojourn = wait + v.service.mean();
+      m.visit_sojourn[k].push_back(sojourn);
+      total += sojourn;
+      // Independence across visits: variances add. Wait and own service
+      // are independent in all modelled disciplines except PS/preemption,
+      // where this is part of the documented approximation.
+      variance += (m.station_wait_m2[s][k] - wait * wait) + v.service.variance();
+    }
+    m.e2e_delay[k] = total;
+    m.e2e_delay_variance[k] = variance;
+    m.total_rate += cls.rate;
+    weighted += cls.rate * total;
+  }
+  m.mean_e2e_delay = m.total_rate > 0.0 ? weighted / m.total_rate : 0.0;
+  return m;
+}
+
+double percentile_e2e_delay(const NetworkMetrics& metrics, std::size_t cls,
+                            double p) {
+  require(cls < metrics.e2e_delay.size(), "percentile_e2e_delay: bad class");
+  require(p > 0.0 && p < 1.0, "percentile_e2e_delay: p in (0,1)");
+  const double mean = metrics.e2e_delay[cls];
+  const double var = metrics.e2e_delay_variance[cls];
+  if (!(var > 0.0)) return mean;  // deterministic (or degenerate) delay
+  if (std::isinf(var)) return var;
+  // Two-moment gamma fit: shape = mean^2/var, scale = var/mean. An
+  // exponential E2E delay (single M/M/1) gives shape 1 and the exact
+  // quantile.
+  const double shape = mean * mean / var;
+  const double scale = var / mean;
+  return gamma_quantile(p, shape, scale);
+}
+
+}  // namespace cpm::queueing

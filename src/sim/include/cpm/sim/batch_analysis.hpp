@@ -1,0 +1,49 @@
+// Single-run output analysis: batch means.
+//
+// Independent replications (cpm/sim/replication.hpp) pay the warm-up cost
+// R times. The classical alternative is ONE long run whose correlated
+// per-request delays are grouped into batches large enough that batch
+// MEANS are approximately independent; a Student-t interval over them is
+// then defensible. This header packages that method for the simulator's
+// completion trace, with the standard lag-1 autocorrelation check to warn
+// when the chosen batch size is too small.
+#pragma once
+
+#include <vector>
+
+#include "cpm/common/stats.hpp"
+#include "cpm/sim/simulator.hpp"
+
+namespace cpm::sim {
+
+struct BatchAnalysisOptions {
+  std::size_t batch_size = 500;  ///< completions per batch
+  double confidence = 0.95;
+  /// Batches whose means show lag-1 autocorrelation above this are flagged
+  /// (batch size too small for independence).
+  double autocorrelation_warn = 0.2;
+};
+
+struct ClassBatchAnalysis {
+  ConfidenceInterval mean_e2e_delay;
+  std::size_t batches = 0;
+  double lag1_autocorrelation = 0.0;
+  bool batches_look_independent = false;
+};
+
+struct BatchAnalysisResult {
+  std::vector<ClassBatchAnalysis> classes;
+  SimResult run;  ///< the underlying single run (completions cleared)
+};
+
+/// Lag-1 autocorrelation of a series; 0 for fewer than 3 points.
+double lag1_autocorrelation(const std::vector<double>& series);
+
+/// Runs one replication of `config` (with completion recording forced on)
+/// and reduces each class's delay series to a batch-means CI. Throws
+/// cpm::Error when some class completes fewer than 2 full batches —
+/// lengthen the run or shrink the batches.
+BatchAnalysisResult batch_means_analysis(const SimConfig& config,
+                                         const BatchAnalysisOptions& options = {});
+
+}  // namespace cpm::sim

@@ -1,0 +1,47 @@
+// Independent replications with confidence intervals.
+//
+// One simulation run yields a point estimate; the paper's accuracy claims
+// need error bars. `replicate` runs R statistically independent copies of
+// the same configuration (seed substreams) — in parallel across hardware
+// threads — and reduces every reported metric to a mean plus a Student-t
+// confidence interval across replications.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpm/common/stats.hpp"
+#include "cpm/sim/simulator.hpp"
+
+namespace cpm::sim {
+
+struct ReplicationOptions {
+  int replications = 10;
+  int threads = 0;         ///< 0 = std::thread::hardware_concurrency()
+  double confidence = 0.95;
+};
+
+struct ReplicatedClassResult {
+  ConfidenceInterval mean_e2e_delay;
+  ConfidenceInterval p95_e2e_delay;
+  ConfidenceInterval mean_e2e_energy;
+  ConfidenceInterval blocking_probability;
+  std::uint64_t total_completed = 0;
+  std::uint64_t total_blocked = 0;
+};
+
+struct ReplicatedResult {
+  std::vector<ReplicatedClassResult> classes;
+  ConfidenceInterval mean_e2e_delay;
+  ConfidenceInterval cluster_avg_power;
+  std::vector<ConfidenceInterval> station_utilization;
+  int replications = 0;
+  std::uint64_t total_events = 0;
+};
+
+/// Runs `options.replications` independent copies of `base` (seeds derived
+/// from base.seed) and aggregates. Throws cpm::Error for replications < 2
+/// (no variance estimate would exist).
+ReplicatedResult replicate(const SimConfig& base, const ReplicationOptions& options = {});
+
+}  // namespace cpm::sim

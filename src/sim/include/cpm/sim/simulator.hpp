@@ -1,0 +1,163 @@
+// Discrete-event simulator for priority-type cluster computing systems.
+//
+// Simulates exactly the stochastic model the analytical module evaluates:
+// an open network of multi-server stations, K priority classes with fixed
+// routes, Poisson arrivals, general service laws, and one of four
+// scheduling disciplines per station (FCFS, non-preemptive priority,
+// preemptive-resume priority, processor sharing). On top of performance it
+// integrates each station's power draw so the paper's energy metrics can be
+// validated as well (experiments E1/E2).
+//
+// Determinism: given a seed, results are bit-for-bit reproducible. Each
+// class draws inter-arrival times and service times from its own RNG
+// substreams, so perturbing one class's parameters does not scramble the
+// variates of the others (common random numbers across scenarios).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpm/common/distribution.hpp"
+#include "cpm/common/rng.hpp"
+#include "cpm/common/stats.hpp"
+#include "cpm/queueing/network.hpp"
+#include "cpm/sim/event_queue.hpp"
+#include "cpm/workload/rate_schedule.hpp"
+
+namespace cpm::sim {
+
+/// One simulated station (tier).
+struct SimStation {
+  std::string name;
+  int servers = 1;
+  queueing::Discipline discipline = queueing::Discipline::kNonPreemptivePriority;
+  /// Power accounting at the station's operating point: watts per server
+  /// when idle, and the extra watts drawn per busy server.
+  double idle_watts = 0.0;
+  double dynamic_watts = 0.0;
+  /// Initial service-speed multiplier (1 = services run at the wall-clock
+  /// duration sampled from their distributions). Changed at runtime by the
+  /// control hook to emulate DVFS retuning: a job's remaining work shrinks
+  /// or stretches proportionally, in-service completions included.
+  double speed = 1.0;
+  /// Admission control: maximum requests at the station (serving +
+  /// waiting). -1 = unbounded. An arrival finding the station full is
+  /// DROPPED — the whole request aborts and counts as blocked for its
+  /// class (matching the M/M/c/K model of cpm/queueing/mmck.hpp).
+  int capacity = -1;
+};
+
+/// One simulated customer class; index = priority (0 highest).
+struct SimClass {
+  std::string name;
+  double rate = 0.0;                    ///< Poisson arrival rate (stationary)
+  std::vector<queueing::Visit> route;   ///< station visits in order
+  /// When set, overrides `rate` with a nonhomogeneous Poisson source of
+  /// this time-varying rate (sampled by thinning).
+  std::optional<workload::RateSchedule> schedule;
+  /// Closed-class mode: population > 0 makes this an interactive class of
+  /// that many users cycling think -> route -> think (`rate` and
+  /// `schedule` are then ignored). A user blocked at a full station goes
+  /// back to thinking and retries a fresh request.
+  int population = 0;
+  Distribution think_time = Distribution::exponential(1.0);
+  /// Exact trace replay: when non-empty, arrivals occur at precisely these
+  /// (sorted, non-negative) timestamps and every other arrival mode is
+  /// ignored. Fill from workload::ArrivalTrace::timestamps().
+  std::vector<double> arrival_times;
+};
+
+/// What a control-hook invocation observes.
+struct ControlSnapshot {
+  double time = 0.0;                  ///< invocation model time
+  double window = 0.0;                ///< measurement window length
+  std::vector<double> arrival_rate;   ///< per class, arrivals/window
+  std::vector<double> utilization;    ///< per station, busy fraction in window
+  std::vector<double> queue_length;   ///< per station, waiting jobs right now
+};
+
+/// A new operating point for one station, returned by the control hook.
+struct TierSetting {
+  double speed = 1.0;
+  double dynamic_watts = 0.0;
+};
+
+/// Periodic online-management policy: observes the snapshot, returns one
+/// TierSetting per station (or an empty vector for "no change").
+using ControlHook = std::function<std::vector<TierSetting>(const ControlSnapshot&)>;
+
+struct SimConfig {
+  std::vector<SimStation> stations;
+  std::vector<SimClass> classes;
+  double warmup_time = 0.0;   ///< statistics collected only after this
+  double end_time = 1000.0;   ///< simulation horizon (model time)
+  std::uint64_t seed = 1;
+  /// Optional cap on completed requests counted after warm-up; 0 = none.
+  std::uint64_t max_completions = 0;
+  /// Record every counted completion's (time, E2E delay) in order — the
+  /// input of the MSER warm-up rule (cpm/sim/warmup.hpp). Off by default:
+  /// it costs memory proportional to the number of completions.
+  bool record_completions = false;
+  /// Online management: when control_period > 0 and `control` is set, the
+  /// hook fires every period with a fresh ControlSnapshot and may retune
+  /// station speeds / dynamic power (DVFS). Energy accounting is exact
+  /// across retunings (segment-wise integration).
+  double control_period = 0.0;
+  ControlHook control;
+};
+
+/// Per-class simulation output.
+struct SimClassResult {
+  std::uint64_t completed = 0;      ///< requests counted (arrived post-warmup)
+  std::uint64_t blocked = 0;        ///< requests dropped at a full station
+  double mean_e2e_delay = 0.0;
+  double p95_e2e_delay = 0.0;
+  double mean_e2e_energy = 0.0;     ///< marginal (dynamic) joules per request
+  /// blocked / (blocked + completed); 0 when nothing was offered.
+  [[nodiscard]] double blocking_probability() const {
+    const double offered = static_cast<double>(blocked + completed);
+    return offered > 0.0 ? static_cast<double>(blocked) / offered : 0.0;
+  }
+};
+
+/// Per-station simulation output.
+struct SimStationResult {
+  double utilization = 0.0;            ///< time-average busy servers / servers
+  double mean_queue_len = 0.0;         ///< waiting jobs (excluding in service)
+  double avg_power = 0.0;              ///< watts
+  std::vector<double> mean_sojourn;    ///< per class, 0 if class never visited
+  std::vector<double> mean_wait;       ///< per class sojourn minus service
+};
+
+/// One recorded completion (only when SimConfig::record_completions).
+struct CompletionRecord {
+  double time = 0.0;       ///< model time of the completion
+  double e2e_delay = 0.0;  ///< that request's end-to-end delay
+  std::size_t cls = 0;     ///< class index of the request
+};
+
+struct SimResult {
+  std::vector<SimClassResult> classes;
+  std::vector<SimStationResult> stations;
+  /// Aggregate (all classes) completion trace, in completion order; empty
+  /// unless SimConfig::record_completions was set.
+  std::vector<CompletionRecord> completions;
+  double mean_e2e_delay = 0.0;     ///< traffic-weighted over classes
+  double cluster_avg_power = 0.0;  ///< watts, post-warmup time average
+  double measured_time = 0.0;      ///< post-warmup model time simulated
+  std::uint64_t events_fired = 0;
+};
+
+/// Validates the configuration (station indices, rates, horizon ordering);
+/// throws cpm::Error on violation.
+void validate_config(const SimConfig& config);
+
+/// Runs one replication. Deterministic in config.seed.
+SimResult simulate(const SimConfig& config);
+
+}  // namespace cpm::sim

@@ -1,0 +1,42 @@
+// Automated warm-up (initial transient) detection: MSER-5.
+//
+// Simulations started from an empty system carry initialisation bias; the
+// paper-style fix is deleting a warm-up period. Choosing its length by eye
+// is error-prone, so the library implements the MSER-5 rule (White 1997):
+// batch the output series in fives, then truncate the prefix that
+// minimises the (squared) standard error of the remaining batch means.
+// `pilot_warmup` packages the full workflow: run a pilot replication with
+// batch recording, apply MSER, convert the truncation point to model time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cpm/sim/simulator.hpp"
+
+namespace cpm::sim {
+
+/// MSER statistic minimisation on an already-batched series: returns the
+/// number of leading batches to delete (0 <= result <= series.size()/2 —
+/// the classic rule refuses to delete more than half the data).
+std::size_t mser_truncation(const std::vector<double>& batch_means);
+
+/// Batches `raw` in groups of `batch` (default 5) and runs mser_truncation;
+/// returns the number of leading RAW observations to delete.
+std::size_t mser_truncation_raw(const std::vector<double>& raw,
+                                std::size_t batch = 5);
+
+/// Result of a pilot warm-up estimation.
+struct WarmupEstimate {
+  double warmup_time = 0.0;        ///< recommended SimConfig::warmup_time
+  std::size_t deleted_jobs = 0;    ///< completions the rule discarded
+  std::size_t total_jobs = 0;      ///< completions observed in the pilot
+};
+
+/// Runs one pilot replication of `config` (with its warm-up forced to 0 and
+/// per-completion delays recorded), applies MSER-5 to the aggregate E2E
+/// delay series and maps the truncation index back to a model-time warm-up.
+/// Throws cpm::Error when the pilot produces too few completions (< 50).
+WarmupEstimate pilot_warmup(const SimConfig& config);
+
+}  // namespace cpm::sim

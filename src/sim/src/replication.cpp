@@ -1,0 +1,87 @@
+#include "cpm/sim/replication.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "cpm/common/error.hpp"
+#include "cpm/common/rng.hpp"
+
+namespace cpm::sim {
+
+ReplicatedResult replicate(const SimConfig& base, const ReplicationOptions& options) {
+  validate_config(base);
+  require(options.replications >= 2, "replicate: need >= 2 replications");
+  const auto n_reps = static_cast<std::size_t>(options.replications);
+
+  std::vector<SimResult> results(n_reps);
+
+  // Derive one decorrelated seed per replication.
+  std::vector<std::uint64_t> seeds(n_reps);
+  {
+    SplitMix64 sm(base.seed);
+    for (auto& s : seeds) s = sm.next();
+  }
+
+  unsigned n_threads = options.threads > 0
+                           ? static_cast<unsigned>(options.threads)
+                           : std::max(1u, std::thread::hardware_concurrency());
+  n_threads = std::min<unsigned>(n_threads, static_cast<unsigned>(n_reps));
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_reps) return;
+      SimConfig cfg = base;
+      cfg.seed = seeds[i];
+      results[i] = simulate(cfg);
+    }
+  };
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  ReplicatedResult agg;
+  agg.replications = options.replications;
+  const std::size_t n_classes = base.classes.size();
+  const std::size_t n_stations = base.stations.size();
+  agg.classes.resize(n_classes);
+
+  auto reduce = [&](auto metric) {
+    std::vector<double> xs;
+    xs.reserve(n_reps);
+    for (const auto& r : results) xs.push_back(metric(r));
+    return confidence_interval(xs, options.confidence);
+  };
+
+  for (std::size_t k = 0; k < n_classes; ++k) {
+    agg.classes[k].mean_e2e_delay =
+        reduce([k](const SimResult& r) { return r.classes[k].mean_e2e_delay; });
+    agg.classes[k].p95_e2e_delay =
+        reduce([k](const SimResult& r) { return r.classes[k].p95_e2e_delay; });
+    agg.classes[k].mean_e2e_energy =
+        reduce([k](const SimResult& r) { return r.classes[k].mean_e2e_energy; });
+    agg.classes[k].blocking_probability = reduce(
+        [k](const SimResult& r) { return r.classes[k].blocking_probability(); });
+    for (const auto& r : results) {
+      agg.classes[k].total_completed += r.classes[k].completed;
+      agg.classes[k].total_blocked += r.classes[k].blocked;
+    }
+  }
+  agg.mean_e2e_delay = reduce([](const SimResult& r) { return r.mean_e2e_delay; });
+  agg.cluster_avg_power =
+      reduce([](const SimResult& r) { return r.cluster_avg_power; });
+  agg.station_utilization.resize(n_stations);
+  for (std::size_t s = 0; s < n_stations; ++s)
+    agg.station_utilization[s] =
+        reduce([s](const SimResult& r) { return r.stations[s].utilization; });
+  for (const auto& r : results) agg.total_events += r.events_fired;
+  return agg;
+}
+
+}  // namespace cpm::sim

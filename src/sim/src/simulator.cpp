@@ -1,0 +1,654 @@
+#include "cpm/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::sim {
+
+using queueing::Discipline;
+
+void validate_config(const SimConfig& config) {
+  require(!config.stations.empty(), "sim: need at least one station");
+  require(!config.classes.empty(), "sim: need at least one class");
+  require(config.end_time > config.warmup_time, "sim: end_time must exceed warmup");
+  for (const auto& s : config.stations) {
+    require(s.servers >= 1, "sim: station '" + s.name + "' needs >= 1 server");
+    require(s.idle_watts >= 0.0 && s.dynamic_watts >= 0.0,
+            "sim: station '" + s.name + "' has negative power");
+    require(s.speed > 0.0, "sim: station '" + s.name + "' needs positive speed");
+    require(s.capacity == -1 || s.capacity >= s.servers,
+            "sim: station '" + s.name + "' capacity below server count");
+  }
+  for (const auto& c : config.classes) {
+    require(c.rate >= 0.0, "sim: class '" + c.name + "' has negative rate");
+    require(c.population >= 0, "sim: class '" + c.name + "' negative population");
+    require(!(c.population > 0 && c.schedule),
+            "sim: class '" + c.name + "' cannot be both closed and scheduled");
+    require(!(c.population > 0 && !c.arrival_times.empty()),
+            "sim: class '" + c.name + "' cannot be both closed and trace-driven");
+    for (std::size_t i = 0; i < c.arrival_times.size(); ++i) {
+      require(c.arrival_times[i] >= 0.0 &&
+                  (i == 0 || c.arrival_times[i] >= c.arrival_times[i - 1]),
+              "sim: class '" + c.name + "' trace must be sorted and >= 0");
+    }
+    require(!c.route.empty(), "sim: class '" + c.name + "' has empty route");
+    for (const auto& v : c.route)
+      require(v.station >= 0 &&
+                  static_cast<std::size_t>(v.station) < config.stations.size(),
+              "sim: class '" + c.name + "' visits unknown station");
+  }
+}
+
+namespace {
+
+struct Job {
+  std::size_t cls = 0;
+  std::size_t route_pos = 0;
+  double network_arrival = 0.0;   ///< first entered the system
+  double station_arrival = 0.0;   ///< entered the current station
+  double service_total = 0.0;     ///< sampled demand (work units) at the visit
+  double service_remaining = 0.0; ///< work left (differs under preemption)
+  double energy_joules = 0.0;     ///< accumulated dynamic energy
+  bool counted = false;           ///< arrived after warm-up -> contributes stats
+};
+
+using JobPtr = std::unique_ptr<Job>;
+
+// A job currently holding a server (FCFS / priority stations).
+struct InService {
+  JobPtr job;
+  std::uint64_t token = 0;      ///< matches the scheduled completion event
+  double finish_time = 0.0;
+  double segment_start = 0.0;   ///< start of the current energy segment
+};
+
+// A job sharing the processor (PS stations).
+struct PsJob {
+  JobPtr job;
+  double remaining_work = 0.0;
+};
+
+struct StationRuntime {
+  // One FIFO queue per priority level; FCFS uses only queue 0.
+  std::vector<std::deque<JobPtr>> queues;
+  std::vector<InService> in_service;
+
+  // Processor-sharing state.
+  std::vector<PsJob> ps_jobs;
+  double ps_last_update = 0.0;
+  std::uint64_t ps_token = 0;        ///< invalidates stale PS completions
+  bool ps_event_pending = false;
+
+  std::uint64_t next_token = 1;
+
+  // Runtime operating point (changed by the control hook).
+  double speed = 1.0;
+  double dynamic_watts = 0.0;
+
+  TimeWeightedStats busy_servers;
+  TimeWeightedStats dyn_power;  ///< dynamic_watts x busy servers over time
+  TimeWeightedStats queue_len;
+  std::vector<RunningStats> sojourn_by_class;
+  std::vector<RunningStats> wait_by_class;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimConfig& config) : cfg_(config) {
+    validate_config(config);
+    const std::size_t n_stations = cfg_.stations.size();
+    const std::size_t n_classes = cfg_.classes.size();
+
+    stations_.resize(n_stations);
+    for (std::size_t s = 0; s < n_stations; ++s) {
+      auto& st = stations_[s];
+      const bool fcfs_like = cfg_.stations[s].discipline == Discipline::kFcfs;
+      st.queues.resize(fcfs_like ? 1 : n_classes);
+      st.speed = cfg_.stations[s].speed;
+      st.dynamic_watts = cfg_.stations[s].dynamic_watts;
+      st.busy_servers.start(0.0, 0.0);
+      st.dyn_power.start(0.0, 0.0);
+      st.queue_len.start(0.0, 0.0);
+      st.sojourn_by_class.resize(n_classes);
+      st.wait_by_class.resize(n_classes);
+    }
+    window_arrivals_.assign(n_classes, 0);
+    window_busy_base_.assign(n_stations, 0.0);
+
+    Rng root(cfg_.seed);
+    arrival_rng_.reserve(n_classes);
+    service_rng_.reserve(n_classes);
+    for (std::size_t k = 0; k < n_classes; ++k) {
+      arrival_rng_.push_back(root.substream(2 * k));
+      service_rng_.push_back(root.substream(2 * k + 1));
+    }
+
+    class_delay_.resize(n_classes);
+    class_energy_.resize(n_classes);
+    for (std::size_t k = 0; k < n_classes; ++k)
+      class_p95_.emplace_back(0.95);
+    completed_.assign(n_classes, 0);
+    blocked_.assign(n_classes, 0);
+  }
+
+  SimResult run() {
+    trace_pos_.assign(cfg_.classes.size(), 0);
+    for (std::size_t k = 0; k < cfg_.classes.size(); ++k) {
+      if (cfg_.classes[k].population > 0) {
+        for (int u = 0; u < cfg_.classes[k].population; ++u) start_think(k);
+      } else if (!cfg_.classes[k].arrival_times.empty() ||
+                 cfg_.classes[k].rate > 0.0 || cfg_.classes[k].schedule) {
+        schedule_arrival(k);
+      }
+    }
+
+    if (cfg_.warmup_time > 0.0)
+      events_.schedule(cfg_.warmup_time, [this] { end_warmup(); });
+
+    if (cfg_.control_period > 0.0 && cfg_.control)
+      events_.schedule(cfg_.control_period, [this] { control_tick(); });
+
+    // Manual loop (not run_until) because a completion cap may pull
+    // cfg_.end_time in while events are in flight.
+    while (!events_.empty() && events_.next_time() <= cfg_.end_time) {
+      events_.run_next();
+      ++events_fired_;
+    }
+    return collect();
+  }
+
+ private:
+  // ---- arrival generation ------------------------------------------------
+
+  void schedule_arrival(std::size_t k) {
+    const auto& cls = cfg_.classes[k];
+    double t;
+    if (!cls.arrival_times.empty()) {
+      if (trace_pos_[k] >= cls.arrival_times.size()) return;  // trace drained
+      t = std::max(cls.arrival_times[trace_pos_[k]++], events_.now());
+    } else if (cls.schedule) {
+      t = cls.schedule->next_arrival(events_.now(), arrival_rng_[k]);
+    } else {
+      t = events_.now() + arrival_rng_[k].exponential(cls.rate);
+    }
+    if (t > cfg_.end_time) return;  // horizon reached for this source
+    events_.schedule(t, [this, k] {
+      auto job = std::make_unique<Job>();
+      job->cls = k;
+      job->network_arrival = events_.now();
+      job->counted = events_.now() >= cfg_.warmup_time;
+      ++window_arrivals_[k];
+      enter_station(std::move(job));
+      schedule_arrival(k);
+    });
+  }
+
+  /// Closed-class cycle: one user thinks, then submits a fresh request.
+  void start_think(std::size_t k) {
+    const double think = cfg_.classes[k].think_time.sample(arrival_rng_[k]);
+    const double t = events_.now() + think;
+    if (t > cfg_.end_time) return;  // user idles past the horizon
+    events_.schedule(t, [this, k] {
+      auto job = std::make_unique<Job>();
+      job->cls = k;
+      job->network_arrival = events_.now();
+      job->counted = events_.now() >= cfg_.warmup_time;
+      ++window_arrivals_[k];
+      enter_station(std::move(job));
+    });
+  }
+
+  // ---- station entry / service start ------------------------------------
+
+  std::size_t station_of(const Job& job) const {
+    return static_cast<std::size_t>(cfg_.classes[job.cls].route[job.route_pos].station);
+  }
+
+  /// Requests currently at station s (serving + waiting).
+  std::size_t station_population(std::size_t s) const {
+    const auto& st = stations_[s];
+    std::size_t n = st.in_service.size() + st.ps_jobs.size();
+    for (const auto& q : st.queues) n += q.size();
+    return n;
+  }
+
+  void enter_station(JobPtr job) {
+    const std::size_t s = station_of(*job);
+
+    // Admission control: a full station drops the whole request. A closed
+    // class's user returns to thinking and will retry a fresh request.
+    const int capacity = cfg_.stations[s].capacity;
+    if (capacity >= 0 &&
+        station_population(s) >= static_cast<std::size_t>(capacity)) {
+      if (job->counted) ++blocked_[job->cls];
+      if (cfg_.classes[job->cls].population > 0) start_think(job->cls);
+      return;  // job destroyed
+    }
+
+    job->station_arrival = events_.now();
+    job->service_total =
+        cfg_.classes[job->cls].route[job->route_pos].service.sample(
+            service_rng_[job->cls]);
+    job->service_remaining = job->service_total;
+
+    if (cfg_.stations[s].discipline == Discipline::kProcessorSharing) {
+      ps_enter(s, std::move(job));
+      return;
+    }
+
+    auto& st = stations_[s];
+    if (has_free_server(s)) {
+      start_service(s, std::move(job));
+      return;
+    }
+
+    if (cfg_.stations[s].discipline == Discipline::kPreemptiveResume) {
+      // Preempt the lowest-priority job in service if strictly lower.
+      std::size_t victim = st.in_service.size();
+      std::size_t victim_cls = job->cls;
+      for (std::size_t i = 0; i < st.in_service.size(); ++i) {
+        if (st.in_service[i].job->cls > victim_cls) {
+          victim_cls = st.in_service[i].job->cls;
+          victim = i;
+        }
+      }
+      if (victim < st.in_service.size()) {
+        InService victim_entry = std::move(st.in_service[victim]);
+        st.in_service.erase(st.in_service.begin() +
+                            static_cast<std::ptrdiff_t>(victim));
+        update_busy_signals(s);
+        // The scheduled completion for this token becomes a no-op. The
+        // remaining WORK is the remaining wall time at the current speed.
+        victim_entry.job->service_remaining =
+            (victim_entry.finish_time - events_.now()) * st.speed;
+        // Close the victim's energy segment: it drew power while serving.
+        victim_entry.job->energy_joules +=
+            st.dynamic_watts * (events_.now() - victim_entry.segment_start);
+        const std::size_t q = victim_entry.job->cls;
+        stations_[s].queues[q].push_front(std::move(victim_entry.job));
+        update_queue_len(s);
+        start_service(s, std::move(job));
+        return;
+      }
+    }
+
+    const std::size_t q =
+        cfg_.stations[s].discipline == Discipline::kFcfs ? 0 : job->cls;
+    st.queues[q].push_back(std::move(job));
+    update_queue_len(s);
+  }
+
+  bool has_free_server(std::size_t s) const {
+    return stations_[s].in_service.size() <
+           static_cast<std::size_t>(cfg_.stations[s].servers);
+  }
+
+  /// Hands free servers to waiting jobs, highest priority first.
+  void dispatch(std::size_t s) {
+    auto& st = stations_[s];
+    while (has_free_server(s)) {
+      bool started = false;
+      for (auto& queue : st.queues) {
+        if (queue.empty()) continue;
+        JobPtr next = std::move(queue.front());
+        queue.pop_front();
+        update_queue_len(s);
+        start_service(s, std::move(next));
+        started = true;
+        break;
+      }
+      if (!started) break;
+    }
+  }
+
+  /// Refreshes the busy-count and dynamic-power time signals of station s.
+  void update_busy_signals(std::size_t s) {
+    auto& st = stations_[s];
+    const double busy = static_cast<double>(st.in_service.size());
+    st.busy_servers.update(events_.now(), busy);
+    st.dyn_power.update(events_.now(), st.dynamic_watts * busy);
+  }
+
+  void start_service(std::size_t s, JobPtr job) {
+    auto& st = stations_[s];
+    const std::uint64_t token = st.next_token++;
+    const double wall = job->service_remaining / st.speed;
+    const double finish = events_.now() + wall;
+    st.in_service.push_back(InService{std::move(job), token, finish, events_.now()});
+    update_busy_signals(s);
+    events_.schedule(finish, [this, s, token] { complete_service(s, token); });
+  }
+
+  void complete_service(std::size_t s, std::uint64_t token) {
+    auto& st = stations_[s];
+    const auto it = std::find_if(
+        st.in_service.begin(), st.in_service.end(),
+        [token](const InService& e) { return e.token == token; });
+    if (it == st.in_service.end()) return;  // preempted: stale completion
+
+    JobPtr job = std::move(it->job);
+    job->energy_joules += st.dynamic_watts * (events_.now() - it->segment_start);
+    st.in_service.erase(it);
+    update_busy_signals(s);
+
+    // Hand the freed server to waiting jobs BEFORE routing the departure:
+    // a job revisiting this station must not jump ahead of the queue.
+    dispatch(s);
+    depart_station(s, std::move(job));
+  }
+
+  // ---- processor sharing -------------------------------------------------
+
+  double ps_rate(std::size_t s) const {
+    // Each of n jobs progresses at speed * min(1, c/n).
+    const auto& st = stations_[s];
+    if (st.ps_jobs.empty()) return 0.0;
+    const double c = static_cast<double>(cfg_.stations[s].servers);
+    const double n = static_cast<double>(st.ps_jobs.size());
+    return st.speed * std::min(1.0, c / n);
+  }
+
+  void ps_update_signals(std::size_t s) {
+    auto& st = stations_[s];
+    const double busy = std::min(static_cast<double>(cfg_.stations[s].servers),
+                                 static_cast<double>(st.ps_jobs.size()));
+    st.busy_servers.update(events_.now(), busy);
+    st.dyn_power.update(events_.now(), st.dynamic_watts * busy);
+  }
+
+  void ps_advance(std::size_t s) {
+    auto& st = stations_[s];
+    const double rate = ps_rate(s);
+    const double dt = events_.now() - st.ps_last_update;
+    if (dt > 0.0 && rate > 0.0)
+      for (auto& pj : st.ps_jobs) pj.remaining_work -= dt * rate;
+    st.ps_last_update = events_.now();
+  }
+
+  void ps_reschedule(std::size_t s) {
+    auto& st = stations_[s];
+    ++st.ps_token;  // invalidate any pending completion
+    st.ps_event_pending = false;
+    if (st.ps_jobs.empty()) return;
+    const double rate = ps_rate(s);
+    double min_work = std::numeric_limits<double>::infinity();
+    for (const auto& pj : st.ps_jobs)
+      min_work = std::min(min_work, pj.remaining_work);
+    min_work = std::max(min_work, 0.0);
+    const double t = events_.now() + min_work / rate;
+    const std::uint64_t token = st.ps_token;
+    st.ps_event_pending = true;
+    events_.schedule(t, [this, s, token] { ps_complete(s, token); });
+  }
+
+  void ps_enter(std::size_t s, JobPtr job) {
+    auto& st = stations_[s];
+    ps_advance(s);
+    st.ps_jobs.push_back(PsJob{std::move(job), 0.0});
+    st.ps_jobs.back().remaining_work = st.ps_jobs.back().job->service_total;
+    ps_update_signals(s);
+    ps_reschedule(s);
+  }
+
+  void ps_complete(std::size_t s, std::uint64_t token) {
+    auto& st = stations_[s];
+    if (token != st.ps_token) return;  // state changed since scheduling
+    ps_advance(s);
+    // Finish every job whose work has hit zero (simultaneity is possible
+    // with deterministic service).
+    constexpr double kEps = 1e-12;
+    std::vector<JobPtr> finished;
+    for (auto it = st.ps_jobs.begin(); it != st.ps_jobs.end();) {
+      if (it->remaining_work <= kEps) {
+        finished.push_back(std::move(it->job));
+        it = st.ps_jobs.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ps_update_signals(s);
+    ps_reschedule(s);
+    for (auto& job : finished) {
+      // PS energy attribution: the job's share of server-time equals its
+      // total work divided by the station speed (exact at fixed speed;
+      // approximate across mid-service retunings).
+      job->energy_joules += st.dynamic_watts * job->service_total / st.speed;
+      depart_station(s, std::move(job));
+    }
+  }
+
+  // ---- departures & end-to-end accounting --------------------------------
+
+  void depart_station(std::size_t s, JobPtr job) {
+    auto& st = stations_[s];
+    const double sojourn = events_.now() - job->station_arrival;
+    if (job->counted) {
+      st.sojourn_by_class[job->cls].add(sojourn);
+      // "Wait" = sojourn minus the job's own nominal service wall time at
+      // the station's (current) speed.
+      st.wait_by_class[job->cls].add(sojourn - job->service_total / st.speed);
+    }
+    // Dynamic energy was accumulated segment-wise while serving.
+
+    job->route_pos += 1;
+    if (job->route_pos < cfg_.classes[job->cls].route.size()) {
+      enter_station(std::move(job));
+      return;
+    }
+
+    if (job->counted) {
+      const double delay = events_.now() - job->network_arrival;
+      class_delay_[job->cls].add(delay);
+      class_p95_[job->cls].add(delay);
+      class_energy_[job->cls].add(job->energy_joules);
+      ++completed_[job->cls];
+      if (cfg_.record_completions)
+        completions_.push_back(CompletionRecord{events_.now(), delay, job->cls});
+      if (cfg_.max_completions > 0) {
+        std::uint64_t total = 0;
+        for (auto c : completed_) total += c;
+        if (total >= cfg_.max_completions) truncate_horizon();
+      }
+    }
+    // Closed class: the user goes back to thinking, then resubmits.
+    if (cfg_.classes[job->cls].population > 0) start_think(job->cls);
+  }
+
+  void truncate_horizon() {
+    // Stop the run: pending events beyond "now" never fire because the
+    // main loop re-checks cfg_.end_time before every event.
+    cfg_.end_time = events_.now();
+  }
+
+  void update_queue_len(std::size_t s) {
+    auto& st = stations_[s];
+    std::size_t waiting = 0;
+    for (const auto& q : st.queues) waiting += q.size();
+    st.queue_len.update(events_.now(), static_cast<double>(waiting));
+  }
+
+  void end_warmup() {
+    for (auto& st : stations_) {
+      st.busy_servers.reset_at(events_.now());
+      st.dyn_power.reset_at(events_.now());
+      st.queue_len.reset_at(events_.now());
+    }
+  }
+
+  // ---- online management (DVFS control hook) ------------------------------
+
+  void control_tick() {
+    const double now = events_.now();
+    const double window = cfg_.control_period;
+
+    ControlSnapshot snap;
+    snap.time = now;
+    snap.window = window;
+    snap.arrival_rate.resize(cfg_.classes.size());
+    for (std::size_t k = 0; k < cfg_.classes.size(); ++k) {
+      snap.arrival_rate[k] =
+          static_cast<double>(window_arrivals_[k]) / window;
+      window_arrivals_[k] = 0;
+    }
+    snap.utilization.resize(stations_.size());
+    snap.queue_length.resize(stations_.size());
+    for (std::size_t s = 0; s < stations_.size(); ++s) {
+      auto& st = stations_[s];
+      st.busy_servers.finish(now);  // flush the integral up to now
+      const double busy_integral = st.busy_servers.integral() - window_busy_base_[s];
+      window_busy_base_[s] = st.busy_servers.integral();
+      snap.utilization[s] =
+          busy_integral /
+          (window * static_cast<double>(cfg_.stations[s].servers));
+      std::size_t waiting = 0;
+      for (const auto& q : st.queues) waiting += q.size();
+      snap.queue_length[s] = static_cast<double>(waiting);
+    }
+
+    const std::vector<TierSetting> settings = cfg_.control(snap);
+    if (!settings.empty()) {
+      require(settings.size() == stations_.size(),
+              "sim: control hook must return one TierSetting per station");
+      for (std::size_t s = 0; s < stations_.size(); ++s)
+        apply_tier_setting(s, settings[s]);
+    }
+
+    const double next = now + cfg_.control_period;
+    if (next <= cfg_.end_time)
+      events_.schedule(next, [this] { control_tick(); });
+  }
+
+  void apply_tier_setting(std::size_t s, const TierSetting& setting) {
+    require(setting.speed > 0.0, "sim: tier speed must be positive");
+    require(setting.dynamic_watts >= 0.0, "sim: dynamic watts must be >= 0");
+    auto& st = stations_[s];
+    const double now = events_.now();
+    const double old_speed = st.speed;
+    if (setting.speed == old_speed && setting.dynamic_watts == st.dynamic_watts)
+      return;
+
+    if (cfg_.stations[s].discipline == Discipline::kProcessorSharing) {
+      // Integrate progress at the old rate, then switch.
+      ps_advance(s);
+      st.speed = setting.speed;
+      st.dynamic_watts = setting.dynamic_watts;
+      ps_update_signals(s);
+      ps_reschedule(s);
+      return;
+    }
+
+    // Close every in-service energy segment at the old watts, rescale the
+    // remaining wall time at the new speed, and reschedule completions.
+    st.speed = setting.speed;
+    for (auto& entry : st.in_service) {
+      entry.job->energy_joules +=
+          st.dynamic_watts * (now - entry.segment_start);
+      entry.segment_start = now;
+      const double remaining_wall = (entry.finish_time - now) * old_speed /
+                                    setting.speed;
+      entry.finish_time = now + remaining_wall;
+      entry.token = st.next_token++;
+      const std::uint64_t token = entry.token;
+      events_.schedule(entry.finish_time,
+                       [this, s, token] { complete_service(s, token); });
+    }
+    st.dynamic_watts = setting.dynamic_watts;
+    update_busy_signals(s);
+  }
+
+  // ---- result assembly ----------------------------------------------------
+
+  SimResult collect() {
+    const double t_end = std::max(events_.now(), cfg_.warmup_time);
+    for (auto& st : stations_) {
+      st.busy_servers.finish(t_end);
+      st.dyn_power.finish(t_end);
+      st.queue_len.finish(t_end);
+    }
+
+    SimResult r;
+    r.measured_time = t_end - cfg_.warmup_time;
+    r.events_fired = events_fired_;
+    r.completions = std::move(completions_);
+
+    const std::size_t n_classes = cfg_.classes.size();
+    r.classes.resize(n_classes);
+    double weighted = 0.0;
+    double total_rate = 0.0;
+    for (std::size_t k = 0; k < n_classes; ++k) {
+      auto& cr = r.classes[k];
+      cr.completed = completed_[k];
+      cr.blocked = blocked_[k];
+      cr.mean_e2e_delay = class_delay_[k].mean();
+      cr.p95_e2e_delay = class_p95_[k].value();
+      cr.mean_e2e_energy = class_energy_[k].mean();
+      // Traffic weight: offered rate for open classes, measured throughput
+      // for closed and trace-driven ones (no single exogenous rate).
+      double rate;
+      if (cfg_.classes[k].population > 0 ||
+          !cfg_.classes[k].arrival_times.empty()) {
+        rate = r.measured_time > 0.0
+                   ? static_cast<double>(cr.completed) / r.measured_time
+                   : 0.0;
+      } else if (cfg_.classes[k].schedule) {
+        rate = cfg_.classes[k].schedule->mean_rate();
+      } else {
+        rate = cfg_.classes[k].rate;
+      }
+      weighted += rate * cr.mean_e2e_delay;
+      total_rate += rate;
+    }
+    r.mean_e2e_delay = total_rate > 0.0 ? weighted / total_rate : 0.0;
+
+    r.stations.resize(cfg_.stations.size());
+    for (std::size_t s = 0; s < cfg_.stations.size(); ++s) {
+      auto& sr = r.stations[s];
+      const auto& st = stations_[s];
+      const double servers = static_cast<double>(cfg_.stations[s].servers);
+      const double busy_avg = st.busy_servers.time_average();
+      sr.utilization = busy_avg / servers;
+      sr.mean_queue_len = st.queue_len.time_average();
+      // Dynamic power integrated segment-exactly (watts may vary over time
+      // under the control hook); idle power is constant.
+      sr.avg_power = cfg_.stations[s].idle_watts * servers +
+                     st.dyn_power.time_average();
+      r.cluster_avg_power += sr.avg_power;
+      sr.mean_sojourn.resize(cfg_.classes.size());
+      sr.mean_wait.resize(cfg_.classes.size());
+      for (std::size_t k = 0; k < cfg_.classes.size(); ++k) {
+        sr.mean_sojourn[k] = st.sojourn_by_class[k].mean();
+        sr.mean_wait[k] = st.wait_by_class[k].mean();
+      }
+    }
+    return r;
+  }
+
+  SimConfig& cfg_;
+  EventQueue events_;
+  std::vector<StationRuntime> stations_;
+  std::vector<Rng> arrival_rng_;
+  std::vector<Rng> service_rng_;
+  std::vector<RunningStats> class_delay_;
+  std::vector<RunningStats> class_energy_;
+  std::vector<P2Quantile> class_p95_;
+  std::vector<std::uint64_t> completed_;
+  std::vector<std::uint64_t> blocked_;
+  std::vector<CompletionRecord> completions_;
+  std::vector<std::uint64_t> window_arrivals_;
+  std::vector<double> window_busy_base_;
+  std::vector<std::size_t> trace_pos_;
+  std::uint64_t events_fired_ = 0;
+};
+
+}  // namespace
+
+SimResult simulate(const SimConfig& config) {
+  SimConfig local = config;  // simulate may truncate the horizon
+  Simulation sim(local);
+  return sim.run();
+}
+
+}  // namespace cpm::sim

@@ -1,0 +1,77 @@
+#include "cpm/sim/warmup.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::sim {
+
+std::size_t mser_truncation(const std::vector<double>& batch_means) {
+  const std::size_t n = batch_means.size();
+  if (n < 4) return 0;  // too short to say anything
+
+  // Suffix sums let each candidate truncation be scored in O(1).
+  std::vector<double> suffix_sum(n + 1, 0.0);
+  std::vector<double> suffix_sq(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    suffix_sum[i] = suffix_sum[i + 1] + batch_means[i];
+    suffix_sq[i] = suffix_sq[i + 1] + batch_means[i] * batch_means[i];
+  }
+
+  // MSER(d) = sample variance of the retained batches / retained count —
+  // the squared standard error of their mean. The rule caps deletion at
+  // half the series.
+  std::size_t best_d = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d <= n / 2; ++d) {
+    const double m = static_cast<double>(n - d);
+    const double mean = suffix_sum[d] / m;
+    const double var = suffix_sq[d] / m - mean * mean;
+    const double mser = var / m;
+    if (mser < best) {
+      best = mser;
+      best_d = d;
+    }
+  }
+  return best_d;
+}
+
+std::size_t mser_truncation_raw(const std::vector<double>& raw, std::size_t batch) {
+  require(batch >= 1, "mser_truncation_raw: batch must be >= 1");
+  const std::size_t n_batches = raw.size() / batch;
+  std::vector<double> means;
+  means.reserve(n_batches);
+  for (std::size_t b = 0; b < n_batches; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < batch; ++i) sum += raw[b * batch + i];
+    means.push_back(sum / static_cast<double>(batch));
+  }
+  return mser_truncation(means) * batch;
+}
+
+WarmupEstimate pilot_warmup(const SimConfig& config) {
+  SimConfig pilot = config;
+  pilot.warmup_time = 0.0;
+  pilot.record_completions = true;
+  const SimResult r = simulate(pilot);
+
+  require(r.completions.size() >= 50,
+          "pilot_warmup: pilot produced too few completions (< 50); extend "
+          "end_time");
+
+  std::vector<double> delays;
+  delays.reserve(r.completions.size());
+  for (const auto& c : r.completions) delays.push_back(c.e2e_delay);
+
+  const std::size_t cut = mser_truncation_raw(delays, 5);
+  WarmupEstimate est;
+  est.deleted_jobs = cut;
+  est.total_jobs = r.completions.size();
+  // Map the truncation index to the completion time of the last deleted
+  // job (0 when nothing is deleted).
+  est.warmup_time = cut == 0 ? 0.0 : r.completions[cut - 1].time;
+  return est;
+}
+
+}  // namespace cpm::sim

@@ -1,0 +1,177 @@
+#include "cpm/common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cpm/common/error.hpp"
+#include "cpm/common/rng.hpp"
+
+namespace cpm {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.25").as_number(), -3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5E-2").as_number(), 0.025);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\nb")").as_string(), "a\nb");
+  EXPECT_EQ(Json::parse(R"("q\"q")").as_string(), "q\"q");
+  EXPECT_EQ(Json::parse(R"("back\\slash")").as_string(), "back\\slash");
+  EXPECT_EQ(Json::parse(R"("tab\there")").as_string(), "tab\there");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");  // é in UTF-8
+}
+
+TEST(JsonParse, ArraysAndObjects) {
+  const Json arr = Json::parse("[1, 2, 3]");
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr.at(1).as_number(), 2.0);
+
+  const Json obj = Json::parse(R"({"a": 1, "b": [true, null], "c": {"d": "x"}})");
+  ASSERT_TRUE(obj.is_object());
+  EXPECT_DOUBLE_EQ(obj.at("a").as_number(), 1.0);
+  EXPECT_TRUE(obj.at("b").at(1).is_null());
+  EXPECT_EQ(obj.at("c").at("d").as_string(), "x");
+  EXPECT_TRUE(obj.contains("a"));
+  EXPECT_FALSE(obj.contains("z"));
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_EQ(Json::parse("[]").size(), 0u);
+  EXPECT_EQ(Json::parse("{}").size(), 0u);
+  EXPECT_EQ(Json::parse("[ ]").size(), 0u);
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const Json j = Json::parse("  {\n \"a\" :\t[ 1 ,2 ]\r\n}  ");
+  EXPECT_EQ(j.at("a").size(), 2u);
+}
+
+TEST(JsonParse, ErrorsCarryPositions) {
+  try {
+    Json::parse("{\n\"a\": [1, }");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2:"), std::string::npos) << msg;  // line 2
+  }
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "01a", "\"unterminated",
+        "[1] trailing", "{\"a\" 1}", "\"bad\\escape\\q\"", "nan", "--1"}) {
+    EXPECT_THROW(Json::parse(bad), Error) << bad;
+  }
+}
+
+TEST(JsonAccessors, TypeMismatchThrows) {
+  const Json j = Json::parse("{\"a\": 1}");
+  EXPECT_THROW(static_cast<void>(j.as_number()), Error);
+  EXPECT_THROW(static_cast<void>(j.at("a").as_string()), Error);
+  EXPECT_THROW(static_cast<void>(j.at("missing")), Error);
+  EXPECT_THROW(static_cast<void>(j.at(std::size_t{0})), Error);
+  EXPECT_THROW(static_cast<void>(Json::parse("3").size()), Error);
+}
+
+TEST(JsonAccessors, Fallbacks) {
+  const Json j = Json::parse(R"({"a": 1, "s": "x"})");
+  EXPECT_DOUBLE_EQ(j.number_or("a", 9.0), 1.0);
+  EXPECT_DOUBLE_EQ(j.number_or("b", 9.0), 9.0);
+  EXPECT_EQ(j.string_or("s", "d"), "x");
+  EXPECT_EQ(j.string_or("t", "d"), "d");
+}
+
+TEST(JsonDump, RoundTripsCompact) {
+  const std::string doc = R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null}})";
+  const Json j = Json::parse(doc);
+  EXPECT_EQ(Json::parse(j.dump()).dump(), j.dump());
+  EXPECT_EQ(j.dump(), doc);
+}
+
+TEST(JsonDump, PrettyPrintParses) {
+  const Json j = Json::parse(R"({"x": [1, {"y": "z"}], "w": 2})");
+  const std::string pretty = j.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty).dump(), j.dump());
+}
+
+TEST(JsonDump, NumbersRoundTrip) {
+  for (double v : {0.0, 1.0, -17.0, 0.1, 1e-9, 123456.789, 3.141592653589793}) {
+    const Json j(v);
+    EXPECT_DOUBLE_EQ(Json::parse(j.dump()).as_number(), v) << j.dump();
+  }
+}
+
+TEST(JsonDump, StringEscaping) {
+  const Json j(std::string("a\"b\\c\nd"));
+  EXPECT_EQ(Json::parse(j.dump()).as_string(), "a\"b\\c\nd");
+}
+
+TEST(JsonFuzz, RandomMutationsNeverCrash) {
+  // Take a valid document and randomly mutate bytes; the parser must
+  // either parse or throw cpm::Error — never crash or loop.
+  const std::string base =
+      R"({"tiers":[{"name":"a","servers":2}],"nums":[1,2.5,-3e2],"s":"x\ny"})";
+  Rng rng(13579);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string doc = base;
+    const int mutations = 1 + static_cast<int>(rng.below(4));
+    for (int m = 0; m < mutations; ++m) {
+      const auto pos = static_cast<std::size_t>(rng.below(doc.size()));
+      switch (rng.below(3)) {
+        case 0:
+          doc[pos] = static_cast<char>(rng.below(128));
+          break;
+        case 1:
+          doc.erase(doc.begin() + static_cast<std::ptrdiff_t>(pos));
+          break;
+        default:
+          doc.insert(doc.begin() + static_cast<std::ptrdiff_t>(pos),
+                     static_cast<char>(rng.below(128)));
+          break;
+      }
+      if (doc.empty()) doc.assign(1, '0');
+    }
+    try {
+      const Json j = Json::parse(doc);
+      // If it parsed, dumping and reparsing must agree.
+      EXPECT_EQ(Json::parse(j.dump()).dump(), j.dump());
+    } catch (const Error&) {
+      // Expected for most mutations.
+    }
+  }
+}
+
+TEST(JsonFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(8642);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string doc;
+    const auto len = rng.below(64);
+    for (std::uint64_t i = 0; i < len; ++i)
+      doc.push_back(static_cast<char>(rng.below(256)));
+    try {
+      (void)Json::parse(doc);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(JsonBuild, ProgrammaticConstruction) {
+  JsonObject obj;
+  obj["n"] = 3;
+  obj["arr"] = Json(JsonArray{Json(1.0), Json("two")});
+  const Json j(std::move(obj));
+  EXPECT_DOUBLE_EQ(j.at("n").as_number(), 3.0);
+  EXPECT_EQ(j.at("arr").at(1).as_string(), "two");
+}
+
+}  // namespace
+}  // namespace cpm

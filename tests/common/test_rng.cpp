@@ -1,0 +1,140 @@
+#include "cpm/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "cpm/common/error.hpp"
+#include "cpm/common/stats.hpp"
+
+namespace cpm {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsProduceDifferentSequences) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SubstreamsAreIndependentOfDrawOrder) {
+  // substream(i) must depend only on the parent seed, not on how many
+  // variates the parent has produced.
+  Rng parent1(7);
+  Rng sub_before = parent1.substream(3);
+  parent1.next_u64();
+  Rng sub_after = parent1.substream(3);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(sub_before.next_u64(), sub_after.next_u64());
+}
+
+TEST(Rng, SubstreamsDiffer) {
+  Rng parent(7);
+  Rng s0 = parent.substream(0);
+  Rng s1 = parent.substream(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (s0.next_u64() == s1.next_u64()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanAndVariance) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.uniform01());
+  EXPECT_NEAR(stats.mean(), 0.5, 5e-3);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, ExponentialMomentsMatch) {
+  Rng rng(13);
+  const double rate = 2.5;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(rate));
+  EXPECT_NEAR(stats.mean(), 1.0 / rate, 5e-3);
+  EXPECT_NEAR(stats.variance(), 1.0 / (rate * rate), 1e-2);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+  EXPECT_THROW(rng.exponential(-1.0), Error);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 2e-2);
+  EXPECT_NEAR(stats.stddev(), 2.0, 2e-2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 5e-3);
+}
+
+TEST(Rng, BernoulliRejectsBadP) {
+  Rng rng(1);
+  EXPECT_THROW(rng.bernoulli(-0.1), Error);
+  EXPECT_THROW(rng.bernoulli(1.1), Error);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    ASSERT_GE(v, 2.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace cpm

@@ -1,0 +1,145 @@
+#include "cpm/core/cluster_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpm/common/error.hpp"
+#include "cpm/queueing/basic.hpp"
+
+namespace cpm::core {
+namespace {
+
+using queueing::Discipline;
+
+TEST(ClusterModel, EnterpriseModelHasDocumentedShape) {
+  const auto model = make_enterprise_model(0.6);
+  EXPECT_EQ(model.num_tiers(), 3u);
+  EXPECT_EQ(model.num_classes(), 3u);
+  EXPECT_EQ(model.tiers()[0].name, "web");
+  EXPECT_EQ(model.classes()[0].name, "gold");
+  EXPECT_GT(model.total_rate(), 0.0);
+}
+
+TEST(ClusterModel, LoadParameterSetsDbUtilization) {
+  for (double load : {0.3, 0.6, 0.9}) {
+    const auto model = make_enterprise_model(load);
+    const auto ev = model.evaluate(model.max_frequencies());
+    ASSERT_TRUE(ev.stable);
+    EXPECT_NEAR(ev.net.station_utilization[2], load, 1e-9) << "load " << load;
+  }
+}
+
+TEST(ClusterModel, SlowerFrequenciesRaiseUtilization) {
+  const auto model = make_enterprise_model(0.5);
+  const auto fast = model.evaluate(model.max_frequencies());
+  std::vector<double> slow_f = model.max_frequencies();
+  slow_f[2] = 0.7;
+  const auto slow = model.evaluate(slow_f);
+  ASSERT_TRUE(fast.stable && slow.stable);
+  EXPECT_NEAR(slow.net.station_utilization[2],
+              fast.net.station_utilization[2] / 0.7, 1e-9);
+  EXPECT_GT(slow.net.mean_e2e_delay, fast.net.mean_e2e_delay);
+  EXPECT_LT(slow.energy.cluster_avg_power, fast.energy.cluster_avg_power);
+}
+
+TEST(ClusterModel, UnstablePointReportsUnstable) {
+  const auto model = make_enterprise_model(0.9);
+  // Slowing the db tier to 0.6 pushes rho to 1.5 -> unstable.
+  std::vector<double> f = model.max_frequencies();
+  f[2] = 0.6;
+  EXPECT_FALSE(model.stable_at(f));
+  const auto ev = model.evaluate(f);
+  EXPECT_FALSE(ev.stable);
+  EXPECT_TRUE(std::isinf(model.mean_delay_at(f)));
+  EXPECT_TRUE(std::isinf(model.power_at(f)));
+}
+
+TEST(ClusterModel, WithServersChangesOnlyServerCounts) {
+  const auto model = make_enterprise_model(0.6);
+  const auto more = model.with_servers({4, 4, 4});
+  EXPECT_EQ(more.tiers()[0].servers, 4);
+  EXPECT_EQ(more.tiers()[0].name, "web");
+  // More servers -> lower delay at the same frequencies.
+  const auto f = model.max_frequencies();
+  EXPECT_LT(more.mean_delay_at(f), model.mean_delay_at(f));
+}
+
+TEST(ClusterModel, WithRateScaleScalesLoad) {
+  const auto model = make_enterprise_model(0.4);
+  const auto doubled = model.with_rate_scale(2.0);
+  EXPECT_NEAR(doubled.total_rate(), 2.0 * model.total_rate(), 1e-9);
+  const auto ev = doubled.evaluate(doubled.max_frequencies());
+  ASSERT_TRUE(ev.stable);
+  EXPECT_NEAR(ev.net.station_utilization[2], 0.8, 1e-9);
+}
+
+TEST(ClusterModel, WithDisciplineSwitchesAllTiers) {
+  const auto model = make_enterprise_model(0.6);
+  const auto fcfs = model.with_discipline(Discipline::kFcfs);
+  for (const auto& t : fcfs.tiers()) EXPECT_EQ(t.discipline, Discipline::kFcfs);
+  // Under FCFS, gold loses its priority advantage.
+  const auto f = model.max_frequencies();
+  const auto prio_ev = model.evaluate(f);
+  const auto fcfs_ev = fcfs.evaluate(f);
+  EXPECT_GT(fcfs_ev.net.e2e_delay[0], prio_ev.net.e2e_delay[0]);
+}
+
+TEST(ClusterModel, FrequencyValidation) {
+  const auto model = make_enterprise_model(0.6);
+  EXPECT_THROW(model.evaluate({1.0, 1.0}), Error);            // wrong size
+  EXPECT_THROW(model.evaluate({1.0, 1.0, 1.5}), Error);       // out of range
+  EXPECT_THROW(model.evaluate({0.1, 1.0, 1.0}), Error);       // below f_min
+}
+
+TEST(ClusterModel, ConstructorValidation) {
+  std::vector<Tier> tiers = {Tier{}};
+  std::vector<WorkloadClass> classes = {
+      WorkloadClass{"c", 1.0, {Demand{0, Distribution::exponential(0.1)}}, {}}};
+  EXPECT_NO_THROW(ClusterModel(tiers, classes));
+  EXPECT_THROW(ClusterModel({}, classes), Error);
+  EXPECT_THROW(ClusterModel(tiers, {}), Error);
+
+  std::vector<WorkloadClass> bad = {
+      WorkloadClass{"c", 1.0, {Demand{7, Distribution::exponential(0.1)}}, {}}};
+  EXPECT_THROW(ClusterModel(tiers, bad), Error);
+
+  std::vector<Tier> bad_tier = {Tier{"t", 0}};
+  EXPECT_THROW(ClusterModel(bad_tier, classes), Error);
+}
+
+TEST(ClusterModel, ToSimConfigMirrorsModel) {
+  const auto model = make_enterprise_model(0.5);
+  std::vector<double> f = {1.0, 0.8, 1.0};
+  const auto cfg = model.to_sim_config(f, 10.0, 110.0, 99);
+  ASSERT_EQ(cfg.stations.size(), 3u);
+  ASSERT_EQ(cfg.classes.size(), 3u);
+  EXPECT_EQ(cfg.stations[0].name, "web");
+  EXPECT_EQ(cfg.stations[0].servers, 2);
+  EXPECT_DOUBLE_EQ(cfg.warmup_time, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.end_time, 110.0);
+  EXPECT_EQ(cfg.seed, 99u);
+  // Dynamic watts at f=0.8 with alpha=3: 100 * 0.8^3 = 51.2.
+  EXPECT_NEAR(cfg.stations[1].dynamic_watts, 100.0 * std::pow(0.8, 3.0), 1e-9);
+  // App-tier service mean is scaled by 1/0.8.
+  const double base = model.classes()[0].route[1].base_service.mean();
+  EXPECT_NEAR(cfg.classes[0].route[1].service.mean(), base / 0.8, 1e-12);
+}
+
+TEST(ClusterModel, EvaluateEnergyConsistentWithTierPower) {
+  const auto model = make_enterprise_model(0.6);
+  const auto f = model.max_frequencies();
+  const auto ev = model.evaluate(f);
+  ASSERT_TRUE(ev.stable);
+  const auto tp = model.tier_power(f);
+  const auto em = power::compute_energy(tp, model.network_classes(f), ev.net);
+  EXPECT_NEAR(em.cluster_avg_power, ev.energy.cluster_avg_power, 1e-9);
+}
+
+TEST(ClusterModel, EnterpriseLoadValidation) {
+  EXPECT_THROW(make_enterprise_model(0.0), Error);
+  EXPECT_THROW(make_enterprise_model(1.0), Error);
+}
+
+}  // namespace
+}  // namespace cpm::core

@@ -1,0 +1,124 @@
+#include "cpm/core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::core {
+namespace {
+
+ReactiveDvfsController::Options valid_options() {
+  ReactiveDvfsController::Options o;
+  o.delay_bound = 0.5;
+  o.levels = 5;
+  return o;
+}
+
+TEST(Controller, OptionValidation) {
+  const auto model = make_enterprise_model(0.6);
+  auto o = valid_options();
+  o.delay_bound = 0.0;
+  EXPECT_THROW(ReactiveDvfsController(model, o), Error);
+  o = valid_options();
+  o.rate_smoothing = 0.0;
+  EXPECT_THROW(ReactiveDvfsController(model, o), Error);
+  o = valid_options();
+  o.rate_smoothing = 1.5;
+  EXPECT_THROW(ReactiveDvfsController(model, o), Error);
+  o = valid_options();
+  o.headroom = 0.9;
+  EXPECT_THROW(ReactiveDvfsController(model, o), Error);
+  o = valid_options();
+  o.planning_margin = 0.0;
+  EXPECT_THROW(ReactiveDvfsController(model, o), Error);
+  o = valid_options();
+  o.levels = -1;
+  EXPECT_THROW(ReactiveDvfsController(model, o), Error);
+}
+
+TEST(Controller, InitialFrequenciesAreValidOperatingPoint) {
+  const auto model = make_enterprise_model(0.6);
+  auto o = valid_options();
+  o.delay_bound = 3.0 * model.mean_delay_at(model.max_frequencies());
+  ReactiveDvfsController controller(model, o);
+  const auto f = controller.initial_frequencies();
+  ASSERT_EQ(f.size(), model.num_tiers());
+  EXPECT_TRUE(model.stable_at(f));
+  // The plan respects the (margin-tightened) bound analytically.
+  EXPECT_LE(model.mean_delay_at(f), o.delay_bound);
+}
+
+TEST(Controller, ImpossibleBoundFailsSafeToMaxFrequencies) {
+  const auto model = make_enterprise_model(0.6);
+  auto o = valid_options();
+  o.delay_bound = 1e-9;  // unreachable
+  ReactiveDvfsController controller(model, o);
+  EXPECT_EQ(controller.initial_frequencies(), model.max_frequencies());
+
+  // A snapshot also fails safe and records feasible=false.
+  sim::ControlSnapshot snap;
+  snap.time = 10.0;
+  snap.window = 10.0;
+  snap.arrival_rate.assign(model.num_classes(), 1.0);
+  snap.utilization.assign(model.num_tiers(), 0.5);
+  snap.queue_length.assign(model.num_tiers(), 0.0);
+  const auto settings = controller.hook()(snap);
+  ASSERT_EQ(settings.size(), model.num_tiers());
+  ASSERT_EQ(controller.history().size(), 1u);
+  EXPECT_FALSE(controller.history()[0].feasible);
+  const auto max_settings = model.tier_settings(model.max_frequencies());
+  for (std::size_t i = 0; i < settings.size(); ++i)
+    EXPECT_DOUBLE_EQ(settings[i].speed, max_settings[i].speed);
+}
+
+TEST(Controller, LowDemandPlansLowFrequencies) {
+  const auto model = make_enterprise_model(0.8);
+  auto o = valid_options();
+  o.delay_bound = 5.0 * model.mean_delay_at(model.max_frequencies());
+  o.rate_smoothing = 1.0;  // trust the measurement immediately
+  ReactiveDvfsController controller(model, o);
+
+  sim::ControlSnapshot calm;
+  calm.time = 20.0;
+  calm.window = 20.0;
+  for (const auto& c : model.classes())
+    calm.arrival_rate.push_back(0.2 * c.rate);  // demand collapsed
+  calm.utilization.assign(model.num_tiers(), 0.2);
+  calm.queue_length.assign(model.num_tiers(), 0.0);
+  controller.hook()(calm);
+  ASSERT_EQ(controller.history().size(), 1u);
+  const auto& d = controller.history()[0];
+  EXPECT_TRUE(d.feasible);
+  // At 20% demand with a loose bound, the db tier should be well below
+  // f_max.
+  EXPECT_LT(d.frequencies[2], model.max_frequencies()[2]);
+}
+
+TEST(Controller, SnapshotClassCountMismatchThrows) {
+  const auto model = make_enterprise_model(0.6);
+  ReactiveDvfsController controller(model, valid_options());
+  sim::ControlSnapshot bad;
+  bad.arrival_rate = {1.0};  // model has 3 classes
+  EXPECT_THROW(controller.hook()(bad), Error);
+}
+
+TEST(ClusterModelRates, WithRatesReplacesExactly) {
+  const auto model = make_enterprise_model(0.6);
+  const auto changed = model.with_rates({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(changed.classes()[0].rate, 1.0);
+  EXPECT_DOUBLE_EQ(changed.classes()[2].rate, 3.0);
+  EXPECT_THROW(model.with_rates({1.0}), Error);
+}
+
+TEST(ClusterModelRates, TierSettingsMapFrequencies) {
+  const auto model = make_enterprise_model(0.6);
+  const auto s = model.tier_settings({0.8, 1.0, 0.6});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_NEAR(s[0].speed, 0.8, 1e-12);
+  EXPECT_NEAR(s[1].speed, 1.0, 1e-12);
+  EXPECT_NEAR(s[2].dynamic_watts,
+              model.tiers()[2].power.dynamic_power(0.6), 1e-12);
+}
+
+}  // namespace
+}  // namespace cpm::core

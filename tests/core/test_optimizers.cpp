@@ -1,0 +1,428 @@
+#include "cpm/core/optimizers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::core {
+namespace {
+
+using queueing::Discipline;
+
+TEST(DelayOptimizer, UnlimitedBudgetRunsFlatOut) {
+  const auto model = make_enterprise_model(0.6);
+  const double huge_budget = 1e9;
+  const auto r = minimize_delay_with_power_budget(model, huge_budget);
+  ASSERT_TRUE(r.feasible);
+  // With no effective power constraint, max frequency minimises delay.
+  for (std::size_t i = 0; i < r.frequencies.size(); ++i)
+    EXPECT_NEAR(r.frequencies[i], model.max_frequencies()[i], 1e-3);
+}
+
+TEST(DelayOptimizer, BudgetBindsAndIsRespected) {
+  const auto model = make_enterprise_model(0.6);
+  const double p_max = model.power_at(model.max_frequencies());
+  const double p_min = model.power_at(model.min_stable_frequencies());
+  ASSERT_TRUE(std::isfinite(p_min));
+  const double budget = 0.5 * (p_max + p_min);
+  const auto r = minimize_delay_with_power_budget(model, budget);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.power, budget * 1.001);
+  // With a binding budget the optimum nearly exhausts it.
+  EXPECT_GT(r.power, 0.95 * budget);
+  EXPECT_GT(r.mean_delay, model.mean_delay_at(model.max_frequencies()));
+}
+
+TEST(DelayOptimizer, InfeasibleBudgetReported) {
+  const auto model = make_enterprise_model(0.6);
+  const double p_min = model.power_at(model.min_stable_frequencies());
+  const auto r = minimize_delay_with_power_budget(model, 0.5 * p_min);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(DelayOptimizer, BeatsUniformBaseline) {
+  const auto model = make_enterprise_model(0.7);
+  const double p_max = model.power_at(model.max_frequencies());
+  const double p_min = model.power_at(model.min_stable_frequencies());
+  const double budget = p_min + 0.4 * (p_max - p_min);
+  const auto opt = minimize_delay_with_power_budget(model, budget);
+  const auto base = uniform_frequency_baseline(model, budget);
+  ASSERT_TRUE(opt.feasible);
+  ASSERT_TRUE(base.feasible);
+  EXPECT_LE(opt.mean_delay, base.mean_delay * 1.005);
+}
+
+TEST(DelayOptimizer, TighterBudgetNeverImprovesDelay) {
+  const auto model = make_enterprise_model(0.6);
+  const double p_max = model.power_at(model.max_frequencies());
+  const double p_min = model.power_at(model.min_stable_frequencies());
+  double prev_delay = 0.0;
+  for (double t : {0.8, 0.5, 0.25}) {
+    const double budget = p_min + t * (p_max - p_min);
+    const auto r = minimize_delay_with_power_budget(model, budget);
+    ASSERT_TRUE(r.feasible) << "t=" << t;
+    EXPECT_GE(r.mean_delay, prev_delay * 0.999) << "t=" << t;
+    prev_delay = r.mean_delay;
+  }
+}
+
+TEST(EnergyOptimizer, LooseBoundApproachesMinPower) {
+  const auto model = make_enterprise_model(0.5);
+  const double loose = 100.0;  // seconds; delays here are ~0.1s
+  const auto r = minimize_power_with_delay_bound(model, loose);
+  ASSERT_TRUE(r.feasible);
+  const double p_min = model.power_at(model.min_stable_frequencies());
+  ASSERT_TRUE(std::isfinite(p_min));
+  EXPECT_NEAR(r.power, p_min, 0.01 * p_min);
+}
+
+TEST(EnergyOptimizer, BoundRespectedAndBinding) {
+  const auto model = make_enterprise_model(0.6);
+  const double d_fast = model.mean_delay_at(model.max_frequencies());
+  const double d_slow = model.mean_delay_at(model.min_stable_frequencies());
+  double bound;
+  if (std::isfinite(d_slow)) {
+    bound = 0.5 * (d_fast + d_slow);
+  } else {
+    bound = 2.0 * d_fast;
+  }
+  const auto r = minimize_power_with_delay_bound(model, bound);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.mean_delay, bound * 1.001);
+  EXPECT_LT(r.power, model.power_at(model.max_frequencies()));
+}
+
+TEST(EnergyOptimizer, InfeasibleBoundReported) {
+  const auto model = make_enterprise_model(0.6);
+  const double d_fast = model.mean_delay_at(model.max_frequencies());
+  const auto r = minimize_power_with_delay_bound(model, 0.5 * d_fast);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(EnergyOptimizer, TighterBoundCostsMorePower) {
+  const auto model = make_enterprise_model(0.6);
+  const double d_fast = model.mean_delay_at(model.max_frequencies());
+  double prev_power = 0.0;
+  for (double mult : {4.0, 2.0, 1.2}) {  // progressively tighter bounds
+    const auto r = minimize_power_with_delay_bound(model, mult * d_fast);
+    ASSERT_TRUE(r.feasible) << "mult=" << mult;
+    EXPECT_GE(r.power, prev_power * 0.999) << "mult=" << mult;
+    prev_power = r.power;
+  }
+}
+
+TEST(EnergyOptimizer, PerClassBoundsRespected) {
+  const auto model = make_enterprise_model(0.6);
+  const auto fast = model.evaluate(model.max_frequencies());
+  ASSERT_TRUE(fast.stable);
+  std::vector<double> bounds;
+  for (double d : fast.net.e2e_delay) bounds.push_back(2.0 * d);
+  const auto r = minimize_power_with_class_delay_bounds(model, bounds);
+  ASSERT_TRUE(r.feasible);
+  for (std::size_t k = 0; k < bounds.size(); ++k)
+    EXPECT_LE(r.evaluation.net.e2e_delay[k], bounds[k] * 1.001) << "class " << k;
+  EXPECT_LT(r.power, fast.energy.cluster_avg_power);
+}
+
+TEST(EnergyOptimizer, PerClassTighterThanAggregate) {
+  // Adding per-class constraints can only cost more power than the
+  // aggregate constraint implied by them.
+  const auto model = make_enterprise_model(0.6);
+  const auto fast = model.evaluate(model.max_frequencies());
+  std::vector<double> bounds;
+  for (double d : fast.net.e2e_delay) bounds.push_back(1.5 * d);
+  // Aggregate bound at the traffic-weighted mix of the per-class bounds.
+  double agg = 0.0;
+  for (std::size_t k = 0; k < bounds.size(); ++k)
+    agg += model.classes()[k].rate * bounds[k];
+  agg /= model.total_rate();
+  const auto per_class = minimize_power_with_class_delay_bounds(model, bounds);
+  const auto aggregate = minimize_power_with_delay_bound(model, agg);
+  ASSERT_TRUE(per_class.feasible && aggregate.feasible);
+  EXPECT_GE(per_class.power, aggregate.power - 0.5);
+}
+
+TEST(NoDvfsBaseline, FeasibleIffBoundsHoldAtMax) {
+  const auto model = make_enterprise_model(0.6);
+  const auto fast = model.evaluate(model.max_frequencies());
+  std::vector<double> loose(model.num_classes(), 100.0);
+  EXPECT_TRUE(no_dvfs_baseline(model, loose).feasible);
+  std::vector<double> tight(model.num_classes(), fast.net.e2e_delay[0] * 0.5);
+  EXPECT_FALSE(no_dvfs_baseline(model, tight).feasible);
+}
+
+TEST(CostOptimizer, MeetsAllSlas) {
+  const auto model = make_enterprise_model(0.8);
+  const auto r = minimize_cost_for_slas(model);
+  ASSERT_TRUE(r.feasible);
+  for (std::size_t k = 0; k < model.num_classes(); ++k) {
+    const auto& sla = model.classes()[k].sla;
+    if (!sla.mean_bounded()) continue;
+    EXPECT_LE(r.evaluation.net.e2e_delay[k], sla.max_mean_e2e_delay)
+        << model.classes()[k].name;
+  }
+}
+
+TEST(CostOptimizer, SolutionIsMinimal) {
+  // Dropping any server from the optimum must violate some SLA or cost
+  // bound (otherwise B&B missed a cheaper point).
+  const auto model = make_enterprise_model(0.8);
+  const auto r = minimize_cost_for_slas(model);
+  ASSERT_TRUE(r.feasible);
+  const auto f = model.max_frequencies();
+  for (std::size_t i = 0; i < r.servers.size(); ++i) {
+    if (r.servers[i] <= 1) continue;
+    auto fewer = r.servers;
+    fewer[i] -= 1;
+    const auto ev = model.with_servers(fewer).evaluate(f);
+    bool violates = !ev.stable;
+    if (ev.stable) {
+      for (std::size_t k = 0; k < model.num_classes(); ++k) {
+        const auto& sla = model.classes()[k].sla;
+        if (sla.mean_bounded() && ev.net.e2e_delay[k] > sla.max_mean_e2e_delay)
+          violates = true;
+      }
+    }
+    EXPECT_TRUE(violates) << "tier " << i << " is over-provisioned";
+  }
+}
+
+TEST(CostOptimizer, FcfsNeedsAtLeastPriorityCost) {
+  // The paper's motivation: priority scheduling protects premium SLAs with
+  // fewer resources than FCFS.
+  const auto prio = make_enterprise_model(0.85);
+  const auto fcfs = prio.with_discipline(Discipline::kFcfs);
+  const auto rp = minimize_cost_for_slas(prio);
+  const auto rf = minimize_cost_for_slas(fcfs);
+  ASSERT_TRUE(rp.feasible);
+  ASSERT_TRUE(rf.feasible);
+  EXPECT_GE(rf.total_cost, rp.total_cost);
+}
+
+TEST(CostOptimizer, GreedyIsFeasibleAndNotCheaperThanExact) {
+  const auto model = make_enterprise_model(0.85);
+  CostOptOptions greedy_opts;
+  greedy_opts.greedy_only = true;
+  const auto greedy = minimize_cost_for_slas(model, greedy_opts);
+  const auto exact = minimize_cost_for_slas(model);
+  ASSERT_TRUE(greedy.feasible && exact.feasible);
+  EXPECT_GE(greedy.total_cost, exact.total_cost - 1e-9);
+}
+
+TEST(CostOptimizer, InfeasibleSlaReported) {
+  auto model = make_enterprise_model(0.8);
+  // Rebuild with an impossible gold SLA (below raw service time).
+  std::vector<WorkloadClass> classes = model.classes();
+  classes[0].sla.max_mean_e2e_delay = 1e-6;
+  const ClusterModel impossible(model.tiers(), classes);
+  const auto r = minimize_cost_for_slas(impossible);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(CostOptimizer, PercentileSlaRequiresAtLeastMeanSlaCost) {
+  // Bounding the p95 at the value the mean-SLA solution happens to achieve
+  // can only hold or raise the price.
+  const auto base = make_enterprise_model(0.8);
+  const auto mean_only = minimize_cost_for_slas(base);
+  ASSERT_TRUE(mean_only.feasible);
+  const double gold_p95 = queueing::percentile_e2e_delay(
+      mean_only.evaluation.net, 0, 0.95);
+
+  std::vector<WorkloadClass> classes = base.classes();
+  classes[0].sla.max_percentile_e2e_delay = gold_p95 * 0.9;  // tighter
+  const ClusterModel stricter(base.tiers(), classes);
+  const auto with_p95 = minimize_cost_for_slas(stricter);
+  ASSERT_TRUE(with_p95.feasible);
+  EXPECT_GE(with_p95.total_cost, mean_only.total_cost);
+  // And the chosen allocation honours the percentile bound analytically.
+  EXPECT_LE(queueing::percentile_e2e_delay(with_p95.evaluation.net, 0, 0.95),
+            gold_p95 * 0.9 * 1.0001);
+}
+
+TEST(CostOptimizer, PercentileOnlySlaWorks) {
+  const auto base = make_enterprise_model(0.8);
+  std::vector<WorkloadClass> classes = base.classes();
+  for (auto& c : classes) {
+    c.sla.max_mean_e2e_delay = std::numeric_limits<double>::infinity();
+  }
+  classes[0].sla.max_percentile_e2e_delay = 0.5;
+  classes[0].sla.percentile = 0.95;
+  const ClusterModel model(base.tiers(), classes);
+  const auto r = minimize_cost_for_slas(model);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(queueing::percentile_e2e_delay(r.evaluation.net, 0, 0.95), 0.5);
+}
+
+TEST(Sla, BoundednessPredicates) {
+  Sla none;
+  EXPECT_FALSE(none.bounded());
+  Sla mean;
+  mean.max_mean_e2e_delay = 1.0;
+  EXPECT_TRUE(mean.bounded());
+  EXPECT_TRUE(mean.mean_bounded());
+  EXPECT_FALSE(mean.percentile_bounded());
+  Sla pct;
+  pct.max_percentile_e2e_delay = 2.0;
+  EXPECT_TRUE(pct.bounded());
+  EXPECT_FALSE(pct.mean_bounded());
+  EXPECT_TRUE(pct.percentile_bounded());
+}
+
+TEST(DiscreteDvfs, GridsSpanTheDvfsRange) {
+  const auto model = make_enterprise_model(0.6);
+  const auto grids = frequency_grids(model, 5);
+  ASSERT_EQ(grids.size(), model.num_tiers());
+  for (std::size_t i = 0; i < grids.size(); ++i) {
+    ASSERT_EQ(grids[i].size(), 5u);
+    EXPECT_DOUBLE_EQ(grids[i].front(), model.min_frequencies()[i]);
+    EXPECT_DOUBLE_EQ(grids[i].back(), model.max_frequencies()[i]);
+  }
+}
+
+TEST(DiscreteDvfs, ResultLiesOnTheGrid) {
+  const auto model = make_enterprise_model(0.6);
+  const double bound = 2.0 * model.mean_delay_at(model.max_frequencies());
+  const int levels = 5;
+  const auto r = minimize_power_with_delay_bound_discrete(model, bound, levels);
+  ASSERT_TRUE(r.feasible);
+  const auto grids = frequency_grids(model, levels);
+  for (std::size_t i = 0; i < r.frequencies.size(); ++i) {
+    bool on_grid = false;
+    for (double g : grids[i])
+      if (std::abs(g - r.frequencies[i]) < 1e-12) on_grid = true;
+    EXPECT_TRUE(on_grid) << "tier " << i;
+  }
+  EXPECT_LE(r.mean_delay, bound);
+}
+
+TEST(DiscreteDvfs, NeverBeatsContinuous) {
+  const auto model = make_enterprise_model(0.6);
+  const double bound = 2.0 * model.mean_delay_at(model.max_frequencies());
+  const auto cont = minimize_power_with_delay_bound(model, bound);
+  const auto disc = minimize_power_with_delay_bound_discrete(model, bound, 7);
+  ASSERT_TRUE(cont.feasible && disc.feasible);
+  EXPECT_GE(disc.power, cont.power - 0.5);  // small solver slack
+}
+
+TEST(DiscreteDvfs, ConvergesToContinuousWithFinerGrids) {
+  const auto model = make_enterprise_model(0.6);
+  const double bound = 2.0 * model.mean_delay_at(model.max_frequencies());
+  const auto cont = minimize_power_with_delay_bound(model, bound);
+  double prev_gap = 1e18;
+  for (int levels : {3, 9, 33}) {
+    const auto disc = minimize_power_with_delay_bound_discrete(model, bound, levels);
+    ASSERT_TRUE(disc.feasible) << levels;
+    const double gap = disc.power - cont.power;
+    EXPECT_LE(gap, prev_gap + 0.5) << levels;
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 2.0);  // 33 levels: nearly continuous
+}
+
+TEST(DiscreteDvfs, DelayVariantRespectsBudget) {
+  const auto model = make_enterprise_model(0.6);
+  const double p_max = model.power_at(model.max_frequencies());
+  const double p_min = model.power_at(model.min_stable_frequencies());
+  const double budget = 0.5 * (p_max + p_min);
+  const auto r = minimize_delay_with_power_budget_discrete(model, budget, 9);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.power, budget);
+  const auto cont = minimize_delay_with_power_budget(model, budget);
+  EXPECT_GE(r.mean_delay, cont.mean_delay - 1e-6);
+}
+
+TEST(DiscreteDvfs, InfeasibleReported) {
+  const auto model = make_enterprise_model(0.6);
+  const double d_fast = model.mean_delay_at(model.max_frequencies());
+  const auto r =
+      minimize_power_with_delay_bound_discrete(model, 0.5 * d_fast, 5);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_THROW(minimize_power_with_delay_bound_discrete(model, 1.0, 1), Error);
+}
+
+TEST(TcoOptimizer, FeasibleAndMeetsSlas) {
+  const auto model = make_enterprise_model(0.8);
+  TcoOptions opts;
+  opts.max_servers_per_tier = 4;
+  const auto r = minimize_total_cost_of_ownership(model, opts);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.total_cost, r.capex + r.opex, 1e-9);
+  for (std::size_t k = 0; k < model.num_classes(); ++k) {
+    const auto& sla = model.classes()[k].sla;
+    if (sla.mean_bounded()) {
+      EXPECT_LE(r.evaluation.net.e2e_delay[k], sla.max_mean_e2e_delay);
+    }
+  }
+}
+
+TEST(TcoOptimizer, FreeEnergyReducesToMinimumHardware) {
+  // With energy free, TCO = capex, and the solution matches P-C's server
+  // counts (it never pays to buy hardware you don't need).
+  const auto model = make_enterprise_model(0.8);
+  TcoOptions opts;
+  opts.energy_price_per_kwh = 0.0;
+  opts.max_servers_per_tier = 4;
+  const auto tco = minimize_total_cost_of_ownership(model, opts);
+  CostOptOptions copts;
+  copts.max_servers_per_tier = 4;
+  const auto pc = minimize_cost_for_slas(model, copts);
+  ASSERT_TRUE(tco.feasible && pc.feasible);
+  EXPECT_NEAR(tco.capex, pc.total_cost, 1e-9);
+}
+
+TEST(TcoOptimizer, ExpensiveEnergyBuysMoreIronAndClocksLower) {
+  // The crossover the TCO program exists for: as energy gets expensive,
+  // the optimum adds servers and/or lowers frequencies, trading capex for
+  // opex. Verify total power at the optimum is non-increasing in price.
+  const auto model = make_enterprise_model(0.8);
+  double prev_power = 1e18;
+  double prev_capex = 0.0;
+  for (double price : {0.0, 0.2, 1.0, 5.0}) {
+    TcoOptions opts;
+    opts.energy_price_per_kwh = price;
+    opts.max_servers_per_tier = 4;
+    opts.levels = 5;
+    const auto r = minimize_total_cost_of_ownership(model, opts);
+    ASSERT_TRUE(r.feasible) << price;
+    EXPECT_LE(r.power, prev_power + 1e-6) << price;
+    EXPECT_GE(r.capex, prev_capex - 1e-9) << price;  // never buys less iron
+    prev_power = r.power;
+    prev_capex = r.capex;
+  }
+}
+
+TEST(TcoOptimizer, InfeasibleSlaReported) {
+  auto base = make_enterprise_model(0.8);
+  std::vector<WorkloadClass> classes = base.classes();
+  classes[0].sla.max_mean_e2e_delay = 1e-6;
+  const ClusterModel impossible(base.tiers(), classes);
+  TcoOptions opts;
+  opts.max_servers_per_tier = 3;
+  const auto r = minimize_total_cost_of_ownership(impossible, opts);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(TcoOptimizer, Validation) {
+  const auto model = make_enterprise_model(0.6);
+  TcoOptions bad;
+  bad.energy_price_per_kwh = -1.0;
+  EXPECT_THROW(minimize_total_cost_of_ownership(model, bad), Error);
+  bad = TcoOptions{};
+  bad.levels = 1;
+  EXPECT_THROW(minimize_total_cost_of_ownership(model, bad), Error);
+}
+
+TEST(Optimizers, InputValidation) {
+  const auto model = make_enterprise_model(0.6);
+  EXPECT_THROW(minimize_delay_with_power_budget(model, -1.0), Error);
+  EXPECT_THROW(minimize_power_with_delay_bound(model, 0.0), Error);
+  EXPECT_THROW(minimize_power_with_class_delay_bounds(model, {1.0}), Error);
+  CostOptOptions bad;
+  bad.max_servers_per_tier = 0;
+  EXPECT_THROW(minimize_cost_for_slas(model, bad), Error);
+}
+
+}  // namespace
+}  // namespace cpm::core

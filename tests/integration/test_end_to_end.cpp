@@ -1,0 +1,105 @@
+// Integration tests: full pipelines crossing every module boundary —
+// model -> optimiser -> operating point -> simulator -> agreement checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpm/core/cpm.hpp"
+
+namespace cpm {
+namespace {
+
+using core::make_enterprise_model;
+
+TEST(EndToEnd, OptimizedOperatingPointSurvivesSimulation) {
+  // P-E picks a frequency vector analytically; the simulator must confirm
+  // the delay bound approximately holds at that operating point.
+  const auto model = make_enterprise_model(0.6);
+  const double d_fast = model.mean_delay_at(model.max_frequencies());
+  const double bound = 2.0 * d_fast;
+  const auto opt = core::minimize_power_with_delay_bound(model, bound);
+  ASSERT_TRUE(opt.feasible);
+
+  sim::ReplicationOptions rep;
+  rep.replications = 6;
+  const auto cfg = model.to_sim_config(opt.frequencies, 30.0, 330.0, 5);
+  const auto sim = sim::replicate(cfg, rep);
+  // Allow decomposition + statistical slack on top of the bound.
+  EXPECT_LT(sim.mean_e2e_delay.mean, bound * 1.25);
+  // Simulated power should track the analytic optimum closely.
+  EXPECT_NEAR(sim.cluster_avg_power.mean, opt.power, 0.03 * opt.power);
+}
+
+TEST(EndToEnd, CostOptimizedClusterMeetsSlasInSimulation) {
+  const auto model = make_enterprise_model(0.8);
+  const auto r = core::minimize_cost_for_slas(model);
+  ASSERT_TRUE(r.feasible);
+  const auto sized = model.with_servers(r.servers);
+  sim::ReplicationOptions rep;
+  rep.replications = 6;
+  const auto cfg = sized.to_sim_config(sized.max_frequencies(), 30.0, 330.0, 6);
+  const auto sim = sim::replicate(cfg, rep);
+  for (std::size_t k = 0; k < model.num_classes(); ++k) {
+    const auto& sla = model.classes()[k].sla;
+    if (!sla.mean_bounded()) continue;
+    EXPECT_LT(sim.classes[k].mean_e2e_delay.mean, 1.3 * sla.max_mean_e2e_delay)
+        << model.classes()[k].name;
+  }
+}
+
+TEST(EndToEnd, PriorityProtectsGoldUnderOverload) {
+  // Load sweep: as bronze traffic grows, gold delay under priority stays
+  // near its light-load value while bronze delay explodes — in both the
+  // analytic model and the simulator.
+  const auto light = make_enterprise_model(0.4);
+  const auto heavy = make_enterprise_model(0.9);
+  const auto f = light.max_frequencies();
+
+  const auto ev_light = light.evaluate(f);
+  const auto ev_heavy = heavy.evaluate(f);
+  ASSERT_TRUE(ev_light.stable && ev_heavy.stable);
+  const double gold_growth = ev_heavy.net.e2e_delay[0] / ev_light.net.e2e_delay[0];
+  const double bronze_growth = ev_heavy.net.e2e_delay[2] / ev_light.net.e2e_delay[2];
+  EXPECT_LT(gold_growth, 2.5);
+  EXPECT_GT(bronze_growth, 3.0);
+
+  sim::ReplicationOptions rep;
+  rep.replications = 4;
+  const auto sim_heavy =
+      sim::replicate(heavy.to_sim_config(f, 50.0, 450.0, 7), rep);
+  EXPECT_GT(sim_heavy.classes[2].mean_e2e_delay.mean,
+            2.0 * sim_heavy.classes[0].mean_e2e_delay.mean);
+}
+
+TEST(EndToEnd, AnalyticAndSimulatedEnergyAgreeAcrossFrequencies) {
+  const auto model = make_enterprise_model(0.5);
+  sim::ReplicationOptions rep;
+  rep.replications = 4;
+  for (double f_db : {0.8, 1.0}) {
+    std::vector<double> f = model.max_frequencies();
+    f[2] = f_db;
+    const auto ev = model.evaluate(f);
+    ASSERT_TRUE(ev.stable);
+    const auto sim = sim::replicate(model.to_sim_config(f, 30.0, 330.0, 8), rep);
+    EXPECT_NEAR(sim.cluster_avg_power.mean, ev.energy.cluster_avg_power,
+                0.03 * ev.energy.cluster_avg_power)
+        << "f_db " << f_db;
+  }
+}
+
+TEST(EndToEnd, DvfsTradeoffVisibleInSimulation) {
+  // Slowing the cluster down must cut simulated power and raise simulated
+  // delay — the physical trade-off the optimisers navigate.
+  const auto model = make_enterprise_model(0.5);
+  sim::ReplicationOptions rep;
+  rep.replications = 4;
+  const auto fast =
+      sim::replicate(model.to_sim_config(model.max_frequencies(), 30.0, 330.0, 9), rep);
+  std::vector<double> slow_f(3, 0.75);
+  const auto slow = sim::replicate(model.to_sim_config(slow_f, 30.0, 330.0, 9), rep);
+  EXPECT_LT(slow.cluster_avg_power.mean, fast.cluster_avg_power.mean);
+  EXPECT_GT(slow.mean_e2e_delay.mean, fast.mean_e2e_delay.mean);
+}
+
+}  // namespace
+}  // namespace cpm

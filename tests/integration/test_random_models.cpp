@@ -1,0 +1,145 @@
+// Randomised property tests: for randomly generated (but stable, moderate
+// load) cluster models, the analytic evaluator and the simulator must
+// agree within a documented envelope, and structural invariants must hold.
+// Seeds are fixed, so failures are reproducible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpm/core/cpm.hpp"
+
+namespace cpm {
+namespace {
+
+using core::ClusterModel;
+using core::Demand;
+using core::Tier;
+using core::WorkloadClass;
+using queueing::Discipline;
+
+/// Generates a random stable model: 1-3 tiers, 1-3 classes, mixed
+/// disciplines, mixed service laws, bottleneck utilisation <= cap.
+ClusterModel random_model(Rng& rng, double util_cap) {
+  const auto n_tiers = static_cast<std::size_t>(1 + rng.below(3));
+  const auto n_classes = static_cast<std::size_t>(1 + rng.below(3));
+
+  const Discipline disciplines[] = {
+      Discipline::kFcfs, Discipline::kNonPreemptivePriority,
+      Discipline::kPreemptiveResume, Discipline::kProcessorSharing};
+
+  std::vector<Tier> tiers;
+  for (std::size_t i = 0; i < n_tiers; ++i) {
+    Tier t;
+    t.name = "t" + std::to_string(i);
+    t.servers = static_cast<int>(1 + rng.below(3));
+    t.discipline = disciplines[rng.below(4)];
+    t.server_cost = rng.uniform(0.5, 3.0);
+    tiers.push_back(std::move(t));
+  }
+
+  std::vector<WorkloadClass> classes;
+  for (std::size_t k = 0; k < n_classes; ++k) {
+    WorkloadClass c;
+    c.name = "c" + std::to_string(k);
+    c.rate = rng.uniform(0.5, 3.0);
+    for (std::size_t i = 0; i < n_tiers; ++i) {
+      const double mean = rng.uniform(0.01, 0.05);
+      const double scv = rng.uniform(0.5, 2.0);
+      c.route.push_back(Demand{static_cast<int>(i),
+                               Distribution::from_mean_scv(mean, scv)});
+    }
+    classes.push_back(std::move(c));
+  }
+
+  ClusterModel model(std::move(tiers), std::move(classes));
+  // Rescale total demand so the busiest tier sits at util_cap.
+  const auto utils = queueing::network_utilizations(
+      model.network_stations(), model.network_classes(model.max_frequencies()));
+  double peak = 0.0;
+  for (double u : utils) peak = std::max(peak, u);
+  return model.with_rate_scale(util_cap / peak);
+}
+
+class RandomModelAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomModelAgreement, SimTracksAnalyticDelayAndPower) {
+  Rng rng(GetParam());
+  const ClusterModel model = random_model(rng, 0.65);
+  const auto f = model.max_frequencies();
+  const auto ev = model.evaluate(f);
+  ASSERT_TRUE(ev.stable);
+
+  sim::ReplicationOptions rep;
+  rep.replications = 5;
+  const auto sr = sim::replicate(model.to_sim_config(f, 50.0, 650.0, GetParam()), rep);
+
+  // Power and utilisation: near-exact.
+  EXPECT_NEAR(sr.cluster_avg_power.mean, ev.energy.cluster_avg_power,
+              0.02 * ev.energy.cluster_avg_power);
+  for (std::size_t s = 0; s < model.num_tiers(); ++s)
+    EXPECT_NEAR(sr.station_utilization[s].mean, ev.net.station_utilization[s],
+                0.03 + 0.05 * ev.net.station_utilization[s]);
+
+  // Delays: within the decomposition envelope at moderate load.
+  for (std::size_t k = 0; k < model.num_classes(); ++k) {
+    EXPECT_NEAR(sr.classes[k].mean_e2e_delay.mean, ev.net.e2e_delay[k],
+                0.20 * ev.net.e2e_delay[k] + 0.003)
+        << "class " << k;
+  }
+}
+
+TEST_P(RandomModelAgreement, StructuralInvariants) {
+  Rng rng(GetParam() + 1000);
+  const ClusterModel model = random_model(rng, 0.8);
+  const auto f = model.max_frequencies();
+  const auto ev = model.evaluate(f);
+  ASSERT_TRUE(ev.stable);
+
+  // Little-law style: every delay positive and at least the raw service.
+  for (std::size_t k = 0; k < model.num_classes(); ++k) {
+    double raw_service = 0.0;
+    for (const auto& d : model.classes()[k].route) raw_service += d.base_service.mean();
+    EXPECT_GE(ev.net.e2e_delay[k], raw_service - 1e-12);
+    EXPECT_TRUE(std::isfinite(ev.net.e2e_delay[k]));
+    // Percentile above the mean for stochastic delays.
+    const double p95 = queueing::percentile_e2e_delay(ev.net, k, 0.95);
+    EXPECT_GE(p95, ev.net.e2e_delay[k] * 0.999);
+  }
+
+  // Energy conservation: proportional attribution recovers cluster power.
+  double recovered = 0.0;
+  for (std::size_t k = 0; k < model.num_classes(); ++k)
+    recovered += model.classes()[k].rate * ev.energy.per_request_energy[k];
+  EXPECT_NEAR(recovered, ev.energy.cluster_avg_power,
+              1e-6 * ev.energy.cluster_avg_power);
+
+  // Slowing any single tier can only save power and cost delay.
+  for (std::size_t i = 0; i < model.num_tiers(); ++i) {
+    std::vector<double> slower = f;
+    slower[i] = std::max(model.min_frequencies()[i], f[i] * 0.9);
+    if (slower[i] == f[i]) continue;
+    const auto ev2 = model.evaluate(slower);
+    if (!ev2.stable) continue;  // slowed into saturation: fine
+    EXPECT_LE(ev2.energy.cluster_avg_power,
+              ev.energy.cluster_avg_power + 1e-9);
+    EXPECT_GE(ev2.net.mean_e2e_delay, ev.net.mean_e2e_delay - 1e-9);
+  }
+}
+
+TEST_P(RandomModelAgreement, SimulatorDeterminismAcrossRebuilds) {
+  Rng rng(GetParam() + 2000);
+  const ClusterModel model = random_model(rng, 0.7);
+  const auto cfg = model.to_sim_config(model.max_frequencies(), 10.0, 210.0, 99);
+  const auto a = sim::simulate(cfg);
+  const auto b = sim::simulate(cfg);
+  EXPECT_EQ(a.events_fired, b.events_fired);
+  EXPECT_DOUBLE_EQ(a.mean_e2e_delay, b.mean_e2e_delay);
+  EXPECT_DOUBLE_EQ(a.cluster_avg_power, b.cluster_avg_power);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelAgreement,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u));
+
+}  // namespace
+}  // namespace cpm

@@ -1,0 +1,72 @@
+#include "cpm/opt/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::opt {
+namespace {
+
+TEST(SimulatedAnnealing, FindsQuadraticMinimumApproximately) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 0.5) * (x[1] + 0.5);
+  };
+  const Box box{{-5.0, -5.0}, {5.0, 5.0}};
+  const auto r = simulated_annealing(f, box, {4.0, 4.0});
+  EXPECT_NEAR(r.x[0], 1.0, 0.15);
+  EXPECT_NEAR(r.x[1], -0.5, 0.15);
+}
+
+TEST(SimulatedAnnealing, EscapesLocalMinimumOfMultimodal) {
+  // Rastrigin-like 1D: global minimum at 0.
+  auto f = [](const std::vector<double>& x) {
+    return x[0] * x[0] - 3.0 * std::cos(2.0 * 3.14159265 * x[0]) + 3.0;
+  };
+  const Box box{{-5.0}, {5.0}};
+  AnnealingOptions opts;
+  opts.iterations = 60000;
+  const auto r = simulated_annealing(f, box, {4.5}, opts);
+  EXPECT_NEAR(r.x[0], 0.0, 0.2);
+}
+
+TEST(SimulatedAnnealing, DeterministicForFixedSeed) {
+  auto f = [](const std::vector<double>& x) { return std::abs(x[0]); };
+  const Box box{{-1.0}, {1.0}};
+  const auto a = simulated_annealing(f, box, {0.9});
+  const auto b = simulated_annealing(f, box, {0.9});
+  EXPECT_DOUBLE_EQ(a.x[0], b.x[0]);
+}
+
+TEST(SimulatedAnnealing, StaysInBox) {
+  auto f = [](const std::vector<double>& x) { return -x[0]; };  // push to hi
+  const Box box{{0.0}, {2.0}};
+  const auto r = simulated_annealing(f, box, {1.0});
+  EXPECT_LE(r.x[0], 2.0);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-6);
+}
+
+TEST(SimulatedAnnealing, InfiniteRegionsAreAvoided) {
+  auto f = [](const std::vector<double>& x) {
+    if (x[0] > 0.5) return std::numeric_limits<double>::infinity();
+    return -x[0];
+  };
+  const Box box{{0.0}, {1.0}};
+  const auto r = simulated_annealing(f, box, {0.2});
+  EXPECT_LE(r.x[0], 0.5);
+  EXPECT_NEAR(r.x[0], 0.5, 0.05);
+}
+
+TEST(SimulatedAnnealing, Validation) {
+  auto f = [](const std::vector<double>& x) { return x[0]; };
+  const Box box{{0.0}, {1.0}};
+  EXPECT_THROW(simulated_annealing(f, box, {0.0, 0.0}), Error);
+  AnnealingOptions opts;
+  opts.iterations = 0;
+  EXPECT_THROW(simulated_annealing(f, box, {0.0}, opts), Error);
+}
+
+}  // namespace
+}  // namespace cpm::opt

@@ -1,0 +1,126 @@
+#include "cpm/opt/constrained.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::opt {
+namespace {
+
+TEST(AugmentedLagrangian, LinearObjectiveCircleConstraint) {
+  // min x + y s.t. x^2 + y^2 <= 2 -> optimum (-1, -1), value -2.
+  auto f = [](const std::vector<double>& x) { return x[0] + x[1]; };
+  std::vector<Objective> cons = {[](const std::vector<double>& x) {
+    return x[0] * x[0] + x[1] * x[1] - 2.0;
+  }};
+  const Box box{{-3.0, -3.0}, {3.0, 3.0}};
+  const auto r = augmented_lagrangian(f, cons, box, box.center());
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.x[0], -1.0, 2e-3);
+  EXPECT_NEAR(r.x[1], -1.0, 2e-3);
+  EXPECT_NEAR(r.value, -2.0, 5e-3);
+}
+
+TEST(AugmentedLagrangian, InactiveConstraintReducesToUnconstrained) {
+  // Constraint never binds; result equals plain minimisation.
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 0.5) * (x[0] - 0.5);
+  };
+  std::vector<Objective> cons = {
+      [](const std::vector<double>& x) { return x[0] - 100.0; }};
+  const Box box{{-1.0}, {1.0}};
+  const auto r = augmented_lagrangian(f, cons, box, {0.0});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.x[0], 0.5, 1e-4);
+  EXPECT_NEAR(r.multipliers[0], 0.0, 1e-9);  // inactive -> zero multiplier
+}
+
+TEST(AugmentedLagrangian, BindingConstraintHasPositiveMultiplier) {
+  // min (x-3)^2 s.t. x <= 1: optimum x=1, multiplier = 2*(3-1) = 4.
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  std::vector<Objective> cons = {
+      [](const std::vector<double>& x) { return x[0] - 1.0; }};
+  const Box box{{-5.0}, {5.0}};
+  const auto r = augmented_lagrangian(f, cons, box, {0.0});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.x[0], 1.0, 2e-3);
+  EXPECT_GT(r.multipliers[0], 1.0);
+}
+
+TEST(AugmentedLagrangian, MultipleConstraints) {
+  // min -(x + 2y) s.t. x + y <= 1, x <= 0.5, in [0,1]^2.
+  // Optimum: y as large as possible -> x=0, y=1.
+  auto f = [](const std::vector<double>& x) { return -(x[0] + 2.0 * x[1]); };
+  std::vector<Objective> cons = {
+      [](const std::vector<double>& x) { return x[0] + x[1] - 1.0; },
+      [](const std::vector<double>& x) { return x[0] - 0.5; }};
+  const Box box{{0.0, 0.0}, {1.0, 1.0}};
+  const auto r = augmented_lagrangian(f, cons, box, {0.5, 0.5});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.x[0], 0.0, 5e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 5e-3);
+}
+
+TEST(AugmentedLagrangian, InfeasibleProblemReportsInfeasible) {
+  // x <= -1 cannot hold in [0, 1].
+  auto f = [](const std::vector<double>& x) { return x[0]; };
+  std::vector<Objective> cons = {
+      [](const std::vector<double>& x) { return x[0] + 1.0; }};
+  const Box box{{0.0}, {1.0}};
+  const auto r = augmented_lagrangian(f, cons, box, {0.5});
+  EXPECT_FALSE(r.feasible);
+  EXPECT_GT(r.max_violation, 0.9);
+}
+
+TEST(AugmentedLagrangian, HandlesInfiniteObjectiveRegions) {
+  // Objective infinite for x > 0.8 (like unstable queueing points);
+  // constraint forces x >= 0.5 (expressed as 0.5 - x <= 0).
+  auto f = [](const std::vector<double>& x) {
+    if (x[0] > 0.8) return std::numeric_limits<double>::infinity();
+    return (x[0] - 0.2) * (x[0] - 0.2);
+  };
+  std::vector<Objective> cons = {
+      [](const std::vector<double>& x) { return 0.5 - x[0]; }};
+  const Box box{{0.0}, {1.0}};
+  const auto r = augmented_lagrangian(f, cons, box, {0.6});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.x[0], 0.5, 5e-3);
+}
+
+TEST(AugmentedLagrangian, NoConstraintsIsPlainMinimisation) {
+  auto f = [](const std::vector<double>& x) {
+    return std::pow(x[0] - 0.25, 2.0) + std::pow(x[1] - 0.75, 2.0);
+  };
+  const Box box{{0.0, 0.0}, {1.0, 1.0}};
+  const auto r = augmented_lagrangian(f, {}, box, box.center());
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.x[0], 0.25, 1e-4);
+  EXPECT_NEAR(r.x[1], 0.75, 1e-4);
+}
+
+TEST(AugmentedLagrangian, ProjectedGradientInnerSolver) {
+  auto f = [](const std::vector<double>& x) { return x[0] + x[1]; };
+  std::vector<Objective> cons = {[](const std::vector<double>& x) {
+    return x[0] * x[0] + x[1] * x[1] - 2.0;
+  }};
+  const Box box{{-3.0, -3.0}, {3.0, 3.0}};
+  AugLagOptions opts;
+  opts.inner = InnerSolver::kProjectedGradient;
+  const auto r = augmented_lagrangian(f, cons, box, {0.0, 0.0}, opts);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.value, -2.0, 2e-2);
+}
+
+TEST(AugmentedLagrangian, DimensionMismatchThrows) {
+  auto f = [](const std::vector<double>& x) { return x[0]; };
+  const Box box{{0.0}, {1.0}};
+  EXPECT_THROW(augmented_lagrangian(f, {}, box, {0.0, 0.0}), Error);
+}
+
+}  // namespace
+}  // namespace cpm::opt

@@ -1,0 +1,86 @@
+#include "cpm/opt/gradient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::opt {
+namespace {
+
+TEST(NumericalGradient, MatchesAnalyticOnQuadratic) {
+  auto f = [](const std::vector<double>& x) {
+    return 2.0 * x[0] * x[0] + 3.0 * x[1] * x[1] + x[0] * x[1];
+  };
+  const Box box{{-10.0, -10.0}, {10.0, 10.0}};
+  const std::vector<double> x = {1.0, -2.0};
+  const auto g = numerical_gradient(f, box, x);
+  // df/dx0 = 4 x0 + x1 = 2; df/dx1 = 6 x1 + x0 = -11.
+  EXPECT_NEAR(g[0], 2.0, 1e-4);
+  EXPECT_NEAR(g[1], -11.0, 1e-4);
+}
+
+TEST(NumericalGradient, OneSidedAtBoundary) {
+  auto f = [](const std::vector<double>& x) { return x[0] * x[0]; };
+  const Box box{{0.0}, {1.0}};
+  const auto g = numerical_gradient(f, box, {0.0});
+  EXPECT_NEAR(g[0], 0.0, 1e-4);  // derivative at 0 via forward difference
+  const auto g1 = numerical_gradient(f, box, {1.0});
+  EXPECT_NEAR(g1[0], 2.0, 1e-4);
+}
+
+TEST(ProjectedGradient, SolvesQuadraticBowl) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 0.3) * (x[0] - 0.3) + 2.0 * (x[1] - 0.6) * (x[1] - 0.6);
+  };
+  const Box box{{0.0, 0.0}, {1.0, 1.0}};
+  const auto r = projected_gradient(f, box, {0.9, 0.1});
+  EXPECT_NEAR(r.x[0], 0.3, 1e-5);
+  EXPECT_NEAR(r.x[1], 0.6, 1e-5);
+}
+
+TEST(ProjectedGradient, ActiveBoxConstraint) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 2.0) * (x[0] - 2.0) + (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const Box box{{0.0, 0.0}, {1.0, 1.0}};
+  const auto r = projected_gradient(f, box, {0.5, 0.5});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-6);
+}
+
+TEST(ProjectedGradient, IllConditionedQuadratic) {
+  auto f = [](const std::vector<double>& x) {
+    return x[0] * x[0] + 100.0 * x[1] * x[1];
+  };
+  const Box box{{-5.0, -5.0}, {5.0, 5.0}};
+  GradientOptions opts;
+  opts.max_iter = 3000;
+  const auto r = projected_gradient(f, box, {3.0, 3.0}, opts);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-4);
+}
+
+TEST(ProjectedGradient, ConvergedFlagAtInteriorOptimum) {
+  auto f = [](const std::vector<double>& x) { return x[0] * x[0]; };
+  const Box box{{-1.0}, {1.0}};
+  const auto r = projected_gradient(f, box, {0.7});
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(ProjectedGradient, StartOutsideBoxIsProjectedFirst) {
+  auto f = [](const std::vector<double>& x) { return (x[0] - 0.5) * (x[0] - 0.5); };
+  const Box box{{0.0}, {1.0}};
+  const auto r = projected_gradient(f, box, {42.0});
+  EXPECT_NEAR(r.x[0], 0.5, 1e-5);
+}
+
+TEST(ProjectedGradient, DimensionMismatchThrows) {
+  auto f = [](const std::vector<double>& x) { return x[0]; };
+  const Box box{{0.0}, {1.0}};
+  EXPECT_THROW(projected_gradient(f, box, {0.0, 0.0}), Error);
+}
+
+}  // namespace
+}  // namespace cpm::opt

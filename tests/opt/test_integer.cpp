@@ -1,0 +1,128 @@
+#include "cpm/opt/integer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::opt {
+namespace {
+
+// Feasible iff weighted capacity meets a demand — a monotone oracle with a
+// known optimal solution computable by hand.
+IntegerProblem capacity_problem(double demand) {
+  IntegerProblem p;
+  p.n_min = {1, 1, 1};
+  p.n_max = {10, 10, 10};
+  p.cost = {1.0, 1.5, 2.5};
+  p.feasible = [demand](const std::vector<int>& n) {
+    // capacities 1.0, 2.0, 4.0 per unit
+    return 1.0 * n[0] + 2.0 * n[1] + 4.0 * n[2] >= demand;
+  };
+  return p;
+}
+
+long brute_force_cost(const IntegerProblem& p, std::vector<int>* best_n = nullptr) {
+  double best = 1e18;
+  std::vector<int> n(3), arg(3);
+  for (n[0] = p.n_min[0]; n[0] <= p.n_max[0]; ++n[0])
+    for (n[1] = p.n_min[1]; n[1] <= p.n_max[1]; ++n[1])
+      for (n[2] = p.n_min[2]; n[2] <= p.n_max[2]; ++n[2])
+        if (p.feasible(n) && p.total_cost(n) < best) {
+          best = p.total_cost(n);
+          arg = n;
+        }
+  if (best_n) *best_n = arg;
+  return static_cast<long>(best * 1000 + 0.5);
+}
+
+TEST(MinimizeMonotoneCost, MatchesBruteForce) {
+  for (double demand : {3.0, 7.0, 12.0, 20.0, 33.0}) {
+    const auto p = capacity_problem(demand);
+    const auto r = minimize_monotone_cost(p);
+    ASSERT_TRUE(r.feasible) << "demand " << demand;
+    EXPECT_EQ(static_cast<long>(r.cost * 1000 + 0.5), brute_force_cost(p))
+        << "demand " << demand;
+    EXPECT_TRUE(p.feasible(r.n));
+  }
+}
+
+TEST(MinimizeMonotoneCost, InfeasibleWhenDemandTooHigh) {
+  const auto p = capacity_problem(1000.0);
+  const auto r = minimize_monotone_cost(p);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(MinimizeMonotoneCost, TrivialWhenMinIsFeasible) {
+  const auto p = capacity_problem(1.0);  // n_min already feasible
+  const auto r = minimize_monotone_cost(p);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.n, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(GreedyDescend, FeasibleAndMinimal) {
+  const auto p = capacity_problem(12.0);
+  const auto r = greedy_descend(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(p.feasible(r.n));
+  // Minimality: no single unit can be removed.
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (r.n[i] <= p.n_min[i]) continue;
+    std::vector<int> fewer = r.n;
+    fewer[i] -= 1;
+    EXPECT_FALSE(p.feasible(fewer)) << "dim " << i;
+  }
+}
+
+TEST(GreedyDescend, NeverBeatsExact) {
+  for (double demand : {5.0, 11.0, 17.0, 29.0}) {
+    const auto p = capacity_problem(demand);
+    const auto greedy = greedy_descend(p);
+    const auto exact = minimize_monotone_cost(p);
+    EXPECT_GE(greedy.cost, exact.cost - 1e-9) << "demand " << demand;
+  }
+}
+
+TEST(MinimizeMonotoneCost, ExploresFewerNodesThanBruteForce) {
+  const auto p = capacity_problem(20.0);
+  const auto r = minimize_monotone_cost(p);
+  EXPECT_LT(r.nodes_explored, 1000);  // brute force would be 1331 feasibility checks
+}
+
+TEST(IntegerProblemValidation, CatchesBadInput) {
+  IntegerProblem p;
+  EXPECT_THROW(p.validate(), Error);  // empty
+  p = capacity_problem(3.0);
+  p.cost[1] = -1.0;
+  EXPECT_THROW(p.validate(), Error);
+  p = capacity_problem(3.0);
+  p.n_min[0] = 5;
+  p.n_max[0] = 4;
+  EXPECT_THROW(p.validate(), Error);
+  p = capacity_problem(3.0);
+  p.feasible = nullptr;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(IntegerProblem, TotalCost) {
+  const auto p = capacity_problem(3.0);
+  EXPECT_DOUBLE_EQ(p.total_cost({1, 2, 3}), 1.0 + 3.0 + 7.5);
+}
+
+// Property sweep: exact solver optimal across a demand grid.
+class DemandSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DemandSweep, ExactMatchesBruteForce) {
+  const auto p = capacity_problem(GetParam());
+  const auto r = minimize_monotone_cost(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(static_cast<long>(r.cost * 1000 + 0.5), brute_force_cost(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Demands, DemandSweep,
+                         ::testing::Values(4.0, 9.0, 15.0, 22.0, 27.0, 40.0, 55.0,
+                                           68.0));
+
+}  // namespace
+}  // namespace cpm::opt

@@ -1,0 +1,134 @@
+#include "cpm/opt/nelder_mead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::opt {
+namespace {
+
+Box unit_box(std::size_t n, double lo = -10.0, double hi = 10.0) {
+  return Box{std::vector<double>(n, lo), std::vector<double>(n, hi)};
+}
+
+TEST(NelderMead, QuadraticBowl2D) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 2.0) * (x[1] + 2.0);
+  };
+  const auto r = nelder_mead(f, unit_box(2), {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -2.0, 1e-4);
+  EXPECT_NEAR(r.value, 0.0, 1e-7);
+}
+
+TEST(NelderMead, Rosenbrock2D) {
+  auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opts;
+  opts.max_iter = 10000;
+  const auto r = nelder_mead(f, unit_box(2, -5.0, 5.0), {-1.2, 1.0}, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, RespectsBoxWhenMinimumOutside) {
+  // Unconstrained minimum at (5, 5); box caps at 2.
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 5.0) * (x[0] - 5.0) + (x[1] - 5.0) * (x[1] - 5.0);
+  };
+  const Box box{{0.0, 0.0}, {2.0, 2.0}};
+  const auto r = nelder_mead(f, box, {1.0, 1.0});
+  EXPECT_NEAR(r.x[0], 2.0, 1e-4);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-4);
+}
+
+TEST(NelderMead, HandlesInfiniteRegions) {
+  // Infinite objective outside a disc: the solver must still find the
+  // minimum inside (mimics unstable queueing allocations).
+  auto f = [](const std::vector<double>& x) {
+    const double r2 = x[0] * x[0] + x[1] * x[1];
+    if (r2 > 4.0) return std::numeric_limits<double>::infinity();
+    return (x[0] - 0.5) * (x[0] - 0.5) + x[1] * x[1];
+  };
+  const auto r = nelder_mead(f, unit_box(2, -3.0, 3.0), {-1.0, 1.0});
+  EXPECT_NEAR(r.x[0], 0.5, 1e-3);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-3);
+}
+
+TEST(NelderMead, StartAtUpperBoundStepsInward) {
+  auto f = [](const std::vector<double>& x) { return x[0] * x[0]; };
+  const Box box{{-1.0}, {1.0}};
+  const auto r = nelder_mead(f, box, {1.0});  // start at the edge
+  EXPECT_NEAR(r.x[0], 0.0, 1e-4);
+}
+
+TEST(NelderMead, OneDimensional) {
+  auto f = [](const std::vector<double>& x) { return std::cosh(x[0] - 0.7); };
+  const auto r = nelder_mead(f, unit_box(1), {5.0});
+  EXPECT_NEAR(r.x[0], 0.7, 1e-4);
+}
+
+TEST(NelderMead, FiveDimensionalSphere) {
+  auto f = [](const std::vector<double>& x) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i);
+      s += d * d;
+    }
+    return s;
+  };
+  NelderMeadOptions opts;
+  opts.max_iter = 20000;
+  const auto r = nelder_mead(f, unit_box(5), std::vector<double>(5, 5.0), opts);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(r.x[i], static_cast<double>(i), 1e-3);
+}
+
+TEST(NelderMead, DimensionMismatchThrows) {
+  auto f = [](const std::vector<double>& x) { return x[0]; };
+  EXPECT_THROW(nelder_mead(f, unit_box(2), {0.0}), Error);
+}
+
+TEST(MultistartNelderMead, EscapesLocalMinima) {
+  // Double well: local minimum at x=-1 (value 0.5), global at x=2 (value 0).
+  auto f = [](const std::vector<double>& x) {
+    const double a = (x[0] + 1.0) * (x[0] + 1.0) + 0.5;
+    const double b = (x[0] - 2.0) * (x[0] - 2.0);
+    return std::min(a, b);
+  };
+  const auto r = multistart_nelder_mead(f, unit_box(1, -4.0, 4.0), 12);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-3);
+  EXPECT_NEAR(r.value, 0.0, 1e-6);
+}
+
+TEST(MultistartNelderMead, DeterministicForFixedSeed) {
+  auto f = [](const std::vector<double>& x) {
+    return std::sin(3.0 * x[0]) + 0.1 * x[0] * x[0];
+  };
+  const auto a = multistart_nelder_mead(f, unit_box(1, -5.0, 5.0), 6, 99);
+  const auto b = multistart_nelder_mead(f, unit_box(1, -5.0, 5.0), 6, 99);
+  EXPECT_DOUBLE_EQ(a.x[0], b.x[0]);
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+}
+
+TEST(BoxType, ValidationAndProjection) {
+  Box bad{{1.0}, {0.0}};
+  EXPECT_THROW(bad.validate(), Error);
+  Box box{{0.0, -1.0}, {1.0, 1.0}};
+  const auto p = box.project({2.0, -3.0});
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], -1.0);
+  const auto c = box.center();
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+  EXPECT_DOUBLE_EQ(c[1], 0.0);
+}
+
+}  // namespace
+}  // namespace cpm::opt

@@ -1,0 +1,102 @@
+#include "cpm/queueing/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpm/common/error.hpp"
+#include "cpm/opt/constrained.hpp"
+
+namespace cpm::queueing {
+namespace {
+
+TEST(Kleinrock, SymmetricCaseSplitsEvenly) {
+  // Equal flows, equal costs: every station gets the same capacity.
+  const auto r = kleinrock_assignment({1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, 6.0);
+  ASSERT_TRUE(r.feasible);
+  for (double mu : r.mu) EXPECT_NEAR(mu, 2.0, 1e-12);
+  // Delay: each station 1/(2-1) = 1.
+  EXPECT_NEAR(r.mean_delay, 1.0, 1e-12);
+}
+
+TEST(Kleinrock, BudgetExactlyConsumed) {
+  const std::vector<double> lambda = {0.5, 2.0, 1.0};
+  const std::vector<double> cost = {1.0, 2.0, 0.5};
+  const double budget = 9.0;
+  const auto r = kleinrock_assignment(lambda, cost, budget);
+  ASSERT_TRUE(r.feasible);
+  double spent = 0.0;
+  for (std::size_t i = 0; i < lambda.size(); ++i) spent += cost[i] * r.mu[i];
+  EXPECT_NEAR(spent, budget, 1e-9);
+  for (std::size_t i = 0; i < lambda.size(); ++i) EXPECT_GT(r.mu[i], lambda[i]);
+}
+
+TEST(Kleinrock, SquareRootRuleHolds)
+{
+  // The slack allocated to station i, scaled by sqrt(c_i / lambda_i),
+  // must be constant across stations.
+  const std::vector<double> lambda = {0.3, 1.2, 0.7};
+  const std::vector<double> cost = {2.0, 1.0, 3.0};
+  const auto r = kleinrock_assignment(lambda, cost, 12.0);
+  ASSERT_TRUE(r.feasible);
+  const double k0 = (r.mu[0] - lambda[0]) * std::sqrt(cost[0] / lambda[0]);
+  for (std::size_t i = 1; i < lambda.size(); ++i) {
+    const double ki = (r.mu[i] - lambda[i]) * std::sqrt(cost[i] / lambda[i]);
+    EXPECT_NEAR(ki, k0, 1e-9);
+  }
+}
+
+TEST(Kleinrock, MatchesNumericalConstrainedSolver) {
+  // The closed form must agree with the generic augmented-Lagrangian
+  // solver on the same program — the cross-check anchoring cpm::opt.
+  const std::vector<double> lambda = {0.5, 1.5};
+  const std::vector<double> cost = {1.0, 2.0};
+  const double budget = 8.0;
+  const auto exact = kleinrock_assignment(lambda, cost, budget);
+  ASSERT_TRUE(exact.feasible);
+
+  const double total = lambda[0] + lambda[1];
+  auto delay = [&](const std::vector<double>& mu) {
+    double t = 0.0;
+    for (std::size_t i = 0; i < mu.size(); ++i) {
+      if (mu[i] <= lambda[i]) return 1e18;
+      t += lambda[i] / (mu[i] - lambda[i]);
+    }
+    return t / total;
+  };
+  std::vector<opt::Objective> cons = {[&](const std::vector<double>& mu) {
+    return cost[0] * mu[0] + cost[1] * mu[1] - budget;
+  }};
+  const opt::Box box{{lambda[0] + 1e-6, lambda[1] + 1e-6}, {10.0, 10.0}};
+  const auto numeric = opt::augmented_lagrangian(delay, cons, box, box.center());
+  ASSERT_TRUE(numeric.feasible);
+  EXPECT_NEAR(numeric.x[0], exact.mu[0], 1e-2);
+  EXPECT_NEAR(numeric.x[1], exact.mu[1], 1e-2);
+  EXPECT_NEAR(numeric.value, exact.mean_delay, 1e-3);
+}
+
+TEST(Kleinrock, MoreBudgetLessDelay) {
+  double prev = 1e18;
+  for (double budget : {4.0, 6.0, 10.0, 20.0}) {
+    const auto r = kleinrock_assignment({1.0, 1.0}, {1.0, 1.0}, budget);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LT(r.mean_delay, prev);
+    prev = r.mean_delay;
+  }
+}
+
+TEST(Kleinrock, InfeasibleBudget) {
+  // Budget below sum c_i lambda_i cannot stabilise the stations.
+  const auto r = kleinrock_assignment({1.0, 1.0}, {1.0, 1.0}, 2.0);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Kleinrock, Validation) {
+  EXPECT_THROW(kleinrock_assignment({}, {}, 1.0), Error);
+  EXPECT_THROW(kleinrock_assignment({1.0}, {1.0, 2.0}, 5.0), Error);
+  EXPECT_THROW(kleinrock_assignment({0.0}, {1.0}, 5.0), Error);
+  EXPECT_THROW(kleinrock_assignment({1.0}, {-1.0}, 5.0), Error);
+}
+
+}  // namespace
+}  // namespace cpm::queueing

@@ -1,0 +1,95 @@
+#include "cpm/queueing/gg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpm/common/error.hpp"
+#include "cpm/common/rng.hpp"
+#include "cpm/queueing/erlang.hpp"
+#include "cpm/sim/simulator.hpp"
+#include "cpm/workload/trace.hpp"
+
+namespace cpm::queueing {
+namespace {
+
+TEST(Ggc, ExactForMMc) {
+  // Ca^2 = Cs^2 = 1 reproduces M/M/c exactly.
+  for (int c : {1, 3}) {
+    const double lambda = 0.7 * c;
+    const auto gg = ggc(c, lambda, 1.0, Distribution::exponential(1.0));
+    EXPECT_NEAR(gg.mean_wait, mmc_mean_wait(c, lambda, 1.0), 1e-12) << c;
+  }
+}
+
+TEST(Gg1, MatchesPollaczekKhinchineForMG1) {
+  // Ca^2 = 1 with general service: (1 + Cs^2)/2 * Wq(M/M/1) is exactly
+  // the P-K wait for M/G/1.
+  for (double scv : {0.25, 0.5, 2.0, 4.0}) {
+    const auto service = Distribution::from_mean_scv(1.0, scv);
+    const auto approx = gg1(0.8, 1.0, service);
+    const auto exact = mg1(0.8, service);
+    EXPECT_NEAR(approx.mean_wait, exact.mean_wait, 1e-9) << scv;
+  }
+}
+
+TEST(Gg1, DeterministicArrivalsAndServiceWaitNothing) {
+  // D/D/1 below saturation has zero wait; the approximation agrees.
+  const auto m = gg1(0.8, 0.0, Distribution::deterministic(1.0));
+  EXPECT_NEAR(m.mean_wait, 0.0, 1e-12);
+}
+
+TEST(Gg1, BurstierArrivalsWaitLonger) {
+  double prev = 0.0;
+  for (double ca2 : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const auto m = gg1(0.8, ca2, Distribution::exponential(1.0));
+    EXPECT_GT(m.mean_wait, prev);
+    prev = m.mean_wait;
+  }
+}
+
+TEST(Gg1, ErlangRenewalArrivalsMatchSimulatedReplay) {
+  // Build an Erlang-3 renewal arrival trace (Ca^2 = 1/3), replay it
+  // through the simulator, and compare with the Allen-Cunneen estimate.
+  Rng rng(55);
+  const auto gaps = Distribution::erlang(3, 1.25);  // rate 0.8
+  std::vector<double> times;
+  double t = 0.0;
+  while (t < 6000.0) {
+    t += gaps.sample(rng);
+    times.push_back(t);
+  }
+  const auto trace = workload::ArrivalTrace::from_timestamps(std::move(times));
+  EXPECT_NEAR(trace.stats().interarrival_scv, 1.0 / 3.0, 0.03);
+
+  sim::SimConfig cfg;
+  cfg.stations = {sim::SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0, 1.0}};
+  sim::SimClass cls;
+  cls.name = "renewal";
+  cls.route = {Visit{0, Distribution::exponential(1.0)}};
+  cls.arrival_times = trace.timestamps();
+  cfg.classes = {cls};
+  cfg.warmup_time = 300.0;
+  cfg.end_time = 6000.0;
+  cfg.seed = 5;
+  const auto r = sim::simulate(cfg);
+
+  const auto approx = gg1(0.8, 1.0 / 3.0, Distribution::exponential(1.0));
+  // Two-moment approximations for E/M/1 are good to ~10%.
+  EXPECT_NEAR(r.classes[0].mean_e2e_delay, approx.mean_sojourn,
+              0.12 * approx.mean_sojourn);
+  // And clearly better than the Poisson assumption, which overestimates.
+  const auto poisson = mm1(0.8, 1.0);
+  EXPECT_LT(std::abs(r.classes[0].mean_e2e_delay - approx.mean_sojourn),
+            std::abs(r.classes[0].mean_e2e_delay - poisson.mean_sojourn));
+}
+
+TEST(Ggc, Validation) {
+  EXPECT_THROW(ggc(0, 1.0, 1.0, Distribution::exponential(1.0)), Error);
+  EXPECT_THROW(ggc(1, -1.0, 1.0, Distribution::exponential(1.0)), Error);
+  EXPECT_THROW(ggc(1, 1.0, -1.0, Distribution::exponential(1.0)), Error);
+  EXPECT_THROW(ggc(1, 1.0, 1.0, Distribution::exponential(1.0)), Error);  // rho=1
+}
+
+}  // namespace
+}  // namespace cpm::queueing

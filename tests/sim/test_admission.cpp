@@ -1,0 +1,107 @@
+// Simulator admission-control (finite buffer) tests against M/M/c/K.
+#include <gtest/gtest.h>
+
+#include "cpm/common/error.hpp"
+#include "cpm/queueing/mmck.hpp"
+#include "cpm/sim/replication.hpp"
+#include "cpm/sim/simulator.hpp"
+
+namespace cpm::sim {
+namespace {
+
+using queueing::Discipline;
+using queueing::Visit;
+
+SimConfig finite_queue(int servers, int capacity, double lambda,
+                       double end_time = 4000.0) {
+  SimConfig cfg;
+  SimStation st{"s", servers, Discipline::kFcfs, 0.0, 0.0, 1.0};
+  st.capacity = capacity;
+  cfg.stations = {st};
+  cfg.classes = {
+      SimClass{"c", lambda, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.warmup_time = 200.0;
+  cfg.end_time = end_time;
+  cfg.seed = 97;
+  return cfg;
+}
+
+TEST(Admission, BlockingMatchesMmckTheory) {
+  // M/M/1/4 at rho 0.9.
+  const auto r = simulate(finite_queue(1, 4, 0.9));
+  const auto theory = queueing::mmck(1, 4, 0.9, 1.0);
+  const double measured =
+      static_cast<double>(r.classes[0].blocked) /
+      static_cast<double>(r.classes[0].blocked + r.classes[0].completed);
+  EXPECT_NEAR(measured, theory.blocking_probability,
+              0.20 * theory.blocking_probability);
+  EXPECT_NEAR(r.classes[0].mean_e2e_delay, theory.mean_sojourn,
+              0.10 * theory.mean_sojourn);
+}
+
+TEST(Admission, LossSystemMatchesErlangB) {
+  // M/M/2/2 (no waiting room) at offered load a = 1.5.
+  const auto r = simulate(finite_queue(2, 2, 1.5));
+  const auto theory = queueing::mmck(2, 2, 1.5, 1.0);
+  EXPECT_NEAR(r.classes[0].blocking_probability(), theory.blocking_probability,
+              0.15 * theory.blocking_probability);
+  // Accepted jobs never wait.
+  EXPECT_NEAR(r.classes[0].mean_e2e_delay, 1.0, 0.05);
+}
+
+TEST(Admission, OverloadedFiniteQueueStaysStable) {
+  // rho = 2: an infinite queue would blow up, a finite one saturates.
+  const auto r = simulate(finite_queue(1, 8, 2.0, 2200.0));
+  const auto theory = queueing::mmck(1, 8, 2.0, 1.0);
+  EXPECT_NEAR(r.classes[0].blocking_probability(), theory.blocking_probability,
+              0.05);
+  EXPECT_NEAR(r.stations[0].utilization, theory.utilization, 0.03);
+  EXPECT_NEAR(r.classes[0].mean_e2e_delay, theory.mean_sojourn,
+              0.10 * theory.mean_sojourn);
+}
+
+TEST(Admission, UnboundedStationNeverBlocks) {
+  const auto r = simulate(finite_queue(1, -1, 0.8));
+  EXPECT_EQ(r.classes[0].blocked, 0u);
+  EXPECT_DOUBLE_EQ(r.classes[0].blocking_probability(), 0.0);
+}
+
+TEST(Admission, CapacityBelowServersRejected) {
+  auto cfg = finite_queue(2, 1, 0.5);
+  EXPECT_THROW(simulate(cfg), Error);
+}
+
+TEST(Admission, MidRouteBlockingAbortsRequest) {
+  // Two stations; the second is a loss system. Blocked requests never
+  // complete, so completions < arrivals at station 1.
+  SimConfig cfg;
+  cfg.stations = {SimStation{"a", 1, Discipline::kFcfs, 0.0, 0.0, 1.0},
+                  SimStation{"b", 1, Discipline::kFcfs, 0.0, 0.0, 1.0}};
+  cfg.stations[1].capacity = 1;
+  cfg.classes = {SimClass{"c",
+                          0.7,
+                          {Visit{0, Distribution::exponential(0.5)},
+                           Visit{1, Distribution::exponential(1.0)}}}};
+  cfg.warmup_time = 100.0;
+  cfg.end_time = 3100.0;
+  cfg.seed = 5;
+  const auto r = simulate(cfg);
+  EXPECT_GT(r.classes[0].blocked, 100u);
+  EXPECT_GT(r.classes[0].completed, 500u);
+  // Offered to station b ~ Poisson(0.7) (Burke); blocking ~ M/M/1/1:
+  // rho/(1+rho) = 0.41.
+  EXPECT_NEAR(r.classes[0].blocking_probability(), 0.7 / 1.7, 0.06);
+}
+
+TEST(Admission, ReplicationAggregatesBlocking) {
+  ReplicationOptions rep;
+  rep.replications = 4;
+  const auto agg = replicate(finite_queue(1, 3, 1.2, 1200.0), rep);
+  const auto theory = queueing::mmck(1, 3, 1.2, 1.0);
+  EXPECT_GT(agg.classes[0].total_blocked, 0u);
+  EXPECT_NEAR(agg.classes[0].blocking_probability.mean,
+              theory.blocking_probability, 0.15 * theory.blocking_probability);
+}
+
+}  // namespace
+}  // namespace cpm::sim

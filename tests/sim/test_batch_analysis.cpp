@@ -1,0 +1,93 @@
+#include "cpm/sim/batch_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cpm/common/error.hpp"
+#include "cpm/queueing/basic.hpp"
+#include "cpm/sim/replication.hpp"
+
+namespace cpm::sim {
+namespace {
+
+using queueing::Discipline;
+using queueing::Visit;
+
+SimConfig mm1(double rho, double end_time) {
+  SimConfig cfg;
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0, 1.0}};
+  cfg.classes = {SimClass{"c", rho, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.warmup_time = 200.0;
+  cfg.end_time = end_time;
+  cfg.seed = 123;
+  return cfg;
+}
+
+TEST(Lag1Autocorrelation, KnownSeries) {
+  EXPECT_DOUBLE_EQ(lag1_autocorrelation({1.0, 2.0}), 0.0);  // too short
+  // Strongly alternating series: near -1.
+  EXPECT_LT(lag1_autocorrelation({1, -1, 1, -1, 1, -1, 1, -1}), -0.8);
+  // A ramp: strongly positive.
+  EXPECT_GT(lag1_autocorrelation({1, 2, 3, 4, 5, 6, 7, 8}), 0.5);
+}
+
+TEST(Lag1Autocorrelation, IidNoiseNearZero) {
+  Rng rng(5);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.normal(0.0, 1.0);
+  EXPECT_NEAR(lag1_autocorrelation(xs), 0.0, 0.06);
+}
+
+TEST(BatchMeansAnalysis, CiCoversMm1Theory) {
+  const auto r = batch_means_analysis(mm1(0.7, 30200.0));
+  const double theory = queueing::mm1(0.7, 1.0).mean_sojourn;
+  ASSERT_EQ(r.classes.size(), 1u);
+  const auto& c = r.classes[0];
+  EXPECT_GE(c.batches, 20u);
+  EXPECT_NEAR(c.mean_e2e_delay.mean, theory, 0.08 * theory);
+  // The CI should be informative, and plausibly cover the truth.
+  EXPECT_LT(c.mean_e2e_delay.relative(), 0.15);
+  EXPECT_TRUE(c.batches_look_independent);
+}
+
+TEST(BatchMeansAnalysis, AgreesWithReplications) {
+  // Same total effort, two methods, compatible answers.
+  const auto single = batch_means_analysis(mm1(0.6, 20200.0));
+  ReplicationOptions rep;
+  rep.replications = 8;
+  const auto multi = replicate(mm1(0.6, 2700.0), rep);
+  EXPECT_NEAR(single.classes[0].mean_e2e_delay.mean,
+              multi.classes[0].mean_e2e_delay.mean,
+              0.1 * multi.classes[0].mean_e2e_delay.mean);
+}
+
+TEST(BatchMeansAnalysis, TinyBatchesFlaggedAsCorrelated) {
+  BatchAnalysisOptions opts;
+  opts.batch_size = 4;  // delays of adjacent jobs in a queue are correlated
+  const auto r = batch_means_analysis(mm1(0.85, 20200.0), opts);
+  EXPECT_FALSE(r.classes[0].batches_look_independent);
+  EXPECT_GT(r.classes[0].lag1_autocorrelation, 0.2);
+}
+
+TEST(BatchMeansAnalysis, TooShortRunThrows) {
+  BatchAnalysisOptions opts;
+  opts.batch_size = 100000;
+  EXPECT_THROW(batch_means_analysis(mm1(0.5, 1200.0), opts), Error);
+}
+
+TEST(BatchMeansAnalysis, CompletionsAreFreedAfterAnalysis) {
+  const auto r = batch_means_analysis(mm1(0.5, 5200.0));
+  EXPECT_TRUE(r.run.completions.empty());
+  EXPECT_GT(r.run.classes[0].completed, 1000u);
+}
+
+TEST(BatchMeansAnalysis, OptionValidation) {
+  BatchAnalysisOptions opts;
+  opts.batch_size = 1;
+  EXPECT_THROW(batch_means_analysis(mm1(0.5, 1000.0), opts), Error);
+  opts = BatchAnalysisOptions{};
+  opts.confidence = 1.0;
+  EXPECT_THROW(batch_means_analysis(mm1(0.5, 1000.0), opts), Error);
+}
+
+}  // namespace
+}  // namespace cpm::sim

@@ -1,0 +1,102 @@
+// Closed-class (interactive user) simulation vs MVA theory.
+#include <gtest/gtest.h>
+
+#include "cpm/common/error.hpp"
+#include "cpm/queueing/mva.hpp"
+#include "cpm/sim/simulator.hpp"
+
+namespace cpm::sim {
+namespace {
+
+using queueing::Discipline;
+using queueing::Visit;
+
+SimConfig interactive(int population, double think, double d_cpu, double d_disk,
+                      double end_time = 4000.0) {
+  SimConfig cfg;
+  cfg.stations = {SimStation{"cpu", 1, Discipline::kFcfs, 0.0, 0.0, 1.0},
+                  SimStation{"disk", 1, Discipline::kFcfs, 0.0, 0.0, 1.0}};
+  SimClass cls;
+  cls.name = "users";
+  cls.population = population;
+  cls.think_time = Distribution::exponential(think);
+  cls.route = {Visit{0, Distribution::exponential(d_cpu)},
+               Visit{1, Distribution::exponential(d_disk)}};
+  cfg.classes = {cls};
+  cfg.warmup_time = 400.0;
+  cfg.end_time = end_time;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(ClosedClasses, MatchesExactMvaAcrossPopulations) {
+  const std::vector<queueing::ClosedStation> stations = {
+      queueing::ClosedStation{"cpu", false, 1},
+      queueing::ClosedStation{"disk", false, 1}};
+  for (int n : {1, 4, 12}) {
+    const auto theory = queueing::exact_mva(stations, {0.2, 0.3}, n, 1.0);
+    const auto r = simulate(interactive(n, 1.0, 0.2, 0.3));
+    const double sim_x =
+        static_cast<double>(r.classes[0].completed) / r.measured_time;
+    EXPECT_NEAR(sim_x, theory.throughput[0], 0.06 * theory.throughput[0])
+        << "N=" << n;
+    EXPECT_NEAR(r.classes[0].mean_e2e_delay, theory.response_time[0],
+                0.08 * theory.response_time[0] + 0.01)
+        << "N=" << n;
+  }
+}
+
+TEST(ClosedClasses, ThroughputCappedByBottleneck) {
+  // Way past the knee the cpu (D = 0.4) is the cap: X <= 2.5.
+  const auto r = simulate(interactive(40, 0.5, 0.4, 0.1));
+  const double sim_x =
+      static_cast<double>(r.classes[0].completed) / r.measured_time;
+  EXPECT_NEAR(sim_x, 2.5, 0.1);
+  EXPECT_NEAR(r.stations[0].utilization, 1.0, 0.02);
+}
+
+TEST(ClosedClasses, PopulationConservedInFlight) {
+  // Completions can never outpace what N users could possibly generate:
+  // X <= N / (Z + sum demands).
+  const int n = 6;
+  const auto r = simulate(interactive(n, 2.0, 0.1, 0.1));
+  const double sim_x =
+      static_cast<double>(r.classes[0].completed) / r.measured_time;
+  EXPECT_LE(sim_x, n / (2.0 + 0.2) + 0.2);
+}
+
+TEST(ClosedClasses, MixedOpenAndClosedClassesCoexist) {
+  SimConfig cfg = interactive(5, 1.0, 0.2, 0.2, 3000.0);
+  SimClass open;
+  open.name = "batch";
+  open.rate = 0.5;
+  open.route = {Visit{0, Distribution::exponential(0.2)}};
+  cfg.classes.push_back(open);
+  const auto r = simulate(cfg);
+  EXPECT_GT(r.classes[0].completed, 500u);
+  EXPECT_GT(r.classes[1].completed, 500u);
+  // The open class loads only the cpu; both contribute to its utilisation.
+  EXPECT_GT(r.stations[0].utilization, 0.4);
+}
+
+TEST(ClosedClasses, BlockedUserRetriesAfterThink) {
+  // Tiny capacity: users bounce but the system keeps cycling (no leaks:
+  // completions keep accruing for the whole run).
+  SimConfig cfg = interactive(8, 0.5, 0.2, 0.2, 2000.0);
+  cfg.stations[0].capacity = 2;
+  const auto r = simulate(cfg);
+  EXPECT_GT(r.classes[0].blocked, 50u);
+  EXPECT_GT(r.classes[0].completed, 500u);
+}
+
+TEST(ClosedClasses, Validation) {
+  SimConfig cfg = interactive(3, 1.0, 0.2, 0.2);
+  cfg.classes[0].population = -1;
+  EXPECT_THROW(simulate(cfg), Error);
+  cfg = interactive(3, 1.0, 0.2, 0.2);
+  cfg.classes[0].schedule = workload::RateSchedule::constant(1.0);
+  EXPECT_THROW(simulate(cfg), Error);
+}
+
+}  // namespace
+}  // namespace cpm::sim

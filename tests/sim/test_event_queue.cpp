@@ -1,0 +1,88 @@
+#include "cpm/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpm/common/error.hpp"
+#include "cpm/common/rng.hpp"
+
+namespace cpm::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule(1.0, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RejectsSchedulingIntoThePast) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_next();
+  EXPECT_THROW(q.schedule(4.0, [] {}), Error);
+  EXPECT_NO_THROW(q.schedule(5.0, [] {}));  // same time is fine
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 10) q.schedule(q.now() + 1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int fired = 0;
+  for (double t : {1.0, 2.0, 3.0, 4.0, 5.0}) q.schedule(t, [&] { ++fired; });
+  const auto n = q.run_until(3.5);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.now(), 3.5);
+}
+
+TEST(EventQueue, HeapHandlesRandomOrder) {
+  EventQueue q;
+  Rng rng(3);
+  std::vector<double> times;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    times.push_back(t);
+    q.schedule(t, [] {});
+  }
+  double prev = -1.0;
+  while (!q.empty()) {
+    EXPECT_GE(q.next_time(), prev);
+    prev = q.next_time();
+    q.run_next();
+  }
+}
+
+TEST(EventQueue, EmptyQueueQueriesThrow) {
+  EventQueue q;
+  EXPECT_THROW(static_cast<void>(q.next_time()), Error);
+  EXPECT_THROW(q.run_next(), Error);
+}
+
+}  // namespace
+}  // namespace cpm::sim

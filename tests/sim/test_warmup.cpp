@@ -1,0 +1,134 @@
+#include "cpm/sim/warmup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cpm/common/error.hpp"
+#include "cpm/common/rng.hpp"
+
+namespace cpm::sim {
+namespace {
+
+using queueing::Discipline;
+using queueing::Visit;
+
+TEST(MserTruncation, StationarySeriesDeletesLittle) {
+  Rng rng(5);
+  std::vector<double> series;
+  for (int i = 0; i < 400; ++i) series.push_back(rng.normal(10.0, 1.0));
+  const std::size_t cut = mser_truncation(series);
+  EXPECT_LT(cut, 40u);  // < 10% of a stationary series
+}
+
+TEST(MserTruncation, DetectsDecayingTransient) {
+  // Strong initial bias decaying over the first ~100 batches.
+  Rng rng(6);
+  std::vector<double> series;
+  for (int i = 0; i < 400; ++i) {
+    const double bias = 20.0 * std::exp(-i / 30.0);
+    series.push_back(10.0 + bias + rng.normal(0.0, 1.0));
+  }
+  const std::size_t cut = mser_truncation(series);
+  EXPECT_GT(cut, 40u);   // removes the bulk of the transient
+  EXPECT_LE(cut, 200u);  // never more than half (the MSER cap)
+}
+
+TEST(MserTruncation, ShortSeriesDeletesNothing) {
+  EXPECT_EQ(mser_truncation({1.0, 2.0, 3.0}), 0u);
+  EXPECT_EQ(mser_truncation({}), 0u);
+}
+
+TEST(MserTruncation, CapAtHalf) {
+  // Monotone ramp: the best truncation under the cap is exactly half.
+  std::vector<double> ramp;
+  for (int i = 0; i < 100; ++i) ramp.push_back(static_cast<double>(i));
+  EXPECT_LE(mser_truncation(ramp), 50u);
+}
+
+TEST(MserTruncationRaw, BatchesThenTruncates) {
+  // 50 biased observations then 450 clean: raw truncation should be a
+  // multiple of the batch size and near the changepoint.
+  Rng rng(7);
+  std::vector<double> raw;
+  for (int i = 0; i < 500; ++i) {
+    const double bias = i < 50 ? 30.0 : 0.0;
+    raw.push_back(5.0 + bias + rng.normal(0.0, 0.5));
+  }
+  const std::size_t cut = mser_truncation_raw(raw, 5);
+  EXPECT_EQ(cut % 5, 0u);
+  EXPECT_GE(cut, 45u);   // at least the biased prefix goes
+  EXPECT_LE(cut, 150u);  // and not wildly more than it
+  EXPECT_THROW(mser_truncation_raw(raw, 0), Error);
+}
+
+TEST(SimulatorRecording, CompletionsRecordedInOrder) {
+  SimConfig cfg;
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0}};
+  cfg.classes = {SimClass{"c", 0.5, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.warmup_time = 0.0;
+  cfg.end_time = 500.0;
+  cfg.seed = 3;
+  cfg.record_completions = true;
+  const auto r = simulate(cfg);
+  ASSERT_EQ(r.completions.size(), r.classes[0].completed);
+  double prev = 0.0;
+  for (const auto& c : r.completions) {
+    EXPECT_GE(c.time, prev);
+    EXPECT_GT(c.e2e_delay, 0.0);
+    prev = c.time;
+  }
+}
+
+TEST(SimulatorRecording, OffByDefault) {
+  SimConfig cfg;
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0}};
+  cfg.classes = {SimClass{"c", 0.5, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.end_time = 100.0;
+  const auto r = simulate(cfg);
+  EXPECT_TRUE(r.completions.empty());
+}
+
+TEST(PilotWarmup, ProducesUsableEstimate) {
+  // A queue started empty at rho = 0.8: the pilot should suggest a
+  // strictly positive but modest warm-up.
+  SimConfig cfg;
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0}};
+  cfg.classes = {SimClass{"c", 0.8, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.end_time = 3000.0;
+  cfg.seed = 11;
+  const auto est = pilot_warmup(cfg);
+  EXPECT_GT(est.total_jobs, 1000u);
+  EXPECT_LT(est.warmup_time, cfg.end_time / 2.0);
+  EXPECT_EQ(est.deleted_jobs % 5, 0u);
+}
+
+TEST(PilotWarmup, ThrowsOnTinyPilot) {
+  SimConfig cfg;
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0}};
+  cfg.classes = {SimClass{"c", 0.1, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.end_time = 10.0;  // ~1 completion
+  EXPECT_THROW(pilot_warmup(cfg), Error);
+}
+
+TEST(PilotWarmup, WarmupImprovesAgreementWithTheory) {
+  // Using the estimated warm-up should not hurt the M/M/1 mean-delay
+  // estimate compared with no warm-up at all.
+  SimConfig cfg;
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0}};
+  cfg.classes = {SimClass{"c", 0.8, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.end_time = 10000.0;  // mean-delay estimates at rho=0.8 are noisy
+  cfg.seed = 13;
+  const auto est = pilot_warmup(cfg);
+
+  SimConfig with = cfg;
+  with.warmup_time = est.warmup_time;
+  with.end_time = cfg.end_time + est.warmup_time;
+  const auto r = simulate(with);
+  const double theory = 1.0 / (1.0 - 0.8);  // M/M/1 sojourn
+  EXPECT_NEAR(r.classes[0].mean_e2e_delay, theory, 0.20 * theory);
+}
+
+}  // namespace
+}  // namespace cpm::sim

@@ -1,0 +1,408 @@
+// cpmctl — command-line front end for the cpm library.
+//
+// Drives the paper's four capabilities against a cluster model described
+// in JSON (schema: src/core/include/cpm/core/model_io.hpp):
+//
+//   cpmctl example-model                         write a starter model JSON
+//   cpmctl describe       <model.json>           model summary
+//   cpmctl evaluate       <model.json> [--freq f1,f2,..] [--p95]
+//   cpmctl optimize-delay <model.json> --budget WATTS [--levels N]
+//   cpmctl optimize-power <model.json> --bound SECONDS [--per-class b1,b2,..]
+//                                      [--levels N]
+//   cpmctl size           <model.json> [--max-servers N] [--greedy]
+//   cpmctl simulate       <model.json> [--time T] [--warmup W|auto]
+//                                      [--reps N] [--seed S]
+//   cpmctl validate       <model.json> [--reps N]
+//
+// Exit status: 0 success, 1 usage error, 2 model/solver error.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cpm/core/cpm.hpp"
+#include "cpm/core/model_io.hpp"
+#include "cpm/sim/warmup.hpp"
+#include "cpm/workload/trace.hpp"
+
+namespace {
+
+using namespace cpm;
+
+[[noreturn]] void usage(const std::string& message = "") {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      "usage: cpmctl <command> [args]\n"
+      "  example-model                         print a starter model JSON\n"
+      "  describe       <model.json>\n"
+      "  evaluate       <model.json> [--freq f1,f2,..] [--p95]\n"
+      "  optimize-delay <model.json> --budget WATTS [--levels N]\n"
+      "  optimize-power <model.json> --bound SECS [--per-class b1,..] [--levels N]\n"
+      "  size           <model.json> [--max-servers N] [--greedy]\n"
+      "  simulate       <model.json> [--time T] [--warmup W|auto] [--reps N] [--seed S]\n"
+      "                 [--trace-class NAME --trace-file arrivals.csv]\n"
+      "  validate       <model.json> [--reps N]\n"
+      "  trace-stats    <arrivals.csv>\n";
+  std::exit(1);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<double> parse_csv_doubles(const std::string& text) {
+  std::vector<double> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+/// Tiny flag scanner: --name value pairs plus bare flags.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) tokens_.emplace_back(argv[i]);
+  }
+
+  [[nodiscard]] std::optional<std::string> value(const std::string& flag) const {
+    for (std::size_t i = 0; i + 1 < tokens_.size(); ++i)
+      if (tokens_[i] == flag) return tokens_[i + 1];
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool has(const std::string& flag) const {
+    for (const auto& t : tokens_)
+      if (t == flag) return true;
+    return false;
+  }
+
+  [[nodiscard]] double number(const std::string& flag, double fallback) const {
+    const auto v = value(flag);
+    return v ? std::stod(*v) : fallback;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+};
+
+core::ClusterModel load_model(const std::string& path) {
+  return core::model_from_json_text(read_file(path));
+}
+
+std::vector<double> frequencies_for(const core::ClusterModel& model,
+                                    const Args& args) {
+  const auto flag = args.value("--freq");
+  if (!flag) return model.max_frequencies();
+  auto f = parse_csv_doubles(*flag);
+  if (f.size() != model.num_tiers())
+    throw Error("--freq needs one value per tier (" +
+                std::to_string(model.num_tiers()) + ")");
+  return f;
+}
+
+void print_frequencies(const std::vector<double>& f) {
+  std::cout << "frequencies:";
+  for (double fi : f) std::cout << ' ' << format_double(fi, 3);
+  std::cout << '\n';
+}
+
+int cmd_example_model() {
+  const auto model = core::make_enterprise_model(0.6);
+  std::cout << core::model_to_json(model).dump(2) << '\n';
+  return 0;
+}
+
+int cmd_describe(const std::string& path) {
+  const auto model = load_model(path);
+  print_banner(std::cout, "tiers");
+  Table tiers({"tier", "servers", "discipline", "cost", "idle W", "busy W",
+               "alpha", "DVFS"});
+  for (const auto& t : model.tiers()) {
+    tiers.row()
+        .add(t.name)
+        .add(t.servers)
+        .add(queueing::discipline_name(t.discipline))
+        .add(t.server_cost, 2)
+        .add(t.power.idle_power(), 1)
+        .add(t.power.idle_power() + t.power.dynamic_power(t.power.dvfs().f_base), 1)
+        .add(t.power.alpha(), 1);
+    std::string dvfs_range = "[";
+    dvfs_range += format_double(t.power.dvfs().f_min, 2);
+    dvfs_range += ", ";
+    dvfs_range += format_double(t.power.dvfs().f_max, 2);
+    dvfs_range += "]";
+    tiers.add(dvfs_range);
+  }
+  tiers.print(std::cout);
+
+  print_banner(std::cout, "classes (priority order)");
+  Table classes({"class", "rate", "SLA mean delay", "route"});
+  for (const auto& c : model.classes()) {
+    std::string route;
+    for (const auto& d : c.route) {
+      if (!route.empty()) route += " -> ";
+      route += model.tiers()[static_cast<std::size_t>(d.tier)].name;
+    }
+    classes.row()
+        .add(c.name)
+        .add(c.rate, 3)
+        .add(c.sla.mean_bounded() ? format_double(c.sla.max_mean_e2e_delay, 3) : "-")
+        .add(route);
+  }
+  classes.print(std::cout);
+  return 0;
+}
+
+int cmd_evaluate(const std::string& path, const Args& args) {
+  const auto model = load_model(path);
+  const auto f = frequencies_for(model, args);
+  const auto ev = model.evaluate(f);
+  if (!ev.stable) {
+    std::cerr << "model is UNSTABLE at these frequencies\n";
+    return 2;
+  }
+  print_frequencies(f);
+  const bool p95 = args.has("--p95");
+  std::vector<std::string> headers = {"class", "E2E delay s", "energy/req J"};
+  if (p95) headers.insert(headers.begin() + 2, "p95 delay s");
+  Table t(std::move(headers));
+  for (std::size_t k = 0; k < model.num_classes(); ++k) {
+    t.row().add(model.classes()[k].name).add(ev.net.e2e_delay[k]);
+    if (p95) t.add(queueing::percentile_e2e_delay(ev.net, k, 0.95));
+    t.add(ev.energy.per_request_energy[k], 2);
+  }
+  t.print(std::cout);
+  std::cout << "mean E2E delay: " << format_double(ev.net.mean_e2e_delay)
+            << " s\ncluster power:  " << format_double(ev.energy.cluster_avg_power, 1)
+            << " W\n";
+  Table u({"tier", "utilization"});
+  for (std::size_t s = 0; s < model.num_tiers(); ++s)
+    u.row().add(model.tiers()[s].name).add(ev.net.station_utilization[s]);
+  u.print(std::cout);
+  return 0;
+}
+
+int cmd_optimize_delay(const std::string& path, const Args& args) {
+  const auto model = load_model(path);
+  const auto budget = args.value("--budget");
+  if (!budget) usage("optimize-delay requires --budget WATTS");
+  const double watts = std::stod(*budget);
+  const int levels = static_cast<int>(args.number("--levels", 0));
+  const auto r = levels > 0
+                     ? core::minimize_delay_with_power_budget_discrete(model, watts,
+                                                                       levels)
+                     : core::minimize_delay_with_power_budget(model, watts);
+  if (!r.feasible) {
+    std::cerr << "infeasible: no stable operating point fits " << watts << " W\n";
+    return 2;
+  }
+  print_frequencies(r.frequencies);
+  std::cout << "mean E2E delay: " << format_double(r.mean_delay) << " s\n"
+            << "cluster power:  " << format_double(r.power, 1) << " W (budget "
+            << format_double(watts, 1) << ")\n";
+  return 0;
+}
+
+int cmd_optimize_power(const std::string& path, const Args& args) {
+  const auto model = load_model(path);
+  const int levels = static_cast<int>(args.number("--levels", 0));
+  core::FrequencyOptResult r;
+  if (const auto per_class = args.value("--per-class")) {
+    auto bounds = parse_csv_doubles(*per_class);
+    if (bounds.size() != model.num_classes())
+      throw Error("--per-class needs one bound per class");
+    r = core::minimize_power_with_class_delay_bounds(model, bounds);
+  } else {
+    const auto bound = args.value("--bound");
+    if (!bound) usage("optimize-power requires --bound SECONDS (or --per-class)");
+    const double secs = std::stod(*bound);
+    r = levels > 0
+            ? core::minimize_power_with_delay_bound_discrete(model, secs, levels)
+            : core::minimize_power_with_delay_bound(model, secs);
+  }
+  if (!r.feasible) {
+    std::cerr << "infeasible: the delay bound cannot be met even at f_max\n";
+    return 2;
+  }
+  print_frequencies(r.frequencies);
+  std::cout << "cluster power:  " << format_double(r.power, 1) << " W\n"
+            << "mean E2E delay: " << format_double(r.mean_delay) << " s\n";
+  for (std::size_t k = 0; k < model.num_classes(); ++k)
+    std::cout << "  " << model.classes()[k].name << ": "
+              << format_double(r.evaluation.net.e2e_delay[k]) << " s\n";
+  return 0;
+}
+
+int cmd_size(const std::string& path, const Args& args) {
+  const auto model = load_model(path);
+  core::CostOptOptions opts;
+  opts.max_servers_per_tier = static_cast<int>(args.number("--max-servers", 24));
+  opts.greedy_only = args.has("--greedy");
+  const auto r = core::minimize_cost_for_slas(model, opts);
+  if (!r.feasible) {
+    std::cerr << "infeasible: SLAs unreachable with <= " << opts.max_servers_per_tier
+              << " servers per tier\n";
+    return 2;
+  }
+  Table t({"tier", "servers", "unit cost", "cost"});
+  for (std::size_t i = 0; i < model.num_tiers(); ++i) {
+    t.row()
+        .add(model.tiers()[i].name)
+        .add(r.servers[i])
+        .add(model.tiers()[i].server_cost, 2)
+        .add(model.tiers()[i].server_cost * r.servers[i], 2);
+  }
+  t.print(std::cout);
+  std::cout << "total cost: " << format_double(r.total_cost, 2) << "  ("
+            << r.nodes_explored << " feasibility probes)\n";
+  for (std::size_t k = 0; k < model.num_classes(); ++k) {
+    const auto& c = model.classes()[k];
+    std::cout << "  " << c.name << ": delay "
+              << format_double(r.evaluation.net.e2e_delay[k]) << " s"
+              << (c.sla.mean_bounded()
+                      ? " (SLA " + format_double(c.sla.max_mean_e2e_delay, 3) + ")"
+                      : "")
+              << '\n';
+  }
+  return 0;
+}
+
+int cmd_simulate(const std::string& path, const Args& args) {
+  const auto model = load_model(path);
+  const auto f = frequencies_for(model, args);
+  const double end_time = args.number("--time", 1000.0);
+  const auto seed = static_cast<std::uint64_t>(args.number("--seed", 20110516.0));
+  const int reps = static_cast<int>(args.number("--reps", 8));
+
+  const auto warmup_flag = args.value("--warmup");
+  double warmup = end_time * 0.1;
+  if (warmup_flag && *warmup_flag != "auto") warmup = std::stod(*warmup_flag);
+  if (warmup_flag && *warmup_flag == "auto") {
+    const auto pilot = model.to_sim_config(f, 0.0, end_time, seed);
+    const auto est = sim::pilot_warmup(pilot);
+    warmup = est.warmup_time;
+    std::cout << "MSER-5 pilot: warm-up " << format_double(warmup, 2) << " (deleted "
+              << est.deleted_jobs << "/" << est.total_jobs << " completions)\n";
+  }
+
+  sim::ReplicationOptions rep;
+  rep.replications = reps;
+  auto cfg = model.to_sim_config(f, warmup, warmup + end_time, seed);
+
+  // Optional exact trace replay for one class.
+  if (const auto trace_class = args.value("--trace-class")) {
+    const auto trace_file = args.value("--trace-file");
+    if (!trace_file) usage("--trace-class requires --trace-file");
+    const auto trace = workload::ArrivalTrace::parse_csv(read_file(*trace_file));
+    bool found = false;
+    for (auto& cls : cfg.classes) {
+      if (cls.name != *trace_class) continue;
+      cls.arrival_times = trace.timestamps();
+      cls.rate = 0.0;
+      found = true;
+    }
+    if (!found) throw Error("no class named '" + *trace_class + "'");
+    // A trace is one sample path: replications would all replay it
+    // identically on the arrival side, so run service-side variation only.
+    std::cout << "replaying " << trace.stats().count << " arrivals from "
+              << *trace_file << " for class " << *trace_class << '\n';
+  }
+
+  const auto r = sim::replicate(cfg, rep);
+
+  Table t({"class", "mean delay s", "+-CI", "p95 s", "energy J", "completed"});
+  for (std::size_t k = 0; k < model.num_classes(); ++k) {
+    t.row()
+        .add(model.classes()[k].name)
+        .add(r.classes[k].mean_e2e_delay.mean)
+        .add(r.classes[k].mean_e2e_delay.half_width)
+        .add(r.classes[k].p95_e2e_delay.mean)
+        .add(r.classes[k].mean_e2e_energy.mean, 2)
+        .add(static_cast<std::size_t>(r.classes[k].total_completed));
+  }
+  t.print(std::cout);
+  std::cout << "mean E2E delay: " << format_double(r.mean_e2e_delay.mean) << " +- "
+            << format_double(r.mean_e2e_delay.half_width) << " s\n"
+            << "cluster power:  " << format_double(r.cluster_avg_power.mean, 1)
+            << " +- " << format_double(r.cluster_avg_power.half_width, 1) << " W\n"
+            << "(" << reps << " replications, " << r.total_events << " events)\n";
+  return 0;
+}
+
+int cmd_validate(const std::string& path, const Args& args) {
+  const auto model = load_model(path);
+  core::SimSettings settings;
+  settings.replications = static_cast<int>(args.number("--reps", 8));
+  const auto report =
+      core::validate_model(model, model.max_frequencies(), settings);
+  Table t({"metric", "analytic", "simulated", "+-CI", "err %", "in CI"});
+  for (const auto& row : report.rows) {
+    t.row()
+        .add(row.metric)
+        .add(row.analytic)
+        .add(row.simulated)
+        .add(row.ci_half_width)
+        .add(row.error_pct, 2)
+        .add(row.within_ci ? "yes" : "no");
+  }
+  t.print(std::cout);
+  std::cout << "worst error: " << format_double(report.max_error_pct, 2) << "%\n";
+  return 0;
+}
+
+int cmd_trace_stats(const std::string& path) {
+  const auto trace = workload::ArrivalTrace::parse_csv(read_file(path));
+  const auto s = trace.stats();
+  Table t({"metric", "value"});
+  t.row().add("arrivals").add(s.count);
+  t.row().add("duration").add(s.duration);
+  t.row().add("mean rate /s").add(s.mean_rate);
+  t.row().add("interarrival SCV").add(s.interarrival_scv);
+  t.row().add("peak/mean (100 bins)").add(s.peak_to_mean);
+  t.print(std::cout);
+  if (s.interarrival_scv > 1.5)
+    std::cout << "note: SCV >> 1 - this trace is bursty; Poisson-based\n"
+                 "analytic results will be optimistic, prefer exact replay.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "example-model") return cmd_example_model();
+    if (cmd == "trace-stats") {
+      if (argc < 3) usage("trace-stats needs a CSV file");
+      return cmd_trace_stats(argv[2]);
+    }
+    if (argc < 3) usage("command '" + cmd + "' needs a model file");
+    const std::string path = argv[2];
+    const Args args(argc, argv, 3);
+    if (cmd == "describe") return cmd_describe(path);
+    if (cmd == "evaluate") return cmd_evaluate(path, args);
+    if (cmd == "optimize-delay") return cmd_optimize_delay(path, args);
+    if (cmd == "optimize-power") return cmd_optimize_power(path, args);
+    if (cmd == "size") return cmd_size(path, args);
+    if (cmd == "simulate") return cmd_simulate(path, args);
+    if (cmd == "validate") return cmd_validate(path, args);
+    usage("unknown command '" + cmd + "'");
+  } catch (const cpm::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

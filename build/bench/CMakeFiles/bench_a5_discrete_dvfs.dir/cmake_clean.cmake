@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_discrete_dvfs.dir/bench_a5_discrete_dvfs.cpp.o"
+  "CMakeFiles/bench_a5_discrete_dvfs.dir/bench_a5_discrete_dvfs.cpp.o.d"
+  "bench_a5_discrete_dvfs"
+  "bench_a5_discrete_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_discrete_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_tco.dir/bench_e10_tco.cpp.o"
+  "CMakeFiles/bench_e10_tco.dir/bench_e10_tco.cpp.o.d"
+  "bench_e10_tco"
+  "bench_e10_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

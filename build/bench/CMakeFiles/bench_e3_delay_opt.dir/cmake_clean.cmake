@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_delay_opt.dir/bench_e3_delay_opt.cpp.o"
+  "CMakeFiles/bench_e3_delay_opt.dir/bench_e3_delay_opt.cpp.o.d"
+  "bench_e3_delay_opt"
+  "bench_e3_delay_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_delay_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

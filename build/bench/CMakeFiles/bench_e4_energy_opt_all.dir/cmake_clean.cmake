@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_energy_opt_all.dir/bench_e4_energy_opt_all.cpp.o"
+  "CMakeFiles/bench_e4_energy_opt_all.dir/bench_e4_energy_opt_all.cpp.o.d"
+  "bench_e4_energy_opt_all"
+  "bench_e4_energy_opt_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_energy_opt_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

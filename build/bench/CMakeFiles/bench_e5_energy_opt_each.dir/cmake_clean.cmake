@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_energy_opt_each.dir/bench_e5_energy_opt_each.cpp.o"
+  "CMakeFiles/bench_e5_energy_opt_each.dir/bench_e5_energy_opt_each.cpp.o.d"
+  "bench_e5_energy_opt_each"
+  "bench_e5_energy_opt_each.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_energy_opt_each.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_cost_min.dir/bench_e6_cost_min.cpp.o"
+  "CMakeFiles/bench_e6_cost_min.dir/bench_e6_cost_min.cpp.o.d"
+  "bench_e6_cost_min"
+  "bench_e6_cost_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_cost_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

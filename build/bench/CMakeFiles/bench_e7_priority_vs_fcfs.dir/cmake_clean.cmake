@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_priority_vs_fcfs.dir/bench_e7_priority_vs_fcfs.cpp.o"
+  "CMakeFiles/bench_e7_priority_vs_fcfs.dir/bench_e7_priority_vs_fcfs.cpp.o.d"
+  "bench_e7_priority_vs_fcfs"
+  "bench_e7_priority_vs_fcfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_priority_vs_fcfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

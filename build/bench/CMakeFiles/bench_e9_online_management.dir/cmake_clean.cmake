@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_online_management.dir/bench_e9_online_management.cpp.o"
+  "CMakeFiles/bench_e9_online_management.dir/bench_e9_online_management.cpp.o.d"
+  "bench_e9_online_management"
+  "bench_e9_online_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_online_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

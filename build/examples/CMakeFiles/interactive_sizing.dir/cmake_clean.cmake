@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_sizing.dir/interactive_sizing.cpp.o"
+  "CMakeFiles/interactive_sizing.dir/interactive_sizing.cpp.o.d"
+  "interactive_sizing"
+  "interactive_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

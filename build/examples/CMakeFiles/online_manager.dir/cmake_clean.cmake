@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_manager.dir/online_manager.cpp.o"
+  "CMakeFiles/online_manager.dir/online_manager.cpp.o.d"
+  "online_manager"
+  "online_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_pricing.dir/priority_pricing.cpp.o"
+  "CMakeFiles/priority_pricing.dir/priority_pricing.cpp.o.d"
+  "priority_pricing"
+  "priority_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_capacity_planning.dir/sla_capacity_planning.cpp.o"
+  "CMakeFiles/sla_capacity_planning.dir/sla_capacity_planning.cpp.o.d"
+  "sla_capacity_planning"
+  "sla_capacity_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_capacity_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

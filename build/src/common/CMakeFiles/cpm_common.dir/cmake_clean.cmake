@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpm_common.dir/src/distribution.cpp.o"
+  "CMakeFiles/cpm_common.dir/src/distribution.cpp.o.d"
+  "CMakeFiles/cpm_common.dir/src/json.cpp.o"
+  "CMakeFiles/cpm_common.dir/src/json.cpp.o.d"
+  "CMakeFiles/cpm_common.dir/src/math.cpp.o"
+  "CMakeFiles/cpm_common.dir/src/math.cpp.o.d"
+  "CMakeFiles/cpm_common.dir/src/rng.cpp.o"
+  "CMakeFiles/cpm_common.dir/src/rng.cpp.o.d"
+  "CMakeFiles/cpm_common.dir/src/stats.cpp.o"
+  "CMakeFiles/cpm_common.dir/src/stats.cpp.o.d"
+  "CMakeFiles/cpm_common.dir/src/table.cpp.o"
+  "CMakeFiles/cpm_common.dir/src/table.cpp.o.d"
+  "libcpm_common.a"
+  "libcpm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpm_core.dir/src/cluster_model.cpp.o"
+  "CMakeFiles/cpm_core.dir/src/cluster_model.cpp.o.d"
+  "CMakeFiles/cpm_core.dir/src/controller.cpp.o"
+  "CMakeFiles/cpm_core.dir/src/controller.cpp.o.d"
+  "CMakeFiles/cpm_core.dir/src/model_io.cpp.o"
+  "CMakeFiles/cpm_core.dir/src/model_io.cpp.o.d"
+  "CMakeFiles/cpm_core.dir/src/optimizers.cpp.o"
+  "CMakeFiles/cpm_core.dir/src/optimizers.cpp.o.d"
+  "CMakeFiles/cpm_core.dir/src/validation.cpp.o"
+  "CMakeFiles/cpm_core.dir/src/validation.cpp.o.d"
+  "libcpm_core.a"
+  "libcpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/src/annealing.cpp" "src/opt/CMakeFiles/cpm_opt.dir/src/annealing.cpp.o" "gcc" "src/opt/CMakeFiles/cpm_opt.dir/src/annealing.cpp.o.d"
+  "/root/repo/src/opt/src/constrained.cpp" "src/opt/CMakeFiles/cpm_opt.dir/src/constrained.cpp.o" "gcc" "src/opt/CMakeFiles/cpm_opt.dir/src/constrained.cpp.o.d"
+  "/root/repo/src/opt/src/gradient.cpp" "src/opt/CMakeFiles/cpm_opt.dir/src/gradient.cpp.o" "gcc" "src/opt/CMakeFiles/cpm_opt.dir/src/gradient.cpp.o.d"
+  "/root/repo/src/opt/src/integer.cpp" "src/opt/CMakeFiles/cpm_opt.dir/src/integer.cpp.o" "gcc" "src/opt/CMakeFiles/cpm_opt.dir/src/integer.cpp.o.d"
+  "/root/repo/src/opt/src/nelder_mead.cpp" "src/opt/CMakeFiles/cpm_opt.dir/src/nelder_mead.cpp.o" "gcc" "src/opt/CMakeFiles/cpm_opt.dir/src/nelder_mead.cpp.o.d"
+  "/root/repo/src/opt/src/scalar.cpp" "src/opt/CMakeFiles/cpm_opt.dir/src/scalar.cpp.o" "gcc" "src/opt/CMakeFiles/cpm_opt.dir/src/scalar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpm_opt.dir/src/annealing.cpp.o"
+  "CMakeFiles/cpm_opt.dir/src/annealing.cpp.o.d"
+  "CMakeFiles/cpm_opt.dir/src/constrained.cpp.o"
+  "CMakeFiles/cpm_opt.dir/src/constrained.cpp.o.d"
+  "CMakeFiles/cpm_opt.dir/src/gradient.cpp.o"
+  "CMakeFiles/cpm_opt.dir/src/gradient.cpp.o.d"
+  "CMakeFiles/cpm_opt.dir/src/integer.cpp.o"
+  "CMakeFiles/cpm_opt.dir/src/integer.cpp.o.d"
+  "CMakeFiles/cpm_opt.dir/src/nelder_mead.cpp.o"
+  "CMakeFiles/cpm_opt.dir/src/nelder_mead.cpp.o.d"
+  "CMakeFiles/cpm_opt.dir/src/scalar.cpp.o"
+  "CMakeFiles/cpm_opt.dir/src/scalar.cpp.o.d"
+  "libcpm_opt.a"
+  "libcpm_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpm_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

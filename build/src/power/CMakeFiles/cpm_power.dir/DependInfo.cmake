@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/src/energy.cpp" "src/power/CMakeFiles/cpm_power.dir/src/energy.cpp.o" "gcc" "src/power/CMakeFiles/cpm_power.dir/src/energy.cpp.o.d"
+  "/root/repo/src/power/src/server_power.cpp" "src/power/CMakeFiles/cpm_power.dir/src/server_power.cpp.o" "gcc" "src/power/CMakeFiles/cpm_power.dir/src/server_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cpm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/cpm_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

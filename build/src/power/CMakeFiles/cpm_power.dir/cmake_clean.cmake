@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpm_power.dir/src/energy.cpp.o"
+  "CMakeFiles/cpm_power.dir/src/energy.cpp.o.d"
+  "CMakeFiles/cpm_power.dir/src/server_power.cpp.o"
+  "CMakeFiles/cpm_power.dir/src/server_power.cpp.o.d"
+  "libcpm_power.a"
+  "libcpm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/src/basic.cpp" "src/queueing/CMakeFiles/cpm_queueing.dir/src/basic.cpp.o" "gcc" "src/queueing/CMakeFiles/cpm_queueing.dir/src/basic.cpp.o.d"
+  "/root/repo/src/queueing/src/capacity.cpp" "src/queueing/CMakeFiles/cpm_queueing.dir/src/capacity.cpp.o" "gcc" "src/queueing/CMakeFiles/cpm_queueing.dir/src/capacity.cpp.o.d"
+  "/root/repo/src/queueing/src/erlang.cpp" "src/queueing/CMakeFiles/cpm_queueing.dir/src/erlang.cpp.o" "gcc" "src/queueing/CMakeFiles/cpm_queueing.dir/src/erlang.cpp.o.d"
+  "/root/repo/src/queueing/src/gg.cpp" "src/queueing/CMakeFiles/cpm_queueing.dir/src/gg.cpp.o" "gcc" "src/queueing/CMakeFiles/cpm_queueing.dir/src/gg.cpp.o.d"
+  "/root/repo/src/queueing/src/mmck.cpp" "src/queueing/CMakeFiles/cpm_queueing.dir/src/mmck.cpp.o" "gcc" "src/queueing/CMakeFiles/cpm_queueing.dir/src/mmck.cpp.o.d"
+  "/root/repo/src/queueing/src/mva.cpp" "src/queueing/CMakeFiles/cpm_queueing.dir/src/mva.cpp.o" "gcc" "src/queueing/CMakeFiles/cpm_queueing.dir/src/mva.cpp.o.d"
+  "/root/repo/src/queueing/src/network.cpp" "src/queueing/CMakeFiles/cpm_queueing.dir/src/network.cpp.o" "gcc" "src/queueing/CMakeFiles/cpm_queueing.dir/src/network.cpp.o.d"
+  "/root/repo/src/queueing/src/priority.cpp" "src/queueing/CMakeFiles/cpm_queueing.dir/src/priority.cpp.o" "gcc" "src/queueing/CMakeFiles/cpm_queueing.dir/src/priority.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

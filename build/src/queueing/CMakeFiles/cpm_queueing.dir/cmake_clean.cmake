@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpm_queueing.dir/src/basic.cpp.o"
+  "CMakeFiles/cpm_queueing.dir/src/basic.cpp.o.d"
+  "CMakeFiles/cpm_queueing.dir/src/capacity.cpp.o"
+  "CMakeFiles/cpm_queueing.dir/src/capacity.cpp.o.d"
+  "CMakeFiles/cpm_queueing.dir/src/erlang.cpp.o"
+  "CMakeFiles/cpm_queueing.dir/src/erlang.cpp.o.d"
+  "CMakeFiles/cpm_queueing.dir/src/gg.cpp.o"
+  "CMakeFiles/cpm_queueing.dir/src/gg.cpp.o.d"
+  "CMakeFiles/cpm_queueing.dir/src/mmck.cpp.o"
+  "CMakeFiles/cpm_queueing.dir/src/mmck.cpp.o.d"
+  "CMakeFiles/cpm_queueing.dir/src/mva.cpp.o"
+  "CMakeFiles/cpm_queueing.dir/src/mva.cpp.o.d"
+  "CMakeFiles/cpm_queueing.dir/src/network.cpp.o"
+  "CMakeFiles/cpm_queueing.dir/src/network.cpp.o.d"
+  "CMakeFiles/cpm_queueing.dir/src/priority.cpp.o"
+  "CMakeFiles/cpm_queueing.dir/src/priority.cpp.o.d"
+  "libcpm_queueing.a"
+  "libcpm_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpm_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/batch_analysis.cpp" "src/sim/CMakeFiles/cpm_sim.dir/src/batch_analysis.cpp.o" "gcc" "src/sim/CMakeFiles/cpm_sim.dir/src/batch_analysis.cpp.o.d"
+  "/root/repo/src/sim/src/event_queue.cpp" "src/sim/CMakeFiles/cpm_sim.dir/src/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/cpm_sim.dir/src/event_queue.cpp.o.d"
+  "/root/repo/src/sim/src/replication.cpp" "src/sim/CMakeFiles/cpm_sim.dir/src/replication.cpp.o" "gcc" "src/sim/CMakeFiles/cpm_sim.dir/src/replication.cpp.o.d"
+  "/root/repo/src/sim/src/simulator.cpp" "src/sim/CMakeFiles/cpm_sim.dir/src/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/cpm_sim.dir/src/simulator.cpp.o.d"
+  "/root/repo/src/sim/src/warmup.cpp" "src/sim/CMakeFiles/cpm_sim.dir/src/warmup.cpp.o" "gcc" "src/sim/CMakeFiles/cpm_sim.dir/src/warmup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cpm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/cpm_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cpm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cpm_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpm_sim.dir/src/batch_analysis.cpp.o"
+  "CMakeFiles/cpm_sim.dir/src/batch_analysis.cpp.o.d"
+  "CMakeFiles/cpm_sim.dir/src/event_queue.cpp.o"
+  "CMakeFiles/cpm_sim.dir/src/event_queue.cpp.o.d"
+  "CMakeFiles/cpm_sim.dir/src/replication.cpp.o"
+  "CMakeFiles/cpm_sim.dir/src/replication.cpp.o.d"
+  "CMakeFiles/cpm_sim.dir/src/simulator.cpp.o"
+  "CMakeFiles/cpm_sim.dir/src/simulator.cpp.o.d"
+  "CMakeFiles/cpm_sim.dir/src/warmup.cpp.o"
+  "CMakeFiles/cpm_sim.dir/src/warmup.cpp.o.d"
+  "libcpm_sim.a"
+  "libcpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpm_workload.dir/src/rate_schedule.cpp.o"
+  "CMakeFiles/cpm_workload.dir/src/rate_schedule.cpp.o.d"
+  "CMakeFiles/cpm_workload.dir/src/trace.cpp.o"
+  "CMakeFiles/cpm_workload.dir/src/trace.cpp.o.d"
+  "libcpm_workload.a"
+  "libcpm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcpm_workload.a"
+)

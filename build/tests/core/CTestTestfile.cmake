@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/test_cluster_model[1]_include.cmake")
+include("/root/repo/build/tests/core/test_optimizers[1]_include.cmake")
+include("/root/repo/build/tests/core/test_validation[1]_include.cmake")
+include("/root/repo/build/tests/core/test_model_io[1]_include.cmake")
+include("/root/repo/build/tests/core/test_controller[1]_include.cmake")

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/opt
+# Build directory: /root/repo/build/tests/opt
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/opt/test_scalar[1]_include.cmake")
+include("/root/repo/build/tests/opt/test_nelder_mead[1]_include.cmake")
+include("/root/repo/build/tests/opt/test_gradient[1]_include.cmake")
+include("/root/repo/build/tests/opt/test_constrained[1]_include.cmake")
+include("/root/repo/build/tests/opt/test_annealing[1]_include.cmake")
+include("/root/repo/build/tests/opt/test_integer[1]_include.cmake")

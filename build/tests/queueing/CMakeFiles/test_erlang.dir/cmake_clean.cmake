@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_erlang.dir/test_erlang.cpp.o"
+  "CMakeFiles/test_erlang.dir/test_erlang.cpp.o.d"
+  "test_erlang"
+  "test_erlang.pdb"
+  "test_erlang[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_erlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gg.dir/test_gg.cpp.o"
+  "CMakeFiles/test_gg.dir/test_gg.cpp.o.d"
+  "test_gg"
+  "test_gg.pdb"
+  "test_gg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

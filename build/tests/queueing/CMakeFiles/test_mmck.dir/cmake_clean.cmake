@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmck.dir/test_mmck.cpp.o"
+  "CMakeFiles/test_mmck.dir/test_mmck.cpp.o.d"
+  "test_mmck"
+  "test_mmck.pdb"
+  "test_mmck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

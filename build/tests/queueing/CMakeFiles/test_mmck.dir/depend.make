@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mmck.
+# This may be replaced when dependencies are built.

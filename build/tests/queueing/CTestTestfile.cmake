@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/queueing
+# Build directory: /root/repo/build/tests/queueing
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/queueing/test_erlang[1]_include.cmake")
+include("/root/repo/build/tests/queueing/test_basic[1]_include.cmake")
+include("/root/repo/build/tests/queueing/test_priority[1]_include.cmake")
+include("/root/repo/build/tests/queueing/test_network[1]_include.cmake")
+include("/root/repo/build/tests/queueing/test_capacity[1]_include.cmake")
+include("/root/repo/build/tests/queueing/test_mmck[1]_include.cmake")
+include("/root/repo/build/tests/queueing/test_mva[1]_include.cmake")
+include("/root/repo/build/tests/queueing/test_gg[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_closed_classes.dir/test_closed_classes.cpp.o"
+  "CMakeFiles/test_closed_classes.dir/test_closed_classes.cpp.o.d"
+  "test_closed_classes"
+  "test_closed_classes.pdb"
+  "test_closed_classes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_closed_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

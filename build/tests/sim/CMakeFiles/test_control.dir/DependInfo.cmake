@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_control.cpp" "tests/sim/CMakeFiles/test_control.dir/test_control.cpp.o" "gcc" "tests/sim/CMakeFiles/test_control.dir/test_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cpm_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cpm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/cpm_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cpm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_replication[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_warmup[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_control[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_admission[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_closed_classes[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_batch_analysis[1]_include.cmake")

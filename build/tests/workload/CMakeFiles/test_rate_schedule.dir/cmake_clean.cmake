@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rate_schedule.dir/test_rate_schedule.cpp.o"
+  "CMakeFiles/test_rate_schedule.dir/test_rate_schedule.cpp.o.d"
+  "test_rate_schedule"
+  "test_rate_schedule.pdb"
+  "test_rate_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rate_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpmctl.dir/cpmctl.cpp.o"
+  "CMakeFiles/cpmctl.dir/cpmctl.cpp.o.d"
+  "cpmctl"
+  "cpmctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpmctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

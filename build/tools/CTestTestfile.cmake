@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cpmctl_example_model "sh" "-c" "/root/repo/build/tools/cpmctl example-model > /root/repo/build/tools/smoke/m.json")
+set_tests_properties(cpmctl_example_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cpmctl_describe "/root/repo/build/tools/cpmctl" "describe" "/root/repo/build/tools/smoke/m.json")
+set_tests_properties(cpmctl_describe PROPERTIES  DEPENDS "cpmctl_example_model" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cpmctl_evaluate "/root/repo/build/tools/cpmctl" "evaluate" "/root/repo/build/tools/smoke/m.json" "--p95")
+set_tests_properties(cpmctl_evaluate PROPERTIES  DEPENDS "cpmctl_example_model" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cpmctl_optimize_power "/root/repo/build/tools/cpmctl" "optimize-power" "/root/repo/build/tools/smoke/m.json" "--bound" "0.5" "--levels" "5")
+set_tests_properties(cpmctl_optimize_power PROPERTIES  DEPENDS "cpmctl_example_model" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cpmctl_optimize_delay "/root/repo/build/tools/cpmctl" "optimize-delay" "/root/repo/build/tools/smoke/m.json" "--budget" "760" "--levels" "5")
+set_tests_properties(cpmctl_optimize_delay PROPERTIES  DEPENDS "cpmctl_example_model" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cpmctl_size "/root/repo/build/tools/cpmctl" "size" "/root/repo/build/tools/smoke/m.json" "--max-servers" "4")
+set_tests_properties(cpmctl_size PROPERTIES  DEPENDS "cpmctl_example_model" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cpmctl_simulate "/root/repo/build/tools/cpmctl" "simulate" "/root/repo/build/tools/smoke/m.json" "--time" "120" "--reps" "3")
+set_tests_properties(cpmctl_simulate PROPERTIES  DEPENDS "cpmctl_example_model" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cpmctl_validate "/root/repo/build/tools/cpmctl" "validate" "/root/repo/build/tools/smoke/m.json" "--reps" "3")
+set_tests_properties(cpmctl_validate PROPERTIES  DEPENDS "cpmctl_example_model" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cpmctl_trace_roundtrip "sh" "-c" "printf '0.5\\n1.0\\n2.5\\n4.0\\n5.5\\n' > /root/repo/build/tools/smoke/t.csv                           && /root/repo/build/tools/cpmctl trace-stats /root/repo/build/tools/smoke/t.csv                           && /root/repo/build/tools/cpmctl simulate /root/repo/build/tools/smoke/m.json                              --time 50 --reps 2 --trace-class gold                              --trace-file /root/repo/build/tools/smoke/t.csv")
+set_tests_properties(cpmctl_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cpmctl_shipped_model "/root/repo/build/tools/cpmctl" "evaluate" "/root/repo/examples/models/enterprise.json" "--p95")
+set_tests_properties(cpmctl_shipped_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cpmctl_usage_error "/root/repo/build/tools/cpmctl" "no-such-command")
+set_tests_properties(cpmctl_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -39,9 +39,19 @@ struct ReplicatedResult {
   std::uint64_t total_events = 0;
 };
 
+/// The per-replication seeds `replicate` derives from a base seed: a
+/// SplitMix64 stream with collisions skipped, so the replications are
+/// guaranteed to run distinct substreams (a duplicate seed would silently
+/// halve the sample and bias the variance estimate). Exposed so tests can
+/// verify substream independence directly.
+std::vector<std::uint64_t> replication_seeds(std::uint64_t base_seed,
+                                             int replications);
+
 /// Runs `options.replications` independent copies of `base` (seeds derived
-/// from base.seed) and aggregates. Throws cpm::Error for replications < 2
-/// (no variance estimate would exist).
+/// from base.seed via replication_seeds) and aggregates. Extra threads
+/// beyond the replication count are not spawned. Throws cpm::Error for
+/// replications < 2 (no variance estimate would exist) or a confidence
+/// level outside (0, 1).
 ReplicatedResult replicate(const SimConfig& base, const ReplicationOptions& options = {});
 
 }  // namespace cpm::sim

@@ -109,12 +109,23 @@ struct SimConfig {
   /// across retunings (segment-wise integration).
   double control_period = 0.0;
   ControlHook control;
+  /// Runtime self-verification (cpm::check's in-run oracle): validates
+  /// event-time monotonicity, server/capacity occupancy bounds, per-
+  /// departure energy attribution and final per-class flow conservation
+  /// while the simulation runs, throwing cpm::Error on the first
+  /// violation. Off by default (a few % overhead on the hot path).
+  bool audit = false;
 };
 
 /// Per-class simulation output.
 struct SimClassResult {
   std::uint64_t completed = 0;      ///< requests counted (arrived post-warmup)
   std::uint64_t blocked = 0;        ///< requests dropped at a full station
+  std::uint64_t arrived = 0;        ///< requests entering the network post-warmup
+  /// Counted requests still inside the network when the run ended. Flow
+  /// conservation (check::check_flow_conservation) holds exactly:
+  /// arrived == completed + blocked + in_system_at_end.
+  std::uint64_t in_system_at_end = 0;
   double mean_e2e_delay = 0.0;
   double p95_e2e_delay = 0.0;
   double mean_e2e_energy = 0.0;     ///< marginal (dynamic) joules per request

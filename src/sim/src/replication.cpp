@@ -2,25 +2,38 @@
 
 #include <atomic>
 #include <thread>
+#include <unordered_set>
 
 #include "cpm/common/error.hpp"
 #include "cpm/common/rng.hpp"
 
 namespace cpm::sim {
 
+std::vector<std::uint64_t> replication_seeds(std::uint64_t base_seed,
+                                             int replications) {
+  require(replications >= 1, "replication_seeds: need >= 1 replication");
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(replications));
+  std::unordered_set<std::uint64_t> seen;
+  SplitMix64 sm(base_seed);
+  while (seeds.size() < static_cast<std::size_t>(replications)) {
+    const std::uint64_t s = sm.next();
+    if (!seen.insert(s).second) continue;  // collision: skip, keep distinct
+    seeds.push_back(s);
+  }
+  return seeds;
+}
+
 ReplicatedResult replicate(const SimConfig& base, const ReplicationOptions& options) {
   validate_config(base);
   require(options.replications >= 2, "replicate: need >= 2 replications");
+  require(options.confidence > 0.0 && options.confidence < 1.0,
+          "replicate: confidence must lie in (0, 1)");
   const auto n_reps = static_cast<std::size_t>(options.replications);
 
   std::vector<SimResult> results(n_reps);
-
-  // Derive one decorrelated seed per replication.
-  std::vector<std::uint64_t> seeds(n_reps);
-  {
-    SplitMix64 sm(base.seed);
-    for (auto& s : seeds) s = sm.next();
-  }
+  const std::vector<std::uint64_t> seeds =
+      replication_seeds(base.seed, options.replications);
 
   unsigned n_threads = options.threads > 0
                            ? static_cast<unsigned>(options.threads)

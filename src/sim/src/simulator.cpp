@@ -132,6 +132,9 @@ class Simulation {
       class_p95_.emplace_back(0.95);
     completed_.assign(n_classes, 0);
     blocked_.assign(n_classes, 0);
+    arrived_.assign(n_classes, 0);
+    for (const auto& s : cfg_.stations)
+      audit_max_watts_ = std::max(audit_max_watts_, s.dynamic_watts);
   }
 
   SimResult run() {
@@ -154,6 +157,9 @@ class Simulation {
     // Manual loop (not run_until) because a completion cap may pull
     // cfg_.end_time in while events are in flight.
     while (!events_.empty() && events_.next_time() <= cfg_.end_time) {
+      if (cfg_.audit && events_.next_time() < events_.now())
+        throw Error("sim audit: event time went backwards at t=" +
+                    std::to_string(events_.now()));
       events_.run_next();
       ++events_fired_;
     }
@@ -180,6 +186,7 @@ class Simulation {
       job->cls = k;
       job->network_arrival = events_.now();
       job->counted = events_.now() >= cfg_.warmup_time;
+      if (job->counted) ++arrived_[k];
       ++window_arrivals_[k];
       enter_station(std::move(job));
       schedule_arrival(k);
@@ -196,6 +203,7 @@ class Simulation {
       job->cls = k;
       job->network_arrival = events_.now();
       job->counted = events_.now() >= cfg_.warmup_time;
+      if (job->counted) ++arrived_[k];
       ++window_arrivals_[k];
       enter_station(std::move(job));
     });
@@ -320,6 +328,21 @@ class Simulation {
     st.in_service.push_back(InService{std::move(job), token, finish, events_.now()});
     update_busy_signals(s);
     events_.schedule(finish, [this, s, token] { complete_service(s, token); });
+    if (cfg_.audit) audit_station(s);
+  }
+
+  /// Occupancy invariants of one station (audit mode only): never more
+  /// jobs in service than servers, never more jobs present than capacity.
+  void audit_station(std::size_t s) const {
+    const auto& st = stations_[s];
+    if (st.in_service.size() > static_cast<std::size_t>(cfg_.stations[s].servers))
+      throw Error("sim audit: station '" + cfg_.stations[s].name +
+                  "' has more jobs in service than servers");
+    const int capacity = cfg_.stations[s].capacity;
+    if (capacity >= 0 &&
+        station_population(s) > static_cast<std::size_t>(capacity))
+      throw Error("sim audit: station '" + cfg_.stations[s].name +
+                  "' exceeded its admission capacity");
   }
 
   void complete_service(std::size_t s, std::uint64_t token) {
@@ -425,6 +448,19 @@ class Simulation {
   void depart_station(std::size_t s, JobPtr job) {
     auto& st = stations_[s];
     const double sojourn = events_.now() - job->station_arrival;
+    if (cfg_.audit) {
+      if (sojourn < -1e-9)
+        throw Error("sim audit: negative sojourn at station '" +
+                    cfg_.stations[s].name + "'");
+      // Energy attribution bound: a request draws dynamic power from at
+      // most one server at a time, so its accumulated joules can never
+      // exceed its network dwell time at the peak dynamic wattage.
+      const double dwell = events_.now() - job->network_arrival;
+      const double bound = dwell * audit_max_watts_ * (1.0 + 1e-6) + 1e-6;
+      if (job->energy_joules < -1e-9 || job->energy_joules > bound)
+        throw Error("sim audit: energy attribution out of bounds for class " +
+                    cfg_.classes[job->cls].name);
+    }
     if (job->counted) {
       st.sojourn_by_class[job->cls].add(sojourn);
       // "Wait" = sojourn minus the job's own nominal service wall time at
@@ -524,6 +560,7 @@ class Simulation {
   void apply_tier_setting(std::size_t s, const TierSetting& setting) {
     require(setting.speed > 0.0, "sim: tier speed must be positive");
     require(setting.dynamic_watts >= 0.0, "sim: dynamic watts must be >= 0");
+    audit_max_watts_ = std::max(audit_max_watts_, setting.dynamic_watts);
     auto& st = stations_[s];
     const double now = events_.now();
     const double old_speed = st.speed;
@@ -574,6 +611,19 @@ class Simulation {
     r.events_fired = events_fired_;
     r.completions = std::move(completions_);
 
+    // Counted jobs still inside the network at the horizon: every live job
+    // is owned by some station runtime (queue, server or PS pool).
+    std::vector<std::uint64_t> in_system(cfg_.classes.size(), 0);
+    for (const auto& st : stations_) {
+      for (const auto& q : st.queues)
+        for (const auto& job : q)
+          if (job->counted) ++in_system[job->cls];
+      for (const auto& e : st.in_service)
+        if (e.job->counted) ++in_system[e.job->cls];
+      for (const auto& pj : st.ps_jobs)
+        if (pj.job->counted) ++in_system[pj.job->cls];
+    }
+
     const std::size_t n_classes = cfg_.classes.size();
     r.classes.resize(n_classes);
     double weighted = 0.0;
@@ -582,6 +632,12 @@ class Simulation {
       auto& cr = r.classes[k];
       cr.completed = completed_[k];
       cr.blocked = blocked_[k];
+      cr.arrived = arrived_[k];
+      cr.in_system_at_end = in_system[k];
+      if (cfg_.audit &&
+          arrived_[k] != completed_[k] + blocked_[k] + in_system[k])
+        throw Error("sim audit: flow conservation violated for class '" +
+                    cfg_.classes[k].name + "'");
       cr.mean_e2e_delay = class_delay_[k].mean();
       cr.p95_e2e_delay = class_p95_[k].value();
       cr.mean_e2e_energy = class_energy_[k].mean();
@@ -636,6 +692,8 @@ class Simulation {
   std::vector<P2Quantile> class_p95_;
   std::vector<std::uint64_t> completed_;
   std::vector<std::uint64_t> blocked_;
+  std::vector<std::uint64_t> arrived_;
+  double audit_max_watts_ = 0.0;
   std::vector<CompletionRecord> completions_;
   std::vector<std::uint64_t> window_arrivals_;
   std::vector<double> window_busy_base_;

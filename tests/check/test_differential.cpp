@@ -1,0 +1,82 @@
+// Differential verification: independent implementations must agree.
+// check_reductions pins the general analytic code paths to the exact
+// special cases they must collapse to; cross_validate pits the whole
+// analytic stack against the discrete-event simulator on the paper's
+// enterprise scenario.
+#include <gtest/gtest.h>
+
+#include "cpm/check/differential.hpp"
+#include "cpm/core/cpm.hpp"
+
+namespace cpm {
+namespace {
+
+TEST(Reductions, AllExactSpecialCasesCollapse) {
+  const auto report = check::check_reductions();
+  EXPECT_TRUE(report.all_passed()) << "worst " << report.worst_violation();
+  for (const char* id :
+       {"reduction-ggc-mmc", "reduction-gg1-mg1", "reduction-priority-fcfs",
+        "reduction-ps-insensitivity"}) {
+    const auto* c = report.find(id);
+    ASSERT_NE(c, nullptr) << id;
+    EXPECT_TRUE(c->passed) << id << " worst " << c->worst_violation;
+    // These are arithmetic identities, not approximations: residuals must
+    // sit at roundoff, far below even the strict default tolerance.
+    EXPECT_LT(c->worst_violation, 1e-12) << id;
+  }
+}
+
+TEST(CrossValidate, AnalyticAgreesWithSimulationOnEnterpriseModel) {
+  const auto model = core::make_enterprise_model(0.7);
+  check::CrossValidateOptions options;
+  options.sim.replications = 5;
+  const auto report =
+      check::cross_validate(model, model.max_frequencies(), options);
+  EXPECT_TRUE(report.all_passed()) << "worst " << report.worst_violation();
+  // The differential legs and the in-run sim oracles all reported.
+  for (const char* id : {"diff-delay", "diff-power", "diff-utilization",
+                         "little-law", "flow-conservation",
+                         "energy-balance-sim"})
+    ASSERT_NE(report.find(id), nullptr) << id;
+}
+
+TEST(CrossValidate, HoldsAcrossDisciplines) {
+  check::CrossValidateOptions options;
+  options.sim.replications = 3;
+  options.sim.end_time = 400.0;
+  for (const auto d :
+       {queueing::Discipline::kFcfs, queueing::Discipline::kPreemptiveResume,
+        queueing::Discipline::kProcessorSharing}) {
+    const auto model = core::make_enterprise_model(0.6, d);
+    const auto report =
+        check::cross_validate(model, model.max_frequencies(), options);
+    EXPECT_TRUE(report.all_passed())
+        << "discipline " << static_cast<int>(d) << " worst "
+        << report.worst_violation();
+  }
+}
+
+TEST(CrossValidate, RejectsUnstableOperatingPoint) {
+  const auto model = core::make_enterprise_model(0.7).with_rate_scale(5.0);
+  EXPECT_THROW(check::cross_validate(model, model.max_frequencies()), Error);
+}
+
+TEST(CrossValidate, MergedReportsKeepWorstViolationPerInvariant) {
+  check::Report a;
+  a.add({"x", true, 0.01, 0.1, "site-a"});
+  check::Report b;
+  b.add({"x", false, 0.5, 0.1, "site-b"});
+  b.add({"y", true, 0.0, 1.0, ""});
+  a.merge(b);
+  ASSERT_EQ(a.checks().size(), 2u);
+  const auto* x = a.find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_FALSE(x->passed);  // one failing subject fails the aggregate
+  EXPECT_DOUBLE_EQ(x->worst_violation, 0.5);
+  EXPECT_EQ(x->detail, "site-b");
+  EXPECT_FALSE(a.all_passed());
+  EXPECT_DOUBLE_EQ(a.worst_violation(), 0.5);
+}
+
+}  // namespace
+}  // namespace cpm

@@ -1,0 +1,79 @@
+// Golden-value determinism: a fixed-seed simulation and the deterministic
+// optimisers must reproduce these stored metrics BIT FOR BIT, forever.
+// Any divergence means the change altered numerics (event ordering, RNG
+// consumption, accumulation order, solver iteration) — which may be fine,
+// but must be a conscious decision: regenerate the literals and say so in
+// the commit. The values were produced by this very code; x86-64 GCC
+// Release is the reference environment (no -ffast-math anywhere).
+#include <gtest/gtest.h>
+
+#include "cpm/core/cpm.hpp"
+
+namespace cpm {
+namespace {
+
+TEST(GoldenDeterminism, FixedSeedSimulationIsBitForBitStable) {
+  const auto model = core::make_enterprise_model(0.7);
+  auto cfg = model.to_sim_config(model.max_frequencies(), 50.0, 550.0,
+                                 20110516);
+  cfg.audit = true;  // the audit hooks must not perturb the statistics
+  const auto r = sim::simulate(cfg);
+
+  EXPECT_EQ(r.events_fired, 50304u);
+  ASSERT_EQ(r.classes.size(), 3u);
+
+  EXPECT_EQ(r.classes[0].completed, 2343u);
+  EXPECT_EQ(r.classes[1].completed, 3352u);
+  EXPECT_EQ(r.classes[2].completed, 5753u);
+  EXPECT_EQ(r.classes[0].arrived, 2343u);
+  EXPECT_EQ(r.classes[1].arrived, 3354u);
+  EXPECT_EQ(r.classes[2].arrived, 5756u);
+
+  EXPECT_EQ(r.classes[0].mean_e2e_delay, 0.098099850875314462);
+  EXPECT_EQ(r.classes[1].mean_e2e_delay, 0.13381440243186757);
+  EXPECT_EQ(r.classes[2].mean_e2e_delay, 0.23640063427960029);
+  EXPECT_EQ(r.classes[0].mean_e2e_energy, 5.5320839639529398);
+  EXPECT_EQ(r.classes[1].mean_e2e_energy, 7.4958250699073474);
+  EXPECT_EQ(r.classes[2].mean_e2e_energy, 8.6299522348431648);
+
+  EXPECT_EQ(r.mean_e2e_delay, 0.17796460804442332);
+  EXPECT_EQ(r.cluster_avg_power, 775.62392622996094);
+}
+
+TEST(GoldenDeterminism, ContinuousDelayOptimizerIsStable) {
+  const auto model = core::make_enterprise_model(0.6);
+  EXPECT_EQ(model.power_at(model.max_frequencies()), 751.47540983606552);
+
+  const auto pd = core::minimize_delay_with_power_budget(model, 700.0);
+  ASSERT_TRUE(pd.feasible);
+  EXPECT_EQ(pd.mean_delay, 0.1996453567499237);
+  EXPECT_EQ(pd.power, 700.04326444746607);
+  ASSERT_EQ(pd.frequencies.size(), 3u);
+  EXPECT_EQ(pd.frequencies[0], 0.59999999999999998);
+  EXPECT_EQ(pd.frequencies[1], 0.77646192176944495);
+  EXPECT_EQ(pd.frequencies[2], 0.97941875996740291);
+}
+
+TEST(GoldenDeterminism, DiscreteEnergyOptimizerIsStable) {
+  const auto model = core::make_enterprise_model(0.6);
+  const auto pe = core::minimize_power_with_delay_bound_discrete(model, 0.5, 7);
+  ASSERT_TRUE(pe.feasible);
+  EXPECT_EQ(pe.mean_delay, 0.4207537697830373);
+  EXPECT_EQ(pe.power, 665.19781420765025);
+  ASSERT_EQ(pe.frequencies.size(), 3u);
+  EXPECT_EQ(pe.frequencies[0], 0.59999999999999998);
+  EXPECT_EQ(pe.frequencies[1], 0.59999999999999998);
+  EXPECT_EQ(pe.frequencies[2], 0.73333333333333328);
+}
+
+TEST(GoldenDeterminism, CostOptimizerIsStable) {
+  const auto model = core::make_enterprise_model(0.6);
+  const auto pc = core::minimize_cost_for_slas(model);
+  ASSERT_TRUE(pc.feasible);
+  EXPECT_EQ(pc.total_cost, 5.0);
+  EXPECT_EQ(pc.servers, (std::vector<int>{1, 1, 1}));
+  EXPECT_EQ(pc.nodes_explored, 139);
+}
+
+}  // namespace
+}  // namespace cpm

@@ -1,63 +1,27 @@
 // Randomised property tests: for randomly generated (but stable, moderate
 // load) cluster models, the analytic evaluator and the simulator must
 // agree within a documented envelope, and structural invariants must hold.
-// Seeds are fixed, so failures are reproducible.
+// Seeds are fixed, so failures are reproducible. Models come from
+// check::ModelGenerator (the promoted random_model), whose default
+// envelopes reproduce this suite's historical scenarios draw-for-draw.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "cpm/check/generator.hpp"
 #include "cpm/core/cpm.hpp"
 
 namespace cpm {
 namespace {
 
 using core::ClusterModel;
-using core::Demand;
-using core::Tier;
-using core::WorkloadClass;
-using queueing::Discipline;
 
-/// Generates a random stable model: 1-3 tiers, 1-3 classes, mixed
-/// disciplines, mixed service laws, bottleneck utilisation <= cap.
+/// A random stable model under the shared generator's default envelopes,
+/// at the requested bottleneck utilisation.
 ClusterModel random_model(Rng& rng, double util_cap) {
-  const auto n_tiers = static_cast<std::size_t>(1 + rng.below(3));
-  const auto n_classes = static_cast<std::size_t>(1 + rng.below(3));
-
-  const Discipline disciplines[] = {
-      Discipline::kFcfs, Discipline::kNonPreemptivePriority,
-      Discipline::kPreemptiveResume, Discipline::kProcessorSharing};
-
-  std::vector<Tier> tiers;
-  for (std::size_t i = 0; i < n_tiers; ++i) {
-    Tier t;
-    t.name = "t" + std::to_string(i);
-    t.servers = static_cast<int>(1 + rng.below(3));
-    t.discipline = disciplines[rng.below(4)];
-    t.server_cost = rng.uniform(0.5, 3.0);
-    tiers.push_back(std::move(t));
-  }
-
-  std::vector<WorkloadClass> classes;
-  for (std::size_t k = 0; k < n_classes; ++k) {
-    WorkloadClass c;
-    c.name = "c" + std::to_string(k);
-    c.rate = rng.uniform(0.5, 3.0);
-    for (std::size_t i = 0; i < n_tiers; ++i) {
-      const double mean = rng.uniform(0.01, 0.05);
-      const double scv = rng.uniform(0.5, 2.0);
-      c.route.push_back(Demand{static_cast<int>(i),
-                               Distribution::from_mean_scv(mean, scv)});
-    }
-    classes.push_back(std::move(c));
-  }
-
-  ClusterModel model(std::move(tiers), std::move(classes));
-  // Rescale total demand so the busiest tier sits at util_cap.
-  const auto utils = queueing::network_utilizations(
-      model.network_stations(), model.network_classes(model.max_frequencies()));
-  double peak = 0.0;
-  for (double u : utils) peak = std::max(peak, u);
-  return model.with_rate_scale(util_cap / peak);
+  check::GeneratorOptions options;
+  options.util_cap = util_cap;
+  return check::random_model(rng, options);
 }
 
 class RandomModelAgreement : public ::testing::TestWithParam<std::uint64_t> {};

@@ -1,0 +1,82 @@
+// replicate() edge cases: seed-substream independence, minimum viable
+// replication counts, and thread counts exceeding the replication count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "cpm/core/cpm.hpp"
+
+namespace cpm {
+namespace {
+
+sim::SimConfig small_config(std::uint64_t seed) {
+  const auto model = core::make_enterprise_model(0.6);
+  return model.to_sim_config(model.max_frequencies(), 10.0, 110.0, seed);
+}
+
+TEST(ReplicationSeeds, DistinctAndDeterministic) {
+  const auto seeds = sim::replication_seeds(20110516, 10000);
+  ASSERT_EQ(seeds.size(), 10000u);
+  std::unordered_set<std::uint64_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), seeds.size());  // no collisions ever reach runs
+  EXPECT_EQ(sim::replication_seeds(20110516, 10000), seeds);
+
+  // Prefix property: asking for fewer seeds yields a prefix, so growing
+  // the replication count only ADDS runs (common-random-number friendly).
+  const auto few = sim::replication_seeds(20110516, 10);
+  for (std::size_t i = 0; i < few.size(); ++i) EXPECT_EQ(few[i], seeds[i]);
+
+  EXPECT_THROW(sim::replication_seeds(1, 0), Error);
+}
+
+TEST(ReplicationSeeds, DifferFromBaseSeedAndEachOther) {
+  // The base seed itself seeds the stream, not a run: reusing it for a
+  // replication would correlate with any caller who ran simulate(base).
+  for (std::uint64_t base : {0ull, 1ull, 20110516ull}) {
+    const auto seeds = sim::replication_seeds(base, 100);
+    std::unordered_set<std::uint64_t> unique(seeds.begin(), seeds.end());
+    EXPECT_EQ(unique.size(), 100u) << "base " << base;
+  }
+}
+
+TEST(Replicate, TwoReplicationsIsTheMinimumAndWorks) {
+  sim::ReplicationOptions opt;
+  opt.replications = 2;
+  const auto r = sim::replicate(small_config(3), opt);
+  EXPECT_EQ(r.replications, 2);
+  for (const auto& c : r.classes) EXPECT_GT(c.total_completed, 0u);
+  // With n = 2 the t-quantile is large but finite; the CI must be usable.
+  EXPECT_TRUE(std::isfinite(r.mean_e2e_delay.half_width));
+  EXPECT_GT(r.mean_e2e_delay.half_width, 0.0);
+
+  opt.replications = 1;
+  EXPECT_THROW(sim::replicate(small_config(3), opt), Error);
+}
+
+TEST(Replicate, MoreThreadsThanReplicationsIsHarmless) {
+  sim::ReplicationOptions wide;
+  wide.replications = 3;
+  wide.threads = 64;  // must clamp, not spawn 61 idle workers or crash
+  sim::ReplicationOptions serial;
+  serial.replications = 3;
+  serial.threads = 1;
+  const auto a = sim::replicate(small_config(9), wide);
+  const auto b = sim::replicate(small_config(9), serial);
+  // Identical work partitioning regardless of thread count.
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_DOUBLE_EQ(a.mean_e2e_delay.mean, b.mean_e2e_delay.mean);
+  EXPECT_DOUBLE_EQ(a.cluster_avg_power.mean, b.cluster_avg_power.mean);
+}
+
+TEST(Replicate, InvalidConfidenceIsRejected) {
+  sim::ReplicationOptions opt;
+  opt.replications = 2;
+  for (double bad : {0.0, 1.0, -0.5, 1.5}) {
+    opt.confidence = bad;
+    EXPECT_THROW(sim::replicate(small_config(1), opt), Error) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace cpm

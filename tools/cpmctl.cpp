@@ -13,8 +13,12 @@
 //   cpmctl simulate       <model.json> [--time T] [--warmup W|auto]
 //                                      [--reps N] [--seed S]
 //   cpmctl validate       <model.json> [--reps N]
+//   cpmctl check          <model.json> [--reps N] [--seed S] [--random N]
+//                                      [--analytic-only]
 //
-// Exit status: 0 success, 1 usage error, 2 model/solver error.
+// Exit status: 0 success, 1 usage error, 2 model/solver error (for `check`:
+// any invariant violated).
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -22,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "cpm/check/differential.hpp"
 #include "cpm/core/cpm.hpp"
 #include "cpm/core/model_io.hpp"
 #include "cpm/sim/warmup.hpp"
@@ -44,6 +49,8 @@ using namespace cpm;
       "  simulate       <model.json> [--time T] [--warmup W|auto] [--reps N] [--seed S]\n"
       "                 [--trace-class NAME --trace-file arrivals.csv]\n"
       "  validate       <model.json> [--reps N]\n"
+      "  check          <model.json> [--reps N] [--seed S] [--random N]\n"
+      "                 [--analytic-only]\n"
       "  trace-stats    <arrivals.csv>\n";
   std::exit(1);
 }
@@ -360,6 +367,46 @@ int cmd_validate(const std::string& path, const Args& args) {
   return 0;
 }
 
+int cmd_check(const std::string& path, const Args& args) {
+  const auto model = load_model(path);
+  const auto frequencies = model.max_frequencies();
+
+  check::Report report = check::check_analytic(model, frequencies);
+  report.merge(check::check_reductions());
+  if (!args.has("--analytic-only")) {
+    check::CrossValidateOptions options;
+    options.sim.replications = static_cast<int>(args.number("--reps", 8));
+    options.sim.seed =
+        static_cast<std::uint64_t>(args.number("--seed", 20110516));
+    report.merge(check::cross_validate(model, frequencies, options));
+  }
+  const int random_models = static_cast<int>(args.number("--random", 0));
+  if (random_models > 0) {
+    const auto seed =
+        static_cast<std::uint64_t>(args.number("--seed", 20110516));
+    report.merge(check::sweep_random_models(seed, random_models));
+  }
+
+  const auto sci = [](double x) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2e", x);
+    return std::string(buf);
+  };
+  Table t({"invariant", "status", "worst violation", "tolerance", "detail"});
+  for (const auto& c : report.checks()) {
+    t.row()
+        .add(c.invariant)
+        .add(c.passed ? "ok" : "VIOLATED")
+        .add(sci(c.worst_violation))
+        .add(sci(c.tolerance))
+        .add(c.detail);
+  }
+  t.print(std::cout);
+  std::cout << (report.all_passed() ? "all invariants hold\n"
+                                    : "INVARIANT VIOLATION\n");
+  return report.all_passed() ? 0 : 2;
+}
+
 int cmd_trace_stats(const std::string& path) {
   const auto trace = workload::ArrivalTrace::parse_csv(read_file(path));
   const auto s = trace.stats();
@@ -397,6 +444,7 @@ int main(int argc, char** argv) {
     if (cmd == "size") return cmd_size(path, args);
     if (cmd == "simulate") return cmd_simulate(path, args);
     if (cmd == "validate") return cmd_validate(path, args);
+    if (cmd == "check") return cmd_check(path, args);
     usage("unknown command '" + cmd + "'");
   } catch (const cpm::Error& e) {
     std::cerr << "error: " << e.what() << '\n';

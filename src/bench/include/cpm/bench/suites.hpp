@@ -1,0 +1,29 @@
+// Named benchmark suites for `cpmctl bench`.
+//
+// A suite is a fixed list of BenchCases over the shared enterprise
+// scenario (bench/scenarios.hpp), so suite content is versioned with the
+// code and CI/devs always run the same workload. `quick` shrinks each
+// case ~10x for the CI smoke job; rates stay comparable because every
+// case reports throughput, not totals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpm/bench/harness.hpp"
+
+namespace cpm::bench {
+
+/// Names accepted by run_named_suite, in display order.
+std::vector<std::string> suite_names();
+
+/// Builds the cases of one suite (sized per options.quick).
+/// Throws cpm::Error for an unknown suite name.
+std::vector<BenchCase> make_suite(const std::string& name,
+                                  const BenchOptions& options);
+
+/// make_suite + run_suite in one call.
+SuiteResult run_named_suite(const std::string& name,
+                            const BenchOptions& options);
+
+}  // namespace cpm::bench

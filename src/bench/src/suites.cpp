@@ -1,0 +1,106 @@
+#include "cpm/bench/suites.hpp"
+
+#include "bench/scenarios.hpp"
+#include "cpm/common/error.hpp"
+#include "cpm/core/cpm.hpp"
+
+namespace cpm::bench {
+
+namespace {
+
+/// p1 — library micro/meso benchmarks: the simulator hot path, the event
+/// queue, the analytic evaluator, the replication pool and one optimizer.
+/// Counterpart of bench_p1_micro (google-benchmark), but emitting the
+/// machine-diffable cpm-bench/v1 document the CI gate consumes.
+std::vector<BenchCase> p1_suite(const BenchOptions& options) {
+  // Everything runs the shared enterprise scenario so numbers line up
+  // with the E/A experiment binaries. Quick cases are sized to >= ~20 ms
+  // each: shorter runs put scheduler jitter on shared runners at the
+  // same magnitude as the regression tolerance and the CI gate flakes.
+  const double sim_horizon = options.quick ? 2000.0 : 20000.0;
+  const int queue_events = options.quick ? 100000 : 1000000;
+  const int analytic_rounds = options.quick ? 500 : 5000;
+  const int replications = options.quick ? 8 : 16;
+  const int optimizer_solves = options.quick ? 1 : 5;
+  const std::uint64_t seed = validation_settings().seed;
+
+  std::vector<BenchCase> cases;
+
+  cases.push_back(BenchCase{
+      "sim_event_throughput", [sim_horizon, seed](Recorder& rec) {
+        const auto model = core::make_enterprise_model(0.7);
+        const auto cfg =
+            model.to_sim_config(model.max_frequencies(), 0.0, sim_horizon, seed);
+        const auto r = sim::simulate(cfg);
+        rec.count("events", static_cast<double>(r.events_fired));
+      }});
+
+  cases.push_back(BenchCase{
+      "event_queue_schedule_run", [queue_events](Recorder& rec) {
+        sim::EventQueue q;
+        Rng rng(7);
+        for (int i = 0; i < queue_events; ++i)
+          q.schedule(rng.uniform(0.0, 1.0e6), [] {});
+        while (!q.empty()) q.run_next();
+        rec.count("events", queue_events);
+      }});
+
+  cases.push_back(BenchCase{
+      "analytic_evaluate", [analytic_rounds](Recorder& rec) {
+        // Sweep the standard load points so evaluation cost covers light
+        // and near-saturated regimes alike.
+        const auto loads = load_sweep();
+        std::vector<core::ClusterModel> models;
+        for (double u : loads) models.push_back(core::make_enterprise_model(u));
+        double sink = 0.0;
+        for (int i = 0; i < analytic_rounds; ++i)
+          for (const auto& m : models)
+            sink += m.evaluate(m.max_frequencies()).net.mean_e2e_delay;
+        require(sink > 0.0, "analytic_evaluate: degenerate result");
+        rec.count("evals",
+                  static_cast<double>(analytic_rounds) *
+                      static_cast<double>(loads.size()));
+      }});
+
+  cases.push_back(BenchCase{
+      "replication_throughput", [replications, seed](Recorder& rec) {
+        const auto model = core::make_enterprise_model(0.7);
+        auto cfg =
+            model.to_sim_config(model.max_frequencies(), 10.0, 110.0, seed);
+        sim::ReplicationOptions opt;
+        opt.replications = replications;
+        const auto r = sim::replicate(cfg, opt);
+        rec.count("replications", replications);
+        rec.count("events", static_cast<double>(r.total_events));
+      }});
+
+  cases.push_back(BenchCase{
+      "optimizer_power_bound", [optimizer_solves](Recorder& rec) {
+        const auto model = core::make_enterprise_model(0.7);
+        const double bound = 2.0 * model.mean_delay_at(model.max_frequencies());
+        for (int i = 0; i < optimizer_solves; ++i) {
+          const auto r = core::minimize_power_with_delay_bound(model, bound);
+          require(r.feasible, "optimizer_power_bound: infeasible");
+        }
+        rec.count("solves", optimizer_solves);
+      }});
+
+  return cases;
+}
+
+}  // namespace
+
+std::vector<std::string> suite_names() { return {"p1"}; }
+
+std::vector<BenchCase> make_suite(const std::string& name,
+                                  const BenchOptions& options) {
+  if (name == "p1") return p1_suite(options);
+  throw Error("unknown bench suite '" + name + "'");
+}
+
+SuiteResult run_named_suite(const std::string& name,
+                            const BenchOptions& options) {
+  return run_suite(name, make_suite(name, options), options);
+}
+
+}  // namespace cpm::bench

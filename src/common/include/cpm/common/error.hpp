@@ -20,6 +20,14 @@ class Error : public std::runtime_error {
 
 /// Throws cpm::Error with `msg` when `cond` is false. Used to validate
 /// public-API preconditions; cheap enough to keep enabled in release builds.
+/// The literal overload matters: a `const std::string&` parameter would
+/// heap-allocate the message on every CALL (argument evaluation precedes
+/// the test), which profiling showed dominating the simulator hot path —
+/// millions of allocations for messages that were never thrown.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw Error(msg);
+}
+
 inline void require(bool cond, const std::string& msg) {
   if (!cond) throw Error(msg);
 }

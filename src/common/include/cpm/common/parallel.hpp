@@ -1,0 +1,29 @@
+// Fixed-size work-stealing parallelism for embarrassingly parallel index
+// ranges (replication sweeps, model sweeps, bench repeats).
+//
+// The old replication driver handed each worker a shared atomic cursor;
+// that serialises every claim through one cache line. Here each worker
+// owns a contiguous slice of [0, n) with its own atomic cursor and drains
+// it locally; a worker that empties its slice steals single indices from
+// the most-loaded victim. Task counts are typically tiny (10-10000) and
+// task bodies heavy (a whole simulation), so single-index stealing is
+// plenty and keeps completion deterministic-by-index: results land in
+// caller-owned slots addressed by i, so the schedule never changes output.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace cpm {
+
+/// Runs fn(i) for every i in [0, n) on a pool of at most `threads` worker
+/// threads (0 = std::thread::hardware_concurrency()). Never spawns more
+/// threads than tasks, so huge n cannot exhaust OS threads. The calling
+/// thread acts as worker 0 (n == 1 or threads == 1 degrade to a plain
+/// loop). The first exception thrown by any task is rethrown to the
+/// caller after all workers stop. Returns the number of worker threads
+/// actually used (>= 1, counting the caller).
+unsigned parallel_for_index(std::size_t n, unsigned threads,
+                            const std::function<void(std::size_t)>& fn);
+
+}  // namespace cpm

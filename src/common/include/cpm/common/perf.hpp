@@ -1,0 +1,26 @@
+// Wall-clock and process-resource probes for the bench harness.
+//
+// The cpm::bench subsystem reports wall time per scenario, derived
+// throughput rates and peak resident set size. These probes are the only
+// platform-dependent part; non-POSIX builds degrade to zeros rather than
+// failing to compile.
+#pragma once
+
+#include <cstdint>
+
+namespace cpm {
+
+/// Monotonic wall-clock seconds since an arbitrary epoch. Differences are
+/// valid across the whole process lifetime.
+double monotonic_seconds();
+
+/// CPU seconds consumed by the whole process (user + system), or 0 when
+/// the platform offers no probe.
+double process_cpu_seconds();
+
+/// Peak resident set size of the process in bytes, or 0 when the platform
+/// offers no probe. Monotone over the process lifetime (it is a high-water
+/// mark, not current usage).
+std::uint64_t peak_rss_bytes();
+
+}  // namespace cpm

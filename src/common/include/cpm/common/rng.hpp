@@ -11,7 +11,10 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
+
+#include "cpm/common/error.hpp"
 
 namespace cpm {
 
@@ -40,17 +43,39 @@ class Rng {
   /// give each replication / arrival source its own stream.
   [[nodiscard]] Rng substream(std::uint64_t index) const;
 
-  /// Next raw 64-bit value.
-  std::uint64_t next_u64();
+  /// Next raw 64-bit value. The sampling primitives below are inline:
+  /// the simulator draws one or more variates per event, and keeping the
+  /// generator visible to the optimizer avoids a cross-TU call per draw.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1): 53 random mantissa bits.
-  double uniform01();
+  double uniform01() {
+    // Top 53 bits -> double in [0, 1) with full mantissa resolution.
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) {
+    require(lo <= hi, "Rng::uniform: lo > hi");
+    return lo + (hi - lo) * uniform01();
+  }
 
   /// Exponential variate with the given rate (mean 1/rate).
-  double exponential(double rate);
+  double exponential(double rate) {
+    require(rate > 0.0, "Rng::exponential: rate must be positive");
+    // 1 - U avoids log(0); U in [0,1) so 1-U in (0,1].
+    return -std::log1p(-uniform01()) / rate;
+  }
 
   /// Standard normal via Marsaglia polar method (no cached spare: the
   /// simulator favours state simplicity over the 2x speedup).
@@ -63,6 +88,10 @@ class Rng {
   bool bernoulli(double p);
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> s_{};
   std::uint64_t seed_;  // retained for substream derivation
 };

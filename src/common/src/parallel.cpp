@@ -1,0 +1,102 @@
+#include "cpm/common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpm {
+
+namespace {
+
+/// One worker's slice of the index range. `next` is claimed by the owner
+/// from the front and by thieves through the same fetch_add, so a slice
+/// never hands out an index twice.
+struct Slice {
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+  // Cache-line padding: slices sit in a vector and are hammered from
+  // different threads.
+  char pad[64 - sizeof(std::atomic<std::size_t>) - sizeof(std::size_t)]{};
+};
+
+}  // namespace
+
+unsigned parallel_for_index(std::size_t n, unsigned threads,
+                            const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return 1;
+  unsigned want = threads > 0 ? threads
+                              : std::max(1u, std::thread::hardware_concurrency());
+  if (static_cast<std::size_t>(want) > n) want = static_cast<unsigned>(n);
+  if (want <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return 1;
+  }
+
+  // Pre-partition [0, n) into `want` near-equal contiguous slices.
+  std::vector<Slice> slices(want);
+  const std::size_t base = n / want;
+  const std::size_t extra = n % want;
+  std::size_t lo = 0;
+  for (unsigned w = 0; w < want; ++w) {
+    const std::size_t len = base + (w < extra ? 1 : 0);
+    slices[w].next.store(lo, std::memory_order_relaxed);
+    slices[w].end = lo + len;
+    lo += len;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<bool> abort{false};
+
+  auto claim = [&](Slice& s) -> std::size_t {
+    const std::size_t i = s.next.fetch_add(1, std::memory_order_relaxed);
+    return i < s.end ? i : n;  // n = sentinel for "slice drained"
+  };
+
+  auto worker = [&](unsigned self) {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      std::size_t i = claim(slices[self]);
+      if (i == n) {
+        // Own slice drained: steal from the victim with the most work left.
+        unsigned victim = want;
+        std::size_t victim_left = 0;
+        for (unsigned w = 0; w < want; ++w) {
+          if (w == self) continue;
+          const std::size_t nx = slices[w].next.load(std::memory_order_relaxed);
+          const std::size_t left = nx < slices[w].end ? slices[w].end - nx : 0;
+          if (left > victim_left) {
+            victim_left = left;
+            victim = w;
+          }
+        }
+        if (victim == want) return;  // nothing left anywhere
+        i = claim(slices[victim]);
+        if (i == n) continue;  // lost the race; rescan
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(want - 1);
+  for (unsigned w = 1; w < want; ++w) pool.emplace_back(worker, w);
+  worker(0);
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return want;
+}
+
+}  // namespace cpm

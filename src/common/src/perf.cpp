@@ -1,0 +1,46 @@
+#include "cpm/common/perf.hpp"
+
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define CPM_HAVE_RUSAGE 1
+#endif
+
+namespace cpm {
+
+double monotonic_seconds() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+double process_cpu_seconds() {
+#ifdef CPM_HAVE_RUSAGE
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  auto to_seconds = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return to_seconds(usage.ru_utime) + to_seconds(usage.ru_stime);
+#else
+  return 0.0;
+#endif
+}
+
+std::uint64_t peak_rss_bytes() {
+#ifdef CPM_HAVE_RUSAGE
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace cpm

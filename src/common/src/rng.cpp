@@ -10,10 +10,6 @@ namespace {
 
 constexpr std::uint64_t kGoldenGamma = 0x9E3779B97F4A7C15ULL;
 
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
 }  // namespace
 
 std::uint64_t SplitMix64::next() {
@@ -35,34 +31,6 @@ Rng Rng::substream(std::uint64_t index) const {
   // Distinct seeds spaced by the golden gamma land in decorrelated regions
   // of the SplitMix64 sequence, which then seed disjoint xoshiro states.
   return Rng(seed_ + kGoldenGamma * (index + 1));
-}
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform01() {
-  // Top 53 bits -> double in [0, 1) with full mantissa resolution.
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) {
-  require(lo <= hi, "Rng::uniform: lo > hi");
-  return lo + (hi - lo) * uniform01();
-}
-
-double Rng::exponential(double rate) {
-  require(rate > 0.0, "Rng::exponential: rate must be positive");
-  // 1 - U avoids log(0); U in [0,1) so 1-U in (0,1].
-  return -std::log1p(-uniform01()) / rate;
 }
 
 double Rng::normal(double mean, double stddev) {

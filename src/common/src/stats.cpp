@@ -8,19 +8,6 @@
 
 namespace cpm {
 
-void RunningStats::add(double x) {
-  if (n_ == 0) {
-    min_ = max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
-  ++n_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(n_);
-  m2_ += delta * (x - mean_);
-}
-
 void RunningStats::merge(const RunningStats& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {
@@ -56,16 +43,6 @@ void TimeWeightedStats::start(double time, double value) {
   value_ = value;
   integral_ = 0.0;
 }
-
-void TimeWeightedStats::update(double time, double value) {
-  require(started_, "TimeWeightedStats: update before start");
-  require(time >= last_time_, "TimeWeightedStats: time went backwards");
-  integral_ += value_ * (time - last_time_);
-  last_time_ = time;
-  value_ = value;
-}
-
-void TimeWeightedStats::finish(double time) { update(time, value_); }
 
 void TimeWeightedStats::reset_at(double time) {
   require(started_, "TimeWeightedStats: reset before start");

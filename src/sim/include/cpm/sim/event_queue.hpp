@@ -1,31 +1,49 @@
 // Future-event list for the discrete-event simulator.
 //
-// A thin binary-heap priority queue keyed by (time, sequence). The sequence
-// number breaks ties deterministically in insertion order, which makes
+// A 4-ary indexed heap keyed by (time, sequence). The sequence number
+// breaks ties deterministically in insertion order, which makes
 // simulations bit-for-bit reproducible across runs — a property the
-// regression tests rely on.
+// regression tests rely on. The index layer gives every scheduled event a
+// stable id, so callers can retime (decrease-key) or cancel a pending
+// event in O(log4 n) instead of letting stale closures fire as no-ops.
+//
+// The simulator's own hot path uses the raw FourAryHeap with POD payloads
+// (see simulator.cpp); this closure-based queue is the general-purpose
+// front end for tests, tools and model extensions.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <vector>
+
+#include "cpm/sim/event_heap.hpp"
 
 namespace cpm::sim {
 
-/// An event: a timestamped closure. Closures are cheap here because each
-/// event fires exactly once and the simulator core stays tiny; profiling
-/// (bench_p1_micro) shows the heap, not the std::function, dominates.
-struct Event {
-  double time = 0.0;
-  std::uint64_t seq = 0;
-  std::function<void()> fire;
-};
+/// Stable identifier of a scheduled event, valid until it fires or is
+/// cancelled.
+using EventId = std::uint64_t;
 
 class EventQueue {
  public:
   /// Schedules `fire` at absolute `time`; throws cpm::Error if `time`
-  /// precedes the last popped event (causality violation).
-  void schedule(double time, std::function<void()> fire);
+  /// precedes the last popped event (causality violation). Returns an id
+  /// usable with reschedule/cancel while the event is pending.
+  EventId schedule(double time, std::function<void()> fire);
+
+  /// True while `id` refers to a pending event.
+  [[nodiscard]] bool pending(EventId id) const { return heap_.contains(id); }
+  /// Scheduled time of a pending event; throws when not pending.
+  [[nodiscard]] double scheduled_time(EventId id) const;
+
+  /// Moves a pending event to `new_time` (earlier or later, not before
+  /// `now()`), keeping its closure. The event is re-sequenced, i.e. among
+  /// equal-time peers it now fires last, as if freshly scheduled. Throws
+  /// when `id` is not pending or `new_time` precedes the clock.
+  void reschedule(EventId id, double new_time);
+
+  /// Cancels a pending event so it never fires. Returns false when `id`
+  /// already fired or was cancelled (a no-op, mirroring timer APIs).
+  bool cancel(EventId id);
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
@@ -43,13 +61,9 @@ class EventQueue {
   std::uint64_t run_until(double end_time);
 
  private:
-  std::vector<Event> heap_;
+  IndexedFourAryHeap<std::function<void()>> heap_;
   std::uint64_t next_seq_ = 0;
   double now_ = 0.0;
-
-  static bool later(const Event& a, const Event& b);
-  void sift_up(std::size_t i);
-  void sift_down(std::size_t i);
 };
 
 }  // namespace cpm::sim

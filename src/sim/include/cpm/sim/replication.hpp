@@ -37,6 +37,10 @@ struct ReplicatedResult {
   std::vector<ConfidenceInterval> station_utilization;
   int replications = 0;
   std::uint64_t total_events = 0;
+  /// Worker threads the run actually used: min(requested or hardware
+  /// concurrency, replications) — never one thread per replication, so
+  /// 10k-replication sweeps cannot exhaust OS threads.
+  unsigned threads_used = 1;
 };
 
 /// The per-replication seeds `replicate` derives from a base seed: a

@@ -6,63 +6,48 @@
 
 namespace cpm::sim {
 
-bool EventQueue::later(const Event& a, const Event& b) {
-  if (a.time != b.time) return a.time > b.time;
-  return a.seq > b.seq;
+EventId EventQueue::schedule(double time, std::function<void()> fire) {
+  require(time >= now_, "EventQueue: scheduling into the past");
+  return heap_.push(time, next_seq_++, std::move(fire));
 }
 
-void EventQueue::schedule(double time, std::function<void()> fire) {
-  require(time >= now_, "EventQueue: scheduling into the past");
-  heap_.push_back(Event{time, next_seq_++, std::move(fire)});
-  sift_up(heap_.size() - 1);
+double EventQueue::scheduled_time(EventId id) const {
+  require(heap_.contains(id), "EventQueue: scheduled_time on a fired/cancelled event");
+  return heap_.time_of(id);
+}
+
+void EventQueue::reschedule(EventId id, double new_time) {
+  require(heap_.contains(id), "EventQueue: reschedule on a fired/cancelled event");
+  require(new_time >= now_, "EventQueue: rescheduling into the past");
+  heap_.retime(id, new_time, next_seq_++);
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!heap_.contains(id)) return false;
+  heap_.erase(id);
+  return true;
 }
 
 double EventQueue::next_time() const {
   require(!heap_.empty(), "EventQueue: next_time on empty queue");
-  return heap_.front().time;
+  return heap_.top().time;
 }
 
 void EventQueue::run_next() {
   require(!heap_.empty(), "EventQueue: run_next on empty queue");
-  Event ev = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  now_ = ev.time;
-  ev.fire();
+  auto entry = heap_.pop();
+  now_ = entry.time;
+  entry.payload();
 }
 
 std::uint64_t EventQueue::run_until(double end_time) {
   std::uint64_t fired = 0;
-  while (!heap_.empty() && heap_.front().time <= end_time) {
+  while (!heap_.empty() && heap_.top().time <= end_time) {
     run_next();
     ++fired;
   }
   if (now_ < end_time) now_ = end_time;
   return fired;
-}
-
-void EventQueue::sift_up(std::size_t i) {
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!later(heap_[parent], heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
-    i = parent;
-  }
-}
-
-void EventQueue::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
-  for (;;) {
-    const std::size_t l = 2 * i + 1;
-    const std::size_t r = l + 1;
-    std::size_t smallest = i;
-    if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
-    if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
-    if (smallest == i) return;
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
-  }
 }
 
 }  // namespace cpm::sim

@@ -1,10 +1,9 @@
 #include "cpm/sim/replication.hpp"
 
-#include <atomic>
-#include <thread>
 #include <unordered_set>
 
 #include "cpm/common/error.hpp"
+#include "cpm/common/parallel.hpp"
 #include "cpm/common/rng.hpp"
 
 namespace cpm::sim {
@@ -35,32 +34,21 @@ ReplicatedResult replicate(const SimConfig& base, const ReplicationOptions& opti
   const std::vector<std::uint64_t> seeds =
       replication_seeds(base.seed, options.replications);
 
-  unsigned n_threads = options.threads > 0
-                           ? static_cast<unsigned>(options.threads)
-                           : std::max(1u, std::thread::hardware_concurrency());
-  n_threads = std::min<unsigned>(n_threads, static_cast<unsigned>(n_reps));
-
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n_reps) return;
-      SimConfig cfg = base;
-      cfg.seed = seeds[i];
-      results[i] = simulate(cfg);
-    }
-  };
-  if (n_threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(n_threads);
-    for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
-  }
+  // Work-stealing pool, capped at hardware concurrency and at the
+  // replication count: 10k replications never spawn 10k threads. Results
+  // land in slots addressed by replication index, so the (nondeterministic)
+  // schedule cannot change any aggregate.
+  const unsigned threads_used = parallel_for_index(
+      n_reps, options.threads > 0 ? static_cast<unsigned>(options.threads) : 0,
+      [&](std::size_t i) {
+        SimConfig cfg = base;
+        cfg.seed = seeds[i];
+        results[i] = simulate(cfg);
+      });
 
   ReplicatedResult agg;
   agg.replications = options.replications;
+  agg.threads_used = threads_used;
   const std::size_t n_classes = base.classes.size();
   const std::size_t n_stations = base.stations.size();
   agg.classes.resize(n_classes);

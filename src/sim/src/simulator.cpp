@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "cpm/common/error.hpp"
+#include "cpm/sim/event_heap.hpp"
 
 namespace cpm::sim {
 
@@ -55,11 +56,32 @@ struct Job {
   bool counted = false;           ///< arrived after warm-up -> contributes stats
 };
 
-using JobPtr = std::unique_ptr<Job>;
+/// Per-run job pool: jobs churn at every arrival/departure, so they are
+/// recycled through a free list instead of hitting the allocator. A deque
+/// backs the pool because its blocks never move — raw Job* stay valid for
+/// the whole run.
+class JobArena {
+ public:
+  Job* acquire() {
+    if (!free_.empty()) {
+      Job* j = free_.back();
+      free_.pop_back();
+      *j = Job{};
+      return j;
+    }
+    return &pool_.emplace_back();
+  }
+
+  void release(Job* job) { free_.push_back(job); }
+
+ private:
+  std::deque<Job> pool_;
+  std::vector<Job*> free_;
+};
 
 // A job currently holding a server (FCFS / priority stations).
 struct InService {
-  JobPtr job;
+  Job* job = nullptr;
   std::uint64_t token = 0;      ///< matches the scheduled completion event
   double finish_time = 0.0;
   double segment_start = 0.0;   ///< start of the current energy segment
@@ -67,14 +89,15 @@ struct InService {
 
 // A job sharing the processor (PS stations).
 struct PsJob {
-  JobPtr job;
+  Job* job = nullptr;
   double remaining_work = 0.0;
 };
 
 struct StationRuntime {
   // One FIFO queue per priority level; FCFS uses only queue 0.
-  std::vector<std::deque<JobPtr>> queues;
+  std::vector<std::deque<Job*>> queues;
   std::vector<InService> in_service;
+  std::size_t waiting = 0;  ///< total queued jobs (sum over `queues`)
 
   // Processor-sharing state.
   std::vector<PsJob> ps_jobs;
@@ -83,6 +106,12 @@ struct StationRuntime {
   bool ps_event_pending = false;
 
   std::uint64_t next_token = 1;
+
+  // Static config mirrored here so the dispatch loop never chases
+  // cfg_.stations on the hot path.
+  Discipline discipline = Discipline::kFcfs;
+  int servers = 1;
+  int capacity = -1;
 
   // Runtime operating point (changed by the control hook).
   double speed = 1.0;
@@ -93,6 +122,24 @@ struct StationRuntime {
   TimeWeightedStats queue_len;
   std::vector<RunningStats> sojourn_by_class;
   std::vector<RunningStats> wait_by_class;
+};
+
+/// Typed simulator events: replaces the closure-per-event scheme, whose
+/// std::function allocations and indirect calls dominated the old hot
+/// path. `a` is a class or station index, `b` a service token.
+enum class Ev : std::uint32_t {
+  kArrival,      ///< open/trace/scheduled source fires for class `a`
+  kThinkDone,    ///< closed-class user of class `a` submits a request
+  kCompletion,   ///< station `a` finishes the job holding token `b`
+  kPsComplete,   ///< PS station `a` drains, valid while token `b` current
+  kWarmupEnd,    ///< statistics reset at the warm-up boundary
+  kControlTick,  ///< online-management hook invocation
+};
+
+struct EvPayload {
+  Ev kind = Ev::kArrival;
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
 };
 
 class Simulation {
@@ -107,6 +154,9 @@ class Simulation {
       auto& st = stations_[s];
       const bool fcfs_like = cfg_.stations[s].discipline == Discipline::kFcfs;
       st.queues.resize(fcfs_like ? 1 : n_classes);
+      st.discipline = cfg_.stations[s].discipline;
+      st.servers = cfg_.stations[s].servers;
+      st.capacity = cfg_.stations[s].capacity;
       st.speed = cfg_.stations[s].speed;
       st.dynamic_watts = cfg_.stations[s].dynamic_watts;
       st.busy_servers.start(0.0, 0.0);
@@ -126,6 +176,17 @@ class Simulation {
       service_rng_.push_back(root.substream(2 * k + 1));
     }
 
+    // Flatten each class's route into (station, service distribution)
+    // pairs so the per-visit sampling path is one indexed load instead of
+    // three chained lookups through cfg_.
+    route_.resize(n_classes);
+    for (std::size_t k = 0; k < n_classes; ++k) {
+      route_[k].reserve(cfg_.classes[k].route.size());
+      for (const auto& v : cfg_.classes[k].route)
+        route_[k].push_back(RouteStep{static_cast<std::size_t>(v.station),
+                                      &v.service});
+    }
+
     class_delay_.resize(n_classes);
     class_energy_.resize(n_classes);
     for (std::size_t k = 0; k < n_classes; ++k)
@@ -139,6 +200,7 @@ class Simulation {
 
   SimResult run() {
     trace_pos_.assign(cfg_.classes.size(), 0);
+    heap_.reserve(64);
     for (std::size_t k = 0; k < cfg_.classes.size(); ++k) {
       if (cfg_.classes[k].population > 0) {
         for (int u = 0; u < cfg_.classes[k].population; ++u) start_think(k);
@@ -149,24 +211,57 @@ class Simulation {
     }
 
     if (cfg_.warmup_time > 0.0)
-      events_.schedule(cfg_.warmup_time, [this] { end_warmup(); });
+      schedule(cfg_.warmup_time, Ev::kWarmupEnd, 0, 0);
 
     if (cfg_.control_period > 0.0 && cfg_.control)
-      events_.schedule(cfg_.control_period, [this] { control_tick(); });
+      schedule(cfg_.control_period, Ev::kControlTick, 0, 0);
 
     // Manual loop (not run_until) because a completion cap may pull
     // cfg_.end_time in while events are in flight.
-    while (!events_.empty() && events_.next_time() <= cfg_.end_time) {
-      if (cfg_.audit && events_.next_time() < events_.now())
+    while (!heap_.empty() && heap_.top().time <= cfg_.end_time) {
+      if (cfg_.audit && heap_.top().time < now_)
         throw Error("sim audit: event time went backwards at t=" +
-                    std::to_string(events_.now()));
-      events_.run_next();
+                    std::to_string(now_));
+      const auto entry = heap_.pop();
+      now_ = entry.time;
       ++events_fired_;
+      switch (entry.payload.kind) {
+        case Ev::kArrival:
+          on_arrival(entry.payload.a);
+          break;
+        case Ev::kThinkDone:
+          on_think_done(entry.payload.a);
+          break;
+        case Ev::kCompletion:
+          complete_service(entry.payload.a, entry.payload.b);
+          break;
+        case Ev::kPsComplete:
+          ps_complete(entry.payload.a, entry.payload.b);
+          break;
+        case Ev::kWarmupEnd:
+          end_warmup();
+          break;
+        case Ev::kControlTick:
+          control_tick();
+          break;
+      }
     }
     return collect();
   }
 
  private:
+  struct RouteStep {
+    std::size_t station = 0;
+    const Distribution* service = nullptr;
+  };
+
+  [[nodiscard]] double now() const { return now_; }
+
+  void schedule(double time, Ev kind, std::uint32_t a, std::uint64_t b) {
+    require(time >= now_, "sim: scheduling into the past");
+    heap_.push(time, next_seq_++, EvPayload{kind, a, b});
+  }
+
   // ---- arrival generation ------------------------------------------------
 
   void schedule_arrival(std::size_t k) {
@@ -174,86 +269,84 @@ class Simulation {
     double t;
     if (!cls.arrival_times.empty()) {
       if (trace_pos_[k] >= cls.arrival_times.size()) return;  // trace drained
-      t = std::max(cls.arrival_times[trace_pos_[k]++], events_.now());
+      t = std::max(cls.arrival_times[trace_pos_[k]++], now_);
     } else if (cls.schedule) {
-      t = cls.schedule->next_arrival(events_.now(), arrival_rng_[k]);
+      t = cls.schedule->next_arrival(now_, arrival_rng_[k]);
     } else {
-      t = events_.now() + arrival_rng_[k].exponential(cls.rate);
+      t = now_ + arrival_rng_[k].exponential(cls.rate);
     }
     if (t > cfg_.end_time) return;  // horizon reached for this source
-    events_.schedule(t, [this, k] {
-      auto job = std::make_unique<Job>();
-      job->cls = k;
-      job->network_arrival = events_.now();
-      job->counted = events_.now() >= cfg_.warmup_time;
-      if (job->counted) ++arrived_[k];
-      ++window_arrivals_[k];
-      enter_station(std::move(job));
-      schedule_arrival(k);
-    });
+    schedule(t, Ev::kArrival, static_cast<std::uint32_t>(k), 0);
+  }
+
+  void on_arrival(std::size_t k) {
+    Job* job = arena_.acquire();
+    job->cls = k;
+    job->network_arrival = now_;
+    job->counted = now_ >= cfg_.warmup_time;
+    if (job->counted) ++arrived_[k];
+    ++window_arrivals_[k];
+    enter_station(job);
+    schedule_arrival(k);
   }
 
   /// Closed-class cycle: one user thinks, then submits a fresh request.
   void start_think(std::size_t k) {
     const double think = cfg_.classes[k].think_time.sample(arrival_rng_[k]);
-    const double t = events_.now() + think;
+    const double t = now_ + think;
     if (t > cfg_.end_time) return;  // user idles past the horizon
-    events_.schedule(t, [this, k] {
-      auto job = std::make_unique<Job>();
-      job->cls = k;
-      job->network_arrival = events_.now();
-      job->counted = events_.now() >= cfg_.warmup_time;
-      if (job->counted) ++arrived_[k];
-      ++window_arrivals_[k];
-      enter_station(std::move(job));
-    });
+    schedule(t, Ev::kThinkDone, static_cast<std::uint32_t>(k), 0);
+  }
+
+  void on_think_done(std::size_t k) {
+    Job* job = arena_.acquire();
+    job->cls = k;
+    job->network_arrival = now_;
+    job->counted = now_ >= cfg_.warmup_time;
+    if (job->counted) ++arrived_[k];
+    ++window_arrivals_[k];
+    enter_station(job);
   }
 
   // ---- station entry / service start ------------------------------------
 
-  std::size_t station_of(const Job& job) const {
-    return static_cast<std::size_t>(cfg_.classes[job.cls].route[job.route_pos].station);
-  }
-
   /// Requests currently at station s (serving + waiting).
   std::size_t station_population(std::size_t s) const {
     const auto& st = stations_[s];
-    std::size_t n = st.in_service.size() + st.ps_jobs.size();
-    for (const auto& q : st.queues) n += q.size();
-    return n;
+    return st.in_service.size() + st.ps_jobs.size() + st.waiting;
   }
 
-  void enter_station(JobPtr job) {
-    const std::size_t s = station_of(*job);
+  void enter_station(Job* job) {
+    const std::size_t s = route_[job->cls][job->route_pos].station;
+    auto& st = stations_[s];
 
     // Admission control: a full station drops the whole request. A closed
     // class's user returns to thinking and will retry a fresh request.
-    const int capacity = cfg_.stations[s].capacity;
-    if (capacity >= 0 &&
-        station_population(s) >= static_cast<std::size_t>(capacity)) {
+    if (st.capacity >= 0 &&
+        station_population(s) >= static_cast<std::size_t>(st.capacity)) {
       if (job->counted) ++blocked_[job->cls];
-      if (cfg_.classes[job->cls].population > 0) start_think(job->cls);
-      return;  // job destroyed
+      const std::size_t k = job->cls;
+      arena_.release(job);
+      if (cfg_.classes[k].population > 0) start_think(k);
+      return;  // job recycled
     }
 
-    job->station_arrival = events_.now();
+    job->station_arrival = now_;
     job->service_total =
-        cfg_.classes[job->cls].route[job->route_pos].service.sample(
-            service_rng_[job->cls]);
+        route_[job->cls][job->route_pos].service->sample(service_rng_[job->cls]);
     job->service_remaining = job->service_total;
 
-    if (cfg_.stations[s].discipline == Discipline::kProcessorSharing) {
-      ps_enter(s, std::move(job));
+    if (st.discipline == Discipline::kProcessorSharing) {
+      ps_enter(s, job);
       return;
     }
 
-    auto& st = stations_[s];
     if (has_free_server(s)) {
-      start_service(s, std::move(job));
+      start_service(s, job);
       return;
     }
 
-    if (cfg_.stations[s].discipline == Discipline::kPreemptiveResume) {
+    if (st.discipline == Discipline::kPreemptiveResume) {
       // Preempt the lowest-priority job in service if strictly lower.
       std::size_t victim = st.in_service.size();
       std::size_t victim_cls = job->cls;
@@ -264,51 +357,50 @@ class Simulation {
         }
       }
       if (victim < st.in_service.size()) {
-        InService victim_entry = std::move(st.in_service[victim]);
+        InService victim_entry = st.in_service[victim];
         st.in_service.erase(st.in_service.begin() +
                             static_cast<std::ptrdiff_t>(victim));
         update_busy_signals(s);
         // The scheduled completion for this token becomes a no-op. The
         // remaining WORK is the remaining wall time at the current speed.
         victim_entry.job->service_remaining =
-            (victim_entry.finish_time - events_.now()) * st.speed;
+            (victim_entry.finish_time - now_) * st.speed;
         // Close the victim's energy segment: it drew power while serving.
         victim_entry.job->energy_joules +=
-            st.dynamic_watts * (events_.now() - victim_entry.segment_start);
+            st.dynamic_watts * (now_ - victim_entry.segment_start);
         const std::size_t q = victim_entry.job->cls;
-        stations_[s].queues[q].push_front(std::move(victim_entry.job));
+        st.queues[q].push_front(victim_entry.job);
+        ++st.waiting;
         update_queue_len(s);
-        start_service(s, std::move(job));
+        start_service(s, job);
         return;
       }
     }
 
-    const std::size_t q =
-        cfg_.stations[s].discipline == Discipline::kFcfs ? 0 : job->cls;
-    st.queues[q].push_back(std::move(job));
+    const std::size_t q = st.discipline == Discipline::kFcfs ? 0 : job->cls;
+    st.queues[q].push_back(job);
+    ++st.waiting;
     update_queue_len(s);
   }
 
   bool has_free_server(std::size_t s) const {
     return stations_[s].in_service.size() <
-           static_cast<std::size_t>(cfg_.stations[s].servers);
+           static_cast<std::size_t>(stations_[s].servers);
   }
 
   /// Hands free servers to waiting jobs, highest priority first.
   void dispatch(std::size_t s) {
     auto& st = stations_[s];
-    while (has_free_server(s)) {
-      bool started = false;
+    while (st.waiting > 0 && has_free_server(s)) {
       for (auto& queue : st.queues) {
         if (queue.empty()) continue;
-        JobPtr next = std::move(queue.front());
+        Job* next = queue.front();
         queue.pop_front();
+        --st.waiting;
         update_queue_len(s);
-        start_service(s, std::move(next));
-        started = true;
+        start_service(s, next);
         break;
       }
-      if (!started) break;
     }
   }
 
@@ -316,18 +408,18 @@ class Simulation {
   void update_busy_signals(std::size_t s) {
     auto& st = stations_[s];
     const double busy = static_cast<double>(st.in_service.size());
-    st.busy_servers.update(events_.now(), busy);
-    st.dyn_power.update(events_.now(), st.dynamic_watts * busy);
+    st.busy_servers.update(now_, busy);
+    st.dyn_power.update(now_, st.dynamic_watts * busy);
   }
 
-  void start_service(std::size_t s, JobPtr job) {
+  void start_service(std::size_t s, Job* job) {
     auto& st = stations_[s];
     const std::uint64_t token = st.next_token++;
     const double wall = job->service_remaining / st.speed;
-    const double finish = events_.now() + wall;
-    st.in_service.push_back(InService{std::move(job), token, finish, events_.now()});
+    const double finish = now_ + wall;
+    st.in_service.push_back(InService{job, token, finish, now_});
     update_busy_signals(s);
-    events_.schedule(finish, [this, s, token] { complete_service(s, token); });
+    schedule(finish, Ev::kCompletion, static_cast<std::uint32_t>(s), token);
     if (cfg_.audit) audit_station(s);
   }
 
@@ -335,12 +427,11 @@ class Simulation {
   /// jobs in service than servers, never more jobs present than capacity.
   void audit_station(std::size_t s) const {
     const auto& st = stations_[s];
-    if (st.in_service.size() > static_cast<std::size_t>(cfg_.stations[s].servers))
+    if (st.in_service.size() > static_cast<std::size_t>(st.servers))
       throw Error("sim audit: station '" + cfg_.stations[s].name +
                   "' has more jobs in service than servers");
-    const int capacity = cfg_.stations[s].capacity;
-    if (capacity >= 0 &&
-        station_population(s) > static_cast<std::size_t>(capacity))
+    if (st.capacity >= 0 &&
+        station_population(s) > static_cast<std::size_t>(st.capacity))
       throw Error("sim audit: station '" + cfg_.stations[s].name +
                   "' exceeded its admission capacity");
   }
@@ -352,15 +443,15 @@ class Simulation {
         [token](const InService& e) { return e.token == token; });
     if (it == st.in_service.end()) return;  // preempted: stale completion
 
-    JobPtr job = std::move(it->job);
-    job->energy_joules += st.dynamic_watts * (events_.now() - it->segment_start);
+    Job* job = it->job;
+    job->energy_joules += st.dynamic_watts * (now_ - it->segment_start);
     st.in_service.erase(it);
     update_busy_signals(s);
 
     // Hand the freed server to waiting jobs BEFORE routing the departure:
     // a job revisiting this station must not jump ahead of the queue.
     dispatch(s);
-    depart_station(s, std::move(job));
+    depart_station(s, job);
   }
 
   // ---- processor sharing -------------------------------------------------
@@ -369,26 +460,26 @@ class Simulation {
     // Each of n jobs progresses at speed * min(1, c/n).
     const auto& st = stations_[s];
     if (st.ps_jobs.empty()) return 0.0;
-    const double c = static_cast<double>(cfg_.stations[s].servers);
+    const double c = static_cast<double>(st.servers);
     const double n = static_cast<double>(st.ps_jobs.size());
     return st.speed * std::min(1.0, c / n);
   }
 
   void ps_update_signals(std::size_t s) {
     auto& st = stations_[s];
-    const double busy = std::min(static_cast<double>(cfg_.stations[s].servers),
+    const double busy = std::min(static_cast<double>(st.servers),
                                  static_cast<double>(st.ps_jobs.size()));
-    st.busy_servers.update(events_.now(), busy);
-    st.dyn_power.update(events_.now(), st.dynamic_watts * busy);
+    st.busy_servers.update(now_, busy);
+    st.dyn_power.update(now_, st.dynamic_watts * busy);
   }
 
   void ps_advance(std::size_t s) {
     auto& st = stations_[s];
     const double rate = ps_rate(s);
-    const double dt = events_.now() - st.ps_last_update;
+    const double dt = now_ - st.ps_last_update;
     if (dt > 0.0 && rate > 0.0)
       for (auto& pj : st.ps_jobs) pj.remaining_work -= dt * rate;
-    st.ps_last_update = events_.now();
+    st.ps_last_update = now_;
   }
 
   void ps_reschedule(std::size_t s) {
@@ -401,17 +492,15 @@ class Simulation {
     for (const auto& pj : st.ps_jobs)
       min_work = std::min(min_work, pj.remaining_work);
     min_work = std::max(min_work, 0.0);
-    const double t = events_.now() + min_work / rate;
-    const std::uint64_t token = st.ps_token;
+    const double t = now_ + min_work / rate;
     st.ps_event_pending = true;
-    events_.schedule(t, [this, s, token] { ps_complete(s, token); });
+    schedule(t, Ev::kPsComplete, static_cast<std::uint32_t>(s), st.ps_token);
   }
 
-  void ps_enter(std::size_t s, JobPtr job) {
+  void ps_enter(std::size_t s, Job* job) {
     auto& st = stations_[s];
     ps_advance(s);
-    st.ps_jobs.push_back(PsJob{std::move(job), 0.0});
-    st.ps_jobs.back().remaining_work = st.ps_jobs.back().job->service_total;
+    st.ps_jobs.push_back(PsJob{job, job->service_total});
     ps_update_signals(s);
     ps_reschedule(s);
   }
@@ -423,10 +512,10 @@ class Simulation {
     // Finish every job whose work has hit zero (simultaneity is possible
     // with deterministic service).
     constexpr double kEps = 1e-12;
-    std::vector<JobPtr> finished;
+    std::vector<Job*> finished;
     for (auto it = st.ps_jobs.begin(); it != st.ps_jobs.end();) {
       if (it->remaining_work <= kEps) {
-        finished.push_back(std::move(it->job));
+        finished.push_back(it->job);
         it = st.ps_jobs.erase(it);
       } else {
         ++it;
@@ -434,20 +523,20 @@ class Simulation {
     }
     ps_update_signals(s);
     ps_reschedule(s);
-    for (auto& job : finished) {
+    for (Job* job : finished) {
       // PS energy attribution: the job's share of server-time equals its
       // total work divided by the station speed (exact at fixed speed;
       // approximate across mid-service retunings).
       job->energy_joules += st.dynamic_watts * job->service_total / st.speed;
-      depart_station(s, std::move(job));
+      depart_station(s, job);
     }
   }
 
   // ---- departures & end-to-end accounting --------------------------------
 
-  void depart_station(std::size_t s, JobPtr job) {
+  void depart_station(std::size_t s, Job* job) {
     auto& st = stations_[s];
-    const double sojourn = events_.now() - job->station_arrival;
+    const double sojourn = now_ - job->station_arrival;
     if (cfg_.audit) {
       if (sojourn < -1e-9)
         throw Error("sim audit: negative sojourn at station '" +
@@ -455,7 +544,7 @@ class Simulation {
       // Energy attribution bound: a request draws dynamic power from at
       // most one server at a time, so its accumulated joules can never
       // exceed its network dwell time at the peak dynamic wattage.
-      const double dwell = events_.now() - job->network_arrival;
+      const double dwell = now_ - job->network_arrival;
       const double bound = dwell * audit_max_watts_ * (1.0 + 1e-6) + 1e-6;
       if (job->energy_joules < -1e-9 || job->energy_joules > bound)
         throw Error("sim audit: energy attribution out of bounds for class " +
@@ -470,54 +559,54 @@ class Simulation {
     // Dynamic energy was accumulated segment-wise while serving.
 
     job->route_pos += 1;
-    if (job->route_pos < cfg_.classes[job->cls].route.size()) {
-      enter_station(std::move(job));
+    if (job->route_pos < route_[job->cls].size()) {
+      enter_station(job);
       return;
     }
 
+    const std::size_t k = job->cls;
     if (job->counted) {
-      const double delay = events_.now() - job->network_arrival;
-      class_delay_[job->cls].add(delay);
-      class_p95_[job->cls].add(delay);
-      class_energy_[job->cls].add(job->energy_joules);
-      ++completed_[job->cls];
+      const double delay = now_ - job->network_arrival;
+      class_delay_[k].add(delay);
+      class_p95_[k].add(delay);
+      class_energy_[k].add(job->energy_joules);
+      ++completed_[k];
       if (cfg_.record_completions)
-        completions_.push_back(CompletionRecord{events_.now(), delay, job->cls});
+        completions_.push_back(CompletionRecord{now_, delay, k});
       if (cfg_.max_completions > 0) {
         std::uint64_t total = 0;
         for (auto c : completed_) total += c;
         if (total >= cfg_.max_completions) truncate_horizon();
       }
     }
+    arena_.release(job);
     // Closed class: the user goes back to thinking, then resubmits.
-    if (cfg_.classes[job->cls].population > 0) start_think(job->cls);
+    if (cfg_.classes[k].population > 0) start_think(k);
   }
 
   void truncate_horizon() {
     // Stop the run: pending events beyond "now" never fire because the
     // main loop re-checks cfg_.end_time before every event.
-    cfg_.end_time = events_.now();
+    cfg_.end_time = now_;
   }
 
   void update_queue_len(std::size_t s) {
     auto& st = stations_[s];
-    std::size_t waiting = 0;
-    for (const auto& q : st.queues) waiting += q.size();
-    st.queue_len.update(events_.now(), static_cast<double>(waiting));
+    st.queue_len.update(now_, static_cast<double>(st.waiting));
   }
 
   void end_warmup() {
     for (auto& st : stations_) {
-      st.busy_servers.reset_at(events_.now());
-      st.dyn_power.reset_at(events_.now());
-      st.queue_len.reset_at(events_.now());
+      st.busy_servers.reset_at(now_);
+      st.dyn_power.reset_at(now_);
+      st.queue_len.reset_at(now_);
     }
   }
 
   // ---- online management (DVFS control hook) ------------------------------
 
   void control_tick() {
-    const double now = events_.now();
+    const double now = now_;
     const double window = cfg_.control_period;
 
     ControlSnapshot snap;
@@ -537,11 +626,8 @@ class Simulation {
       const double busy_integral = st.busy_servers.integral() - window_busy_base_[s];
       window_busy_base_[s] = st.busy_servers.integral();
       snap.utilization[s] =
-          busy_integral /
-          (window * static_cast<double>(cfg_.stations[s].servers));
-      std::size_t waiting = 0;
-      for (const auto& q : st.queues) waiting += q.size();
-      snap.queue_length[s] = static_cast<double>(waiting);
+          busy_integral / (window * static_cast<double>(st.servers));
+      snap.queue_length[s] = static_cast<double>(st.waiting);
     }
 
     const std::vector<TierSetting> settings = cfg_.control(snap);
@@ -553,8 +639,7 @@ class Simulation {
     }
 
     const double next = now + cfg_.control_period;
-    if (next <= cfg_.end_time)
-      events_.schedule(next, [this] { control_tick(); });
+    if (next <= cfg_.end_time) schedule(next, Ev::kControlTick, 0, 0);
   }
 
   void apply_tier_setting(std::size_t s, const TierSetting& setting) {
@@ -562,12 +647,12 @@ class Simulation {
     require(setting.dynamic_watts >= 0.0, "sim: dynamic watts must be >= 0");
     audit_max_watts_ = std::max(audit_max_watts_, setting.dynamic_watts);
     auto& st = stations_[s];
-    const double now = events_.now();
+    const double now = now_;
     const double old_speed = st.speed;
     if (setting.speed == old_speed && setting.dynamic_watts == st.dynamic_watts)
       return;
 
-    if (cfg_.stations[s].discipline == Discipline::kProcessorSharing) {
+    if (st.discipline == Discipline::kProcessorSharing) {
       // Integrate progress at the old rate, then switch.
       ps_advance(s);
       st.speed = setting.speed;
@@ -588,9 +673,8 @@ class Simulation {
                                     setting.speed;
       entry.finish_time = now + remaining_wall;
       entry.token = st.next_token++;
-      const std::uint64_t token = entry.token;
-      events_.schedule(entry.finish_time,
-                       [this, s, token] { complete_service(s, token); });
+      schedule(entry.finish_time, Ev::kCompletion,
+               static_cast<std::uint32_t>(s), entry.token);
     }
     st.dynamic_watts = setting.dynamic_watts;
     update_busy_signals(s);
@@ -599,7 +683,7 @@ class Simulation {
   // ---- result assembly ----------------------------------------------------
 
   SimResult collect() {
-    const double t_end = std::max(events_.now(), cfg_.warmup_time);
+    const double t_end = std::max(now_, cfg_.warmup_time);
     for (auto& st : stations_) {
       st.busy_servers.finish(t_end);
       st.dyn_power.finish(t_end);
@@ -616,7 +700,7 @@ class Simulation {
     std::vector<std::uint64_t> in_system(cfg_.classes.size(), 0);
     for (const auto& st : stations_) {
       for (const auto& q : st.queues)
-        for (const auto& job : q)
+        for (const Job* job : q)
           if (job->counted) ++in_system[job->cls];
       for (const auto& e : st.in_service)
         if (e.job->counted) ++in_system[e.job->cls];
@@ -663,7 +747,7 @@ class Simulation {
     for (std::size_t s = 0; s < cfg_.stations.size(); ++s) {
       auto& sr = r.stations[s];
       const auto& st = stations_[s];
-      const double servers = static_cast<double>(cfg_.stations[s].servers);
+      const double servers = static_cast<double>(st.servers);
       const double busy_avg = st.busy_servers.time_average();
       sr.utilization = busy_avg / servers;
       sr.mean_queue_len = st.queue_len.time_average();
@@ -683,8 +767,12 @@ class Simulation {
   }
 
   SimConfig& cfg_;
-  EventQueue events_;
+  FourAryHeap<EvPayload> heap_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+  JobArena arena_;
   std::vector<StationRuntime> stations_;
+  std::vector<std::vector<RouteStep>> route_;
   std::vector<Rng> arrival_rng_;
   std::vector<Rng> service_rng_;
   std::vector<RunningStats> class_delay_;

@@ -1,0 +1,102 @@
+#include "cpm/common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace cpm {
+namespace {
+
+TEST(ParallelForIndex, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  const unsigned used = parallel_for_index(n, 4, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_GE(used, 1u);
+  EXPECT_LE(used, 4u);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForIndex, ZeroTasksIsANoOp) {
+  int calls = 0;
+  const unsigned used = parallel_for_index(0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(used, 1u);
+}
+
+TEST(ParallelForIndex, NeverSpawnsMoreThreadsThanTasks) {
+  // 3 tasks, 64 threads requested: at most 3 workers may participate.
+  const unsigned used = parallel_for_index(3, 64, [](std::size_t) {});
+  EXPECT_LE(used, 3u);
+}
+
+TEST(ParallelForIndex, ZeroThreadsMeansHardwareConcurrency) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned used = parallel_for_index(100, 0, [](std::size_t) {});
+  EXPECT_LE(used, hw);
+}
+
+TEST(ParallelForIndex, SingleThreadDegradesToPlainLoop) {
+  std::vector<std::size_t> order;
+  const unsigned used = parallel_for_index(5, 1, [&](std::size_t i) {
+    order.push_back(i);  // no lock needed: caller is the only worker
+  });
+  EXPECT_EQ(used, 1u);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForIndex, ResultsLandInIndexAddressedSlots) {
+  constexpr std::size_t n = 2048;
+  std::vector<std::size_t> out(n, 0);
+  parallel_for_index(n, 8, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelForIndex, FirstExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      parallel_for_index(1000, 4,
+                         [](std::size_t i) {
+                           if (i == 417) throw std::runtime_error("task 417 failed");
+                         }),
+      std::runtime_error);
+}
+
+TEST(ParallelForIndex, ExceptionAbortsOutstandingWork) {
+  // After a task throws, workers stop claiming; far fewer than n tasks
+  // should run when the very first claimed index throws.
+  std::atomic<int> ran{0};
+  try {
+    parallel_for_index(100000, 2, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("abort");
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_LT(ran.load(), 100000);
+}
+
+TEST(ParallelForIndex, StealingDrainsImbalancedSlices) {
+  // Make worker 0's slice artificially heavy so other workers must steal
+  // to finish; all indices still run exactly once.
+  constexpr std::size_t n = 256;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_index(n, 4, [&](std::size_t i) {
+    if (i < 8) {  // heavy head of the range
+      volatile double x = 0;
+      for (int k = 0; k < 200000; ++k) x = x + 1.0;
+    }
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  int total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_EQ(total, static_cast<int>(n));
+}
+
+}  // namespace
+}  // namespace cpm

@@ -84,5 +84,73 @@ TEST(EventQueue, EmptyQueueQueriesThrow) {
   EXPECT_THROW(q.run_next(), Error);
 }
 
+TEST(EventQueue, RescheduleMovesEventEarlier) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  const EventId id = q.schedule(9.0, [&] { order.push_back(9); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(q.pending(id));
+  EXPECT_DOUBLE_EQ(q.scheduled_time(id), 9.0);
+  q.reschedule(id, 0.5);  // decrease-key
+  EXPECT_DOUBLE_EQ(q.scheduled_time(id), 0.5);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{9, 1, 2}));
+}
+
+TEST(EventQueue, RescheduleMovesEventLater) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId id = q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.reschedule(id, 5.0);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, RescheduledEventLosesItsTieBreakSlot) {
+  // Retiming re-sequences: among equal-time events the moved one now
+  // fires last, exactly as if it had been cancelled and re-scheduled.
+  EventQueue q;
+  std::vector<int> order;
+  const EventId id = q.schedule(3.0, [&] { order.push_back(0); });
+  q.schedule(3.0, [&] { order.push_back(1); });
+  q.schedule(3.0, [&] { order.push_back(2); });
+  q.reschedule(id, 3.0);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  const EventId id = q.schedule(2.0, [&] { fired += 100; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.pending(id));
+  EXPECT_FALSE(q.cancel(id));  // second cancel is a no-op
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, FiredEventIsNoLongerPending) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.run_next();
+  EXPECT_FALSE(q.pending(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_THROW(static_cast<void>(q.scheduled_time(id)), Error);
+  EXPECT_THROW(q.reschedule(id, 2.0), Error);
+}
+
+TEST(EventQueue, RescheduleIntoThePastThrows) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  const EventId id = q.schedule(9.0, [] {});
+  q.run_next();  // clock now 5.0
+  EXPECT_THROW(q.reschedule(id, 4.0), Error);
+  EXPECT_NO_THROW(q.reschedule(id, 5.0));
+}
+
 }  // namespace
 }  // namespace cpm::sim

@@ -2,7 +2,9 @@
 // replication counts, and thread counts exceeding the replication count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 #include <unordered_set>
 
 #include "cpm/core/cpm.hpp"
@@ -67,6 +69,34 @@ TEST(Replicate, MoreThreadsThanReplicationsIsHarmless) {
   EXPECT_EQ(a.total_events, b.total_events);
   EXPECT_DOUBLE_EQ(a.mean_e2e_delay.mean, b.mean_e2e_delay.mean);
   EXPECT_DOUBLE_EQ(a.cluster_avg_power.mean, b.cluster_avg_power.mean);
+}
+
+TEST(Replicate, TenThousandReplicationsNeverExceedHardwareConcurrency) {
+  // Regression: one thread per replication would try to spawn 10k OS
+  // threads and die with resource_unavailable. The pool must clamp at
+  // hardware_concurrency and still run every replication exactly once.
+  sim::SimConfig tiny;
+  tiny.stations.push_back(
+      sim::SimStation{"s", 1, queueing::Discipline::kFcfs, 1.0, 2.0, 1.0, -1});
+  sim::SimClass c;
+  c.name = "c";
+  c.rate = 2.0;
+  c.route = {queueing::Visit{0, Distribution::exponential(0.2)}};
+  tiny.classes.push_back(c);
+  tiny.warmup_time = 0.0;
+  tiny.end_time = 2.0;
+  tiny.seed = 7;
+
+  sim::ReplicationOptions opt;
+  opt.replications = 10000;
+  opt.threads = 0;  // "use all hardware" — the dangerous default
+  const auto r = sim::replicate(tiny, opt);
+  EXPECT_EQ(r.replications, 10000);
+  EXPECT_GE(r.threads_used, 1u);
+  EXPECT_LE(r.threads_used, std::max(1u, std::thread::hardware_concurrency()));
+  // Every replication ran: ~4 arrivals each makes zero total impossible.
+  EXPECT_GT(r.total_events, 10000u);
+  EXPECT_TRUE(std::isfinite(r.mean_e2e_delay.mean));
 }
 
 TEST(Replicate, InvalidConfidenceIsRejected) {

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare a cpm-bench/v1 result against a checked-in baseline.
+
+Used by the CI bench-smoke job to gate performance regressions:
+
+    tools/bench_compare.py BENCH_p1.json bench/baseline.json --tolerance 0.30
+
+For every case present in BOTH documents it compares
+  * median wall_seconds   — regression when candidate > baseline * (1 + tol)
+  * median *_per_sec rate — regression when candidate < baseline * (1 - tol)
+
+Cases or rates present in only one document are reported but never fail
+the gate (adding or renaming a case must not need a two-step dance).
+Exit status: 0 clean, 1 at least one regression, 2 malformed input.
+
+The default tolerance is deliberately loose (30%): shared CI runners
+jitter by tens of percent, and the gate exists to catch the 2x-5x cliffs
+a bad data structure or an accidental debug build causes, not 5% drift.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema")
+    if schema != "cpm-bench/v1":
+        raise ValueError(f"{path}: unsupported schema {schema!r}")
+    return doc
+
+
+def cases_by_name(doc):
+    return {c["name"]: c for c in doc.get("cases", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("candidate", help="fresh BENCH_<suite>.json to validate")
+    ap.add_argument("baseline", help="checked-in reference document")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional slowdown before failing (default 0.30)",
+    )
+    args = ap.parse_args()
+    if not 0.0 <= args.tolerance < 10.0:
+        ap.error("--tolerance must be in [0, 10)")
+
+    try:
+        cand = cases_by_name(load(args.candidate))
+        base = cases_by_name(load(args.baseline))
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"bench_compare: {exc}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    improvements = []
+
+    def check(case, metric, cand_v, base_v, higher_is_worse):
+        if base_v <= 0:
+            return  # degenerate baseline sample; nothing meaningful to gate
+        ratio = cand_v / base_v
+        if higher_is_worse:
+            bad = ratio > 1.0 + args.tolerance
+            direction = "slower" if ratio > 1 else "faster"
+            delta = abs(ratio - 1.0)
+        else:
+            bad = ratio < 1.0 - args.tolerance
+            direction = "slower" if ratio < 1 else "faster"
+            delta = abs(1.0 - ratio)
+        line = (
+            f"  {case}/{metric}: {cand_v:.6g} vs baseline {base_v:.6g} "
+            f"({delta:.1%} {direction})"
+        )
+        if bad:
+            regressions.append(line)
+        elif delta > args.tolerance:
+            improvements.append(line)
+
+    for name in sorted(base):
+        if name not in cand:
+            print(f"note: case '{name}' missing from candidate (skipped)")
+            continue
+        c, b = cand[name], base[name]
+        check(name, "wall_seconds.median",
+              c["wall_seconds"]["median"], b["wall_seconds"]["median"],
+              higher_is_worse=True)
+        base_rates = b.get("rates", {})
+        cand_rates = c.get("rates", {})
+        for rate in sorted(base_rates):
+            if not rate.endswith("_per_sec"):
+                continue
+            if rate not in cand_rates:
+                print(f"note: rate '{name}/{rate}' missing from candidate (skipped)")
+                continue
+            check(name, rate, cand_rates[rate]["median"],
+                  base_rates[rate]["median"], higher_is_worse=False)
+
+    for name in sorted(set(cand) - set(base)):
+        print(f"note: case '{name}' has no baseline yet (skipped)")
+
+    if improvements:
+        print(f"improvements beyond {args.tolerance:.0%} (consider refreshing baseline):")
+        print("\n".join(improvements))
+    if regressions:
+        print(f"PERFORMANCE REGRESSION (>{args.tolerance:.0%} vs baseline):")
+        print("\n".join(regressions))
+        return 1
+    print(f"bench_compare: all metrics within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

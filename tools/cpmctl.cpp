@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "cpm/bench/suites.hpp"
 #include "cpm/check/differential.hpp"
 #include "cpm/core/cpm.hpp"
 #include "cpm/core/model_io.hpp"
@@ -51,7 +52,9 @@ using namespace cpm;
       "  validate       <model.json> [--reps N]\n"
       "  check          <model.json> [--reps N] [--seed S] [--random N]\n"
       "                 [--analytic-only]\n"
-      "  trace-stats    <arrivals.csv>\n";
+      "  trace-stats    <arrivals.csv>\n"
+      "  bench          [--suite NAME] [--quick] [--repeats N] [--warmup N]\n"
+      "                 [--out FILE] [--list]\n";
   std::exit(1);
 }
 
@@ -407,6 +410,47 @@ int cmd_check(const std::string& path, const Args& args) {
   return report.all_passed() ? 0 : 2;
 }
 
+int cmd_bench(const Args& args) {
+  if (args.has("--list")) {
+    for (const auto& name : bench::suite_names()) std::cout << name << '\n';
+    return 0;
+  }
+  const std::string suite = args.value("--suite").value_or("p1");
+  bench::BenchOptions opt;
+  opt.quick = args.has("--quick");
+  if (opt.quick) opt.repeats = 3;  // CI smoke default; --repeats overrides
+  opt.repeats = static_cast<int>(args.number("--repeats", opt.repeats));
+  opt.warmup = static_cast<int>(args.number("--warmup", opt.warmup));
+  const std::string out_path =
+      args.value("--out").value_or("BENCH_" + suite + ".json");
+
+  const auto result = bench::run_named_suite(suite, opt);
+
+  Table t({"case", "wall s (median)", "IQR", "rates (median)"});
+  for (const auto& c : result.cases) {
+    std::string rates;
+    for (const auto& [name, stats] : c.rates) {
+      if (!rates.empty()) rates += "  ";
+      rates += name + "=" + format_double(stats.median, 0);
+    }
+    t.row()
+        .add(c.name)
+        .add(c.wall_seconds.median, 4)
+        .add(c.wall_seconds.iqr, 4)
+        .add(rates);
+  }
+  t.print(std::cout);
+  std::cout << "peak RSS: " << result.peak_rss_bytes / (1024 * 1024) << " MiB  ("
+            << opt.repeats << " repeats, " << opt.warmup << " warmup"
+            << (opt.quick ? ", quick" : "") << ")\n";
+
+  std::ofstream out(out_path);
+  if (!out) throw Error("cannot write '" + out_path + "'");
+  out << bench::to_json(result).dump(2) << '\n';
+  std::cout << "wrote " << out_path << '\n';
+  return 0;
+}
+
 int cmd_trace_stats(const std::string& path) {
   const auto trace = workload::ArrivalTrace::parse_csv(read_file(path));
   const auto s = trace.stats();
@@ -430,6 +474,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "example-model") return cmd_example_model();
+    if (cmd == "bench") return cmd_bench(Args(argc, argv, 2));
     if (cmd == "trace-stats") {
       if (argc < 3) usage("trace-stats needs a CSV file");
       return cmd_trace_stats(argv[2]);

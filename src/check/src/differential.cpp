@@ -5,6 +5,7 @@
 #include <string>
 
 #include "cpm/common/error.hpp"
+#include "cpm/core/preconditions.hpp"
 #include "cpm/queueing/basic.hpp"
 #include "cpm/queueing/erlang.hpp"
 #include "cpm/queueing/gg.hpp"
@@ -32,8 +33,8 @@ void observe(CheckResult& r, double res, const std::string& site) {
 Report cross_validate(const core::ClusterModel& model,
                       const std::vector<double>& frequencies,
                       const CrossValidateOptions& options) {
+  core::require_stable(model, frequencies, "cross_validate");
   const auto ev = model.evaluate(frequencies);
-  require(ev.stable, "cross_validate: model unstable at these frequencies");
 
   auto cfg = model.to_sim_config(frequencies, options.sim.warmup_time,
                                  options.sim.end_time, options.sim.seed);

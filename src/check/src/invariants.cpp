@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "cpm/common/error.hpp"
+#include "cpm/core/preconditions.hpp"
 
 namespace cpm::check {
 
@@ -74,15 +75,9 @@ CheckResult check_utilization_law(const core::ClusterModel& model,
   require(ev.stable, "check_utilization_law: evaluation must be stable");
   CheckResult r{"utilization-law", true, 0.0, tolerance, ""};
   const auto& tiers = model.tiers();
+  const std::vector<double> rho = core::tier_utilizations(model, frequencies);
   for (std::size_t i = 0; i < tiers.size(); ++i) {
-    double offered = 0.0;  // sum_k lambda_k * E[S at f], all visits pooled
-    for (const auto& c : model.classes())
-      for (const auto& d : c.route)
-        if (static_cast<std::size_t>(d.tier) == i)
-          offered += c.rate * d.base_service.mean() /
-                     tiers[i].power.speedup(frequencies[i]);
-    const double rho = offered / static_cast<double>(tiers[i].servers);
-    observe(r, residual(rho, ev.net.station_utilization[i]),
+    observe(r, residual(rho[i], ev.net.station_utilization[i]),
             "tier '" + tiers[i].name + "'");
   }
   return r;
@@ -182,8 +177,8 @@ CheckResult check_energy_balance(const core::ClusterModel& model,
 
 Report check_analytic(const core::ClusterModel& model,
                       const std::vector<double>& frequencies) {
+  core::require_stable(model, frequencies, "check_analytic");
   const auto ev = model.evaluate(frequencies);
-  require(ev.stable, "check_analytic: model unstable at these frequencies");
   Report report;
   report.add(check_utilization_law(model, frequencies, ev));
   report.add(check_conservation_law(model, frequencies, ev));

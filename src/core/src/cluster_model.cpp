@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "cpm/common/error.hpp"
+#include "cpm/core/preconditions.hpp"
 
 namespace cpm::core {
 
@@ -69,12 +70,7 @@ std::vector<double> ClusterModel::min_stable_frequencies(double margin) const {
   require(margin > 0.0 && margin < 1.0, "min_stable_frequencies: margin in (0,1)");
   // Per-tier offered load per server at f_base; tier i is stable at
   // frequency f iff load_i * f_base / f < 1.
-  std::vector<double> load(tiers_.size(), 0.0);
-  for (const auto& c : classes_)
-    for (const auto& d : c.route)
-      load[static_cast<std::size_t>(d.tier)] +=
-          c.rate * d.base_service.mean() /
-          static_cast<double>(tiers_[static_cast<std::size_t>(d.tier)].servers);
+  const std::vector<double> load = tier_base_loads(*this);
 
   std::vector<double> f(tiers_.size());
   for (std::size_t i = 0; i < tiers_.size(); ++i) {

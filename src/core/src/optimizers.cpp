@@ -7,6 +7,7 @@
 
 #include "cpm/common/error.hpp"
 #include "cpm/common/math.hpp"
+#include "cpm/core/preconditions.hpp"
 #include "cpm/opt/scalar.hpp"
 
 namespace cpm::core {
@@ -176,6 +177,22 @@ CostOptResult minimize_cost_for_slas(const ClusterModel& model,
   std::vector<double> freqs = options.frequencies.empty() ? model.max_frequencies()
                                                           : options.frequencies;
   require(freqs.size() == n_tiers, "P-C: one frequency per tier required");
+
+  // Statically infeasible mean-SLA targets (strictly below the no-queueing
+  // service-demand floor, lint rule CPM-L003) do not depend on server
+  // counts: adding servers removes queueing, never service time. Bail out
+  // before the branch-and-bound explores anything. (Percentile bounds are
+  // left to the search: the gamma-fit percentile is not bounded below by
+  // the mean floor for low percentiles.)
+  for (std::size_t k = 0; k < model.num_classes(); ++k) {
+    const Sla& sla = model.classes()[k].sla;
+    if (sla.mean_bounded() &&
+        sla.max_mean_e2e_delay < class_delay_floor(model, k, freqs)) {
+      CostOptResult r;
+      r.servers.assign(n_tiers, options.max_servers_per_tier);
+      return r;  // feasible = false, zero nodes explored
+    }
+  }
 
   opt::IntegerProblem problem;
   problem.n_min.assign(n_tiers, 1);

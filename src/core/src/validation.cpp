@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "cpm/common/error.hpp"
+#include "cpm/core/preconditions.hpp"
 
 namespace cpm::core {
 
@@ -27,8 +28,8 @@ ValidationRow make_row(std::string metric, double analytic,
 ValidationReport validate_model(const ClusterModel& model,
                                 const std::vector<double>& frequencies,
                                 const SimSettings& settings) {
+  require_stable(model, frequencies, "validate_model");
   const Evaluation ev = model.evaluate(frequencies);
-  require(ev.stable, "validate_model: operating point is unstable");
 
   // Marginal (dynamic-only) energy matches what the simulator accounts per
   // request; the proportional-idle variant is validated via average power.

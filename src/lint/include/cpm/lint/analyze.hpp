@@ -1,0 +1,46 @@
+// Static analysis entry points: lint a model document, a constructed
+// model, or simulation settings WITHOUT running anything — no simulation,
+// no optimizer solve. See cpm/lint/rules.hpp for the rule registry.
+//
+// The layered flow of lint_document():
+//
+//   1. document-scope rules walk the raw JSON and flag defects the
+//      ClusterModel constructor would reject (negative rates, inverted
+//      power curves, bad DVFS ranges, broken routes) with precise paths;
+//   2. when no document-scope *error* fired, the model is constructed and
+//      the model-scope rules run (stability at f_max, SLA feasibility
+//      floors, unreachable tiers, priority/SLA ordering);
+//   3. an optional in-file suppression block lets a shipped model carry
+//      an annotated waiver:  "lint": {"disable": ["CPM-L002"],
+//      "reason": "deliberately near-saturated stress scenario"}.
+//      Suppressions without a reason are themselves flagged (CPM-L017).
+#pragma once
+
+#include <string>
+
+#include "cpm/common/json.hpp"
+#include "cpm/core/cluster_model.hpp"
+#include "cpm/core/validation.hpp"
+#include "cpm/lint/rules.hpp"
+
+namespace cpm::lint {
+
+/// Model-scope rules on an already-constructed model (CPM-L001..L006,
+/// L011). Cheap: a few passes over tiers/classes, no solver, no sim.
+LintReport lint_model(const core::ClusterModel& model,
+                      const RuleSet& rules = RuleSet());
+
+/// Settings-scope rules (CPM-L012, L013).
+LintReport lint_sim_settings(const core::SimSettings& settings,
+                             const RuleSet& rules = RuleSet());
+
+/// Full document pipeline: document-scope rules, then (when constructible)
+/// model-scope rules, honouring the document's "lint" suppression block.
+/// Never throws on malformed input — schema violations become CPM-L016
+/// diagnostics.
+LintReport lint_document(const Json& document, const RuleSet& rules = RuleSet());
+
+/// Parses `text` then lint_document(); parse errors become CPM-L016.
+LintReport lint_text(const std::string& text, const RuleSet& rules = RuleSet());
+
+}  // namespace cpm::lint

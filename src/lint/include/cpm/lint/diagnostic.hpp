@@ -1,0 +1,59 @@
+// Diagnostics of the cpm::lint static model analyzer.
+//
+// A Diagnostic is one finding of one rule against one location of a model
+// document: a stable rule ID (CPM-Lxxx), a severity, a human message, a
+// logical path into the model JSON ("tiers[2].servers") and an optional
+// fix-it hint. A LintReport is an ordered collection with severity
+// accounting — what cpmctl renders as text / JSON / SARIF and what CI
+// gates on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cpm::lint {
+
+enum class Severity {
+  kNote = 0,
+  kWarning = 1,
+  kError = 2,
+};
+
+/// "note" / "warning" / "error" — also the SARIF 2.1.0 level strings.
+const char* severity_name(Severity severity);
+
+/// Parses "note" / "warning" / "error"; throws cpm::Error otherwise.
+Severity severity_from_name(const std::string& name);
+
+/// One finding.
+struct Diagnostic {
+  std::string rule_id;   ///< stable registry ID, e.g. "CPM-L001"
+  Severity severity = Severity::kWarning;
+  std::string message;   ///< human-readable, self-contained
+  std::string path;      ///< logical JSON path, e.g. "tiers[2].servers"; "" = document
+  std::string hint;      ///< optional fix-it suggestion
+};
+
+/// Ordered findings plus severity accounting. Emission order is
+/// deterministic (document order: tiers, then classes, then settings).
+class LintReport {
+ public:
+  void add(Diagnostic diagnostic);
+  void merge(LintReport other);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool empty() const { return diagnostics_.empty(); }
+  [[nodiscard]] std::size_t count(Severity severity) const;
+  /// Findings at or above `severity` (the --error-on gate).
+  [[nodiscard]] std::size_t count_at_least(Severity severity) const;
+  /// Worst severity present; kNote when empty.
+  [[nodiscard]] Severity worst() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace cpm::lint

@@ -1,0 +1,26 @@
+// Rendering of lint reports: human text, machine JSON, and SARIF 2.1.0
+// (the static-analysis interchange format GitHub code scanning and most
+// editors ingest).
+#pragma once
+
+#include <string>
+
+#include "cpm/common/json.hpp"
+#include "cpm/lint/diagnostic.hpp"
+
+namespace cpm::lint {
+
+/// One line per diagnostic plus a count summary:
+///   model.json: error [CPM-L001] tiers[2]: tier 'db' is unstable ...
+std::string render_text(const LintReport& report, const std::string& file);
+
+/// {"file": ..., "diagnostics": [...], "counts": {...}} — stable shape for
+/// scripting ("cpm-lint/v1").
+Json render_json(const LintReport& report, const std::string& file);
+
+/// A complete SARIF 2.1.0 log: one run, the full rule registry as tool
+/// metadata, one result per diagnostic with the JSON path as a logical
+/// location.
+Json render_sarif(const LintReport& report, const std::string& file);
+
+}  // namespace cpm::lint

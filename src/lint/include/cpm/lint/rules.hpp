@@ -1,0 +1,84 @@
+// The cpm::lint rule registry.
+//
+// Every check the analyzer can perform is registered here with a stable
+// ID (CPM-Lxxx — never renumbered, holes allowed), a kebab-case name, a
+// default severity and a one-line description. IDs are shared with the
+// runtime preconditions in cpm/core/preconditions.hpp so a precondition
+// thrown deep inside validate_model or an optimizer reads exactly like
+// the static analyzer's finding for the same defect.
+//
+//   ID        name                        severity  scope
+//   CPM-L001  tier-overloaded             error     model
+//   CPM-L002  tier-near-saturation        warning   model
+//   CPM-L003  sla-mean-below-floor        error     model
+//   CPM-L004  sla-percentile-below-floor  warning   model
+//   CPM-L005  unreachable-tier            warning   model
+//   CPM-L006  zero-rate-class             warning   model
+//   CPM-L007  negative-rate-class         error     document
+//   CPM-L008  power-curve-inverted        error     document
+//   CPM-L009  dvfs-range-invalid          error     document
+//   CPM-L010  alpha-sublinear             error     document
+//   CPM-L011  priority-sla-inversion      warning   model
+//   CPM-L012  warmup-geq-horizon          warning   settings
+//   CPM-L013  too-few-replications        note      settings
+//   CPM-L014  servers-not-positive        error     document
+//   CPM-L015  route-invalid               error     document
+//   CPM-L016  schema-error                error     document
+//   CPM-L017  suppression-without-reason  warning   document
+//
+// Document-scope rules run on the raw JSON (they catch defects the
+// ClusterModel constructor rejects, with a precise path); model-scope
+// rules run on a constructed model; settings-scope rules on SimSettings.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cpm/lint/diagnostic.hpp"
+
+namespace cpm::lint {
+
+/// Registry entry for one rule.
+struct Rule {
+  const char* id;           ///< "CPM-L001"
+  const char* name;         ///< "tier-overloaded"
+  Severity severity;        ///< default severity
+  const char* description;  ///< one-liner for --list-rules / SARIF metadata
+};
+
+/// The full registry, ordered by ID.
+const std::vector<Rule>& rules();
+
+/// Looks a rule up by ID ("CPM-L001") or name ("tier-overloaded");
+/// nullptr when unknown.
+const Rule* find_rule(const std::string& id_or_name);
+
+/// Per-rule enable/disable filter. Default-constructed: everything on.
+class RuleSet {
+ public:
+  /// Everything enabled.
+  RuleSet() = default;
+
+  /// Only the listed rules enabled (IDs or names); throws cpm::Error on an
+  /// unknown rule.
+  static RuleSet only(const std::vector<std::string>& id_or_names);
+
+  /// Disables / re-enables one rule (ID or name); throws on unknown rules.
+  void disable(const std::string& id_or_name);
+  void enable(const std::string& id_or_name);
+
+  [[nodiscard]] bool enabled(const std::string& id) const;
+
+ private:
+  bool default_on_ = true;
+  std::set<std::string> exceptions_;  ///< IDs deviating from default_on_
+};
+
+/// Appends a diagnostic for `rule_id` unless the rule set disables it.
+/// The severity comes from the registry. Central choke point so every
+/// analyzer honours enable/disable uniformly.
+void emit(LintReport& report, const RuleSet& rules, const std::string& rule_id,
+          std::string path, std::string message, std::string hint = "");
+
+}  // namespace cpm::lint

@@ -1,0 +1,53 @@
+#include "cpm/lint/diagnostic.hpp"
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::lint {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+Severity severity_from_name(const std::string& name) {
+  if (name == "note") return Severity::kNote;
+  if (name == "warning") return Severity::kWarning;
+  if (name == "error") return Severity::kError;
+  throw Error("lint: unknown severity '" + name +
+              "' (expected note | warning | error)");
+}
+
+void LintReport::add(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void LintReport::merge(LintReport other) {
+  for (auto& d : other.diagnostics_) diagnostics_.push_back(std::move(d));
+}
+
+std::size_t LintReport::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics_)
+    if (d.severity == severity) ++n;
+  return n;
+}
+
+std::size_t LintReport::count_at_least(Severity severity) const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics_)
+    if (d.severity >= severity) ++n;
+  return n;
+}
+
+Severity LintReport::worst() const {
+  Severity w = Severity::kNote;
+  for (const auto& d : diagnostics_)
+    if (d.severity > w) w = d.severity;
+  return w;
+}
+
+}  // namespace cpm::lint

@@ -1,0 +1,140 @@
+#include "cpm/lint/render.hpp"
+
+#include <cstddef>
+
+#include "cpm/lint/rules.hpp"
+
+namespace cpm::lint {
+
+std::string render_text(const LintReport& report, const std::string& file) {
+  std::string out;
+  for (const auto& d : report.diagnostics()) {
+    out += file;
+    out += ": ";
+    out += severity_name(d.severity);
+    out += " [";
+    out += d.rule_id;
+    out += "] ";
+    if (!d.path.empty()) {
+      out += d.path;
+      out += ": ";
+    }
+    out += d.message;
+    out += '\n';
+    if (!d.hint.empty()) {
+      out += "    hint: ";
+      out += d.hint;
+      out += '\n';
+    }
+  }
+  if (report.empty()) {
+    out += file + ": clean\n";
+  } else {
+    out += std::to_string(report.count(Severity::kError)) + " error(s), " +
+           std::to_string(report.count(Severity::kWarning)) + " warning(s), " +
+           std::to_string(report.count(Severity::kNote)) + " note(s)\n";
+  }
+  return out;
+}
+
+Json render_json(const LintReport& report, const std::string& file) {
+  JsonArray diagnostics;
+  for (const auto& d : report.diagnostics()) {
+    JsonObject obj;
+    obj["rule"] = d.rule_id;
+    obj["severity"] = severity_name(d.severity);
+    obj["path"] = d.path;
+    obj["message"] = d.message;
+    if (!d.hint.empty()) obj["hint"] = d.hint;
+    diagnostics.emplace_back(std::move(obj));
+  }
+  JsonObject counts;
+  counts["error"] = static_cast<double>(report.count(Severity::kError));
+  counts["warning"] = static_cast<double>(report.count(Severity::kWarning));
+  counts["note"] = static_cast<double>(report.count(Severity::kNote));
+
+  JsonObject doc;
+  doc["format"] = "cpm-lint/v1";
+  doc["file"] = file;
+  doc["diagnostics"] = Json(std::move(diagnostics));
+  doc["counts"] = Json(std::move(counts));
+  return Json(std::move(doc));
+}
+
+Json render_sarif(const LintReport& report, const std::string& file) {
+  // Tool metadata: the complete registry, so rule indices are stable and
+  // consumers can show descriptions for rules that did not fire.
+  JsonArray rule_meta;
+  for (const auto& r : rules()) {
+    JsonObject meta;
+    meta["id"] = r.id;
+    meta["name"] = r.name;
+    JsonObject short_description;
+    short_description["text"] = r.description;
+    meta["shortDescription"] = Json(std::move(short_description));
+    JsonObject config;
+    config["level"] = severity_name(r.severity);
+    meta["defaultConfiguration"] = Json(std::move(config));
+    rule_meta.emplace_back(std::move(meta));
+  }
+
+  JsonObject driver;
+  driver["name"] = "cpm-lint";
+  driver["version"] = "1.0.0";
+  driver["rules"] = Json(std::move(rule_meta));
+  JsonObject tool;
+  tool["driver"] = Json(std::move(driver));
+
+  JsonObject artifact_location;
+  artifact_location["uri"] = file;
+  JsonObject artifact;
+  artifact["location"] = Json(artifact_location);
+  JsonArray artifacts;
+  artifacts.emplace_back(std::move(artifact));
+
+  JsonArray results;
+  for (const auto& d : report.diagnostics()) {
+    JsonObject result;
+    result["ruleId"] = d.rule_id;
+    for (std::size_t i = 0; i < rules().size(); ++i)
+      if (d.rule_id == rules()[i].id)
+        result["ruleIndex"] = static_cast<double>(i);
+    result["level"] = severity_name(d.severity);
+    JsonObject message;
+    message["text"] = d.hint.empty() ? d.message : d.message + " (hint: " + d.hint + ")";
+    result["message"] = Json(std::move(message));
+
+    JsonObject physical;
+    JsonObject loc_artifact = artifact_location;
+    loc_artifact["index"] = 0;
+    physical["artifactLocation"] = Json(std::move(loc_artifact));
+    JsonObject location;
+    location["physicalLocation"] = Json(std::move(physical));
+    if (!d.path.empty()) {
+      JsonObject logical;
+      logical["fullyQualifiedName"] = d.path;
+      JsonArray logicals;
+      logicals.emplace_back(std::move(logical));
+      location["logicalLocations"] = Json(std::move(logicals));
+    }
+    JsonArray locations;
+    locations.emplace_back(std::move(location));
+    result["locations"] = Json(std::move(locations));
+    results.emplace_back(std::move(result));
+  }
+
+  JsonObject run;
+  run["tool"] = Json(std::move(tool));
+  run["artifacts"] = Json(std::move(artifacts));
+  run["results"] = Json(std::move(results));
+  JsonArray runs;
+  runs.emplace_back(std::move(run));
+
+  JsonObject doc;
+  doc["$schema"] = "https://json.schemastore.org/sarif-2.1.0.json";
+  doc["version"] = "2.1.0";
+  doc["runs"] = Json(std::move(runs));
+  return Json(std::move(doc));
+}
+
+}  // namespace cpm::lint

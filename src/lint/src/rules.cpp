@@ -1,0 +1,116 @@
+#include "cpm/lint/rules.hpp"
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::lint {
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"CPM-L001", "tier-overloaded", Severity::kError,
+       "tier has no steady state even at f_max (rho >= 1): the admissible "
+       "frequency range cannot carry its offered load"},
+      {"CPM-L002", "tier-near-saturation", Severity::kWarning,
+       "tier runs above 95% utilisation at f_max: delays explode and the "
+       "optimizers have almost no DVFS headroom"},
+      {"CPM-L003", "sla-mean-below-floor", Severity::kError,
+       "mean-delay SLA target lies below the class's no-queueing "
+       "service-demand floor at f_max: statically infeasible"},
+      {"CPM-L004", "sla-percentile-below-floor", Severity::kWarning,
+       "percentile-delay SLA target lies below the class's mean no-queueing "
+       "service demand at f_max: almost certainly infeasible"},
+      {"CPM-L005", "unreachable-tier", Severity::kWarning,
+       "no class routes through this tier: it burns idle power and cannot "
+       "affect any delay"},
+      {"CPM-L006", "zero-rate-class", Severity::kWarning,
+       "class has arrival rate 0: it generates no traffic and its metrics "
+       "describe a hypothetical request"},
+      {"CPM-L007", "negative-rate-class", Severity::kError,
+       "class has a negative arrival rate"},
+      {"CPM-L008", "power-curve-inverted", Severity::kError,
+       "busy power does not exceed idle power: the power curve is "
+       "non-increasing in load and the energy model is meaningless"},
+      {"CPM-L009", "dvfs-range-invalid", Severity::kError,
+       "DVFS range is ill-formed (frequencies must be positive and "
+       "f_min <= f_max)"},
+      {"CPM-L010", "alpha-sublinear", Severity::kError,
+       "dynamic-power exponent alpha < 1 is physically implausible and "
+       "rejected by the power model (CMOS dynamic power grows at least "
+       "linearly in f)"},
+      {"CPM-L011", "priority-sla-inversion", Severity::kWarning,
+       "a lower-priority class has a strictly tighter mean-delay SLA than a "
+       "higher-priority class: priority order contradicts SLA strictness"},
+      {"CPM-L012", "warmup-geq-horizon", Severity::kWarning,
+       "warm-up period is at least the end time: the measurement window is "
+       "empty"},
+      {"CPM-L013", "too-few-replications", Severity::kNote,
+       "fewer than 2 replications: no confidence interval can be formed"},
+      {"CPM-L014", "servers-not-positive", Severity::kError,
+       "tier has fewer than 1 server"},
+      {"CPM-L015", "route-invalid", Severity::kError,
+       "class route is empty or references an unknown tier"},
+      {"CPM-L016", "schema-error", Severity::kError,
+       "document does not parse into the model schema"},
+      {"CPM-L017", "suppression-without-reason", Severity::kWarning,
+       "the lint suppression block disables rules without stating a reason"},
+  };
+  return kRules;
+}
+
+const Rule* find_rule(const std::string& id_or_name) {
+  for (const auto& r : rules())
+    if (id_or_name == r.id || id_or_name == r.name) return &r;
+  return nullptr;
+}
+
+namespace {
+
+const Rule& resolve(const std::string& id_or_name) {
+  const Rule* r = find_rule(id_or_name);
+  if (r == nullptr) throw Error("lint: unknown rule '" + id_or_name + "'");
+  return *r;
+}
+
+}  // namespace
+
+RuleSet RuleSet::only(const std::vector<std::string>& id_or_names) {
+  RuleSet set;
+  set.default_on_ = false;
+  for (const auto& name : id_or_names) set.exceptions_.insert(resolve(name).id);
+  return set;
+}
+
+void RuleSet::disable(const std::string& id_or_name) {
+  const Rule& r = resolve(id_or_name);
+  if (default_on_)
+    exceptions_.insert(r.id);
+  else
+    exceptions_.erase(r.id);
+}
+
+void RuleSet::enable(const std::string& id_or_name) {
+  const Rule& r = resolve(id_or_name);
+  if (default_on_)
+    exceptions_.erase(r.id);
+  else
+    exceptions_.insert(r.id);
+}
+
+bool RuleSet::enabled(const std::string& id) const {
+  const bool excepted = exceptions_.count(id) > 0;
+  return default_on_ ? !excepted : excepted;
+}
+
+void emit(LintReport& report, const RuleSet& rules_in, const std::string& rule_id,
+          std::string path, std::string message, std::string hint) {
+  if (!rules_in.enabled(rule_id)) return;
+  const Rule& rule = resolve(rule_id);
+  Diagnostic d;
+  d.rule_id = rule.id;
+  d.severity = rule.severity;
+  d.path = std::move(path);
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  report.add(std::move(d));
+}
+
+}  // namespace cpm::lint

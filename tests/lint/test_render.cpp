@@ -1,0 +1,120 @@
+// Renderer contracts: the text format humans read, the cpm-lint/v1 JSON
+// envelope, and — most load-bearing — the SARIF 2.1.0 shape that CI and
+// code-scanning dashboards ingest. The SARIF test round-trips the dump
+// through the JSON parser and walks the required spec structure.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cpm/common/json.hpp"
+#include "cpm/lint/render.hpp"
+#include "cpm/lint/rules.hpp"
+
+namespace cpm::lint {
+namespace {
+
+LintReport sample_report() {
+  LintReport report;
+  report.add({"CPM-L001", Severity::kError,
+              "tier 'db' has no steady state (rho = 1.5 >= 1)", "tiers[2]",
+              "add servers, shed load or raise the tier's frequency"});
+  report.add({"CPM-L013", Severity::kNote,
+              "1 replication(s): no confidence interval can be formed",
+              "settings.replications", ""});
+  return report;
+}
+
+TEST(RenderText, ListsFindingsWithHintsAndSummary) {
+  const std::string out = render_text(sample_report(), "m.json");
+  EXPECT_NE(out.find("m.json: error [CPM-L001] tiers[2]: "), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("hint: add servers"), std::string::npos);
+  EXPECT_NE(out.find("1 error(s), 0 warning(s), 1 note(s)"), std::string::npos);
+}
+
+TEST(RenderText, CleanReportSaysClean) {
+  const std::string out = render_text(LintReport{}, "m.json");
+  EXPECT_EQ(out, "m.json: clean\n");
+}
+
+TEST(RenderJson, EnvelopeCarriesDiagnosticsAndCounts) {
+  const Json doc = render_json(sample_report(), "m.json");
+  EXPECT_EQ(doc.at("format").as_string(), "cpm-lint/v1");
+  EXPECT_EQ(doc.at("file").as_string(), "m.json");
+  const Json& diags = doc.at("diagnostics");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags.at(std::size_t{0}).at("rule").as_string(), "CPM-L001");
+  EXPECT_EQ(diags.at(std::size_t{0}).at("severity").as_string(), "error");
+  EXPECT_EQ(diags.at(std::size_t{0}).at("path").as_string(), "tiers[2]");
+  // Hint is present on the first finding, absent (not empty) on the second.
+  EXPECT_TRUE(diags.at(std::size_t{0}).contains("hint"));
+  EXPECT_FALSE(diags.at(std::size_t{1}).contains("hint"));
+  EXPECT_EQ(doc.at("counts").at("error").as_number(), 1.0);
+  EXPECT_EQ(doc.at("counts").at("note").as_number(), 1.0);
+}
+
+TEST(RenderSarif, ShapeMatchesSarif210) {
+  // Round-trip through the parser: the dump must be valid JSON.
+  const Json doc = Json::parse(render_sarif(sample_report(), "m.json").dump(2));
+
+  EXPECT_EQ(doc.at("$schema").as_string(),
+            "https://json.schemastore.org/sarif-2.1.0.json");
+  EXPECT_EQ(doc.at("version").as_string(), "2.1.0");
+  ASSERT_EQ(doc.at("runs").size(), 1u);
+  const Json& run = doc.at("runs").at(std::size_t{0});
+
+  // tool.driver carries the full registry so ruleIndex references resolve.
+  const Json& driver = run.at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").as_string(), "cpm-lint");
+  const Json& rule_meta = driver.at("rules");
+  ASSERT_EQ(rule_meta.size(), rules().size());
+  for (std::size_t i = 0; i < rule_meta.size(); ++i) {
+    EXPECT_EQ(rule_meta.at(i).at("id").as_string(), rules()[i].id);
+    EXPECT_FALSE(
+        rule_meta.at(i).at("shortDescription").at("text").as_string().empty());
+    EXPECT_EQ(rule_meta.at(i).at("defaultConfiguration").at("level").as_string(),
+              severity_name(rules()[i].severity));
+  }
+
+  ASSERT_EQ(run.at("artifacts").size(), 1u);
+  EXPECT_EQ(run.at("artifacts")
+                .at(std::size_t{0})
+                .at("location")
+                .at("uri")
+                .as_string(),
+            "m.json");
+
+  const Json& results = run.at("results");
+  ASSERT_EQ(results.size(), 2u);
+  const Json& first = results.at(std::size_t{0});
+  EXPECT_EQ(first.at("ruleId").as_string(), "CPM-L001");
+  EXPECT_EQ(first.at("level").as_string(), "error");
+  // ruleIndex must point back at the same rule in tool.driver.rules.
+  const auto index = static_cast<std::size_t>(first.at("ruleIndex").as_number());
+  EXPECT_EQ(rule_meta.at(index).at("id").as_string(), "CPM-L001");
+  // Hints ride along in the message text.
+  EXPECT_NE(first.at("message").at("text").as_string().find("hint:"),
+            std::string::npos);
+
+  const Json& location = first.at("locations").at(std::size_t{0});
+  EXPECT_EQ(location.at("physicalLocation")
+                .at("artifactLocation")
+                .at("uri")
+                .as_string(),
+            "m.json");
+  EXPECT_EQ(location.at("logicalLocations")
+                .at(std::size_t{0})
+                .at("fullyQualifiedName")
+                .as_string(),
+            "tiers[2]");
+}
+
+TEST(RenderSarif, EmptyReportStillCarriesToolMetadata) {
+  const Json doc = render_sarif(LintReport{}, "clean.json");
+  const Json& run = doc.at("runs").at(std::size_t{0});
+  EXPECT_EQ(run.at("results").size(), 0u);
+  EXPECT_EQ(run.at("tool").at("driver").at("rules").size(), rules().size());
+}
+
+}  // namespace
+}  // namespace cpm::lint

@@ -1,0 +1,108 @@
+// Registry and rule-set semantics: stable ordered IDs, lookup by ID or
+// name, enable/disable filtering, and the emit() choke point every
+// analyzer routes through.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cpm/common/error.hpp"
+#include "cpm/lint/rules.hpp"
+
+namespace cpm::lint {
+namespace {
+
+TEST(RuleRegistry, IdsAreStableOrderedAndUnique) {
+  const auto& all = rules();
+  ASSERT_GE(all.size(), 17u);
+  std::set<std::string> ids;
+  std::set<std::string> names;
+  std::string prev;
+  for (const auto& r : all) {
+    EXPECT_EQ(std::string(r.id).rfind("CPM-L", 0), 0u) << r.id;
+    EXPECT_LT(prev, std::string(r.id)) << "registry must stay ID-ordered";
+    prev = r.id;
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate id " << r.id;
+    EXPECT_TRUE(names.insert(r.name).second) << "duplicate name " << r.name;
+    EXPECT_FALSE(std::string(r.description).empty()) << r.id;
+  }
+}
+
+TEST(RuleRegistry, LookupByIdAndByName) {
+  const Rule* by_id = find_rule("CPM-L001");
+  const Rule* by_name = find_rule("tier-overloaded");
+  ASSERT_NE(by_id, nullptr);
+  EXPECT_EQ(by_id, by_name);
+  EXPECT_EQ(by_id->severity, Severity::kError);
+  EXPECT_EQ(find_rule("CPM-L999"), nullptr);
+  EXPECT_EQ(find_rule(""), nullptr);
+}
+
+TEST(RuleSetTest, DefaultEnablesEverythingAndDisableIsReversible) {
+  RuleSet rules_set;
+  EXPECT_TRUE(rules_set.enabled("CPM-L001"));
+  rules_set.disable("CPM-L001");
+  EXPECT_FALSE(rules_set.enabled("CPM-L001"));
+  EXPECT_TRUE(rules_set.enabled("CPM-L002"));
+  rules_set.enable("tier-overloaded");  // re-enable by name
+  EXPECT_TRUE(rules_set.enabled("CPM-L001"));
+}
+
+TEST(RuleSetTest, OnlyInvertsTheDefault) {
+  const RuleSet rules_set =
+      RuleSet::only({"CPM-L003", "sla-percentile-below-floor"});
+  EXPECT_TRUE(rules_set.enabled("CPM-L003"));
+  EXPECT_TRUE(rules_set.enabled("CPM-L004"));
+  EXPECT_FALSE(rules_set.enabled("CPM-L001"));
+  EXPECT_FALSE(rules_set.enabled("CPM-L017"));
+}
+
+TEST(RuleSetTest, UnknownRulesThrow) {
+  RuleSet rules_set;
+  EXPECT_THROW(rules_set.disable("CPM-L999"), Error);
+  EXPECT_THROW(RuleSet::only({"no-such-rule"}), Error);
+}
+
+TEST(EmitTest, TakesSeverityFromRegistryAndHonoursRuleSet) {
+  LintReport report;
+  RuleSet rules_set;
+  emit(report, rules_set, "CPM-L013", "settings.replications", "msg", "hint");
+  ASSERT_EQ(report.diagnostics().size(), 1u);
+  EXPECT_EQ(report.diagnostics()[0].severity, Severity::kNote);
+  EXPECT_EQ(report.diagnostics()[0].hint, "hint");
+
+  rules_set.disable("CPM-L013");
+  emit(report, rules_set, "CPM-L013", "", "silenced");
+  EXPECT_EQ(report.diagnostics().size(), 1u);
+}
+
+TEST(SeverityTest, NamesRoundTripAndMatchSarifLevels) {
+  for (const Severity s :
+       {Severity::kNote, Severity::kWarning, Severity::kError}) {
+    EXPECT_EQ(severity_from_name(severity_name(s)), s);
+  }
+  EXPECT_STREQ(severity_name(Severity::kWarning), "warning");
+  EXPECT_THROW(severity_from_name("fatal"), Error);
+}
+
+TEST(LintReportTest, CountsWorstAndMerge) {
+  LintReport a;
+  a.add({"CPM-L013", Severity::kNote, "n", "", ""});
+  a.add({"CPM-L002", Severity::kWarning, "w", "", ""});
+  EXPECT_EQ(a.worst(), Severity::kWarning);
+  EXPECT_EQ(a.count_at_least(Severity::kNote), 2u);
+  EXPECT_EQ(a.count_at_least(Severity::kError), 0u);
+
+  LintReport b;
+  b.add({"CPM-L001", Severity::kError, "e", "", ""});
+  a.merge(std::move(b));
+  EXPECT_EQ(a.diagnostics().size(), 3u);
+  EXPECT_EQ(a.worst(), Severity::kError);
+  EXPECT_EQ(a.count(Severity::kError), 1u);
+  EXPECT_EQ(a.count_at_least(Severity::kWarning), 2u);
+
+  EXPECT_EQ(LintReport().worst(), Severity::kNote);
+}
+
+}  // namespace
+}  // namespace cpm::lint

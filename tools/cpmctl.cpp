@@ -15,9 +15,15 @@
 //   cpmctl validate       <model.json> [--reps N]
 //   cpmctl check          <model.json> [--reps N] [--seed S] [--random N]
 //                                      [--analytic-only]
+//   cpmctl lint           <model.json> [--format text|json|sarif]
+//                                      [--error-on note|warning|error]
+//                                      [--rule LIST] [--no-rule LIST]
+//                                      [--warmup W --time T --reps N]
+//   cpmctl lint --list-rules
 //
-// Exit status: 0 success, 1 usage error, 2 model/solver error (for `check`:
-// any invariant violated).
+// Exit status: 0 success, 1 usage error, 2 model/solver/IO error (for
+// `check`: any invariant violated). `lint` additionally exits 3 when any
+// diagnostic at or above the --error-on threshold (default: error) fired.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -30,6 +36,8 @@
 #include "cpm/check/differential.hpp"
 #include "cpm/core/cpm.hpp"
 #include "cpm/core/model_io.hpp"
+#include "cpm/lint/analyze.hpp"
+#include "cpm/lint/render.hpp"
 #include "cpm/sim/warmup.hpp"
 #include "cpm/workload/trace.hpp"
 
@@ -52,6 +60,10 @@ using namespace cpm;
       "  validate       <model.json> [--reps N]\n"
       "  check          <model.json> [--reps N] [--seed S] [--random N]\n"
       "                 [--analytic-only]\n"
+      "  lint           <model.json> [--format text|json|sarif]\n"
+      "                 [--error-on note|warning|error] [--rule LIST]\n"
+      "                 [--no-rule LIST] [--warmup W --time T --reps N]\n"
+      "  lint           --list-rules\n"
       "  trace-stats    <arrivals.csv>\n"
       "  bench          [--suite NAME] [--quick] [--repeats N] [--warmup N]\n"
       "                 [--out FILE] [--list]\n";
@@ -410,6 +422,60 @@ int cmd_check(const std::string& path, const Args& args) {
   return report.all_passed() ? 0 : 2;
 }
 
+std::vector<std::string> parse_csv_strings(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int cmd_lint_list_rules() {
+  Table t({"id", "name", "severity", "description"});
+  for (const auto& r : lint::rules())
+    t.row().add(r.id).add(r.name).add(lint::severity_name(r.severity)).add(
+        r.description);
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_lint(const std::string& path, const Args& args) {
+  lint::RuleSet rules;
+  if (const auto only = args.value("--rule"))
+    rules = lint::RuleSet::only(parse_csv_strings(*only));
+  if (const auto off = args.value("--no-rule"))
+    for (const auto& id : parse_csv_strings(*off)) rules.disable(id);
+
+  lint::LintReport report = lint::lint_text(read_file(path), rules);
+
+  // Settings-scope rules run when the caller describes the run it plans
+  // (the same flags `simulate` takes).
+  if (args.value("--warmup") || args.value("--time") || args.value("--reps")) {
+    core::SimSettings settings;
+    settings.warmup_time = args.number("--warmup", settings.warmup_time);
+    settings.end_time = args.number("--time", settings.end_time);
+    settings.replications = static_cast<int>(
+        args.number("--reps", static_cast<double>(settings.replications)));
+    report.merge(lint::lint_sim_settings(settings, rules));
+  }
+
+  const lint::Severity threshold =
+      lint::severity_from_name(args.value("--error-on").value_or("error"));
+  const std::string format = args.value("--format").value_or("text");
+  if (format == "text")
+    std::cout << lint::render_text(report, path);
+  else if (format == "json")
+    std::cout << lint::render_json(report, path).dump(2) << '\n';
+  else if (format == "sarif")
+    std::cout << lint::render_sarif(report, path).dump(2) << '\n';
+  else
+    usage("unknown lint format '" + format + "' (expected text | json | sarif)");
+
+  return report.count_at_least(threshold) > 0 ? 3 : 0;
+}
+
 int cmd_bench(const Args& args) {
   if (args.has("--list")) {
     for (const auto& name : bench::suite_names()) std::cout << name << '\n';
@@ -479,9 +545,12 @@ int main(int argc, char** argv) {
       if (argc < 3) usage("trace-stats needs a CSV file");
       return cmd_trace_stats(argv[2]);
     }
+    if (cmd == "lint" && argc >= 3 && std::string(argv[2]) == "--list-rules")
+      return cmd_lint_list_rules();
     if (argc < 3) usage("command '" + cmd + "' needs a model file");
     const std::string path = argv[2];
     const Args args(argc, argv, 3);
+    if (cmd == "lint") return cmd_lint(path, args);
     if (cmd == "describe") return cmd_describe(path);
     if (cmd == "evaluate") return cmd_evaluate(path, args);
     if (cmd == "optimize-delay") return cmd_optimize_delay(path, args);

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Repo-convention linter for the C++ sources (the cheap, grep-level
+checks clang-tidy does not cover). Enforced rules:
+
+  CONV-1  library code (src/**) must not use rand()/srand(): every random
+          draw goes through cpm::RandomStream so replications are
+          reproducible and independent.
+  CONV-2  library code (src/**) must not write to std::cout/std::cerr:
+          libraries return values and throw cpm::Error; only tools/ and
+          tests/ talk to streams.
+  CONV-3  every header must start its include guard with #pragma once.
+  CONV-4  headers must not contain using-namespace directives (they leak
+          into every includer).
+
+Usage: tools/lint_cpp.py [root]    (root defaults to the repo root)
+Exit code 0 when clean, 1 when any violation is found.
+"""
+import re
+import sys
+from pathlib import Path
+
+RULES = [
+    # (id, applies-to-library-sources-only, headers-only, regex, message)
+    ("CONV-1", True, False, re.compile(r"\b(?:s?rand)\s*\("),
+     "rand()/srand() in library code: use cpm::RandomStream"),
+    ("CONV-2", True, False, re.compile(r"\bstd::c(?:out|err)\b"),
+     "stream output in library code: return values or throw cpm::Error"),
+    ("CONV-4", False, True, re.compile(r"^\s*using\s+namespace\b"),
+     "using-namespace in a header leaks into every includer"),
+]
+
+CODE_LINE = re.compile(r"^\s*(?://|\*|/\*)")  # comment-only lines
+
+
+def lint_file(path: Path, in_library: bool) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    is_header = path.suffix == ".hpp"
+    errors = []
+    if is_header and "#pragma once" not in text:
+        errors.append(f"{path}:1: [CONV-3] header lacks #pragma once")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if CODE_LINE.match(line):
+            continue
+        for rule, library_only, headers_only, pattern, message in RULES:
+            if library_only and not in_library:
+                continue
+            if headers_only and not is_header:
+                continue
+            if pattern.search(line):
+                errors.append(f"{path}:{lineno}: [{rule}] {message}")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
+    errors = []
+    for pattern, in_library in (("src/**/*.[ch]pp", True),
+                                ("tools/**/*.[ch]pp", False),
+                                ("tests/**/*.[ch]pp", False)):
+        for path in sorted(root.glob(pattern)):
+            errors.extend(lint_file(path, in_library))
+    for error in errors:
+        print(error)
+    print(f"lint_cpp: {len(errors)} violation(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+// Parameter boxes: the uncertainty regions cpm::certify proves over.
+//
+// A BoxSpec pairs a ClusterModel with one closed interval per uncertain
+// parameter: each class's arrival rate, each tier's service-rate
+// multiplier (mu_scale — 1.1 means "servers turn out 10% faster than the
+// calibrated demands"), and each tier's DVFS operating frequency. The
+// certifier then decides whether a property (stability, SLA feasibility,
+// power budget) holds for EVERY parameter choice inside the box, not just
+// at the nominal point cpm::lint checks.
+//
+// The degenerate box returned by default_box() pins every dimension to
+// the nominal point (declared rates, mu_scale 1, f_max); certifying it
+// reproduces lint's point verdicts exactly.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cpm/common/json.hpp"
+#include "cpm/core/cluster_model.hpp"
+#include "cpm/core/interval.hpp"
+
+namespace cpm::certify {
+
+/// A box of model parameters: rates[k] per class, mu_scale[i] and
+/// frequencies[i] per tier (same order as the model's vectors).
+struct BoxSpec {
+  std::vector<core::Interval> rates;
+  std::vector<core::Interval> mu_scale;
+  std::vector<core::Interval> frequencies;
+  /// Optional cluster power budget; +infinity = no power property.
+  double max_power_watts = std::numeric_limits<double>::infinity();
+
+  /// True when every dimension is degenerate (zero width).
+  [[nodiscard]] bool is_point() const;
+};
+
+/// The degenerate box at the model's nominal operating point: declared
+/// rates, mu_scale 1, every tier at f_max.
+BoxSpec default_box(const core::ClusterModel& model);
+
+/// Parses the JSON box syntax (docs/certify.md):
+///   {"rates": {"gold": [3.5, 4.5]},
+///    "mu_scale": {"db": [0.9, 1.1]},
+///    "frequencies": {"web": [0.8, 1.0]},
+///    "max_power_watts": 1500}
+/// Scalars are point intervals; entities not named keep their defaults.
+/// Throws cpm::Error with a [CPM-C009] message on unknown names, inverted
+/// ranges, negative rates or frequencies outside a tier's DVFS range.
+BoxSpec box_from_json(const core::ClusterModel& model, const Json& spec);
+
+/// Serialises a box back to the by-name JSON syntax (all dimensions
+/// explicit, ranges as [lo, hi] pairs).
+Json box_to_json(const BoxSpec& box, const core::ClusterModel& model);
+
+/// One concrete parameter choice inside a box.
+struct ParameterPoint {
+  std::vector<double> rates;
+  std::vector<double> mu_scale;
+  std::vector<double> frequencies;
+};
+
+/// The corner maximising congestion (utilisation, floors, delays):
+/// highest rates, slowest service, lowest frequencies.
+ParameterPoint congestion_corner(const BoxSpec& box);
+
+/// The corner maximising cluster power: highest rates, slowest service,
+/// HIGHEST frequencies (the dynamic energy term scales as f^(alpha-1)).
+ParameterPoint power_corner(const BoxSpec& box);
+
+/// Instantiates the concrete model at a parameter point: class rates
+/// replaced and every route demand rescaled by 1/mu_scale of its tier
+/// (same SCV). mu_scale exactly 1 leaves the demand bit-for-bit intact so
+/// degenerate boxes evaluate exactly like the original model. The point's
+/// frequencies are NOT applied here — pass them to evaluate()/power_at().
+core::ClusterModel model_at(const core::ClusterModel& base,
+                            const ParameterPoint& point);
+
+/// Splits the box at the midpoint of its relatively widest dimension.
+/// Returns false (outputs untouched) when every dimension is a point.
+bool bisect(const BoxSpec& box, BoxSpec& left, BoxSpec& right);
+
+/// Compact human-readable corner description for witness messages:
+/// "rates [4.2, 1], mu_scale [0.9], f [0.8]".
+std::string describe_point(const ParameterPoint& point);
+
+}  // namespace cpm::certify

@@ -1,0 +1,97 @@
+// cpm::certify — interval abstract interpretation over parameter boxes.
+//
+// Where cpm::lint checks one concrete model, certify_model() decides each
+// analytic property (per-tier stability, SLA-vs-floor feasibility, mean
+// E2E delay SLAs, an optional power budget) for EVERY parameter choice in
+// a BoxSpec, with a three-valued verdict:
+//
+//   PROVED     the interval enclosure shows the property holds on the
+//              whole box (sound: outward rounding, saturation -> +inf);
+//   REFUTED    a concrete corner violates the property — the witness is
+//              re-checked by the ordinary double-precision analyzer, so
+//              refutations are ground truth, never interval artefacts;
+//   UNDECIDED  neither, within the bisection budget. Bisecting shrinks
+//              the dependency-problem overestimation, so deeper budgets
+//              decide more boxes (docs/certify.md).
+//
+// Degenerate (zero-width) boxes are decided concretely and reproduce
+// cpm::lint's point verdicts rule for rule. Verdicts are also emitted as
+// lint diagnostics (rules CPM-C001..C008) through the shared registry and
+// renderers, so `cpmctl certify` speaks the same text/JSON/SARIF as
+// `cpmctl lint`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cpm/certify/box.hpp"
+#include "cpm/certify/interval_eval.hpp"
+#include "cpm/common/json.hpp"
+#include "cpm/core/cluster_model.hpp"
+#include "cpm/lint/diagnostic.hpp"
+#include "cpm/lint/rules.hpp"
+
+namespace cpm::certify {
+
+enum class Verdict { kProved, kRefuted, kUndecided };
+
+/// "PROVED" / "REFUTED" / "UNDECIDED".
+const char* verdict_name(Verdict v);
+
+/// A concrete parameter choice at which the property fails; valid only on
+/// REFUTED results. Always confirmed by the double-precision analyzer.
+struct Witness {
+  bool valid = false;
+  ParameterPoint point;
+  double value = 0.0;  ///< property value at the witness
+};
+
+/// Verdict for one property over the box.
+struct PropertyResult {
+  std::string property;   ///< "stability[db]", "sla-mean[gold]", ...
+  std::string path;       ///< lint-style JSON path of the subject
+  Verdict verdict = Verdict::kUndecided;
+  core::Interval bound{0.0, 0.0};  ///< interval enclosure on the root box
+  double threshold = 0.0;          ///< the value the property compares against
+  Witness witness;
+  int boxes_explored = 0;
+};
+
+struct CertifyOptions {
+  /// Maximum bisection depth per property (0 = no bisection).
+  int bisect_depth = 8;
+  /// Total sub-box budget per property.
+  int max_boxes = 256;
+  /// Which CPM-C rules may emit diagnostics.
+  lint::RuleSet rules;
+};
+
+struct CertifyReport {
+  std::vector<PropertyResult> properties;
+  /// REFUTED -> CPM-C error, UNDECIDED -> CPM-C warning; PROVED is silent,
+  /// so an all-proved report renders "clean" exactly like a clean lint.
+  lint::LintReport diagnostics;
+
+  [[nodiscard]] bool all_proved() const;
+  [[nodiscard]] std::size_t count(Verdict v) const;
+};
+
+/// Certifies every analytic property of `model` over `box`. Properties:
+/// stability per tier (CPM-C001/C002), mean-SLA-vs-floor per bounded
+/// class (C003/C004), mean E2E delay SLA per bounded class (C005/C006),
+/// percentile SLAs (corner-refuted only, C005/C006), and the box's power
+/// budget when finite (C007/C008).
+CertifyReport certify_model(const core::ClusterModel& model, const BoxSpec& box,
+                            const CertifyOptions& options = {});
+
+/// Plain-text verdict table followed by the diagnostics in lint's text
+/// format (so the tail reads "<file>: clean" when everything proved).
+std::string render_certify_text(const CertifyReport& report,
+                                const std::string& file);
+
+/// Machine-readable report, format "cpm-certify/v1".
+Json render_certify_json(const CertifyReport& report, const std::string& file,
+                         const BoxSpec& box, const core::ClusterModel& model);
+
+}  // namespace cpm::certify

@@ -1,0 +1,235 @@
+#include "cpm/certify/box.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "cpm/common/error.hpp"
+#include "cpm/common/table.hpp"
+
+namespace cpm::certify {
+
+namespace {
+
+using core::Interval;
+
+[[noreturn]] void bad_box(const std::string& detail) {
+  throw Error("box spec: [CPM-C009] " + detail);
+}
+
+// A scalar is a point interval; a [lo, hi] pair is a range.
+Interval parse_interval(const Json& value, const std::string& where) {
+  if (value.is_number()) return Interval::point(value.as_number());
+  if (value.is_array() && value.size() == 2 && value.at(std::size_t{0}).is_number() &&
+      value.at(std::size_t{1}).is_number()) {
+    const double lo = value.at(std::size_t{0}).as_number();
+    const double hi = value.at(std::size_t{1}).as_number();
+    if (std::isnan(lo) || std::isnan(hi) || lo > hi)
+      bad_box(where + " range [" + format_double(lo, 6) + ", " +
+              format_double(hi, 6) + "] is inverted or NaN");
+    return Interval{lo, hi};
+  }
+  bad_box(where + " must be a number or a [lo, hi] pair");
+}
+
+}  // namespace
+
+bool BoxSpec::is_point() const {
+  for (const auto& r : rates)
+    if (!r.is_point()) return false;
+  for (const auto& m : mu_scale)
+    if (!m.is_point()) return false;
+  for (const auto& f : frequencies)
+    if (!f.is_point()) return false;
+  return true;
+}
+
+BoxSpec default_box(const core::ClusterModel& model) {
+  BoxSpec box;
+  for (const auto& c : model.classes()) box.rates.push_back(Interval::point(c.rate));
+  for (const auto& t : model.tiers()) {
+    box.mu_scale.push_back(Interval::point(1.0));
+    box.frequencies.push_back(Interval::point(t.power.dvfs().f_max));
+  }
+  return box;
+}
+
+BoxSpec box_from_json(const core::ClusterModel& model, const Json& spec) {
+  if (!spec.is_object()) bad_box("the box specification must be a JSON object");
+  BoxSpec box = default_box(model);
+
+  for (const auto& [key, value] : spec.as_object()) {
+    if (key == "rates") {
+      if (!value.is_object()) bad_box("'rates' must map class names to ranges");
+      for (const auto& [name, range] : value.as_object()) {
+        bool found = false;
+        for (std::size_t k = 0; k < model.num_classes(); ++k) {
+          if (model.classes()[k].name != name) continue;
+          found = true;
+          const Interval iv = parse_interval(range, "rates." + name);
+          if (iv.lo < 0.0)
+            bad_box("rates." + name + " allows a negative arrival rate");
+          box.rates[k] = iv;
+        }
+        if (!found) bad_box("unknown class '" + name + "' in rates");
+      }
+    } else if (key == "mu_scale") {
+      if (!value.is_object()) bad_box("'mu_scale' must map tier names to ranges");
+      for (const auto& [name, range] : value.as_object()) {
+        bool found = false;
+        for (std::size_t i = 0; i < model.num_tiers(); ++i) {
+          if (model.tiers()[i].name != name) continue;
+          found = true;
+          const Interval iv = parse_interval(range, "mu_scale." + name);
+          if (iv.lo <= 0.0)
+            bad_box("mu_scale." + name + " must be strictly positive");
+          box.mu_scale[i] = iv;
+        }
+        if (!found) bad_box("unknown tier '" + name + "' in mu_scale");
+      }
+    } else if (key == "frequencies") {
+      if (!value.is_object())
+        bad_box("'frequencies' must map tier names to ranges");
+      for (const auto& [name, range] : value.as_object()) {
+        bool found = false;
+        for (std::size_t i = 0; i < model.num_tiers(); ++i) {
+          if (model.tiers()[i].name != name) continue;
+          found = true;
+          const Interval iv = parse_interval(range, "frequencies." + name);
+          const auto& dvfs = model.tiers()[i].power.dvfs();
+          if (iv.lo < dvfs.f_min || iv.hi > dvfs.f_max)
+            bad_box("frequencies." + name + " leaves tier '" + name +
+                    "'s DVFS range [" + format_double(dvfs.f_min, 6) + ", " +
+                    format_double(dvfs.f_max, 6) + "]");
+          box.frequencies[i] = iv;
+        }
+        if (!found) bad_box("unknown tier '" + name + "' in frequencies");
+      }
+    } else if (key == "max_power_watts") {
+      if (!value.is_number() || !(value.as_number() > 0.0))
+        bad_box("'max_power_watts' must be a positive number");
+      box.max_power_watts = value.as_number();
+    } else {
+      bad_box("unknown key '" + key + "'");
+    }
+  }
+  return box;
+}
+
+Json box_to_json(const BoxSpec& box, const core::ClusterModel& model) {
+  const auto range = [](const Interval& iv) {
+    JsonArray pair;
+    pair.emplace_back(iv.lo);
+    pair.emplace_back(iv.hi);
+    return Json(std::move(pair));
+  };
+  JsonObject rates;
+  for (std::size_t k = 0; k < box.rates.size(); ++k)
+    rates[model.classes()[k].name] = range(box.rates[k]);
+  JsonObject mu;
+  for (std::size_t i = 0; i < box.mu_scale.size(); ++i)
+    mu[model.tiers()[i].name] = range(box.mu_scale[i]);
+  JsonObject freq;
+  for (std::size_t i = 0; i < box.frequencies.size(); ++i)
+    freq[model.tiers()[i].name] = range(box.frequencies[i]);
+
+  JsonObject doc;
+  doc["rates"] = Json(std::move(rates));
+  doc["mu_scale"] = Json(std::move(mu));
+  doc["frequencies"] = Json(std::move(freq));
+  if (std::isfinite(box.max_power_watts))
+    doc["max_power_watts"] = box.max_power_watts;
+  return Json(std::move(doc));
+}
+
+ParameterPoint congestion_corner(const BoxSpec& box) {
+  ParameterPoint p;
+  for (const auto& r : box.rates) p.rates.push_back(r.hi);
+  for (const auto& m : box.mu_scale) p.mu_scale.push_back(m.lo);
+  for (const auto& f : box.frequencies) p.frequencies.push_back(f.lo);
+  return p;
+}
+
+ParameterPoint power_corner(const BoxSpec& box) {
+  ParameterPoint p;
+  for (const auto& r : box.rates) p.rates.push_back(r.hi);
+  for (const auto& m : box.mu_scale) p.mu_scale.push_back(m.lo);
+  for (const auto& f : box.frequencies) p.frequencies.push_back(f.hi);
+  return p;
+}
+
+core::ClusterModel model_at(const core::ClusterModel& base,
+                            const ParameterPoint& point) {
+  std::vector<core::WorkloadClass> classes = base.classes();
+  for (std::size_t k = 0; k < classes.size(); ++k) {
+    classes[k].rate = point.rates[k];
+    for (auto& d : classes[k].route) {
+      const double mu = point.mu_scale[static_cast<std::size_t>(d.tier)];
+      if (mu != 1.0)  // conv-ok: CONV-5 (bit-exact degenerate-box parity)
+        d.base_service =
+            d.base_service.scaled_to_mean(d.base_service.mean() / mu);
+    }
+  }
+  return core::ClusterModel(base.tiers(), std::move(classes));
+}
+
+bool bisect(const BoxSpec& box, BoxSpec& left, BoxSpec& right) {
+  // Pick the dimension with the largest width relative to its magnitude,
+  // so a [3, 5] rate and a [0.8, 1.0] frequency compete fairly.
+  const Interval* widest = nullptr;
+  double best = 0.0;
+  const auto consider = [&](const Interval& iv) {
+    const double mag = std::max(std::max(std::fabs(iv.lo), std::fabs(iv.hi)), 1e-12);
+    const double rel = iv.width() / mag;
+    if (rel > best) {
+      best = rel;
+      widest = &iv;
+    }
+  };
+  for (const auto& r : box.rates) consider(r);
+  for (const auto& m : box.mu_scale) consider(m);
+  for (const auto& f : box.frequencies) consider(f);
+  if (widest == nullptr) return false;
+
+  left = box;
+  right = box;
+  // Locate the winning interval again by address to know which vector it
+  // lives in.
+  for (std::size_t k = 0; k < box.rates.size(); ++k)
+    if (&box.rates[k] == widest) {
+      const double mid = widest->midpoint();
+      left.rates[k] = Interval{widest->lo, mid};
+      right.rates[k] = Interval{mid, widest->hi};
+      return true;
+    }
+  for (std::size_t i = 0; i < box.mu_scale.size(); ++i)
+    if (&box.mu_scale[i] == widest) {
+      const double mid = widest->midpoint();
+      left.mu_scale[i] = Interval{widest->lo, mid};
+      right.mu_scale[i] = Interval{mid, widest->hi};
+      return true;
+    }
+  for (std::size_t i = 0; i < box.frequencies.size(); ++i)
+    if (&box.frequencies[i] == widest) {
+      const double mid = widest->midpoint();
+      left.frequencies[i] = Interval{widest->lo, mid};
+      right.frequencies[i] = Interval{mid, widest->hi};
+      return true;
+    }
+  return false;
+}
+
+std::string describe_point(const ParameterPoint& point) {
+  const auto list = [](const std::vector<double>& values) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += format_double(values[i], 4);
+    }
+    out += "]";
+    return out;
+  };
+  return "rates " + list(point.rates) + ", mu_scale " + list(point.mu_scale) +
+         ", f " + list(point.frequencies);
+}
+
+}  // namespace cpm::certify

@@ -1,0 +1,425 @@
+#include "cpm/certify/certify.hpp"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <utility>
+
+#include "cpm/common/table.hpp"
+#include "cpm/core/preconditions.hpp"
+#include "cpm/lint/render.hpp"
+#include "cpm/queueing/network.hpp"
+
+namespace cpm::certify {
+
+namespace {
+
+using core::Interval;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One property to decide over the box. The concrete evaluator is ground
+/// truth (refutations); the interval evaluator is the proof side.
+struct Property {
+  std::string name;
+  std::string path;
+  const char* rule_refuted;
+  const char* rule_undecided;
+  double threshold = 0.0;
+  /// Strict properties are violated at the threshold itself (rho >= 1,
+  /// floor >= target); non-strict ones only above it (delay > sla).
+  bool strict = false;
+  /// Percentile SLAs have no interval semantics: corner-refute only.
+  bool interval_provable = true;
+  std::function<double(const ParameterPoint&)> concrete;
+  std::function<Interval(const IntervalEvaluation&)> enclosure;
+  std::function<ParameterPoint(const BoxSpec&)> worst_corner;
+  std::function<std::string(const Witness&)> refuted_message;
+  std::function<std::string(const Witness&)> refuted_hint;
+};
+
+bool violates(const Property& p, double value) {
+  return p.strict ? value >= p.threshold : value > p.threshold;
+}
+
+bool proves(const Property& p, const Interval& iv) {
+  return p.strict ? iv.hi < p.threshold : iv.hi <= p.threshold;
+}
+
+struct ClassifyState {
+  const core::ClusterModel* model = nullptr;
+  const Property* property = nullptr;
+  const CertifyOptions* options = nullptr;
+  int boxes = 0;
+};
+
+Verdict classify(ClassifyState& st, const BoxSpec& box, int depth, Witness& w) {
+  ++st.boxes;
+  const Property& p = *st.property;
+
+  // 1. Refutation first: a concrete evaluation at the property's worst
+  //    corner. Sound by construction — the witness is a real model the
+  //    ordinary analyzer rejects.
+  const ParameterPoint corner = p.worst_corner(box);
+  const double value = p.concrete(corner);
+  if (violates(p, value)) {
+    w.valid = true;
+    w.point = corner;
+    w.value = value;
+    return Verdict::kRefuted;
+  }
+
+  // 2. A point box IS its own worst corner: the concrete pass above just
+  //    decided it, bit for bit like cpm::lint.
+  if (box.is_point()) return Verdict::kProved;
+
+  // 3. Interval proof over the whole box.
+  if (p.interval_provable) {
+    const IntervalEvaluation ev = evaluate_box(*st.model, box);
+    if (proves(p, p.enclosure(ev))) return Verdict::kProved;
+  }
+
+  // 4. Bisect the widest dimension and recurse within budget.
+  if (depth >= st.options->bisect_depth || st.boxes >= st.options->max_boxes ||
+      !p.interval_provable)
+    return Verdict::kUndecided;
+  BoxSpec left;
+  BoxSpec right;
+  if (!bisect(box, left, right)) return Verdict::kUndecided;
+  const Verdict a = classify(st, left, depth + 1, w);
+  if (a == Verdict::kRefuted) return Verdict::kRefuted;
+  const Verdict b = classify(st, right, depth + 1, w);
+  if (b == Verdict::kRefuted) return Verdict::kRefuted;
+  return (a == Verdict::kProved && b == Verdict::kProved) ? Verdict::kProved
+                                                          : Verdict::kUndecided;
+}
+
+std::string at_corner(const Witness& w) {
+  return " at box corner {" + describe_point(w.point) + "}";
+}
+
+std::string interval_text(const Interval& iv) {
+  return "[" + format_double(iv.lo, 4) + ", " + format_double(iv.hi, 4) + "]";
+}
+
+constexpr const char* kUndecidedHint =
+    "raise --bisect-depth / --max-boxes or shrink the parameter box";
+
+/// Concrete mean E2E delay of class k at a parameter point; +infinity
+/// when the point is unstable (matching the optimizers' slas_hold view).
+double concrete_delay(const core::ClusterModel& base, std::size_t k,
+                      const ParameterPoint& point) {
+  const core::Evaluation ev =
+      model_at(base, point).evaluate(point.frequencies);
+  return ev.stable ? ev.net.e2e_delay[k] : kInf;
+}
+
+double concrete_percentile(const core::ClusterModel& base, std::size_t k,
+                           double percentile, const ParameterPoint& point) {
+  const core::Evaluation ev =
+      model_at(base, point).evaluate(point.frequencies);
+  if (!ev.stable) return kInf;
+  return queueing::percentile_e2e_delay(ev.net, k, percentile);
+}
+
+std::vector<Property> build_properties(const core::ClusterModel& model,
+                                       const BoxSpec& box) {
+  std::vector<Property> props;
+
+  for (std::size_t i = 0; i < model.num_tiers(); ++i) {
+    Property p;
+    p.name = "stability[" + model.tiers()[i].name + "]";
+    p.path = "tiers[" + std::to_string(i) + "]";
+    p.rule_refuted = "CPM-C001";
+    p.rule_undecided = "CPM-C002";
+    p.threshold = 1.0;
+    p.strict = true;
+    p.concrete = [&model, i](const ParameterPoint& pt) {
+      return core::tier_utilizations(model_at(model, pt), pt.frequencies)[i];
+    };
+    p.enclosure = [i](const IntervalEvaluation& ev) { return ev.rho[i]; };
+    p.worst_corner = congestion_corner;
+    p.refuted_message = [&model, i](const Witness& w) {
+      const core::StabilityFinding finding{false, i, w.value};
+      return core::overload_description(model, finding) + at_corner(w);
+    };
+    p.refuted_hint = [](const Witness&) {
+      return std::string(core::kOverloadHint);
+    };
+    props.push_back(std::move(p));
+  }
+
+  for (std::size_t k = 0; k < model.num_classes(); ++k) {
+    const auto& cls = model.classes()[k];
+    const std::string sla_path =
+        "classes[" + std::to_string(k) + "].sla.max_mean_delay";
+    if (cls.sla.mean_bounded()) {
+      const double target = cls.sla.max_mean_e2e_delay;
+      {
+        Property p;
+        p.name = "sla-floor[" + cls.name + "]";
+        p.path = sla_path;
+        p.rule_refuted = "CPM-C003";
+        p.rule_undecided = "CPM-C004";
+        p.threshold = target;
+        p.strict = true;  // shares sla_mean_target_feasible's open comparison
+        p.concrete = [&model, k](const ParameterPoint& pt) {
+          return core::class_delay_floor(model_at(model, pt), k, pt.frequencies);
+        };
+        p.enclosure = [k](const IntervalEvaluation& ev) {
+          return ev.delay_floor[k];
+        };
+        p.worst_corner = congestion_corner;
+        p.refuted_message = [&model, k, target](const Witness& w) {
+          return core::sla_floor_description(model, k, target, w.value) +
+                 at_corner(w);
+        };
+        p.refuted_hint = [](const Witness& w) {
+          return core::sla_floor_hint(w.value);
+        };
+        props.push_back(std::move(p));
+      }
+      {
+        Property p;
+        p.name = "sla-mean[" + cls.name + "]";
+        p.path = sla_path;
+        p.rule_refuted = "CPM-C005";
+        p.rule_undecided = "CPM-C006";
+        p.threshold = target;
+        p.strict = false;  // slas_hold: violated iff delay > target
+        p.concrete = [&model, k](const ParameterPoint& pt) {
+          return concrete_delay(model, k, pt);
+        };
+        p.enclosure = [k](const IntervalEvaluation& ev) {
+          return ev.e2e_delay[k];
+        };
+        p.worst_corner = congestion_corner;
+        p.refuted_message = [&model, k, target](const Witness& w) {
+          const std::string& name = model.classes()[k].name;
+          if (std::isinf(w.value))
+            return "class '" + name +
+                   "' has unbounded mean E2E delay (some tier saturates)" +
+                   at_corner(w);
+          return "class '" + name + "' has analytic mean E2E delay " +
+                 format_double(w.value, 4) + " s, above its SLA " +
+                 format_double(target, 4) + " s," + at_corner(w);
+        };
+        p.refuted_hint = [](const Witness&) {
+          return std::string(
+              "add servers, raise frequencies or relax the SLA");
+        };
+        props.push_back(std::move(p));
+      }
+    }
+    if (cls.sla.percentile_bounded()) {
+      const double target = cls.sla.max_percentile_e2e_delay;
+      const double percentile = cls.sla.percentile;
+      Property p;
+      p.name = "sla-percentile[" + cls.name + "]";
+      p.path = "classes[" + std::to_string(k) + "].sla.max_percentile_delay";
+      p.rule_refuted = "CPM-C005";
+      p.rule_undecided = "CPM-C006";
+      p.threshold = target;
+      p.strict = false;
+      p.interval_provable = false;  // gamma-fit quantile has no interval lift
+      p.concrete = [&model, k, percentile](const ParameterPoint& pt) {
+        return concrete_percentile(model, k, percentile, pt);
+      };
+      p.enclosure = [](const IntervalEvaluation&) {
+        return Interval{0.0, kInf};
+      };
+      p.worst_corner = congestion_corner;
+      p.refuted_message = [&model, k, target, percentile](const Witness& w) {
+        const std::string& name = model.classes()[k].name;
+        return "class '" + name + "' has analytic p" +
+               format_double(100.0 * percentile, 0) + " E2E delay " +
+               format_double(w.value, 4) + " s, above its SLA " +
+               format_double(target, 4) + " s," + at_corner(w);
+      };
+      p.refuted_hint = [](const Witness&) {
+        return std::string("add servers, raise frequencies or relax the SLA");
+      };
+      props.push_back(std::move(p));
+    }
+  }
+
+  if (std::isfinite(box.max_power_watts)) {
+    Property p;
+    p.name = "power-budget";
+    p.path = "certify.max_power_watts";
+    p.rule_refuted = "CPM-C007";
+    p.rule_undecided = "CPM-C008";
+    p.threshold = box.max_power_watts;
+    p.strict = false;
+    p.concrete = [&model](const ParameterPoint& pt) {
+      return model_at(model, pt).power_at(pt.frequencies);
+    };
+    p.enclosure = [](const IntervalEvaluation& ev) { return ev.cluster_power; };
+    p.worst_corner = power_corner;
+    p.refuted_message = [budget = box.max_power_watts](const Witness& w) {
+      if (std::isinf(w.value))
+        return "cluster average power is unbounded (some tier saturates)" +
+               at_corner(w);
+      return "cluster average power " + format_double(w.value, 4) +
+             " W exceeds the budget " + format_double(budget, 4) + " W" +
+             at_corner(w);
+    };
+    p.refuted_hint = [](const Witness&) {
+      return std::string("lower frequencies, shed load or raise the budget");
+    };
+    props.push_back(std::move(p));
+  }
+
+  return props;
+}
+
+}  // namespace
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kProved:    return "PROVED";
+    case Verdict::kRefuted:   return "REFUTED";
+    case Verdict::kUndecided: return "UNDECIDED";
+  }
+  return "unknown";
+}
+
+bool CertifyReport::all_proved() const {
+  for (const auto& p : properties)
+    if (p.verdict != Verdict::kProved) return false;
+  return true;
+}
+
+std::size_t CertifyReport::count(Verdict v) const {
+  std::size_t n = 0;
+  for (const auto& p : properties)
+    if (p.verdict == v) ++n;
+  return n;
+}
+
+CertifyReport certify_model(const core::ClusterModel& model, const BoxSpec& box,
+                            const CertifyOptions& options) {
+  CertifyReport report;
+  const IntervalEvaluation root_ev = evaluate_box(model, box);
+
+  for (const Property& prop : build_properties(model, box)) {
+    ClassifyState st;
+    st.model = &model;
+    st.property = &prop;
+    st.options = &options;
+
+    PropertyResult result;
+    result.property = prop.name;
+    result.path = prop.path;
+    result.threshold = prop.threshold;
+    result.bound = prop.enclosure(root_ev);
+    result.verdict = classify(st, box, 0, result.witness);
+    result.boxes_explored = st.boxes;
+
+    if (result.verdict == Verdict::kRefuted) {
+      lint::emit(report.diagnostics, options.rules, prop.rule_refuted,
+                 prop.path, prop.refuted_message(result.witness),
+                 prop.refuted_hint(result.witness));
+    } else if (result.verdict == Verdict::kUndecided) {
+      std::string message;
+      if (!prop.interval_provable) {
+        message = "could not refute " + prop.name +
+                  " at any explored corner; percentile SLAs are corner-"
+                  "checked only and are never interval-proved";
+      } else {
+        message = "could not decide " + prop.name + " over the box: value in " +
+                  interval_text(result.bound) + " vs threshold " +
+                  format_double(prop.threshold, 4) + " after " +
+                  std::to_string(result.boxes_explored) + " box(es)";
+      }
+      lint::emit(report.diagnostics, options.rules, prop.rule_undecided,
+                 prop.path, std::move(message), kUndecidedHint);
+    }
+    report.properties.push_back(std::move(result));
+  }
+  return report;
+}
+
+std::string render_certify_text(const CertifyReport& report,
+                                const std::string& file) {
+  std::string out;
+  for (const auto& p : report.properties) {
+    out += file;
+    out += ": ";
+    out += verdict_name(p.verdict);
+    out += ' ';
+    out += p.property;
+    out += ": value in ";
+    out += interval_text(p.bound);
+    out += " vs threshold ";
+    out += format_double(p.threshold, 4);
+    out += " (";
+    out += std::to_string(p.boxes_explored);
+    out += " box(es))\n";
+    if (p.witness.valid) {
+      out += "    witness: value ";
+      out += format_double(p.witness.value, 4);
+      out += " at {";
+      out += describe_point(p.witness.point);
+      out += "}\n";
+    }
+  }
+  out += file + ": " + std::to_string(report.count(Verdict::kProved)) +
+         " proved, " + std::to_string(report.count(Verdict::kRefuted)) +
+         " refuted, " + std::to_string(report.count(Verdict::kUndecided)) +
+         " undecided\n";
+  out += lint::render_text(report.diagnostics, file);
+  return out;
+}
+
+Json render_certify_json(const CertifyReport& report, const std::string& file,
+                         const BoxSpec& box, const core::ClusterModel& model) {
+  JsonArray properties;
+  for (const auto& p : report.properties) {
+    JsonObject obj;
+    obj["property"] = p.property;
+    obj["path"] = p.path;
+    obj["verdict"] = verdict_name(p.verdict);
+    JsonArray bound;
+    bound.emplace_back(std::isfinite(p.bound.lo) ? Json(p.bound.lo)
+                                                 : Json("inf"));
+    bound.emplace_back(std::isfinite(p.bound.hi) ? Json(p.bound.hi)
+                                                 : Json("inf"));
+    obj["bound"] = Json(std::move(bound));
+    obj["threshold"] = p.threshold;
+    obj["boxes_explored"] = p.boxes_explored;
+    if (p.witness.valid) {
+      JsonObject w;
+      JsonArray rates;
+      for (double r : p.witness.point.rates) rates.emplace_back(r);
+      JsonArray mu;
+      for (double m : p.witness.point.mu_scale) mu.emplace_back(m);
+      JsonArray freq;
+      for (double f : p.witness.point.frequencies) freq.emplace_back(f);
+      w["rates"] = Json(std::move(rates));
+      w["mu_scale"] = Json(std::move(mu));
+      w["frequencies"] = Json(std::move(freq));
+      w["value"] = std::isfinite(p.witness.value) ? Json(p.witness.value)
+                                                  : Json("inf");
+      obj["witness"] = Json(std::move(w));
+    }
+    properties.emplace_back(std::move(obj));
+  }
+
+  JsonObject verdicts;
+  verdicts["proved"] = static_cast<double>(report.count(Verdict::kProved));
+  verdicts["refuted"] = static_cast<double>(report.count(Verdict::kRefuted));
+  verdicts["undecided"] =
+      static_cast<double>(report.count(Verdict::kUndecided));
+
+  JsonObject doc;
+  doc["format"] = "cpm-certify/v1";
+  doc["file"] = file;
+  doc["box"] = box_to_json(box, model);
+  doc["verdicts"] = Json(std::move(verdicts));
+  doc["properties"] = Json(std::move(properties));
+  doc["diagnostics"] = lint::render_json(report.diagnostics, file);
+  return Json(std::move(doc));
+}
+
+}  // namespace cpm::certify

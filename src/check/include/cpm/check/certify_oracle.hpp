@@ -1,0 +1,58 @@
+// Soundness oracle for cpm::certify: Monte-Carlo corner/interior sampling
+// against the interval verdicts.
+//
+// The certifier's contract has two falsifiable halves:
+//
+//   * PROVED is sound — no parameter point inside a PROVED box may
+//     violate the property when evaluated by the ordinary
+//     double-precision analyzer (the ground truth certify abstracts);
+//   * REFUTED witnesses are real — re-evaluating the recorded witness
+//     point concretely must reproduce the violation.
+//
+// check_certify_soundness() samples random interior points and all-corner
+// combinations of a box, compares the concrete verdicts against the
+// certificate, and reports violations through the cpm::check Report
+// machinery. sweep_certify_random_models() drives it over generated
+// models with randomly grown boxes — the CI gate for the interval engine.
+#pragma once
+
+#include <cstdint>
+
+#include "cpm/certify/box.hpp"
+#include "cpm/certify/certify.hpp"
+#include "cpm/check/invariants.hpp"
+#include "cpm/common/rng.hpp"
+#include "cpm/core/cluster_model.hpp"
+
+namespace cpm::check {
+
+struct CertifyOracleOptions {
+  /// Random interior points sampled per box (corners are always checked).
+  int samples = 32;
+  certify::CertifyOptions certify;
+};
+
+/// Certifies `model` over `box`, then attacks the verdicts:
+///   invariant "certify-proved-sound"     no sampled point violates a
+///                                        PROVED property;
+///   invariant "certify-refuted-witness"  every REFUTED witness violates
+///                                        concretely when re-evaluated.
+Report check_certify_soundness(const core::ClusterModel& model,
+                               const certify::BoxSpec& box, Rng& rng,
+                               const CertifyOracleOptions& options = {});
+
+/// Draws `count` generator models, grows a random box around each
+/// (rates +-20%, mu_scale +-10%, frequencies spanning a random DVFS
+/// sub-range) and merges the per-model soundness reports. Also checks
+/// invariant "certify-degenerate-decides" — on the degenerate nominal
+/// box every property must be decided (PROVED or REFUTED, never
+/// UNDECIDED), since a point box is decided concretely.
+Report sweep_certify_random_models(std::uint64_t seed, int count,
+                                   const CertifyOracleOptions& options = {});
+
+/// A random box around the model's nominal point (used by the sweep and
+/// exposed for tests): rates scaled by [0.8, 1.2], mu_scale in
+/// [0.9, 1.1], frequencies a random sub-range of each tier's DVFS range.
+certify::BoxSpec random_box(const core::ClusterModel& model, Rng& rng);
+
+}  // namespace cpm::check

@@ -1,0 +1,290 @@
+#include "cpm/check/certify_oracle.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cpm/check/generator.hpp"
+#include "cpm/common/error.hpp"
+#include "cpm/core/preconditions.hpp"
+#include "cpm/lint/analyze.hpp"
+#include "cpm/queueing/network.hpp"
+
+namespace cpm::check {
+
+namespace {
+
+using certify::BoxSpec;
+using certify::ParameterPoint;
+using certify::Verdict;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// What a certify property name refers to, reconstructed from its
+/// "<kind>[<entity>]" spelling so the oracle can re-derive the concrete
+/// verdict independently of the certifier's internals.
+struct PropertyRef {
+  enum class Kind { kStability, kFloor, kMeanSla, kPercentileSla, kPower };
+  Kind kind = Kind::kStability;
+  std::size_t index = 0;  ///< tier or class index
+};
+
+PropertyRef parse_property(const core::ClusterModel& model,
+                           const std::string& name) {
+  PropertyRef ref;
+  const auto bracket = name.find('[');
+  const std::string kind = name.substr(0, bracket);
+  const std::string entity =
+      bracket == std::string::npos
+          ? std::string()
+          : name.substr(bracket + 1, name.size() - bracket - 2);
+  if (kind == "stability") {
+    ref.kind = PropertyRef::Kind::kStability;
+    for (std::size_t i = 0; i < model.num_tiers(); ++i)
+      if (model.tiers()[i].name == entity) ref.index = i;
+    return ref;
+  }
+  if (kind == "power-budget") {
+    ref.kind = PropertyRef::Kind::kPower;
+    return ref;
+  }
+  ref.kind = kind == "sla-floor" ? PropertyRef::Kind::kFloor
+             : kind == "sla-mean" ? PropertyRef::Kind::kMeanSla
+                                  : PropertyRef::Kind::kPercentileSla;
+  for (std::size_t k = 0; k < model.num_classes(); ++k)
+    if (model.classes()[k].name == entity) ref.index = k;
+  return ref;
+}
+
+/// Ground truth: does the property fail at this concrete point? Uses the
+/// same comparisons as lint / the optimizers (rho >= 1, floor >= target,
+/// delay > target, power > budget).
+bool concrete_violates(const core::ClusterModel& model, const PropertyRef& ref,
+                       double threshold, const ParameterPoint& point) {
+  const core::ClusterModel at = certify::model_at(model, point);
+  switch (ref.kind) {
+    case PropertyRef::Kind::kStability:
+      return core::tier_utilizations(at, point.frequencies)[ref.index] >= 1.0;
+    case PropertyRef::Kind::kFloor:
+      return !core::sla_mean_target_feasible(
+          threshold, core::class_delay_floor(at, ref.index, point.frequencies));
+    case PropertyRef::Kind::kMeanSla: {
+      const core::Evaluation ev = at.evaluate(point.frequencies);
+      const double delay = ev.stable ? ev.net.e2e_delay[ref.index] : kInf;
+      return delay > threshold;
+    }
+    case PropertyRef::Kind::kPercentileSla: {
+      const core::Evaluation ev = at.evaluate(point.frequencies);
+      const double delay =
+          ev.stable ? queueing::percentile_e2e_delay(
+                          ev.net, ref.index,
+                          model.classes()[ref.index].sla.percentile)
+                    : kInf;
+      return delay > threshold;
+    }
+    case PropertyRef::Kind::kPower:
+      return at.power_at(point.frequencies) > threshold;
+  }
+  return false;
+}
+
+/// Flat view of the box's dimensions for corner enumeration / sampling.
+std::vector<const core::Interval*> dimensions(const BoxSpec& box) {
+  std::vector<const core::Interval*> dims;
+  for (const auto& r : box.rates) dims.push_back(&r);
+  for (const auto& m : box.mu_scale) dims.push_back(&m);
+  for (const auto& f : box.frequencies) dims.push_back(&f);
+  return dims;
+}
+
+ParameterPoint assemble(const BoxSpec& box, const std::vector<double>& flat) {
+  ParameterPoint p;
+  std::size_t i = 0;
+  for (std::size_t k = 0; k < box.rates.size(); ++k) p.rates.push_back(flat[i++]);
+  for (std::size_t t = 0; t < box.mu_scale.size(); ++t)
+    p.mu_scale.push_back(flat[i++]);
+  for (std::size_t t = 0; t < box.frequencies.size(); ++t)
+    p.frequencies.push_back(flat[i++]);
+  return p;
+}
+
+/// All 2^d corners when d <= 12 non-degenerate dimensions; random corners
+/// plus uniform interior points otherwise.
+std::vector<ParameterPoint> sample_points(const BoxSpec& box, Rng& rng,
+                                          int samples) {
+  const std::vector<const core::Interval*> dims = dimensions(box);
+  std::vector<std::size_t> wide;
+  for (std::size_t i = 0; i < dims.size(); ++i)
+    if (!dims[i]->is_point()) wide.push_back(i);
+
+  std::vector<ParameterPoint> points;
+  std::vector<double> flat(dims.size());
+  for (std::size_t i = 0; i < dims.size(); ++i) flat[i] = dims[i]->lo;
+
+  if (wide.size() <= 12) {
+    for (std::size_t mask = 0; mask < (std::size_t{1} << wide.size()); ++mask) {
+      for (std::size_t b = 0; b < wide.size(); ++b)
+        flat[wide[b]] = (mask >> b) & 1u ? dims[wide[b]]->hi : dims[wide[b]]->lo;
+      points.push_back(assemble(box, flat));
+    }
+  } else {
+    for (int s = 0; s < samples; ++s) {
+      for (std::size_t b = 0; b < wide.size(); ++b)
+        flat[wide[b]] = rng.bernoulli(0.5) ? dims[wide[b]]->hi : dims[wide[b]]->lo;
+      points.push_back(assemble(box, flat));
+    }
+  }
+  for (int s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      flat[i] = dims[i]->is_point() ? dims[i]->lo
+                                    : rng.uniform(dims[i]->lo, dims[i]->hi);
+    points.push_back(assemble(box, flat));
+  }
+  return points;
+}
+
+}  // namespace
+
+Report check_certify_soundness(const core::ClusterModel& model,
+                               const certify::BoxSpec& box, Rng& rng,
+                               const CertifyOracleOptions& options) {
+  const certify::CertifyReport cert =
+      certify::certify_model(model, box, options.certify);
+
+  CheckResult sound;
+  sound.invariant = "certify-proved-sound";
+  CheckResult witness;
+  witness.invariant = "certify-refuted-witness";
+
+  const std::vector<ParameterPoint> points =
+      sample_points(box, rng, options.samples);
+
+  for (const auto& prop : cert.properties) {
+    const PropertyRef ref = parse_property(model, prop.property);
+    if (prop.verdict == Verdict::kProved) {
+      for (const auto& point : points) {
+        if (!concrete_violates(model, ref, prop.threshold, point)) continue;
+        sound.passed = false;
+        sound.worst_violation = 1.0;
+        if (sound.detail.empty())
+          sound.detail = prop.property + " PROVED but violated at {" +
+                         certify::describe_point(point) + "}";
+      }
+    } else if (prop.verdict == Verdict::kRefuted) {
+      if (!prop.witness.valid ||
+          !concrete_violates(model, ref, prop.threshold, prop.witness.point)) {
+        witness.passed = false;
+        witness.worst_violation = 1.0;
+        if (witness.detail.empty())
+          witness.detail =
+              prop.property + " REFUTED without a confirming witness";
+      }
+    }
+  }
+
+  Report report;
+  report.add(std::move(sound));
+  report.add(std::move(witness));
+  return report;
+}
+
+certify::BoxSpec random_box(const core::ClusterModel& model, Rng& rng) {
+  BoxSpec box = certify::default_box(model);
+  for (std::size_t k = 0; k < box.rates.size(); ++k) {
+    const double rate = model.classes()[k].rate;
+    box.rates[k] = core::Interval{rate * rng.uniform(0.8, 1.0),
+                                  rate * rng.uniform(1.0, 1.2)};
+  }
+  for (std::size_t i = 0; i < box.mu_scale.size(); ++i)
+    box.mu_scale[i] =
+        core::Interval{rng.uniform(0.9, 1.0), rng.uniform(1.0, 1.1)};
+  for (std::size_t i = 0; i < box.frequencies.size(); ++i) {
+    const auto& dvfs = model.tiers()[i].power.dvfs();
+    const double lo = rng.uniform(dvfs.f_min, dvfs.f_max);
+    const double hi = rng.uniform(lo, dvfs.f_max);
+    box.frequencies[i] = core::Interval{lo, hi};
+  }
+  return box;
+}
+
+namespace {
+
+/// Attaches a mean-delay SLA to a random subset of classes, spanning the
+/// feasible and infeasible sides of the floor so all three verdicts and
+/// the CPM-C003/C005 refutation paths get exercised.
+core::ClusterModel with_random_slas(const core::ClusterModel& model, Rng& rng) {
+  std::vector<core::WorkloadClass> classes = model.classes();
+  for (std::size_t k = 0; k < classes.size(); ++k) {
+    if (!rng.bernoulli(0.7)) continue;
+    const double floor =
+        core::class_delay_floor(model, k, model.max_frequencies());
+    classes[k].sla.max_mean_e2e_delay = floor * rng.uniform(0.8, 6.0);
+  }
+  return core::ClusterModel(model.tiers(), std::move(classes));
+}
+
+}  // namespace
+
+Report sweep_certify_random_models(std::uint64_t seed, int count,
+                                   const CertifyOracleOptions& options) {
+  require(count > 0, "sweep_certify_random_models: count must be positive");
+  ModelGenerator generator(seed);
+  Rng rng = Rng(seed).substream(0x9e3779b9u);
+
+  Report total;
+  CheckResult degenerate;
+  degenerate.invariant = "certify-degenerate-decides";
+  CheckResult parity;
+  parity.invariant = "certify-degenerate-matches-lint";
+
+  for (int i = 0; i < count; ++i) {
+    const core::ClusterModel model =
+        with_random_slas(generator.next(), rng);
+    total.merge(
+        check_certify_soundness(model, random_box(model, rng), rng, options));
+
+    // Degenerate box: every property must be decided concretely, and the
+    // REFUTED set must match lint's CPM-L001/L003 firings rule for rule.
+    const BoxSpec nominal = certify::default_box(model);
+    const certify::CertifyReport drep =
+        certify::certify_model(model, nominal, options.certify);
+    const lint::LintReport lrep = lint::lint_model(model);
+    for (const auto& prop : drep.properties) {
+      if (prop.verdict == Verdict::kUndecided) {
+        degenerate.passed = false;
+        degenerate.worst_violation = 1.0;
+        if (degenerate.detail.empty())
+          degenerate.detail = "model " + std::to_string(i) + ": " +
+                              prop.property + " undecided on a point box";
+      }
+      const PropertyRef ref = parse_property(model, prop.property);
+      const char* lint_rule = nullptr;
+      if (ref.kind == PropertyRef::Kind::kStability) lint_rule = "CPM-L001";
+      if (ref.kind == PropertyRef::Kind::kFloor) lint_rule = "CPM-L003";
+      if (lint_rule == nullptr) continue;
+      bool lint_fired = false;
+      const std::string path =
+          ref.kind == PropertyRef::Kind::kStability
+              ? "tiers[" + std::to_string(ref.index) + "]"
+              : "classes[" + std::to_string(ref.index) + "].sla.max_mean_delay";
+      for (const auto& d : lrep.diagnostics())
+        if (d.rule_id == lint_rule && d.path == path) lint_fired = true;
+      if (lint_fired != (prop.verdict == Verdict::kRefuted)) {
+        parity.passed = false;
+        parity.worst_violation = 1.0;
+        if (parity.detail.empty())
+          parity.detail = "model " + std::to_string(i) + ": " + prop.property +
+                          " is " + certify::verdict_name(prop.verdict) +
+                          " on the point box but lint " +
+                          (lint_fired ? "fired " : "did not fire ") + lint_rule;
+      }
+    }
+  }
+  total.add(std::move(degenerate));
+  total.add(std::move(parity));
+  return total;
+}
+
+}  // namespace cpm::check

@@ -123,7 +123,8 @@ Report check_reductions(double tolerance) {
     for (double rho : loads) {
       const double lambda = rho * c / mean_service;
       for (double scv : {0.5, 1.0, 2.0}) {
-        if (c > 1 && scv != 1.0) continue;  // multi-server exactness is M/M/c
+        // Multi-server exactness holds for M/M/c only.
+        if (c > 1 && scv != 1.0) continue;  // conv-ok: CONV-5
         const std::vector<ClassFlow> flow = {
             ClassFlow{lambda, Distribution::from_mean_scv(mean_service, scv)}};
         const auto fcfs = queueing::analyze_station(c, Discipline::kFcfs, flow);
@@ -135,7 +136,7 @@ Report check_reductions(double tolerance) {
                   std::string(queueing::discipline_name(d)) +
                       " c=" + std::to_string(c) + " scv=" + std::to_string(scv));
         }
-        if (scv == 1.0 && c == 1) {
+        if (scv == 1.0 && c == 1) {  // conv-ok: CONV-5 (exact test grid)
           const auto ps =
               queueing::analyze_station(c, Discipline::kProcessorSharing, flow);
           observe(prio, residual(ps.mean_sojourn[0], fcfs.mean_sojourn[0], 1e-9),

@@ -83,7 +83,7 @@ Distribution Distribution::from_mean_scv(double mean, double scv) {
   require(mean > 0.0, "from_mean_scv: mean must be > 0");
   require(scv >= 0.0, "from_mean_scv: scv must be >= 0");
   if (scv == 0.0) return deterministic(mean);
-  if (scv == 1.0) return exponential(mean);
+  if (scv == 1.0) return exponential(mean);  // conv-ok: CONV-5 (exact family dispatch)
   if (scv < 1.0) return gamma(1.0 / scv, mean);
   return hyper_exp2(mean, scv);
 }

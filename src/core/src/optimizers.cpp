@@ -178,16 +178,19 @@ CostOptResult minimize_cost_for_slas(const ClusterModel& model,
                                                           : options.frequencies;
   require(freqs.size() == n_tiers, "P-C: one frequency per tier required");
 
-  // Statically infeasible mean-SLA targets (strictly below the no-queueing
+  // Statically infeasible mean-SLA targets (at or below the no-queueing
   // service-demand floor, lint rule CPM-L003) do not depend on server
   // counts: adding servers removes queueing, never service time. Bail out
-  // before the branch-and-bound explores anything. (Percentile bounds are
-  // left to the search: the gamma-fit percentile is not bounded below by
-  // the mean floor for low percentiles.)
+  // before the branch-and-bound explores anything. The comparison is the
+  // shared open one of sla_mean_target_feasible — a target exactly at the
+  // floor needs rho == 0, which a traffic-carrying class never attains.
+  // (Percentile bounds are left to the search: the gamma-fit percentile
+  // is not bounded below by the mean floor for low percentiles.)
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
     const Sla& sla = model.classes()[k].sla;
     if (sla.mean_bounded() &&
-        sla.max_mean_e2e_delay < class_delay_floor(model, k, freqs)) {
+        !sla_mean_target_feasible(sla.max_mean_e2e_delay,
+                                  class_delay_floor(model, k, freqs))) {
       CostOptResult r;
       r.servers.assign(n_tiers, options.max_servers_per_tier);
       return r;  // feasible = false, zero nodes explored

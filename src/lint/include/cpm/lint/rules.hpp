@@ -1,13 +1,24 @@
-// The cpm::lint rule registry.
+// The cpm::lint / cpm::certify rule registry.
 //
-// Every check the analyzer can perform is registered here with a stable
-// ID (CPM-Lxxx — never renumbered, holes allowed), a kebab-case name, a
-// default severity and a one-line description. IDs are shared with the
-// runtime preconditions in cpm/core/preconditions.hpp so a precondition
-// thrown deep inside validate_model or an optimizer reads exactly like
-// the static analyzer's finding for the same defect.
+// Every check the analyzers can perform is registered here with a stable
+// ID (CPM-Lxxx for point checks, CPM-Cxxx for box certification — never
+// renumbered, holes allowed), a kebab-case name, a default severity, a
+// one-line description and a documentation anchor. IDs are shared with
+// the runtime preconditions in cpm/core/preconditions.hpp so a
+// precondition thrown deep inside validate_model or an optimizer reads
+// exactly like the static analyzer's finding for the same defect.
 //
 //   ID        name                        severity  scope
+//   CPM-C001  box-tier-overloaded         error     box
+//   CPM-C002  box-stability-undecided     warning   box
+//   CPM-C003  box-sla-mean-below-floor    error     box
+//   CPM-C004  box-sla-floor-undecided     warning   box
+//   CPM-C005  box-sla-delay-exceeded      error     box
+//   CPM-C006  box-sla-delay-undecided     warning   box
+//   CPM-C007  box-power-budget-exceeded   error     box
+//   CPM-C008  box-power-undecided         warning   box
+//   CPM-C009  box-spec-invalid            error     box
+//   CPM-C010  solution-not-certified      error     certificate
 //   CPM-L001  tier-overloaded             error     model
 //   CPM-L002  tier-near-saturation        warning   model
 //   CPM-L003  sla-mean-below-floor        error     model
@@ -29,6 +40,10 @@
 // Document-scope rules run on the raw JSON (they catch defects the
 // ClusterModel constructor rejects, with a precise path); model-scope
 // rules run on a constructed model; settings-scope rules on SimSettings.
+// Box-scope rules are emitted by cpm::certify when a property is REFUTED
+// (error) or UNDECIDED (warning) over a declared parameter box; the full
+// interval semantics live in docs/certify.md, which also hosts the
+// per-rule anchors the help_uri fields point at.
 #pragma once
 
 #include <set>
@@ -45,6 +60,7 @@ struct Rule {
   const char* name;         ///< "tier-overloaded"
   Severity severity;        ///< default severity
   const char* description;  ///< one-liner for --list-rules / SARIF metadata
+  const char* help_uri;     ///< rule docs anchor, e.g. "docs/certify.md#cpm-l001"
 };
 
 /// The full registry, ordered by ID.

@@ -54,14 +54,13 @@ void rule_sla_floors(const core::ClusterModel& model, const RuleSet& rules,
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
     const auto& c = model.classes()[k];
     const double floor = core::class_delay_floor(model, k, f_max);
-    if (c.sla.mean_bounded() && c.sla.max_mean_e2e_delay < floor) {
+    if (c.sla.mean_bounded() &&
+        !core::sla_mean_target_feasible(c.sla.max_mean_e2e_delay, floor)) {
       emit(report, rules, "CPM-L003", at("classes", k, "sla.max_mean_delay"),
-           "class '" + c.name + "' has mean-delay SLA " +
-               format_double(c.sla.max_mean_e2e_delay, 4) +
-               " s below its no-queueing service floor " +
-               format_double(floor, 4) + " s at f_max: statically infeasible",
-           "raise the target above " + format_double(floor, 4) +
-               " s or cut the route's service demands");
+           core::sla_floor_description(model, k, c.sla.max_mean_e2e_delay,
+                                       floor) +
+               " at f_max: statically infeasible",
+           core::sla_floor_hint(floor));
     }
     if (c.sla.percentile_bounded() && c.sla.max_percentile_e2e_delay < floor) {
       emit(report, rules, "CPM-L004",

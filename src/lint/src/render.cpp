@@ -72,6 +72,13 @@ Json render_sarif(const LintReport& report, const std::string& file) {
     JsonObject short_description;
     short_description["text"] = r.description;
     meta["shortDescription"] = Json(std::move(short_description));
+    // GitHub code scanning only renders rule documentation when the
+    // metadata carries fullDescription AND helpUri; both come from the
+    // registry so every tool (lint, certify) ships identical rule docs.
+    JsonObject full_description;
+    full_description["text"] = r.description;
+    meta["fullDescription"] = Json(std::move(full_description));
+    meta["helpUri"] = r.help_uri;
     JsonObject config;
     config["level"] = severity_name(r.severity);
     meta["defaultConfiguration"] = Json(std::move(config));

@@ -6,52 +6,113 @@ namespace cpm::lint {
 
 const std::vector<Rule>& rules() {
   static const std::vector<Rule> kRules = {
+      {"CPM-C001", "box-tier-overloaded", Severity::kError,
+       "some point of the declared parameter box overloads a tier "
+       "(rho >= 1): stability over the box is refuted, with a witness "
+       "corner",
+       "docs/certify.md#cpm-c001"},
+      {"CPM-C002", "box-stability-undecided", Severity::kWarning,
+       "tier stability could not be proved or refuted over the parameter "
+       "box within the bisection budget",
+       "docs/certify.md#cpm-c002"},
+      {"CPM-C003", "box-sla-mean-below-floor", Severity::kError,
+       "some point of the parameter box pushes the class's no-queueing "
+       "service floor to or above its mean-delay SLA target: statically "
+       "infeasible there",
+       "docs/certify.md#cpm-c003"},
+      {"CPM-C004", "box-sla-floor-undecided", Severity::kWarning,
+       "the SLA-vs-floor comparison could not be decided over the "
+       "parameter box within the bisection budget",
+       "docs/certify.md#cpm-c004"},
+      {"CPM-C005", "box-sla-delay-exceeded", Severity::kError,
+       "some point of the parameter box drives the class's analytic E2E "
+       "delay above its SLA target, with a witness corner",
+       "docs/certify.md#cpm-c005"},
+      {"CPM-C006", "box-sla-delay-undecided", Severity::kWarning,
+       "a delay SLA could not be proved or refuted over the parameter box "
+       "within the bisection budget (percentile targets are never proved, "
+       "only corner-refuted)",
+       "docs/certify.md#cpm-c006"},
+      {"CPM-C007", "box-power-budget-exceeded", Severity::kError,
+       "some point of the parameter box drives cluster average power above "
+       "the declared budget, with a witness corner",
+       "docs/certify.md#cpm-c007"},
+      {"CPM-C008", "box-power-undecided", Severity::kWarning,
+       "the power budget could not be proved or refuted over the parameter "
+       "box within the bisection budget",
+       "docs/certify.md#cpm-c008"},
+      {"CPM-C009", "box-spec-invalid", Severity::kError,
+       "the parameter-box specification is ill-formed (unknown class or "
+       "tier, inverted range, frequencies outside the DVFS range, ...)",
+       "docs/certify.md#cpm-c009"},
+      {"CPM-C010", "solution-not-certified", Severity::kError,
+       "an optimizer solution failed certification: some SLA or stability "
+       "constraint is refuted (or the solution was already infeasible) "
+       "over the declared uncertainty box",
+       "docs/certify.md#cpm-c010"},
       {"CPM-L001", "tier-overloaded", Severity::kError,
        "tier has no steady state even at f_max (rho >= 1): the admissible "
-       "frequency range cannot carry its offered load"},
+       "frequency range cannot carry its offered load",
+       "docs/certify.md#cpm-l001"},
       {"CPM-L002", "tier-near-saturation", Severity::kWarning,
        "tier runs above 95% utilisation at f_max: delays explode and the "
-       "optimizers have almost no DVFS headroom"},
+       "optimizers have almost no DVFS headroom",
+       "docs/certify.md#cpm-l002"},
       {"CPM-L003", "sla-mean-below-floor", Severity::kError,
-       "mean-delay SLA target lies below the class's no-queueing "
-       "service-demand floor at f_max: statically infeasible"},
+       "mean-delay SLA target lies at or below the class's no-queueing "
+       "service-demand floor at f_max: statically infeasible",
+       "docs/certify.md#cpm-l003"},
       {"CPM-L004", "sla-percentile-below-floor", Severity::kWarning,
        "percentile-delay SLA target lies below the class's mean no-queueing "
-       "service demand at f_max: almost certainly infeasible"},
+       "service demand at f_max: almost certainly infeasible",
+       "docs/certify.md#cpm-l004"},
       {"CPM-L005", "unreachable-tier", Severity::kWarning,
        "no class routes through this tier: it burns idle power and cannot "
-       "affect any delay"},
+       "affect any delay",
+       "docs/certify.md#cpm-l005"},
       {"CPM-L006", "zero-rate-class", Severity::kWarning,
        "class has arrival rate 0: it generates no traffic and its metrics "
-       "describe a hypothetical request"},
+       "describe a hypothetical request",
+       "docs/certify.md#cpm-l006"},
       {"CPM-L007", "negative-rate-class", Severity::kError,
-       "class has a negative arrival rate"},
+       "class has a negative arrival rate",
+       "docs/certify.md#cpm-l007"},
       {"CPM-L008", "power-curve-inverted", Severity::kError,
        "busy power does not exceed idle power: the power curve is "
-       "non-increasing in load and the energy model is meaningless"},
+       "non-increasing in load and the energy model is meaningless",
+       "docs/certify.md#cpm-l008"},
       {"CPM-L009", "dvfs-range-invalid", Severity::kError,
        "DVFS range is ill-formed (frequencies must be positive and "
-       "f_min <= f_max)"},
+       "f_min <= f_max)",
+       "docs/certify.md#cpm-l009"},
       {"CPM-L010", "alpha-sublinear", Severity::kError,
        "dynamic-power exponent alpha < 1 is physically implausible and "
        "rejected by the power model (CMOS dynamic power grows at least "
-       "linearly in f)"},
+       "linearly in f)",
+       "docs/certify.md#cpm-l010"},
       {"CPM-L011", "priority-sla-inversion", Severity::kWarning,
        "a lower-priority class has a strictly tighter mean-delay SLA than a "
-       "higher-priority class: priority order contradicts SLA strictness"},
+       "higher-priority class: priority order contradicts SLA strictness",
+       "docs/certify.md#cpm-l011"},
       {"CPM-L012", "warmup-geq-horizon", Severity::kWarning,
        "warm-up period is at least the end time: the measurement window is "
-       "empty"},
+       "empty",
+       "docs/certify.md#cpm-l012"},
       {"CPM-L013", "too-few-replications", Severity::kNote,
-       "fewer than 2 replications: no confidence interval can be formed"},
+       "fewer than 2 replications: no confidence interval can be formed",
+       "docs/certify.md#cpm-l013"},
       {"CPM-L014", "servers-not-positive", Severity::kError,
-       "tier has fewer than 1 server"},
+       "tier has fewer than 1 server",
+       "docs/certify.md#cpm-l014"},
       {"CPM-L015", "route-invalid", Severity::kError,
-       "class route is empty or references an unknown tier"},
+       "class route is empty or references an unknown tier",
+       "docs/certify.md#cpm-l015"},
       {"CPM-L016", "schema-error", Severity::kError,
-       "document does not parse into the model schema"},
+       "document does not parse into the model schema",
+       "docs/certify.md#cpm-l016"},
       {"CPM-L017", "suppression-without-reason", Severity::kWarning,
-       "the lint suppression block disables rules without stating a reason"},
+       "the lint suppression block disables rules without stating a reason",
+       "docs/certify.md#cpm-l017"},
   };
   return kRules;
 }

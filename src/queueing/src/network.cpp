@@ -49,7 +49,7 @@ StationFlows flows_at_station(std::size_t station,
       only_visit = &v;
     }
     if (visits == 0.0) continue;
-    if (visits == 1.0) {
+    if (visits == 1.0) {  // conv-ok: CONV-5 (visits counts whole route steps)
       // Single visit: keep the exact service law (preserves the third
       // moment, which the Takács wait-m2 formula consumes).
       out.flows.push_back(ClassFlow{cls.rate, only_visit->service});

@@ -1,0 +1,146 @@
+// Interval arithmetic soundness: every operation's result must contain
+// the exact real result for every choice of operands (inclusion
+// isotonicity), point intervals must stay bit-exact, and division by a
+// zero-containing denominator must yield the correct half-line instead of
+// throwing. The randomized containment check is the numeric bedrock the
+// whole certifier rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cpm/common/error.hpp"
+#include "cpm/common/rng.hpp"
+#include "cpm/core/interval.hpp"
+
+namespace cpm::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Interval, PointArithmeticIsBitExact) {
+  // Degenerate intervals skip outward widening, so a chain of point
+  // operations reproduces ordinary double arithmetic bit for bit — the
+  // guarantee that makes degenerate boxes match cpm::lint exactly.
+  const Interval a = Interval::point(0.1);
+  const Interval b = Interval::point(0.3);
+  EXPECT_EQ((a + b).lo, 0.1 + 0.3);
+  EXPECT_EQ((a + b).hi, 0.1 + 0.3);
+  EXPECT_EQ((a * b).lo, 0.1 * 0.3);
+  EXPECT_EQ((a - b).hi, 0.1 - 0.3);
+  EXPECT_EQ((a / b).lo, 0.1 / 0.3);
+  EXPECT_TRUE((a / b).is_point());
+}
+
+TEST(Interval, MakeValidatesEndpoints) {
+  EXPECT_THROW(Interval::make(2.0, 1.0), Error);
+  EXPECT_THROW(Interval::make(std::nan(""), 1.0), Error);
+  EXPECT_THROW(Interval::make(0.0, std::nan("")), Error);
+  const Interval ok = Interval::make(-1.0, kInf);
+  EXPECT_EQ(ok.lo, -1.0);
+  EXPECT_EQ(ok.hi, kInf);
+}
+
+TEST(Interval, WidenMovesEndpointsOutByOneUlp) {
+  const Interval w = widen({1.0, 2.0});
+  EXPECT_LT(w.lo, 1.0);
+  EXPECT_GT(w.hi, 2.0);
+  EXPECT_EQ(w.lo, std::nextafter(1.0, -kInf));
+  EXPECT_EQ(w.hi, std::nextafter(2.0, kInf));
+  // Infinite endpoints stay put.
+  const Interval inf = widen({0.0, kInf});
+  EXPECT_EQ(inf.hi, kInf);
+}
+
+TEST(Interval, HullAndContains) {
+  const Interval h = hull({0.0, 1.0}, {3.0, 4.0});
+  EXPECT_TRUE(h.contains(Interval{0.0, 1.0}));
+  EXPECT_TRUE(h.contains(Interval{3.0, 4.0}));
+  EXPECT_TRUE(h.contains(2.0));
+  EXPECT_FALSE(Interval({0.0, 1.0}).contains(2.0));
+}
+
+TEST(Interval, RandomizedContainment) {
+  // For random operand intervals and random concrete choices inside
+  // them, x op y must land inside [x] op [y] for all four operations.
+  Rng rng(20110516);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double a = rng.uniform(-10.0, 10.0);
+    const double b = a + rng.uniform(0.0, 5.0);
+    const double c = rng.uniform(-10.0, 10.0);
+    const double d = c + rng.uniform(0.0, 5.0);
+    const Interval x{a, b};
+    const Interval y{c, d};
+    const double xv = rng.uniform(a, b);
+    const double yv = rng.uniform(c, d);
+    EXPECT_TRUE((x + y).contains(xv + yv));
+    EXPECT_TRUE((x - y).contains(xv - yv));
+    EXPECT_TRUE((x * y).contains(xv * yv));
+    if (yv != 0.0) EXPECT_TRUE((x / y).contains(xv / yv)) << xv << "/" << yv;
+  }
+}
+
+TEST(Interval, ZeroInfProductConventionIsZero) {
+  // Closed-interval convention: an infinite endpoint is a bound, never an
+  // attained value, so {0} * [0, inf] stays pinned at 0 instead of NaN.
+  const Interval z = Interval::point(0.0);
+  EXPECT_EQ((z * Interval::point(kInf)).lo, 0.0);
+  EXPECT_EQ((z * Interval::point(kInf)).hi, 0.0);
+  // Non-point operands still widen outward, but only by one ulp — never
+  // to NaN or an infinite low bound.
+  const Interval zh = z * Interval{0.0, kInf};
+  EXPECT_TRUE(zh.contains(0.0));
+  EXPECT_LE(zh.hi, 5e-324);
+  const Interval p = Interval{0.0, 2.0} * Interval{0.0, kInf};
+  EXPECT_EQ(p.hi, kInf);
+  EXPECT_LE(p.lo, 0.0);
+  EXPECT_GE(p.lo, -5e-324);
+}
+
+TEST(Interval, DivisionByZeroTouchingDenominatorYieldsHalfLine) {
+  // Positive numerator over [0, d]: lower bound from the definite corner,
+  // +inf above — saturation reads as "cannot prove", never a throw.
+  const Interval q = Interval{1.0, 2.0} / Interval{0.0, 4.0};
+  EXPECT_LE(q.lo, 0.25);
+  EXPECT_GT(q.lo, 0.2);
+  EXPECT_EQ(q.hi, kInf);
+
+  const Interval neg = Interval{-2.0, -1.0} / Interval{0.0, 4.0};
+  EXPECT_EQ(neg.lo, -kInf);
+  EXPECT_GE(neg.hi, -0.25);
+
+  const Interval straddle = Interval{1.0, 2.0} / Interval{-1.0, 1.0};
+  EXPECT_EQ(straddle.lo, -kInf);
+  EXPECT_EQ(straddle.hi, kInf);
+}
+
+TEST(Interval, HalfLineQuotientSkipsNanCorners) {
+  // [x, inf] / [y, inf] hits the inf/inf NaN corner; the sound result is
+  // [~0, inf] from the remaining candidates, never [-inf, inf].
+  const Interval q = Interval{1.0, kInf} / Interval{2.0, kInf};
+  EXPECT_GE(q.lo, -1e-300);
+  EXPECT_EQ(q.hi, kInf);
+  EXPECT_TRUE(q.contains(0.5));
+  EXPECT_TRUE(q.contains(1e12));
+}
+
+TEST(Interval, PowAndClamp) {
+  const Interval p = pow_nonneg({2.0, 3.0}, 2.0);
+  EXPECT_TRUE(p.contains(4.0));
+  EXPECT_TRUE(p.contains(9.0));
+  EXPECT_TRUE(p.contains(6.25));
+  EXPECT_THROW(pow_nonneg({-1.0, 1.0}, 2.0), Error);
+
+  const Interval c = max_with({-2.0, 5.0}, 0.0);
+  EXPECT_EQ(c.lo, 0.0);
+  EXPECT_EQ(c.hi, 5.0);
+}
+
+TEST(Interval, MidpointHandlesInfiniteEndpoints) {
+  EXPECT_EQ(Interval({0.0, 4.0}).midpoint(), 2.0);
+  EXPECT_EQ(Interval({0.0, kInf}).midpoint(), 0.0);
+  EXPECT_EQ(Interval({-kInf, 3.0}).midpoint(), 3.0);
+}
+
+}  // namespace
+}  // namespace cpm::core

@@ -151,15 +151,22 @@ TEST(LintDocument, L003FiresOnMeanSlaBelowFloor) {
   EXPECT_EQ(find_diag(report, "CPM-L003")->severity, Severity::kError);
 }
 
-TEST(LintDocument, L003NearMissAtExactFloor) {
-  // The floor itself is attainable only without queueing, but it is not
-  // *statically* infeasible: the comparison must be strict. Compute the
-  // floor with the shared core function so the comparison is bit-exact.
+TEST(LintDocument, L003FiresAtExactFloor) {
+  // The floor is attainable only with zero queueing, which no stable
+  // stochastic system achieves — a target exactly AT the floor is
+  // statically infeasible, so feasibility is the open comparison
+  // target > floor (shared via sla_mean_target_feasible with the
+  // optimizer's bail-out and certify). Compute the floor with the shared
+  // core function so the comparison is bit-exact.
   const auto model = make_enterprise_model(0.5);
   const double floor =
       core::class_delay_floor(model, 0, model.max_frequencies());
   const Json doc = with_sla(base_doc(), 0, "max_mean_delay", floor);
-  EXPECT_EQ(count_rule(lint::lint_document(doc), "CPM-L003"), 0u);
+  EXPECT_EQ(count_rule(lint::lint_document(doc), "CPM-L003"), 1u);
+  // Just above the floor is feasible again.
+  const Json ok = with_sla(base_doc(), 0, "max_mean_delay",
+                           floor * (1.0 + 1e-12));
+  EXPECT_EQ(count_rule(lint::lint_document(ok), "CPM-L003"), 0u);
 }
 
 TEST(LintDocument, L004FiresOnPercentileSlaBelowFloorAsWarningOnly) {

@@ -72,6 +72,13 @@ TEST(RenderSarif, ShapeMatchesSarif210) {
     EXPECT_EQ(rule_meta.at(i).at("id").as_string(), rules()[i].id);
     EXPECT_FALSE(
         rule_meta.at(i).at("shortDescription").at("text").as_string().empty());
+    // Code-scanning dashboards surface fullDescription and link helpUri;
+    // both must be populated from the registry for every rule.
+    EXPECT_EQ(rule_meta.at(i).at("fullDescription").at("text").as_string(),
+              rules()[i].description);
+    EXPECT_EQ(rule_meta.at(i).at("helpUri").as_string(), rules()[i].help_uri);
+    EXPECT_NE(rule_meta.at(i).at("helpUri").as_string().find("docs/certify.md"),
+              std::string::npos);
     EXPECT_EQ(rule_meta.at(i).at("defaultConfiguration").at("level").as_string(),
               severity_name(rules()[i].severity));
   }

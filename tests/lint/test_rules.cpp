@@ -14,17 +14,19 @@ namespace {
 
 TEST(RuleRegistry, IdsAreStableOrderedAndUnique) {
   const auto& all = rules();
-  ASSERT_GE(all.size(), 17u);
+  ASSERT_GE(all.size(), 27u);  // 10 certify CPM-C rules + 17 lint CPM-L rules
   std::set<std::string> ids;
   std::set<std::string> names;
   std::string prev;
   for (const auto& r : all) {
-    EXPECT_EQ(std::string(r.id).rfind("CPM-L", 0), 0u) << r.id;
-    EXPECT_LT(prev, std::string(r.id)) << "registry must stay ID-ordered";
-    prev = r.id;
-    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate id " << r.id;
+    const std::string id(r.id);
+    EXPECT_TRUE(id.rfind("CPM-L", 0) == 0 || id.rfind("CPM-C", 0) == 0) << r.id;
+    EXPECT_LT(prev, id) << "registry must stay ID-ordered";
+    prev = id;
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate id " << r.id;
     EXPECT_TRUE(names.insert(r.name).second) << "duplicate name " << r.name;
     EXPECT_FALSE(std::string(r.description).empty()) << r.id;
+    EXPECT_FALSE(std::string(r.help_uri).empty()) << r.id;
   }
 }
 

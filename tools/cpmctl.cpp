@@ -20,10 +20,16 @@
 //                                      [--rule LIST] [--no-rule LIST]
 //                                      [--warmup W --time T --reps N]
 //   cpmctl lint --list-rules
+//   cpmctl certify        <model.json> [--box ranges.json] [--bisect-depth N]
+//                                      [--max-boxes N] [--format text|json|sarif]
+//                                      [--error-on note|warning|error]
+//                                      [--rule LIST] [--no-rule LIST]
+//                                      [--solution size|power ...]
 //
 // Exit status: 0 success, 1 usage error, 2 model/solver/IO error (for
-// `check`: any invariant violated). `lint` additionally exits 3 when any
-// diagnostic at or above the --error-on threshold (default: error) fired.
+// `check`: any invariant violated). `lint` and `certify` additionally exit
+// 3 when any diagnostic at or above the --error-on threshold (default:
+// error) fired.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -33,6 +39,7 @@
 #include <vector>
 
 #include "cpm/bench/suites.hpp"
+#include "cpm/certify/certificate.hpp"
 #include "cpm/check/differential.hpp"
 #include "cpm/core/cpm.hpp"
 #include "cpm/core/model_io.hpp"
@@ -64,6 +71,11 @@ using namespace cpm;
       "                 [--error-on note|warning|error] [--rule LIST]\n"
       "                 [--no-rule LIST] [--warmup W --time T --reps N]\n"
       "  lint           --list-rules\n"
+      "  certify        <model.json> [--box ranges.json] [--bisect-depth N]\n"
+      "                 [--max-boxes N] [--format text|json|sarif]\n"
+      "                 [--error-on note|warning|error] [--rule LIST]\n"
+      "                 [--no-rule LIST] [--solution size|power]\n"
+      "                 [--max-servers N] [--greedy] [--bound SECS]\n"
       "  trace-stats    <arrivals.csv>\n"
       "  bench          [--suite NAME] [--quick] [--repeats N] [--warmup N]\n"
       "                 [--out FILE] [--list]\n";
@@ -476,6 +488,89 @@ int cmd_lint(const std::string& path, const Args& args) {
   return report.count_at_least(threshold) > 0 ? 3 : 0;
 }
 
+int cmd_certify(const std::string& path, const Args& args) {
+  const Json doc = Json::parse(read_file(path));
+  const auto model = core::model_from_json(doc);
+
+  // Box precedence: --box file, then the model's embedded "certify" block
+  // (the same convention lint uses for its "lint" suppression block), then
+  // the degenerate nominal box.
+  certify::BoxSpec box;
+  if (const auto box_path = args.value("--box"))
+    box = certify::box_from_json(model, Json::parse(read_file(*box_path)));
+  else if (doc.contains("certify"))
+    box = certify::box_from_json(model, doc.at("certify"));
+  else
+    box = certify::default_box(model);
+
+  certify::CertifyOptions options;
+  options.bisect_depth = static_cast<int>(
+      args.number("--bisect-depth", options.bisect_depth));
+  options.max_boxes =
+      static_cast<int>(args.number("--max-boxes", options.max_boxes));
+  if (const auto only = args.value("--rule"))
+    options.rules = lint::RuleSet::only(parse_csv_strings(*only));
+  if (const auto off = args.value("--no-rule"))
+    for (const auto& id : parse_csv_strings(*off)) options.rules.disable(id);
+
+  const lint::Severity threshold =
+      lint::severity_from_name(args.value("--error-on").value_or("error"));
+  const std::string format = args.value("--format").value_or("text");
+
+  // Certificate mode: re-run an optimizer, then statically certify its
+  // output over the box instead of the model as declared.
+  if (const auto solution = args.value("--solution")) {
+    certify::Certificate cert;
+    if (*solution == "size") {
+      core::CostOptOptions opts;
+      opts.max_servers_per_tier =
+          static_cast<int>(args.number("--max-servers", 24));
+      opts.greedy_only = args.has("--greedy");
+      const auto r = core::minimize_cost_for_slas(model, opts);
+      cert = certify::certify_cost_solution(model, r, opts.frequencies, box,
+                                            options);
+    } else if (*solution == "power") {
+      const auto bound = args.value("--bound");
+      if (!bound) usage("certify --solution power requires --bound SECONDS");
+      const auto r =
+          core::minimize_power_with_delay_bound(model, std::stod(*bound));
+      cert = certify::certify_frequency_solution(model, r, box, options);
+    } else {
+      usage("unknown --solution '" + *solution + "' (expected size | power)");
+    }
+
+    if (format == "text") {
+      std::cout << certify::render_certify_text(cert.report, path)
+                << (cert.certified ? "solution CERTIFIED over the box\n"
+                                   : "solution NOT CERTIFIED\n");
+    } else if (format == "json") {
+      std::cout << certify::certificate_to_json(cert, model, box).dump(2)
+                << '\n';
+    } else if (format == "sarif") {
+      std::cout << lint::render_sarif(cert.report.diagnostics, path).dump(2)
+                << '\n';
+    } else {
+      usage("unknown certify format '" + format +
+            "' (expected text | json | sarif)");
+    }
+    return cert.report.diagnostics.count_at_least(threshold) > 0 ? 3 : 0;
+  }
+
+  const certify::CertifyReport report = certify::certify_model(model, box, options);
+  if (format == "text")
+    std::cout << certify::render_certify_text(report, path);
+  else if (format == "json")
+    std::cout << certify::render_certify_json(report, path, box, model).dump(2)
+              << '\n';
+  else if (format == "sarif")
+    std::cout << lint::render_sarif(report.diagnostics, path).dump(2) << '\n';
+  else
+    usage("unknown certify format '" + format +
+          "' (expected text | json | sarif)");
+
+  return report.diagnostics.count_at_least(threshold) > 0 ? 3 : 0;
+}
+
 int cmd_bench(const Args& args) {
   if (args.has("--list")) {
     for (const auto& name : bench::suite_names()) std::cout << name << '\n';
@@ -551,6 +646,7 @@ int main(int argc, char** argv) {
     const std::string path = argv[2];
     const Args args(argc, argv, 3);
     if (cmd == "lint") return cmd_lint(path, args);
+    if (cmd == "certify") return cmd_certify(path, args);
     if (cmd == "describe") return cmd_describe(path);
     if (cmd == "evaluate") return cmd_evaluate(path, args);
     if (cmd == "optimize-delay") return cmd_optimize_delay(path, args);

@@ -11,6 +11,14 @@ checks clang-tidy does not cover). Enforced rules:
   CONV-3  every header must start its include guard with #pragma once.
   CONV-4  headers must not contain using-namespace directives (they leak
           into every includer).
+  CONV-5  library code must not compare doubles with exact == / != —
+          interval endpoints, utilisations and delays carry rounding;
+          use explicit tolerances or restructure. Comparisons against
+          the exact literal 0.0 are allowed (sign tests are well-defined),
+          and a trailing "// conv-ok: CONV-5" comment waives a line that
+          is deliberately bit-exact.
+  CONV-6  library code must not use assert(): it vanishes under NDEBUG.
+          Use cpm::require(), which throws cpm::Error in every build.
 
 Usage: tools/lint_cpp.py [root]    (root defaults to the repo root)
 Exit code 0 when clean, 1 when any violation is found.
@@ -27,9 +35,36 @@ RULES = [
      "stream output in library code: return values or throw cpm::Error"),
     ("CONV-4", False, True, re.compile(r"^\s*using\s+namespace\b"),
      "using-namespace in a header leaks into every includer"),
+    ("CONV-6", True, False, re.compile(r"(?<![\w.])assert\s*\("),
+     "assert() vanishes under NDEBUG: use cpm::require()"),
 ]
 
 CODE_LINE = re.compile(r"^\s*(?://|\*|/\*)")  # comment-only lines
+
+# CONV-5: exact ==/!= where either side is a floating-point expression —
+# a double literal (1.0, 1e-9, .5) or a call/member spelled like the
+# numeric accessors (.mean(), .scv(), .lo, .hi). Kept deliberately
+# grep-level: a float literal adjacent to ==/!= is the high-signal case.
+FLOAT_LITERAL = r"(?<![\w.])(?:\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)(?![\w.])"
+FLOAT_EQ = re.compile(
+    rf"{FLOAT_LITERAL}\s*[!=]=|[!=]=\s*{FLOAT_LITERAL}")
+ZERO_LITERAL = re.compile(
+    rf"(?<![\w.])0+\.0*(?:[eE][-+]?\d+)?\s*[!=]=|[!=]=\s*(?<![\w.])0+\.0*(?:[eE][-+]?\d+)?(?![\w.])")
+WAIVER = re.compile(r"//\s*conv-ok:\s*([A-Z0-9-]+(?:\s*,\s*[A-Z0-9-]+)*)")
+
+
+def waived(line: str, rule: str) -> bool:
+    m = WAIVER.search(line)
+    return bool(m) and rule in re.split(r"\s*,\s*", m.group(1))
+
+
+def conv5_violates(line: str) -> bool:
+    """True when the line compares a non-zero float literal with == / !=."""
+    if not FLOAT_EQ.search(line):
+        return False
+    # Allow when every float-literal comparison on the line is against 0.0.
+    stripped = ZERO_LITERAL.sub("", line)
+    return bool(FLOAT_EQ.search(stripped))
 
 
 def lint_file(path: Path, in_library: bool) -> list[str]:
@@ -46,8 +81,12 @@ def lint_file(path: Path, in_library: bool) -> list[str]:
                 continue
             if headers_only and not is_header:
                 continue
-            if pattern.search(line):
+            if pattern.search(line) and not waived(line, rule):
                 errors.append(f"{path}:{lineno}: [{rule}] {message}")
+        if in_library and conv5_violates(line) and not waived(line, "CONV-5"):
+            errors.append(
+                f"{path}:{lineno}: [CONV-5] exact ==/!= on a double: "
+                "use a tolerance (or waive with // conv-ok: CONV-5)")
     return errors
 
 

@@ -3,6 +3,9 @@
 #include "bench/scenarios.hpp"
 #include "cpm/common/error.hpp"
 #include "cpm/core/cpm.hpp"
+#include "cpm/online/estimator.hpp"
+#include "cpm/online/scenario.hpp"
+#include "cpm/online/timeline.hpp"
 
 namespace cpm::bench {
 
@@ -88,13 +91,75 @@ std::vector<BenchCase> p1_suite(const BenchOptions& options) {
   return cases;
 }
 
+/// p2 — closed-loop controller overhead: what cpm::online adds on top of
+/// the bare simulation. The interesting number is windows/sec in the
+/// steady case (estimator + snapshot bookkeeping only, no re-plans) vs
+/// the storm case (every-window re-optimisation: P-C sizing + discrete
+/// P-E), bracketing the controller's per-window cost.
+std::vector<BenchCase> p2_suite(const BenchOptions& options) {
+  const double horizon = options.quick ? 2000.0 : 10000.0;
+  const int estimator_samples = options.quick ? 1000000 : 10000000;
+  const std::uint64_t seed = validation_settings().seed;
+
+  auto scenario_for = [horizon, seed](double hysteresis) {
+    online::Scenario s;
+    s.horizon = horizon;
+    s.window = 10.0;
+    s.seed = seed;
+    s.controller.hysteresis = hysteresis;
+    s.controller.cooldown_windows = 0;
+    s.controller.levels = 7;
+    return s;
+  };
+
+  std::vector<BenchCase> cases;
+
+  cases.push_back(BenchCase{
+      "online_steady_loop", [scenario_for](Recorder& rec) {
+        // Wide hysteresis: the loop observes every window but never
+        // re-plans, so this times the pure management overhead.
+        const auto model = core::make_enterprise_model(0.7);
+        const auto r = online::run_online(model, scenario_for(10.0));
+        require(r.reoptimizations == 0, "online_steady_loop: unexpected replan");
+        rec.count("windows", static_cast<double>(r.windows.size()));
+        rec.count("events", static_cast<double>(r.sim.events_fired));
+      }});
+
+  cases.push_back(BenchCase{
+      "online_reopt_storm", [scenario_for](Recorder& rec) {
+        // Zero-width band + zero cooldown: re-optimise (P-C + discrete
+        // P-E) every window once the estimators warm up.
+        const auto model = core::make_enterprise_model(0.7);
+        const auto r = online::run_online(model, scenario_for(1e-9));
+        require(r.reoptimizations > 0, "online_reopt_storm: no replans");
+        rec.count("windows", static_cast<double>(r.windows.size()));
+        rec.count("replans", static_cast<double>(r.reoptimizations));
+      }});
+
+  cases.push_back(BenchCase{
+      "online_estimator", [estimator_samples](Recorder& rec) {
+        online::WindowedEstimator est(0.3, 8);
+        Rng rng(7);
+        double sink = 0.0;
+        for (int i = 0; i < estimator_samples; ++i) {
+          est.observe(rng.uniform(0.0, 10.0));
+          sink += est.ewma();
+        }
+        require(sink > 0.0, "online_estimator: degenerate result");
+        rec.count("samples", estimator_samples);
+      }});
+
+  return cases;
+}
+
 }  // namespace
 
-std::vector<std::string> suite_names() { return {"p1"}; }
+std::vector<std::string> suite_names() { return {"p1", "p2"}; }
 
 std::vector<BenchCase> make_suite(const std::string& name,
                                   const BenchOptions& options) {
   if (name == "p1") return p1_suite(options);
+  if (name == "p2") return p2_suite(options);
   throw Error("unknown bench suite '" + name + "'");
 }
 

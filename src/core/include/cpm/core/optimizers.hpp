@@ -148,6 +148,14 @@ std::vector<std::vector<double>> frequency_grids(const ClusterModel& model,
 FrequencyOptResult minimize_power_with_delay_bound_discrete(
     const ClusterModel& model, double max_mean_delay, int levels);
 
+/// P-E (each class) over the discrete grid: minimise power s.t. per-class
+/// mean E2E delay bounds (bounds.size() == num_classes; +infinity =
+/// unconstrained). The online controller's re-optimisation step: real
+/// actuators expose P-states, so the closed loop always picks from the
+/// lattice rather than the continuum.
+FrequencyOptResult minimize_power_with_class_delay_bounds_discrete(
+    const ClusterModel& model, const std::vector<double>& bounds, int levels);
+
 /// P-D over the discrete grid: minimise delay s.t. power budget.
 FrequencyOptResult minimize_delay_with_power_budget_discrete(
     const ClusterModel& model, double power_budget, int levels);

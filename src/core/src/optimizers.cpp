@@ -432,6 +432,23 @@ FrequencyOptResult minimize_power_with_delay_bound_discrete(
       });
 }
 
+FrequencyOptResult minimize_power_with_class_delay_bounds_discrete(
+    const ClusterModel& model, const std::vector<double>& bounds, int levels) {
+  require(bounds.size() == model.num_classes(),
+          "P-E discrete: one delay bound per class required");
+  for (double b : bounds)
+    require(b > 0.0, "P-E discrete: delay bounds must be positive");
+  const auto grids = frequency_grids(model, levels);
+  return lattice_search(
+      model, grids,
+      [](const Evaluation& ev) { return ev.energy.cluster_avg_power; },
+      [&bounds](const Evaluation& ev) {
+        for (std::size_t k = 0; k < bounds.size(); ++k)
+          if (ev.net.e2e_delay[k] > bounds[k]) return false;
+        return true;
+      });
+}
+
 FrequencyOptResult minimize_delay_with_power_budget_discrete(
     const ClusterModel& model, double power_budget, int levels) {
   require(power_budget > 0.0, "P-D discrete: power budget must be positive");

@@ -1,0 +1,151 @@
+// Closed-loop online management: the paper's static optimisers wrapped in
+// a measurement-driven control loop.
+//
+// Every measurement window the controller receives the simulator's
+// management snapshot (per-class arrivals / completions / SLA attainment,
+// per-tier fleet size, window energy) and decides whether the operating
+// point is still right. Re-optimisation is deliberately lazy:
+//
+//   * drift     — the windowed-mean arrival rate of some class leaves a
+//                 relative hysteresis band around the rates the current
+//                 plan was computed for, for `drift_windows` consecutive
+//                 windows (Poisson noise alone should not trip it);
+//   * sla       — SLA attainment of an admitted class stays below the
+//                 trigger, or its arrivals are being dropped, for the same
+//                 persistence;
+//   * fault     — the observed fleet differs from what was actuated
+//                 (server failure or repair). Faults bypass both the
+//                 persistence requirement and the cooldown: the controller
+//                 re-plans in the same window it observes the loss.
+//
+// Re-planning runs the paper's programs against the measured rates: P-C
+// (minimize_cost_for_slas) for server counts, capped by the healthy fleet,
+// then discrete per-class P-E for frequencies. When no admitted set is
+// feasible the controller degrades gracefully: it sheds the lowest-
+// priority class and retries, and if everything fails it falls back to the
+// last known-good plan. Actuation is rate-limited (max_server_step /
+// max_freq_step per window) and every applied change is charged a
+// switching cost, so the decision trace exposes control effort, not just
+// the endpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpm/core/cluster_model.hpp"
+#include "cpm/online/estimator.hpp"
+#include "cpm/sim/simulator.hpp"
+
+namespace cpm::online {
+
+struct ControllerOptions {
+  /// Relative drift band around the planned per-class rates.
+  double hysteresis = 0.25;
+  /// Consecutive out-of-band (or SLA-violating) windows before reacting.
+  int drift_windows = 2;
+  /// Minimum windows between re-optimisations (faults ignore it).
+  int cooldown_windows = 2;
+  /// Estimator shape (see WindowedEstimator).
+  double ewma_alpha = 0.35;
+  std::size_t estimator_windows = 4;
+  /// Frequency-lattice resolution of the discrete P-E re-plan.
+  int levels = 9;
+  /// Measured rates are multiplied by this before re-planning, buying
+  /// slack against within-window ramps the estimators have not seen yet.
+  double rate_headroom = 1.15;
+  /// Re-run P-C server sizing on re-plan (false = frequencies only).
+  bool size_servers = true;
+  /// Hard ceiling on any tier's fleet (the P-C search box).
+  int max_servers_per_tier = 24;
+  /// Actuation slew limits per window.
+  int max_server_step = 1;
+  double max_freq_step = 0.25;
+  /// Switching-cost accounting: joules charged per server powered on or
+  /// off and per tier frequency retune. Reported, and added to the
+  /// timeline's energy totals, so "cheap" chatter is visible.
+  double server_switch_cost_j = 25.0;
+  double freq_switch_cost_j = 2.0;
+  /// SLA-attainment trigger: re-plan when an admitted class's window
+  /// compliance drops below this (kept well under typical targets so
+  /// steady-state noise near the target does not cause chatter).
+  double sla_trigger = 0.85;
+};
+
+/// One measurement window as the controller saw and answered it.
+struct WindowRecord {
+  double time = 0.0;
+  // Observations.
+  std::vector<double> measured_rate;      ///< per class, arrivals/second
+  std::vector<double> ewma_rate;
+  std::vector<double> windowed_rate;
+  std::vector<std::uint64_t> completed;   ///< per class, this window
+  std::vector<std::uint64_t> blocked;
+  std::vector<std::uint64_t> within_sla;
+  std::vector<double> sla_compliance;     ///< within/completed; 1 when idle
+  std::vector<double> mean_delay;
+  double energy_joules = 0.0;
+  std::vector<int> observed_servers;
+  // Decision.
+  bool reoptimized = false;
+  std::string reason;        ///< "", "fault", "drift", "sla", "slew"
+  bool feasible = true;      ///< re-plan found an admissible operating point
+  bool degraded = false;     ///< fell back to the last known-good plan
+  std::vector<int> target_servers;     ///< plan endpoint
+  std::vector<int> actuated_servers;   ///< applied this window (slew-limited)
+  std::vector<double> actuated_freq;
+  std::vector<std::uint8_t> admitted;  ///< per class; 0 = shed
+  double switching_cost_j = 0.0;
+};
+
+class OnlineController {
+ public:
+  OnlineController(core::ClusterModel model, ControllerOptions options);
+
+  /// The hook to install as sim::SimConfig::manage. The controller must
+  /// outlive the simulation run.
+  [[nodiscard]] sim::ManagementHook hook();
+
+  /// Frequencies of the initial plan (discrete P-E at the model's nominal
+  /// rates and server counts; f_max when infeasible) — pass to
+  /// to_controlled_sim_config so the loop starts at its own plan.
+  [[nodiscard]] std::vector<double> initial_frequencies() const {
+    return current_freq_;
+  }
+
+  [[nodiscard]] const std::vector<WindowRecord>& history() const {
+    return history_;
+  }
+  [[nodiscard]] std::size_t reoptimizations() const { return reoptimizations_; }
+  [[nodiscard]] double total_switching_cost() const { return switching_cost_; }
+
+ private:
+  struct Plan {
+    std::vector<int> servers;
+    std::vector<double> frequencies;
+    std::vector<std::uint8_t> admit;
+    bool feasible = false;
+  };
+
+  sim::ManagementDecision on_window(const sim::ControlSnapshot& snap);
+  [[nodiscard]] Plan solve(const std::vector<double>& rates) const;
+
+  core::ClusterModel model_;
+  ControllerOptions options_;
+  std::vector<WindowedEstimator> estimators_;
+  std::vector<double> plan_rates_;    ///< rates the current plan was built for
+  Plan target_;                       ///< plan endpoint being slewed toward
+  Plan last_good_;                    ///< most recent feasible plan
+  std::vector<int> available_;        ///< healthy servers per tier (faults)
+  std::vector<int> current_servers_;  ///< actuated, expected in next snapshot
+  std::vector<double> current_freq_;
+  std::vector<std::uint8_t> admitted_;
+  int cooldown_ = 0;
+  int drift_streak_ = 0;
+  int sla_streak_ = 0;
+  std::size_t reoptimizations_ = 0;
+  double switching_cost_ = 0.0;
+  std::vector<WindowRecord> history_;
+};
+
+}  // namespace cpm::online

@@ -1,0 +1,48 @@
+// Sliding-window workload estimators for the closed-loop controller.
+//
+// The controller observes one arrival-rate sample per measurement window
+// and needs two views of it: a fast exponentially-weighted average that
+// tracks steps and ramps quickly, and a windowed mean over the last W
+// samples whose noise floor is predictable (variance shrinks as 1/W), so
+// the drift detector can use a fixed hysteresis band without chasing
+// Poisson noise. Both are deterministic functions of the sample sequence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace cpm::online {
+
+class WindowedEstimator {
+ public:
+  /// `ewma_alpha` in (0, 1] is the weight on the newest sample;
+  /// `window_count` >= 1 is the sliding-mean depth in windows.
+  WindowedEstimator(double ewma_alpha, std::size_t window_count);
+
+  /// Feeds one per-window measurement.
+  void observe(double value);
+
+  /// EWMA of all samples so far; 0 before the first observation.
+  [[nodiscard]] double ewma() const { return ewma_; }
+
+  /// Mean of the last `window_count` samples (all samples while fewer
+  /// have arrived); 0 before the first observation.
+  [[nodiscard]] double windowed_mean() const;
+
+  /// True once a full window of samples has been observed — the drift
+  /// detector stays quiet before this to avoid reacting to start-up noise.
+  [[nodiscard]] bool warmed_up() const { return observed_ >= capacity_; }
+
+  [[nodiscard]] std::uint64_t observations() const { return observed_; }
+
+ private:
+  double alpha_;
+  std::size_t capacity_;
+  double ewma_ = 0.0;
+  double window_sum_ = 0.0;
+  std::deque<double> window_;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace cpm::online

@@ -1,0 +1,94 @@
+// Scenario documents (`cpm-scenario/v1`) for online-management runs.
+//
+// A scenario describes everything about a closed-loop experiment except
+// the cluster itself: the horizon and measurement window, per-class
+// arrival-rate shapes relative to the model's nominal rates (constant,
+// step, ramp, diurnal, flash crowd), a fault schedule (server failures /
+// repairs, admission-capacity loss) and the controller's tuning. Example:
+//
+//   {
+//     "schema": "cpm-scenario/v1",
+//     "horizon": 600, "window": 10, "warmup": 0, "seed": 7,
+//     "arrivals": [
+//       {"class": "gold",   "kind": "step", "at": 200, "factor": 1.8},
+//       {"class": "silver", "kind": "ramp", "from": 100, "to": 400,
+//        "factor": 2.0}
+//     ],
+//     "faults": [
+//       {"time": 250, "tier": "db", "kind": "servers-delta", "value": -1}
+//     ],
+//     "controller": {"hysteresis": 0.25, "cooldown_windows": 2}
+//   }
+//
+// Classes without an arrivals entry run at their nominal rate. Fault kinds
+// are "servers-delta", "set-servers" and "set-capacity", mirroring
+// sim::FaultKind. Tier/class references are by name and validated against
+// the model when the scenario is compiled, not parsed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpm/common/json.hpp"
+#include "cpm/core/cluster_model.hpp"
+#include "cpm/online/controller.hpp"
+#include "cpm/sim/simulator.hpp"
+#include "cpm/workload/rate_schedule.hpp"
+
+namespace cpm::online {
+
+/// One class's arrival-rate shape; factors are relative to the model's
+/// nominal rate for that class.
+struct ArrivalShape {
+  enum class Kind { kConstant, kStep, kRamp, kDiurnal, kFlash };
+  std::string cls;            ///< class name (resolved at compile time)
+  Kind kind = Kind::kConstant;
+  double factor = 1.0;        ///< step/ramp endpoint, diurnal peak, flash spike
+  double at = 0.0;            ///< step time
+  double from = 0.0;          ///< ramp start
+  double to = 0.0;            ///< ramp end
+  double period = 0.0;        ///< diurnal period (0 = horizon)
+  double peak_time = 0.0;     ///< diurnal peak offset
+  double spike_start = 0.0;   ///< flash crowd
+  double spike_duration = 0.0;
+};
+
+/// One scheduled fault, tier referenced by name.
+struct ScenarioFault {
+  double time = 0.0;
+  std::string tier;
+  sim::FaultKind kind = sim::FaultKind::kServersDelta;
+  int value = 0;
+};
+
+struct Scenario {
+  double horizon = 1000.0;
+  double warmup = 0.0;
+  double window = 10.0;
+  std::uint64_t seed = 1;
+  std::vector<ArrivalShape> arrivals;
+  std::vector<ScenarioFault> faults;
+  ControllerOptions controller;
+};
+
+/// Parses a scenario document; throws cpm::Error ("scenario: ...") on
+/// structural problems. Name resolution happens in compile_* below.
+Scenario scenario_from_json(const Json& json);
+Scenario scenario_from_json_text(const std::string& text);
+
+/// The piecewise-constant rate schedule of one shape for a class whose
+/// nominal rate is `base_rate`, over the scenario horizon.
+workload::RateSchedule build_schedule(const ArrivalShape& shape,
+                                      double base_rate, double horizon);
+
+/// Resolves fault tier names against the model; throws on unknown tiers.
+std::vector<sim::FaultEvent> compile_faults(const Scenario& scenario,
+                                            const core::ClusterModel& model);
+
+/// Per-class delay thresholds behind SLA-attainment accounting: the
+/// percentile bound when the class has one, else 3x the mean bound (a
+/// plan meeting the mean bound comfortably clears it), else 0 (disabled).
+std::vector<double> compile_sla_thresholds(const core::ClusterModel& model);
+
+}  // namespace cpm::online

@@ -1,0 +1,40 @@
+// run_online: one closed-loop experiment = model + scenario -> timeline.
+//
+// Compiles the scenario against the model (arrival schedules, fault
+// events, SLA thresholds), installs an OnlineController as the
+// simulator's management hook, runs the discrete-event simulation and
+// renders the controller's decision trace as a `cpm-online/v1` JSON
+// document: one entry per measurement window (observations, estimates,
+// SLA compliance, energy, decision) plus a run summary. The document is
+// deterministic in (model, scenario): object keys are ordered and every
+// number is produced by the same seeded simulation, so two runs with the
+// same inputs serialise byte-identically.
+#pragma once
+
+#include "cpm/common/json.hpp"
+#include "cpm/core/cluster_model.hpp"
+#include "cpm/online/controller.hpp"
+#include "cpm/online/scenario.hpp"
+#include "cpm/sim/simulator.hpp"
+
+namespace cpm::online {
+
+struct OnlineRunResult {
+  Json timeline;                       ///< the cpm-online/v1 document
+  sim::SimResult sim;                  ///< raw simulator output
+  std::vector<WindowRecord> windows;   ///< controller decision trace
+  std::size_t reoptimizations = 0;
+  double switching_cost_joules = 0.0;
+};
+
+/// Builds the managed SimConfig for a scenario (exposed for tests that
+/// want to tweak the config before running).
+sim::SimConfig compile_scenario(const core::ClusterModel& model,
+                                const Scenario& scenario,
+                                OnlineController& controller);
+
+/// Runs the closed loop once. Deterministic in (model, scenario).
+OnlineRunResult run_online(const core::ClusterModel& model,
+                           const Scenario& scenario);
+
+}  // namespace cpm::online

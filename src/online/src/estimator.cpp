@@ -1,0 +1,33 @@
+#include "cpm/online/estimator.hpp"
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::online {
+
+WindowedEstimator::WindowedEstimator(double ewma_alpha, std::size_t window_count)
+    : alpha_(ewma_alpha), capacity_(window_count) {
+  require(ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+          "WindowedEstimator: ewma_alpha in (0, 1]");
+  require(window_count >= 1, "WindowedEstimator: window_count >= 1");
+}
+
+void WindowedEstimator::observe(double value) {
+  // Seed the EWMA with the first sample instead of decaying from zero —
+  // otherwise the controller would see a phantom ramp-up over the first
+  // 1/alpha windows of every run.
+  ewma_ = observed_ == 0 ? value : alpha_ * value + (1.0 - alpha_) * ewma_;
+  window_.push_back(value);
+  window_sum_ += value;
+  if (window_.size() > capacity_) {
+    window_sum_ -= window_.front();
+    window_.pop_front();
+  }
+  ++observed_;
+}
+
+double WindowedEstimator::windowed_mean() const {
+  if (window_.empty()) return 0.0;
+  return window_sum_ / static_cast<double>(window_.size());
+}
+
+}  // namespace cpm::online

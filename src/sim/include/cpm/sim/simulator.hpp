@@ -72,24 +72,74 @@ struct SimClass {
   std::vector<double> arrival_times;
 };
 
-/// What a control-hook invocation observes.
+/// What a control-hook invocation observes. The trailing fields past
+/// `queue_length` are filled only for ManagementHook invocations (the
+/// closed-loop cpm::online controller); the legacy ControlHook path leaves
+/// them empty so existing DVFS-only policies are bit-for-bit unaffected.
 struct ControlSnapshot {
   double time = 0.0;                  ///< invocation model time
   double window = 0.0;                ///< measurement window length
   std::vector<double> arrival_rate;   ///< per class, arrivals/window
   std::vector<double> utilization;    ///< per station, busy fraction in window
   std::vector<double> queue_length;   ///< per station, waiting jobs right now
+  // ---- management extensions (ManagementHook only) ----
+  std::vector<int> servers;           ///< per station, CURRENT server count
+                                      ///< (reflects faults and actuations)
+  std::vector<std::uint64_t> window_completed;  ///< per class, this window
+  std::vector<std::uint64_t> window_blocked;    ///< per class, dropped + shed
+  /// Per class: completions this window whose E2E delay was within the
+  /// class's SimConfig::sla_thresholds entry (== window_completed when no
+  /// threshold is configured).
+  std::vector<std::uint64_t> window_within_sla;
+  std::vector<double> window_mean_delay;  ///< per class, 0 when none completed
+  double window_energy_joules = 0.0;      ///< cluster energy (idle + dynamic)
+  std::vector<std::uint8_t> admitted;     ///< per class, current admission map
 };
 
 /// A new operating point for one station, returned by the control hook.
 struct TierSetting {
   double speed = 1.0;
   double dynamic_watts = 0.0;
+  /// Active server count; 0 = keep the current count (the legacy DVFS-only
+  /// hooks never resize). Shrinking preempts the lowest-priority jobs in
+  /// excess of the new count back onto their queues (PS stations just
+  /// recompute the sharing rate); growing redispatches waiting jobs.
+  int servers = 0;
 };
 
 /// Periodic online-management policy: observes the snapshot, returns one
 /// TierSetting per station (or an empty vector for "no change").
 using ControlHook = std::function<std::vector<TierSetting>(const ControlSnapshot&)>;
+
+/// What a ManagementHook may actuate each window: per-tier operating points
+/// (speed, power, server count) plus per-class admission control. Empty
+/// vectors mean "no change".
+struct ManagementDecision {
+  std::vector<TierSetting> tiers;     ///< one per station, or empty
+  std::vector<std::uint8_t> admit;    ///< one per class, or empty; 0 = shed
+};
+
+/// Closed-loop management policy (cpm::online): richer snapshot in, tier
+/// settings AND admission decisions out. Mutually exclusive with the legacy
+/// ControlHook on one SimConfig.
+using ManagementHook = std::function<ManagementDecision(const ControlSnapshot&)>;
+
+/// Fault-injection event kinds (SimConfig::faults).
+enum class FaultKind {
+  kServersDelta,  ///< value servers fail (< 0) or are repaired (> 0)
+  kSetServers,    ///< active server count becomes exactly `value` (>= 0)
+  kSetCapacity,   ///< admission capacity becomes `value` (-1 = unbounded)
+};
+
+/// One scheduled fault. Server loss preempts in-excess jobs back to their
+/// queues (work conserved); capacity loss never evicts standing jobs, it
+/// only gates new admissions.
+struct FaultEvent {
+  double time = 0.0;
+  int station = 0;
+  FaultKind kind = FaultKind::kServersDelta;
+  int value = 0;
+};
 
 struct SimConfig {
   std::vector<SimStation> stations;
@@ -109,6 +159,17 @@ struct SimConfig {
   /// across retunings (segment-wise integration).
   double control_period = 0.0;
   ControlHook control;
+  /// Closed-loop management (cpm::online): fires on the same period as
+  /// `control` but sees the extended snapshot and may also resize tiers and
+  /// gate per-class admission. Mutually exclusive with `control`.
+  ManagementHook manage;
+  /// Per-class end-to-end delay thresholds behind the snapshot's
+  /// window_within_sla counters. Empty = every completion counts as within
+  /// SLA; an entry of 0 disables the threshold for that class only.
+  std::vector<double> sla_thresholds;
+  /// Scheduled fault injection, applied at exact model times regardless of
+  /// warm-up. Unsorted input is fine (the event heap orders it).
+  std::vector<FaultEvent> faults;
   /// Runtime self-verification (cpm::check's in-run oracle): validates
   /// event-time monotonicity, server/capacity occupancy bounds, per-
   /// departure energy attribution and final per-class flow conservation

@@ -41,6 +41,23 @@ void validate_config(const SimConfig& config) {
                   static_cast<std::size_t>(v.station) < config.stations.size(),
               "sim: class '" + c.name + "' visits unknown station");
   }
+  require(!(config.control && config.manage),
+          "sim: control and manage hooks are mutually exclusive");
+  require(config.sla_thresholds.empty() ||
+              config.sla_thresholds.size() == config.classes.size(),
+          "sim: sla_thresholds needs one entry per class");
+  for (double thr : config.sla_thresholds)
+    require(thr >= 0.0, "sim: sla_thresholds must be >= 0");
+  for (const auto& f : config.faults) {
+    require(f.time >= 0.0, "sim: fault time must be >= 0");
+    require(f.station >= 0 &&
+                static_cast<std::size_t>(f.station) < config.stations.size(),
+            "sim: fault targets unknown station");
+    if (f.kind == FaultKind::kSetServers)
+      require(f.value >= 1, "sim: kSetServers needs >= 1 server");
+    if (f.kind == FaultKind::kSetCapacity)
+      require(f.value >= -1, "sim: kSetCapacity needs value >= -1");
+  }
 }
 
 namespace {
@@ -120,6 +137,14 @@ struct StationRuntime {
   TimeWeightedStats busy_servers;
   TimeWeightedStats dyn_power;  ///< dynamic_watts x busy servers over time
   TimeWeightedStats queue_len;
+  /// idle_watts x active servers over time. Constant unless faults or the
+  /// management hook resize the tier; collect() only consults it then, so
+  /// the legacy fixed-fleet average-power formula stays bit-identical.
+  TimeWeightedStats idle_power;
+  /// Audit slack after a capacity-reducing fault: standing jobs are never
+  /// evicted, so occupancy may transiently exceed the new capacity but can
+  /// only drain (admissions are gated). Tracks the allowed watermark.
+  std::size_t audit_capacity_slack = 0;
   std::vector<RunningStats> sojourn_by_class;
   std::vector<RunningStats> wait_by_class;
 };
@@ -134,6 +159,7 @@ enum class Ev : std::uint32_t {
   kPsComplete,   ///< PS station `a` drains, valid while token `b` current
   kWarmupEnd,    ///< statistics reset at the warm-up boundary
   kControlTick,  ///< online-management hook invocation
+  kFault,        ///< scheduled fault `a` (index into cfg_.faults) applies
 };
 
 struct EvPayload {
@@ -162,11 +188,19 @@ class Simulation {
       st.busy_servers.start(0.0, 0.0);
       st.dyn_power.start(0.0, 0.0);
       st.queue_len.start(0.0, 0.0);
+      st.idle_power.start(
+          0.0, cfg_.stations[s].idle_watts * static_cast<double>(st.servers));
       st.sojourn_by_class.resize(n_classes);
       st.wait_by_class.resize(n_classes);
     }
     window_arrivals_.assign(n_classes, 0);
     window_busy_base_.assign(n_stations, 0.0);
+    manage_ = static_cast<bool>(cfg_.manage);
+    admitted_.assign(n_classes, 1);
+    window_completed_.assign(n_classes, 0);
+    window_blocked_.assign(n_classes, 0);
+    window_sla_ok_.assign(n_classes, 0);
+    window_delay_sum_.assign(n_classes, 0.0);
 
     Rng root(cfg_.seed);
     arrival_rng_.reserve(n_classes);
@@ -213,8 +247,13 @@ class Simulation {
     if (cfg_.warmup_time > 0.0)
       schedule(cfg_.warmup_time, Ev::kWarmupEnd, 0, 0);
 
-    if (cfg_.control_period > 0.0 && cfg_.control)
+    if (cfg_.control_period > 0.0 && (cfg_.control || cfg_.manage))
       schedule(cfg_.control_period, Ev::kControlTick, 0, 0);
+
+    for (std::size_t i = 0; i < cfg_.faults.size(); ++i)
+      if (cfg_.faults[i].time <= cfg_.end_time)
+        schedule(cfg_.faults[i].time, Ev::kFault,
+                 static_cast<std::uint32_t>(i), 0);
 
     // Manual loop (not run_until) because a completion cap may pull
     // cfg_.end_time in while events are in flight.
@@ -243,6 +282,9 @@ class Simulation {
           break;
         case Ev::kControlTick:
           control_tick();
+          break;
+        case Ev::kFault:
+          apply_fault(cfg_.faults[entry.payload.a]);
           break;
       }
     }
@@ -286,8 +328,21 @@ class Simulation {
     job->counted = now_ >= cfg_.warmup_time;
     if (job->counted) ++arrived_[k];
     ++window_arrivals_[k];
-    enter_station(job);
+    if (admitted_[k] == 0) {
+      shed(job);  // admission gate: arrived + blocked, never enters
+    } else {
+      enter_station(job);
+    }
     schedule_arrival(k);
+  }
+
+  /// Management-hook admission control: the request aborts before entering
+  /// any station. Counts as arrived + blocked, preserving flow conservation
+  /// (arrived == completed + blocked + in_system_at_end) exactly.
+  void shed(Job* job) {
+    if (job->counted) ++blocked_[job->cls];
+    if (manage_) ++window_blocked_[job->cls];
+    arena_.release(job);
   }
 
   /// Closed-class cycle: one user thinks, then submits a fresh request.
@@ -305,6 +360,11 @@ class Simulation {
     job->counted = now_ >= cfg_.warmup_time;
     if (job->counted) ++arrived_[k];
     ++window_arrivals_[k];
+    if (admitted_[k] == 0) {
+      shed(job);
+      start_think(k);  // the user retries after another think period
+      return;
+    }
     enter_station(job);
   }
 
@@ -325,6 +385,7 @@ class Simulation {
     if (st.capacity >= 0 &&
         station_population(s) >= static_cast<std::size_t>(st.capacity)) {
       if (job->counted) ++blocked_[job->cls];
+      if (manage_) ++window_blocked_[job->cls];
       const std::size_t k = job->cls;
       arena_.release(job);
       if (cfg_.classes[k].population > 0) start_think(k);
@@ -430,8 +491,13 @@ class Simulation {
     if (st.in_service.size() > static_cast<std::size_t>(st.servers))
       throw Error("sim audit: station '" + cfg_.stations[s].name +
                   "' has more jobs in service than servers");
-    if (st.capacity >= 0 &&
-        station_population(s) > static_cast<std::size_t>(st.capacity))
+    // After a capacity-loss fault, standing jobs above the new capacity are
+    // tolerated up to the watermark recorded at fault time — they can only
+    // drain, since admissions are gated the moment the station is full.
+    const std::size_t limit =
+        std::max(st.capacity >= 0 ? static_cast<std::size_t>(st.capacity) : 0,
+                 st.audit_capacity_slack);
+    if (st.capacity >= 0 && station_population(s) > limit)
       throw Error("sim audit: station '" + cfg_.stations[s].name +
                   "' exceeded its admission capacity");
   }
@@ -565,6 +631,16 @@ class Simulation {
     }
 
     const std::size_t k = job->cls;
+    if (manage_) {
+      // Window accounting for the management hook: operational, so it
+      // counts every completion (warm-up included), unlike the statistics.
+      const double delay = now_ - job->network_arrival;
+      ++window_completed_[k];
+      window_delay_sum_[k] += delay;
+      const double thr =
+          cfg_.sla_thresholds.empty() ? 0.0 : cfg_.sla_thresholds[k];
+      if (thr <= 0.0 || delay <= thr) ++window_sla_ok_[k];
+    }
     if (job->counted) {
       const double delay = now_ - job->network_arrival;
       class_delay_[k].add(delay);
@@ -600,7 +676,9 @@ class Simulation {
       st.busy_servers.reset_at(now_);
       st.dyn_power.reset_at(now_);
       st.queue_len.reset_at(now_);
+      st.idle_power.reset_at(now_);
     }
+    window_energy_base_ = 0.0;  // the energy integrals just restarted
   }
 
   // ---- online management (DVFS control hook) ------------------------------
@@ -630,22 +708,142 @@ class Simulation {
       snap.queue_length[s] = static_cast<double>(st.waiting);
     }
 
-    const std::vector<TierSetting> settings = cfg_.control(snap);
-    if (!settings.empty()) {
-      require(settings.size() == stations_.size(),
-              "sim: control hook must return one TierSetting per station");
-      for (std::size_t s = 0; s < stations_.size(); ++s)
-        apply_tier_setting(s, settings[s]);
+    if (manage_) {
+      fill_management_snapshot(snap);
+      const ManagementDecision decision = cfg_.manage(snap);
+      if (!decision.tiers.empty()) {
+        require(decision.tiers.size() == stations_.size(),
+                "sim: manage hook must return one TierSetting per station");
+        for (std::size_t s = 0; s < stations_.size(); ++s)
+          apply_tier_setting(s, decision.tiers[s]);
+      }
+      if (!decision.admit.empty()) {
+        require(decision.admit.size() == cfg_.classes.size(),
+                "sim: manage hook must return one admit flag per class");
+        admitted_ = decision.admit;
+      }
+    } else {
+      const std::vector<TierSetting> settings = cfg_.control(snap);
+      if (!settings.empty()) {
+        require(settings.size() == stations_.size(),
+                "sim: control hook must return one TierSetting per station");
+        for (std::size_t s = 0; s < stations_.size(); ++s)
+          apply_tier_setting(s, settings[s]);
+      }
     }
 
     const double next = now + cfg_.control_period;
     if (next <= cfg_.end_time) schedule(next, Ev::kControlTick, 0, 0);
   }
 
+  /// The extended snapshot fields only the ManagementHook sees. Window
+  /// counters reset here; the energy figure is the exact (segment-wise)
+  /// idle + dynamic integral accumulated since the previous tick.
+  void fill_management_snapshot(ControlSnapshot& snap) {
+    const std::size_t n_classes = cfg_.classes.size();
+    snap.servers.resize(stations_.size());
+    double energy = 0.0;
+    for (std::size_t s = 0; s < stations_.size(); ++s) {
+      auto& st = stations_[s];
+      snap.servers[s] = st.servers;
+      st.dyn_power.finish(now_);
+      st.idle_power.finish(now_);
+      energy += st.dyn_power.integral() + st.idle_power.integral();
+    }
+    snap.window_energy_joules = energy - window_energy_base_;
+    window_energy_base_ = energy;
+
+    snap.window_completed = window_completed_;
+    snap.window_blocked = window_blocked_;
+    snap.window_within_sla = window_sla_ok_;
+    snap.window_mean_delay.resize(n_classes);
+    for (std::size_t k = 0; k < n_classes; ++k) {
+      snap.window_mean_delay[k] =
+          window_completed_[k] > 0
+              ? window_delay_sum_[k] / static_cast<double>(window_completed_[k])
+              : 0.0;
+      window_completed_[k] = 0;
+      window_blocked_[k] = 0;
+      window_sla_ok_[k] = 0;
+      window_delay_sum_[k] = 0.0;
+    }
+    snap.admitted = admitted_;
+  }
+
+  // ---- fault injection -----------------------------------------------------
+
+  void apply_fault(const FaultEvent& fault) {
+    const auto s = static_cast<std::size_t>(fault.station);
+    auto& st = stations_[s];
+    switch (fault.kind) {
+      case FaultKind::kServersDelta:
+        // A tier never loses its last server: repairs/failures clamp at 1.
+        resize_station(s, std::max(st.servers + fault.value, 1));
+        break;
+      case FaultKind::kSetServers:
+        resize_station(s, fault.value);
+        break;
+      case FaultKind::kSetCapacity:
+        // Capacity loss gates admissions only — standing jobs stay. Record
+        // the occupancy watermark so the audit tolerates the drain-down.
+        st.capacity = fault.value;
+        st.audit_capacity_slack = station_population(s);
+        break;
+    }
+  }
+
+  /// Changes the active server count of station s. Shrinking preempts the
+  /// lowest-priority in-service jobs in excess of the new count back onto
+  /// their queue fronts (work conserving); growing redispatches waiting
+  /// jobs. PS stations just recompute the sharing rate.
+  void resize_station(std::size_t s, int servers) {
+    auto& st = stations_[s];
+    if (servers == st.servers) return;
+    servers_changed_ = true;
+    // Close the idle-power segment at the old fleet size.
+    st.idle_power.update(now_, cfg_.stations[s].idle_watts *
+                                   static_cast<double>(servers));
+    st.servers = servers;
+
+    if (st.discipline == Discipline::kProcessorSharing) {
+      ps_advance(s);
+      ps_update_signals(s);
+      ps_reschedule(s);
+      return;
+    }
+
+    while (st.in_service.size() > static_cast<std::size_t>(st.servers)) {
+      // Victim: the lowest-priority job in service (ties broken towards the
+      // most recently started, the last match in the scan).
+      std::size_t victim = 0;
+      for (std::size_t i = 1; i < st.in_service.size(); ++i)
+        if (st.in_service[i].job->cls >= st.in_service[victim].job->cls)
+          victim = i;
+      InService entry = st.in_service[victim];
+      st.in_service.erase(st.in_service.begin() +
+                          static_cast<std::ptrdiff_t>(victim));
+      // The scheduled completion for this token becomes a no-op; remaining
+      // WORK is the remaining wall time at the current speed.
+      entry.job->service_remaining = (entry.finish_time - now_) * st.speed;
+      entry.job->energy_joules +=
+          st.dynamic_watts * (now_ - entry.segment_start);
+      const std::size_t q =
+          st.discipline == Discipline::kFcfs ? 0 : entry.job->cls;
+      st.queues[q].push_front(entry.job);
+      ++st.waiting;
+      update_queue_len(s);
+    }
+    update_busy_signals(s);
+    dispatch(s);  // growing: hand the new servers to waiting jobs
+    if (cfg_.audit) audit_station(s);
+  }
+
   void apply_tier_setting(std::size_t s, const TierSetting& setting) {
     require(setting.speed > 0.0, "sim: tier speed must be positive");
     require(setting.dynamic_watts >= 0.0, "sim: dynamic watts must be >= 0");
+    require(setting.servers >= 0, "sim: tier servers must be >= 0");
     audit_max_watts_ = std::max(audit_max_watts_, setting.dynamic_watts);
+    if (setting.servers > 0) resize_station(s, setting.servers);
     auto& st = stations_[s];
     const double now = now_;
     const double old_speed = st.speed;
@@ -688,6 +886,7 @@ class Simulation {
       st.busy_servers.finish(t_end);
       st.dyn_power.finish(t_end);
       st.queue_len.finish(t_end);
+      st.idle_power.finish(t_end);
     }
 
     SimResult r;
@@ -752,9 +951,15 @@ class Simulation {
       sr.utilization = busy_avg / servers;
       sr.mean_queue_len = st.queue_len.time_average();
       // Dynamic power integrated segment-exactly (watts may vary over time
-      // under the control hook); idle power is constant.
-      sr.avg_power = cfg_.stations[s].idle_watts * servers +
-                     st.dyn_power.time_average();
+      // under the control hook). Idle power is constant for a fixed fleet;
+      // once faults or the management hook resized any tier, it too comes
+      // from the segment-wise integral (same result for fixed fleets, but
+      // the legacy closed form is kept for bit-stability of old runs).
+      sr.avg_power = servers_changed_
+                         ? st.idle_power.time_average() +
+                               st.dyn_power.time_average()
+                         : cfg_.stations[s].idle_watts * servers +
+                               st.dyn_power.time_average();
       r.cluster_avg_power += sr.avg_power;
       sr.mean_sojourn.resize(cfg_.classes.size());
       sr.mean_wait.resize(cfg_.classes.size());
@@ -785,6 +990,14 @@ class Simulation {
   std::vector<CompletionRecord> completions_;
   std::vector<std::uint64_t> window_arrivals_;
   std::vector<double> window_busy_base_;
+  bool manage_ = false;
+  bool servers_changed_ = false;
+  std::vector<std::uint8_t> admitted_;
+  std::vector<std::uint64_t> window_completed_;
+  std::vector<std::uint64_t> window_blocked_;
+  std::vector<std::uint64_t> window_sla_ok_;
+  std::vector<double> window_delay_sum_;
+  double window_energy_base_ = 0.0;
   std::vector<std::size_t> trace_pos_;
   std::uint64_t events_fired_ = 0;
 };

@@ -1,0 +1,65 @@
+// Statistical acceptance-test helpers shared across test suites.
+//
+// Simulation-vs-analytic agreement checks used to pin a fixed relative
+// tolerance (EXPECT_NEAR(sim, analytic, 0.03 * analytic)), which conflates
+// two different error sources: replication noise (shrinks with more reps)
+// and model error (the decomposition approximation, which does not). These
+// helpers split them: the replication noise is taken from the Student-t
+// confidence interval that sim::replicate already computes over the fixed
+// seed substreams, and the analytic target must fall inside that interval
+// widened by an explicit model-error allowance.
+//
+// False-positive budget: every assertion is deterministic once the seed is
+// fixed — a green check stays green forever. The residual risk is at
+// PINNING time: with 95% intervals, each new assertion has a ~5% chance
+// that its fixed-seed draw lands outside the interval even though the
+// analytic value is correct (before the model-error slack, which pushes
+// the real rate well below that). The integration suite keeps the number
+// of such assertions small (currently < 10, i.e. an expected < 0.5
+// marginal draws at pin time); if one fires on a fresh assertion, widen
+// the model-error term only with a reason, or raise replications.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpm/common/stats.hpp"
+
+namespace cpm::testing {
+
+/// Does `target` fall inside `ci` widened by rel_model_error * |target|?
+/// Use rel_model_error for KNOWN systematic bias (e.g. the queueing-network
+/// decomposition's few-percent error at high load), not as a fudge factor
+/// for noise — noise belongs to the interval.
+inline ::testing::AssertionResult AgreesWithCi(const ConfidenceInterval& ci,
+                                               double target,
+                                               double rel_model_error) {
+  const double slack = std::abs(target) * rel_model_error;
+  const double lo = ci.lo() - slack;
+  const double hi = ci.hi() + slack;
+  if (lo <= target && target <= hi)
+    return ::testing::AssertionSuccess()
+           << "target " << target << " inside [" << lo << ", " << hi << "]";
+  return ::testing::AssertionFailure()
+         << "target " << target << " outside CI [" << ci.lo() << ", "
+         << ci.hi() << "] even with model-error slack " << slack << " ([" << lo
+         << ", " << hi << "])";
+}
+
+/// One-sided variant: `value` must not exceed `bound` by more than the
+/// interval's half-width plus the model-error allowance.
+inline ::testing::AssertionResult BelowWithSlack(const ConfidenceInterval& ci,
+                                                 double bound,
+                                                 double rel_model_error) {
+  const double limit = bound * (1.0 + rel_model_error) + ci.half_width;
+  if (ci.mean <= limit)
+    return ::testing::AssertionSuccess()
+           << "mean " << ci.mean << " <= " << limit;
+  return ::testing::AssertionFailure()
+         << "mean " << ci.mean << " exceeds bound " << bound
+         << " beyond half-width " << ci.half_width << " + slack ("
+         << limit << ")";
+}
+
+}  // namespace cpm::testing

@@ -1,0 +1,55 @@
+// The statistical acceptance helpers must themselves be trustworthy: a
+// target inside the widened interval passes, one outside fails, and the
+// slack scales with the target, not the interval.
+#include "statistical.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpm {
+namespace {
+
+using testing::AgreesWithCi;
+using testing::BelowWithSlack;
+
+TEST(Statistical, TargetInsideIntervalAgrees) {
+  const ConfidenceInterval ci{10.0, 0.5};
+  EXPECT_TRUE(AgreesWithCi(ci, 10.3, 0.0));
+  EXPECT_TRUE(AgreesWithCi(ci, 9.5, 0.0));
+  EXPECT_TRUE(AgreesWithCi(ci, 10.5, 0.0));
+}
+
+TEST(Statistical, TargetOutsideIntervalFailsWithoutSlack) {
+  const ConfidenceInterval ci{10.0, 0.5};
+  EXPECT_FALSE(AgreesWithCi(ci, 10.6, 0.0));
+  EXPECT_FALSE(AgreesWithCi(ci, 9.2, 0.0));
+}
+
+TEST(Statistical, ModelErrorSlackScalesWithTarget) {
+  const ConfidenceInterval ci{10.0, 0.0};
+  // 3% of 10.6 = 0.318 > gap 0.6? No: slack must rescue only targets
+  // within rel * |target| of the interval edge.
+  EXPECT_TRUE(AgreesWithCi(ci, 10.2, 0.03));   // gap 0.2 <= 0.306
+  EXPECT_FALSE(AgreesWithCi(ci, 11.0, 0.03));  // gap 1.0 > 0.33
+}
+
+TEST(Statistical, FailureMessageNamesTheInterval) {
+  const ConfidenceInterval ci{10.0, 0.5};
+  const auto result = AgreesWithCi(ci, 20.0, 0.01);
+  ASSERT_FALSE(result);
+  const std::string message = result.message();
+  EXPECT_NE(message.find("outside CI"), std::string::npos);
+}
+
+TEST(Statistical, BelowWithSlackAcceptsWithinNoise) {
+  const ConfidenceInterval ci{1.02, 0.05};
+  EXPECT_TRUE(BelowWithSlack(ci, 1.0, 0.0));   // within half-width
+  EXPECT_TRUE(BelowWithSlack(ci, 1.0, 0.05));
+}
+
+TEST(Statistical, BelowWithSlackRejectsClearExcess) {
+  const ConfidenceInterval ci{1.5, 0.05};
+  EXPECT_FALSE(BelowWithSlack(ci, 1.0, 0.05));
+}
+
+}  // namespace
+}  // namespace cpm

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "../common/statistical.hpp"
 #include "cpm/core/cpm.hpp"
 
 namespace cpm {
@@ -26,8 +27,9 @@ TEST(EndToEnd, OptimizedOperatingPointSurvivesSimulation) {
   const auto sim = sim::replicate(cfg, rep);
   // Allow decomposition + statistical slack on top of the bound.
   EXPECT_LT(sim.mean_e2e_delay.mean, bound * 1.25);
-  // Simulated power should track the analytic optimum closely.
-  EXPECT_NEAR(sim.cluster_avg_power.mean, opt.power, 0.03 * opt.power);
+  // Simulated power must cover the analytic optimum: replication noise
+  // from the t-interval, plus 2% for the decomposition's model error.
+  EXPECT_TRUE(testing::AgreesWithCi(sim.cluster_avg_power, opt.power, 0.02));
 }
 
 TEST(EndToEnd, CostOptimizedClusterMeetsSlasInSimulation) {
@@ -42,7 +44,10 @@ TEST(EndToEnd, CostOptimizedClusterMeetsSlasInSimulation) {
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
     const auto& sla = model.classes()[k].sla;
     if (!sla.mean_bounded()) continue;
-    EXPECT_LT(sim.classes[k].mean_e2e_delay.mean, 1.3 * sla.max_mean_e2e_delay)
+    // The sizing is analytic; the simulated delay may exceed the SLA by
+    // replication noise plus the decomposition's model error at 0.8 load.
+    EXPECT_TRUE(testing::BelowWithSlack(sim.classes[k].mean_e2e_delay,
+                                        sla.max_mean_e2e_delay, 0.3))
         << model.classes()[k].name;
   }
 }
@@ -81,8 +86,8 @@ TEST(EndToEnd, AnalyticAndSimulatedEnergyAgreeAcrossFrequencies) {
     const auto ev = model.evaluate(f);
     ASSERT_TRUE(ev.stable);
     const auto sim = sim::replicate(model.to_sim_config(f, 30.0, 330.0, 8), rep);
-    EXPECT_NEAR(sim.cluster_avg_power.mean, ev.energy.cluster_avg_power,
-                0.03 * ev.energy.cluster_avg_power)
+    EXPECT_TRUE(testing::AgreesWithCi(sim.cluster_avg_power,
+                                      ev.energy.cluster_avg_power, 0.02))
         << "f_db " << f_db;
   }
 }

@@ -1,0 +1,77 @@
+// WindowedEstimator: the controller's only view of the workload, so its
+// arithmetic is pinned exactly — EWMA seeding and recursion, sliding-mean
+// bookkeeping, and warm-up gating.
+#include <gtest/gtest.h>
+
+#include "cpm/common/error.hpp"
+#include "cpm/online/estimator.hpp"
+
+namespace cpm::online {
+namespace {
+
+TEST(Estimator, RejectsBadParameters) {
+  EXPECT_THROW(WindowedEstimator(0.0, 4), Error);
+  EXPECT_THROW(WindowedEstimator(-0.1, 4), Error);
+  EXPECT_THROW(WindowedEstimator(1.5, 4), Error);
+  EXPECT_THROW(WindowedEstimator(0.5, 0), Error);
+  EXPECT_NO_THROW(WindowedEstimator(1.0, 1));
+}
+
+TEST(Estimator, StartsAtZero) {
+  WindowedEstimator e(0.5, 4);
+  EXPECT_EQ(e.ewma(), 0.0);
+  EXPECT_EQ(e.windowed_mean(), 0.0);
+  EXPECT_EQ(e.observations(), 0u);
+  EXPECT_FALSE(e.warmed_up());
+}
+
+TEST(Estimator, EwmaSeedsWithFirstSample) {
+  // No phantom ramp-up from zero: the first observation IS the estimate.
+  WindowedEstimator e(0.1, 4);
+  e.observe(10.0);
+  EXPECT_DOUBLE_EQ(e.ewma(), 10.0);
+}
+
+TEST(Estimator, EwmaRecursionIsExact) {
+  WindowedEstimator e(0.25, 8);
+  e.observe(8.0);
+  e.observe(4.0);  // 0.25*4 + 0.75*8 = 7
+  EXPECT_DOUBLE_EQ(e.ewma(), 7.0);
+  e.observe(12.0);  // 0.25*12 + 0.75*7 = 8.25
+  EXPECT_DOUBLE_EQ(e.ewma(), 8.25);
+}
+
+TEST(Estimator, WindowedMeanSlides) {
+  WindowedEstimator e(0.5, 3);
+  e.observe(3.0);
+  EXPECT_DOUBLE_EQ(e.windowed_mean(), 3.0);
+  e.observe(6.0);
+  EXPECT_DOUBLE_EQ(e.windowed_mean(), 4.5);
+  e.observe(9.0);
+  EXPECT_DOUBLE_EQ(e.windowed_mean(), 6.0);
+  // The oldest sample (3.0) falls out of the window.
+  e.observe(12.0);
+  EXPECT_DOUBLE_EQ(e.windowed_mean(), 9.0);
+}
+
+TEST(Estimator, WarmsUpAfterFullWindow) {
+  WindowedEstimator e(0.5, 3);
+  e.observe(1.0);
+  e.observe(1.0);
+  EXPECT_FALSE(e.warmed_up());
+  e.observe(1.0);
+  EXPECT_TRUE(e.warmed_up());
+  e.observe(1.0);
+  EXPECT_TRUE(e.warmed_up());
+  EXPECT_EQ(e.observations(), 4u);
+}
+
+TEST(Estimator, AlphaOneTracksLastSample) {
+  WindowedEstimator e(1.0, 2);
+  e.observe(5.0);
+  e.observe(2.0);
+  EXPECT_DOUBLE_EQ(e.ewma(), 2.0);
+}
+
+}  // namespace
+}  // namespace cpm::online

@@ -1,0 +1,93 @@
+// Acceptance: the closed loop survives a mid-run capacity loss. A database
+// server fails while bronze traffic is ramping; the controller must
+// re-plan within one measurement window of observing the loss, shed the
+// lowest-priority class (the faulted fleet cannot carry the full mix) and
+// keep the admitted classes' SLA attainment at >= 95% once the transient
+// clears.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "cpm/core/cpm.hpp"
+#include "cpm/online/scenario.hpp"
+#include "cpm/online/timeline.hpp"
+
+namespace cpm::online {
+namespace {
+
+constexpr double kFaultTime = 305.0;
+constexpr double kWindow = 10.0;
+
+Scenario loss_scenario() {
+  return scenario_from_json_text(R"({
+    "schema": "cpm-scenario/v1",
+    "horizon": 600, "window": 10, "seed": 20110516,
+    "arrivals": [
+      {"class": "bronze", "kind": "ramp", "from": 100, "to": 250,
+       "factor": 1.3}
+    ],
+    "faults": [
+      {"time": 305, "tier": "db", "kind": "set-servers", "value": 1}
+    ],
+    "controller": {"size_servers": false, "levels": 7,
+                   "drift_windows": 1, "cooldown_windows": 1,
+                   "hysteresis": 0.15}
+  })");
+}
+
+TEST(FaultRecovery, ReplansWithinOneWindowShedsAndRecovers) {
+  const auto model = core::make_enterprise_model(0.92).with_servers({2, 2, 2});
+  const auto result = run_online(model, loss_scenario());
+  const auto& windows = result.windows;
+  ASSERT_FALSE(windows.empty());
+
+  // 1. The fault is answered within one window of the boundary that
+  //    observes it (loss at t=305 -> seen at 310 -> replan by 320).
+  double fault_replan_time = -1.0;
+  for (const auto& rec : windows)
+    if (rec.reoptimized && rec.reason == "fault") {
+      fault_replan_time = rec.time;
+      break;
+    }
+  ASSERT_GT(fault_replan_time, kFaultTime) << "no fault replan recorded";
+  EXPECT_LE(fault_replan_time, kFaultTime + 2.0 * kWindow);
+
+  // 2. The single remaining database server cannot carry the ramped full
+  //    mix: bronze is shed (and the decision trace says so).
+  bool bronze_shed = false;
+  for (const auto& rec : windows)
+    if (rec.time >= fault_replan_time && rec.admitted[2] == 0)
+      bronze_shed = true;
+  EXPECT_TRUE(bronze_shed) << "expected bronze to be shed after the loss";
+  EXPECT_GT(result.sim.classes[2].blocked, 0u);
+  // Gold survives every window.
+  for (const auto& rec : windows) EXPECT_EQ(rec.admitted[0], 1);
+
+  // 3. Attainment recovers: once the transient clears (a few windows after
+  //    the replan), every still-admitted class is back at >= 95%.
+  const double settle = fault_replan_time + 5.0 * kWindow;
+  for (std::size_t k = 0; k < model.num_classes(); ++k) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& rec : windows) {
+      if (rec.time < settle || !rec.admitted[k]) continue;
+      sum += rec.sla_compliance[k];
+      ++n;
+    }
+    if (n == 0) continue;  // class shed for the whole tail
+    EXPECT_GE(sum / static_cast<double>(n), 0.95)
+        << model.classes()[k].name << " attainment after recovery";
+  }
+
+  // 4. The run's summary agrees with the trace.
+  EXPECT_EQ(result.reoptimizations, [&] {
+    std::size_t n = 0;
+    for (const auto& rec : windows) n += rec.reoptimized ? 1 : 0;
+    return n;
+  }());
+  EXPECT_GT(result.reoptimizations, 0u);
+}
+
+}  // namespace
+}  // namespace cpm::online

@@ -1,0 +1,151 @@
+// Fault-injection semantics: scheduled server failures/repairs and
+// admission-capacity loss, with the in-run audit oracle enabled wherever
+// possible — a fault must never break conservation laws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpm/core/cpm.hpp"
+
+namespace cpm::sim {
+namespace {
+
+using queueing::Discipline;
+using queueing::Visit;
+
+SimConfig two_server_queue(double rate, double end_time = 2000.0,
+                           Discipline discipline = Discipline::kFcfs) {
+  SimConfig cfg;
+  cfg.stations = {SimStation{"s", 2, discipline, 100.0, 50.0, 1.0}};
+  cfg.classes = {SimClass{"c", rate, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.warmup_time = 0.0;
+  cfg.end_time = end_time;
+  cfg.seed = 33;
+  cfg.audit = true;
+  return cfg;
+}
+
+TEST(FaultValidation, RejectsBadFaultEvents) {
+  SimConfig cfg = two_server_queue(0.5);
+  cfg.faults = {FaultEvent{-1.0, 0, FaultKind::kServersDelta, -1}};
+  EXPECT_THROW(validate_config(cfg), Error);
+  cfg.faults = {FaultEvent{10.0, 7, FaultKind::kServersDelta, -1}};
+  EXPECT_THROW(validate_config(cfg), Error);
+  cfg.faults = {FaultEvent{10.0, 0, FaultKind::kSetServers, 0}};
+  EXPECT_THROW(validate_config(cfg), Error);
+  cfg.faults = {FaultEvent{10.0, 0, FaultKind::kSetCapacity, -2}};
+  EXPECT_THROW(validate_config(cfg), Error);
+  cfg.faults = {FaultEvent{10.0, 0, FaultKind::kServersDelta, -1}};
+  EXPECT_NO_THROW(validate_config(cfg));
+}
+
+TEST(ServerLoss, FlowConservationHoldsThroughFailureAndRepair) {
+  // Lose one of two servers mid-run, repair it later. The audit oracle
+  // checks occupancy/energy invariants in-run; flow conservation must
+  // close the books at the end.
+  SimConfig cfg = two_server_queue(1.2);
+  cfg.faults = {FaultEvent{500.0, 0, FaultKind::kServersDelta, -1},
+                FaultEvent{1200.0, 0, FaultKind::kServersDelta, 1}};
+  const auto r = simulate(cfg);
+  EXPECT_EQ(r.classes[0].arrived,
+            r.classes[0].completed + r.classes[0].blocked +
+                r.classes[0].in_system_at_end);
+  EXPECT_GT(r.classes[0].completed, 1000u);
+}
+
+TEST(ServerLoss, ClampsAtOneServer) {
+  // Losing more servers than exist leaves one running, never zero.
+  SimConfig cfg = two_server_queue(0.5);
+  cfg.faults = {FaultEvent{100.0, 0, FaultKind::kServersDelta, -5}};
+  const auto r = simulate(cfg);
+  // With one server at rho = 0.5 the queue still drains.
+  EXPECT_GT(r.classes[0].completed, 700u);
+  EXPECT_EQ(r.classes[0].arrived,
+            r.classes[0].completed + r.classes[0].blocked +
+                r.classes[0].in_system_at_end);
+}
+
+TEST(ServerLoss, UtilizationRisesAfterLoss) {
+  // rho per server doubles when half the fleet fails; the time-average
+  // utilisation over a run that is mostly post-fault reflects it.
+  SimConfig before = two_server_queue(1.0, 4000.0);
+  const auto r_before = simulate(before);
+
+  SimConfig after = two_server_queue(1.0, 4000.0);
+  after.faults = {FaultEvent{100.0, 0, FaultKind::kSetServers, 1}};
+  const auto r_after = simulate(after);
+  EXPECT_GT(r_after.stations[0].utilization,
+            r_before.stations[0].utilization + 0.2);
+}
+
+TEST(ServerLoss, PreemptedWorkIsConservedUnderPriority) {
+  // Non-preemptive priority station: the job evicted by a server loss
+  // resumes with its remaining work, so long-run delays stay finite and
+  // every admitted job eventually completes.
+  SimConfig cfg = two_server_queue(1.0, 3000.0,
+                                   Discipline::kNonPreemptivePriority);
+  cfg.faults = {FaultEvent{1000.0, 0, FaultKind::kServersDelta, -1},
+                FaultEvent{1500.0, 0, FaultKind::kServersDelta, 1}};
+  const auto r = simulate(cfg);
+  EXPECT_EQ(r.classes[0].arrived,
+            r.classes[0].completed + r.classes[0].blocked +
+                r.classes[0].in_system_at_end);
+  EXPECT_GT(r.classes[0].completed, 2000u);
+}
+
+TEST(ServerLoss, ProcessorSharingRecomputesShares) {
+  SimConfig cfg = two_server_queue(1.0, 3000.0, Discipline::kProcessorSharing);
+  cfg.faults = {FaultEvent{1000.0, 0, FaultKind::kServersDelta, -1}};
+  const auto r = simulate(cfg);
+  EXPECT_EQ(r.classes[0].arrived,
+            r.classes[0].completed + r.classes[0].blocked +
+                r.classes[0].in_system_at_end);
+}
+
+TEST(CapacityLoss, GatesAdmissionsOnly) {
+  // Capacity drops to 1 mid-run: standing jobs are not evicted (no jobs
+  // vanish) but new arrivals finding the station full are blocked.
+  SimConfig cfg = two_server_queue(1.5);
+  cfg.faults = {FaultEvent{500.0, 0, FaultKind::kSetCapacity, 1}};
+  const auto r = simulate(cfg);
+  EXPECT_GT(r.classes[0].blocked, 0u);
+  EXPECT_EQ(r.classes[0].arrived,
+            r.classes[0].completed + r.classes[0].blocked +
+                r.classes[0].in_system_at_end);
+}
+
+TEST(CapacityLoss, RestoredCapacityStopsBlocking) {
+  SimConfig lossy = two_server_queue(1.0, 3000.0);
+  lossy.faults = {FaultEvent{500.0, 0, FaultKind::kSetCapacity, 1},
+                  FaultEvent{600.0, 0, FaultKind::kSetCapacity, -1}};
+  const auto r_heal = simulate(lossy);
+
+  SimConfig forever = two_server_queue(1.0, 3000.0);
+  forever.faults = {FaultEvent{500.0, 0, FaultKind::kSetCapacity, 1}};
+  const auto r_stuck = simulate(forever);
+  EXPECT_LT(r_heal.classes[0].blocked, r_stuck.classes[0].blocked);
+}
+
+TEST(Faults, BeyondHorizonAreIgnored) {
+  SimConfig plain = two_server_queue(0.8);
+  SimConfig late = two_server_queue(0.8);
+  late.faults = {FaultEvent{1.0e6, 0, FaultKind::kServersDelta, -1}};
+  const auto r_plain = simulate(plain);
+  const auto r_late = simulate(late);
+  EXPECT_EQ(r_plain.classes[0].completed, r_late.classes[0].completed);
+  EXPECT_DOUBLE_EQ(r_plain.mean_e2e_delay, r_late.mean_e2e_delay);
+  EXPECT_DOUBLE_EQ(r_plain.cluster_avg_power, r_late.cluster_avg_power);
+}
+
+TEST(Faults, IdlePowerTracksFleetSize) {
+  // An idle station (no traffic at all) draws idle_watts * servers; after
+  // a permanent loss of one of two servers at t=0 it must draw close to
+  // one server's idle power, proving the energy integral resegments.
+  SimConfig cfg = two_server_queue(1.0e-9, 1000.0);
+  cfg.faults = {FaultEvent{0.0, 0, FaultKind::kSetServers, 1}};
+  const auto r = simulate(cfg);
+  EXPECT_NEAR(r.cluster_avg_power, 100.0, 1.0);
+}
+
+}  // namespace
+}  // namespace cpm::sim

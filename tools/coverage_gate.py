@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Turn gcov counters into an lcov trace and gate line coverage.
+
+After a CPM_COVERAGE build has run its tests, every object directory under
+the build tree holds .gcda counter files. This script feeds each of them to
+`gcov --json-format --stdout`, merges the per-line execution counts by
+source file, writes a standard lcov tracefile (SF/DA/LF/LH records — the
+artifact CI uploads, consumable by genhtml and coverage viewers) and fails
+when the aggregate line coverage of the gated subtree drops below the
+threshold.
+
+Usage:
+  coverage_gate.py --build-dir build-coverage --out coverage.info \
+      --gate src/online --min-percent 85
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+
+def find_gcda(build_dir: str) -> list[str]:
+    hits = []
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                hits.append(os.path.join(root, name))
+    return sorted(hits)
+
+
+def gcov_json(gcda: str, gcov: str) -> dict:
+    """One gcov invocation, JSON on stdout (gcc >= 9)."""
+    out = subprocess.run(
+        [gcov, "--json-format", "--stdout", gcda],
+        check=True,
+        capture_output=True,
+    ).stdout
+    return json.loads(out)
+
+
+def merge_counts(
+    reports: list[dict], repo_root: str
+) -> dict[str, dict[int, int]]:
+    """path (repo-relative) -> line -> max hit count across objects.
+
+    The same header shows up in many translation units; a line counts as
+    covered if ANY unit executed it, hence max-merge rather than sum (sums
+    would also be fine for the gate but inflate the artifact).
+    """
+    counts: dict[str, dict[int, int]] = defaultdict(dict)
+    for report in reports:
+        for f in report.get("files", []):
+            path = os.path.realpath(
+                os.path.join(report.get("current_working_directory", "."),
+                             f["file"])
+            )
+            if not path.startswith(repo_root + os.sep):
+                continue  # system headers, gtest, ...
+            rel = os.path.relpath(path, repo_root)
+            per_line = counts[rel]
+            for line in f.get("lines", []):
+                n = line["line_number"]
+                per_line[n] = max(per_line.get(n, 0), line["count"])
+    return counts
+
+
+def write_lcov(counts: dict[str, dict[int, int]], out_path: str) -> None:
+    with open(out_path, "w", encoding="utf-8") as out:
+        out.write("TN:cpm\n")
+        for path in sorted(counts):
+            per_line = counts[path]
+            out.write(f"SF:{path}\n")
+            for line in sorted(per_line):
+                out.write(f"DA:{line},{per_line[line]}\n")
+            covered = sum(1 for c in per_line.values() if c > 0)
+            out.write(f"LF:{len(per_line)}\n")
+            out.write(f"LH:{covered}\n")
+            out.write("end_of_record\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--out", default="coverage.info")
+    parser.add_argument("--gate", default="src/online",
+                        help="repo-relative prefix whose coverage is gated")
+    parser.add_argument("--min-percent", type=float, default=85.0)
+    parser.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
+    args = parser.parse_args()
+
+    repo_root = os.path.realpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir)
+    )
+    gcda_files = find_gcda(args.build_dir)
+    if not gcda_files:
+        print(f"coverage_gate: no .gcda files under {args.build_dir} "
+              "(build with -DCPM_COVERAGE=ON and run the tests first)",
+              file=sys.stderr)
+        return 2
+
+    reports = [gcov_json(g, args.gcov) for g in gcda_files]
+    counts = merge_counts(reports, repo_root)
+    write_lcov(counts, args.out)
+
+    gated_total = 0
+    gated_covered = 0
+    gate = args.gate.rstrip("/") + "/"
+    for path, per_line in sorted(counts.items()):
+        if not path.startswith(gate):
+            continue
+        total = len(per_line)
+        covered = sum(1 for c in per_line.values() if c > 0)
+        gated_total += total
+        gated_covered += covered
+        pct = 100.0 * covered / total if total else 100.0
+        print(f"  {path}: {covered}/{total} lines ({pct:.1f}%)")
+
+    if gated_total == 0:
+        print(f"coverage_gate: no instrumented lines under {args.gate}",
+              file=sys.stderr)
+        return 2
+    pct = 100.0 * gated_covered / gated_total
+    print(f"coverage_gate: {args.gate} line coverage "
+          f"{gated_covered}/{gated_total} = {pct:.2f}% "
+          f"(minimum {args.min_percent:.2f}%)")
+    print(f"coverage_gate: lcov trace written to {args.out} "
+          f"({len(counts)} files)")
+    if pct < args.min_percent:
+        print("coverage_gate: FAIL — below the minimum", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,8 @@
 //                                      [--rule LIST] [--no-rule LIST]
 //                                      [--warmup W --time T --reps N]
 //   cpmctl lint --list-rules
+//   cpmctl online         <model.json> --scenario <scenario.json>
+//                                      [--seed S] [--out FILE] [--summary]
 //   cpmctl certify        <model.json> [--box ranges.json] [--bisect-depth N]
 //                                      [--max-boxes N] [--format text|json|sarif]
 //                                      [--error-on note|warning|error]
@@ -45,6 +47,7 @@
 #include "cpm/core/model_io.hpp"
 #include "cpm/lint/analyze.hpp"
 #include "cpm/lint/render.hpp"
+#include "cpm/online/timeline.hpp"
 #include "cpm/sim/warmup.hpp"
 #include "cpm/workload/trace.hpp"
 
@@ -71,6 +74,8 @@ using namespace cpm;
       "                 [--error-on note|warning|error] [--rule LIST]\n"
       "                 [--no-rule LIST] [--warmup W --time T --reps N]\n"
       "  lint           --list-rules\n"
+      "  online         <model.json> --scenario <scenario.json> [--seed S]\n"
+      "                 [--out FILE] [--summary]\n"
       "  certify        <model.json> [--box ranges.json] [--bisect-depth N]\n"
       "                 [--max-boxes N] [--format text|json|sarif]\n"
       "                 [--error-on note|warning|error] [--rule LIST]\n"
@@ -444,6 +449,39 @@ std::vector<std::string> parse_csv_strings(const std::string& text) {
   return out;
 }
 
+int cmd_online(const std::string& path, const Args& args) {
+  const auto scenario_path = args.value("--scenario");
+  if (!scenario_path) usage("online requires --scenario <scenario.json>");
+  const auto model = core::model_from_json_text(read_file(path));
+  auto scenario = online::scenario_from_json_text(read_file(*scenario_path));
+  if (const auto seed = args.value("--seed"))
+    scenario.seed = static_cast<std::uint64_t>(std::stoull(*seed));
+
+  const auto result = online::run_online(model, scenario);
+  const std::string doc = result.timeline.dump(2);
+  if (const auto out = args.value("--out")) {
+    std::ofstream f(*out);
+    if (!f) throw Error("cannot write '" + *out + "'");
+    f << doc << '\n';
+  } else {
+    std::cout << doc << '\n';
+  }
+
+  if (args.has("--summary")) {
+    std::cerr << "windows: " << result.windows.size()
+              << "  reoptimizations: " << result.reoptimizations
+              << "  switching cost: " << result.switching_cost_joules
+              << " J\n";
+    for (std::size_t k = 0; k < model.num_classes(); ++k) {
+      const auto& c = result.sim.classes[k];
+      std::cerr << "  " << model.classes()[k].name
+                << ": completed " << c.completed << ", blocked " << c.blocked
+                << ", mean delay " << c.mean_e2e_delay << " s\n";
+    }
+  }
+  return 0;
+}
+
 int cmd_lint_list_rules() {
   Table t({"id", "name", "severity", "description"});
   for (const auto& r : lint::rules())
@@ -655,6 +693,7 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(path, args);
     if (cmd == "validate") return cmd_validate(path, args);
     if (cmd == "check") return cmd_check(path, args);
+    if (cmd == "online") return cmd_online(path, args);
     usage("unknown command '" + cmd + "'");
   } catch (const cpm::Error& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -1,0 +1,75 @@
+// Content-addressed on-disk result cache for sweep points.
+//
+// Every sweep point is keyed by the SHA-256 of a canonical JSON document
+// capturing everything that determines its result: the engine salt, the
+// model, the pipeline options, the point parameters and the spec seed.
+// Identical points across re-runs, supersets and different sweeps hash to
+// the same key, so already-computed results are never recomputed; bumping
+// the engine salt (done whenever a pipeline's numerics change) invalidates
+// every stale entry at once because the salt participates in the key.
+//
+// Layout: <dir>/<key[0:2]>/<key>.json, each entry a small JSON object
+// {"engine", "key", "pipeline", "result"}. Writes go through a temp file
+// plus atomic rename, so concurrent sweeps sharing a cache directory can
+// only ever observe complete entries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cpm/common/json.hpp"
+
+namespace cpm::sweep {
+
+/// Version salt folded into every cache key. Bump when a pipeline's
+/// numerical behaviour changes so stale results cannot be served.
+inline constexpr const char* kEngineSalt = "cpm-sweep-engine/1";
+
+struct CacheOptions {
+  /// Cache directory; empty = default_cache_dir().
+  std::string directory;
+  std::string engine_salt = kEngineSalt;
+  /// false = never read or write (every point recomputes).
+  bool enabled = true;
+};
+
+/// Aggregate statistics over a cache directory (`cpmctl sweep stat`).
+struct CacheStats {
+  std::size_t entries = 0;
+  std::uint64_t bytes = 0;
+  std::map<std::string, std::size_t> by_pipeline;
+  std::map<std::string, std::size_t> by_engine;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(CacheOptions options);
+
+  [[nodiscard]] const CacheOptions& options() const { return options_; }
+
+  /// The entry path a key maps to (exists or not).
+  [[nodiscard]] std::string path_for(const std::string& key) const;
+
+  /// Returns the cached result for `key`, or nullopt on miss. Unreadable
+  /// or corrupt entries (truncated writes from a killed process, foreign
+  /// files) are treated as misses, never as errors.
+  [[nodiscard]] std::optional<Json> load(const std::string& key) const;
+
+  /// Persists a point result under `key` (no-op when disabled).
+  void store(const std::string& key, const std::string& pipeline_kind,
+             const Json& result) const;
+
+  /// Walks the cache directory and aggregates entry statistics.
+  [[nodiscard]] CacheStats stat() const;
+
+ private:
+  CacheOptions options_;
+};
+
+/// $CPM_SWEEP_CACHE when set, else ".cpm-sweep-cache" (relative to the
+/// working directory).
+std::string default_cache_dir();
+
+}  // namespace cpm::sweep

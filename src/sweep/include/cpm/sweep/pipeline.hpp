@@ -1,0 +1,60 @@
+// Pipeline adapters: one sweep point -> one result document.
+//
+// A pipeline binds the point's parameters onto the repo's engines:
+//
+//   evaluate        analytic evaluation at an operating point
+//   optimize-delay  P-D  (min delay s.t. power budget)
+//   optimize-power  P-E  (min power s.t. delay bound)
+//   size            P-C  (cheapest server allocation meeting SLAs)
+//   simulate        replicated discrete-event simulation
+//   online          closed-loop controller run (model + scenario)
+//   mva             closed-population exact MVA (+ optional sim check)
+//
+// Parameters understood per pipeline (axis `param` names):
+//
+//   model-based pipelines   rate_scale, rate:<class>, servers:<tier>
+//   evaluate / simulate     + freq:<tier>
+//   optimize-delay          + power_budget | power_budget_frac
+//   optimize-power          + delay_bound | delay_bound_factor
+//   mva                     population (required), think_time
+//
+// Swept quantities come from axes; fixed knobs (levels, reps, time,
+// warmup, max_servers, baseline, scenario, stations, audit, ...) live in
+// the pipeline object and participate in the cache key. Every adapter is
+// deterministic in (model, pipeline, params, seed) — that determinism is
+// what makes results content-addressable.
+#pragma once
+
+#include <cstdint>
+
+#include "cpm/common/json.hpp"
+#include "cpm/core/cluster_model.hpp"
+#include "cpm/sweep/spec.hpp"
+
+namespace cpm::sweep {
+
+/// The pipeline "kind" string; throws when missing.
+std::string pipeline_kind(const Json& pipeline);
+
+/// True when `kind` needs a cluster model ("mva" is model-free).
+bool pipeline_needs_model(const std::string& kind);
+
+/// Validates a spec's pipeline against its model and axes: known kind,
+/// known axis parameters for that kind, required parameters supplied
+/// (by an axis or a fixed pipeline option), tier/class names resolvable.
+/// Throws cpm::Error with a parameter-specific message.
+void validate_pipeline(const SweepSpec& spec, const core::ClusterModel* model);
+
+/// Applies the model-transform parameters (servers:<tier>, rate:<class>,
+/// rate_scale — in that order) and returns the transformed model.
+core::ClusterModel apply_model_params(const core::ClusterModel& base,
+                                      const PointParams& params);
+
+/// Runs one point through the spec's pipeline. `model` may be null for
+/// model-free pipelines. The result is a canonical JSON object; when the
+/// pipeline has "audit": true, analytic points additionally carry an
+/// "audit" object from the cpm::check invariant oracles.
+Json run_point(const SweepSpec& spec, const core::ClusterModel* model,
+               const PointParams& params, std::uint64_t seed);
+
+}  // namespace cpm::sweep

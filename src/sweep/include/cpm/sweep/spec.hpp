@@ -1,0 +1,97 @@
+// Declarative parameter-sweep specifications (`cpm-sweep/v1`).
+//
+// The paper's results are all parameter sweeps — delay/power curves over
+// arrival rates, bounds, server counts, populations. A sweep spec captures
+// one such experiment as data: a base model, a pipeline to run per point
+// (analytic evaluation, an optimiser, the simulator, the online
+// controller, or closed-population MVA) and a set of axes whose cartesian
+// product is the point grid. Example:
+//
+//   {
+//     "schema": "cpm-sweep/v1",
+//     "name": "e4_energy",
+//     "seed": 20110516,
+//     "model": { ... cluster model JSON ... },      // or "model_file"
+//     "pipeline": {"kind": "optimize-power", "baseline": "no-dvfs"},
+//     "axes": [
+//       {"param": "delay_bound_factor", "kind": "list",
+//        "values": [1.05, 1.2, 1.5, 2, 3, 5, 10]}
+//     ]
+//   }
+//
+// Axis kinds: "linear" (from/to/steps, endpoints included), "log"
+// (geometric spacing, strictly positive endpoints) and "list" (explicit
+// values). Grid order is row-major with the FIRST axis slowest, so adding
+// trailing values to the last axis appends points without renumbering the
+// prefix. File references (model_file, scenario_file) are resolved and
+// inlined at parse time: a parsed spec is self-contained, which is what
+// makes its canonical hash meaningful.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cpm/common/json.hpp"
+
+namespace cpm::sweep {
+
+/// Hard ceiling on grid size — a typo'd "steps": 1000000 should fail fast,
+/// not attempt to allocate a hundred-million-point sweep.
+inline constexpr std::size_t kMaxGridPoints = 10'000'000;
+
+/// One sweep axis: a named parameter and the values it takes.
+struct Axis {
+  enum class Kind { kLinear, kLog, kList };
+  std::string param;
+  Kind kind = Kind::kList;
+  double from = 0.0;
+  double to = 0.0;
+  int steps = 0;
+  std::vector<double> values;  ///< kList only
+
+  /// Materialises the axis values in sweep order. Throws cpm::Error for
+  /// degenerate ranges (steps < 1, empty list, non-positive log bounds).
+  [[nodiscard]] std::vector<double> expand() const;
+};
+
+Axis axis_from_json(const Json& json);
+/// Canonical echo of an axis (the form embedded in result documents).
+Json axis_to_json(const Axis& axis);
+
+/// A parsed, self-contained sweep specification.
+struct SweepSpec {
+  std::string name;
+  std::uint64_t seed = 20110516;
+  /// Canonical model document; null for model-free pipelines ("mva").
+  Json model;
+  /// Canonical pipeline document, "kind" plus kind-specific options.
+  Json pipeline;
+  std::vector<Axis> axes;
+};
+
+/// Parses a spec document. `base_dir` anchors relative model_file /
+/// scenario_file references (pass the spec file's directory); referenced
+/// files are read and inlined. Throws cpm::Error ("sweep: ...") on
+/// structural problems.
+SweepSpec spec_from_json(const Json& json, const std::string& base_dir = ".");
+SweepSpec spec_from_json_text(const std::string& text,
+                              const std::string& base_dir = ".");
+
+/// One grid point: parameter name -> value.
+using PointParams = std::map<std::string, double>;
+
+/// Total number of grid points (product of axis lengths; 1 when there are
+/// no axes). Throws cpm::Error beyond kMaxGridPoints or on a degenerate
+/// axis, and on duplicate axis parameter names.
+std::size_t grid_size(const std::vector<Axis>& axes);
+
+/// The parameters of grid point `index` in [0, grid_size). Row-major:
+/// the first axis varies slowest, the last axis fastest.
+PointParams grid_point(const std::vector<Axis>& axes, std::size_t index);
+
+/// PointParams <-> canonical JSON object (keys sorted by std::map).
+Json params_to_json(const PointParams& params);
+
+}  // namespace cpm::sweep

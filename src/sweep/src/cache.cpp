@@ -1,0 +1,113 @@
+#include "cpm/sweep/cache.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::sweep {
+
+namespace fs = std::filesystem;
+
+std::string default_cache_dir() {
+  if (const char* env = std::getenv("CPM_SWEEP_CACHE"); env && *env)
+    return env;
+  return ".cpm-sweep-cache";
+}
+
+ResultCache::ResultCache(CacheOptions options) : options_(std::move(options)) {
+  if (options_.directory.empty()) options_.directory = default_cache_dir();
+}
+
+std::string ResultCache::path_for(const std::string& key) const {
+  require(key.size() >= 3, "sweep cache: malformed key");
+  return options_.directory + "/" + key.substr(0, 2) + "/" + key + ".json";
+}
+
+std::optional<Json> ResultCache::load(const std::string& key) const {
+  if (!options_.enabled) return std::nullopt;
+  std::ifstream in(path_for(key));
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    const Json entry = Json::parse(ss.str());
+    // Defence in depth: the salt already participates in the key, but a
+    // hand-edited or foreign file must still never be served.
+    if (entry.string_or("engine", "") != options_.engine_salt)
+      return std::nullopt;
+    if (entry.string_or("key", "") != key) return std::nullopt;
+    if (!entry.contains("result")) return std::nullopt;
+    return entry.at("result");
+  } catch (const Error&) {
+    return std::nullopt;  // truncated or corrupt entry == miss
+  }
+}
+
+void ResultCache::store(const std::string& key,
+                        const std::string& pipeline_kind,
+                        const Json& result) const {
+  if (!options_.enabled) return;
+  JsonObject entry;
+  entry["engine"] = Json(options_.engine_salt);
+  entry["key"] = Json(key);
+  entry["pipeline"] = Json(pipeline_kind);
+  entry["result"] = result;
+
+  const fs::path target = path_for(key);
+  std::error_code ec;
+  fs::create_directories(target.parent_path(), ec);
+  if (ec)
+    throw Error("sweep cache: cannot create '" +
+                target.parent_path().string() + "': " + ec.message());
+
+  // Unique temp name per writer, then atomic rename: concurrent sweeps
+  // sharing the directory never observe a half-written entry.
+  static std::atomic<unsigned long long> counter{0};
+  const fs::path tmp =
+      target.parent_path() /
+      (key + ".tmp." + std::to_string(counter.fetch_add(1)) + "." +
+       std::to_string(static_cast<unsigned long long>(
+           std::hash<std::string>{}(options_.directory))));
+  {
+    std::ofstream out(tmp);
+    if (!out) throw Error("sweep cache: cannot write '" + tmp.string() + "'");
+    out << Json(std::move(entry)).dump(2) << '\n';
+  }
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw Error("sweep cache: cannot publish '" + target.string() + "'");
+  }
+}
+
+CacheStats ResultCache::stat() const {
+  CacheStats stats;
+  std::error_code ec;
+  if (!fs::exists(options_.directory, ec)) return stats;
+  for (const auto& entry : fs::recursive_directory_iterator(
+           options_.directory, fs::directory_options::skip_permission_denied)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".json") continue;
+    std::ifstream in(entry.path());
+    if (!in) continue;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    try {
+      const Json doc = Json::parse(ss.str());
+      if (!doc.contains("key") || !doc.contains("result")) continue;
+      stats.entries += 1;
+      stats.bytes += static_cast<std::uint64_t>(entry.file_size());
+      stats.by_pipeline[doc.string_or("pipeline", "?")] += 1;
+      stats.by_engine[doc.string_or("engine", "?")] += 1;
+    } catch (const Error&) {
+      // foreign or corrupt file: not an entry
+    }
+  }
+  return stats;
+}
+
+}  // namespace cpm::sweep

@@ -1,0 +1,294 @@
+#include "cpm/sweep/runner.hpp"
+
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "cpm/common/error.hpp"
+#include "cpm/common/hash.hpp"
+#include "cpm/common/parallel.hpp"
+#include "cpm/core/model_io.hpp"
+#include "cpm/sweep/pipeline.hpp"
+
+namespace cpm::sweep {
+
+namespace {
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Seeds stay within 2^53 so they survive a JSON number round-trip.
+constexpr std::uint64_t kSeedMask = (1ULL << 53) - 1;
+
+std::uint64_t u64_from_hex_prefix(const std::string& hex) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 16 && i < hex.size(); ++i) {
+    const char c = hex[i];
+    const auto nibble = static_cast<std::uint64_t>(
+        c >= 'a' ? c - 'a' + 10 : c - '0');
+    value = (value << 4) | nibble;
+  }
+  return value;
+}
+
+}  // namespace
+
+ShardSpec shard_from_string(const std::string& text) {
+  const auto slash = text.find('/');
+  ShardSpec shard;
+  try {
+    if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size())
+      throw Error("sweep: shard must look like K/N");
+    std::size_t used_k = 0;
+    std::size_t used_n = 0;
+    shard.index = std::stoi(text.substr(0, slash), &used_k);
+    shard.count = std::stoi(text.substr(slash + 1), &used_n);
+    if (used_k != slash || used_n != text.size() - slash - 1)
+      throw Error("sweep: shard must look like K/N");
+  } catch (const std::logic_error&) {
+    throw Error("sweep: invalid shard '" + text + "' (expected K/N)");
+  }
+  if (shard.count < 1 || shard.index < 1 || shard.index > shard.count)
+    throw Error("sweep: shard index must satisfy 1 <= K <= N, got '" + text +
+                "'");
+  return shard;
+}
+
+bool shard_owns(const ShardSpec& shard, std::size_t point_index) {
+  return point_index % static_cast<std::size_t>(shard.count) ==
+         static_cast<std::size_t>(shard.index - 1);
+}
+
+std::string spec_hash(const SweepSpec& spec, const std::string& engine_salt) {
+  JsonObject doc;
+  doc["engine"] = Json(engine_salt);
+  doc["model"] = spec.model;
+  doc["pipeline"] = spec.pipeline;
+  JsonArray axes;
+  for (const auto& axis : spec.axes) axes.push_back(axis_to_json(axis));
+  doc["axes"] = Json(std::move(axes));
+  doc["seed"] = Json(static_cast<double>(spec.seed));
+  return sha256_hex(Json(std::move(doc)).dump());
+}
+
+std::string point_key(const SweepSpec& spec, const PointParams& params,
+                      const std::string& engine_salt) {
+  JsonObject doc;
+  doc["engine"] = Json(engine_salt);
+  doc["model"] = spec.model;
+  doc["pipeline"] = spec.pipeline;
+  doc["point"] = params_to_json(params);
+  doc["seed"] = Json(static_cast<double>(spec.seed));
+  return sha256_hex(Json(std::move(doc)).dump());
+}
+
+std::uint64_t point_seed(const SweepSpec& spec, const PointParams& params) {
+  JsonObject doc;
+  doc["point"] = params_to_json(params);
+  doc["seed"] = Json(static_cast<double>(spec.seed));
+  const std::string hex =
+      sha256_hex("cpm-sweep-seed:" + Json(std::move(doc)).dump());
+  // A zero seed is legal but conventionally avoided; nudge it.
+  const std::uint64_t seed = u64_from_hex_prefix(hex) & kSeedMask;
+  return seed == 0 ? 1 : seed;
+}
+
+RunResult run_sweep(const SweepSpec& spec, const RunOptions& options) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const std::string kind = pipeline_kind(spec.pipeline);
+
+  std::unique_ptr<core::ClusterModel> model;
+  if (pipeline_needs_model(kind)) {
+    if (spec.model.is_null())
+      throw Error("sweep: pipeline '" + kind +
+                  "' needs a model ('model' or 'model_file')");
+    model = std::make_unique<core::ClusterModel>(
+        core::model_from_json(spec.model));
+  }
+  validate_pipeline(spec, model.get());
+
+  const std::size_t total = grid_size(spec.axes);
+  const ResultCache cache(options.cache);
+  const std::string& salt = cache.options().engine_salt;
+
+  struct PendingPoint {
+    std::size_t index;
+    PointParams params;
+    std::string key;
+    std::uint64_t seed;
+    Json result;
+    bool cached = false;
+    double wall_seconds = 0.0;
+  };
+  std::vector<PendingPoint> owned;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (!shard_owns(options.shard, i)) continue;
+    PendingPoint p;
+    p.index = i;
+    p.params = grid_point(spec.axes, i);
+    p.key = point_key(spec, p.params, salt);
+    p.seed = point_seed(spec, p.params);
+    owned.push_back(std::move(p));
+  }
+
+  // Serve cache hits serially (cheap file reads), collect the misses.
+  std::vector<std::size_t> misses;
+  for (std::size_t j = 0; j < owned.size(); ++j) {
+    if (auto hit = cache.load(owned[j].key)) {
+      owned[j].result = *hit;
+      owned[j].cached = true;
+    } else {
+      misses.push_back(j);
+    }
+  }
+
+  RunStats stats;
+  stats.total_points = total;
+  stats.shard_points = owned.size();
+  stats.cache_hits = owned.size() - misses.size();
+  stats.computed = misses.size();
+
+  if (!misses.empty()) {
+    stats.threads_used = parallel_for_index(
+        misses.size(), options.threads, [&](std::size_t m) {
+          PendingPoint& p = owned[misses[m]];
+          const auto t_point = std::chrono::steady_clock::now();
+          p.result = run_point(spec, model.get(), p.params, p.seed);
+          p.wall_seconds = elapsed_seconds(t_point);
+          cache.store(p.key, kind, p.result);
+        });
+  }
+
+  const std::string fingerprint = spec_hash(spec, salt);
+  JsonObject doc;
+  doc["schema"] = Json("cpm-sweep/v1");
+  doc["name"] = Json(spec.name);
+  doc["spec_hash"] = Json(fingerprint);
+  doc["engine"] = Json(salt);
+  doc["seed"] = Json(static_cast<double>(spec.seed));
+  doc["pipeline"] = spec.pipeline;
+  doc["model"] = spec.model;
+  JsonArray axes;
+  for (const auto& axis : spec.axes) axes.push_back(axis_to_json(axis));
+  doc["axes"] = Json(std::move(axes));
+  doc["total_points"] = Json(static_cast<double>(total));
+  if (options.shard.count > 1) {
+    JsonObject shard;
+    shard["index"] = Json(options.shard.index);
+    shard["count"] = Json(options.shard.count);
+    doc["shard"] = Json(std::move(shard));
+  }
+  JsonArray points;
+  for (const auto& p : owned) {
+    JsonObject pj;
+    pj["index"] = Json(static_cast<double>(p.index));
+    pj["params"] = params_to_json(p.params);
+    pj["key"] = Json(p.key);
+    pj["seed"] = Json(static_cast<double>(p.seed));
+    pj["result"] = p.result;
+    points.push_back(Json(std::move(pj)));
+    stats.points.push_back(PointStats{p.index, p.cached, p.wall_seconds});
+  }
+  doc["points"] = Json(std::move(points));
+
+  stats.wall_seconds = elapsed_seconds(t_start);
+  return RunResult{Json(std::move(doc)), std::move(stats)};
+}
+
+Json merge_shards(const std::vector<Json>& shard_documents) {
+  require(!shard_documents.empty(), "sweep merge: no shard documents");
+  const Json& first = shard_documents.front();
+  if (first.string_or("schema", "") != "cpm-sweep/v1")
+    throw Error("sweep merge: not a cpm-sweep/v1 document");
+  const std::string fingerprint = first.string_or("spec_hash", "");
+
+  int shard_count = 0;
+  std::vector<bool> shards_seen;
+  std::map<std::size_t, Json> by_index;
+  for (const auto& doc : shard_documents) {
+    if (doc.string_or("schema", "") != "cpm-sweep/v1")
+      throw Error("sweep merge: not a cpm-sweep/v1 document");
+    if (doc.string_or("spec_hash", "") != fingerprint)
+      throw Error("sweep merge: shards come from different sweeps "
+                  "(spec_hash mismatch)");
+    if (!doc.contains("shard"))
+      throw Error("sweep merge: document has no 'shard' field "
+                  "(already merged or unsharded?)");
+    const int count = static_cast<int>(doc.at("shard").at("count").as_number());
+    const int index = static_cast<int>(doc.at("shard").at("index").as_number());
+    if (shard_count == 0) {
+      shard_count = count;
+      shards_seen.assign(static_cast<std::size_t>(count), false);
+    }
+    if (count != shard_count)
+      throw Error("sweep merge: shards disagree on the shard count");
+    if (index < 1 || index > count)
+      throw Error("sweep merge: shard index out of range");
+    auto seen = shards_seen[static_cast<std::size_t>(index - 1)];
+    if (seen)
+      throw Error("sweep merge: shard " + std::to_string(index) +
+                  "/" + std::to_string(count) + " appears twice");
+    shards_seen[static_cast<std::size_t>(index - 1)] = true;
+
+    for (const auto& point : doc.at("points").as_array()) {
+      const auto idx =
+          static_cast<std::size_t>(point.at("index").as_number());
+      if (by_index.count(idx) > 0)
+        throw Error("sweep merge: point " + std::to_string(idx) +
+                    " appears in more than one shard");
+      by_index[idx] = point;
+    }
+  }
+  if (shard_count != static_cast<int>(shard_documents.size()))
+    throw Error("sweep merge: expected " + std::to_string(shard_count) +
+                " shard documents, got " +
+                std::to_string(shard_documents.size()));
+
+  const auto total =
+      static_cast<std::size_t>(first.at("total_points").as_number());
+  if (by_index.size() != total)
+    throw Error("sweep merge: shards cover " +
+                std::to_string(by_index.size()) + " of " +
+                std::to_string(total) + " points");
+  for (std::size_t i = 0; i < total; ++i)
+    if (by_index.count(i) == 0)
+      throw Error("sweep merge: point " + std::to_string(i) + " is missing");
+
+  // Rebuild the unsharded document: same fields, no 'shard', full grid.
+  JsonObject merged = first.as_object();
+  merged.erase("shard");
+  JsonArray points;
+  for (auto& [idx, point] : by_index) points.push_back(std::move(point));
+  merged["points"] = Json(std::move(points));
+  return Json(std::move(merged));
+}
+
+Json stats_to_json(const RunStats& stats) {
+  JsonObject doc;
+  doc["schema"] = Json("cpm-sweep-stats/v1");
+  doc["total_points"] = Json(static_cast<double>(stats.total_points));
+  doc["shard_points"] = Json(static_cast<double>(stats.shard_points));
+  doc["computed"] = Json(static_cast<double>(stats.computed));
+  doc["cache_hits"] = Json(static_cast<double>(stats.cache_hits));
+  doc["cache_hit_rate"] =
+      Json(stats.shard_points == 0
+               ? 0.0
+               : static_cast<double>(stats.cache_hits) /
+                     static_cast<double>(stats.shard_points));
+  doc["wall_seconds"] = Json(stats.wall_seconds);
+  doc["threads_used"] = Json(static_cast<double>(stats.threads_used));
+  JsonArray points;
+  for (const auto& p : stats.points) {
+    JsonObject pj;
+    pj["index"] = Json(static_cast<double>(p.index));
+    pj["cached"] = Json(p.cached);
+    pj["wall_seconds"] = Json(p.wall_seconds);
+    points.push_back(Json(std::move(pj)));
+  }
+  doc["points"] = Json(std::move(points));
+  return Json(std::move(doc));
+}
+
+}  // namespace cpm::sweep

@@ -1,0 +1,71 @@
+#include "cpm/common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cpm {
+namespace {
+
+// FIPS 180-4 / NIST CAVP reference vectors.
+TEST(Sha256, EmptyMessage) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnop"
+                       "nopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(h.hex_digest(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// Messages straddling the 64-byte block and 56-byte padding boundaries
+// are the classic implementation traps.
+TEST(Sha256, PaddingBoundaries) {
+  for (const std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    const std::string msg(n, 'x');
+    Sha256 one_shot;
+    one_shot.update(msg);
+    Sha256 byte_wise;
+    for (char c : msg) byte_wise.update(&c, 1);
+    EXPECT_EQ(one_shot.hex_digest(), byte_wise.hex_digest())
+        << "length " << n;
+  }
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string text = "power and performance management";
+  Sha256 h;
+  h.update(text.substr(0, 7));
+  h.update(text.substr(7));
+  EXPECT_EQ(h.hex_digest(), sha256_hex(text));
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(sha256_hex("a"), sha256_hex("b"));
+  EXPECT_NE(sha256_hex("abc"), sha256_hex("abd"));
+  EXPECT_EQ(sha256_hex("same"), sha256_hex("same"));
+}
+
+TEST(Sha256, HexDigestShape) {
+  const std::string hex = sha256_hex("anything");
+  ASSERT_EQ(hex.size(), 64u);
+  for (char c : hex)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+}
+
+}  // namespace
+}  // namespace cpm

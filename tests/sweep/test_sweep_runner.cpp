@@ -1,0 +1,244 @@
+#include "cpm/sweep/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cpm/common/error.hpp"
+#include "cpm/core/cluster_model.hpp"
+#include "cpm/core/model_io.hpp"
+
+namespace cpm::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.name = "tiny";
+  spec.model = core::model_to_json(core::make_enterprise_model(0.6));
+  JsonObject pipeline;
+  pipeline["kind"] = Json("evaluate");
+  spec.pipeline = Json(std::move(pipeline));
+  Axis a;
+  a.param = "rate_scale";
+  a.kind = Axis::Kind::kLinear;
+  a.from = 0.4;
+  a.to = 1.0;
+  a.steps = 5;
+  spec.axes = {a};
+  return spec;
+}
+
+std::string current_test_name() {
+  return testing::UnitTest::GetInstance()->current_test_info()->name();
+}
+
+class SweepRunnerTest : public testing::Test {
+ protected:
+  std::string dir_ =
+      testing::TempDir() + "/cpm-sweep-runner-test-" + current_test_name();
+
+  void SetUp() override { fs::remove_all(dir_); }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  RunOptions options(int shard_index = 1, int shard_count = 1) const {
+    RunOptions o;
+    o.cache.directory = dir_;
+    o.shard = ShardSpec{shard_index, shard_count};
+    o.threads = 2;
+    return o;
+  }
+};
+
+TEST(SweepShard, ParsesWellFormedSpecs) {
+  const auto s = shard_from_string("2/3");
+  EXPECT_EQ(s.index, 2);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_EQ(shard_from_string("1/1").count, 1);
+}
+
+TEST(SweepShard, RejectsMalformedSpecs) {
+  for (const char* bad : {"", "2", "/3", "2/", "0/3", "4/3", "-1/3", "a/b",
+                          "1/3x", "x1/3", "1//3"})
+    EXPECT_THROW((void)shard_from_string(bad), Error) << bad;
+}
+
+TEST(SweepShard, PartitionIsCompleteAndDisjoint) {
+  // Every point is owned by exactly one shard, for several shard counts.
+  for (const int n : {1, 2, 3, 7}) {
+    for (std::size_t i = 0; i < 100; ++i) {
+      int owners = 0;
+      for (int k = 1; k <= n; ++k)
+        if (shard_owns(ShardSpec{k, n}, i)) ++owners;
+      EXPECT_EQ(owners, 1) << "point " << i << " with " << n << " shards";
+    }
+  }
+}
+
+TEST(SweepShard, RoundRobinSpreadsNeighbours) {
+  // Consecutive points land on different shards (round-robin, not block).
+  const ShardSpec first{1, 4};
+  EXPECT_TRUE(shard_owns(first, 0));
+  EXPECT_FALSE(shard_owns(first, 1));
+  EXPECT_TRUE(shard_owns(first, 4));
+}
+
+TEST(SweepKeys, PointSeedIgnoresGridIndex) {
+  const auto spec = tiny_spec();
+  // Same params -> same seed, regardless of how the grid is arranged.
+  const PointParams p = {{"rate_scale", 0.7}};
+  EXPECT_EQ(point_seed(spec, p), point_seed(spec, p));
+  const PointParams q = {{"rate_scale", 0.85}};
+  EXPECT_NE(point_seed(spec, p), point_seed(spec, q));
+}
+
+TEST(SweepKeys, SeedsFitInJsonNumbers) {
+  const auto spec = tiny_spec();
+  for (double v : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const auto seed = point_seed(spec, {{"rate_scale", v}});
+    EXPECT_GT(seed, 0u);
+    EXPECT_LT(seed, 1ULL << 53);
+    // Round-trip through the JSON layer must be exact.
+    const Json j(static_cast<double>(seed));
+    EXPECT_EQ(static_cast<std::uint64_t>(Json::parse(j.dump()).as_number()),
+              seed);
+  }
+}
+
+TEST(SweepKeys, KeyDependsOnSaltModelAndPoint) {
+  const auto spec = tiny_spec();
+  const PointParams p = {{"rate_scale", 0.7}};
+  const std::string base = point_key(spec, p, "salt/1");
+  EXPECT_EQ(base, point_key(spec, p, "salt/1"));
+  EXPECT_NE(base, point_key(spec, p, "salt/2"));
+  EXPECT_NE(base, point_key(spec, {{"rate_scale", 0.8}}, "salt/1"));
+
+  auto other = spec;
+  other.seed = 7;
+  EXPECT_NE(base, point_key(other, p, "salt/1"));
+}
+
+TEST_F(SweepRunnerTest, RunProducesOnePointPerGridIndex) {
+  const auto r = run_sweep(tiny_spec(), options());
+  EXPECT_EQ(r.stats.total_points, 5u);
+  EXPECT_EQ(r.stats.computed, 5u);
+  EXPECT_EQ(r.stats.cache_hits, 0u);
+  const auto& points = r.document.at("points");
+  ASSERT_EQ(points.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(points.at(i).at("index").as_number()),
+              i);
+    EXPECT_TRUE(points.at(i).at("result").at("stable").as_bool());
+  }
+}
+
+TEST_F(SweepRunnerTest, SecondRunIsAllCacheHits) {
+  const auto first = run_sweep(tiny_spec(), options());
+  const auto second = run_sweep(tiny_spec(), options());
+  EXPECT_EQ(second.stats.computed, 0u);
+  EXPECT_EQ(second.stats.cache_hits, 5u);
+  EXPECT_EQ(first.document.dump(2), second.document.dump(2));
+}
+
+TEST_F(SweepRunnerTest, AxisSupersetReusesExistingPoints) {
+  auto spec = tiny_spec();
+  (void)run_sweep(spec, options());
+  // Extend the same axis: the five original values must all hit.
+  spec.axes[0].steps = 9;  // 0.4, 0.475, ..., 1.0 — includes the old grid
+  const auto r = run_sweep(spec, options());
+  EXPECT_EQ(r.stats.total_points, 9u);
+  EXPECT_EQ(r.stats.cache_hits, 5u);
+  EXPECT_EQ(r.stats.computed, 4u);
+}
+
+TEST_F(SweepRunnerTest, SaltBumpRecomputesEverything) {
+  (void)run_sweep(tiny_spec(), options());
+  auto o = options();
+  o.cache.engine_salt = "cpm-sweep-engine/test-bump";
+  const auto r = run_sweep(tiny_spec(), o);
+  EXPECT_EQ(r.stats.cache_hits, 0u);
+  EXPECT_EQ(r.stats.computed, 5u);
+}
+
+TEST_F(SweepRunnerTest, ShardedRunsMergeToUnshardedDocument) {
+  const auto whole = run_sweep(tiny_spec(), options());
+
+  auto o1 = options(1, 2);
+  o1.cache.directory = dir_ + "/shard1";  // cold, independent caches
+  auto o2 = options(2, 2);
+  o2.cache.directory = dir_ + "/shard2";
+  const auto s1 = run_sweep(tiny_spec(), o1);
+  const auto s2 = run_sweep(tiny_spec(), o2);
+  EXPECT_EQ(s1.stats.shard_points + s2.stats.shard_points, 5u);
+
+  // Merge order must not matter, and the result must be byte-identical
+  // to the unsharded document.
+  const Json merged = merge_shards({s2.document, s1.document});
+  EXPECT_EQ(merged.dump(2), whole.document.dump(2));
+}
+
+TEST_F(SweepRunnerTest, ShardDocumentsRecordTheirShard) {
+  const auto s = run_sweep(tiny_spec(), options(2, 2));
+  EXPECT_EQ(s.document.at("shard").at("index").as_number(), 2.0);
+  EXPECT_EQ(s.document.at("shard").at("count").as_number(), 2.0);
+  const auto whole = run_sweep(tiny_spec(), options());
+  EXPECT_FALSE(whole.document.contains("shard"));
+}
+
+TEST_F(SweepRunnerTest, MergeRejectsIncompleteOrDuplicateShards) {
+  const auto s1 = run_sweep(tiny_spec(), options(1, 2));
+  const auto s2 = run_sweep(tiny_spec(), options(2, 2));
+  EXPECT_THROW((void)merge_shards({}), Error);
+  EXPECT_THROW((void)merge_shards({s1.document}), Error);
+  EXPECT_THROW((void)merge_shards({s1.document, s1.document}), Error);
+
+  const auto whole = run_sweep(tiny_spec(), options());
+  EXPECT_THROW((void)merge_shards({whole.document, s2.document}), Error);
+}
+
+TEST_F(SweepRunnerTest, MergeRejectsMismatchedSweeps) {
+  const auto s1 = run_sweep(tiny_spec(), options(1, 2));
+  auto other = tiny_spec();
+  other.seed = 99;
+  const auto s2 = run_sweep(other, options(2, 2));
+  EXPECT_THROW((void)merge_shards({s1.document, s2.document}), Error);
+}
+
+TEST_F(SweepRunnerTest, StatsSidecarTracksProvenance) {
+  (void)run_sweep(tiny_spec(), options());
+  const auto second = run_sweep(tiny_spec(), options());
+  const Json stats = stats_to_json(second.stats);
+  EXPECT_EQ(stats.at("schema").as_string(), "cpm-sweep-stats/v1");
+  EXPECT_DOUBLE_EQ(stats.at("cache_hit_rate").as_number(), 1.0);
+  ASSERT_EQ(stats.at("points").size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_TRUE(stats.at("points").at(i).at("cached").as_bool());
+}
+
+TEST_F(SweepRunnerTest, DisabledCacheAlwaysComputes) {
+  auto o = options();
+  o.cache.enabled = false;
+  (void)run_sweep(tiny_spec(), o);
+  const auto again = run_sweep(tiny_spec(), o);
+  EXPECT_EQ(again.stats.computed, 5u);
+  EXPECT_EQ(again.stats.cache_hits, 0u);
+}
+
+TEST_F(SweepRunnerTest, RejectsModelPipelineWithoutModel) {
+  auto spec = tiny_spec();
+  spec.model = Json();
+  EXPECT_THROW((void)run_sweep(spec, options()), Error);
+}
+
+TEST_F(SweepRunnerTest, RejectsUnknownAxisParam) {
+  auto spec = tiny_spec();
+  spec.axes[0].param = "definitely_not_a_knob";
+  EXPECT_THROW((void)run_sweep(spec, options()), Error);
+}
+
+}  // namespace
+}  // namespace cpm::sweep

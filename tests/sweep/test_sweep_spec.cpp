@@ -1,0 +1,186 @@
+#include "cpm/sweep/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::sweep {
+namespace {
+
+Axis linear(const std::string& param, double from, double to, int steps) {
+  Axis a;
+  a.param = param;
+  a.kind = Axis::Kind::kLinear;
+  a.from = from;
+  a.to = to;
+  a.steps = steps;
+  return a;
+}
+
+Axis list(const std::string& param, std::vector<double> values) {
+  Axis a;
+  a.param = param;
+  a.kind = Axis::Kind::kList;
+  a.values = std::move(values);
+  return a;
+}
+
+TEST(SweepAxis, LinearIncludesEndpoints) {
+  const auto v = linear("x", 1.0, 3.0, 5).expand();
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 2.0);
+  EXPECT_DOUBLE_EQ(v.back(), 3.0);
+}
+
+TEST(SweepAxis, LinearSingleStepIsFrom) {
+  const auto v = linear("x", 2.5, 9.0, 1).expand();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 2.5);
+}
+
+TEST(SweepAxis, LinearDescendingRange) {
+  const auto v = linear("x", 3.0, 1.0, 3).expand();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v[2], 1.0);
+}
+
+TEST(SweepAxis, LogIsGeometric) {
+  Axis a = linear("x", 1.0, 100.0, 3);
+  a.kind = Axis::Kind::kLog;
+  const auto v = a.expand();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_NEAR(v[1], 10.0, 1e-12);
+  EXPECT_NEAR(v[2], 100.0, 1e-12);
+}
+
+TEST(SweepAxis, LogRejectsNonPositiveBounds) {
+  Axis a = linear("x", 0.0, 10.0, 3);
+  a.kind = Axis::Kind::kLog;
+  EXPECT_THROW((void)a.expand(), Error);
+  a.from = -1.0;
+  EXPECT_THROW((void)a.expand(), Error);
+}
+
+TEST(SweepAxis, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)linear("x", 0.0, 1.0, 0).expand(), Error);
+  EXPECT_THROW((void)linear("x", 0.0, 1.0, -2).expand(), Error);
+  EXPECT_THROW((void)list("x", {}).expand(), Error);
+}
+
+TEST(SweepGrid, NoAxesIsOnePoint) {
+  EXPECT_EQ(grid_size({}), 1u);
+  EXPECT_TRUE(grid_point({}, 0).empty());
+}
+
+TEST(SweepGrid, SizeIsProductOfAxisLengths) {
+  const std::vector<Axis> axes = {linear("a", 0, 1, 3), list("b", {1, 2}),
+                                  list("c", {5, 6, 7, 8})};
+  EXPECT_EQ(grid_size(axes), 24u);
+}
+
+TEST(SweepGrid, FirstAxisVariesSlowest) {
+  const std::vector<Axis> axes = {list("outer", {10, 20}),
+                                  list("inner", {1, 2, 3})};
+  ASSERT_EQ(grid_size(axes), 6u);
+  // Row-major: (10,1) (10,2) (10,3) (20,1) (20,2) (20,3).
+  EXPECT_DOUBLE_EQ(grid_point(axes, 0).at("outer"), 10.0);
+  EXPECT_DOUBLE_EQ(grid_point(axes, 0).at("inner"), 1.0);
+  EXPECT_DOUBLE_EQ(grid_point(axes, 2).at("inner"), 3.0);
+  EXPECT_DOUBLE_EQ(grid_point(axes, 3).at("outer"), 20.0);
+  EXPECT_DOUBLE_EQ(grid_point(axes, 3).at("inner"), 1.0);
+  EXPECT_DOUBLE_EQ(grid_point(axes, 5).at("outer"), 20.0);
+  EXPECT_DOUBLE_EQ(grid_point(axes, 5).at("inner"), 3.0);
+}
+
+TEST(SweepGrid, ExtendingLastAxisAppendsPoints) {
+  const std::vector<Axis> small = {list("a", {1, 2}), list("b", {5, 6})};
+  const std::vector<Axis> big = {list("a", {1, 2}), list("b", {5, 6, 7})};
+  // Points of the smaller grid keep their parameters in the bigger one
+  // at remapped indices (prefix per outer value), which is what makes
+  // axis supersets cache-compatible: params, not indices, key the cache.
+  EXPECT_EQ(grid_point(small, 0), grid_point(big, 0));
+  EXPECT_EQ(grid_point(small, 1), grid_point(big, 1));
+  EXPECT_EQ(grid_point(small, 2), grid_point(big, 3));
+  EXPECT_EQ(grid_point(small, 3), grid_point(big, 4));
+}
+
+TEST(SweepGrid, RejectsDuplicateParams) {
+  const std::vector<Axis> axes = {list("x", {1}), list("x", {2})};
+  EXPECT_THROW((void)grid_size(axes), Error);
+}
+
+TEST(SweepGrid, RejectsOversizedGrid) {
+  Axis a = linear("a", 0, 1, 100000);
+  Axis b = linear("b", 0, 1, 100000);
+  EXPECT_THROW((void)grid_size({a, b}), Error);
+}
+
+TEST(SweepSpecParse, MinimalSpec) {
+  const auto spec = spec_from_json_text(R"({
+    "schema": "cpm-sweep/v1",
+    "name": "t",
+    "pipeline": {"kind": "mva",
+                 "stations": [{"name": "cpu", "demand": 0.2}],
+                 "population": 4},
+    "axes": [{"param": "think_time", "kind": "list", "values": [0, 1]}]
+  })");
+  EXPECT_EQ(spec.name, "t");
+  EXPECT_EQ(spec.seed, 20110516u);
+  EXPECT_TRUE(spec.model.is_null());
+  ASSERT_EQ(spec.axes.size(), 1u);
+  EXPECT_EQ(spec.axes[0].param, "think_time");
+}
+
+TEST(SweepSpecParse, RejectsWrongSchema) {
+  EXPECT_THROW((void)spec_from_json_text(R"({
+    "schema": "cpm-bench/v1", "name": "t",
+    "pipeline": {"kind": "evaluate"}, "axes": []
+  })"),
+               Error);
+}
+
+TEST(SweepSpecParse, RejectsMissingPipeline) {
+  EXPECT_THROW((void)spec_from_json_text(R"({
+    "schema": "cpm-sweep/v1", "name": "t", "axes": []
+  })"),
+               Error);
+}
+
+TEST(SweepSpecParse, RejectsBadAxisEagerly) {
+  EXPECT_THROW((void)spec_from_json_text(R"({
+    "schema": "cpm-sweep/v1", "name": "t",
+    "pipeline": {"kind": "evaluate"},
+    "axes": [{"param": "x", "kind": "list", "values": []}]
+  })"),
+               Error);
+}
+
+TEST(SweepSpecParse, RejectsMissingModelFile) {
+  EXPECT_THROW((void)spec_from_json_text(R"({
+    "schema": "cpm-sweep/v1", "name": "t",
+    "model_file": "no-such-file.json",
+    "pipeline": {"kind": "evaluate"}, "axes": []
+  })",
+                                         testing::TempDir()),
+               Error);
+}
+
+TEST(SweepSpecParse, AxisRoundTripsThroughJson) {
+  const Axis a = linear("rate_scale", 0.2, 1.4, 7);
+  const Axis back = axis_from_json(axis_to_json(a));
+  EXPECT_EQ(back.param, a.param);
+  EXPECT_EQ(back.kind, a.kind);
+  EXPECT_EQ(back.steps, a.steps);
+  EXPECT_EQ(a.expand(), back.expand());
+
+  const Axis l = list("population", {1, 2, 30});
+  const Axis lback = axis_from_json(axis_to_json(l));
+  EXPECT_EQ(lback.values, l.values);
+}
+
+}  // namespace
+}  // namespace cpm::sweep

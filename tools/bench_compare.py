@@ -9,8 +9,10 @@ For every case present in BOTH documents it compares
   * median wall_seconds   — regression when candidate > baseline * (1 + tol)
   * median *_per_sec rate — regression when candidate < baseline * (1 - tol)
 
-Cases or rates present in only one document are reported but never fail
-the gate (adding or renaming a case must not need a two-step dance).
+Cases or rates present in only one document are reported as added/removed
+but never fail the gate (adding or renaming a case must not need a
+two-step dance), and a case with a missing or malformed metric is skipped
+with a note rather than crashing the gate.
 Exit status: 0 clean, 1 at least one regression, 2 malformed input.
 
 The default tolerance is deliberately loose (30%): shared CI runners
@@ -32,8 +34,24 @@ def load(path):
     return doc
 
 
-def cases_by_name(doc):
-    return {c["name"]: c for c in doc.get("cases", [])}
+def cases_by_name(doc, path):
+    cases = {}
+    for c in doc.get("cases", []):
+        name = c.get("name")
+        if not isinstance(name, str):
+            raise ValueError(f"{path}: case without a 'name'")
+        cases[name] = c
+    return cases
+
+
+def median_of(case, *keys):
+    """case[k0][k1]...["median"], or None when any level is absent."""
+    node = case
+    for key in (*keys, "median"):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) else None
 
 
 def main():
@@ -51,9 +69,9 @@ def main():
         ap.error("--tolerance must be in [0, 10)")
 
     try:
-        cand = cases_by_name(load(args.candidate))
-        base = cases_by_name(load(args.baseline))
-    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        cand = cases_by_name(load(args.candidate), args.candidate)
+        base = cases_by_name(load(args.baseline), args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"bench_compare: {exc}", file=sys.stderr)
         return 2
 
@@ -81,14 +99,23 @@ def main():
         elif delta > args.tolerance:
             improvements.append(line)
 
-    for name in sorted(base):
-        if name not in cand:
-            print(f"note: case '{name}' missing from candidate (skipped)")
-            continue
+    removed = sorted(set(base) - set(cand))
+    added = sorted(set(cand) - set(base))
+    for name in removed:
+        print(f"note: case '{name}' removed (in baseline only, skipped)")
+    for name in added:
+        print(f"note: case '{name}' added (no baseline yet, skipped)")
+
+    for name in sorted(set(base) & set(cand)):
         c, b = cand[name], base[name]
-        check(name, "wall_seconds.median",
-              c["wall_seconds"]["median"], b["wall_seconds"]["median"],
-              higher_is_worse=True)
+        cand_wall = median_of(c, "wall_seconds")
+        base_wall = median_of(b, "wall_seconds")
+        if cand_wall is None or base_wall is None:
+            print(f"note: case '{name}' has no wall_seconds median in one "
+                  "document (skipped)")
+        else:
+            check(name, "wall_seconds.median", cand_wall, base_wall,
+                  higher_is_worse=True)
         base_rates = b.get("rates", {})
         cand_rates = c.get("rates", {})
         for rate in sorted(base_rates):
@@ -97,11 +124,17 @@ def main():
             if rate not in cand_rates:
                 print(f"note: rate '{name}/{rate}' missing from candidate (skipped)")
                 continue
-            check(name, rate, cand_rates[rate]["median"],
-                  base_rates[rate]["median"], higher_is_worse=False)
+            cand_r = median_of(cand_rates, rate)
+            base_r = median_of(base_rates, rate)
+            if cand_r is None or base_r is None:
+                print(f"note: rate '{name}/{rate}' has no median in one "
+                      "document (skipped)")
+                continue
+            check(name, rate, cand_r, base_r, higher_is_worse=False)
 
-    for name in sorted(set(cand) - set(base)):
-        print(f"note: case '{name}' has no baseline yet (skipped)")
+    if added or removed:
+        print(f"bench_compare: {len(added)} case(s) added, "
+              f"{len(removed)} removed vs baseline")
 
     if improvements:
         print(f"improvements beyond {args.tolerance:.0%} (consider refreshing baseline):")

@@ -11,7 +11,10 @@ threshold.
 
 Usage:
   coverage_gate.py --build-dir build-coverage --out coverage.info \
-      --gate src/online --min-percent 85
+      --gate src/online --gate src/sweep:90 --min-percent 85
+
+--gate is repeatable and takes PREFIX or PREFIX:MINPCT; a gate without its
+own threshold uses --min-percent. Every gate must pass.
 """
 
 from __future__ import annotations
@@ -87,8 +90,12 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", required=True)
     parser.add_argument("--out", default="coverage.info")
-    parser.add_argument("--gate", default="src/online",
-                        help="repo-relative prefix whose coverage is gated")
+    parser.add_argument("--gate", action="append", default=None,
+                        metavar="PREFIX[:MINPCT]",
+                        help="repo-relative prefix whose coverage is gated; "
+                             "repeatable; PREFIX:MINPCT overrides "
+                             "--min-percent for that prefix "
+                             "(default: src/online)")
     parser.add_argument("--min-percent", type=float, default=85.0)
     parser.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
     args = parser.parse_args()
@@ -106,32 +113,52 @@ def main() -> int:
     reports = [gcov_json(g, args.gcov) for g in gcda_files]
     counts = merge_counts(reports, repo_root)
     write_lcov(counts, args.out)
-
-    gated_total = 0
-    gated_covered = 0
-    gate = args.gate.rstrip("/") + "/"
-    for path, per_line in sorted(counts.items()):
-        if not path.startswith(gate):
-            continue
-        total = len(per_line)
-        covered = sum(1 for c in per_line.values() if c > 0)
-        gated_total += total
-        gated_covered += covered
-        pct = 100.0 * covered / total if total else 100.0
-        print(f"  {path}: {covered}/{total} lines ({pct:.1f}%)")
-
-    if gated_total == 0:
-        print(f"coverage_gate: no instrumented lines under {args.gate}",
-              file=sys.stderr)
-        return 2
-    pct = 100.0 * gated_covered / gated_total
-    print(f"coverage_gate: {args.gate} line coverage "
-          f"{gated_covered}/{gated_total} = {pct:.2f}% "
-          f"(minimum {args.min_percent:.2f}%)")
     print(f"coverage_gate: lcov trace written to {args.out} "
           f"({len(counts)} files)")
-    if pct < args.min_percent:
-        print("coverage_gate: FAIL — below the minimum", file=sys.stderr)
+
+    gates = []
+    for spec in (args.gate or ["src/online"]):
+        prefix, sep, minpct = spec.partition(":")
+        if sep:
+            try:
+                threshold = float(minpct)
+            except ValueError:
+                print(f"coverage_gate: bad gate spec {spec!r}",
+                      file=sys.stderr)
+                return 2
+        else:
+            threshold = args.min_percent
+        gates.append((prefix.rstrip("/"), threshold))
+
+    failed = []
+    for prefix, threshold in gates:
+        gate = prefix + "/"
+        gated_total = 0
+        gated_covered = 0
+        for path, per_line in sorted(counts.items()):
+            if not path.startswith(gate):
+                continue
+            total = len(per_line)
+            covered = sum(1 for c in per_line.values() if c > 0)
+            gated_total += total
+            gated_covered += covered
+            pct = 100.0 * covered / total if total else 100.0
+            print(f"  {path}: {covered}/{total} lines ({pct:.1f}%)")
+
+        if gated_total == 0:
+            print(f"coverage_gate: no instrumented lines under {prefix}",
+                  file=sys.stderr)
+            return 2
+        pct = 100.0 * gated_covered / gated_total
+        print(f"coverage_gate: {prefix} line coverage "
+              f"{gated_covered}/{gated_total} = {pct:.2f}% "
+              f"(minimum {threshold:.2f}%)")
+        if pct < threshold:
+            failed.append(prefix)
+
+    if failed:
+        print(f"coverage_gate: FAIL — below the minimum: {', '.join(failed)}",
+              file=sys.stderr)
         return 1
     return 0
 

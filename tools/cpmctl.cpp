@@ -27,6 +27,11 @@
 //                                      [--error-on note|warning|error]
 //                                      [--rule LIST] [--no-rule LIST]
 //                                      [--solution size|power ...]
+//   cpmctl sweep run      <spec.json>  [--out FILE] [--cache DIR] [--no-cache]
+//                                      [--shard K/N] [--threads N] [--audit]
+//                                      [--salt S]
+//   cpmctl sweep merge    <out.json> <shard.json>...
+//   cpmctl sweep stat     [--cache DIR]
 //
 // Exit status: 0 success, 1 usage error, 2 model/solver/IO error (for
 // `check`: any invariant violated). `lint` and `certify` additionally exit
@@ -49,6 +54,7 @@
 #include "cpm/lint/render.hpp"
 #include "cpm/online/timeline.hpp"
 #include "cpm/sim/warmup.hpp"
+#include "cpm/sweep/runner.hpp"
 #include "cpm/workload/trace.hpp"
 
 namespace {
@@ -83,7 +89,11 @@ using namespace cpm;
       "                 [--max-servers N] [--greedy] [--bound SECS]\n"
       "  trace-stats    <arrivals.csv>\n"
       "  bench          [--suite NAME] [--quick] [--repeats N] [--warmup N]\n"
-      "                 [--out FILE] [--list]\n";
+      "                 [--out FILE] [--list]\n"
+      "  sweep run      <spec.json> [--out FILE] [--cache DIR] [--no-cache]\n"
+      "                 [--shard K/N] [--threads N] [--audit] [--salt S]\n"
+      "  sweep merge    <out.json> <shard.json>...\n"
+      "  sweep stat     [--cache DIR]\n";
   std::exit(1);
 }
 
@@ -650,6 +660,117 @@ int cmd_bench(const Args& args) {
   return 0;
 }
 
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write '" + path + "'");
+  out << text;
+}
+
+std::string dir_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+sweep::CacheOptions sweep_cache_options(const Args& args) {
+  sweep::CacheOptions cache;
+  if (const auto dir = args.value("--cache")) cache.directory = *dir;
+  if (const auto salt = args.value("--salt")) cache.engine_salt = *salt;
+  if (args.has("--no-cache")) cache.enabled = false;
+  return cache;
+}
+
+int cmd_sweep_run(const std::string& spec_path, const Args& args) {
+  auto spec = sweep::spec_from_json_text(read_file(spec_path), dir_of(spec_path));
+  if (args.has("--audit")) {
+    // The audit flag participates in the cache key: audited and
+    // unaudited results differ, so they must not share entries.
+    JsonObject pipeline = spec.pipeline.as_object();
+    pipeline["audit"] = Json(true);
+    spec.pipeline = Json(std::move(pipeline));
+  }
+
+  sweep::RunOptions options;
+  options.cache = sweep_cache_options(args);
+  options.threads = static_cast<unsigned>(args.number("--threads", 0));
+  if (const auto shard = args.value("--shard"))
+    options.shard = sweep::shard_from_string(*shard);
+
+  const auto r = sweep::run_sweep(spec, options);
+
+  std::string out_path;
+  if (const auto out = args.value("--out")) {
+    out_path = *out;
+  } else {
+    out_path = "SWEEP_" + spec.name;
+    if (options.shard.count > 1)
+      out_path += ".shard-" + std::to_string(options.shard.index) + "-of-" +
+                  std::to_string(options.shard.count);
+    out_path += ".json";
+  }
+  write_text_file(out_path, r.document.dump(2) + "\n");
+  write_text_file(out_path + ".stats.json",
+                  sweep::stats_to_json(r.stats).dump(2) + "\n");
+
+  const double hit_pct =
+      r.stats.shard_points == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(r.stats.cache_hits) /
+                static_cast<double>(r.stats.shard_points);
+  std::cout << "sweep " << spec.name << ": " << r.stats.total_points
+            << " points";
+  if (options.shard.count > 1)
+    std::cout << " (shard " << options.shard.index << "/"
+              << options.shard.count << ": " << r.stats.shard_points
+              << " owned)";
+  std::cout << ", " << r.stats.computed << " computed, " << r.stats.cache_hits
+            << " cached (" << format_double(hit_pct, 1) << "% hit rate), "
+            << format_double(r.stats.wall_seconds, 2) << " s, "
+            << r.stats.threads_used << " thread(s)\n"
+            << "wrote " << out_path << " and " << out_path << ".stats.json\n";
+  return 0;
+}
+
+int cmd_sweep_merge(int argc, char** argv) {
+  if (argc < 5) usage("sweep merge needs <out.json> and >= 1 shard document");
+  const std::string out_path = argv[3];
+  std::vector<Json> shards;
+  for (int i = 4; i < argc; ++i)
+    shards.push_back(Json::parse(read_file(argv[i])));
+  const Json merged = sweep::merge_shards(shards);
+  write_text_file(out_path, merged.dump(2) + "\n");
+  std::cout << "merged " << shards.size() << " shard(s), "
+            << merged.at("points").size() << " points -> " << out_path << '\n';
+  return 0;
+}
+
+int cmd_sweep_stat(const Args& args) {
+  const sweep::ResultCache cache(sweep_cache_options(args));
+  const auto stats = cache.stat();
+  std::cout << "cache " << cache.options().directory << ": " << stats.entries
+            << " entries, " << stats.bytes / 1024 << " KiB\n";
+  if (stats.entries == 0) return 0;
+  Table t({"pipeline", "entries"});
+  for (const auto& [kind, n] : stats.by_pipeline)
+    t.row().add(kind).add(n);
+  t.print(std::cout);
+  Table e({"engine salt", "entries"});
+  for (const auto& [salt, n] : stats.by_engine) e.row().add(salt).add(n);
+  e.print(std::cout);
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 3) usage("sweep needs a subcommand: run | merge | stat");
+  const std::string sub = argv[2];
+  if (sub == "run") {
+    if (argc < 4) usage("sweep run needs a spec file");
+    return cmd_sweep_run(argv[3], Args(argc, argv, 4));
+  }
+  if (sub == "merge") return cmd_sweep_merge(argc, argv);
+  if (sub == "stat") return cmd_sweep_stat(Args(argc, argv, 3));
+  usage("unknown sweep subcommand '" + sub + "' (expected run | merge | stat)");
+}
+
 int cmd_trace_stats(const std::string& path) {
   const auto trace = workload::ArrivalTrace::parse_csv(read_file(path));
   const auto s = trace.stats();
@@ -680,6 +801,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "lint" && argc >= 3 && std::string(argv[2]) == "--list-rules")
       return cmd_lint_list_rules();
+    if (cmd == "sweep") return cmd_sweep(argc, argv);
     if (argc < 3) usage("command '" + cmd + "' needs a model file");
     const std::string path = argv[2];
     const Args args(argc, argv, 3);

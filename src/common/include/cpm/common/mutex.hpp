@@ -1,0 +1,91 @@
+// Capability-annotated mutex primitives.
+//
+// std::mutex and std::lock_guard carry no thread-safety attributes, so
+// Clang's Thread Safety Analysis cannot prove anything about code that
+// uses them: a CPM_GUARDED_BY member locked through std::lock_guard
+// still reads as "accessed without the capability". These thin wrappers
+// forward to the standard types and exist purely so the compile-time
+// proof goes through; they add no runtime cost beyond the underlying
+// std::mutex.
+//
+// FirstError is the shared-error pattern the work-stealing pool needs:
+// many workers may throw, exactly one exception survives to the caller.
+// Folding it into a class (instead of a bare exception_ptr + mutex pair
+// captured by reference in worker lambdas) is what lets the analysis see
+// the invariant at all — the analysis tracks guarded_by on members, not
+// on locals that escape into lambdas.
+#pragma once
+
+#include <exception>
+#include <mutex>
+
+#include "cpm/common/thread_annotations.hpp"
+
+namespace cpm {
+
+/// std::mutex with capability annotations. Non-reentrant.
+class CPM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CPM_ACQUIRE() { inner_.lock(); }
+  void unlock() CPM_RELEASE() { inner_.unlock(); }
+  bool try_lock() CPM_TRY_ACQUIRE(true) { return inner_.try_lock(); }
+
+ private:
+  std::mutex inner_;
+};
+
+/// RAII scoped lock over cpm::Mutex (the annotated std::lock_guard).
+class CPM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) CPM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() CPM_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Captures the first exception observed across many threads; later
+/// captures are dropped. rethrow_if_set() is called once, after every
+/// thread that might capture has joined.
+class FirstError {
+ public:
+  /// Records the currently in-flight exception if none is stored yet.
+  /// Safe to call concurrently from any number of workers.
+  void capture_current() CPM_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+
+  /// True once any worker has captured (cheap racy check is deliberate:
+  /// callers only use it to stop early, the authoritative read is
+  /// rethrow_if_set after the join).
+  bool has_error() const CPM_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    return error_ != nullptr;
+  }
+
+  /// Rethrows the stored exception, if any. Call after joining.
+  void rethrow_if_set() CPM_EXCLUDES(mutex_) {
+    std::exception_ptr error;
+    {
+      const MutexLock lock(mutex_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::exception_ptr error_ CPM_GUARDED_BY(mutex_);
+};
+
+}  // namespace cpm

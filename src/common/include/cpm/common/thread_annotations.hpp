@@ -1,0 +1,79 @@
+// Portable wrappers for Clang's Thread Safety Analysis attributes.
+//
+// The analysis (enabled with -Wthread-safety -Wthread-safety-beta) proves
+// at compile time that every access to a CPM_GUARDED_BY member happens
+// with its capability held, that CPM_REQUIRES preconditions are satisfied
+// at every call site, and that acquire/release pairs balance on every
+// path. Under any compiler other than clang the macros expand to nothing,
+// so annotated code stays portable; the clang CI jobs are where the
+// proofs actually run.
+//
+// Use the cpm::Mutex / cpm::MutexLock wrappers from cpm/common/mutex.hpp
+// rather than std::mutex directly: the standard library types carry no
+// capability attributes, so the analysis cannot see through them.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CPM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CPM_THREAD_ANNOTATION
+#define CPM_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a type as a capability (a thing that can be held): mutexes, roles.
+#define CPM_CAPABILITY(x) CPM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define CPM_SCOPED_CAPABILITY CPM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define CPM_GUARDED_BY(x) CPM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is protected by `x` (the pointer itself
+/// may be read freely).
+#define CPM_PT_GUARDED_BY(x) CPM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities must be held on entry
+/// (and are still held on exit).
+#define CPM_REQUIRES(...) \
+  CPM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CPM_REQUIRES_SHARED(...) \
+  CPM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (must not be held on entry).
+#define CPM_ACQUIRE(...) CPM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CPM_ACQUIRE_SHARED(...) \
+  CPM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (must be held on entry).
+#define CPM_RELEASE(...) CPM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CPM_RELEASE_SHARED(...) \
+  CPM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ok`.
+#define CPM_TRY_ACQUIRE(ok, ...) \
+  CPM_THREAD_ANNOTATION(try_acquire_capability(ok, __VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock prevention for non-reentrant locks).
+#define CPM_EXCLUDES(...) CPM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations (deadlock prevention across capabilities).
+#define CPM_ACQUIRED_BEFORE(...) \
+  CPM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define CPM_ACQUIRED_AFTER(...) \
+  CPM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code the analysis
+/// cannot follow, e.g. callbacks invoked under a caller's lock).
+#define CPM_ASSERT_CAPABILITY(x) CPM_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define CPM_RETURN_CAPABILITY(x) CPM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs
+/// a comment explaining why the proof cannot be expressed.
+#define CPM_NO_THREAD_SAFETY_ANALYSIS \
+  CPM_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "cpm/common/mutex.hpp"
 
 namespace cpm {
 
@@ -47,8 +47,10 @@ unsigned parallel_for_index(std::size_t n, unsigned threads,
     lo += len;
   }
 
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // FirstError owns the mutex-guarded exception slot; Thread Safety
+  // Analysis proves every access goes through the lock (a bare
+  // exception_ptr captured by reference would be invisible to it).
+  FirstError first_error;
   std::atomic<bool> abort{false};
 
   auto claim = [&](Slice& s) -> std::size_t {
@@ -80,10 +82,7 @@ unsigned parallel_for_index(std::size_t n, unsigned threads,
       try {
         fn(i);
       } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
+        first_error.capture_current();
         abort.store(true, std::memory_order_relaxed);
         return;
       }
@@ -95,7 +94,7 @@ unsigned parallel_for_index(std::size_t n, unsigned threads,
   for (unsigned w = 1; w < want; ++w) pool.emplace_back(worker, w);
   worker(0);
   for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  first_error.rethrow_if_set();
   return want;
 }
 

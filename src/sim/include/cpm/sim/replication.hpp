@@ -10,15 +10,40 @@
 #include <cstdint>
 #include <vector>
 
+#include "cpm/common/mutex.hpp"
 #include "cpm/common/stats.hpp"
 #include "cpm/sim/simulator.hpp"
 
 namespace cpm::sim {
 
+/// Live progress counters for a replicate() run, updated by every pool
+/// worker as its replication finishes (Thread Safety Analysis proves the
+/// locking discipline). Purely observational: readers see monotonically
+/// growing counts, and nothing read from here feeds any aggregate, so
+/// polling mid-run can never perturb the deterministic result.
+class ReplicationProgress {
+ public:
+  /// Called by a worker when one replication completes.
+  void record(std::uint64_t events_fired) CPM_EXCLUDES(mutex_);
+
+  /// Replications finished so far.
+  [[nodiscard]] std::uint64_t completed() const CPM_EXCLUDES(mutex_);
+
+  /// Simulation events fired across the finished replications.
+  [[nodiscard]] std::uint64_t events_fired() const CPM_EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+  std::uint64_t completed_ CPM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t events_fired_ CPM_GUARDED_BY(mutex_) = 0;
+};
+
 struct ReplicationOptions {
   int replications = 10;
   int threads = 0;         ///< 0 = std::thread::hardware_concurrency()
   double confidence = 0.95;
+  /// Optional progress observer; must outlive the replicate() call.
+  ReplicationProgress* progress = nullptr;
 };
 
 struct ReplicatedClassResult {

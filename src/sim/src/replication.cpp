@@ -8,6 +8,22 @@
 
 namespace cpm::sim {
 
+void ReplicationProgress::record(std::uint64_t events_fired) {
+  const MutexLock lock(mutex_);
+  completed_ += 1;
+  events_fired_ += events_fired;
+}
+
+std::uint64_t ReplicationProgress::completed() const {
+  const MutexLock lock(mutex_);
+  return completed_;
+}
+
+std::uint64_t ReplicationProgress::events_fired() const {
+  const MutexLock lock(mutex_);
+  return events_fired_;
+}
+
 std::vector<std::uint64_t> replication_seeds(std::uint64_t base_seed,
                                              int replications) {
   require(replications >= 1, "replication_seeds: need >= 1 replication");
@@ -44,6 +60,7 @@ ReplicatedResult replicate(const SimConfig& base, const ReplicationOptions& opti
         SimConfig cfg = base;
         cfg.seed = seeds[i];
         results[i] = simulate(cfg);
+        if (options.progress) options.progress->record(results[i].events_fired);
       });
 
   ReplicatedResult agg;

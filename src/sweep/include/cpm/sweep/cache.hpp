@@ -20,6 +20,7 @@
 #include <string>
 
 #include "cpm/common/json.hpp"
+#include "cpm/common/mutex.hpp"
 
 namespace cpm::sweep {
 
@@ -43,6 +44,16 @@ struct CacheStats {
   std::map<std::string, std::size_t> by_engine;
 };
 
+/// What one ResultCache instance did during its lifetime. Counters are
+/// per-instance (not per-directory): two sweeps sharing a directory each
+/// see only their own traffic.
+struct CacheActivity {
+  std::uint64_t loads = 0;   ///< load() calls while enabled
+  std::uint64_t hits = 0;    ///< loads that returned a result
+  std::uint64_t misses = 0;  ///< loads that returned nullopt
+  std::uint64_t stores = 0;  ///< entries published
+};
+
 class ResultCache {
  public:
   explicit ResultCache(CacheOptions options);
@@ -64,8 +75,18 @@ class ResultCache {
   /// Walks the cache directory and aggregates entry statistics.
   [[nodiscard]] CacheStats stat() const;
 
+  /// Snapshot of this instance's hit/miss/store counters. The counters
+  /// are updated from every pool worker, so they live behind a mutex
+  /// (Thread Safety Analysis enforces the locking discipline).
+  [[nodiscard]] CacheActivity activity() const CPM_EXCLUDES(mutex_);
+
  private:
+  /// Reads and validates the on-disk entry (no counter updates).
+  [[nodiscard]] std::optional<Json> read_entry(const std::string& key) const;
+
   CacheOptions options_;
+  mutable Mutex mutex_;
+  mutable CacheActivity activity_ CPM_GUARDED_BY(mutex_);
 };
 
 /// $CPM_SWEEP_CACHE when set, else ".cpm-sweep-cache" (relative to the

@@ -13,7 +13,10 @@ namespace cpm::sweep {
 namespace fs = std::filesystem;
 
 std::string default_cache_dir() {
-  if (const char* env = std::getenv("CPM_SWEEP_CACHE"); env && *env)
+  // The cache location changes where results are stored, never what they
+  // are (the key captures everything result-bearing), so the environment
+  // read cannot break reproducibility.
+  if (const char* env = std::getenv("CPM_SWEEP_CACHE"); env && *env)  // conv-ok: DET-3
     return env;
   return ".cpm-sweep-cache";
 }
@@ -29,6 +32,16 @@ std::string ResultCache::path_for(const std::string& key) const {
 
 std::optional<Json> ResultCache::load(const std::string& key) const {
   if (!options_.enabled) return std::nullopt;
+  std::optional<Json> result = read_entry(key);
+  {
+    const MutexLock lock(mutex_);
+    ++activity_.loads;
+    ++(result ? activity_.hits : activity_.misses);
+  }
+  return result;
+}
+
+std::optional<Json> ResultCache::read_entry(const std::string& key) const {
   std::ifstream in(path_for(key));
   if (!in) return std::nullopt;
   std::ostringstream ss;
@@ -82,6 +95,13 @@ void ResultCache::store(const std::string& key,
     fs::remove(tmp, ec);
     throw Error("sweep cache: cannot publish '" + target.string() + "'");
   }
+  const MutexLock lock(mutex_);
+  ++activity_.stores;
+}
+
+CacheActivity ResultCache::activity() const {
+  const MutexLock lock(mutex_);
+  return activity_;
 }
 
 CacheStats ResultCache::stat() const {

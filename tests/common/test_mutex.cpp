@@ -1,0 +1,97 @@
+#include "cpm/common/mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace cpm {
+namespace {
+
+TEST(Mutex, LockUnlockRoundTrips) {
+  Mutex mutex;
+  mutex.lock();
+  mutex.unlock();
+  EXPECT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(Mutex, TryLockFailsWhileHeld) {
+  Mutex mutex;
+  const MutexLock lock(mutex);
+  // A second thread cannot take the mutex while the scoped lock holds it.
+  bool acquired = true;
+  std::thread probe([&] { acquired = mutex.try_lock(); });
+  probe.join();
+  EXPECT_FALSE(acquired);
+}
+
+TEST(MutexLock, GuardsCriticalSectionAcrossThreads) {
+  Mutex mutex;
+  long counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        const MutexLock lock(mutex);
+        ++counter;
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(FirstError, EmptyIsSilent) {
+  FirstError error;
+  EXPECT_FALSE(error.has_error());
+  EXPECT_NO_THROW(error.rethrow_if_set());
+}
+
+TEST(FirstError, KeepsOnlyTheFirstCapture) {
+  FirstError error;
+  try {
+    throw std::runtime_error("first");
+  } catch (...) {
+    error.capture_current();
+  }
+  try {
+    throw std::runtime_error("second");
+  } catch (...) {
+    error.capture_current();
+  }
+  EXPECT_TRUE(error.has_error());
+  EXPECT_THROW(
+      {
+        try {
+          error.rethrow_if_set();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "first");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(FirstError, ConcurrentCapturesStoreExactlyOne) {
+  FirstError error;
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&error, t] {
+      try {
+        throw std::runtime_error("worker " + std::to_string(t));
+      } catch (...) {
+        error.capture_current();
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(error.has_error());
+  EXPECT_THROW(error.rethrow_if_set(), std::runtime_error);
+  // Rethrowing does not consume the stored error: replays see the same one.
+  EXPECT_THROW(error.rethrow_if_set(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cpm

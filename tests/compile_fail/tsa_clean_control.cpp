@@ -1,0 +1,34 @@
+// Positive control: correct locking discipline MUST compile cleanly under
+// -Wthread-safety -Wthread-safety-beta -Werror. If this target goes red,
+// the compile-fail harness (or the annotation macros) is broken, and the
+// red results of the tsa_* siblings prove nothing.
+#include "cpm/common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() CPM_EXCLUDES(mutex_) {
+    const cpm::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  [[nodiscard]] int value() const CPM_EXCLUDES(mutex_) {
+    const cpm::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable cpm::Mutex mutex_;
+  int value_ CPM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int tsa_case_entry() {
+  Counter counter;
+  counter.bump();
+  cpm::FirstError first_error;
+  first_error.rethrow_if_set();
+  return counter.value();
+}

@@ -1,0 +1,23 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: writes a
+// CPM_GUARDED_BY member without holding its mutex.
+#include "cpm/common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG: touches value_ with mutex_ not held.
+  void bump() { ++value_; }
+
+ private:
+  cpm::Mutex mutex_;
+  int value_ CPM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int tsa_case_entry() {
+  Counter counter;
+  counter.bump();
+  return 0;
+}

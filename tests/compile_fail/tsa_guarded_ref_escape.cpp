@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: returns a reference to
+// guarded data, letting callers mutate it after the lock is gone — the
+// escape pattern the FirstError refactor in cpm/common/parallel.cpp
+// exists to prevent.
+#include "cpm/common/mutex.hpp"
+
+namespace {
+
+class Holder {
+ public:
+  // BUG: hands out guarded state without the capability (and the caller
+  // could never prove it holds mutex_ anyway).
+  int& leak() { return value_; }
+
+ private:
+  cpm::Mutex mutex_;
+  int value_ CPM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int tsa_case_entry() {
+  Holder holder;
+  holder.leak() = 42;
+  return 0;
+}

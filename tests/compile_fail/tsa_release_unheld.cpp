@@ -1,0 +1,11 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: releases a capability
+// that was never acquired (the unlock-without-lock half of an unbalanced
+// acquire/release pair).
+#include "cpm/common/mutex.hpp"
+
+int tsa_case_entry() {
+  cpm::Mutex mutex;
+  // BUG: unlock with the mutex not held.
+  mutex.unlock();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: calls a CPM_REQUIRES
+// function without holding the required mutex.
+#include "cpm/common/mutex.hpp"
+
+namespace {
+
+class Registry {
+ public:
+  void bump_locked() CPM_REQUIRES(mutex_) { ++value_; }
+
+  // BUG: the precondition of bump_locked is not established.
+  void update() { bump_locked(); }
+
+ private:
+  cpm::Mutex mutex_;
+  int value_ CPM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int tsa_case_entry() {
+  Registry registry;
+  registry.update();
+  return 0;
+}

@@ -1,6 +1,8 @@
 #!/usr/bin/env python3
 """Repo-convention linter for the C++ sources (the cheap, grep-level
-checks clang-tidy does not cover). Enforced rules:
+checks clang-tidy does not cover).
+
+Convention rules:
 
   CONV-1  library code (src/**) must not use rand()/srand(): every random
           draw goes through cpm::RandomStream so replications are
@@ -14,37 +16,263 @@ checks clang-tidy does not cover). Enforced rules:
   CONV-5  library code must not compare doubles with exact == / != —
           interval endpoints, utilisations and delays carry rounding;
           use explicit tolerances or restructure. Comparisons against
-          the exact literal 0.0 are allowed (sign tests are well-defined),
-          and a trailing "// conv-ok: CONV-5" comment waives a line that
-          is deliberately bit-exact.
+          the exact literal 0.0 are allowed (sign tests are well-defined).
   CONV-6  library code must not use assert(): it vanishes under NDEBUG.
           Use cpm::require(), which throws cpm::Error in every build.
 
-Usage: tools/lint_cpp.py [root]    (root defaults to the repo root)
+Determinism rules (DET): the repo's headline guarantees — byte-identical
+sharded sweeps, same-seed cpm-online/v1 timelines, thread-count-invariant
+replicate() — die silently when a library path reads ambient state. These
+rules ban the ambient-state entry points at the source level:
+
+  DET-1   library code must not use std::random_device: it is a fresh
+          entropy source per call, so no two runs can ever agree. Seeds
+          come in through configs and flow through cpm::RandomStream.
+  DET-2   library code must not read the wall clock (system_clock,
+          time(nullptr), gettimeofday, localtime, mktime): results would
+          depend on when the run happened. steady_clock is fine — it is
+          only valid for durations, which land in provenance sidecars.
+  DET-3   library code must not read the environment (getenv): two hosts
+          with different environments would compute different results.
+          Configuration enters through explicit options structs.
+  DET-4   library code must not iterate an unordered_{map,set}: the visit
+          order is hash-seed- and libc++-version-dependent, so any
+          serialization or float accumulation fed from the loop differs
+          across builds. Iterate a sorted std::map/std::set, or sort keys
+          first. (Insert/lookup-only use of unordered containers is fine
+          and encouraged — only iteration is order-sensitive.)
+  DET-5   library code must not format or hash pointer addresses
+          (%p, streaming static_cast<void*>, std::hash<T*>,
+          reinterpret_cast to uintptr_t): ASLR makes addresses differ
+          every run, so any output or key containing one is unstable.
+
+All rules skip comments and string/char literals (a "std::cout" inside a
+doc string is prose, not a violation) — except the %p half of DET-5,
+which by nature lives inside format strings and is matched there.
+
+A trailing "// conv-ok: RULE-ID" comment waives that rule for the line
+(comma-separate to waive several); every waiver should carry a nearby
+comment explaining why the line is sound.
+
+Usage: tools/lint_cpp.py [root] [--format text|sarif] [--out FILE]
 Exit code 0 when clean, 1 when any violation is found.
 """
+import argparse
+import json
 import re
 import sys
 from pathlib import Path
 
+# ---------------------------------------------------------------------------
+# Source views: strip comments and literals so patterns only see code.
+# ---------------------------------------------------------------------------
+
+
+def source_views(text: str) -> tuple[list[str], list[str]]:
+    """Splits `text` into lines rendered in two views:
+
+    * code view: comments AND string/char-literal contents blanked,
+    * nocomment view: only comments blanked (literals kept).
+
+    Both views preserve line count and column positions (stripped spans
+    become spaces), so reported line numbers match the original file.
+    """
+    code: list[str] = []
+    nocomment: list[str] = []
+    code_line: list[str] = []
+    nc_line: list[str] = []
+
+    CODE, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW = range(6)
+    state = CODE
+    raw_delim = ""  # the )delim" terminator of an active raw string
+    prev_code_char = ""  # last non-space char emitted in CODE state
+
+    def emit(code_ch: str, nc_ch: str) -> None:
+        code_line.append(code_ch)
+        nc_line.append(nc_ch)
+
+    def newline() -> None:
+        nonlocal code_line, nc_line
+        code.append("".join(code_line))
+        nocomment.append("".join(nc_line))
+        code_line = []
+        nc_line = []
+
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            if state == LINE_COMMENT:
+                state = CODE
+            newline()
+            i += 1
+            continue
+
+        if state == CODE:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                emit(" ", " ")
+                emit(" ", " ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                emit(" ", " ")
+                emit(" ", " ")
+                i += 2
+                continue
+            # Raw string literal: R"delim( ... )delim" (any prefix u8R etc.
+            # ends in R). The body is blanked in the code view only.
+            if c == '"' and prev_code_char.endswith("R"):
+                close = text.find("(", i + 1)
+                if close != -1 and close - i <= 17:
+                    raw_delim = ")" + text[i + 1 : close] + '"'
+                    state = RAW
+                    emit('"', '"')
+                    i += 1
+                    continue
+            if c == '"':
+                state = STRING
+                emit('"', '"')
+                i += 1
+                continue
+            # A single quote opens a char literal only in operator/delimiter
+            # context; after an identifier or digit it is a digit separator
+            # (1'000'000) or literal suffix and stays plain code.
+            if c == "'" and not (prev_code_char and
+                                 (prev_code_char.isalnum() or
+                                  prev_code_char == "_")):
+                state = CHAR
+                emit("'", "'")
+                i += 1
+                continue
+            emit(c, c)
+            if not c.isspace():
+                prev_code_char = c
+            i += 1
+            continue
+
+        if state == LINE_COMMENT:
+            emit(" ", " ")
+            i += 1
+            continue
+
+        if state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = CODE
+                emit(" ", " ")
+                emit(" ", " ")
+                i += 2
+                continue
+            emit(" ", " ")
+            i += 1
+            continue
+
+        if state == STRING:
+            if c == "\\" and nxt:
+                emit(" ", "\\")
+                emit(" ", nxt if nxt != "\n" else " ")
+                if nxt == "\n":
+                    newline()
+                i += 2
+                continue
+            if c == '"':
+                state = CODE
+                prev_code_char = '"'
+                emit('"', '"')
+                i += 1
+                continue
+            emit(" ", c)
+            i += 1
+            continue
+
+        if state == CHAR:
+            if c == "\\" and nxt:
+                emit(" ", " ")
+                emit(" ", " ")
+                i += 2
+                continue
+            if c == "'":
+                state = CODE
+                prev_code_char = "'"
+                emit("'", "'")
+                i += 1
+                continue
+            emit(" ", " ")
+            i += 1
+            continue
+
+        # RAW string body: blanked in code view, kept in nocomment view.
+        if text.startswith(raw_delim, i):
+            for ch in raw_delim:
+                emit(ch if ch in ')"' else " ", ch)
+            i += len(raw_delim)
+            state = CODE
+            prev_code_char = '"'
+            continue
+        emit(" ", c)
+        i += 1
+
+    newline()
+    return code, nocomment
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+# (id, applies-to-library-sources-only, headers-only, view, regex, message)
+# view: "code" = comments + literal contents stripped, "nocomment" =
+# comments stripped but literals kept (for patterns that target format
+# strings).
 RULES = [
-    # (id, applies-to-library-sources-only, headers-only, regex, message)
-    ("CONV-1", True, False, re.compile(r"\b(?:s?rand)\s*\("),
+    ("CONV-1", True, False, "code", re.compile(r"\b(?:s?rand)\s*\("),
      "rand()/srand() in library code: use cpm::RandomStream"),
-    ("CONV-2", True, False, re.compile(r"\bstd::c(?:out|err)\b"),
+    ("CONV-2", True, False, "code", re.compile(r"\bstd::c(?:out|err)\b"),
      "stream output in library code: return values or throw cpm::Error"),
-    ("CONV-4", False, True, re.compile(r"^\s*using\s+namespace\b"),
+    ("CONV-4", False, True, "code", re.compile(r"^\s*using\s+namespace\b"),
      "using-namespace in a header leaks into every includer"),
-    ("CONV-6", True, False, re.compile(r"(?<![\w.])assert\s*\("),
+    ("CONV-6", True, False, "code", re.compile(r"(?<![\w.])assert\s*\("),
      "assert() vanishes under NDEBUG: use cpm::require()"),
+    ("DET-1", True, False, "code", re.compile(r"(?<!\w)random_device(?!\w)"),
+     "std::random_device is fresh entropy per call: seeds must come from "
+     "the config and flow through cpm::RandomStream"),
+    ("DET-2", True, False, "code", re.compile(
+        r"(?<!\w)(?:system_clock|gettimeofday|localtime|mktime)(?!\w)"
+        r"|(?<![\w.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "wall-clock read in library code: results would depend on when the "
+     "run happened (steady_clock durations for provenance are fine)"),
+    ("DET-3", True, False, "code", re.compile(r"(?<!\w)getenv(?!\w)"),
+     "environment read in library code: configuration enters through "
+     "explicit options structs, not ambient host state"),
+    ("DET-5", True, False, "code", re.compile(
+        r"std::hash<[^<>]*\*\s*>"
+        r"|static_cast<\s*(?:const\s+)?void\s*\*\s*>"
+        r"|reinterpret_cast<\s*(?:std::)?u?intptr_t"),
+     "pointer address in an output/key path: ASLR makes it differ every "
+     "run"),
+    ("DET-5", True, False, "nocomment", re.compile(r"%p(?![\w])"),
+     "%p formats a pointer address: ASLR makes it differ every run"),
 ]
 
-CODE_LINE = re.compile(r"^\s*(?://|\*|/\*)")  # comment-only lines
+# DET-4 needs file-level context (which identifiers are unordered
+# containers), so it is implemented as a dedicated pass below.
+UNORDERED_DECL = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s*[&*]?\s*"
+    r"(\w+)\s*(?:[;={(,)]|$)")
+RANGE_FOR = re.compile(r"\bfor\s*\(\s*[^;()]*:\s*(?:\w+\.)*(\w+)\s*\)")
+BEGIN_CALL = re.compile(r"(?<!\w)(\w+)\s*\.\s*(?:begin|cbegin|rbegin)\s*\(")
+
+DET4_MESSAGE = (
+    "iteration over an unordered container: visit order is hash-seed-"
+    "dependent, so serialized or accumulated results differ across "
+    "builds — iterate a sorted std::map/set or sort the keys first")
 
 # CONV-5: exact ==/!= where either side is a floating-point expression —
-# a double literal (1.0, 1e-9, .5) or a call/member spelled like the
-# numeric accessors (.mean(), .scv(), .lo, .hi). Kept deliberately
-# grep-level: a float literal adjacent to ==/!= is the high-signal case.
+# a double literal (1.0, 1e-9, .5). Kept deliberately grep-level: a float
+# literal adjacent to ==/!= is the high-signal case.
 FLOAT_LITERAL = r"(?<![\w.])(?:\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)(?![\w.])"
 FLOAT_EQ = re.compile(
     rf"{FLOAT_LITERAL}\s*[!=]=|[!=]=\s*{FLOAT_LITERAL}")
@@ -52,9 +280,25 @@ ZERO_LITERAL = re.compile(
     rf"(?<![\w.])0+\.0*(?:[eE][-+]?\d+)?\s*[!=]=|[!=]=\s*(?<![\w.])0+\.0*(?:[eE][-+]?\d+)?(?![\w.])")
 WAIVER = re.compile(r"//\s*conv-ok:\s*([A-Z0-9-]+(?:\s*,\s*[A-Z0-9-]+)*)")
 
+# Registry for SARIF rule metadata: id -> short description.
+RULE_HELP = {
+    "CONV-1": "No rand()/srand() in library code",
+    "CONV-2": "No stream output in library code",
+    "CONV-3": "Headers start with #pragma once",
+    "CONV-4": "No using-namespace in headers",
+    "CONV-5": "No exact ==/!= on doubles in library code",
+    "CONV-6": "No assert() in library code",
+    "DET-1": "No std::random_device in library code",
+    "DET-2": "No wall-clock reads in library code",
+    "DET-3": "No environment reads in library code",
+    "DET-4": "No iteration over unordered containers in library code",
+    "DET-5": "No pointer-address formatting or hashing in library code",
+}
 
-def waived(line: str, rule: str) -> bool:
-    m = WAIVER.search(line)
+
+def waived(raw_line: str, rule: str) -> bool:
+    """Waivers live in comments, so they are matched on the RAW line."""
+    m = WAIVER.search(raw_line)
     return bool(m) and rule in re.split(r"\s*,\s*", m.group(1))
 
 
@@ -67,41 +311,142 @@ def conv5_violates(line: str) -> bool:
     return bool(FLOAT_EQ.search(stripped))
 
 
-def lint_file(path: Path, in_library: bool) -> list[str]:
+class Violation:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def unordered_names(code_lines: list[str]) -> set[str]:
+    """Identifiers declared as unordered containers anywhere in the file."""
+    names = set()
+    for line in code_lines:
+        for m in UNORDERED_DECL.finditer(line):
+            names.add(m.group(1))
+    return names
+
+
+def lint_file(path: Path, in_library: bool) -> list[Violation]:
     text = path.read_text(encoding="utf-8")
     is_header = path.suffix == ".hpp"
-    errors = []
+    raw_lines = text.splitlines()
+    code_lines, nocomment_lines = source_views(text)
+    violations = []
     if is_header and "#pragma once" not in text:
-        errors.append(f"{path}:1: [CONV-3] header lacks #pragma once")
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        if CODE_LINE.match(line):
-            continue
-        for rule, library_only, headers_only, pattern, message in RULES:
+        violations.append(
+            Violation(path, 1, "CONV-3", "header lacks #pragma once"))
+
+    unordered = unordered_names(code_lines) if in_library else set()
+
+    for lineno, raw in enumerate(raw_lines, start=1):
+        code = code_lines[lineno - 1]
+        nocomment = nocomment_lines[lineno - 1]
+        for rule, library_only, headers_only, view, pattern, message in RULES:
             if library_only and not in_library:
                 continue
             if headers_only and not is_header:
                 continue
-            if pattern.search(line) and not waived(line, rule):
-                errors.append(f"{path}:{lineno}: [{rule}] {message}")
-        if in_library and conv5_violates(line) and not waived(line, "CONV-5"):
-            errors.append(
-                f"{path}:{lineno}: [CONV-5] exact ==/!= on a double: "
-                "use a tolerance (or waive with // conv-ok: CONV-5)")
-    return errors
+            subject = code if view == "code" else nocomment
+            if pattern.search(subject) and not waived(raw, rule):
+                violations.append(Violation(path, lineno, rule, message))
+        if in_library and conv5_violates(code) and not waived(raw, "CONV-5"):
+            violations.append(Violation(
+                path, lineno, "CONV-5",
+                "exact ==/!= on a double: use a tolerance "
+                "(or waive with // conv-ok: CONV-5)"))
+        if in_library and unordered and not waived(raw, "DET-4"):
+            iterated = {m.group(1) for m in RANGE_FOR.finditer(code)}
+            iterated |= {m.group(1) for m in BEGIN_CALL.finditer(code)}
+            if iterated & unordered:
+                violations.append(Violation(path, lineno, "DET-4",
+                                            DET4_MESSAGE))
+    return violations
 
 
-def main() -> int:
-    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
-    errors = []
+# ---------------------------------------------------------------------------
+# Output
+# ---------------------------------------------------------------------------
+
+
+def to_sarif(violations: list[Violation], root: Path) -> dict:
+    rules = [{
+        "id": rule_id,
+        "shortDescription": {"text": short},
+        "defaultConfiguration": {"level": "error"},
+    } for rule_id, short in sorted(RULE_HELP.items())]
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results = []
+    for v in violations:
+        try:
+            uri = str(v.path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            uri = str(v.path)
+        results.append({
+            "ruleId": v.rule,
+            "ruleIndex": rule_index[v.rule],
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {"startLine": v.line},
+                }
+            }],
+        })
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                    "master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "lint_cpp",
+                    "informationUri":
+                        "https://example.invalid/cpm/tools/lint_cpp.py",
+                    "rules": rules,
+                }
+            },
+            "results": results,
+        }],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Repo-convention and determinism linter for C++ sources")
+    parser.add_argument("root", nargs="?", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("--format", choices=("text", "sarif"),
+                        default="text")
+    parser.add_argument("--out", default=None,
+                        help="write the report here instead of stdout")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root) if args.root else Path(__file__).parent.parent
+    violations: list[Violation] = []
     for pattern, in_library in (("src/**/*.[ch]pp", True),
                                 ("tools/**/*.[ch]pp", False),
                                 ("tests/**/*.[ch]pp", False)):
         for path in sorted(root.glob(pattern)):
-            errors.extend(lint_file(path, in_library))
-    for error in errors:
-        print(error)
-    print(f"lint_cpp: {len(errors)} violation(s)")
-    return 1 if errors else 0
+            violations.extend(lint_file(path, in_library))
+
+    if args.format == "sarif":
+        report = json.dumps(to_sarif(violations, root), indent=2) + "\n"
+    else:
+        report = "".join(v.render() + "\n" for v in violations)
+        report += f"lint_cpp: {len(violations)} violation(s)\n"
+    if args.out:
+        Path(args.out).write_text(report, encoding="utf-8")
+        if args.format == "text":
+            sys.stdout.write(report)
+    else:
+        sys.stdout.write(report)
+    return 1 if violations else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""clang-tidy ratchet runner.
+
+Runs the curated .clang-tidy check set over the library and tool sources
+and compares the diagnostic counts against a committed baseline
+(tools/clang_tidy_baseline.json). The gate is a one-way ratchet:
+
+  * any check whose count EXCEEDS its baseline count fails the run
+    (exit 1) — new debt cannot land;
+  * counts below baseline succeed but print a reminder to ratchet the
+    baseline down (--update-baseline rewrites it);
+  * --update-baseline refuses to RAISE the total (that would be a
+    regression dressed up as maintenance); pass --allow-increase after a
+    deliberate decision, e.g. enabling a new check in .clang-tidy.
+
+Diagnostics are deduplicated on (file, line, column, check): a header
+diagnosed through five translation units is one finding, not five.
+--warnings-as-errors=-* is forced so the WarningsAsErrors profile in
+.clang-tidy cannot turn counting runs into hard failures; severity is
+the baseline's job here.
+
+Usage:
+  tools/run_clang_tidy.py [--build-dir build] [--baseline FILE]
+                          [--update-baseline] [--allow-increase]
+                          [--sarif FILE] [--jobs N] [--clang-tidy BIN]
+                          [paths ...]        (default: src tools)
+
+Exit codes: 0 ok, 1 ratchet regression, 3 environment error (no
+clang-tidy binary, no compile_commands.json).
+"""
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+BASELINE_SCHEMA = "cpm-clang-tidy-baseline/v1"
+
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<msg>.*) \[(?P<checks>[\w.,*-]+)\]$")
+
+
+class Diagnostic:
+    def __init__(self, file: str, line: int, col: int, msg: str, check: str):
+        self.file = file
+        self.line = line
+        self.col = col
+        self.msg = msg
+        self.check = check
+
+    def key(self):
+        return (self.file, self.line, self.col, self.check)
+
+
+def parse_diagnostics(output: str, root: Path) -> list[Diagnostic]:
+    diags = []
+    for line in output.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if not m:
+            continue
+        path = Path(m.group("file"))
+        try:
+            rel = str(path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            rel = str(path)
+        # A diagnostic may carry several check names; attribute to the
+        # first (clang-tidy's own convention for aliases).
+        check = m.group("checks").split(",")[0]
+        diags.append(Diagnostic(rel, int(m.group("line")),
+                                int(m.group("col")), m.group("msg"), check))
+    return diags
+
+
+def dedupe(diags: list[Diagnostic]) -> list[Diagnostic]:
+    seen = set()
+    unique = []
+    for d in diags:
+        if d.key() in seen:
+            continue
+        seen.add(d.key())
+        unique.append(d)
+    return unique
+
+
+def count_by_check(diags: list[Diagnostic]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for d in diags:
+        counts[d.check] = counts.get(d.check, 0) + 1
+    return counts
+
+
+def load_baseline(path: Path) -> dict:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise SystemExit(f"error: {path} is not a {BASELINE_SCHEMA} document")
+    return doc
+
+
+def baseline_doc(counts: dict[str, int]) -> dict:
+    return {
+        "schema": BASELINE_SCHEMA,
+        "total": sum(counts.values()),
+        "by_check": dict(sorted(counts.items())),
+    }
+
+
+def compare(counts: dict[str, int], baseline: dict) -> tuple[list[str], bool]:
+    """Returns (regression messages, improved?)."""
+    base_counts = baseline.get("by_check", {})
+    regressions = []
+    for check in sorted(set(counts) | set(base_counts)):
+        now = counts.get(check, 0)
+        allowed = base_counts.get(check, 0)
+        if now > allowed:
+            regressions.append(
+                f"  {check}: {now} finding(s), baseline allows {allowed}")
+    improved = sum(counts.values()) < baseline.get("total", 0)
+    return regressions, improved
+
+
+def to_sarif(diags: list[Diagnostic]) -> dict:
+    checks = sorted({d.check for d in diags})
+    rule_index = {c: i for i, c in enumerate(checks)}
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                    "master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "clang-tidy",
+                    "rules": [{"id": c} for c in checks],
+                }
+            },
+            "results": [{
+                "ruleId": d.check,
+                "ruleIndex": rule_index[d.check],
+                "level": "warning",
+                "message": {"text": d.msg},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.file},
+                        "region": {"startLine": d.line,
+                                   "startColumn": d.col},
+                    }
+                }],
+            } for d in diags],
+        }],
+    }
+
+
+def collect_sources(root: Path, paths: list[str]) -> list[Path]:
+    sources = []
+    for top in paths:
+        sources.extend(sorted((root / top).rglob("*.cpp")))
+    return sources
+
+
+def run_one(binary: str, build_dir: Path, source: Path) -> str:
+    proc = subprocess.run(
+        [binary, "-p", str(build_dir), "--warnings-as-errors=-*",
+         str(source)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        check=False)
+    return proc.stdout
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="source roots relative to the repo root "
+                             "(default: src tools)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree with compile_commands.json")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON "
+                             "(default: tools/clang_tidy_baseline.json)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run's counts")
+    parser.add_argument("--allow-increase", action="store_true",
+                        help="let --update-baseline raise the total")
+    parser.add_argument("--sarif", default=None,
+                        help="write diagnostics as SARIF 2.1.0 here")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, os.cpu_count() or 1))
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary to invoke")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root) if args.root else Path(__file__).parent.parent
+    build_dir = Path(args.build_dir)
+    if not build_dir.is_absolute():
+        build_dir = root / build_dir
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else root / "tools" / "clang_tidy_baseline.json")
+
+    if shutil.which(args.clang_tidy) is None:
+        print(f"error: '{args.clang_tidy}' not found on PATH",
+              file=sys.stderr)
+        return 3
+    if not (build_dir / "compile_commands.json").exists():
+        print(f"error: {build_dir}/compile_commands.json missing — "
+              "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON",
+              file=sys.stderr)
+        return 3
+
+    sources = collect_sources(root, args.paths or ["src", "tools"])
+    if not sources:
+        print("error: no .cpp sources found", file=sys.stderr)
+        return 3
+
+    diags: list[Diagnostic] = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        outputs = pool.map(
+            lambda s: run_one(args.clang_tidy, build_dir, s), sources)
+        for output in outputs:
+            diags.extend(parse_diagnostics(output, root))
+    diags = dedupe(diags)
+    diags.sort(key=Diagnostic.key)
+    counts = count_by_check(diags)
+    total = sum(counts.values())
+
+    for d in diags:
+        print(f"{d.file}:{d.line}:{d.col}: {d.msg} [{d.check}]")
+    print(f"run_clang_tidy: {total} finding(s) across {len(sources)} "
+          "source file(s)")
+
+    if args.sarif:
+        Path(args.sarif).write_text(
+            json.dumps(to_sarif(diags), indent=2) + "\n", encoding="utf-8")
+
+    if args.update_baseline:
+        if baseline_path.exists():
+            old_total = load_baseline(baseline_path).get("total", 0)
+            if total > old_total and not args.allow_increase:
+                print(f"error: refusing to raise the baseline "
+                      f"({old_total} -> {total}); the ratchet only turns "
+                      "down (pass --allow-increase if this is deliberate, "
+                      "e.g. a newly enabled check)", file=sys.stderr)
+                return 1
+        baseline_path.write_text(
+            json.dumps(baseline_doc(counts), indent=2) + "\n",
+            encoding="utf-8")
+        print(f"baseline updated: {baseline_path} (total {total})")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"error: baseline {baseline_path} missing — create it with "
+              "--update-baseline", file=sys.stderr)
+        return 3
+    baseline = load_baseline(baseline_path)
+    regressions, improved = compare(counts, baseline)
+    if regressions:
+        print("clang-tidy ratchet REGRESSION "
+              f"(baseline total {baseline.get('total', 0)}):")
+        for r in regressions:
+            print(r)
+        return 1
+    if improved:
+        print(f"ratchet can tighten: {total} finding(s) < baseline "
+              f"{baseline.get('total', 0)} — rerun with --update-baseline "
+              "and commit the new baseline")
+    else:
+        print("clang-tidy ratchet OK (no regression)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

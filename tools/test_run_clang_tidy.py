@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/run_clang_tidy.py. clang-tidy itself is not
+required: end-to-end cases run against a stub binary that emits canned
+diagnostics, so the ratchet logic (parse, dedupe, compare, baseline
+update refusal, SARIF) is testable on any machine.
+
+Run directly (python3 tools/test_run_clang_tidy.py) or through ctest
+(clang_tidy_ratchet_unit_tests).
+"""
+import json
+import os
+import stat
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+import run_clang_tidy as rct  # noqa: E402
+
+STUB = """#!/bin/sh
+# Fake clang-tidy: last argument is the source file; diagnostics depend
+# on its name so tests can stage clean and dirty trees.
+for last; do :; done
+case "$last" in
+  *dirty*)
+    echo "$last:3:5: warning: do not do the thing [bugprone-thing]"
+    echo "$last:9:1: warning: slow loop [performance-loop]"
+    ;;
+esac
+exit 0
+"""
+
+
+class ParseTest(unittest.TestCase):
+    def test_parses_warning_lines(self):
+        out = ("/r/src/a.cpp:12:3: warning: msg text [bugprone-x]\n"
+               "note: expanded from here\n"
+               "random noise\n")
+        diags = rct.parse_diagnostics(out, Path("/r"))
+        self.assertEqual(len(diags), 1)
+        d = diags[0]
+        self.assertEqual((d.file, d.line, d.col, d.check),
+                         ("src/a.cpp", 12, 3, "bugprone-x"))
+
+    def test_error_severity_and_alias_checks(self):
+        out = "/r/t.cpp:1:1: error: bad [bugprone-x,cert-err34-c]\n"
+        diags = rct.parse_diagnostics(out, Path("/r"))
+        self.assertEqual(diags[0].check, "bugprone-x")
+
+    def test_dedupe_collapses_header_repeats(self):
+        out = "/r/src/h.hpp:4:2: warning: m [bugprone-x]\n"
+        diags = rct.parse_diagnostics(out * 3, Path("/r"))
+        self.assertEqual(len(rct.dedupe(diags)), 1)
+
+
+class CompareTest(unittest.TestCase):
+    def baseline(self, by_check):
+        return {"schema": rct.BASELINE_SCHEMA,
+                "total": sum(by_check.values()), "by_check": by_check}
+
+    def test_within_baseline_is_ok(self):
+        regressions, improved = rct.compare(
+            {"bugprone-x": 2}, self.baseline({"bugprone-x": 2}))
+        self.assertEqual(regressions, [])
+        self.assertFalse(improved)
+
+    def test_count_increase_is_regression(self):
+        regressions, _ = rct.compare(
+            {"bugprone-x": 3}, self.baseline({"bugprone-x": 2}))
+        self.assertEqual(len(regressions), 1)
+        self.assertIn("bugprone-x", regressions[0])
+
+    def test_new_check_is_regression(self):
+        regressions, _ = rct.compare(
+            {"bugprone-new": 1}, self.baseline({"bugprone-x": 2}))
+        self.assertEqual(len(regressions), 1)
+        self.assertIn("bugprone-new", regressions[0])
+
+    def test_decrease_reports_improvement(self):
+        regressions, improved = rct.compare(
+            {"bugprone-x": 1}, self.baseline({"bugprone-x": 2}))
+        self.assertEqual(regressions, [])
+        self.assertTrue(improved)
+
+    def test_trading_checks_is_still_a_regression(self):
+        # One check dropping cannot pay for another check rising.
+        regressions, _ = rct.compare(
+            {"bugprone-x": 0, "performance-y": 1},
+            self.baseline({"bugprone-x": 5, "performance-y": 0}))
+        self.assertEqual(len(regressions), 1)
+        self.assertIn("performance-y", regressions[0])
+
+
+class EndToEndTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self.tmp.name)
+        (self.root / "tools").mkdir()
+        (self.root / "build").mkdir()
+        (self.root / "build" / "compile_commands.json").write_text(
+            "[]", encoding="utf-8")
+        self.stub = self.root / "fake-clang-tidy"
+        self.stub.write_text(STUB, encoding="utf-8")
+        self.stub.chmod(self.stub.stat().st_mode | stat.S_IXUSR)
+        self.baseline = self.root / "tools" / "clang_tidy_baseline.json"
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write_baseline(self, by_check):
+        self.baseline.write_text(json.dumps({
+            "schema": rct.BASELINE_SCHEMA,
+            "total": sum(by_check.values()),
+            "by_check": by_check,
+        }), encoding="utf-8")
+
+    def stage(self, name):
+        (self.root / "src").mkdir(exist_ok=True)
+        (self.root / "src" / name).write_text("int x;\n", encoding="utf-8")
+
+    def run_main(self, *extra):
+        return rct.main(["--root", str(self.root),
+                         "--build-dir", str(self.root / "build"),
+                         "--clang-tidy", str(self.stub), "src", *extra])
+
+    def test_clean_tree_passes_zero_baseline(self):
+        self.stage("clean.cpp")
+        self.write_baseline({})
+        self.assertEqual(self.run_main(), 0)
+
+    def test_findings_over_zero_baseline_fail(self):
+        self.stage("dirty.cpp")
+        self.write_baseline({})
+        self.assertEqual(self.run_main(), 1)
+
+    def test_findings_within_baseline_pass(self):
+        self.stage("dirty.cpp")
+        self.write_baseline({"bugprone-thing": 1, "performance-loop": 1})
+        self.assertEqual(self.run_main(), 0)
+
+    def test_update_baseline_writes_counts(self):
+        self.stage("dirty.cpp")
+        self.assertEqual(self.run_main("--update-baseline"), 0)
+        doc = json.loads(self.baseline.read_text(encoding="utf-8"))
+        self.assertEqual(doc["total"], 2)
+        self.assertEqual(doc["by_check"],
+                         {"bugprone-thing": 1, "performance-loop": 1})
+
+    def test_update_refuses_to_raise_total(self):
+        self.stage("dirty.cpp")
+        self.write_baseline({})  # total 0, run finds 2
+        self.assertEqual(self.run_main("--update-baseline"), 1)
+        doc = json.loads(self.baseline.read_text(encoding="utf-8"))
+        self.assertEqual(doc["total"], 0)  # untouched
+        self.assertEqual(self.run_main("--update-baseline",
+                                       "--allow-increase"), 0)
+        doc = json.loads(self.baseline.read_text(encoding="utf-8"))
+        self.assertEqual(doc["total"], 2)
+
+    def test_sarif_artifact_shape(self):
+        self.stage("dirty.cpp")
+        self.write_baseline({"bugprone-thing": 1, "performance-loop": 1})
+        sarif = self.root / "tidy.sarif"
+        self.assertEqual(self.run_main("--sarif", str(sarif)), 0)
+        doc = json.loads(sarif.read_text(encoding="utf-8"))
+        self.assertEqual(doc["version"], "2.1.0")
+        run = doc["runs"][0]
+        self.assertEqual(run["tool"]["driver"]["name"], "clang-tidy")
+        self.assertEqual(len(run["results"]), 2)
+        self.assertEqual(
+            {r["ruleId"] for r in run["results"]},
+            {"bugprone-thing", "performance-loop"})
+
+    def test_missing_compile_commands_is_environment_error(self):
+        self.stage("clean.cpp")
+        self.write_baseline({})
+        os.remove(self.root / "build" / "compile_commands.json")
+        self.assertEqual(self.run_main(), 3)
+
+    def test_missing_baseline_is_environment_error(self):
+        self.stage("clean.cpp")
+        self.assertEqual(self.run_main(), 3)
+
+
+if __name__ == "__main__":
+    unittest.main()

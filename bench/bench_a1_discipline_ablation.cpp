@@ -23,9 +23,9 @@ int main() {
                    queueing::Discipline::kProcessorSharing,
                    queueing::Discipline::kFcfs}) {
       std::vector<core::WorkloadClass> classes = base.classes();
-      classes[0].sla.max_mean_e2e_delay = gold_sla;
-      classes[1].sla.max_mean_e2e_delay = 0.60;
-      classes[2].sla.max_mean_e2e_delay = 2.00;
+      classes[0].sla.max_mean_e2e_delay = units::seconds(gold_sla);
+      classes[1].sla.max_mean_e2e_delay = units::seconds(0.60);
+      classes[2].sla.max_mean_e2e_delay = units::seconds(2.00);
       const core::ClusterModel model =
           core::ClusterModel(base.tiers(), classes).with_discipline(d);
 
@@ -39,8 +39,8 @@ int main() {
           .add(gold_sla, 2)
           .add(queueing::discipline_name(d))
           .add(r.total_cost, 2)
-          .add(r.evaluation.net.e2e_delay[0])
-          .add(r.evaluation.net.e2e_delay[2]);
+          .add(r.evaluation.net.e2e_delay[0].value())
+          .add(r.evaluation.net.e2e_delay[2].value());
     }
   }
   t.print(std::cout);

@@ -14,8 +14,8 @@ namespace {
 cpm::core::ClusterModel model_with_alpha(double alpha) {
   using namespace cpm;
   const auto base = core::make_enterprise_model(0.7);
-  const power::ServerPower sp(150.0, 250.0, alpha,
-                              power::DvfsRange{0.6, 1.0, 1.0});
+  const power::ServerPower sp(units::watts(150.0), units::watts(250.0), alpha,
+                              power::DvfsRange{units::hertz(0.6), units::hertz(1.0), units::hertz(1.0)});
   std::vector<core::Tier> tiers = base.tiers();
   for (auto& t : tiers) t.power = sp;
   return core::ClusterModel(tiers, base.classes());
@@ -31,16 +31,16 @@ int main() {
 
   for (double alpha : {1.0, 2.0, 3.0}) {
     const auto model = model_with_alpha(alpha);
-    const double d_fast = model.mean_delay_at(model.max_frequencies());
-    const double p_max = model.power_at(model.max_frequencies());
+    const double d_fast = model.mean_delay_at(model.max_frequencies()).value();
+    const double p_max = model.power_at(model.max_frequencies()).value();
     for (double mult : {1.5, 3.0, 10.0}) {
-      const auto opt = core::minimize_power_with_delay_bound(model, mult * d_fast);
+      const auto opt = core::minimize_power_with_delay_bound(model, units::seconds(mult * d_fast));
       if (!opt.feasible) continue;
-      const double saving = 100.0 * (p_max - opt.power) / p_max;
+      const double saving = 100.0 * (p_max - opt.power.value()) / p_max;
       t.row()
           .add(alpha, 1)
           .add(mult * d_fast, 4)
-          .add(opt.power, 1)
+          .add(opt.power.value(), 1)
           .add(p_max, 1)
           .add(saving, 1);
     }

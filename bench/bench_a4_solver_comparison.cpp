@@ -26,7 +26,7 @@ int main() {
   using namespace cpm;
 
   const auto model = core::make_enterprise_model(0.7);
-  const double d_fast = model.mean_delay_at(model.max_frequencies());
+  const double d_fast = model.mean_delay_at(model.max_frequencies()).value();
   const double bound = 2.0 * d_fast;
 
   print_banner(std::cout, "A4: solver comparison on P-E (bound = 2x fast delay)");
@@ -34,8 +34,8 @@ int main() {
 
   {  // default: augmented Lagrangian + multistart Nelder-Mead
     const auto t0 = Clock::now();
-    const auto r = core::minimize_power_with_delay_bound(model, bound);
-    t.row().add("AL + Nelder-Mead").add(r.power, 2).add(r.mean_delay)
+    const auto r = core::minimize_power_with_delay_bound(model, units::seconds(bound));
+    t.row().add("AL + Nelder-Mead").add(r.power.value(), 2).add(r.mean_delay.value())
         .add(r.feasible ? "yes" : "no").add(ms_since(t0), 1);
   }
 
@@ -43,17 +43,17 @@ int main() {
     core::FrequencyOptOptions opts;
     opts.solver.inner = opt::InnerSolver::kProjectedGradient;
     const auto t0 = Clock::now();
-    const auto r = core::minimize_power_with_delay_bound(model, bound, opts);
-    t.row().add("AL + proj. gradient").add(r.power, 2).add(r.mean_delay)
+    const auto r = core::minimize_power_with_delay_bound(model, units::seconds(bound), opts);
+    t.row().add("AL + proj. gradient").add(r.power.value(), 2).add(r.mean_delay.value())
         .add(r.feasible ? "yes" : "no").add(ms_since(t0), 1);
   }
 
   {  // penalty + simulated annealing
     const auto t0 = Clock::now();
     auto penalised = [&](const std::vector<double>& f) {
-      const double power = model.power_at(f);
+      const double power = model.power_at(f).value();
       if (!std::isfinite(power)) return power;
-      const double delay = model.mean_delay_at(f);
+      const double delay = model.mean_delay_at(f).value();
       const double viol = std::max(0.0, delay / bound - 1.0);
       return power + 1e5 * viol * viol;
     };
@@ -62,8 +62,8 @@ int main() {
     opts.iterations = 60000;
     const auto r = opt::simulated_annealing(penalised, box,
                                             model.max_frequencies(), opts);
-    const double delay = model.mean_delay_at(r.x);
-    t.row().add("penalty + annealing").add(model.power_at(r.x), 2).add(delay)
+    const double delay = model.mean_delay_at(r.x).value();
+    t.row().add("penalty + annealing").add(model.power_at(r.x).value(), 2).add(delay)
         .add(delay <= bound * 1.01 ? "yes" : "no").add(ms_since(t0), 1);
   }
 

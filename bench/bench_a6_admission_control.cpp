@@ -28,11 +28,12 @@ int main() {
     const auto theory = queueing::mmck(1, k, lambda, mu);
 
     sim::SimConfig cfg;
-    sim::SimStation st{"s", 1, Discipline::kFcfs, 0.0, 0.0, 1.0};
+    sim::SimStation st{"s", 1, Discipline::kFcfs, units::watts(0.0),
+                       units::watts(0.0), 1.0};
     st.capacity = k;
     cfg.stations = {st};
     cfg.classes = {
-        sim::SimClass{"c", lambda, {Visit{0, Distribution::exponential(1.0)}}}};
+        sim::SimClass{"c", units::per_second(lambda), {Visit{0, Distribution::exponential(1.0)}}}};
     cfg.warmup_time = 300.0;
     cfg.end_time = 8300.0;
     cfg.seed = 20110516;
@@ -43,7 +44,7 @@ int main() {
         .add(theory.blocking_probability)
         .add(r.classes[0].blocking_probability())
         .add(theory.mean_sojourn)
-        .add(r.classes[0].mean_e2e_delay);
+        .add(r.classes[0].mean_e2e_delay.value());
   }
   t.print(std::cout);
 

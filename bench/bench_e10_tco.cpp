@@ -78,7 +78,7 @@ int main() {
           .add(r.servers[1])
           .add(r.servers[2])
           .add(r.frequencies[2], 3)
-          .add(r.power, 1)
+          .add(r.power.value(), 1)
           .add(r.capex, 0)
           .add(r.opex, 0)
           .add(r.total_cost, 0);

@@ -36,8 +36,8 @@ int main() {
     const auto mva = queueing::exact_mva(stations, {d_cpu, d_disk}, n, think);
 
     sim::SimConfig cfg;
-    cfg.stations = {sim::SimStation{"cpu", 1, Discipline::kFcfs, 0.0, 0.0, 1.0},
-                    sim::SimStation{"disk", 1, Discipline::kFcfs, 0.0, 0.0, 1.0}};
+    cfg.stations = {sim::SimStation{"cpu", 1, Discipline::kFcfs, units::watts(0.0), units::watts(0.0), 1.0},
+                    sim::SimStation{"disk", 1, Discipline::kFcfs, units::watts(0.0), units::watts(0.0), 1.0}};
     sim::SimClass users;
     users.name = "users";
     users.population = n;
@@ -58,7 +58,7 @@ int main() {
         .add(sim_x)
         .add(bounds.throughput_bound(n))
         .add(mva.response_time[0])
-        .add(r.classes[0].mean_e2e_delay)
+        .add(r.classes[0].mean_e2e_delay.value())
         .add(bounds.response_bound(n, think));
   }
   t.print(std::cout);

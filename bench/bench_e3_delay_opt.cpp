@@ -14,8 +14,8 @@ int main() {
   using namespace cpm;
 
   const auto model = core::make_enterprise_model(0.7);
-  const double p_min = model.power_at(model.min_stable_frequencies());
-  const double p_max = model.power_at(model.max_frequencies());
+  const double p_min = model.power_at(model.min_stable_frequencies()).value();
+  const double p_max = model.power_at(model.max_frequencies()).value();
 
   print_banner(std::cout, "E3: optimal mean E2E delay vs power budget (P-D)");
   std::cout << "power range: [" << format_double(p_min, 1) << ", "
@@ -26,8 +26,8 @@ int main() {
 
   for (double frac : {0.05, 0.15, 0.3, 0.5, 0.7, 0.9, 1.0}) {
     const double budget = p_min + frac * (p_max - p_min);
-    const auto opt = core::minimize_delay_with_power_budget(model, budget);
-    const auto base = core::uniform_frequency_baseline(model, budget);
+    const auto opt = core::minimize_delay_with_power_budget(model, units::watts(budget));
+    const auto base = core::uniform_frequency_baseline(model, units::watts(budget));
     if (!opt.feasible || !base.feasible) {
       t.row().add(budget, 1).add("infeasible").add("-").add("-").add("-")
           .add("-").add("-").add("-");
@@ -36,12 +36,12 @@ int main() {
     const double gain = 100.0 * (base.mean_delay - opt.mean_delay) / base.mean_delay;
     t.row()
         .add(budget, 1)
-        .add(opt.mean_delay)
-        .add(opt.power, 1)
+        .add(opt.mean_delay.value())
+        .add(opt.power.value(), 1)
         .add(opt.frequencies[0], 3)
         .add(opt.frequencies[1], 3)
         .add(opt.frequencies[2], 3)
-        .add(base.mean_delay)
+        .add(base.mean_delay.value())
         .add(gain, 1);
   }
   t.print(std::cout);

@@ -13,9 +13,9 @@ int main() {
   using namespace cpm;
 
   const auto model = core::make_enterprise_model(0.7);
-  const double d_fast = model.mean_delay_at(model.max_frequencies());
-  const double p_max = model.power_at(model.max_frequencies());
-  const double p_floor = model.power_at(model.min_stable_frequencies());
+  const double d_fast = model.mean_delay_at(model.max_frequencies()).value();
+  const double p_max = model.power_at(model.max_frequencies()).value();
+  const double p_floor = model.power_at(model.min_stable_frequencies()).value();
 
   print_banner(std::cout, "E4: optimal power vs aggregate delay bound (P-E/all)");
   std::cout << "delay at f_max: " << format_double(d_fast, 4)
@@ -27,17 +27,17 @@ int main() {
 
   for (double mult : {1.05, 1.2, 1.5, 2.0, 3.0, 5.0, 10.0}) {
     const double bound = mult * d_fast;
-    const auto opt = core::minimize_power_with_delay_bound(model, bound);
+    const auto opt = core::minimize_power_with_delay_bound(model, units::seconds(bound));
     if (!opt.feasible) {
       t.row().add(bound, 4).add("infeasible").add("-").add("-").add("-")
           .add("-").add("-");
       continue;
     }
-    const double saving = 100.0 * (p_max - opt.power) / p_max;
+    const double saving = 100.0 * (p_max - opt.power.value()) / p_max;
     t.row()
         .add(bound, 4)
-        .add(opt.power, 1)
-        .add(opt.mean_delay)
+        .add(opt.power.value(), 1)
+        .add(opt.mean_delay.value())
         .add(opt.frequencies[0], 3)
         .add(opt.frequencies[1], 3)
         .add(opt.frequencies[2], 3)

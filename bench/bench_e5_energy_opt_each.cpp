@@ -16,7 +16,8 @@ int main() {
   const auto model = core::make_enterprise_model(0.7);
   const auto fast = model.evaluate(model.max_frequencies());
   if (!fast.stable) return 1;
-  const std::vector<double> d_fast = fast.net.e2e_delay;
+  std::vector<double> d_fast;
+  for (units::Seconds d : fast.net.e2e_delay) d_fast.push_back(d.value());
 
   print_banner(std::cout,
                "E5: optimal power vs per-class delay bounds (P-E/each)");
@@ -29,30 +30,31 @@ int main() {
            "agg power W"});
 
   for (double mult : {1.05, 1.2, 1.5, 2.0, 3.0, 5.0}) {
-    std::vector<double> bounds = {mult * d_fast[0], 3.0 * d_fast[1],
-                                  3.0 * d_fast[2]};
+    std::vector<units::Seconds> bounds = {units::seconds(mult * d_fast[0]),
+                                          units::seconds(3.0 * d_fast[1]),
+                                          units::seconds(3.0 * d_fast[2])};
     const auto opt = core::minimize_power_with_class_delay_bounds(model, bounds);
 
     // Aggregate-bound reference: the traffic-weighted mix of the same
     // bounds, solved with the single aggregate constraint.
     double agg = 0.0;
     for (std::size_t k = 0; k < bounds.size(); ++k)
-      agg += model.classes()[k].rate * bounds[k];
-    agg /= model.total_rate();
-    const auto agg_opt = core::minimize_power_with_delay_bound(model, agg);
+      agg += model.classes()[k].rate.value() * bounds[k].value();
+    agg /= model.total_rate().value();
+    const auto agg_opt = core::minimize_power_with_delay_bound(model, units::seconds(agg));
 
     if (!opt.feasible) {
-      t.row().add(bounds[0], 4).add("infeasible").add("-").add("-").add("-")
-          .add(agg_opt.feasible ? format_double(agg_opt.power, 1) : "-");
+      t.row().add(bounds[0].value(), 4).add("infeasible").add("-").add("-").add("-")
+          .add(agg_opt.feasible ? format_double(agg_opt.power.value(), 1) : "-");
       continue;
     }
     t.row()
-        .add(bounds[0], 4)
-        .add(opt.power, 1)
-        .add(opt.evaluation.net.e2e_delay[0])
-        .add(opt.evaluation.net.e2e_delay[1])
-        .add(opt.evaluation.net.e2e_delay[2])
-        .add(agg_opt.feasible ? format_double(agg_opt.power, 1) : "-");
+        .add(bounds[0].value(), 4)
+        .add(opt.power.value(), 1)
+        .add(opt.evaluation.net.e2e_delay[0].value())
+        .add(opt.evaluation.net.e2e_delay[1].value())
+        .add(opt.evaluation.net.e2e_delay[2].value())
+        .add(agg_opt.feasible ? format_double(agg_opt.power.value(), 1) : "-");
   }
   t.print(std::cout);
   std::cout << "\nPer-class constraints (column 2) never need less power than\n"

@@ -24,9 +24,9 @@ int main() {
   for (double gold_sla : {0.40, 0.25, 0.18, 0.14, 0.12}) {
     for (bool fcfs : {false, true}) {
       std::vector<core::WorkloadClass> classes = base.classes();
-      classes[0].sla.max_mean_e2e_delay = gold_sla;
-      classes[1].sla.max_mean_e2e_delay = 0.60;
-      classes[2].sla.max_mean_e2e_delay = 2.00;
+      classes[0].sla.max_mean_e2e_delay = units::seconds(gold_sla);
+      classes[1].sla.max_mean_e2e_delay = units::seconds(0.60);
+      classes[2].sla.max_mean_e2e_delay = units::seconds(2.00);
       core::ClusterModel model(base.tiers(), classes);
       if (fcfs) model = model.with_discipline(queueing::Discipline::kFcfs);
 
@@ -45,7 +45,7 @@ int main() {
           .add(r.servers[2])
           .add(r.total_cost, 2)
           .add(r.nodes_explored)
-          .add(r.evaluation.net.e2e_delay[0]);
+          .add(r.evaluation.net.e2e_delay[0].value());
     }
   }
   t.print(std::cout);

@@ -36,9 +36,9 @@ int main() {
       t.row()
           .add(load, 2)
           .add(queueing::discipline_name(d))
-          .add(ev.net.e2e_delay[0])
+          .add(ev.net.e2e_delay[0].value())
           .add(sr.classes[0].mean_e2e_delay.mean)
-          .add(ev.net.e2e_delay[2])
+          .add(ev.net.e2e_delay[2].value())
           .add(sr.classes[2].mean_e2e_delay.mean);
     }
   }

@@ -34,7 +34,7 @@ int main() {
         rep);
 
     for (std::size_t k = 0; k < model.num_classes(); ++k) {
-      const double analytic = queueing::percentile_e2e_delay(ev.net, k, 0.95);
+      const double analytic = queueing::percentile_e2e_delay(ev.net, k, 0.95).value();
       const double simulated = sr.classes[k].p95_e2e_delay.mean;
       const double err =
           simulated > 0.0 ? 100.0 * std::abs(analytic - simulated) / simulated

@@ -28,15 +28,16 @@ int main() {
   using namespace cpm;
 
   const auto model = core::make_enterprise_model(0.75);
-  const double bound = 4.0 * model.mean_delay_at(model.max_frequencies());
+  const double bound = 4.0 * model.mean_delay_at(model.max_frequencies()).value();
   const double day = 1200.0;      // one compressed "day" of model time
   const double horizon = 2450.0;  // two days + slack
   const double warmup = 50.0;
 
   // Per-class demand: diurnal swing to 100% of nominal with a flash crowd
   // hitting every class midway through each day.
-  auto schedule_for = [&](double nominal) {
-    auto diurnal = workload::RateSchedule::diurnal(0.45 * nominal, nominal, day,
+  auto schedule_for = [&](units::Rate nominal_q) {
+    const double nominal = nominal_q.value();
+    auto diurnal = workload::RateSchedule::diurnal(units::per_second(0.45 * nominal), units::per_second(nominal), day,
                                                    /*peak_time=*/day * 0.6);
     std::vector<double> rates = diurnal.slot_rates();
     const std::size_t slots = rates.size();
@@ -49,7 +50,7 @@ int main() {
     auto cfg = model.to_controlled_sim_config(freqs, warmup, horizon, 20110516);
     for (auto& cls : cfg.classes) {
       cls.schedule = schedule_for(cls.rate);
-      cls.rate = 0.0;
+      cls.rate = units::per_second(0.0);
     }
     return cfg;
   };
@@ -64,28 +65,28 @@ int main() {
     const auto r = sim::simulate(configure(model.max_frequencies()));
     t.row()
         .add("static-max")
-        .add(r.cluster_avg_power, 1)
-        .add(r.mean_e2e_delay)
-        .add(r.mean_e2e_delay <= bound ? "yes" : "NO")
-        .add(r.classes[2].p95_e2e_delay)
+        .add(r.cluster_avg_power.value(), 1)
+        .add(r.mean_e2e_delay.value())
+        .add(r.mean_e2e_delay.value() <= bound ? "yes" : "NO")
+        .add(r.classes[2].p95_e2e_delay.value())
         .add(0);
   }
 
   // Policy 2: one static P-E plan at the long-run mean rates.
   {
-    std::vector<double> mean_rates;
+    std::vector<units::Rate> mean_rates;
     for (const auto& c : model.classes())
       mean_rates.push_back(schedule_for(c.rate).mean_rate());
     const auto plan = core::minimize_power_with_delay_bound(
-        model.with_rates(mean_rates), bound);
+        model.with_rates(mean_rates), units::seconds(bound));
     const auto freqs = plan.feasible ? plan.frequencies : model.max_frequencies();
     const auto r = sim::simulate(configure(freqs));
     t.row()
         .add("static-planned")
-        .add(r.cluster_avg_power, 1)
-        .add(r.mean_e2e_delay)
-        .add(r.mean_e2e_delay <= bound ? "yes" : "NO")
-        .add(r.classes[2].p95_e2e_delay)
+        .add(r.cluster_avg_power.value(), 1)
+        .add(r.mean_e2e_delay.value())
+        .add(r.mean_e2e_delay.value() <= bound ? "yes" : "NO")
+        .add(r.classes[2].p95_e2e_delay.value())
         .add(0);
   }
 
@@ -98,7 +99,7 @@ int main() {
   {
     std::vector<core::Tier> tiers = model.tiers();
     std::vector<core::WorkloadClass> classes = model.classes();
-    for (auto& c : classes) c.sla = core::Sla{bound};
+    for (auto& c : classes) c.sla = core::Sla{units::seconds(bound)};
     const core::ClusterModel bounded(std::move(tiers), std::move(classes));
 
     online::ControllerOptions copts;
@@ -116,10 +117,10 @@ int main() {
     const auto r = sim::simulate(cfg);
     t.row()
         .add("online")
-        .add(r.cluster_avg_power, 1)
-        .add(r.mean_e2e_delay)
-        .add(r.mean_e2e_delay <= bound ? "yes" : "NO")
-        .add(r.classes[2].p95_e2e_delay)
+        .add(r.cluster_avg_power.value(), 1)
+        .add(r.mean_e2e_delay.value())
+        .add(r.mean_e2e_delay.value() <= bound ? "yes" : "NO")
+        .add(r.classes[2].p95_e2e_delay.value())
         .add(static_cast<int>(controller.reoptimizations()));
     t.print(std::cout);
 
@@ -137,7 +138,7 @@ int main() {
               << "]; degraded (last-known-good) windows: " << degraded << "/"
               << controller.history().size()
               << "; switching cost: "
-              << format_double(controller.total_switching_cost(), 1) << " J\n";
+              << format_double(controller.total_switching_cost().value(), 1) << " J\n";
   }
   return 0;
 }

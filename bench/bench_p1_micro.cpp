@@ -24,7 +24,8 @@ void BM_StationAnalysis(benchmark::State& state) {
   const auto n_classes = static_cast<std::size_t>(state.range(0));
   std::vector<queueing::ClassFlow> flows;
   for (std::size_t k = 0; k < n_classes; ++k)
-    flows.push_back(queueing::ClassFlow{0.8 / static_cast<double>(n_classes),
+    flows.push_back(queueing::ClassFlow{
+        units::per_second(0.8 / static_cast<double>(n_classes)),
                                         Distribution::exponential(1.0)});
   for (auto _ : state) {
     benchmark::DoNotOptimize(queueing::analyze_station(
@@ -63,9 +64,9 @@ BENCHMARK(BM_DistributionSampleHyperExp);
 
 void BM_EnergyOptimizer(benchmark::State& state) {
   const auto model = core::make_enterprise_model(0.7);
-  const double bound = 2.0 * model.mean_delay_at(model.max_frequencies());
+  const double bound = 2.0 * model.mean_delay_at(model.max_frequencies()).value();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::minimize_power_with_delay_bound(model, bound));
+    benchmark::DoNotOptimize(core::minimize_power_with_delay_bound(model, units::seconds(bound)));
   }
 }
 BENCHMARK(BM_EnergyOptimizer)->Unit(benchmark::kMillisecond);

@@ -34,15 +34,15 @@ int main() {
   for (int hour = 0; hour < 24; ++hour) {
     const double frac = demand_at(hour);
     const auto model = peak.with_rate_scale(frac);
-    const auto opt = core::minimize_power_with_delay_bound(model, delay_sla);
-    const double flat_power = model.power_at(model.max_frequencies());
+    const auto opt = core::minimize_power_with_delay_bound(model, units::seconds(delay_sla));
+    const double flat_power = model.power_at(model.max_frequencies()).value();
     if (!opt.feasible) {
       t.row().add(hour).add(frac, 2).add("-").add("-").add("-")
           .add("infeasible").add("-").add(flat_power, 1);
       flat_energy_wh += flat_power;
       continue;
     }
-    dvfs_energy_wh += opt.power;   // 1-hour slots: W x 1 h
+    dvfs_energy_wh += opt.power.value();   // 1-hour slots: W x 1 h
     flat_energy_wh += flat_power;
     t.row()
         .add(hour)
@@ -50,8 +50,8 @@ int main() {
         .add(opt.frequencies[0], 3)
         .add(opt.frequencies[1], 3)
         .add(opt.frequencies[2], 3)
-        .add(opt.power, 1)
-        .add(opt.mean_delay, 4)
+        .add(opt.power.value(), 1)
+        .add(opt.mean_delay.value(), 4)
         .add(flat_power, 1);
   }
   t.print(std::cout);

@@ -64,9 +64,9 @@ int main() {
   // Confirm the MVA sizing by simulation at the chosen population.
   sim::SimConfig cfg;
   cfg.stations = {
-      sim::SimStation{"web", 2, queueing::Discipline::kFcfs, 0, 0, 1.0},
-      sim::SimStation{"app", 1, queueing::Discipline::kFcfs, 0, 0, 1.0},
-      sim::SimStation{"db", 1, queueing::Discipline::kFcfs, 0, 0, 1.0}};
+      sim::SimStation{"web", 2, queueing::Discipline::kFcfs, units::watts(0), units::watts(0), 1.0},
+      sim::SimStation{"app", 1, queueing::Discipline::kFcfs, units::watts(0), units::watts(0), 1.0},
+      sim::SimStation{"db", 1, queueing::Discipline::kFcfs, units::watts(0), units::watts(0), 1.0}};
   sim::SimClass users;
   users.name = "users";
   users.population = max_users;
@@ -80,7 +80,7 @@ int main() {
   cfg.seed = 1;
   const auto sim = sim::simulate(cfg);
   std::cout << "simulated response at N = " << max_users << ": "
-            << format_double(sim.classes[0].mean_e2e_delay, 3)
+            << format_double(sim.classes[0].mean_e2e_delay.value(), 3)
             << " s (SLA " << format_double(sla_response, 1) << " s)\n";
   return 0;
 }

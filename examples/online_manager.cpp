@@ -15,11 +15,11 @@ int main() {
   using namespace cpm;
 
   const auto model = core::make_enterprise_model(0.7);
-  const double bound = 3.0 * model.mean_delay_at(model.max_frequencies());
+  const double bound = 3.0 * model.mean_delay_at(model.max_frequencies()).value();
   const double day = 600.0;  // one compressed day of model time
 
   core::ReactiveDvfsController::Options copts;
-  copts.delay_bound = bound;
+  copts.delay_bound = units::seconds(bound);
   copts.levels = 9;
   core::ReactiveDvfsController controller(model, copts);
 
@@ -29,7 +29,7 @@ int main() {
   for (auto& cls : cfg.classes) {
     cls.schedule =
         workload::RateSchedule::diurnal(0.4 * cls.rate, cls.rate, day, day / 2.0);
-    cls.rate = 0.0;
+    cls.rate = units::per_second(0.0);
   }
   cfg.control_period = 15.0;
   cfg.control = controller.hook();
@@ -52,7 +52,7 @@ int main() {
         .add(d.frequencies[0], 3)
         .add(d.frequencies[1], 3)
         .add(d.frequencies[2], 3)
-        .add(d.predicted_power, 1);
+        .add(d.predicted_power.value(), 1);
   }
   t.print(std::cout);
 
@@ -71,14 +71,14 @@ int main() {
   Table c({"policy", "avg power W", "mean E2E delay s", "SLA met"});
   c.row()
       .add("reactive DVFS")
-      .add(managed.cluster_avg_power, 1)
-      .add(managed.mean_e2e_delay)
-      .add(managed.mean_e2e_delay <= bound ? "yes" : "no");
+      .add(managed.cluster_avg_power.value(), 1)
+      .add(managed.mean_e2e_delay.value())
+      .add(managed.mean_e2e_delay.value() <= bound ? "yes" : "no");
   c.row()
       .add("always f_max")
-      .add(unmanaged.cluster_avg_power, 1)
-      .add(unmanaged.mean_e2e_delay)
-      .add(unmanaged.mean_e2e_delay <= bound ? "yes" : "no");
+      .add(unmanaged.cluster_avg_power.value(), 1)
+      .add(unmanaged.mean_e2e_delay.value())
+      .add(unmanaged.mean_e2e_delay.value() <= bound ? "yes" : "no");
   c.print(std::cout);
 
   const double saving = 100.0 *

@@ -27,11 +27,11 @@ int main() {
       t.row()
           .add(load, 2)
           .add(queueing::discipline_name(d))
-          .add(ev.net.e2e_delay[0])
-          .add(ev.net.e2e_delay[1])
-          .add(ev.net.e2e_delay[2])
-          .add(ev.energy.per_request_energy[0], 2)
-          .add(ev.energy.per_request_energy[2], 2);
+          .add(ev.net.e2e_delay[0].value())
+          .add(ev.net.e2e_delay[1].value())
+          .add(ev.net.e2e_delay[2].value())
+          .add(ev.energy.per_request_energy[0].value(), 2)
+          .add(ev.energy.per_request_energy[2].value(), 2);
     }
   }
   t.print(std::cout);
@@ -47,8 +47,8 @@ int main() {
   const auto ev = model.evaluate(model.max_frequencies());
   if (ev.stable) {
     const double speedup = ev.net.e2e_delay[2] / ev.net.e2e_delay[0];
-    std::cout << "bronze mean delay " << format_double(ev.net.e2e_delay[2], 3)
-              << " s vs gold " << format_double(ev.net.e2e_delay[0], 3)
+    std::cout << "bronze mean delay " << format_double(ev.net.e2e_delay[2].value(), 3)
+              << " s vs gold " << format_double(ev.net.e2e_delay[0].value(), 3)
               << " s  ->  " << format_double(speedup, 1)
               << "x faster end-to-end for the premium class\n";
   }

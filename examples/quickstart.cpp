@@ -34,10 +34,10 @@ int main() {
         core::Demand{1, Distribution::from_mean_scv(back_ms, back_scv)}};
   };
   std::vector<core::WorkloadClass> classes = {
-      core::WorkloadClass{"premium", 4.0, route(0.030, 0.040, 1.0),
-                          core::Sla{0.30}},
-      core::WorkloadClass{"standard", 10.0, route(0.040, 0.050, 2.0),
-                          core::Sla{1.00}},
+      core::WorkloadClass{"premium", units::per_second(4.0), route(0.030, 0.040, 1.0),
+                          core::Sla{units::seconds(0.30)}},
+      core::WorkloadClass{"standard", units::per_second(10.0), route(0.040, 0.050, 2.0),
+                          core::Sla{units::seconds(1.00)}},
   };
 
   const core::ClusterModel model(std::move(tiers), std::move(classes));
@@ -54,12 +54,12 @@ int main() {
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
     t.row()
         .add(model.classes()[k].name)
-        .add(ev.net.e2e_delay[k])
-        .add(ev.energy.per_request_energy[k]);
+        .add(ev.net.e2e_delay[k].value())
+        .add(ev.energy.per_request_energy[k].value());
   }
   print_banner(std::cout, "analytic prediction at f_max");
   t.print(std::cout);
-  std::cout << "cluster average power: " << format_double(ev.energy.cluster_avg_power)
+  std::cout << "cluster average power: " << format_double(ev.energy.cluster_avg_power.value())
             << " W\n";
 
   // --- 4. Validate by simulation ------------------------------------------
@@ -80,15 +80,15 @@ int main() {
   v.print(std::cout);
 
   // --- 5. One optimisation: cheapest power meeting both SLAs --------------
-  std::vector<double> bounds;
+  std::vector<units::Seconds> bounds;
   for (const auto& c : model.classes()) bounds.push_back(c.sla.max_mean_e2e_delay);
   const auto opt = core::minimize_power_with_class_delay_bounds(model, bounds);
   print_banner(std::cout, "P-E: min power s.t. per-class SLAs");
   if (opt.feasible) {
     std::cout << "optimal frequencies:";
     for (double fi : opt.frequencies) std::cout << ' ' << format_double(fi, 3);
-    std::cout << "\npower " << format_double(opt.power) << " W (vs "
-              << format_double(ev.energy.cluster_avg_power) << " W at f_max)\n";
+    std::cout << "\npower " << format_double(opt.power.value()) << " W (vs "
+              << format_double(ev.energy.cluster_avg_power.value()) << " W at f_max)\n";
   } else {
     std::cout << "SLAs are infeasible for this cluster\n";
   }

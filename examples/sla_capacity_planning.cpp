@@ -47,8 +47,8 @@ int main() {
           .add(r.servers[1])
           .add(r.servers[2])
           .add(r.total_cost, 2)
-          .add(r.evaluation.net.e2e_delay[0], 4)
-          .add(r.evaluation.net.e2e_delay[2], 4);
+          .add(r.evaluation.net.e2e_delay[0].value(), 4)
+          .add(r.evaluation.net.e2e_delay[2].value(), 4);
     }
   }
   t.print(std::cout);
@@ -71,8 +71,8 @@ int main() {
     for (std::size_t k = 0; k < model.num_classes(); ++k) {
       v.row()
           .add(model.classes()[k].name)
-          .add(model.classes()[k].sla.max_mean_e2e_delay, 2)
-          .add(plan.evaluation.net.e2e_delay[k])
+          .add(model.classes()[k].sla.max_mean_e2e_delay.value(), 2)
+          .add(plan.evaluation.net.e2e_delay[k].value())
           .add(sim.classes[k].mean_e2e_delay.mean);
     }
     v.print(std::cout);

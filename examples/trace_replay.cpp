@@ -21,7 +21,7 @@ int main() {
   // A bursty source: ON/OFF with rate 2.0 in ON (mean 30 s) and 0.1 in
   // OFF (mean 30 s); long-run rate ~1.05/s.
   const auto bursty_schedule =
-      workload::RateSchedule::mmpp2(0.1, 2.0, 30.0, 30.0, 4000.0, 7, 2000);
+      workload::RateSchedule::mmpp2(units::per_second(0.1), units::per_second(2.0), 30.0, 30.0, 4000.0, 7, 2000);
   Rng rng(99);
   std::vector<double> times;
   double t = 0.0;
@@ -36,16 +36,16 @@ int main() {
   print_banner(std::cout, "trace characteristics");
   Table s({"metric", "bursty trace"});
   s.row().add("arrivals").add(stats.count);
-  s.row().add("mean rate /s").add(stats.mean_rate);
+  s.row().add("mean rate /s").add(stats.mean_rate.value());
   s.row().add("interarrival SCV").add(stats.interarrival_scv);
   s.row().add("peak/mean").add(stats.peak_to_mean);
   s.print(std::cout);
 
   // The server: a single M/G/1-style queue at rho ~ 0.7.
-  const double service_mean = 0.7 / stats.mean_rate;
+  const double service_mean = 0.7 / stats.mean_rate.value();
   auto config_for = [&](std::vector<double> arrivals) {
     sim::SimConfig cfg;
-    cfg.stations = {sim::SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0, 1.0}};
+    cfg.stations = {sim::SimStation{"s", 1, Discipline::kFcfs, units::watts(0.0), units::watts(0.0), 1.0}};
     sim::SimClass cls;
     cls.name = "req";
     cls.route = {Visit{0, Distribution::exponential(service_mean)}};
@@ -60,10 +60,10 @@ int main() {
   const auto bursty_run = sim::simulate(config_for(bursty.timestamps()));
   const auto poisson = workload::ArrivalTrace::poisson(stats.mean_rate, 4000.0, 31);
   const auto poisson_run = sim::simulate(config_for(poisson.timestamps()));
-  const auto analytic = queueing::mm1(stats.mean_rate, 1.0 / service_mean);
+  const auto analytic = queueing::mm1(stats.mean_rate.value(), 1.0 / service_mean);
 
   // Two-moment correction from the trace's measured inter-arrival SCV.
-  const auto kingman = queueing::gg1(stats.mean_rate, stats.interarrival_scv,
+  const auto kingman = queueing::gg1(stats.mean_rate.value(), stats.interarrival_scv,
                                      Distribution::exponential(service_mean));
 
   print_banner(std::cout, "mean sojourn at identical average rate");
@@ -72,12 +72,12 @@ int main() {
   r.row().add("G/M/1 Kingman (trace SCV)").add(kingman.mean_sojourn).add("-");
   r.row()
       .add("Poisson trace replay")
-      .add(poisson_run.classes[0].mean_e2e_delay)
-      .add(poisson_run.classes[0].p95_e2e_delay);
+      .add(poisson_run.classes[0].mean_e2e_delay.value())
+      .add(poisson_run.classes[0].p95_e2e_delay.value());
   r.row()
       .add("bursty trace replay")
-      .add(bursty_run.classes[0].mean_e2e_delay)
-      .add(bursty_run.classes[0].p95_e2e_delay);
+      .add(bursty_run.classes[0].mean_e2e_delay.value())
+      .add(bursty_run.classes[0].p95_e2e_delay.value());
   r.print(std::cout);
 
   const double penalty = bursty_run.classes[0].mean_e2e_delay /

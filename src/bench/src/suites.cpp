@@ -58,7 +58,7 @@ std::vector<BenchCase> p1_suite(const BenchOptions& options) {
         double sink = 0.0;
         for (int i = 0; i < analytic_rounds; ++i)
           for (const auto& m : models)
-            sink += m.evaluate(m.max_frequencies()).net.mean_e2e_delay;
+            sink += m.evaluate(m.max_frequencies()).net.mean_e2e_delay.value();
         require(sink > 0.0, "analytic_evaluate: degenerate result");
         rec.count("evals",
                   static_cast<double>(analytic_rounds) *
@@ -80,7 +80,8 @@ std::vector<BenchCase> p1_suite(const BenchOptions& options) {
   cases.push_back(BenchCase{
       "optimizer_power_bound", [optimizer_solves](Recorder& rec) {
         const auto model = core::make_enterprise_model(0.7);
-        const double bound = 2.0 * model.mean_delay_at(model.max_frequencies());
+        const units::Seconds bound =
+            2.0 * model.mean_delay_at(model.max_frequencies());
         for (int i = 0; i < optimizer_solves; ++i) {
           const auto r = core::minimize_power_with_delay_bound(model, bound);
           require(r.feasible, "optimizer_power_bound: infeasible");

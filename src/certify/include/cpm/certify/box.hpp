@@ -31,7 +31,7 @@ struct BoxSpec {
   std::vector<core::Interval> mu_scale;
   std::vector<core::Interval> frequencies;
   /// Optional cluster power budget; +infinity = no power property.
-  double max_power_watts = std::numeric_limits<double>::infinity();
+  units::Watts max_power_watts = units::Watts::infinity();
 
   /// True when every dimension is degenerate (zero width).
   [[nodiscard]] bool is_point() const;
@@ -57,6 +57,7 @@ Json box_to_json(const BoxSpec& box, const core::ClusterModel& model);
 
 /// One concrete parameter choice inside a box.
 struct ParameterPoint {
+  // Raw coordinates in the interval-arithmetic space. // conv-ok: UNIT-4
   std::vector<double> rates;
   std::vector<double> mu_scale;
   std::vector<double> frequencies;

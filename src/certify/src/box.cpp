@@ -45,10 +45,11 @@ bool BoxSpec::is_point() const {
 
 BoxSpec default_box(const core::ClusterModel& model) {
   BoxSpec box;
-  for (const auto& c : model.classes()) box.rates.push_back(Interval::point(c.rate));
+  for (const auto& c : model.classes())
+    box.rates.push_back(Interval::point(c.rate.value()));
   for (const auto& t : model.tiers()) {
     box.mu_scale.push_back(Interval::point(1.0));
-    box.frequencies.push_back(Interval::point(t.power.dvfs().f_max));
+    box.frequencies.push_back(Interval::point(t.power.dvfs().f_max.value()));
   }
   return box;
 }
@@ -96,10 +97,10 @@ BoxSpec box_from_json(const core::ClusterModel& model, const Json& spec) {
           found = true;
           const Interval iv = parse_interval(range, "frequencies." + name);
           const auto& dvfs = model.tiers()[i].power.dvfs();
-          if (iv.lo < dvfs.f_min || iv.hi > dvfs.f_max)
+          if (iv.lo < dvfs.f_min.value() || iv.hi > dvfs.f_max.value())
             bad_box("frequencies." + name + " leaves tier '" + name +
-                    "'s DVFS range [" + format_double(dvfs.f_min, 6) + ", " +
-                    format_double(dvfs.f_max, 6) + "]");
+                    "'s DVFS range [" + format_double(dvfs.f_min.value(), 6) + ", " +
+                    format_double(dvfs.f_max.value(), 6) + "]");
           box.frequencies[i] = iv;
         }
         if (!found) bad_box("unknown tier '" + name + "' in frequencies");
@@ -107,7 +108,7 @@ BoxSpec box_from_json(const core::ClusterModel& model, const Json& spec) {
     } else if (key == "max_power_watts") {
       if (!value.is_number() || !(value.as_number() > 0.0))
         bad_box("'max_power_watts' must be a positive number");
-      box.max_power_watts = value.as_number();
+      box.max_power_watts = units::watts(value.as_number());
     } else {
       bad_box("unknown key '" + key + "'");
     }
@@ -136,8 +137,8 @@ Json box_to_json(const BoxSpec& box, const core::ClusterModel& model) {
   doc["rates"] = Json(std::move(rates));
   doc["mu_scale"] = Json(std::move(mu));
   doc["frequencies"] = Json(std::move(freq));
-  if (std::isfinite(box.max_power_watts))
-    doc["max_power_watts"] = box.max_power_watts;
+  if (std::isfinite(box.max_power_watts.value()))
+    doc["max_power_watts"] = box.max_power_watts.value();
   return Json(std::move(doc));
 }
 
@@ -161,7 +162,7 @@ core::ClusterModel model_at(const core::ClusterModel& base,
                             const ParameterPoint& point) {
   std::vector<core::WorkloadClass> classes = base.classes();
   for (std::size_t k = 0; k < classes.size(); ++k) {
-    classes[k].rate = point.rates[k];
+    classes[k].rate = units::per_second(point.rates[k]);
     for (auto& d : classes[k].route) {
       const double mu = point.mu_scale[static_cast<std::size_t>(d.tier)];
       if (mu != 1.0)  // conv-ok: CONV-5 (bit-exact degenerate-box parity)

@@ -111,7 +111,7 @@ double concrete_delay(const core::ClusterModel& base, std::size_t k,
                       const ParameterPoint& point) {
   const core::Evaluation ev =
       model_at(base, point).evaluate(point.frequencies);
-  return ev.stable ? ev.net.e2e_delay[k] : kInf;
+  return ev.stable ? ev.net.e2e_delay[k].value() : kInf;
 }
 
 double concrete_percentile(const core::ClusterModel& base, std::size_t k,
@@ -119,7 +119,7 @@ double concrete_percentile(const core::ClusterModel& base, std::size_t k,
   const core::Evaluation ev =
       model_at(base, point).evaluate(point.frequencies);
   if (!ev.stable) return kInf;
-  return queueing::percentile_e2e_delay(ev.net, k, percentile);
+  return queueing::percentile_e2e_delay(ev.net, k, percentile).value();
 }
 
 std::vector<Property> build_properties(const core::ClusterModel& model,
@@ -154,7 +154,7 @@ std::vector<Property> build_properties(const core::ClusterModel& model,
     const std::string sla_path =
         "classes[" + std::to_string(k) + "].sla.max_mean_delay";
     if (cls.sla.mean_bounded()) {
-      const double target = cls.sla.max_mean_e2e_delay;
+      const double target = cls.sla.max_mean_e2e_delay.value();
       {
         Property p;
         p.name = "sla-floor[" + cls.name + "]";
@@ -164,18 +164,20 @@ std::vector<Property> build_properties(const core::ClusterModel& model,
         p.threshold = target;
         p.strict = true;  // shares sla_mean_target_feasible's open comparison
         p.concrete = [&model, k](const ParameterPoint& pt) {
-          return core::class_delay_floor(model_at(model, pt), k, pt.frequencies);
+          return core::class_delay_floor(model_at(model, pt), k, pt.frequencies)
+              .value();
         };
         p.enclosure = [k](const IntervalEvaluation& ev) {
           return ev.delay_floor[k];
         };
         p.worst_corner = congestion_corner;
         p.refuted_message = [&model, k, target](const Witness& w) {
-          return core::sla_floor_description(model, k, target, w.value) +
+          return core::sla_floor_description(model, k, units::seconds(target),
+                                             units::seconds(w.value)) +
                  at_corner(w);
         };
         p.refuted_hint = [](const Witness& w) {
-          return core::sla_floor_hint(w.value);
+          return core::sla_floor_hint(units::seconds(w.value));
         };
         props.push_back(std::move(p));
       }
@@ -212,7 +214,7 @@ std::vector<Property> build_properties(const core::ClusterModel& model,
       }
     }
     if (cls.sla.percentile_bounded()) {
-      const double target = cls.sla.max_percentile_e2e_delay;
+      const double target = cls.sla.max_percentile_e2e_delay.value();
       const double percentile = cls.sla.percentile;
       Property p;
       p.name = "sla-percentile[" + cls.name + "]";
@@ -243,20 +245,20 @@ std::vector<Property> build_properties(const core::ClusterModel& model,
     }
   }
 
-  if (std::isfinite(box.max_power_watts)) {
+  if (std::isfinite(box.max_power_watts.value())) {
     Property p;
     p.name = "power-budget";
     p.path = "certify.max_power_watts";
     p.rule_refuted = "CPM-C007";
     p.rule_undecided = "CPM-C008";
-    p.threshold = box.max_power_watts;
+    p.threshold = box.max_power_watts.value();
     p.strict = false;
     p.concrete = [&model](const ParameterPoint& pt) {
-      return model_at(model, pt).power_at(pt.frequencies);
+      return model_at(model, pt).power_at(pt.frequencies).value();
     };
     p.enclosure = [](const IntervalEvaluation& ev) { return ev.cluster_power; };
     p.worst_corner = power_corner;
-    p.refuted_message = [budget = box.max_power_watts](const Witness& w) {
+    p.refuted_message = [budget = box.max_power_watts.value()](const Witness& w) {
       if (std::isinf(w.value))
         return "cluster average power is unbounded (some tier saturates)" +
                at_corner(w);

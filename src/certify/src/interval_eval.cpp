@@ -243,7 +243,7 @@ IntervalEvaluation evaluate_box(const core::ClusterModel& model,
   for (std::size_t i = 0; i < n_tiers; ++i) {
     const auto& power = model.tiers()[i].power;
     const Interval speedup =
-        box.frequencies[i] / Interval::point(power.dvfs().f_base);
+        box.frequencies[i] / Interval::point(power.dvfs().f_base.value());
     ts[i] = Interval::point(1.0) / (box.mu_scale[i] * speedup);
   }
 
@@ -308,10 +308,12 @@ IntervalEvaluation evaluate_box(const core::ClusterModel& model,
     }
     const Interval& f = box.frequencies[i];
     const Interval g = relax(Interval{
-        tier.power.dynamic_power(f.lo) / tier.power.speedup(f.lo),
-        tier.power.dynamic_power(f.hi) / tier.power.speedup(f.hi)});
+        tier.power.dynamic_power(units::hertz(f.lo)).value() /
+            tier.power.speedup(units::hertz(f.lo)),
+        tier.power.dynamic_power(units::hertz(f.hi)).value() /
+            tier.power.speedup(units::hertz(f.hi))});
     const Interval idle = Interval::point(static_cast<double>(tier.servers) *
-                                          tier.power.idle_power());
+                                          tier.power.idle_power().value());
     total_power = total_power + idle + g * load / box.mu_scale[i];
     if (ev.rho[i].hi >= 1.0) maybe_unstable = true;
   }

@@ -18,9 +18,9 @@ struct CrossValidateOptions {
   /// Agreement envelopes (relative, with a small absolute floor): power
   /// and utilisation depend on no queueing approximation, delays carry the
   /// decomposition error quantified by experiment E1.
-  double power_tolerance = 0.03;
+  double power_tolerance = 0.03;  // relative envelope // conv-ok: UNIT-2
   double utilization_tolerance = 0.06;
-  double delay_tolerance = 0.25;
+  double delay_tolerance = 0.25;  // relative envelope // conv-ok: UNIT-2
   /// Run the simulator's internal audit hooks during the differential run.
   bool audit = true;
 };

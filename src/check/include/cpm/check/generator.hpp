@@ -34,8 +34,8 @@ struct GeneratorOptions {
       queueing::Discipline::kFcfs, queueing::Discipline::kNonPreemptivePriority,
       queueing::Discipline::kPreemptiveResume,
       queueing::Discipline::kProcessorSharing};
-  double min_rate = 0.5;            ///< per-class arrival rate before rescale
-  double max_rate = 3.0;
+  units::Rate min_rate = units::per_second(0.5);  ///< per-class rate before rescale
+  units::Rate max_rate = units::per_second(3.0);
   double min_demand_mean = 0.01;    ///< per-visit service demand at f_base
   double max_demand_mean = 0.05;
   double min_demand_scv = 0.5;

@@ -69,10 +69,12 @@ bool concrete_violates(const core::ClusterModel& model, const PropertyRef& ref,
       return core::tier_utilizations(at, point.frequencies)[ref.index] >= 1.0;
     case PropertyRef::Kind::kFloor:
       return !core::sla_mean_target_feasible(
-          threshold, core::class_delay_floor(at, ref.index, point.frequencies));
+          units::seconds(threshold),
+          core::class_delay_floor(at, ref.index, point.frequencies));
     case PropertyRef::Kind::kMeanSla: {
       const core::Evaluation ev = at.evaluate(point.frequencies);
-      const double delay = ev.stable ? ev.net.e2e_delay[ref.index] : kInf;
+      const double delay =
+          ev.stable ? ev.net.e2e_delay[ref.index].value() : kInf;
       return delay > threshold;
     }
     case PropertyRef::Kind::kPercentileSla: {
@@ -81,11 +83,12 @@ bool concrete_violates(const core::ClusterModel& model, const PropertyRef& ref,
           ev.stable ? queueing::percentile_e2e_delay(
                           ev.net, ref.index,
                           model.classes()[ref.index].sla.percentile)
+                          .value()
                     : kInf;
       return delay > threshold;
     }
     case PropertyRef::Kind::kPower:
-      return at.power_at(point.frequencies) > threshold;
+      return at.power_at(point.frequencies).value() > threshold;
   }
   return false;
 }
@@ -193,7 +196,7 @@ Report check_certify_soundness(const core::ClusterModel& model,
 certify::BoxSpec random_box(const core::ClusterModel& model, Rng& rng) {
   BoxSpec box = certify::default_box(model);
   for (std::size_t k = 0; k < box.rates.size(); ++k) {
-    const double rate = model.classes()[k].rate;
+    const double rate = model.classes()[k].rate.value();
     box.rates[k] = core::Interval{rate * rng.uniform(0.8, 1.0),
                                   rate * rng.uniform(1.0, 1.2)};
   }
@@ -202,8 +205,8 @@ certify::BoxSpec random_box(const core::ClusterModel& model, Rng& rng) {
         core::Interval{rng.uniform(0.9, 1.0), rng.uniform(1.0, 1.1)};
   for (std::size_t i = 0; i < box.frequencies.size(); ++i) {
     const auto& dvfs = model.tiers()[i].power.dvfs();
-    const double lo = rng.uniform(dvfs.f_min, dvfs.f_max);
-    const double hi = rng.uniform(lo, dvfs.f_max);
+    const double lo = rng.uniform(dvfs.f_min.value(), dvfs.f_max.value());
+    const double hi = rng.uniform(lo, dvfs.f_max.value());
     box.frequencies[i] = core::Interval{lo, hi};
   }
   return box;
@@ -219,8 +222,9 @@ core::ClusterModel with_random_slas(const core::ClusterModel& model, Rng& rng) {
   for (std::size_t k = 0; k < classes.size(); ++k) {
     if (!rng.bernoulli(0.7)) continue;
     const double floor =
-        core::class_delay_floor(model, k, model.max_frequencies());
-    classes[k].sla.max_mean_e2e_delay = floor * rng.uniform(0.8, 6.0);
+        core::class_delay_floor(model, k, model.max_frequencies()).value();
+    classes[k].sla.max_mean_e2e_delay =
+        units::seconds(floor * rng.uniform(0.8, 6.0));
   }
   return core::ClusterModel(model.tiers(), std::move(classes));
 }

@@ -50,13 +50,15 @@ Report cross_validate(const core::ClusterModel& model,
   CheckResult delay{"diff-delay", true, 0.0, options.delay_tolerance, ""};
   for (std::size_t k = 0; k < model.num_classes(); ++k)
     observe(delay,
-            residual(sr.classes[k].mean_e2e_delay.mean, ev.net.e2e_delay[k], 0.05),
+            residual(sr.classes[k].mean_e2e_delay.mean,
+                     ev.net.e2e_delay[k].value(), 0.05),
             "class '" + model.classes()[k].name + "' E2E delay");
   report.add(std::move(delay));
 
   CheckResult power{"diff-power", true, 0.0, options.power_tolerance, ""};
   observe(power,
-          residual(sr.cluster_avg_power.mean, ev.energy.cluster_avg_power, 1.0),
+          residual(sr.cluster_avg_power.mean,
+                   ev.energy.cluster_avg_power.value(), 1.0),
           "cluster average power");
   report.add(std::move(power));
 
@@ -126,7 +128,8 @@ Report check_reductions(double tolerance) {
         // Multi-server exactness holds for M/M/c only.
         if (c > 1 && scv != 1.0) continue;  // conv-ok: CONV-5
         const std::vector<ClassFlow> flow = {
-            ClassFlow{lambda, Distribution::from_mean_scv(mean_service, scv)}};
+            ClassFlow{units::per_second(lambda),
+                      Distribution::from_mean_scv(mean_service, scv)}};
         const auto fcfs = queueing::analyze_station(c, Discipline::kFcfs, flow);
         for (Discipline d : {Discipline::kNonPreemptivePriority,
                              Discipline::kPreemptiveResume}) {

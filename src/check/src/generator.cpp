@@ -16,7 +16,7 @@ void validate_options(const GeneratorOptions& o) {
   require(o.min_servers >= 1 && o.max_servers >= o.min_servers,
           "generator: server range must satisfy 1 <= min <= max");
   require(!o.disciplines.empty(), "generator: need at least one discipline");
-  require(o.min_rate > 0.0 && o.max_rate >= o.min_rate,
+  require(o.min_rate > units::per_second(0.0) && o.max_rate >= o.min_rate,
           "generator: rate range must satisfy 0 < min <= max");
   require(o.min_demand_mean > 0.0 && o.max_demand_mean >= o.min_demand_mean,
           "generator: demand-mean range must satisfy 0 < min <= max");
@@ -62,7 +62,8 @@ core::ClusterModel random_model(Rng& rng, const GeneratorOptions& options) {
   for (std::size_t k = 0; k < n_classes; ++k) {
     core::WorkloadClass c;
     c.name = "c" + std::to_string(k);
-    c.rate = rng.uniform(options.min_rate, options.max_rate);
+    c.rate = units::per_second(
+        rng.uniform(options.min_rate.value(), options.max_rate.value()));
     for (std::size_t i = 0; i < n_tiers; ++i) {
       const double mean =
           rng.uniform(options.min_demand_mean, options.max_demand_mean);

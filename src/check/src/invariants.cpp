@@ -111,7 +111,7 @@ CheckResult check_conservation_law(const core::ClusterModel& model,
         sum_m2 += v.service.second_moment();
       }
       if (visits == 0.0) continue;
-      w0 += classes[k].rate * visits * (sum_m2 / visits) / 2.0;
+      w0 += classes[k].rate.value() * visits * (sum_m2 / visits) / 2.0;
       lhs += ev.net.station_rho[i][k] * ev.net.station_wait[i][k];
     }
     const double rho = ev.net.station_utilization[i];
@@ -164,13 +164,14 @@ CheckResult check_energy_balance(const core::ClusterModel& model,
   // energies a partition of the cluster's entire power draw.
   double recovered = 0.0;
   for (std::size_t k = 0; k < model.num_classes(); ++k)
-    recovered += model.classes()[k].rate * ev.energy.per_request_energy[k];
-  observe(r, residual(recovered, ev.energy.cluster_avg_power),
+    recovered +=
+        model.classes()[k].rate.value() * ev.energy.per_request_energy[k].value();
+  observe(r, residual(recovered, ev.energy.cluster_avg_power.value()),
           "sum_k lambda_k E_k vs cluster power");
 
   double station_sum = 0.0;
-  for (double p : ev.energy.station_avg_power) station_sum += p;
-  observe(r, residual(station_sum, ev.energy.cluster_avg_power),
+  for (units::Watts p : ev.energy.station_avg_power) station_sum += p.value();
+  observe(r, residual(station_sum, ev.energy.cluster_avg_power.value()),
           "sum of station powers vs cluster power");
   return r;
 }
@@ -237,11 +238,11 @@ CheckResult check_energy_balance_sim(const sim::SimConfig& config,
   double recovered = 0.0;  // sum_k throughput_k * marginal joules per request
   for (std::size_t k = 0; k < config.classes.size(); ++k)
     recovered += static_cast<double>(result.classes[k].completed) /
-                 result.measured_time * result.classes[k].mean_e2e_energy;
+                 result.measured_time * result.classes[k].mean_e2e_energy.value();
   double dynamic_power = 0.0;  // measured power minus the constant idle floor
   for (std::size_t s = 0; s < config.stations.size(); ++s)
-    dynamic_power += result.stations[s].avg_power -
-                     config.stations[s].idle_watts *
+    dynamic_power += result.stations[s].avg_power.value() -
+                     config.stations[s].idle_watts.value() *
                          static_cast<double>(config.stations[s].servers);
   observe(r, residual(recovered, dynamic_power, 1e-9),
           "class energy flux vs dynamic power");

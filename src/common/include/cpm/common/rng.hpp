@@ -70,7 +70,9 @@ class Rng {
     return lo + (hi - lo) * uniform01();
   }
 
-  /// Exponential variate with the given rate (mean 1/rate).
+  /// Exponential variate with the given rate (mean 1/rate). The rate's
+  /// unit is the caller's choice — this is the generic unit-agnostic
+  /// sampling primitive. // conv-ok: UNIT-1
   double exponential(double rate) {
     require(rate > 0.0, "Rng::exponential: rate must be positive");
     // 1 - U avoids log(0); U in [0,1) so 1-U in (0,1].

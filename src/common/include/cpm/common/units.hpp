@@ -1,0 +1,231 @@
+// Compile-time dimensional analysis for the power/performance pipeline.
+//
+// Every quantity the paper's optimisation problems trade off — arrival
+// rates (jobs/s), end-to-end delays (s), DVFS frequencies (cycles/s),
+// power (W), energy (J) — carries a dimension, and mixing them up (a
+// swapped rate/delay argument, a W-vs-J confusion) is a bug the type
+// system can reject before the program ever runs. Quantity<Dim> wraps a
+// double in a dimension vector over four base axes (time, jobs, energy,
+// cycles) checked entirely at compile time:
+//
+//   * same-dimension + - and comparisons work; cross-dimension ones are
+//     rejected with a static_assert naming the mistake;
+//   * * and / compose dimensions (Watts * Seconds -> Joules,
+//     Jobs / Seconds -> Rate); a fully cancelled result collapses to a
+//     plain double, so ratios (delay/bound, f/f_base) stay ergonomic;
+//   * construction from a raw double is explicit — through the factories
+//     (seconds, per_second, watts, hertz, joules) at I/O boundaries —
+//     and the only way back out is the explicit .value() escape hatch.
+//
+// The wrapper is free: a Quantity is exactly one double (static_asserts
+// below), every operator is a constexpr inline single flop, and adopting
+// it is bit-for-bit output-neutral — the golden-determinism suites pin
+// that. Policy for which APIs carry units (and when .value() is
+// legitimate) lives in docs/units.md; the UNIT-1..UNIT-4 rules of
+// tools/lint_cpp.py enforce adoption in src/ public headers.
+#pragma once
+
+#include <limits>
+#include <type_traits>
+
+namespace cpm::units {
+
+/// A dimension: integer exponents over the four base axes.
+template <int TimeE, int JobsE, int EnergyE, int CyclesE>
+struct Dim {
+  static constexpr int time = TimeE;
+  static constexpr int jobs = JobsE;
+  static constexpr int energy = EnergyE;
+  static constexpr int cycles = CyclesE;
+};
+
+template <class A, class B>
+using DimProduct = Dim<A::time + B::time, A::jobs + B::jobs,
+                       A::energy + B::energy, A::cycles + B::cycles>;
+template <class A, class B>
+using DimQuotient = Dim<A::time - B::time, A::jobs - B::jobs,
+                        A::energy - B::energy, A::cycles - B::cycles>;
+template <class D>
+using DimInverse = Dim<-D::time, -D::jobs, -D::energy, -D::cycles>;
+
+template <class D>
+inline constexpr bool kDimensionless =
+    D::time == 0 && D::jobs == 0 && D::energy == 0 && D::cycles == 0;
+
+/// A double tagged with a compile-time dimension. Zero overhead: same
+/// size and layout as the double it wraps, all operations constexpr.
+template <class D>
+class Quantity {
+ public:
+  using Dimension = D;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  /// The only way back to a raw double — reserved for I/O boundaries
+  /// (JSON, SARIF, benchmark reports) and the dimensionless kernels
+  /// documented in docs/units.md.
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  /// Unset bounds in this codebase are +infinity (see core::Sla).
+  [[nodiscard]] static constexpr Quantity infinity() {
+    return Quantity(std::numeric_limits<double>::infinity());
+  }
+
+  // Same-dimension arithmetic and ordering (hidden friends: found only
+  // via the operand type, so they never pollute overload sets).
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.v_ + b.v_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.v_ - b.v_);
+  }
+  constexpr Quantity operator-() const { return Quantity(-v_); }
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  // Scaling by a dimensionless factor.
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity(a.v_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity(s * a.v_);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity(a.v_ / s);
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+  friend constexpr bool operator==(Quantity a, Quantity b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Quantity a, Quantity b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Quantity a, Quantity b) { return a.v_ < b.v_; }
+  friend constexpr bool operator<=(Quantity a, Quantity b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>(Quantity a, Quantity b) { return a.v_ > b.v_; }
+  friend constexpr bool operator>=(Quantity a, Quantity b) { return a.v_ >= b.v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+// Dimension-composing multiplication/division. When the result is fully
+// dimensionless it collapses to a plain double (ratios are scalars).
+template <class D1, class D2>
+[[nodiscard]] constexpr auto operator*(Quantity<D1> a, Quantity<D2> b) {
+  using R = DimProduct<D1, D2>;
+  if constexpr (kDimensionless<R>) {
+    return a.value() * b.value();
+  } else {
+    return Quantity<R>(a.value() * b.value());
+  }
+}
+
+template <class D1, class D2>
+[[nodiscard]] constexpr auto operator/(Quantity<D1> a, Quantity<D2> b) {
+  using R = DimQuotient<D1, D2>;
+  if constexpr (kDimensionless<R>) {
+    return a.value() / b.value();
+  } else {
+    return Quantity<R>(a.value() / b.value());
+  }
+}
+
+/// Inverting a quantity (e.g. 1.0 / rate -> mean interarrival time).
+template <class D>
+[[nodiscard]] constexpr Quantity<DimInverse<D>> operator/(double s,
+                                                          Quantity<D> a) {
+  return Quantity<DimInverse<D>>(s / a.value());
+}
+
+// Cross-dimension + - and comparisons do not exist; these catch-all
+// overloads turn the overload-resolution failure into a message naming
+// the actual mistake. (The same-dimension hidden friends are exact
+// non-template matches, so they always win when dimensions agree.)
+template <class D1, class D2>
+constexpr void operator+(Quantity<D1>, Quantity<D2>) {
+  static_assert(std::is_same_v<D1, D2>,
+                "cpm::units: adding quantities of different dimensions "
+                "(e.g. Watts + Seconds) is meaningless");
+}
+template <class D1, class D2>
+constexpr void operator-(Quantity<D1>, Quantity<D2>) {
+  static_assert(std::is_same_v<D1, D2>,
+                "cpm::units: subtracting quantities of different dimensions "
+                "is meaningless");
+}
+template <class D1, class D2>
+constexpr void operator<(Quantity<D1>, Quantity<D2>) {
+  static_assert(std::is_same_v<D1, D2>,
+                "cpm::units: comparing quantities of different dimensions "
+                "(e.g. a Rate against a Delay bound) is meaningless");
+}
+template <class D1, class D2>
+constexpr void operator>(Quantity<D1>, Quantity<D2>) {
+  static_assert(std::is_same_v<D1, D2>,
+                "cpm::units: comparing quantities of different dimensions "
+                "is meaningless");
+}
+template <class D1, class D2>
+constexpr void operator<=(Quantity<D1>, Quantity<D2>) {
+  static_assert(std::is_same_v<D1, D2>,
+                "cpm::units: comparing quantities of different dimensions "
+                "is meaningless");
+}
+template <class D1, class D2>
+constexpr void operator>=(Quantity<D1>, Quantity<D2>) {
+  static_assert(std::is_same_v<D1, D2>,
+                "cpm::units: comparing quantities of different dimensions "
+                "is meaningless");
+}
+
+// ---- The repo's working set of dimensions ---------------------------------
+
+using Seconds = Quantity<Dim<1, 0, 0, 0>>;         ///< delay, horizon, window
+using SecondsSquared = Quantity<Dim<2, 0, 0, 0>>;  ///< delay variance
+using Jobs = Quantity<Dim<0, 1, 0, 0>>;            ///< request count
+using Rate = Quantity<Dim<-1, 1, 0, 0>>;           ///< jobs per second
+using Joules = Quantity<Dim<0, 0, 1, 0>>;          ///< energy
+using Watts = Quantity<Dim<-1, 0, 1, 0>>;          ///< power = J/s
+using Cycles = Quantity<Dim<0, 0, 0, 1>>;          ///< CPU work
+using Hertz = Quantity<Dim<-1, 0, 0, 1>>;          ///< frequency = cycles/s
+
+// Boundary factories: the sanctioned way to give a raw double a
+// dimension (JSON parse, CLI flags, literals in tests and examples).
+[[nodiscard]] constexpr Seconds seconds(double v) { return Seconds(v); }
+[[nodiscard]] constexpr Jobs jobs(double v) { return Jobs(v); }
+[[nodiscard]] constexpr Rate per_second(double v) { return Rate(v); }
+[[nodiscard]] constexpr Joules joules(double v) { return Joules(v); }
+[[nodiscard]] constexpr Watts watts(double v) { return Watts(v); }
+[[nodiscard]] constexpr Hertz hertz(double v) { return Hertz(v); }
+
+// The zero-overhead contract, enforced at compile time.
+static_assert(sizeof(Watts) == sizeof(double),
+              "Quantity must add no storage to the double it wraps");
+static_assert(std::is_trivially_copyable_v<Watts>);
+static_assert(alignof(Watts) == alignof(double));
+
+// The dimensional identities the paper's formulas rely on.
+static_assert(std::is_same_v<decltype(watts(1.0) * seconds(1.0)), Joules>,
+              "W x s = J");
+static_assert(std::is_same_v<decltype(joules(1.0) / seconds(1.0)), Watts>,
+              "J / s = W");
+static_assert(std::is_same_v<decltype(jobs(1.0) / seconds(1.0)), Rate>,
+              "jobs / s = rate");
+static_assert(std::is_same_v<decltype(per_second(1.0) * seconds(1.0)), Jobs>,
+              "rate x s = jobs");
+static_assert(std::is_same_v<decltype(hertz(1.0) * seconds(1.0)), Cycles>,
+              "Hz x s = cycles");
+static_assert(std::is_same_v<decltype(seconds(1.0) / seconds(1.0)), double>,
+              "a ratio of like dimensions is a plain scalar");
+
+}  // namespace cpm::units

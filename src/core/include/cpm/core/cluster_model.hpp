@@ -14,10 +14,10 @@
 // against discrete-event simulation — the paper's validation methodology.
 #pragma once
 
-#include <limits>
 #include <string>
 #include <vector>
 
+#include "cpm/common/units.hpp"
 #include "cpm/power/energy.hpp"
 #include "cpm/power/server_power.hpp"
 #include "cpm/queueing/network.hpp"
@@ -30,16 +30,16 @@ namespace cpm::core {
 /// "95% of gold requests finish within X seconds" — checked against the
 /// gamma-fit analytic percentile (queueing::percentile_e2e_delay).
 struct Sla {
-  double max_mean_e2e_delay = std::numeric_limits<double>::infinity();
+  units::Seconds max_mean_e2e_delay = units::Seconds::infinity();
   /// Bound on the `percentile`-quantile of E2E delay (default p95).
-  double max_percentile_e2e_delay = std::numeric_limits<double>::infinity();
+  units::Seconds max_percentile_e2e_delay = units::Seconds::infinity();
   double percentile = 0.95;
 
   [[nodiscard]] bool mean_bounded() const {
-    return max_mean_e2e_delay != std::numeric_limits<double>::infinity();
+    return max_mean_e2e_delay != units::Seconds::infinity();
   }
   [[nodiscard]] bool percentile_bounded() const {
-    return max_percentile_e2e_delay != std::numeric_limits<double>::infinity();
+    return max_percentile_e2e_delay != units::Seconds::infinity();
   }
   [[nodiscard]] bool bounded() const {
     return mean_bounded() || percentile_bounded();
@@ -66,7 +66,7 @@ struct Demand {
 /// One customer class; vector order defines priority (0 = highest).
 struct WorkloadClass {
   std::string name;
-  double rate = 0.0;
+  units::Rate rate = units::per_second(0.0);
   std::vector<Demand> route;
   Sla sla;
 };
@@ -86,7 +86,7 @@ class ClusterModel {
   [[nodiscard]] const std::vector<WorkloadClass>& classes() const { return classes_; }
   [[nodiscard]] std::size_t num_tiers() const { return tiers_.size(); }
   [[nodiscard]] std::size_t num_classes() const { return classes_.size(); }
-  [[nodiscard]] double total_rate() const;
+  [[nodiscard]] units::Rate total_rate() const;
 
   /// Returns a copy with different per-tier server counts (same order).
   [[nodiscard]] ClusterModel with_servers(const std::vector<int>& servers) const;
@@ -97,7 +97,7 @@ class ClusterModel {
 
   /// Returns a copy with per-class arrival rates replaced (one per class).
   /// The online controller re-plans against measured rates with this.
-  [[nodiscard]] ClusterModel with_rates(const std::vector<double>& rates) const;
+  [[nodiscard]] ClusterModel with_rates(const std::vector<units::Rate>& rates) const;
 
   /// All tiers at their maximum (resp. minimum) DVFS frequency.
   [[nodiscard]] std::vector<double> max_frequencies() const;
@@ -136,10 +136,11 @@ class ClusterModel {
   [[nodiscard]] Evaluation evaluate(const std::vector<double>& frequencies) const;
 
   /// Cluster average power at `f`, +infinity when unstable.
-  [[nodiscard]] double power_at(const std::vector<double>& frequencies) const;
+  [[nodiscard]] units::Watts power_at(const std::vector<double>& frequencies) const;
 
   /// Traffic-weighted mean E2E delay at `f`, +infinity when unstable.
-  [[nodiscard]] double mean_delay_at(const std::vector<double>& frequencies) const;
+  [[nodiscard]] units::Seconds mean_delay_at(
+      const std::vector<double>& frequencies) const;
 
   /// Compiles the model at an operating point into a simulator config.
   /// Service distributions are pre-scaled to the chosen frequencies and

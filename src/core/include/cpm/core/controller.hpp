@@ -25,8 +25,9 @@ class ReactiveDvfsController {
  public:
   struct Options {
     /// Aggregate mean E2E delay bound the controller must protect.
-    double delay_bound = 0.5;
-    /// EWMA weight on the newest rate measurement (1 = no smoothing).
+    units::Seconds delay_bound = units::seconds(0.5);
+    /// EWMA weight on the newest rate measurement (1 = no smoothing);
+    /// dimensionless, not a rate itself. // conv-ok: UNIT-2
     double rate_smoothing = 0.5;
     /// Measured rates are multiplied by this before re-planning, buying
     /// slack against within-window ramps.
@@ -45,10 +46,13 @@ class ReactiveDvfsController {
   /// One control decision, recorded for post-run analysis.
   struct Decision {
     double time = 0.0;
+    // Telemetry snapshot kept raw: it is sourced from the simulator's
+    // hot-path window counters (raw-double boundary). // conv-ok: UNIT-4
     std::vector<double> measured_rates;   ///< raw window measurement
-    std::vector<double> planned_rates;    ///< smoothed + headroom
+    std::vector<double> planned_rates;    ///< smoothed + headroom // conv-ok: UNIT-4
     std::vector<double> frequencies;      ///< applied operating point
-    double predicted_power = 0.0;         ///< analytic power at the plan
+    /// Analytic power at the plan.
+    units::Watts predicted_power = units::watts(0.0);
     bool feasible = false;                ///< false -> failed safe to f_max
   };
 
@@ -70,7 +74,7 @@ class ReactiveDvfsController {
 
   ClusterModel model_;
   Options options_;
-  std::vector<double> smoothed_rates_;
+  std::vector<double> smoothed_rates_;  ///< EWMA state, raw hot-path // conv-ok: UNIT-4
   std::vector<Decision> history_;
 };
 

@@ -28,8 +28,10 @@ namespace cpm::core {
 /// Result of a continuous (frequency) optimisation.
 struct FrequencyOptResult {
   std::vector<double> frequencies;
-  double mean_delay = 0.0;     ///< traffic-weighted mean E2E delay at optimum
-  double power = 0.0;          ///< cluster average power at optimum
+  /// Traffic-weighted mean E2E delay at the optimum.
+  units::Seconds mean_delay = units::seconds(0.0);
+  /// Cluster average power at the optimum.
+  units::Watts power = units::watts(0.0);
   bool feasible = false;
   Evaluation evaluation;       ///< full analytic metrics at the optimum
 };
@@ -45,30 +47,30 @@ struct FrequencyOptOptions {
 /// feasible=false when even the all-min-frequency point (lowest possible
 /// power) exceeds the budget or no stable point fits it.
 FrequencyOptResult minimize_delay_with_power_budget(
-    const ClusterModel& model, double power_budget,
+    const ClusterModel& model, units::Watts power_budget,
     const FrequencyOptOptions& options = {});
 
 /// P-E (all classes): minimise cluster power subject to the traffic-
 /// weighted mean E2E delay <= max_mean_delay.
 FrequencyOptResult minimize_power_with_delay_bound(
-    const ClusterModel& model, double max_mean_delay,
+    const ClusterModel& model, units::Seconds max_mean_delay,
     const FrequencyOptOptions& options = {});
 
 /// P-E (each class): minimise cluster power subject to per-class mean E2E
 /// delay bounds (bounds.size() == num_classes; +infinity = unconstrained).
 FrequencyOptResult minimize_power_with_class_delay_bounds(
-    const ClusterModel& model, const std::vector<double>& bounds,
+    const ClusterModel& model, const std::vector<units::Seconds>& bounds,
     const FrequencyOptOptions& options = {});
 
 /// Baseline for P-D: all tiers run at one common frequency, the highest
 /// uniform setting that fits the power budget.
 FrequencyOptResult uniform_frequency_baseline(const ClusterModel& model,
-                                              double power_budget);
+                                              units::Watts power_budget);
 
 /// Baseline for P-E: no DVFS — every tier at f_max; feasible iff the delay
 /// bound(s) hold there.
-FrequencyOptResult no_dvfs_baseline(const ClusterModel& model,
-                                    const std::vector<double>& class_bounds);
+FrequencyOptResult no_dvfs_baseline(
+    const ClusterModel& model, const std::vector<units::Seconds>& class_bounds);
 
 /// Result of the integer provisioning optimisation.
 struct CostOptResult {
@@ -109,7 +111,8 @@ CostOptResult minimize_cost_for_slas(const ClusterModel& model,
 // LOWER (experiment E10 shows the crossover).
 
 struct TcoOptions {
-  double energy_price_per_kwh = 0.10;  ///< money per kWh
+  /// Money per kWh. Currency is not a modelled dimension. // conv-ok: UNIT-2
+  double energy_price_per_kwh = 0.10;
   double billing_hours = 3.0 * 365.0 * 24.0;  ///< amortisation horizon (3y)
   int max_servers_per_tier = 12;
   int levels = 7;  ///< frequency-lattice resolution of the inner solve
@@ -121,7 +124,7 @@ struct TcoResult {
   double capex = 0.0;          ///< hardware cost
   double opex = 0.0;           ///< energy cost over billing_hours
   double total_cost = 0.0;
-  double power = 0.0;          ///< watts at the optimum
+  units::Watts power = units::watts(0.0);  ///< cluster power at the optimum
   bool feasible = false;
   long nodes_explored = 0;
   Evaluation evaluation;
@@ -146,7 +149,7 @@ std::vector<std::vector<double>> frequency_grids(const ClusterModel& model,
 
 /// P-E over the discrete grid: minimise power s.t. mean E2E delay bound.
 FrequencyOptResult minimize_power_with_delay_bound_discrete(
-    const ClusterModel& model, double max_mean_delay, int levels);
+    const ClusterModel& model, units::Seconds max_mean_delay, int levels);
 
 /// P-E (each class) over the discrete grid: minimise power s.t. per-class
 /// mean E2E delay bounds (bounds.size() == num_classes; +infinity =
@@ -154,10 +157,11 @@ FrequencyOptResult minimize_power_with_delay_bound_discrete(
 /// actuators expose P-states, so the closed loop always picks from the
 /// lattice rather than the continuum.
 FrequencyOptResult minimize_power_with_class_delay_bounds_discrete(
-    const ClusterModel& model, const std::vector<double>& bounds, int levels);
+    const ClusterModel& model, const std::vector<units::Seconds>& bounds,
+    int levels);
 
 /// P-D over the discrete grid: minimise delay s.t. power budget.
 FrequencyOptResult minimize_delay_with_power_budget_discrete(
-    const ClusterModel& model, double power_budget, int levels);
+    const ClusterModel& model, units::Watts power_budget, int levels);
 
 }  // namespace cpm::core

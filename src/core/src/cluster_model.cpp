@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "cpm/common/error.hpp"
 #include "cpm/core/preconditions.hpp"
@@ -19,7 +18,8 @@ ClusterModel::ClusterModel(std::vector<Tier> tiers, std::vector<WorkloadClass> c
             "ClusterModel: tier '" + t.name + "' needs positive cost");
   }
   for (const auto& c : classes_) {
-    require(c.rate >= 0.0, "ClusterModel: class '" + c.name + "' has negative rate");
+    require(c.rate >= units::per_second(0.0),
+            "ClusterModel: class '" + c.name + "' has negative rate");
     require(!c.route.empty(), "ClusterModel: class '" + c.name + "' has empty route");
     for (const auto& d : c.route)
       require(d.tier >= 0 && static_cast<std::size_t>(d.tier) < tiers_.size(),
@@ -27,8 +27,8 @@ ClusterModel::ClusterModel(std::vector<Tier> tiers, std::vector<WorkloadClass> c
   }
 }
 
-double ClusterModel::total_rate() const {
-  double r = 0.0;
+units::Rate ClusterModel::total_rate() const {
+  units::Rate r = units::per_second(0.0);
   for (const auto& c : classes_) r += c.rate;
   return r;
 }
@@ -47,7 +47,7 @@ ClusterModel ClusterModel::with_rate_scale(double factor) const {
   return ClusterModel(tiers_, std::move(classes));
 }
 
-ClusterModel ClusterModel::with_rates(const std::vector<double>& rates) const {
+ClusterModel ClusterModel::with_rates(const std::vector<units::Rate>& rates) const {
   require(rates.size() == classes_.size(), "with_rates: one rate per class");
   std::vector<WorkloadClass> classes = classes_;
   for (std::size_t k = 0; k < classes.size(); ++k) classes[k].rate = rates[k];
@@ -56,13 +56,15 @@ ClusterModel ClusterModel::with_rates(const std::vector<double>& rates) const {
 
 std::vector<double> ClusterModel::max_frequencies() const {
   std::vector<double> f(tiers_.size());
-  for (std::size_t i = 0; i < tiers_.size(); ++i) f[i] = tiers_[i].power.dvfs().f_max;
+  for (std::size_t i = 0; i < tiers_.size(); ++i)
+    f[i] = tiers_[i].power.dvfs().f_max.value();
   return f;
 }
 
 std::vector<double> ClusterModel::min_frequencies() const {
   std::vector<double> f(tiers_.size());
-  for (std::size_t i = 0; i < tiers_.size(); ++i) f[i] = tiers_[i].power.dvfs().f_min;
+  for (std::size_t i = 0; i < tiers_.size(); ++i)
+    f[i] = tiers_[i].power.dvfs().f_min.value();
   return f;
 }
 
@@ -75,8 +77,8 @@ std::vector<double> ClusterModel::min_stable_frequencies(double margin) const {
   std::vector<double> f(tiers_.size());
   for (std::size_t i = 0; i < tiers_.size(); ++i) {
     const auto& dvfs = tiers_[i].power.dvfs();
-    const double f_crit = load[i] * dvfs.f_base / (1.0 - margin);
-    f[i] = std::clamp(f_crit, dvfs.f_min, dvfs.f_max);
+    const double f_crit = load[i] * dvfs.f_base.value() / (1.0 - margin);
+    f[i] = std::clamp(f_crit, dvfs.f_min.value(), dvfs.f_max.value());
   }
   return f;
 }
@@ -85,7 +87,7 @@ void ClusterModel::check_frequencies(const std::vector<double>& frequencies) con
   require(frequencies.size() == tiers_.size(),
           "ClusterModel: one frequency per tier required");
   for (std::size_t i = 0; i < tiers_.size(); ++i)
-    tiers_[i].power.check_frequency(frequencies[i]);
+    tiers_[i].power.check_frequency(units::hertz(frequencies[i]));
 }
 
 std::vector<queueing::NetworkStation> ClusterModel::network_stations() const {
@@ -108,7 +110,8 @@ std::vector<queueing::CustomerClass> ClusterModel::network_classes(
     qc.route.reserve(c.route.size());
     for (const auto& d : c.route) {
       const auto tier = static_cast<std::size_t>(d.tier);
-      const double speedup = tiers_[tier].power.speedup(frequencies[tier]);
+      const double speedup =
+          tiers_[tier].power.speedup(units::hertz(frequencies[tier]));
       qc.route.push_back(queueing::Visit{
           d.tier, d.base_service.scaled_to_mean(d.base_service.mean() / speedup)});
     }
@@ -123,7 +126,8 @@ std::vector<power::TierPower> ClusterModel::tier_power(
   std::vector<power::TierPower> tp;
   tp.reserve(tiers_.size());
   for (std::size_t i = 0; i < tiers_.size(); ++i)
-    tp.push_back(power::TierPower{tiers_[i].power, frequencies[i], tiers_[i].servers});
+    tp.push_back(power::TierPower{tiers_[i].power, units::hertz(frequencies[i]),
+                                  tiers_[i].servers});
   return tp;
 }
 
@@ -149,20 +153,21 @@ Evaluation ClusterModel::evaluate(const std::vector<double>& frequencies) const 
   tier_power.reserve(tiers_.size());
   for (std::size_t i = 0; i < tiers_.size(); ++i)
     tier_power.push_back(
-        power::TierPower{tiers_[i].power, frequencies[i], tiers_[i].servers});
+        power::TierPower{tiers_[i].power, units::hertz(frequencies[i]),
+                         tiers_[i].servers});
   ev.energy = power::compute_energy(tier_power, classes, ev.net);
   return ev;
 }
 
-double ClusterModel::power_at(const std::vector<double>& frequencies) const {
+units::Watts ClusterModel::power_at(const std::vector<double>& frequencies) const {
   const Evaluation ev = evaluate(frequencies);
-  return ev.stable ? ev.energy.cluster_avg_power
-                   : std::numeric_limits<double>::infinity();
+  return ev.stable ? ev.energy.cluster_avg_power : units::Watts::infinity();
 }
 
-double ClusterModel::mean_delay_at(const std::vector<double>& frequencies) const {
+units::Seconds ClusterModel::mean_delay_at(
+    const std::vector<double>& frequencies) const {
   const Evaluation ev = evaluate(frequencies);
-  return ev.stable ? ev.net.mean_e2e_delay : std::numeric_limits<double>::infinity();
+  return ev.stable ? ev.net.mean_e2e_delay : units::Seconds::infinity();
 }
 
 sim::SimConfig ClusterModel::to_sim_config(const std::vector<double>& frequencies,
@@ -179,7 +184,7 @@ sim::SimConfig ClusterModel::to_sim_config(const std::vector<double>& frequencie
     const auto& t = tiers_[i];
     cfg.stations.push_back(sim::SimStation{
         t.name, t.servers, t.discipline, t.power.idle_power(),
-        t.power.dynamic_power(frequencies[i])});
+        t.power.dynamic_power(units::hertz(frequencies[i]))});
   }
 
   const auto classes = network_classes(frequencies);
@@ -194,8 +199,9 @@ std::vector<sim::TierSetting> ClusterModel::tier_settings(
   check_frequencies(frequencies);
   std::vector<sim::TierSetting> settings(tiers_.size());
   for (std::size_t i = 0; i < tiers_.size(); ++i) {
-    settings[i].speed = tiers_[i].power.speedup(frequencies[i]);
-    settings[i].dynamic_watts = tiers_[i].power.dynamic_power(frequencies[i]);
+    settings[i].speed = tiers_[i].power.speedup(units::hertz(frequencies[i]));
+    settings[i].dynamic_watts =
+        tiers_[i].power.dynamic_power(units::hertz(frequencies[i]));
   }
   return settings;
 }
@@ -255,12 +261,12 @@ ClusterModel make_enterprise_model(double load, queueing::Discipline discipline)
   };
 
   std::vector<WorkloadClass> classes = {
-      WorkloadClass{"gold", 0.2 * total_rate, route(0.020, 0.015, 0.020, 1.0),
-                    Sla{0.25}},
-      WorkloadClass{"silver", 0.3 * total_rate, route(0.025, 0.020, 0.030, 1.0),
-                    Sla{0.60}},
-      WorkloadClass{"bronze", 0.5 * total_rate, route(0.030, 0.022, 0.035, 2.0),
-                    Sla{2.00}},
+      WorkloadClass{"gold", units::per_second(0.2 * total_rate),
+                    route(0.020, 0.015, 0.020, 1.0), Sla{units::seconds(0.25)}},
+      WorkloadClass{"silver", units::per_second(0.3 * total_rate),
+                    route(0.025, 0.020, 0.030, 1.0), Sla{units::seconds(0.60)}},
+      WorkloadClass{"bronze", units::per_second(0.5 * total_rate),
+                    route(0.030, 0.022, 0.035, 2.0), Sla{units::seconds(2.00)}},
   };
 
   return ClusterModel(std::move(tiers), std::move(classes));

@@ -8,7 +8,8 @@ namespace cpm::core {
 
 ReactiveDvfsController::ReactiveDvfsController(ClusterModel model, Options options)
     : model_(std::move(model)), options_(options) {
-  require(options_.delay_bound > 0.0, "controller: delay bound must be positive");
+  require(options_.delay_bound > units::seconds(0.0),
+          "controller: delay bound must be positive");
   require(options_.rate_smoothing > 0.0 && options_.rate_smoothing <= 1.0,
           "controller: rate_smoothing in (0, 1]");
   require(options_.headroom >= 1.0, "controller: headroom must be >= 1");
@@ -16,11 +17,12 @@ ReactiveDvfsController::ReactiveDvfsController(ClusterModel model, Options optio
           "controller: planning_margin in (0, 1]");
   require(options_.levels >= 0, "controller: levels must be >= 0");
   smoothed_rates_.reserve(model_.num_classes());
-  for (const auto& c : model_.classes()) smoothed_rates_.push_back(c.rate);
+  for (const auto& c : model_.classes())
+    smoothed_rates_.push_back(c.rate.value());
 }
 
 FrequencyOptResult ReactiveDvfsController::plan(const ClusterModel& at_rates) const {
-  const double target = options_.planning_margin * options_.delay_bound;
+  const units::Seconds target = options_.planning_margin * options_.delay_bound;
   if (options_.levels > 0)
     return minimize_power_with_delay_bound_discrete(at_rates, target,
                                                     options_.levels);
@@ -52,7 +54,10 @@ std::vector<sim::TierSetting> ReactiveDvfsController::on_snapshot(
     decision.planned_rates[k] = smoothed_rates_[k] * options_.headroom;
   }
 
-  const ClusterModel at_rates = model_.with_rates(decision.planned_rates);
+  std::vector<units::Rate> planned(model_.num_classes(), units::per_second(0.0));
+  for (std::size_t k = 0; k < model_.num_classes(); ++k)
+    planned[k] = units::per_second(decision.planned_rates[k]);
+  const ClusterModel at_rates = model_.with_rates(planned);
   const FrequencyOptResult r = plan(at_rates);
   if (r.feasible) {
     decision.frequencies = r.frequencies;

@@ -113,22 +113,23 @@ power::ServerPower power_from_json(const Json& tier) {
   if (!tier.contains("power")) return power::ServerPower::typical_2011_server();
   const Json& p = tier.at("power");
   power::DvfsRange dvfs;
-  dvfs.f_min = p.number_or("f_min", 0.6);
-  dvfs.f_max = p.number_or("f_max", 1.0);
-  dvfs.f_base = p.number_or("f_base", 1.0);
-  return power::ServerPower(p.number_or("idle_watts", 150.0),
-                            p.number_or("busy_watts", 250.0),
+  dvfs.f_min = units::hertz(p.number_or("f_min", 0.6));
+  dvfs.f_max = units::hertz(p.number_or("f_max", 1.0));
+  dvfs.f_base = units::hertz(p.number_or("f_base", 1.0));
+  return power::ServerPower(units::watts(p.number_or("idle_watts", 150.0)),
+                            units::watts(p.number_or("busy_watts", 250.0)),
                             p.number_or("alpha", 3.0), dvfs);
 }
 
 Json power_to_json(const power::ServerPower& sp) {
   JsonObject p;
-  p["idle_watts"] = sp.idle_power();
-  p["busy_watts"] = sp.idle_power() + sp.dynamic_power(sp.dvfs().f_base);
+  p["idle_watts"] = sp.idle_power().value();
+  p["busy_watts"] =
+      (sp.idle_power() + sp.dynamic_power(sp.dvfs().f_base)).value();
   p["alpha"] = sp.alpha();
-  p["f_min"] = sp.dvfs().f_min;
-  p["f_max"] = sp.dvfs().f_max;
-  p["f_base"] = sp.dvfs().f_base;
+  p["f_min"] = sp.dvfs().f_min.value();
+  p["f_max"] = sp.dvfs().f_max.value();
+  p["f_base"] = sp.dvfs().f_base.value();
   return Json(std::move(p));
 }
 
@@ -169,13 +170,13 @@ ClusterModel model_from_json(const Json& json) {
   for (const auto& cj : json.at("classes").as_array()) {
     WorkloadClass c;
     c.name = cj.at("name").as_string();
-    c.rate = cj.at("rate").as_number();
+    c.rate = units::per_second(cj.at("rate").as_number());
     if (cj.contains("sla")) {
       const Json& sla = cj.at("sla");
-      c.sla.max_mean_e2e_delay = sla.number_or(
-          "max_mean_delay", std::numeric_limits<double>::infinity());
-      c.sla.max_percentile_e2e_delay = sla.number_or(
-          "max_percentile_delay", std::numeric_limits<double>::infinity());
+      c.sla.max_mean_e2e_delay = units::seconds(sla.number_or(
+          "max_mean_delay", std::numeric_limits<double>::infinity()));
+      c.sla.max_percentile_e2e_delay = units::seconds(sla.number_or(
+          "max_percentile_delay", std::numeric_limits<double>::infinity()));
       c.sla.percentile = sla.number_or("percentile", 0.95);
     }
     require(cj.contains("route"), "model_io: class '" + c.name + "' needs a route");
@@ -211,12 +212,13 @@ Json model_to_json(const ClusterModel& model) {
   for (const auto& c : model.classes()) {
     JsonObject cj;
     cj["name"] = c.name;
-    cj["rate"] = c.rate;
+    cj["rate"] = c.rate.value();
     if (c.sla.bounded()) {
       JsonObject sla;
-      if (c.sla.mean_bounded()) sla["max_mean_delay"] = c.sla.max_mean_e2e_delay;
+      if (c.sla.mean_bounded())
+        sla["max_mean_delay"] = c.sla.max_mean_e2e_delay.value();
       if (c.sla.percentile_bounded()) {
-        sla["max_percentile_delay"] = c.sla.max_percentile_e2e_delay;
+        sla["max_percentile_delay"] = c.sla.max_percentile_e2e_delay.value();
         sla["percentile"] = c.sla.percentile;
       }
       cj["sla"] = Json(std::move(sla));

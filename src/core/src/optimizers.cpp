@@ -30,8 +30,8 @@ FrequencyOptResult finish(const ClusterModel& model, std::vector<double> f,
     r.mean_delay = r.evaluation.net.mean_e2e_delay;
     r.power = r.evaluation.energy.cluster_avg_power;
   } else {
-    r.mean_delay = kInf;
-    r.power = kInf;
+    r.mean_delay = units::Seconds::infinity();
+    r.power = units::Watts::infinity();
     r.feasible = false;
   }
   return r;
@@ -40,14 +40,17 @@ FrequencyOptResult finish(const ClusterModel& model, std::vector<double> f,
 }  // namespace
 
 FrequencyOptResult minimize_delay_with_power_budget(
-    const ClusterModel& model, double power_budget,
+    const ClusterModel& model, units::Watts power_budget,
     const FrequencyOptOptions& options) {
-  require(power_budget > 0.0, "P-D: power budget must be positive");
+  require(power_budget > units::watts(0.0),
+          "P-D: power budget must be positive");
   const opt::Box box = frequency_box(model);
 
   // Normalise the power constraint by the budget so the solver tolerance
   // has a scale-free meaning.
-  auto delay = [&](const std::vector<double>& f) { return model.mean_delay_at(f); };
+  auto delay = [&](const std::vector<double>& f) {
+    return model.mean_delay_at(f).value();
+  };
   std::vector<opt::Objective> cons = {[&, power_budget](const std::vector<double>& f) {
     return model.power_at(f) / power_budget - 1.0;
   }};
@@ -69,12 +72,15 @@ FrequencyOptResult minimize_delay_with_power_budget(
 }
 
 FrequencyOptResult minimize_power_with_delay_bound(const ClusterModel& model,
-                                                   double max_mean_delay,
+                                                   units::Seconds max_mean_delay,
                                                    const FrequencyOptOptions& options) {
-  require(max_mean_delay > 0.0, "P-E: delay bound must be positive");
+  require(max_mean_delay > units::seconds(0.0),
+          "P-E: delay bound must be positive");
   const opt::Box box = frequency_box(model);
 
-  auto power = [&](const std::vector<double>& f) { return model.power_at(f); };
+  auto power = [&](const std::vector<double>& f) {
+    return model.power_at(f).value();
+  };
   std::vector<opt::Objective> cons = {
       [&, max_mean_delay](const std::vector<double>& f) {
         return model.mean_delay_at(f) / max_mean_delay - 1.0;
@@ -95,18 +101,21 @@ FrequencyOptResult minimize_power_with_delay_bound(const ClusterModel& model,
 }
 
 FrequencyOptResult minimize_power_with_class_delay_bounds(
-    const ClusterModel& model, const std::vector<double>& bounds,
+    const ClusterModel& model, const std::vector<units::Seconds>& bounds,
     const FrequencyOptOptions& options) {
   require(bounds.size() == model.num_classes(),
           "P-E/each: one bound per class required");
-  for (double b : bounds) require(b > 0.0, "P-E/each: bounds must be positive");
+  for (units::Seconds b : bounds)
+    require(b > units::seconds(0.0), "P-E/each: bounds must be positive");
   const opt::Box box = frequency_box(model);
 
-  auto power = [&](const std::vector<double>& f) { return model.power_at(f); };
+  auto power = [&](const std::vector<double>& f) {
+    return model.power_at(f).value();
+  };
   std::vector<opt::Objective> cons;
   cons.reserve(bounds.size());
   for (std::size_t k = 0; k < bounds.size(); ++k) {
-    if (bounds[k] == kInf) continue;
+    if (bounds[k] == units::Seconds::infinity()) continue;
     cons.push_back([&, k, bound = bounds[k]](const std::vector<double>& f) {
       const Evaluation ev = model.evaluate(f);
       if (!ev.stable) return kInf;
@@ -133,8 +142,9 @@ FrequencyOptResult minimize_power_with_class_delay_bounds(
 }
 
 FrequencyOptResult uniform_frequency_baseline(const ClusterModel& model,
-                                              double power_budget) {
-  require(power_budget > 0.0, "uniform baseline: power budget must be positive");
+                                              units::Watts power_budget) {
+  require(power_budget > units::watts(0.0),
+          "uniform baseline: power budget must be positive");
   // Uniform scaling is parametrised by t in [0,1] interpolating every tier
   // from its lowest stable frequency to f_max; power is monotone increasing
   // in t over that segment, so the best (delay-minimising) in-budget
@@ -154,8 +164,9 @@ FrequencyOptResult uniform_frequency_baseline(const ClusterModel& model,
   return finish(model, freqs_at(t), true);
 }
 
-FrequencyOptResult no_dvfs_baseline(const ClusterModel& model,
-                                    const std::vector<double>& class_bounds) {
+FrequencyOptResult no_dvfs_baseline(
+    const ClusterModel& model,
+    const std::vector<units::Seconds>& class_bounds) {
   require(class_bounds.size() == model.num_classes(),
           "no_dvfs_baseline: one bound per class required");
   FrequencyOptResult r = finish(model, model.max_frequencies(), true);
@@ -295,8 +306,8 @@ FrequencyOptResult lattice_search(
     best.power = best.evaluation.energy.cluster_avg_power;
   } else {
     best.frequencies = model.max_frequencies();
-    best.mean_delay = kInf;
-    best.power = kInf;
+    best.mean_delay = units::Seconds::infinity();
+    best.power = units::Watts::infinity();
   }
   return best;
 }
@@ -341,7 +352,7 @@ TcoResult minimize_total_cost_of_ownership(const ClusterModel& model,
   auto idle_opex = [&](const std::vector<int>& n) {
     double idle = 0.0;
     for (std::size_t i = 0; i < n_tiers; ++i)
-      idle += model.tiers()[i].power.idle_power() * n[i];
+      idle += model.tiers()[i].power.idle_power().value() * n[i];
     return idle * kwh_factor;
   };
   auto capex = [&](const std::vector<int>& n) {
@@ -367,7 +378,7 @@ TcoResult minimize_total_cost_of_ownership(const ClusterModel& model,
         std::vector<std::size_t> idx(n_tiers, 0);
         std::vector<double> f(n_tiers);
         const std::vector<double> floor_f = sized.min_stable_frequencies();
-        double best_power = at_max.energy.cluster_avg_power;
+        double best_power = at_max.energy.cluster_avg_power.value();
         std::vector<double> best_f = sized.max_frequencies();
         Evaluation best_ev = at_max;
         for (;;) {
@@ -379,8 +390,8 @@ TcoResult minimize_total_cost_of_ownership(const ClusterModel& model,
           if (viable) {
             const Evaluation ev = sized.evaluate(f);
             if (slas_hold(sized, ev) &&
-                ev.energy.cluster_avg_power < best_power) {
-              best_power = ev.energy.cluster_avg_power;
+                ev.energy.cluster_avg_power.value() < best_power) {
+              best_power = ev.energy.cluster_avg_power.value();
               best_f = f;
               best_ev = ev;
             }
@@ -400,7 +411,7 @@ TcoResult minimize_total_cost_of_ownership(const ClusterModel& model,
           best.capex = capex(n);
           best.opex = best_power * kwh_factor;
           best.total_cost = total;
-          best.power = best_power;
+          best.power = units::watts(best_power);
           best.feasible = true;
           best.evaluation = best_ev;
         }
@@ -421,27 +432,30 @@ TcoResult minimize_total_cost_of_ownership(const ClusterModel& model,
 }
 
 FrequencyOptResult minimize_power_with_delay_bound_discrete(
-    const ClusterModel& model, double max_mean_delay, int levels) {
-  require(max_mean_delay > 0.0, "P-E discrete: delay bound must be positive");
+    const ClusterModel& model, units::Seconds max_mean_delay, int levels) {
+  require(max_mean_delay > units::seconds(0.0),
+          "P-E discrete: delay bound must be positive");
   const auto grids = frequency_grids(model, levels);
   return lattice_search(
       model, grids,
-      [](const Evaluation& ev) { return ev.energy.cluster_avg_power; },
+      [](const Evaluation& ev) { return ev.energy.cluster_avg_power.value(); },
       [max_mean_delay](const Evaluation& ev) {
         return ev.net.mean_e2e_delay <= max_mean_delay;
       });
 }
 
 FrequencyOptResult minimize_power_with_class_delay_bounds_discrete(
-    const ClusterModel& model, const std::vector<double>& bounds, int levels) {
+    const ClusterModel& model, const std::vector<units::Seconds>& bounds,
+    int levels) {
   require(bounds.size() == model.num_classes(),
           "P-E discrete: one delay bound per class required");
-  for (double b : bounds)
-    require(b > 0.0, "P-E discrete: delay bounds must be positive");
+  for (units::Seconds b : bounds)
+    require(b > units::seconds(0.0),
+            "P-E discrete: delay bounds must be positive");
   const auto grids = frequency_grids(model, levels);
   return lattice_search(
       model, grids,
-      [](const Evaluation& ev) { return ev.energy.cluster_avg_power; },
+      [](const Evaluation& ev) { return ev.energy.cluster_avg_power.value(); },
       [&bounds](const Evaluation& ev) {
         for (std::size_t k = 0; k < bounds.size(); ++k)
           if (ev.net.e2e_delay[k] > bounds[k]) return false;
@@ -450,12 +464,13 @@ FrequencyOptResult minimize_power_with_class_delay_bounds_discrete(
 }
 
 FrequencyOptResult minimize_delay_with_power_budget_discrete(
-    const ClusterModel& model, double power_budget, int levels) {
-  require(power_budget > 0.0, "P-D discrete: power budget must be positive");
+    const ClusterModel& model, units::Watts power_budget, int levels) {
+  require(power_budget > units::watts(0.0),
+          "P-D discrete: power budget must be positive");
   const auto grids = frequency_grids(model, levels);
   return lattice_search(
       model, grids,
-      [](const Evaluation& ev) { return ev.net.mean_e2e_delay; },
+      [](const Evaluation& ev) { return ev.net.mean_e2e_delay.value(); },
       [power_budget](const Evaluation& ev) {
         return ev.energy.cluster_avg_power <= power_budget;
       });

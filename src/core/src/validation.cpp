@@ -48,17 +48,18 @@ ValidationReport validate_model(const ClusterModel& model,
   ValidationReport report;
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
     report.rows.push_back(make_row("delay[" + model.classes()[k].name + "]",
-                                   ev.net.e2e_delay[k],
+                                   ev.net.e2e_delay[k].value(),
                                    sim.classes[k].mean_e2e_delay));
   }
-  report.rows.push_back(make_row("delay[mean]", ev.net.mean_e2e_delay,
+  report.rows.push_back(make_row("delay[mean]", ev.net.mean_e2e_delay.value(),
                                  sim.mean_e2e_delay));
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
     report.rows.push_back(make_row("energy[" + model.classes()[k].name + "]",
-                                   marginal.per_request_energy[k],
+                                   marginal.per_request_energy[k].value(),
                                    sim.classes[k].mean_e2e_energy));
   }
-  report.rows.push_back(make_row("power[cluster]", ev.energy.cluster_avg_power,
+  report.rows.push_back(make_row("power[cluster]",
+                                 ev.energy.cluster_avg_power.value(),
                                  sim.cluster_avg_power));
   for (std::size_t s = 0; s < model.num_tiers(); ++s) {
     report.rows.push_back(make_row("util[" + model.tiers()[s].name + "]",

@@ -53,7 +53,7 @@ void rule_sla_floors(const core::ClusterModel& model, const RuleSet& rules,
   const auto f_max = model.max_frequencies();
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
     const auto& c = model.classes()[k];
-    const double floor = core::class_delay_floor(model, k, f_max);
+    const units::Seconds floor = core::class_delay_floor(model, k, f_max);
     if (c.sla.mean_bounded() &&
         !core::sla_mean_target_feasible(c.sla.max_mean_e2e_delay, floor)) {
       emit(report, rules, "CPM-L003", at("classes", k, "sla.max_mean_delay"),
@@ -67,9 +67,9 @@ void rule_sla_floors(const core::ClusterModel& model, const RuleSet& rules,
            at("classes", k, "sla.max_percentile_delay"),
            "class '" + c.name + "' has p" +
                format_double(100.0 * c.sla.percentile, 0) + " SLA " +
-               format_double(c.sla.max_percentile_e2e_delay, 4) +
+               format_double(c.sla.max_percentile_e2e_delay.value(), 4) +
                " s below its mean no-queueing service demand " +
-               format_double(floor, 4) + " s at f_max",
+               format_double(floor.value(), 4) + " s at f_max",
            "raise the percentile target or cut the route's service demands");
     }
   }
@@ -87,7 +87,7 @@ void rule_unreachable_tiers(const core::ClusterModel& model, const RuleSet& rule
                "' is visited by no class: it burns " +
                format_double(
                    static_cast<double>(model.tiers()[i].servers) *
-                       model.tiers()[i].power.idle_power(),
+                       model.tiers()[i].power.idle_power().value(),
                    1) +
                " W idle and cannot affect any delay",
            "remove the tier or route a class through it");
@@ -98,7 +98,7 @@ void rule_unreachable_tiers(const core::ClusterModel& model, const RuleSet& rule
 void rule_zero_rate_classes(const core::ClusterModel& model, const RuleSet& rules,
                             LintReport& report) {
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
-    if (model.classes()[k].rate == 0.0) {
+    if (model.classes()[k].rate == units::per_second(0.0)) {
       emit(report, rules, "CPM-L006", at("classes", k, "rate"),
            "class '" + model.classes()[k].name +
                "' has arrival rate 0: it generates no traffic",
@@ -123,9 +123,9 @@ void rule_priority_sla_order(const core::ClusterModel& model, const RuleSet& rul
         emit(report, rules, "CPM-L011", at("classes", j, "sla"),
              "class '" + lo.name + "' (priority " + std::to_string(j) +
                  ") has a tighter mean-delay SLA (" +
-                 format_double(lo.sla.max_mean_e2e_delay, 4) +
+                 format_double(lo.sla.max_mean_e2e_delay.value(), 4) +
                  " s) than higher-priority class '" + hi.name + "' (" +
-                 format_double(hi.sla.max_mean_e2e_delay, 4) + " s)",
+                 format_double(hi.sla.max_mean_e2e_delay.value(), 4) + " s)",
              "reorder the classes by SLA strictness or relax the bound");
         break;
       }

@@ -53,6 +53,7 @@ struct ControllerOptions {
   int levels = 9;
   /// Measured rates are multiplied by this before re-planning, buying
   /// slack against within-window ramps the estimators have not seen yet.
+  /// Dimensionless multiplier, not a rate. // conv-ok: UNIT-2
   double rate_headroom = 1.15;
   /// Re-run P-C server sizing on re-plan (false = frequencies only).
   bool size_servers = true;
@@ -60,12 +61,12 @@ struct ControllerOptions {
   int max_servers_per_tier = 24;
   /// Actuation slew limits per window.
   int max_server_step = 1;
-  double max_freq_step = 0.25;
+  units::Hertz max_freq_step = units::hertz(0.25);
   /// Switching-cost accounting: joules charged per server powered on or
   /// off and per tier frequency retune. Reported, and added to the
   /// timeline's energy totals, so "cheap" chatter is visible.
-  double server_switch_cost_j = 25.0;
-  double freq_switch_cost_j = 2.0;
+  units::Joules server_switch_cost_j = units::joules(25.0);
+  units::Joules freq_switch_cost_j = units::joules(2.0);
   /// SLA-attainment trigger: re-plan when an admitted class's window
   /// compliance drops below this (kept well under typical targets so
   /// steady-state noise near the target does not cause chatter).
@@ -76,15 +77,17 @@ struct ControllerOptions {
 struct WindowRecord {
   double time = 0.0;
   // Observations.
+  // Estimator state stays raw: it is filled from the simulator's window
+  // counters every control period (raw-double boundary). // conv-ok: UNIT-4
   std::vector<double> measured_rate;      ///< per class, arrivals/second
-  std::vector<double> ewma_rate;
-  std::vector<double> windowed_rate;
+  std::vector<double> ewma_rate;          // conv-ok: UNIT-4
+  std::vector<double> windowed_rate;      // conv-ok: UNIT-4
   std::vector<std::uint64_t> completed;   ///< per class, this window
   std::vector<std::uint64_t> blocked;
   std::vector<std::uint64_t> within_sla;
   std::vector<double> sla_compliance;     ///< within/completed; 1 when idle
-  std::vector<double> mean_delay;
-  double energy_joules = 0.0;
+  std::vector<double> mean_delay;         ///< raw window telemetry // conv-ok: UNIT-4
+  units::Joules energy_joules = units::joules(0.0);
   std::vector<int> observed_servers;
   // Decision.
   bool reoptimized = false;
@@ -95,7 +98,7 @@ struct WindowRecord {
   std::vector<int> actuated_servers;   ///< applied this window (slew-limited)
   std::vector<double> actuated_freq;
   std::vector<std::uint8_t> admitted;  ///< per class; 0 = shed
-  double switching_cost_j = 0.0;
+  units::Joules switching_cost_j = units::joules(0.0);
 };
 
 class OnlineController {
@@ -117,7 +120,9 @@ class OnlineController {
     return history_;
   }
   [[nodiscard]] std::size_t reoptimizations() const { return reoptimizations_; }
-  [[nodiscard]] double total_switching_cost() const { return switching_cost_; }
+  [[nodiscard]] units::Joules total_switching_cost() const {
+    return switching_cost_;
+  }
 
  private:
   struct Plan {
@@ -128,11 +133,13 @@ class OnlineController {
   };
 
   sim::ManagementDecision on_window(const sim::ControlSnapshot& snap);
+  // Raw estimator output feeds the plan directly. // conv-ok: UNIT-4
   [[nodiscard]] Plan solve(const std::vector<double>& rates) const;
 
   core::ClusterModel model_;
   ControllerOptions options_;
   std::vector<WindowedEstimator> estimators_;
+  // conv-ok: UNIT-4 (estimator-state boundary, see above)
   std::vector<double> plan_rates_;    ///< rates the current plan was built for
   Plan target_;                       ///< plan endpoint being slewed toward
   Plan last_good_;                    ///< most recent feasible plan
@@ -144,7 +151,7 @@ class OnlineController {
   int drift_streak_ = 0;
   int sla_streak_ = 0;
   std::size_t reoptimizations_ = 0;
-  double switching_cost_ = 0.0;
+  units::Joules switching_cost_ = units::joules(0.0);
   std::vector<WindowRecord> history_;
 };
 

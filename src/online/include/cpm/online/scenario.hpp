@@ -80,7 +80,7 @@ Scenario scenario_from_json_text(const std::string& text);
 /// The piecewise-constant rate schedule of one shape for a class whose
 /// nominal rate is `base_rate`, over the scenario horizon.
 workload::RateSchedule build_schedule(const ArrivalShape& shape,
-                                      double base_rate, double horizon);
+                                      units::Rate base_rate, double horizon);
 
 /// Resolves fault tier names against the model; throws on unknown tiers.
 std::vector<sim::FaultEvent> compile_faults(const Scenario& scenario,
@@ -89,6 +89,6 @@ std::vector<sim::FaultEvent> compile_faults(const Scenario& scenario,
 /// Per-class delay thresholds behind SLA-attainment accounting: the
 /// percentile bound when the class has one, else 3x the mean bound (a
 /// plan meeting the mean bound comfortably clears it), else 0 (disabled).
-std::vector<double> compile_sla_thresholds(const core::ClusterModel& model);
+std::vector<units::Seconds> compile_sla_thresholds(const core::ClusterModel& model);
 
 }  // namespace cpm::online

@@ -24,7 +24,7 @@ struct OnlineRunResult {
   sim::SimResult sim;                  ///< raw simulator output
   std::vector<WindowRecord> windows;   ///< controller decision trace
   std::size_t reoptimizations = 0;
-  double switching_cost_joules = 0.0;
+  units::Joules switching_cost_joules = units::joules(0.0);
 };
 
 /// Builds the managed SimConfig for a scenario (exposed for tests that

@@ -27,7 +27,8 @@ OnlineController::OnlineController(core::ClusterModel model,
           "OnlineController: rate_headroom >= 1");
   require(options_.max_server_step >= 1,
           "OnlineController: max_server_step >= 1");
-  require(options_.max_freq_step > 0.0, "OnlineController: max_freq_step > 0");
+  require(options_.max_freq_step > units::hertz(0.0),
+          "OnlineController: max_freq_step > 0");
   require(options_.max_servers_per_tier >= 1,
           "OnlineController: max_servers_per_tier >= 1");
   require(options_.sla_trigger > 0.0 && options_.sla_trigger <= 1.0,
@@ -40,7 +41,7 @@ OnlineController::OnlineController(core::ClusterModel model,
                                        options_.estimator_windows));
   plan_rates_.resize(classes);
   for (std::size_t k = 0; k < classes; ++k)
-    plan_rates_[k] = model_.classes()[k].rate;
+    plan_rates_[k] = model_.classes()[k].rate.value();
 
   available_.resize(tiers);
   current_servers_.resize(tiers);
@@ -54,7 +55,7 @@ OnlineController::OnlineController(core::ClusterModel model,
   // Initial plan: the model's own fleet, frequencies from discrete P-E at
   // nominal rates (fail-safe to f_max). Starting at the plan means a
   // drift-free run makes no decisions at all.
-  std::vector<double> bounds(classes, std::numeric_limits<double>::infinity());
+  std::vector<units::Seconds> bounds(classes, units::Seconds::infinity());
   for (std::size_t k = 0; k < classes; ++k)
     if (model_.classes()[k].sla.mean_bounded())
       bounds[k] = model_.classes()[k].sla.max_mean_e2e_delay;
@@ -79,9 +80,9 @@ OnlineController::Plan OnlineController::solve(
   std::vector<std::uint8_t> admit(classes, 1);
 
   for (;;) {
-    std::vector<double> shed_rates = rates;
+    std::vector<units::Rate> shed_rates(classes, units::per_second(0.0));
     for (std::size_t k = 0; k < classes; ++k)
-      if (!admit[k]) shed_rates[k] = 0.0;
+      if (admit[k]) shed_rates[k] = units::per_second(rates[k]);
     const core::ClusterModel at_rates = model_.with_rates(shed_rates);
 
     // Server sizing (P-C), then cap by the healthy fleet — the optimiser
@@ -100,8 +101,7 @@ OnlineController::Plan OnlineController::solve(
 
     // Frequency plan (discrete per-class P-E) on the capped fleet; shed
     // classes impose no delay constraint.
-    std::vector<double> bounds(classes,
-                               std::numeric_limits<double>::infinity());
+    std::vector<units::Seconds> bounds(classes, units::Seconds::infinity());
     for (std::size_t k = 0; k < classes; ++k)
       if (admit[k] && at_rates.classes()[k].sla.mean_bounded())
         bounds[k] = at_rates.classes()[k].sla.max_mean_e2e_delay;
@@ -241,24 +241,26 @@ sim::ManagementDecision OnlineController::on_window(
                                options_.max_server_step);
     const int servers = current_servers_[i] + step;
     if (step != 0) {
-      cost += std::abs(step) * options_.server_switch_cost_j;
+      cost += std::abs(step) * options_.server_switch_cost_j.value();
       changed = true;
     }
 
     const auto& dvfs = model_.tiers()[i].power.dvfs();
     const double want_f =
-        std::clamp(target_.frequencies[i], dvfs.f_min, dvfs.f_max);
+        std::clamp(target_.frequencies[i], dvfs.f_min.value(), dvfs.f_max.value());
     double df = want_f - current_freq_[i];
-    df = std::clamp(df, -options_.max_freq_step, options_.max_freq_step);
+    df = std::clamp(df, -options_.max_freq_step.value(),
+                    options_.max_freq_step.value());
     const double f = current_freq_[i] + df;
     if (f != current_freq_[i]) {
-      cost += options_.freq_switch_cost_j;
+      cost += options_.freq_switch_cost_j.value();
       changed = true;
     }
 
     settings[i].servers = servers;
-    settings[i].speed = model_.tiers()[i].power.speedup(f);
-    settings[i].dynamic_watts = model_.tiers()[i].power.dynamic_power(f);
+    settings[i].speed = model_.tiers()[i].power.speedup(units::hertz(f));
+    settings[i].dynamic_watts =
+        model_.tiers()[i].power.dynamic_power(units::hertz(f));
     current_servers_[i] = servers;
     next_freq[i] = f;
   }
@@ -270,13 +272,13 @@ sim::ManagementDecision OnlineController::on_window(
     out.admit = admitted_;
     if (rec.reason.empty()) rec.reason = "slew";
   }
-  switching_cost_ += cost;
+  switching_cost_ += units::joules(cost);
 
   rec.target_servers = target_.servers;
   rec.actuated_servers = current_servers_;
   rec.actuated_freq = current_freq_;
   rec.admitted = admitted_;
-  rec.switching_cost_j = cost;
+  rec.switching_cost_j = units::joules(cost);
   history_.push_back(std::move(rec));
   return out;
 }

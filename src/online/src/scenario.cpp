@@ -99,11 +99,12 @@ void controller_from_json(const Json& json, ControllerOptions& opts) {
       json.number_or("max_servers_per_tier", opts.max_servers_per_tier));
   opts.max_server_step =
       static_cast<int>(json.number_or("max_server_step", opts.max_server_step));
-  opts.max_freq_step = json.number_or("max_freq_step", opts.max_freq_step);
-  opts.server_switch_cost_j =
-      json.number_or("server_switch_cost_j", opts.server_switch_cost_j);
-  opts.freq_switch_cost_j =
-      json.number_or("freq_switch_cost_j", opts.freq_switch_cost_j);
+  opts.max_freq_step =
+      units::hertz(json.number_or("max_freq_step", opts.max_freq_step.value()));
+  opts.server_switch_cost_j = units::joules(
+      json.number_or("server_switch_cost_j", opts.server_switch_cost_j.value()));
+  opts.freq_switch_cost_j = units::joules(
+      json.number_or("freq_switch_cost_j", opts.freq_switch_cost_j.value()));
   opts.sla_trigger = json.number_or("sla_trigger", opts.sla_trigger);
 }
 
@@ -150,8 +151,9 @@ Scenario scenario_from_json_text(const std::string& text) {
 }
 
 workload::RateSchedule build_schedule(const ArrivalShape& shape,
-                                      double base_rate, double horizon) {
+                                      units::Rate base_rate_q, double horizon) {
   require(horizon > 0.0, "build_schedule: horizon must be positive");
+  const double base_rate = base_rate_q.value();
   // Slot count trades schedule fidelity against thinning-envelope
   // tightness; 200 matches the workload module's own factory defaults.
   constexpr std::size_t kSlots = 200;
@@ -159,7 +161,8 @@ workload::RateSchedule build_schedule(const ArrivalShape& shape,
 
   switch (shape.kind) {
     case ArrivalShape::Kind::kConstant:
-      return workload::RateSchedule::constant(base_rate * shape.factor);
+      return workload::RateSchedule::constant(
+          units::per_second(base_rate * shape.factor));
     case ArrivalShape::Kind::kStep: {
       std::vector<double> rates(kSlots);
       for (std::size_t i = 0; i < kSlots; ++i) {
@@ -180,14 +183,15 @@ workload::RateSchedule build_schedule(const ArrivalShape& shape,
     }
     case ArrivalShape::Kind::kDiurnal: {
       const double period = shape.period > 0.0 ? shape.period : horizon;
-      return workload::RateSchedule::diurnal(base_rate,
-                                             base_rate * shape.factor, period,
-                                             shape.peak_time);
+      return workload::RateSchedule::diurnal(
+          units::per_second(base_rate),
+          units::per_second(base_rate * shape.factor), period,
+          shape.peak_time);
     }
     case ArrivalShape::Kind::kFlash:
       return workload::RateSchedule::flash_crowd(
-          base_rate, base_rate * shape.factor, shape.spike_start,
-          shape.spike_duration, horizon);
+          units::per_second(base_rate), units::per_second(base_rate * shape.factor),
+          shape.spike_start, shape.spike_duration, horizon);
   }
   throw Error("build_schedule: unreachable arrival kind");
 }
@@ -206,8 +210,8 @@ std::vector<sim::FaultEvent> compile_faults(const Scenario& scenario,
   return events;
 }
 
-std::vector<double> compile_sla_thresholds(const core::ClusterModel& model) {
-  std::vector<double> thresholds(model.num_classes(), 0.0);
+std::vector<units::Seconds> compile_sla_thresholds(const core::ClusterModel& model) {
+  std::vector<units::Seconds> thresholds(model.num_classes(), units::seconds(0.0));
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
     const auto& sla = model.classes()[k].sla;
     if (sla.percentile_bounded())

@@ -28,7 +28,7 @@ Json window_to_json(const WindowRecord& rec) {
   w["within_sla"] = Json(to_json_array(rec.within_sla));
   w["sla_compliance"] = Json(to_json_array(rec.sla_compliance));
   w["mean_delay"] = Json(to_json_array(rec.mean_delay));
-  w["energy_joules"] = rec.energy_joules;
+  w["energy_joules"] = rec.energy_joules.value();
   w["servers"] = Json(to_json_array(rec.observed_servers));
 
   JsonObject d;
@@ -40,7 +40,7 @@ Json window_to_json(const WindowRecord& rec) {
   d["servers"] = Json(to_json_array(rec.actuated_servers));
   d["frequencies"] = Json(to_json_array(rec.actuated_freq));
   d["admitted"] = Json(to_json_array(rec.admitted));
-  d["switching_cost_joules"] = rec.switching_cost_j;
+  d["switching_cost_joules"] = rec.switching_cost_j.value();
   w["decision"] = Json(std::move(d));
   return Json(std::move(w));
 }
@@ -68,7 +68,7 @@ sim::SimConfig compile_scenario(const core::ClusterModel& model,
           shape.factor == 1.0)  // conv-ok: CONV-5 — literal "unscaled" marker
         break;  // nominal rate, keep the homogeneous source
       cls.schedule = build_schedule(shape, cls.rate, scenario.horizon);
-      cls.rate = 0.0;
+      cls.rate = units::per_second(0.0);
       break;
     }
   }
@@ -125,7 +125,7 @@ OnlineRunResult run_online(const core::ClusterModel& model,
       blocked[k] += static_cast<double>(rec.blocked[k]);
       within[k] += static_cast<double>(rec.within_sla[k]);
     }
-    energy += rec.energy_joules;
+    energy += rec.energy_joules.value();
     if (std::any_of(rec.admitted.begin(), rec.admitted.end(),
                     [](std::uint8_t a) { return a == 0; }))
       ++shed_windows;
@@ -138,9 +138,9 @@ OnlineRunResult run_online(const core::ClusterModel& model,
   summary["shed_windows"] = static_cast<double>(shed_windows);
   summary["degraded_windows"] = static_cast<double>(degraded_windows);
   summary["energy_joules"] = energy;
-  summary["switching_cost_joules"] = result.switching_cost_joules;
-  summary["cluster_avg_power"] = result.sim.cluster_avg_power;
-  summary["mean_e2e_delay"] = result.sim.mean_e2e_delay;
+  summary["switching_cost_joules"] = result.switching_cost_joules.value();
+  summary["cluster_avg_power"] = result.sim.cluster_avg_power.value();
+  summary["mean_e2e_delay"] = result.sim.mean_e2e_delay.value();
 
   JsonArray per_class;
   for (std::size_t k = 0; k < classes; ++k) {
@@ -150,8 +150,8 @@ OnlineRunResult run_online(const core::ClusterModel& model,
     c["blocked"] = blocked[k];
     c["sla_compliance"] =
         completed[k] > 0.0 ? within[k] / completed[k] : 1.0;
-    c["mean_delay"] = result.sim.classes[k].mean_e2e_delay;
-    c["p95_delay"] = result.sim.classes[k].p95_e2e_delay;
+    c["mean_delay"] = result.sim.classes[k].mean_e2e_delay.value();
+    c["p95_delay"] = result.sim.classes[k].p95_e2e_delay.value();
     per_class.emplace_back(std::move(c));
   }
   summary["per_class"] = Json(std::move(per_class));

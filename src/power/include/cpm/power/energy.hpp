@@ -29,19 +29,19 @@ enum class IdleAttribution { kMarginalOnly, kProportionalToLoad };
 /// server count (must match the NetworkStation it describes).
 struct TierPower {
   ServerPower server = ServerPower::typical_2011_server();
-  double frequency = 1.0;
+  units::Hertz frequency = units::hertz(1.0);
   int servers = 1;
 };
 
 struct EnergyMetrics {
-  /// Total cluster average power in watts.
-  double cluster_avg_power = 0.0;
-  /// Per-station average power in watts.
-  std::vector<double> station_avg_power;
-  /// Per-class mean end-to-end energy per request (joules).
-  std::vector<double> per_request_energy;
+  /// Total cluster average power.
+  units::Watts cluster_avg_power = units::watts(0.0);
+  /// Per-station average power.
+  std::vector<units::Watts> station_avg_power;
+  /// Per-class mean end-to-end energy per request.
+  std::vector<units::Joules> per_request_energy;
   /// Traffic-weighted mean of per_request_energy.
-  double mean_per_request_energy = 0.0;
+  units::Joules mean_per_request_energy = units::joules(0.0);
 };
 
 /// Computes energy metrics for an analysed network. `tiers[i]` describes

@@ -15,23 +15,31 @@
 // Note the key interaction the optimisers exploit: at fixed throughput,
 // utilisation rho(f) is proportional to 1/f, so the dynamic energy term
 // scales as f^(alpha-1) — slowing down saves energy but inflates delay.
+//
+// Dimensions are compile-time checked (cpm/common/units.hpp): frequencies
+// are units::Hertz, powers units::Watts, per-request energies
+// units::Joules. alpha, rho and speedup are genuinely dimensionless and
+// stay raw doubles.
 #pragma once
+
+#include "cpm/common/units.hpp"
 
 namespace cpm::power {
 
 /// DVFS frequency range, in the same (arbitrary) unit as f_base.
 struct DvfsRange {
-  double f_min = 0.6;
-  double f_max = 1.0;
-  double f_base = 1.0;  ///< frequency at which mu_base and busy power are quoted
+  units::Hertz f_min = units::hertz(0.6);
+  units::Hertz f_max = units::hertz(1.0);
+  /// Frequency at which mu_base and busy power are quoted.
+  units::Hertz f_base = units::hertz(1.0);
 };
 
 /// Power curve of one server.
 class ServerPower {
  public:
-  /// `idle_watts`: power when not serving; `busy_watts_at_base`: power when
-  /// serving at f_base (must exceed idle); `alpha`: dynamic exponent >= 1.
-  ServerPower(double idle_watts, double busy_watts_at_base, double alpha,
+  /// `idle`: power when not serving; `busy_at_base`: power when serving
+  /// at f_base (must exceed idle); `alpha`: dynamic exponent >= 1.
+  ServerPower(units::Watts idle, units::Watts busy_at_base, double alpha,
               DvfsRange dvfs);
 
   /// A typical dual-socket 2011 server: 150 W idle, 250 W busy at nominal
@@ -46,31 +54,32 @@ class ServerPower {
 
   [[nodiscard]] const DvfsRange& dvfs() const { return dvfs_; }
   [[nodiscard]] double alpha() const { return alpha_; }
-  [[nodiscard]] double idle_power() const { return idle_; }
+  [[nodiscard]] units::Watts idle_power() const { return idle_; }
 
   /// Validates and clamps nothing: throws cpm::Error when f is outside
   /// [f_min, f_max].
-  void check_frequency(double f) const;
+  void check_frequency(units::Hertz f) const;
 
   /// Instantaneous power while serving at frequency f.
-  [[nodiscard]] double busy_power(double f) const;
+  [[nodiscard]] units::Watts busy_power(units::Hertz f) const;
 
   /// Average power at frequency f and utilisation rho in [0, 1).
-  [[nodiscard]] double average_power(double f, double rho) const;
+  [[nodiscard]] units::Watts average_power(units::Hertz f, double rho) const;
 
   /// Service-capacity multiplier mu(f)/mu_base = f / f_base.
-  [[nodiscard]] double speedup(double f) const;
+  [[nodiscard]] double speedup(units::Hertz f) const;
 
   /// Dynamic (busy minus idle) power at frequency f.
-  [[nodiscard]] double dynamic_power(double f) const;
+  [[nodiscard]] units::Watts dynamic_power(units::Hertz f) const;
 
   /// Energy drawn beyond idle to serve one request of mean duration
   /// `mean_service` (already expressed at frequency f).
-  [[nodiscard]] double marginal_energy_per_request(double f, double mean_service) const;
+  [[nodiscard]] units::Joules marginal_energy_per_request(
+      units::Hertz f, units::Seconds mean_service) const;
 
  private:
-  double idle_;
-  double dyn_coeff_;  // c such that busy(f) = idle + c f^alpha
+  units::Watts idle_;
+  double dyn_coeff_;  // c such that busy(f) = idle + c f^alpha (W / Hz^alpha)
   double alpha_;
   DvfsRange dvfs_;
 };

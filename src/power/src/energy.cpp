@@ -16,11 +16,11 @@ EnergyMetrics compute_energy(const std::vector<TierPower>& tiers,
 
   EnergyMetrics em;
   em.station_avg_power.resize(n_stations);
-  em.per_request_energy.assign(n_classes, 0.0);
+  em.per_request_energy.assign(n_classes, units::joules(0.0));
 
   for (std::size_t s = 0; s < n_stations; ++s) {
     const auto& t = tiers[s];
-    const double per_server =
+    const units::Watts per_server =
         t.server.average_power(t.frequency, net.station_utilization[s]);
     em.station_avg_power[s] = per_server * static_cast<double>(t.servers);
     em.cluster_avg_power += em.station_avg_power[s];
@@ -32,8 +32,8 @@ EnergyMetrics compute_energy(const std::vector<TierPower>& tiers,
     for (const auto& v : classes[k].route) {
       const auto s = static_cast<std::size_t>(v.station);
       em.per_request_energy[k] +=
-          tiers[s].server.marginal_energy_per_request(tiers[s].frequency,
-                                                      v.service.mean());
+          tiers[s].server.marginal_energy_per_request(
+              tiers[s].frequency, units::seconds(v.service.mean()));
     }
   }
 
@@ -41,15 +41,18 @@ EnergyMetrics compute_energy(const std::vector<TierPower>& tiers,
     // Split each station's idle power across classes by utilisation share;
     // a class's per-request share is its power share divided by its rate.
     for (std::size_t s = 0; s < n_stations; ++s) {
-      const double idle_total =
+      const units::Watts idle_total =
           tiers[s].server.idle_power() * static_cast<double>(tiers[s].servers);
       double rho_sum = 0.0;
       for (std::size_t k = 0; k < n_classes; ++k) rho_sum += net.station_rho[s][k];
       if (rho_sum <= 0.0) continue;  // nobody to attribute to
       for (std::size_t k = 0; k < n_classes; ++k) {
-        if (classes[k].rate <= 0.0) continue;
+        if (classes[k].rate <= units::per_second(0.0)) continue;
         const double share = net.station_rho[s][k] / rho_sum;
-        em.per_request_energy[k] += idle_total * share / classes[k].rate;
+        // W / (jobs/s) = J per job: the class's idle-power share spread
+        // over its request stream.
+        em.per_request_energy[k] +=
+            units::joules((idle_total * share).value() / classes[k].rate.value());
       }
     }
   }
@@ -57,10 +60,11 @@ EnergyMetrics compute_energy(const std::vector<TierPower>& tiers,
   double weighted = 0.0;
   double total_rate = 0.0;
   for (std::size_t k = 0; k < n_classes; ++k) {
-    weighted += classes[k].rate * em.per_request_energy[k];
-    total_rate += classes[k].rate;
+    weighted += classes[k].rate.value() * em.per_request_energy[k].value();
+    total_rate += classes[k].rate.value();
   }
-  em.mean_per_request_energy = total_rate > 0.0 ? weighted / total_rate : 0.0;
+  em.mean_per_request_energy =
+      total_rate > 0.0 ? units::joules(weighted / total_rate) : units::joules(0.0);
   return em;
 }
 

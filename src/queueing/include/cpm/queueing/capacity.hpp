@@ -17,11 +17,14 @@
 
 #include <vector>
 
+#include "cpm/common/units.hpp"
+
 namespace cpm::queueing {
 
 struct CapacityAssignment {
   std::vector<double> mu;   ///< optimal service rates
-  double mean_delay = 0.0;  ///< traffic-weighted mean delay at the optimum
+  units::Seconds mean_delay =
+      units::seconds(0.0);  ///< traffic-weighted mean delay at the optimum
   bool feasible = false;    ///< budget covers at least the offered loads
 };
 

@@ -39,19 +39,19 @@ struct Visit {
 /// (0 = highest) at every priority-scheduled station.
 struct CustomerClass {
   std::string name;
-  double rate = 0.0;        ///< external Poisson arrival rate
-  std::vector<Visit> route; ///< visited front to back
+  units::Rate rate = units::per_second(0.0);  ///< external Poisson arrivals
+  std::vector<Visit> route;                   ///< visited front to back
 };
 
 /// Per-class, per-station analysis results assembled network-wide.
 struct NetworkMetrics {
   /// Mean end-to-end sojourn per class (sum of per-visit sojourns).
-  std::vector<double> e2e_delay;
+  std::vector<units::Seconds> e2e_delay;
   /// Variance of the end-to-end sojourn per class, assuming per-visit
   /// sojourns are independent (the same assumption as the decomposition
   /// itself): sum over visits of Var(wait) + Var(service). May be
   /// +infinity when a service third moment is infinite.
-  std::vector<double> e2e_delay_variance;
+  std::vector<units::SecondsSquared> e2e_delay_variance;
   /// Per class, per route step: mean sojourn of that visit.
   std::vector<std::vector<double>> visit_sojourn;
   /// Per station, per class: mean delay beyond service (0 when the class
@@ -65,9 +65,9 @@ struct NetworkMetrics {
   /// Per station total utilisation.
   std::vector<double> station_utilization;
   /// Traffic-weighted mean E2E delay: sum_k lambda_k T_k / sum_k lambda_k.
-  double mean_e2e_delay = 0.0;
+  units::Seconds mean_e2e_delay = units::seconds(0.0);
   /// Total external arrival rate.
-  double total_rate = 0.0;
+  units::Rate total_rate = units::per_second(0.0);
 };
 
 /// Validates a network description: station indices in range, rates
@@ -94,7 +94,7 @@ NetworkMetrics analyze_network(const std::vector<NetworkStation>& stations,
 /// an engineering approximation otherwise, validated by experiment E8.
 /// Returns the mean when the variance is zero and +infinity when the
 /// variance is infinite.
-double percentile_e2e_delay(const NetworkMetrics& metrics, std::size_t cls,
-                            double p);
+units::Seconds percentile_e2e_delay(const NetworkMetrics& metrics,
+                                    std::size_t cls, double p);
 
 }  // namespace cpm::queueing

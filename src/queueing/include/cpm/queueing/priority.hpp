@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cpm/common/distribution.hpp"
+#include "cpm/common/units.hpp"
 
 namespace cpm::queueing {
 
@@ -37,7 +38,7 @@ const char* discipline_name(Discipline d);
 
 /// One class's traffic at a station.
 struct ClassFlow {
-  double rate = 0.0;        ///< Poisson arrival rate of this class
+  units::Rate rate = units::per_second(0.0);  ///< Poisson arrival rate
   Distribution service = Distribution::exponential(1.0);  ///< per-visit service
 };
 

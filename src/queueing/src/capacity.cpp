@@ -34,7 +34,7 @@ CapacityAssignment kleinrock_assignment(const std::vector<double>& lambda,
     r.mu[i] = lambda[i] + extra;
     weighted_delay += lambda[i] / extra;  // lambda_i / (mu_i - lambda_i)
   }
-  r.mean_delay = weighted_delay / total_rate;
+  r.mean_delay = units::seconds(weighted_delay / total_rate);
   r.feasible = true;
   return r;
 }

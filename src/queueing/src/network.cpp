@@ -14,7 +14,8 @@ void validate_network(const std::vector<NetworkStation>& stations,
   for (const auto& s : stations)
     require(s.servers >= 1, "network: station '" + s.name + "' needs >= 1 server");
   for (const auto& c : classes) {
-    require(c.rate >= 0.0, "network: class '" + c.name + "' has negative rate");
+    require(c.rate >= units::per_second(0.0),
+            "network: class '" + c.name + "' has negative rate");
     require(!c.route.empty(), "network: class '" + c.name + "' has empty route");
     for (const auto& v : c.route) {
       require(v.station >= 0 && static_cast<std::size_t>(v.station) < stations.size(),
@@ -97,8 +98,8 @@ NetworkMetrics analyze_network(const std::vector<NetworkStation>& stations,
   NetworkMetrics m;
   const std::size_t n_stations = stations.size();
   const std::size_t n_classes = classes.size();
-  m.e2e_delay.assign(n_classes, 0.0);
-  m.e2e_delay_variance.assign(n_classes, 0.0);
+  m.e2e_delay.assign(n_classes, units::seconds(0.0));
+  m.e2e_delay_variance.assign(n_classes, units::SecondsSquared(0.0));
   m.visit_sojourn.assign(n_classes, {});
   m.station_wait.assign(n_stations, std::vector<double>(n_classes, 0.0));
   m.station_wait_m2.assign(n_stations, std::vector<double>(n_classes, 0.0));
@@ -138,29 +139,32 @@ NetworkMetrics analyze_network(const std::vector<NetworkStation>& stations,
       // where this is part of the documented approximation.
       variance += (m.station_wait_m2[s][k] - wait * wait) + v.service.variance();
     }
-    m.e2e_delay[k] = total;
-    m.e2e_delay_variance[k] = variance;
+    m.e2e_delay[k] = units::seconds(total);
+    m.e2e_delay_variance[k] = units::SecondsSquared(variance);
     m.total_rate += cls.rate;
-    weighted += cls.rate * total;
+    weighted += cls.rate.value() * total;
   }
-  m.mean_e2e_delay = m.total_rate > 0.0 ? weighted / m.total_rate : 0.0;
+  m.mean_e2e_delay = m.total_rate > units::per_second(0.0)
+                         ? units::seconds(weighted / m.total_rate.value())
+                         : units::seconds(0.0);
   return m;
 }
 
-double percentile_e2e_delay(const NetworkMetrics& metrics, std::size_t cls,
-                            double p) {
+units::Seconds percentile_e2e_delay(const NetworkMetrics& metrics,
+                                    std::size_t cls, double p) {
   require(cls < metrics.e2e_delay.size(), "percentile_e2e_delay: bad class");
   require(p > 0.0 && p < 1.0, "percentile_e2e_delay: p in (0,1)");
-  const double mean = metrics.e2e_delay[cls];
-  const double var = metrics.e2e_delay_variance[cls];
-  if (!(var > 0.0)) return mean;  // deterministic (or degenerate) delay
-  if (std::isinf(var)) return var;
+  const double mean = metrics.e2e_delay[cls].value();
+  const double var = metrics.e2e_delay_variance[cls].value();
+  if (!(var > 0.0))
+    return units::seconds(mean);  // deterministic (or degenerate) delay
+  if (std::isinf(var)) return units::seconds(var);
   // Two-moment gamma fit: shape = mean^2/var, scale = var/mean. An
   // exponential E2E delay (single M/M/1) gives shape 1 and the exact
   // quantile.
   const double shape = mean * mean / var;
   const double scale = var / mean;
-  return gamma_quantile(p, shape, scale);
+  return units::seconds(gamma_quantile(p, shape, scale));
 }
 
 }  // namespace cpm::queueing

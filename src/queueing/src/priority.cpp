@@ -21,8 +21,8 @@ double station_utilization(int servers, const std::vector<ClassFlow>& flows) {
   require(servers >= 1, "station_utilization: servers must be >= 1");
   double load = 0.0;
   for (const auto& f : flows) {
-    require(f.rate >= 0.0, "station_utilization: negative rate");
-    load += f.rate * f.service.mean();
+    require(f.rate.value() >= 0.0, "station_utilization: negative rate");
+    load += f.rate.value() * f.service.mean();
   }
   return load / static_cast<double>(servers);
 }
@@ -43,9 +43,9 @@ struct Aggregate {
 Aggregate aggregate_flows(int servers, const std::vector<ClassFlow>& flows) {
   Aggregate a;
   for (const auto& f : flows) {
-    a.lambda += f.rate;
-    a.es += f.rate * f.service.mean();
-    a.es2 += f.rate * f.service.second_moment();
+    a.lambda += f.rate.value();
+    a.es += f.rate.value() * f.service.mean();
+    a.es2 += f.rate.value() * f.service.second_moment();
   }
   a.rho = a.es / static_cast<double>(servers);
   if (a.lambda > 0.0) {
@@ -81,10 +81,10 @@ std::vector<double> single_server_delays(Discipline d,
     }
     case Discipline::kNonPreemptivePriority: {
       double r = 0.0;  // mean residual work: sum l_i E[S_i^2] / 2 over ALL classes
-      for (const auto& f : flows) r += f.rate * f.service.second_moment() / 2.0;
+      for (const auto& f : flows) r += f.rate.value() * f.service.second_moment() / 2.0;
       double sigma_prev = 0.0;
       for (std::size_t k = 0; k < k_classes; ++k) {
-        const double sigma_k = sigma_prev + flows[k].rate * flows[k].service.mean();
+        const double sigma_k = sigma_prev + flows[k].rate.value() * flows[k].service.mean();
         require(sigma_k < 1.0, "analyze_station: priority levels saturate");
         delay[k] = r / ((1.0 - sigma_prev) * (1.0 - sigma_k));
         sigma_prev = sigma_k;
@@ -96,9 +96,9 @@ std::vector<double> single_server_delays(Discipline d,
       double sigma_prev = 0.0;
       for (std::size_t k = 0; k < k_classes; ++k) {
         const double es_k = flows[k].service.mean();
-        const double sigma_k = sigma_prev + flows[k].rate * es_k;
+        const double sigma_k = sigma_prev + flows[k].rate.value() * es_k;
         require(sigma_k < 1.0, "analyze_station: priority levels saturate");
-        r_upto += flows[k].rate * flows[k].service.second_moment() / 2.0;
+        r_upto += flows[k].rate.value() * flows[k].service.second_moment() / 2.0;
         const double sojourn = es_k / (1.0 - sigma_prev) +
                                r_upto / ((1.0 - sigma_prev) * (1.0 - sigma_k));
         delay[k] = sojourn - es_k;
@@ -133,7 +133,7 @@ StationMetrics analyze_station(int servers, Discipline discipline,
   require(servers >= 1, "analyze_station: servers must be >= 1");
   require(!flows.empty(), "analyze_station: need at least one class");
   for (const auto& f : flows)
-    require(f.rate >= 0.0, "analyze_station: negative arrival rate");
+    require(f.rate.value() >= 0.0, "analyze_station: negative arrival rate");
 
   const std::size_t k_classes = flows.size();
   StationMetrics m;
@@ -144,7 +144,7 @@ StationMetrics analyze_station(int servers, Discipline discipline,
   m.mean_in_system.resize(k_classes);
   m.rho.resize(k_classes);
   for (std::size_t k = 0; k < k_classes; ++k)
-    m.rho[k] = flows[k].rate * flows[k].service.mean() / static_cast<double>(servers);
+    m.rho[k] = flows[k].rate.value() * flows[k].service.mean() / static_cast<double>(servers);
   m.total_utilization = station_utilization(servers, flows);
   require(m.total_utilization < 1.0, "analyze_station: unstable station (rho >= 1)");
 
@@ -202,8 +202,8 @@ StationMetrics analyze_station(int servers, Discipline discipline,
     double lambda = 0.0;
     double es3 = 0.0;
     for (const auto& f : flows) {
-      lambda += f.rate;
-      es3 += f.rate * f.service.third_moment();
+      lambda += f.rate.value();
+      es3 += f.rate.value() * f.service.third_moment();
     }
     const double rho = m.total_utilization;
     const double tail = lambda > 0.0 ? es3 / (3.0 * (1.0 - rho)) : 0.0;
@@ -224,8 +224,8 @@ StationMetrics analyze_station(int servers, Discipline discipline,
   for (std::size_t k = 0; k < k_classes; ++k) {
     m.mean_wait[k] = delay[k];
     m.mean_sojourn[k] = delay[k] + flows[k].service.mean();
-    m.mean_queue_len[k] = flows[k].rate * delay[k];
-    m.mean_in_system[k] = flows[k].rate * m.mean_sojourn[k];
+    m.mean_queue_len[k] = flows[k].rate.value() * delay[k];
+    m.mean_in_system[k] = flows[k].rate.value() * m.mean_sojourn[k];
   }
   return m;
 }

@@ -24,6 +24,7 @@
 
 #include "cpm/common/distribution.hpp"
 #include "cpm/common/rng.hpp"
+#include "cpm/common/units.hpp"
 #include "cpm/common/stats.hpp"
 #include "cpm/queueing/network.hpp"
 #include "cpm/sim/event_queue.hpp"
@@ -38,8 +39,8 @@ struct SimStation {
   queueing::Discipline discipline = queueing::Discipline::kNonPreemptivePriority;
   /// Power accounting at the station's operating point: watts per server
   /// when idle, and the extra watts drawn per busy server.
-  double idle_watts = 0.0;
-  double dynamic_watts = 0.0;
+  units::Watts idle_watts = units::watts(0.0);
+  units::Watts dynamic_watts = units::watts(0.0);
   /// Initial service-speed multiplier (1 = services run at the wall-clock
   /// duration sampled from their distributions). Changed at runtime by the
   /// control hook to emulate DVFS retuning: a job's remaining work shrinks
@@ -55,7 +56,7 @@ struct SimStation {
 /// One simulated customer class; index = priority (0 highest).
 struct SimClass {
   std::string name;
-  double rate = 0.0;                    ///< Poisson arrival rate (stationary)
+  units::Rate rate = units::per_second(0.0);  ///< Poisson arrivals (stationary)
   std::vector<queueing::Visit> route;   ///< station visits in order
   /// When set, overrides `rate` with a nonhomogeneous Poisson source of
   /// this time-varying rate (sampled by thinning).
@@ -79,6 +80,8 @@ struct SimClass {
 struct ControlSnapshot {
   double time = 0.0;                  ///< invocation model time
   double window = 0.0;                ///< measurement window length
+  // Window counters are the simulator hot path and stay raw doubles
+  // (see docs/units.md boundary policy). // conv-ok: UNIT-4
   std::vector<double> arrival_rate;   ///< per class, arrivals/window
   std::vector<double> utilization;    ///< per station, busy fraction in window
   std::vector<double> queue_length;   ///< per station, waiting jobs right now
@@ -91,15 +94,17 @@ struct ControlSnapshot {
   /// class's SimConfig::sla_thresholds entry (== window_completed when no
   /// threshold is configured).
   std::vector<std::uint64_t> window_within_sla;
+  // conv-ok: UNIT-4 (hot-path window counter, see above)
   std::vector<double> window_mean_delay;  ///< per class, 0 when none completed
-  double window_energy_joules = 0.0;      ///< cluster energy (idle + dynamic)
+  /// Cluster energy over the window (idle + dynamic).
+  units::Joules window_energy_joules = units::joules(0.0);
   std::vector<std::uint8_t> admitted;     ///< per class, current admission map
 };
 
 /// A new operating point for one station, returned by the control hook.
 struct TierSetting {
   double speed = 1.0;
-  double dynamic_watts = 0.0;
+  units::Watts dynamic_watts = units::watts(0.0);
   /// Active server count; 0 = keep the current count (the legacy DVFS-only
   /// hooks never resize). Shrinking preempts the lowest-priority jobs in
   /// excess of the new count back onto their queues (PS stations just
@@ -166,7 +171,7 @@ struct SimConfig {
   /// Per-class end-to-end delay thresholds behind the snapshot's
   /// window_within_sla counters. Empty = every completion counts as within
   /// SLA; an entry of 0 disables the threshold for that class only.
-  std::vector<double> sla_thresholds;
+  std::vector<units::Seconds> sla_thresholds;
   /// Scheduled fault injection, applied at exact model times regardless of
   /// warm-up. Unsorted input is fine (the event heap orders it).
   std::vector<FaultEvent> faults;
@@ -187,9 +192,10 @@ struct SimClassResult {
   /// conservation (check::check_flow_conservation) holds exactly:
   /// arrived == completed + blocked + in_system_at_end.
   std::uint64_t in_system_at_end = 0;
-  double mean_e2e_delay = 0.0;
-  double p95_e2e_delay = 0.0;
-  double mean_e2e_energy = 0.0;     ///< marginal (dynamic) joules per request
+  units::Seconds mean_e2e_delay = units::seconds(0.0);
+  units::Seconds p95_e2e_delay = units::seconds(0.0);
+  /// Marginal (dynamic) energy per request.
+  units::Joules mean_e2e_energy = units::joules(0.0);
   /// blocked / (blocked + completed); 0 when nothing was offered.
   [[nodiscard]] double blocking_probability() const {
     const double offered = static_cast<double>(blocked + completed);
@@ -201,15 +207,15 @@ struct SimClassResult {
 struct SimStationResult {
   double utilization = 0.0;            ///< time-average busy servers / servers
   double mean_queue_len = 0.0;         ///< waiting jobs (excluding in service)
-  double avg_power = 0.0;              ///< watts
+  units::Watts avg_power = units::watts(0.0);
   std::vector<double> mean_sojourn;    ///< per class, 0 if class never visited
   std::vector<double> mean_wait;       ///< per class sojourn minus service
 };
 
 /// One recorded completion (only when SimConfig::record_completions).
 struct CompletionRecord {
-  double time = 0.0;       ///< model time of the completion
-  double e2e_delay = 0.0;  ///< that request's end-to-end delay
+  double time = 0.0;  ///< model time of the completion
+  units::Seconds e2e_delay = units::seconds(0.0);  ///< request E2E delay
   std::size_t cls = 0;     ///< class index of the request
 };
 
@@ -219,8 +225,9 @@ struct SimResult {
   /// Aggregate (all classes) completion trace, in completion order; empty
   /// unless SimConfig::record_completions was set.
   std::vector<CompletionRecord> completions;
-  double mean_e2e_delay = 0.0;     ///< traffic-weighted over classes
-  double cluster_avg_power = 0.0;  ///< watts, post-warmup time average
+  units::Seconds mean_e2e_delay = units::seconds(0.0);  ///< traffic-weighted
+  /// Post-warm-up time-average cluster power.
+  units::Watts cluster_avg_power = units::watts(0.0);
   double measured_time = 0.0;      ///< post-warmup model time simulated
   std::uint64_t events_fired = 0;
 };

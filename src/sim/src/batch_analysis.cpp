@@ -34,7 +34,7 @@ BatchAnalysisResult batch_means_analysis(const SimConfig& config,
   const std::size_t n_classes = config.classes.size();
   std::vector<BatchMeans> batches(n_classes, BatchMeans(options.batch_size));
   for (const auto& c : result.run.completions)
-    batches[c.cls].add(c.e2e_delay);
+    batches[c.cls].add(c.e2e_delay.value());
   result.run.completions.clear();  // series consumed; free the memory
 
   result.classes.resize(n_classes);

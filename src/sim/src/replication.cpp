@@ -79,11 +79,11 @@ ReplicatedResult replicate(const SimConfig& base, const ReplicationOptions& opti
 
   for (std::size_t k = 0; k < n_classes; ++k) {
     agg.classes[k].mean_e2e_delay =
-        reduce([k](const SimResult& r) { return r.classes[k].mean_e2e_delay; });
+        reduce([k](const SimResult& r) { return r.classes[k].mean_e2e_delay.value(); });
     agg.classes[k].p95_e2e_delay =
-        reduce([k](const SimResult& r) { return r.classes[k].p95_e2e_delay; });
+        reduce([k](const SimResult& r) { return r.classes[k].p95_e2e_delay.value(); });
     agg.classes[k].mean_e2e_energy =
-        reduce([k](const SimResult& r) { return r.classes[k].mean_e2e_energy; });
+        reduce([k](const SimResult& r) { return r.classes[k].mean_e2e_energy.value(); });
     agg.classes[k].blocking_probability = reduce(
         [k](const SimResult& r) { return r.classes[k].blocking_probability(); });
     for (const auto& r : results) {
@@ -91,9 +91,10 @@ ReplicatedResult replicate(const SimConfig& base, const ReplicationOptions& opti
       agg.classes[k].total_blocked += r.classes[k].blocked;
     }
   }
-  agg.mean_e2e_delay = reduce([](const SimResult& r) { return r.mean_e2e_delay; });
+  agg.mean_e2e_delay =
+      reduce([](const SimResult& r) { return r.mean_e2e_delay.value(); });
   agg.cluster_avg_power =
-      reduce([](const SimResult& r) { return r.cluster_avg_power; });
+      reduce([](const SimResult& r) { return r.cluster_avg_power.value(); });
   agg.station_utilization.resize(n_stations);
   for (std::size_t s = 0; s < n_stations; ++s)
     agg.station_utilization[s] =

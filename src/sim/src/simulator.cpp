@@ -17,14 +17,16 @@ void validate_config(const SimConfig& config) {
   require(config.end_time > config.warmup_time, "sim: end_time must exceed warmup");
   for (const auto& s : config.stations) {
     require(s.servers >= 1, "sim: station '" + s.name + "' needs >= 1 server");
-    require(s.idle_watts >= 0.0 && s.dynamic_watts >= 0.0,
+    require(s.idle_watts >= units::watts(0.0) &&
+                s.dynamic_watts >= units::watts(0.0),
             "sim: station '" + s.name + "' has negative power");
     require(s.speed > 0.0, "sim: station '" + s.name + "' needs positive speed");
     require(s.capacity == -1 || s.capacity >= s.servers,
             "sim: station '" + s.name + "' capacity below server count");
   }
   for (const auto& c : config.classes) {
-    require(c.rate >= 0.0, "sim: class '" + c.name + "' has negative rate");
+    require(c.rate >= units::per_second(0.0),
+            "sim: class '" + c.name + "' has negative rate");
     require(c.population >= 0, "sim: class '" + c.name + "' negative population");
     require(!(c.population > 0 && c.schedule),
             "sim: class '" + c.name + "' cannot be both closed and scheduled");
@@ -46,8 +48,8 @@ void validate_config(const SimConfig& config) {
   require(config.sla_thresholds.empty() ||
               config.sla_thresholds.size() == config.classes.size(),
           "sim: sla_thresholds needs one entry per class");
-  for (double thr : config.sla_thresholds)
-    require(thr >= 0.0, "sim: sla_thresholds must be >= 0");
+  for (units::Seconds thr : config.sla_thresholds)
+    require(thr >= units::seconds(0.0), "sim: sla_thresholds must be >= 0");
   for (const auto& f : config.faults) {
     require(f.time >= 0.0, "sim: fault time must be >= 0");
     require(f.station >= 0 &&
@@ -184,12 +186,12 @@ class Simulation {
       st.servers = cfg_.stations[s].servers;
       st.capacity = cfg_.stations[s].capacity;
       st.speed = cfg_.stations[s].speed;
-      st.dynamic_watts = cfg_.stations[s].dynamic_watts;
+      st.dynamic_watts = cfg_.stations[s].dynamic_watts.value();
       st.busy_servers.start(0.0, 0.0);
       st.dyn_power.start(0.0, 0.0);
       st.queue_len.start(0.0, 0.0);
-      st.idle_power.start(
-          0.0, cfg_.stations[s].idle_watts * static_cast<double>(st.servers));
+      st.idle_power.start(0.0, cfg_.stations[s].idle_watts.value() *
+                                   static_cast<double>(st.servers));
       st.sojourn_by_class.resize(n_classes);
       st.wait_by_class.resize(n_classes);
     }
@@ -229,7 +231,7 @@ class Simulation {
     blocked_.assign(n_classes, 0);
     arrived_.assign(n_classes, 0);
     for (const auto& s : cfg_.stations)
-      audit_max_watts_ = std::max(audit_max_watts_, s.dynamic_watts);
+      audit_max_watts_ = std::max(audit_max_watts_, s.dynamic_watts.value());
   }
 
   SimResult run() {
@@ -239,7 +241,7 @@ class Simulation {
       if (cfg_.classes[k].population > 0) {
         for (int u = 0; u < cfg_.classes[k].population; ++u) start_think(k);
       } else if (!cfg_.classes[k].arrival_times.empty() ||
-                 cfg_.classes[k].rate > 0.0 || cfg_.classes[k].schedule) {
+                 cfg_.classes[k].rate.value() > 0.0 || cfg_.classes[k].schedule) {
         schedule_arrival(k);
       }
     }
@@ -315,7 +317,7 @@ class Simulation {
     } else if (cls.schedule) {
       t = cls.schedule->next_arrival(now_, arrival_rng_[k]);
     } else {
-      t = now_ + arrival_rng_[k].exponential(cls.rate);
+      t = now_ + arrival_rng_[k].exponential(cls.rate.value());
     }
     if (t > cfg_.end_time) return;  // horizon reached for this source
     schedule(t, Ev::kArrival, static_cast<std::uint32_t>(k), 0);
@@ -638,7 +640,7 @@ class Simulation {
       ++window_completed_[k];
       window_delay_sum_[k] += delay;
       const double thr =
-          cfg_.sla_thresholds.empty() ? 0.0 : cfg_.sla_thresholds[k];
+          cfg_.sla_thresholds.empty() ? 0.0 : cfg_.sla_thresholds[k].value();
       if (thr <= 0.0 || delay <= thr) ++window_sla_ok_[k];
     }
     if (job->counted) {
@@ -648,7 +650,7 @@ class Simulation {
       class_energy_[k].add(job->energy_joules);
       ++completed_[k];
       if (cfg_.record_completions)
-        completions_.push_back(CompletionRecord{now_, delay, k});
+        completions_.push_back(CompletionRecord{now_, units::seconds(delay), k});
       if (cfg_.max_completions > 0) {
         std::uint64_t total = 0;
         for (auto c : completed_) total += c;
@@ -750,7 +752,7 @@ class Simulation {
       st.idle_power.finish(now_);
       energy += st.dyn_power.integral() + st.idle_power.integral();
     }
-    snap.window_energy_joules = energy - window_energy_base_;
+    snap.window_energy_joules = units::joules(energy - window_energy_base_);
     window_energy_base_ = energy;
 
     snap.window_completed = window_completed_;
@@ -801,7 +803,7 @@ class Simulation {
     if (servers == st.servers) return;
     servers_changed_ = true;
     // Close the idle-power segment at the old fleet size.
-    st.idle_power.update(now_, cfg_.stations[s].idle_watts *
+    st.idle_power.update(now_, cfg_.stations[s].idle_watts.value() *
                                    static_cast<double>(servers));
     st.servers = servers;
 
@@ -840,21 +842,23 @@ class Simulation {
 
   void apply_tier_setting(std::size_t s, const TierSetting& setting) {
     require(setting.speed > 0.0, "sim: tier speed must be positive");
-    require(setting.dynamic_watts >= 0.0, "sim: dynamic watts must be >= 0");
+    require(setting.dynamic_watts >= units::watts(0.0),
+            "sim: dynamic watts must be >= 0");
     require(setting.servers >= 0, "sim: tier servers must be >= 0");
-    audit_max_watts_ = std::max(audit_max_watts_, setting.dynamic_watts);
+    audit_max_watts_ = std::max(audit_max_watts_, setting.dynamic_watts.value());
     if (setting.servers > 0) resize_station(s, setting.servers);
     auto& st = stations_[s];
     const double now = now_;
     const double old_speed = st.speed;
-    if (setting.speed == old_speed && setting.dynamic_watts == st.dynamic_watts)
+    if (setting.speed == old_speed &&
+        setting.dynamic_watts.value() == st.dynamic_watts)
       return;
 
     if (st.discipline == Discipline::kProcessorSharing) {
       // Integrate progress at the old rate, then switch.
       ps_advance(s);
       st.speed = setting.speed;
-      st.dynamic_watts = setting.dynamic_watts;
+      st.dynamic_watts = setting.dynamic_watts.value();
       ps_update_signals(s);
       ps_reschedule(s);
       return;
@@ -874,7 +878,7 @@ class Simulation {
       schedule(entry.finish_time, Ev::kCompletion,
                static_cast<std::uint32_t>(s), entry.token);
     }
-    st.dynamic_watts = setting.dynamic_watts;
+    st.dynamic_watts = setting.dynamic_watts.value();
     update_busy_signals(s);
   }
 
@@ -921,9 +925,9 @@ class Simulation {
           arrived_[k] != completed_[k] + blocked_[k] + in_system[k])
         throw Error("sim audit: flow conservation violated for class '" +
                     cfg_.classes[k].name + "'");
-      cr.mean_e2e_delay = class_delay_[k].mean();
-      cr.p95_e2e_delay = class_p95_[k].value();
-      cr.mean_e2e_energy = class_energy_[k].mean();
+      cr.mean_e2e_delay = units::seconds(class_delay_[k].mean());
+      cr.p95_e2e_delay = units::seconds(class_p95_[k].value());
+      cr.mean_e2e_energy = units::joules(class_energy_[k].mean());
       // Traffic weight: offered rate for open classes, measured throughput
       // for closed and trace-driven ones (no single exogenous rate).
       double rate;
@@ -933,14 +937,15 @@ class Simulation {
                    ? static_cast<double>(cr.completed) / r.measured_time
                    : 0.0;
       } else if (cfg_.classes[k].schedule) {
-        rate = cfg_.classes[k].schedule->mean_rate();
+        rate = cfg_.classes[k].schedule->mean_rate().value();
       } else {
-        rate = cfg_.classes[k].rate;
+        rate = cfg_.classes[k].rate.value();
       }
-      weighted += rate * cr.mean_e2e_delay;
+      weighted += rate * cr.mean_e2e_delay.value();
       total_rate += rate;
     }
-    r.mean_e2e_delay = total_rate > 0.0 ? weighted / total_rate : 0.0;
+    r.mean_e2e_delay =
+        units::seconds(total_rate > 0.0 ? weighted / total_rate : 0.0);
 
     r.stations.resize(cfg_.stations.size());
     for (std::size_t s = 0; s < cfg_.stations.size(); ++s) {
@@ -955,11 +960,11 @@ class Simulation {
       // once faults or the management hook resized any tier, it too comes
       // from the segment-wise integral (same result for fixed fleets, but
       // the legacy closed form is kept for bit-stability of old runs).
-      sr.avg_power = servers_changed_
-                         ? st.idle_power.time_average() +
-                               st.dyn_power.time_average()
-                         : cfg_.stations[s].idle_watts * servers +
-                               st.dyn_power.time_average();
+      sr.avg_power = units::watts(
+          servers_changed_
+              ? st.idle_power.time_average() + st.dyn_power.time_average()
+              : cfg_.stations[s].idle_watts.value() * servers +
+                    st.dyn_power.time_average());
       r.cluster_avg_power += sr.avg_power;
       sr.mean_sojourn.resize(cfg_.classes.size());
       sr.mean_wait.resize(cfg_.classes.size());

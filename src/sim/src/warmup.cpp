@@ -62,7 +62,7 @@ WarmupEstimate pilot_warmup(const SimConfig& config) {
 
   std::vector<double> delays;
   delays.reserve(r.completions.size());
-  for (const auto& c : r.completions) delays.push_back(c.e2e_delay);
+  for (const auto& c : r.completions) delays.push_back(c.e2e_delay.value());
 
   const std::size_t cut = mser_truncation_raw(delays, 5);
   WarmupEstimate est;

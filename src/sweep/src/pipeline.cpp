@@ -97,13 +97,13 @@ Json run_evaluate(const Json& pipeline, const core::ClusterModel& model,
   out["stable"] = Json(ev.stable);
   out["frequencies"] = frequencies_to_json(model, f);
   if (ev.stable) {
-    out["mean_e2e_delay"] = Json(ev.net.mean_e2e_delay);
-    out["cluster_power"] = Json(ev.energy.cluster_avg_power);
+    out["mean_e2e_delay"] = Json(ev.net.mean_e2e_delay.value());
+    out["cluster_power"] = Json(ev.energy.cluster_avg_power.value());
     JsonObject classes;
     for (std::size_t k = 0; k < model.num_classes(); ++k) {
       JsonObject c;
-      c["delay"] = Json(ev.net.e2e_delay[k]);
-      c["energy_per_request"] = Json(ev.energy.per_request_energy[k]);
+      c["delay"] = Json(ev.net.e2e_delay[k].value());
+      c["energy_per_request"] = Json(ev.energy.per_request_energy[k].value());
       classes[model.classes()[k].name] = Json(std::move(c));
     }
     out["classes"] = Json(std::move(classes));
@@ -120,34 +120,36 @@ Json run_optimize_delay(const Json& pipeline, const core::ClusterModel& model,
                         const PointParams& params) {
   double budget;
   if (const auto frac = lookup(params, pipeline, "power_budget_frac")) {
-    const double p_min = model.power_at(model.min_stable_frequencies());
-    const double p_max = model.power_at(model.max_frequencies());
+    const double p_min = model.power_at(model.min_stable_frequencies()).value();
+    const double p_max = model.power_at(model.max_frequencies()).value();
     budget = p_min + *frac * (p_max - p_min);
   } else {
     budget = lookup_required(params, pipeline, "power_budget");
   }
   const int levels = static_cast<int>(pipeline.number_or("levels", 0));
-  const auto r = levels > 0
-                     ? core::minimize_delay_with_power_budget_discrete(
-                           model, budget, levels)
-                     : core::minimize_delay_with_power_budget(model, budget);
+  const auto r =
+      levels > 0 ? core::minimize_delay_with_power_budget_discrete(
+                       model, units::watts(budget), levels)
+                 : core::minimize_delay_with_power_budget(model,
+                                                          units::watts(budget));
 
   JsonObject out;
   out["power_budget"] = Json(budget);
   out["feasible"] = Json(r.feasible);
   if (r.feasible) {
-    out["mean_delay"] = Json(r.mean_delay);
-    out["power"] = Json(r.power);
+    out["mean_delay"] = Json(r.mean_delay.value());
+    out["power"] = Json(r.power.value());
     out["frequencies"] = frequencies_to_json(model, r.frequencies);
     if (pipeline.string_or("baseline", "none") == "uniform") {
-      const auto base = core::uniform_frequency_baseline(model, budget);
+      const auto base =
+          core::uniform_frequency_baseline(model, units::watts(budget));
       JsonObject b;
       b["kind"] = Json("uniform");
       b["feasible"] = Json(base.feasible);
       if (base.feasible) {
-        b["mean_delay"] = Json(base.mean_delay);
-        b["gain_pct"] =
-            Json(100.0 * (base.mean_delay - r.mean_delay) / base.mean_delay);
+        b["mean_delay"] = Json(base.mean_delay.value());
+        b["gain_pct"] = Json(100.0 * (base.mean_delay.value() - r.mean_delay.value()) /
+                             base.mean_delay.value());
       }
       out["baseline"] = Json(std::move(b));
     }
@@ -161,29 +163,30 @@ Json run_optimize_power(const Json& pipeline, const core::ClusterModel& model,
                         const PointParams& params) {
   double bound;
   if (const auto factor = lookup(params, pipeline, "delay_bound_factor")) {
-    bound = *factor * model.mean_delay_at(model.max_frequencies());
+    bound = *factor * model.mean_delay_at(model.max_frequencies()).value();
   } else {
     bound = lookup_required(params, pipeline, "delay_bound");
   }
   const int levels = static_cast<int>(pipeline.number_or("levels", 0));
-  const auto r =
-      levels > 0
-          ? core::minimize_power_with_delay_bound_discrete(model, bound, levels)
-          : core::minimize_power_with_delay_bound(model, bound);
+  const auto r = levels > 0
+                     ? core::minimize_power_with_delay_bound_discrete(
+                           model, units::seconds(bound), levels)
+                     : core::minimize_power_with_delay_bound(
+                           model, units::seconds(bound));
 
   JsonObject out;
   out["delay_bound"] = Json(bound);
   out["feasible"] = Json(r.feasible);
   if (r.feasible) {
-    out["power"] = Json(r.power);
-    out["mean_delay"] = Json(r.mean_delay);
+    out["power"] = Json(r.power.value());
+    out["mean_delay"] = Json(r.mean_delay.value());
     out["frequencies"] = frequencies_to_json(model, r.frequencies);
     if (pipeline.string_or("baseline", "none") == "no-dvfs") {
-      const double p_max = model.power_at(model.max_frequencies());
+      const double p_max = model.power_at(model.max_frequencies()).value();
       JsonObject b;
       b["kind"] = Json("no-dvfs");
       b["power"] = Json(p_max);
-      b["saving_pct"] = Json(100.0 * (p_max - r.power) / p_max);
+      b["saving_pct"] = Json(100.0 * (p_max - r.power.value()) / p_max);
       out["baseline"] = Json(std::move(b));
     }
     if (audit_enabled(pipeline))
@@ -213,7 +216,7 @@ Json run_size(const Json& pipeline, const core::ClusterModel& model,
     JsonObject classes;
     for (std::size_t k = 0; k < model.num_classes(); ++k) {
       JsonObject c;
-      c["delay"] = Json(r.evaluation.net.e2e_delay[k]);
+      c["delay"] = Json(r.evaluation.net.e2e_delay[k].value());
       classes[model.classes()[k].name] = Json(std::move(c));
     }
     out["classes"] = Json(std::move(classes));
@@ -273,14 +276,14 @@ Json run_online(const Json& pipeline, const core::ClusterModel& model,
   JsonObject out;
   out["windows"] = Json(static_cast<double>(r.windows.size()));
   out["reoptimizations"] = Json(static_cast<double>(r.reoptimizations));
-  out["switching_cost_joules"] = Json(r.switching_cost_joules);
+  out["switching_cost_joules"] = Json(r.switching_cost_joules.value());
   JsonObject classes;
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
     const auto& c = r.sim.classes[k];
     JsonObject cj;
     cj["completed"] = Json(static_cast<double>(c.completed));
     cj["blocked"] = Json(static_cast<double>(c.blocked));
-    cj["mean_delay"] = Json(c.mean_e2e_delay);
+    cj["mean_delay"] = Json(c.mean_e2e_delay.value());
     classes[model.classes()[k].name] = Json(std::move(cj));
   }
   out["classes"] = Json(std::move(classes));
@@ -339,7 +342,8 @@ Json run_mva(const Json& pipeline, const PointParams& params,
     for (std::size_t i = 0; i < setup.stations.size(); ++i)
       cfg.stations.push_back(sim::SimStation{
           setup.stations[i].name, setup.stations[i].servers,
-          queueing::Discipline::kFcfs, 0.0, 0.0, 1.0});
+          queueing::Discipline::kFcfs, units::watts(0.0), units::watts(0.0),
+          1.0});
     sim::SimClass users;
     users.name = "users";
     users.population = population;
@@ -355,7 +359,7 @@ Json run_mva(const Json& pipeline, const PointParams& params,
     JsonObject sj;
     sj["throughput"] =
         Json(static_cast<double>(r.classes[0].completed) / r.measured_time);
-    sj["response_time"] = Json(r.classes[0].mean_e2e_delay);
+    sj["response_time"] = Json(r.classes[0].mean_e2e_delay.value());
     out["sim"] = Json(std::move(sj));
   }
   return Json(std::move(out));
@@ -391,13 +395,13 @@ core::ClusterModel apply_model_params(const core::ClusterModel& base,
   }
   if (!servers.empty()) model = model.with_servers(servers);
 
-  std::vector<double> rates;
+  std::vector<units::Rate> rates;
   for (const auto& [name, value] : params) {
     if (name.rfind("rate:", 0) != 0) continue;
     if (rates.empty())
       for (const auto& c : model.classes()) rates.push_back(c.rate);
     require(value >= 0.0, "sweep: class rates must be non-negative");
-    rates[class_index(model, name.substr(5))] = value;
+    rates[class_index(model, name.substr(5))] = units::per_second(value);
   }
   if (!rates.empty()) model = model.with_rates(rates);
 

@@ -21,7 +21,7 @@ namespace cpm::workload {
 struct TraceStats {
   std::size_t count = 0;
   double duration = 0.0;          ///< last - first timestamp
-  double mean_rate = 0.0;         ///< count / duration
+  units::Rate mean_rate = units::per_second(0.0);  ///< count / duration
   double interarrival_scv = 0.0;  ///< 1 for Poisson; >1 bursty
   double peak_to_mean = 0.0;      ///< max slot rate / mean (100 slots)
 };
@@ -39,7 +39,8 @@ class ArrivalTrace {
 
   /// One synthetic Poisson trace (testing / examples). Deterministic in
   /// the seed.
-  static ArrivalTrace poisson(double rate, double duration, std::uint64_t seed);
+  static ArrivalTrace poisson(units::Rate rate, double duration,
+                              std::uint64_t seed);
 
   [[nodiscard]] const std::vector<double>& timestamps() const { return times_; }
   [[nodiscard]] TraceStats stats() const;

@@ -11,22 +11,25 @@ RateSchedule::RateSchedule(std::vector<double> slot_rates, double horizon)
     : rates_(std::move(slot_rates)), horizon_(horizon) {
   require(!rates_.empty(), "RateSchedule: need at least one slot");
   require(horizon > 0.0, "RateSchedule: horizon must be positive");
-  max_rate_ = 0.0;
+  double max_rate = 0.0;
   for (double r : rates_) {
     require(r >= 0.0, "RateSchedule: rates must be >= 0");
-    max_rate_ = std::max(max_rate_, r);
+    max_rate = std::max(max_rate, r);
   }
-  require(max_rate_ > 0.0, "RateSchedule: at least one slot must be positive");
+  require(max_rate > 0.0, "RateSchedule: at least one slot must be positive");
+  max_rate_ = units::per_second(max_rate);
   slot_width_ = horizon_ / static_cast<double>(rates_.size());
 }
 
-RateSchedule RateSchedule::constant(double rate) {
-  return RateSchedule({rate}, 1.0);
+RateSchedule RateSchedule::constant(units::Rate rate) {
+  return RateSchedule({rate.value()}, 1.0);
 }
 
-RateSchedule RateSchedule::diurnal(double base_rate, double peak_rate,
-                                   double period, double peak_time,
-                                   std::size_t slots) {
+RateSchedule RateSchedule::diurnal(units::Rate base_rate_q,
+                                   units::Rate peak_rate_q, double period,
+                                   double peak_time, std::size_t slots) {
+  const double base_rate = base_rate_q.value();
+  const double peak_rate = peak_rate_q.value();
   require(peak_rate >= base_rate && base_rate >= 0.0,
           "diurnal: need peak_rate >= base_rate >= 0");
   require(slots >= 2, "diurnal: need >= 2 slots");
@@ -41,9 +44,12 @@ RateSchedule RateSchedule::diurnal(double base_rate, double peak_rate,
   return RateSchedule(std::move(rates), period);
 }
 
-RateSchedule RateSchedule::flash_crowd(double base_rate, double spike_rate,
+RateSchedule RateSchedule::flash_crowd(units::Rate base_rate_q,
+                                       units::Rate spike_rate_q,
                                        double spike_start, double spike_duration,
                                        double horizon, std::size_t slots) {
+  const double base_rate = base_rate_q.value();
+  const double spike_rate = spike_rate_q.value();
   require(base_rate >= 0.0 && spike_rate >= 0.0, "flash_crowd: negative rates");
   require(spike_start >= 0.0 && spike_duration > 0.0 &&
               spike_start + spike_duration <= horizon,
@@ -58,10 +64,12 @@ RateSchedule RateSchedule::flash_crowd(double base_rate, double spike_rate,
   return RateSchedule(std::move(rates), horizon);
 }
 
-RateSchedule RateSchedule::mmpp2(double low_rate, double high_rate,
+RateSchedule RateSchedule::mmpp2(units::Rate low_rate_q, units::Rate high_rate_q,
                                  double mean_low_sojourn, double mean_high_sojourn,
                                  double horizon, std::uint64_t seed,
                                  std::size_t slots) {
+  const double low_rate = low_rate_q.value();
+  const double high_rate = high_rate_q.value();
   require(low_rate >= 0.0 && high_rate >= low_rate, "mmpp2: need high >= low >= 0");
   require(mean_low_sojourn > 0.0 && mean_high_sojourn > 0.0,
           "mmpp2: sojourns must be positive");
@@ -86,18 +94,18 @@ RateSchedule RateSchedule::mmpp2(double low_rate, double high_rate,
   return RateSchedule(std::move(rates), horizon);
 }
 
-double RateSchedule::rate_at(double t) const {
+units::Rate RateSchedule::rate_at(double t) const {
   require(t >= 0.0, "RateSchedule: negative time");
   const double local = std::fmod(t, horizon_);
   auto idx = static_cast<std::size_t>(local / slot_width_);
   if (idx >= rates_.size()) idx = rates_.size() - 1;  // fp edge at horizon
-  return rates_[idx];
+  return units::per_second(rates_[idx]);
 }
 
-double RateSchedule::mean_rate() const {
+units::Rate RateSchedule::mean_rate() const {
   double sum = 0.0;
   for (double r : rates_) sum += r;
-  return sum / static_cast<double>(rates_.size());
+  return units::per_second(sum / static_cast<double>(rates_.size()));
 }
 
 double RateSchedule::expected_arrivals(double t0, double t1) const {
@@ -133,8 +141,8 @@ double RateSchedule::next_arrival(double now, Rng& rng) const {
   // probability rate(t)/max_rate.
   double t = now;
   for (;;) {
-    t += rng.exponential(max_rate_);
-    if (rng.uniform01() * max_rate_ <= rate_at(t)) return t;
+    t += rng.exponential(max_rate_.value());
+    if (rng.uniform01() * max_rate_.value() <= rate_at(t).value()) return t;
   }
 }
 

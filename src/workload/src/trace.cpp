@@ -50,8 +50,9 @@ ArrivalTrace ArrivalTrace::parse_csv(const std::string& text) {
   return from_timestamps(std::move(times));
 }
 
-ArrivalTrace ArrivalTrace::poisson(double rate, double duration,
+ArrivalTrace ArrivalTrace::poisson(units::Rate rate_q, double duration,
                                    std::uint64_t seed) {
+  const double rate = rate_q.value();
   require(rate > 0.0 && duration > 0.0, "trace: poisson needs positive rate/duration");
   Rng rng(seed);
   std::vector<double> times;
@@ -70,9 +71,8 @@ TraceStats ArrivalTrace::stats() const {
   TraceStats s;
   s.count = times_.size();
   s.duration = times_.back() - times_.front();
-  s.mean_rate = s.duration > 0.0
-                    ? static_cast<double>(s.count - 1) / s.duration
-                    : 0.0;
+  s.mean_rate = units::per_second(
+      s.duration > 0.0 ? static_cast<double>(s.count - 1) / s.duration : 0.0);
   RunningStats gaps;
   for (std::size_t i = 1; i < times_.size(); ++i)
     gaps.add(times_[i] - times_[i - 1]);
@@ -81,7 +81,8 @@ TraceStats ArrivalTrace::stats() const {
       mean_gap > 0.0 ? gaps.variance() / (mean_gap * mean_gap) : 0.0;
   if (s.duration > 0.0) {
     const auto sched = to_rate_schedule(100);
-    s.peak_to_mean = sched.max_rate() / std::max(sched.mean_rate(), 1e-300);
+    s.peak_to_mean =
+        sched.max_rate().value() / std::max(sched.mean_rate().value(), 1e-300);
   }
   return s;
 }

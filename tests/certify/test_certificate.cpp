@@ -46,7 +46,7 @@ TEST(Certificate, InfeasibleSolutionIsUncertifiedWithC010) {
   // Starve the sizer so it reports infeasible: certificates must not run
   // the prover, and CPM-C010 must gate the exit code.
   auto classes = core::make_enterprise_model(0.6).classes();
-  classes[0].sla.max_mean_e2e_delay = 1e-6;
+  classes[0].sla.max_mean_e2e_delay = units::seconds(1e-6);
   const core::ClusterModel doomed(core::make_enterprise_model(0.6).tiers(),
                                   classes);
   const auto solution = core::minimize_cost_for_slas(doomed, {});
@@ -71,8 +71,8 @@ TEST(Certificate, RefutedBoxUncertifiesAFeasibleSolution) {
   ASSERT_TRUE(solution.feasible);
 
   BoxSpec box = default_box(model);
-  box.rates[0] = core::Interval{model.classes()[0].rate,
-                                model.classes()[0].rate * 200.0};
+  box.rates[0] = core::Interval{model.classes()[0].rate.value(),
+                                model.classes()[0].rate.value() * 200.0};
   const Certificate cert = certify_cost_solution(model, solution, {}, box);
   EXPECT_TRUE(cert.optimizer_feasible);
   EXPECT_FALSE(cert.certified);
@@ -81,7 +81,7 @@ TEST(Certificate, RefutedBoxUncertifiesAFeasibleSolution) {
 
 TEST(Certificate, FrequencyPlanPinsTheFrequencyDimensions) {
   const auto model = core::make_enterprise_model(0.6);
-  const auto solution = core::minimize_power_with_delay_bound(model, 0.5);
+  const auto solution = core::minimize_power_with_delay_bound(model, units::seconds(0.5));
   ASSERT_TRUE(solution.feasible);
 
   BoxSpec box = default_box(model);

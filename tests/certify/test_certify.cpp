@@ -59,7 +59,7 @@ TEST(Certify, DegenerateBoxMatchesLintRuleForRule) {
   // same shared-precondition message prefix.
   auto classes = core::make_enterprise_model(0.6).classes();
   classes[0].rate *= 50.0;
-  classes[1].sla.max_mean_e2e_delay = 1e-6;
+  classes[1].sla.max_mean_e2e_delay = units::seconds(1e-6);
   const core::ClusterModel doomed(core::make_enterprise_model(0.6).tiers(),
                                   classes);
 
@@ -95,7 +95,7 @@ TEST(Certify, DegenerateBoxMatchesLintRuleForRule) {
   ASSERT_NE(l3, nullptr);
   ASSERT_NE(c3, nullptr);
   const std::string shared = core::sla_floor_description(
-      doomed, 1, 1e-6,
+      doomed, 1, units::seconds(1e-6),
       core::class_delay_floor(doomed, 1, doomed.max_frequencies()));
   EXPECT_EQ(c3->message.rfind(shared, 0), 0u) << c3->message;
 }
@@ -103,8 +103,8 @@ TEST(Certify, DegenerateBoxMatchesLintRuleForRule) {
 TEST(Certify, WideBoxRefutesWithConcreteWitness) {
   const auto model = core::make_enterprise_model(0.6);
   BoxSpec box = default_box(model);
-  box.rates[0] = core::Interval{model.classes()[0].rate,
-                                model.classes()[0].rate * 100.0};
+  box.rates[0] = core::Interval{model.classes()[0].rate.value(),
+                                model.classes()[0].rate.value() * 100.0};
 
   const CertifyReport report = certify_model(model, box);
   const auto* stab = find_property(report, "stability[" +
@@ -136,7 +136,7 @@ TEST(Certify, ModestBoxProvesEverySla) {
     const auto* p = find_property(
         report, "sla-mean[" + model.classes()[k].name + "]");
     if (p == nullptr) continue;
-    EXPECT_TRUE(p->bound.contains(ev.net.e2e_delay[k])) << p->property;
+    EXPECT_TRUE(p->bound.contains(ev.net.e2e_delay[k].value())) << p->property;
   }
 }
 
@@ -152,7 +152,7 @@ TEST(Certify, BisectionDecidesWhatDepthZeroCannot) {
   // Find the enclosure and the concrete worst corner with SLAs detached.
   auto relaxed = base.classes();
   for (auto& c : relaxed) c.sla = core::Sla{};
-  relaxed[0].sla.max_mean_e2e_delay = 1e9;
+  relaxed[0].sla.max_mean_e2e_delay = units::seconds(1e9);
   const core::ClusterModel probe(base.tiers(), relaxed);
   CertifyOptions shallow;
   shallow.bisect_depth = 0;
@@ -163,12 +163,12 @@ TEST(Certify, BisectionDecidesWhatDepthZeroCannot) {
   const ParameterPoint worst = congestion_corner(box);
   const auto worst_ev = model_at(probe, worst).evaluate(worst.frequencies);
   ASSERT_TRUE(worst_ev.stable);
-  const double corner = worst_ev.net.e2e_delay[0];
+  const double corner = worst_ev.net.e2e_delay[0].value();
   ASSERT_LT(corner, wide->bound.hi);
 
   // A target between the corner value and the loose bound: undecidable
   // at depth 0, proved with the default bisection budget.
-  relaxed[0].sla.max_mean_e2e_delay = corner + 0.5 * (wide->bound.hi - corner);
+  relaxed[0].sla.max_mean_e2e_delay = units::seconds(corner + 0.5 * (wide->bound.hi - corner));
   const core::ClusterModel tight(base.tiers(), relaxed);
 
   const auto* undecided =
@@ -185,7 +185,7 @@ TEST(Certify, BisectionDecidesWhatDepthZeroCannot) {
 
 TEST(Certify, PercentileSlasAreCornerCheckedOnly) {
   auto classes = core::make_enterprise_model(0.6).classes();
-  classes[0].sla.max_percentile_e2e_delay = 1e9;  // never refuted
+  classes[0].sla.max_percentile_e2e_delay = units::seconds(1e9);  // never refuted
   const core::ClusterModel model(core::make_enterprise_model(0.6).tiers(),
                                  classes);
   BoxSpec box = default_box(model);
@@ -209,18 +209,18 @@ TEST(Certify, PercentileSlasAreCornerCheckedOnly) {
 TEST(Certify, PowerBudgetProperty) {
   const auto model = core::make_enterprise_model(0.6);
   BoxSpec box = default_box(model);
-  const double nominal = model.power_at(model.max_frequencies());
+  const double nominal = model.power_at(model.max_frequencies()).value();
 
-  box.max_power_watts = nominal * 1.5;
+  box.max_power_watts = units::watts(nominal * 1.5);
   EXPECT_TRUE(certify_model(model, box).all_proved());
 
-  box.max_power_watts = nominal * 0.5;
+  box.max_power_watts = units::watts(nominal * 0.5);
   const CertifyReport over = certify_model(model, box);
   const auto* p = find_property(over, "power-budget");
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(p->verdict, Verdict::kRefuted);
   ASSERT_TRUE(p->witness.valid);
-  EXPECT_GT(p->witness.value, box.max_power_watts);
+  EXPECT_GT(p->witness.value, box.max_power_watts.value());
   EXPECT_NE(find_diag(over.diagnostics, "CPM-C007", "certify.max_power_watts"),
             nullptr);
 }
@@ -238,7 +238,7 @@ TEST(Certify, BoxJsonRoundTripAndValidation) {
   EXPECT_EQ(box.rates[0].hi, 4.0);
   EXPECT_TRUE(box.rates[1].is_point());
   EXPECT_EQ(box.rates[1].lo, 2.5);
-  EXPECT_EQ(box.max_power_watts, 1500.0);
+  EXPECT_EQ(box.max_power_watts.value(), 1500.0);
 
   const BoxSpec round = box_from_json(model, box_to_json(box, model));
   for (std::size_t k = 0; k < box.rates.size(); ++k) {
@@ -266,8 +266,8 @@ TEST(Certify, BoxJsonRoundTripAndValidation) {
 TEST(Certify, RenderJsonCarriesVerdictsAndWitness) {
   const auto model = core::make_enterprise_model(0.6);
   BoxSpec box = default_box(model);
-  box.rates[0] = core::Interval{model.classes()[0].rate,
-                                model.classes()[0].rate * 100.0};
+  box.rates[0] = core::Interval{model.classes()[0].rate.value(),
+                                model.classes()[0].rate.value() * 100.0};
   const CertifyReport report = certify_model(model, box);
 
   const Json doc =
@@ -292,8 +292,8 @@ TEST(Certify, RenderJsonCarriesVerdictsAndWitness) {
 TEST(Certify, RuleSetSilencesCertifyRules) {
   const auto model = core::make_enterprise_model(0.6);
   BoxSpec box = default_box(model);
-  box.rates[0] = core::Interval{model.classes()[0].rate,
-                                model.classes()[0].rate * 100.0};
+  box.rates[0] = core::Interval{model.classes()[0].rate.value(),
+                                model.classes()[0].rate.value() * 100.0};
   CertifyOptions options;
   options.rules.disable("CPM-C001");
   const CertifyReport report = certify_model(model, box, options);
@@ -316,7 +316,7 @@ core::ClusterModel rho_exactly_one_model() {
   auto dvfs = tier.power.dvfs();
   core::WorkloadClass cls;
   cls.name = "all";
-  cls.rate = 2.0 * dvfs.f_max;  // cancel the f_max speedup exactly...
+  cls.rate = units::per_second(2.0 * dvfs.f_max.value());  // cancel the f_max speedup exactly...
   cls.route = {{0, Distribution::exponential(0.5)}};  // ...E[S] = 0.5
   // Guard the construction: rho must be exactly 1.0 at f_max.
   return core::ClusterModel({tier}, {cls});
@@ -330,7 +330,7 @@ TEST(CertifyBoundary, RhoExactlyOneAgreesAcrossLintCertifyAndRuntime) {
   // Runtime: the boundary is unstable (steady state needs rho < 1).
   EXPECT_FALSE(model.stable_at(f));
   EXPECT_FALSE(model.evaluate(f).stable);
-  EXPECT_EQ(model.power_at(f), kInf);
+  EXPECT_EQ(model.power_at(f).value(), kInf);
 
   // Lint: CPM-L001 fires with the shared description.
   const lint::LintReport lint_report = lint::lint_model(model);
@@ -381,8 +381,8 @@ TEST(CertifyBoundary, SingleServerTiersAgreeAtThePointBox) {
     const auto* p =
         find_property(cert, "sla-mean[" + single.classes()[k].name + "]");
     if (p == nullptr) continue;
-    EXPECT_EQ(p->bound.lo, ev.net.e2e_delay[k]) << p->property;
-    EXPECT_EQ(p->bound.hi, ev.net.e2e_delay[k]) << p->property;
+    EXPECT_EQ(p->bound.lo, ev.net.e2e_delay[k].value()) << p->property;
+    EXPECT_EQ(p->bound.hi, ev.net.e2e_delay[k].value()) << p->property;
   }
 }
 

@@ -35,8 +35,8 @@ TEST(CertifyOracle, RefutedWitnessIsConcrete) {
   // the witness branch.
   const auto model = core::make_enterprise_model(0.7);
   certify::BoxSpec box = certify::default_box(model);
-  box.rates[0] = core::Interval{model.classes()[0].rate,
-                                model.classes()[0].rate * 100.0};
+  box.rates[0] = core::Interval{model.classes()[0].rate.value(),
+                                model.classes()[0].rate.value() * 100.0};
   Rng rng(7);
   const Report report = check_certify_soundness(model, box, rng);
   EXPECT_TRUE(report.all_passed()) << details(report);

@@ -91,7 +91,9 @@ TEST(GeneratorOptions, NonsenseEnvelopesAreRejected) {
   EXPECT_THROW(check::validate_options(bad([](auto& o) { o.util_cap = 1.0; })),
                Error);
   EXPECT_THROW(
-      check::validate_options(bad([](auto& o) { o.min_rate = -1.0; })), Error);
+      check::validate_options(
+          bad([](auto& o) { o.min_rate = units::per_second(-1.0); })),
+      Error);
   EXPECT_THROW(
       check::validate_options(bad([](auto& o) { o.max_demand_mean = 0.005; })),
       Error);

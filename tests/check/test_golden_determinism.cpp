@@ -29,25 +29,25 @@ TEST(GoldenDeterminism, FixedSeedSimulationIsBitForBitStable) {
   EXPECT_EQ(r.classes[1].arrived, 3354u);
   EXPECT_EQ(r.classes[2].arrived, 5756u);
 
-  EXPECT_EQ(r.classes[0].mean_e2e_delay, 0.098099850875314462);
-  EXPECT_EQ(r.classes[1].mean_e2e_delay, 0.13381440243186757);
-  EXPECT_EQ(r.classes[2].mean_e2e_delay, 0.23640063427960029);
-  EXPECT_EQ(r.classes[0].mean_e2e_energy, 5.5320839639529398);
-  EXPECT_EQ(r.classes[1].mean_e2e_energy, 7.4958250699073474);
-  EXPECT_EQ(r.classes[2].mean_e2e_energy, 8.6299522348431648);
+  EXPECT_EQ(r.classes[0].mean_e2e_delay.value(), 0.098099850875314462);
+  EXPECT_EQ(r.classes[1].mean_e2e_delay.value(), 0.13381440243186757);
+  EXPECT_EQ(r.classes[2].mean_e2e_delay.value(), 0.23640063427960029);
+  EXPECT_EQ(r.classes[0].mean_e2e_energy.value(), 5.5320839639529398);
+  EXPECT_EQ(r.classes[1].mean_e2e_energy.value(), 7.4958250699073474);
+  EXPECT_EQ(r.classes[2].mean_e2e_energy.value(), 8.6299522348431648);
 
-  EXPECT_EQ(r.mean_e2e_delay, 0.17796460804442332);
-  EXPECT_EQ(r.cluster_avg_power, 775.62392622996094);
+  EXPECT_EQ(r.mean_e2e_delay.value(), 0.17796460804442332);
+  EXPECT_EQ(r.cluster_avg_power.value(), 775.62392622996094);
 }
 
 TEST(GoldenDeterminism, ContinuousDelayOptimizerIsStable) {
   const auto model = core::make_enterprise_model(0.6);
-  EXPECT_EQ(model.power_at(model.max_frequencies()), 751.47540983606552);
+  EXPECT_EQ(model.power_at(model.max_frequencies()).value(), 751.47540983606552);
 
-  const auto pd = core::minimize_delay_with_power_budget(model, 700.0);
+  const auto pd = core::minimize_delay_with_power_budget(model, units::watts(700.0));
   ASSERT_TRUE(pd.feasible);
-  EXPECT_EQ(pd.mean_delay, 0.1996453567499237);
-  EXPECT_EQ(pd.power, 700.04326444746607);
+  EXPECT_EQ(pd.mean_delay.value(), 0.1996453567499237);
+  EXPECT_EQ(pd.power.value(), 700.04326444746607);
   ASSERT_EQ(pd.frequencies.size(), 3u);
   EXPECT_EQ(pd.frequencies[0], 0.59999999999999998);
   EXPECT_EQ(pd.frequencies[1], 0.77646192176944495);
@@ -56,10 +56,10 @@ TEST(GoldenDeterminism, ContinuousDelayOptimizerIsStable) {
 
 TEST(GoldenDeterminism, DiscreteEnergyOptimizerIsStable) {
   const auto model = core::make_enterprise_model(0.6);
-  const auto pe = core::minimize_power_with_delay_bound_discrete(model, 0.5, 7);
+  const auto pe = core::minimize_power_with_delay_bound_discrete(model, units::seconds(0.5), 7);
   ASSERT_TRUE(pe.feasible);
-  EXPECT_EQ(pe.mean_delay, 0.4207537697830373);
-  EXPECT_EQ(pe.power, 665.19781420765025);
+  EXPECT_EQ(pe.mean_delay.value(), 0.4207537697830373);
+  EXPECT_EQ(pe.power.value(), 665.19781420765025);
   ASSERT_EQ(pe.frequencies.size(), 3u);
   EXPECT_EQ(pe.frequencies[0], 0.59999999999999998);
   EXPECT_EQ(pe.frequencies[1], 0.59999999999999998);

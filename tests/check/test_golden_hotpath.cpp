@@ -20,15 +20,18 @@ namespace {
 sim::SimConfig mixed_config() {
   sim::SimConfig cfg;
   cfg.stations.push_back(sim::SimStation{
-      "edge", 2, queueing::Discipline::kPreemptiveResume, 50.0, 100.0, 1.0, 5});
+      "edge", 2, queueing::Discipline::kPreemptiveResume, units::watts(50.0),
+      units::watts(100.0), 1.0, 5});
   cfg.stations.push_back(sim::SimStation{
-      "app", 3, queueing::Discipline::kProcessorSharing, 60.0, 120.0, 1.0, -1});
+      "app", 3, queueing::Discipline::kProcessorSharing, units::watts(60.0),
+      units::watts(120.0), 1.0, -1});
   cfg.stations.push_back(sim::SimStation{
-      "db", 2, queueing::Discipline::kNonPreemptivePriority, 70.0, 140.0, 1.0, -1});
+      "db", 2, queueing::Discipline::kNonPreemptivePriority, units::watts(70.0),
+      units::watts(140.0), 1.0, -1});
 
   sim::SimClass gold;
   gold.name = "gold";
-  gold.rate = 2.0;
+  gold.rate = units::per_second(2.0);
   gold.route = {queueing::Visit{0, Distribution::hyper_exp2(0.15, 4.0)},
                 queueing::Visit{1, Distribution::erlang(2, 0.2)},
                 queueing::Visit{2, Distribution::exponential(0.1)}};
@@ -36,7 +39,7 @@ sim::SimConfig mixed_config() {
 
   sim::SimClass silver;
   silver.name = "silver";
-  silver.rate = 3.0;
+  silver.rate = units::per_second(3.0);
   silver.route = {queueing::Visit{0, Distribution::exponential(0.12)},
                   queueing::Visit{1, Distribution::deterministic(0.18)}};
   cfg.classes.push_back(silver);
@@ -60,9 +63,9 @@ sim::SimConfig mixed_config() {
   cfg.control = [](const sim::ControlSnapshot& snap) {
     std::vector<sim::TierSetting> out(3);
     const bool high = (static_cast<int>(snap.time / 25.0) % 2) == 1;
-    out[0] = sim::TierSetting{high ? 1.25 : 0.9, high ? 130.0 : 90.0};
-    out[1] = sim::TierSetting{high ? 1.1 : 1.0, 120.0};
-    out[2] = sim::TierSetting{1.0, high ? 150.0 : 140.0};
+    out[0] = sim::TierSetting{high ? 1.25 : 0.9, units::watts(high ? 130.0 : 90.0)};
+    out[1] = sim::TierSetting{high ? 1.1 : 1.0, units::watts(120.0)};
+    out[2] = sim::TierSetting{1.0, units::watts(high ? 150.0 : 140.0)};
     return out;
   };
   return cfg;
@@ -87,29 +90,29 @@ TEST(GoldenHotPath, MixedDisciplineSimulationIsBitForBitStable) {
   EXPECT_EQ(r.classes[2].arrived, 783u);
   EXPECT_EQ(r.classes[2].in_system_at_end, 1u);
 
-  EXPECT_EQ(r.classes[0].mean_e2e_delay, 0.48179082680434859);
-  EXPECT_EQ(r.classes[0].p95_e2e_delay, 1.0684034690299493);
-  EXPECT_EQ(r.classes[0].mean_e2e_energy, 53.786146506672836);
-  EXPECT_EQ(r.classes[1].mean_e2e_delay, 0.33177744591399688);
-  EXPECT_EQ(r.classes[1].p95_e2e_delay, 0.6838738237461478);
-  EXPECT_EQ(r.classes[1].mean_e2e_energy, 32.461560642482993);
-  EXPECT_EQ(r.classes[2].mean_e2e_delay, 0.57238508368685226);
-  EXPECT_EQ(r.classes[2].p95_e2e_delay, 1.2472367262555273);
-  EXPECT_EQ(r.classes[2].mean_e2e_energy, 70.497961004900091);
+  EXPECT_EQ(r.classes[0].mean_e2e_delay.value(), 0.48179082680434859);
+  EXPECT_EQ(r.classes[0].p95_e2e_delay.value(), 1.0684034690299493);
+  EXPECT_EQ(r.classes[0].mean_e2e_energy.value(), 53.786146506672836);
+  EXPECT_EQ(r.classes[1].mean_e2e_delay.value(), 0.33177744591399688);
+  EXPECT_EQ(r.classes[1].p95_e2e_delay.value(), 0.6838738237461478);
+  EXPECT_EQ(r.classes[1].mean_e2e_energy.value(), 32.461560642482993);
+  EXPECT_EQ(r.classes[2].mean_e2e_delay.value(), 0.57238508368685226);
+  EXPECT_EQ(r.classes[2].p95_e2e_delay.value(), 1.2472367262555273);
+  EXPECT_EQ(r.classes[2].mean_e2e_energy.value(), 70.497961004900091);
 
-  EXPECT_EQ(r.mean_e2e_delay, 0.44254878935420328);
-  EXPECT_EQ(r.cluster_avg_power, 758.22434806940191);
+  EXPECT_EQ(r.mean_e2e_delay.value(), 0.44254878935420328);
+  EXPECT_EQ(r.cluster_avg_power.value(), 758.22434806940191);
 
   ASSERT_EQ(r.stations.size(), 3u);
   EXPECT_EQ(r.stations[0].utilization, 0.30595130487755251);
   EXPECT_EQ(r.stations[0].mean_queue_len, 0.088168114910950945);
-  EXPECT_EQ(r.stations[0].avg_power, 165.51901254264305);
+  EXPECT_EQ(r.stations[0].avg_power.value(), 165.51901254264305);
   EXPECT_EQ(r.stations[1].utilization, 0.47881625476665363);
   EXPECT_EQ(r.stations[1].mean_queue_len, 0.0);
-  EXPECT_EQ(r.stations[1].avg_power, 352.37385171599544);
+  EXPECT_EQ(r.stations[1].avg_power.value(), 352.37385171599544);
   EXPECT_EQ(r.stations[2].utilization, 0.34553106738524408);
   EXPECT_EQ(r.stations[2].mean_queue_len, 0.045911335976984768);
-  EXPECT_EQ(r.stations[2].avg_power, 240.33148381076344);
+  EXPECT_EQ(r.stations[2].avg_power.value(), 240.33148381076344);
 }
 
 TEST(GoldenHotPath, ReplicatedAggregateIsThreadCountInvariant) {

@@ -1,0 +1,98 @@
+// Runtime checks for cpm::units arithmetic identities. The type-level
+// guarantees (wrong-dimension arithmetic rejected, explicit
+// construction/escape) live in tests/compile_fail/units_*.cpp; this
+// file pins down the value-level semantics of the operations that DO
+// compile.
+#include "cpm/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <type_traits>
+
+namespace u = cpm::units;
+
+TEST(Units, LayoutMatchesRawDouble) {
+  static_assert(sizeof(u::Seconds) == sizeof(double));
+  static_assert(sizeof(u::Watts) == sizeof(double));
+  static_assert(std::is_trivially_copyable_v<u::Rate>);
+  EXPECT_EQ(u::Seconds().value(), 0.0);  // default is zero, like the model structs
+}
+
+TEST(Units, WattSecondsAreJoules) {
+  u::Joules e = u::watts(250.0) * u::seconds(4.0);
+  EXPECT_EQ(e.value(), 1000.0);
+  // Commuted product lands on the same dimension and value.
+  static_assert(std::is_same_v<decltype(u::seconds(4.0) * u::watts(250.0)),
+                               u::Joules>);
+  EXPECT_EQ((u::seconds(4.0) * u::watts(250.0)).value(), 1000.0);
+  // And dividing energy by the horizon recovers the power.
+  u::Watts p = e / u::seconds(4.0);
+  EXPECT_EQ(p.value(), 250.0);
+}
+
+TEST(Units, JobsOverSecondsIsRate) {
+  u::Rate r = u::jobs(12.0) / u::seconds(3.0);
+  EXPECT_EQ(r.value(), 4.0);
+  // rate * horizon cancels back to a job count.
+  u::Jobs n = r * u::seconds(3.0);
+  EXPECT_EQ(n.value(), 12.0);
+}
+
+TEST(Units, SameDimensionRatioIsScalar) {
+  // Utilization-style ratios collapse to plain doubles, so they flow
+  // into log/exp/comparison code without any unwrap ceremony.
+  auto rho = u::per_second(3.0) / u::per_second(4.0);
+  static_assert(std::is_same_v<decltype(rho), double>);
+  EXPECT_DOUBLE_EQ(rho, 0.75);
+}
+
+TEST(Units, InversionGivesInterarrivalTime) {
+  auto gap = 1.0 / u::per_second(4.0);
+  static_assert(std::is_same_v<decltype(gap * u::jobs(1.0)), u::Seconds>);
+  EXPECT_EQ((gap * u::jobs(1.0)).value(), 0.25);
+}
+
+TEST(Units, AdditiveGroupOnOneDimension) {
+  u::Seconds t = u::seconds(1.5);
+  t += u::seconds(0.5);
+  EXPECT_EQ(t, u::seconds(2.0));
+  t -= u::seconds(3.0);
+  EXPECT_EQ(t, u::seconds(-1.0));
+  EXPECT_EQ(-t, u::seconds(1.0));
+  EXPECT_EQ(u::seconds(1.0) - u::seconds(0.25), u::seconds(0.75));
+}
+
+TEST(Units, ScalarScaling) {
+  EXPECT_EQ((2.0 * u::watts(100.0)).value(), 200.0);
+  EXPECT_EQ((u::watts(100.0) * 0.5).value(), 50.0);
+  EXPECT_EQ((u::watts(100.0) / 4.0).value(), 25.0);
+  u::Watts w = u::watts(10.0);
+  w *= 3.0;
+  w /= 2.0;
+  EXPECT_EQ(w.value(), 15.0);
+}
+
+TEST(Units, ComparisonOrdering) {
+  EXPECT_LT(u::seconds(0.1), u::seconds(0.2));
+  EXPECT_LE(u::seconds(0.2), u::seconds(0.2));
+  EXPECT_GT(u::per_second(5.0), u::per_second(4.0));
+  EXPECT_GE(u::per_second(4.0), u::per_second(4.0));
+  EXPECT_NE(u::watts(1.0), u::watts(2.0));
+}
+
+TEST(Units, InfinitySentinelSurvivesComparisons) {
+  // The optimizer uses Seconds::infinity() for "no delay bound".
+  u::Seconds inf = u::Seconds::infinity();
+  EXPECT_TRUE(std::isinf(inf.value()));
+  EXPECT_LT(u::seconds(1e12), inf);
+  EXPECT_EQ(inf, u::Seconds::infinity());
+}
+
+TEST(Units, ValueRoundTripsThroughFactory) {
+  // Boundary discipline: factory in, .value() out, bit-identical.
+  const double raw = 0.48179082680434859;
+  EXPECT_EQ(u::seconds(raw).value(), raw);
+  EXPECT_EQ(u::watts(raw).value(), raw);
+  EXPECT_EQ(u::per_second(raw).value(), raw);
+}

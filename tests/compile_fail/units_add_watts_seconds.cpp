@@ -1,0 +1,11 @@
+// Must NOT compile: adding quantities of different dimensions is
+// meaningless. The catch-all operator+ in units.hpp static_asserts with
+// a message naming the mistake.
+#include "cpm/common/units.hpp"
+
+namespace u = cpm::units;
+
+double broken_energy_budget() {
+  auto nonsense = u::watts(40.0) + u::seconds(0.25);
+  return nonsense.value();
+}

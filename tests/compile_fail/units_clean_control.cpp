@@ -1,0 +1,33 @@
+// Positive control for the units compile-fail corpus: every sanctioned
+// operation in one translation unit. If this target ever fails to
+// build, a red units_* case means "the harness is broken", not "the
+// type system fired".
+#include "cpm/common/units.hpp"
+
+#include <type_traits>
+
+namespace u = cpm::units;
+
+// Dimension algebra composes: W * s = J, jobs / s = Rate, 1/s inverts.
+static_assert(std::is_same_v<decltype(u::watts(2.0) * u::seconds(3.0)),
+                             u::Joules>);
+static_assert(std::is_same_v<decltype(u::jobs(8.0) / u::seconds(2.0)),
+                             u::Rate>);
+static_assert(std::is_same_v<decltype(1.0 / u::seconds(0.5)),
+                             u::Quantity<u::DimInverse<u::Seconds::Dimension>>>);
+
+// Same-dimension ratios collapse to plain scalars.
+static_assert(std::is_same_v<decltype(u::seconds(1.0) / u::seconds(2.0)),
+                             double>);
+
+// Everything below is constexpr-evaluable: the wrapper is zero-overhead.
+static_assert((u::watts(2.0) * u::seconds(3.0)).value() == 6.0);
+static_assert(u::seconds(1.0) + u::seconds(2.0) == u::seconds(3.0));
+static_assert(u::seconds(1.0) < u::seconds(2.0));
+static_assert(u::per_second(4.0).value() == 4.0);
+static_assert(sizeof(u::Watts) == sizeof(double));
+
+double sanctioned_report(u::Watts cluster_power, u::Seconds horizon) {
+  u::Joules energy = cluster_power * horizon;
+  return energy.value();  // the one sanctioned escape hatch
+}

@@ -1,0 +1,12 @@
+// Must NOT compile: a raw double never becomes a Quantity implicitly.
+// Dimensions are assigned only through the boundary factories
+// (seconds(), watts(), per_second(), ...); Quantity's double
+// constructor is explicit.
+#include "cpm/common/units.hpp"
+
+namespace u = cpm::units;
+
+u::Seconds broken_literal() {
+  u::Seconds window = 1.5;  // no factory, no dimension
+  return window;
+}

@@ -1,0 +1,12 @@
+// Must NOT compile: a Quantity never decays to a raw double implicitly.
+// Crossing back to doubles (JSON, bench records, printf) is always an
+// explicit .value() call, so every escape point is greppable.
+#include "cpm/common/units.hpp"
+
+namespace u = cpm::units;
+
+double broken_report() {
+  u::Watts cluster_power = u::watts(312.5);
+  double raw = cluster_power;  // missing .value()
+  return raw;
+}

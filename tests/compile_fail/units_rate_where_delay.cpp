@@ -1,0 +1,15 @@
+// Must NOT compile: passing a Rate (jobs/s) where a delay bound
+// (Seconds) is expected. This is the exact transposition bug the typed
+// optimizer/queueing signatures exist to reject.
+#include "cpm/common/units.hpp"
+
+namespace u = cpm::units;
+
+// Mirrors the optimizer's per-class delay-bound parameter.
+double tightened_bound(u::Seconds bound) { return 0.9 * bound.value(); }
+
+double broken_call() {
+  // Class arrival rate handed to the delay-bound slot.
+  u::Rate arrival = u::per_second(3.2);
+  return tightened_bound(arrival);
+}

@@ -18,7 +18,7 @@ TEST(ClusterModel, EnterpriseModelHasDocumentedShape) {
   EXPECT_EQ(model.num_classes(), 3u);
   EXPECT_EQ(model.tiers()[0].name, "web");
   EXPECT_EQ(model.classes()[0].name, "gold");
-  EXPECT_GT(model.total_rate(), 0.0);
+  EXPECT_GT(model.total_rate().value(), 0.0);
 }
 
 TEST(ClusterModel, LoadParameterSetsDbUtilization) {
@@ -51,8 +51,8 @@ TEST(ClusterModel, UnstablePointReportsUnstable) {
   EXPECT_FALSE(model.stable_at(f));
   const auto ev = model.evaluate(f);
   EXPECT_FALSE(ev.stable);
-  EXPECT_TRUE(std::isinf(model.mean_delay_at(f)));
-  EXPECT_TRUE(std::isinf(model.power_at(f)));
+  EXPECT_TRUE(std::isinf(model.mean_delay_at(f).value()));
+  EXPECT_TRUE(std::isinf(model.power_at(f).value()));
 }
 
 TEST(ClusterModel, WithServersChangesOnlyServerCounts) {
@@ -68,7 +68,7 @@ TEST(ClusterModel, WithServersChangesOnlyServerCounts) {
 TEST(ClusterModel, WithRateScaleScalesLoad) {
   const auto model = make_enterprise_model(0.4);
   const auto doubled = model.with_rate_scale(2.0);
-  EXPECT_NEAR(doubled.total_rate(), 2.0 * model.total_rate(), 1e-9);
+  EXPECT_NEAR(doubled.total_rate().value(), 2.0 * model.total_rate().value(), 1e-9);
   const auto ev = doubled.evaluate(doubled.max_frequencies());
   ASSERT_TRUE(ev.stable);
   EXPECT_NEAR(ev.net.station_utilization[2], 0.8, 1e-9);
@@ -95,13 +95,13 @@ TEST(ClusterModel, FrequencyValidation) {
 TEST(ClusterModel, ConstructorValidation) {
   std::vector<Tier> tiers = {Tier{}};
   std::vector<WorkloadClass> classes = {
-      WorkloadClass{"c", 1.0, {Demand{0, Distribution::exponential(0.1)}}, {}}};
+      WorkloadClass{"c", units::per_second(1.0), {Demand{0, Distribution::exponential(0.1)}}, {}}};
   EXPECT_NO_THROW(ClusterModel(tiers, classes));
   EXPECT_THROW(ClusterModel({}, classes), Error);
   EXPECT_THROW(ClusterModel(tiers, {}), Error);
 
   std::vector<WorkloadClass> bad = {
-      WorkloadClass{"c", 1.0, {Demand{7, Distribution::exponential(0.1)}}, {}}};
+      WorkloadClass{"c", units::per_second(1.0), {Demand{7, Distribution::exponential(0.1)}}, {}}};
   EXPECT_THROW(ClusterModel(tiers, bad), Error);
 
   std::vector<Tier> bad_tier = {Tier{"t", 0}};
@@ -120,7 +120,7 @@ TEST(ClusterModel, ToSimConfigMirrorsModel) {
   EXPECT_DOUBLE_EQ(cfg.end_time, 110.0);
   EXPECT_EQ(cfg.seed, 99u);
   // Dynamic watts at f=0.8 with alpha=3: 100 * 0.8^3 = 51.2.
-  EXPECT_NEAR(cfg.stations[1].dynamic_watts, 100.0 * std::pow(0.8, 3.0), 1e-9);
+  EXPECT_NEAR(cfg.stations[1].dynamic_watts.value(), 100.0 * std::pow(0.8, 3.0), 1e-9);
   // App-tier service mean is scaled by 1/0.8.
   const double base = model.classes()[0].route[1].base_service.mean();
   EXPECT_NEAR(cfg.classes[0].route[1].service.mean(), base / 0.8, 1e-12);
@@ -133,7 +133,7 @@ TEST(ClusterModel, EvaluateEnergyConsistentWithTierPower) {
   ASSERT_TRUE(ev.stable);
   const auto tp = model.tier_power(f);
   const auto em = power::compute_energy(tp, model.network_classes(f), ev.net);
-  EXPECT_NEAR(em.cluster_avg_power, ev.energy.cluster_avg_power, 1e-9);
+  EXPECT_NEAR(em.cluster_avg_power.value(), ev.energy.cluster_avg_power.value(), 1e-9);
 }
 
 TEST(ClusterModel, EnterpriseLoadValidation) {

@@ -9,7 +9,7 @@ namespace {
 
 ReactiveDvfsController::Options valid_options() {
   ReactiveDvfsController::Options o;
-  o.delay_bound = 0.5;
+  o.delay_bound = units::seconds(0.5);
   o.levels = 5;
   return o;
 }
@@ -17,7 +17,7 @@ ReactiveDvfsController::Options valid_options() {
 TEST(Controller, OptionValidation) {
   const auto model = make_enterprise_model(0.6);
   auto o = valid_options();
-  o.delay_bound = 0.0;
+  o.delay_bound = units::seconds(0.0);
   EXPECT_THROW(ReactiveDvfsController(model, o), Error);
   o = valid_options();
   o.rate_smoothing = 0.0;
@@ -51,7 +51,7 @@ TEST(Controller, InitialFrequenciesAreValidOperatingPoint) {
 TEST(Controller, ImpossibleBoundFailsSafeToMaxFrequencies) {
   const auto model = make_enterprise_model(0.6);
   auto o = valid_options();
-  o.delay_bound = 1e-9;  // unreachable
+  o.delay_bound = units::seconds(1e-9);  // unreachable
   ReactiveDvfsController controller(model, o);
   EXPECT_EQ(controller.initial_frequencies(), model.max_frequencies());
 
@@ -82,7 +82,7 @@ TEST(Controller, LowDemandPlansLowFrequencies) {
   calm.time = 20.0;
   calm.window = 20.0;
   for (const auto& c : model.classes())
-    calm.arrival_rate.push_back(0.2 * c.rate);  // demand collapsed
+    calm.arrival_rate.push_back(0.2 * c.rate.value());  // demand collapsed
   calm.utilization.assign(model.num_tiers(), 0.2);
   calm.queue_length.assign(model.num_tiers(), 0.0);
   controller.hook()(calm);
@@ -104,10 +104,12 @@ TEST(Controller, SnapshotClassCountMismatchThrows) {
 
 TEST(ClusterModelRates, WithRatesReplacesExactly) {
   const auto model = make_enterprise_model(0.6);
-  const auto changed = model.with_rates({1.0, 2.0, 3.0});
-  EXPECT_DOUBLE_EQ(changed.classes()[0].rate, 1.0);
-  EXPECT_DOUBLE_EQ(changed.classes()[2].rate, 3.0);
-  EXPECT_THROW(model.with_rates({1.0}), Error);
+  const auto changed =
+      model.with_rates({units::per_second(1.0), units::per_second(2.0),
+                        units::per_second(3.0)});
+  EXPECT_DOUBLE_EQ(changed.classes()[0].rate.value(), 1.0);
+  EXPECT_DOUBLE_EQ(changed.classes()[2].rate.value(), 3.0);
+  EXPECT_THROW(model.with_rates({units::per_second(1.0)}), Error);
 }
 
 TEST(ClusterModelRates, TierSettingsMapFrequencies) {
@@ -116,8 +118,8 @@ TEST(ClusterModelRates, TierSettingsMapFrequencies) {
   ASSERT_EQ(s.size(), 3u);
   EXPECT_NEAR(s[0].speed, 0.8, 1e-12);
   EXPECT_NEAR(s[1].speed, 1.0, 1e-12);
-  EXPECT_NEAR(s[2].dynamic_watts,
-              model.tiers()[2].power.dynamic_power(0.6), 1e-12);
+  EXPECT_NEAR(s[2].dynamic_watts.value(),
+              model.tiers()[2].power.dynamic_power(units::hertz(0.6)).value(), 1e-12);
 }
 
 }  // namespace

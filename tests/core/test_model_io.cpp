@@ -40,12 +40,12 @@ TEST(ModelIo, ParsesMinimalModel) {
             queueing::Discipline::kNonPreemptivePriority);  // default
   EXPECT_EQ(model.tiers()[1].discipline, queueing::Discipline::kFcfs);
   EXPECT_DOUBLE_EQ(model.tiers()[1].server_cost, 2.5);
-  EXPECT_DOUBLE_EQ(model.tiers()[1].power.idle_power(), 100.0);
-  EXPECT_DOUBLE_EQ(model.tiers()[1].power.dvfs().f_max, 1.2);
+  EXPECT_DOUBLE_EQ(model.tiers()[1].power.idle_power().value(), 100.0);
+  EXPECT_DOUBLE_EQ(model.tiers()[1].power.dvfs().f_max.value(), 1.2);
 
   const auto& gold = model.classes()[0];
-  EXPECT_DOUBLE_EQ(gold.rate, 2.0);
-  EXPECT_DOUBLE_EQ(gold.sla.max_mean_e2e_delay, 0.5);
+  EXPECT_DOUBLE_EQ(gold.rate.value(), 2.0);
+  EXPECT_DOUBLE_EQ(gold.sla.max_mean_e2e_delay.value(), 0.5);
   ASSERT_EQ(gold.route.size(), 2u);
   EXPECT_EQ(gold.route[1].tier, 1);
   EXPECT_NEAR(gold.route[1].base_service.scv(), 3.0, 1e-9);
@@ -60,7 +60,7 @@ TEST(ModelIo, ParsedModelEvaluates) {
   const auto model = model_from_json_text(kMinimalModel);
   const auto ev = model.evaluate(model.max_frequencies());
   EXPECT_TRUE(ev.stable);
-  EXPECT_GT(ev.net.mean_e2e_delay, 0.0);
+  EXPECT_GT(ev.net.mean_e2e_delay.value(), 0.0);
 }
 
 TEST(ModelIo, RoundTripPreservesEverything) {
@@ -84,8 +84,8 @@ TEST(ModelIo, RoundTripPreservesEverything) {
   const auto b = reparsed.evaluate(f);
   ASSERT_TRUE(a.stable && b.stable);
   for (std::size_t k = 0; k < original.num_classes(); ++k)
-    EXPECT_NEAR(a.net.e2e_delay[k], b.net.e2e_delay[k], 1e-9);
-  EXPECT_NEAR(a.energy.cluster_avg_power, b.energy.cluster_avg_power, 1e-9);
+    EXPECT_NEAR(a.net.e2e_delay[k].value(), b.net.e2e_delay[k].value(), 1e-9);
+  EXPECT_NEAR(a.energy.cluster_avg_power.value(), b.energy.cluster_avg_power.value(), 1e-9);
 }
 
 TEST(DistributionIo, AllFamiliesRoundTrip) {
@@ -120,11 +120,11 @@ TEST(ModelIo, PercentileSlaRoundTrips) {
   const auto model = model_from_json_text(doc);
   EXPECT_FALSE(model.classes()[0].sla.mean_bounded());
   ASSERT_TRUE(model.classes()[0].sla.percentile_bounded());
-  EXPECT_DOUBLE_EQ(model.classes()[0].sla.max_percentile_e2e_delay, 0.8);
+  EXPECT_DOUBLE_EQ(model.classes()[0].sla.max_percentile_e2e_delay.value(), 0.8);
   EXPECT_DOUBLE_EQ(model.classes()[0].sla.percentile, 0.99);
 
   const auto rt = model_from_json(model_to_json(model));
-  EXPECT_DOUBLE_EQ(rt.classes()[0].sla.max_percentile_e2e_delay, 0.8);
+  EXPECT_DOUBLE_EQ(rt.classes()[0].sla.max_percentile_e2e_delay.value(), 0.8);
   EXPECT_DOUBLE_EQ(rt.classes()[0].sla.percentile, 0.99);
 }
 

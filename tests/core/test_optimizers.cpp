@@ -14,7 +14,7 @@ using queueing::Discipline;
 TEST(DelayOptimizer, UnlimitedBudgetRunsFlatOut) {
   const auto model = make_enterprise_model(0.6);
   const double huge_budget = 1e9;
-  const auto r = minimize_delay_with_power_budget(model, huge_budget);
+  const auto r = minimize_delay_with_power_budget(model, units::watts(huge_budget));
   ASSERT_TRUE(r.feasible);
   // With no effective power constraint, max frequency minimises delay.
   for (std::size_t i = 0; i < r.frequencies.size(); ++i)
@@ -23,32 +23,32 @@ TEST(DelayOptimizer, UnlimitedBudgetRunsFlatOut) {
 
 TEST(DelayOptimizer, BudgetBindsAndIsRespected) {
   const auto model = make_enterprise_model(0.6);
-  const double p_max = model.power_at(model.max_frequencies());
-  const double p_min = model.power_at(model.min_stable_frequencies());
+  const double p_max = model.power_at(model.max_frequencies()).value();
+  const double p_min = model.power_at(model.min_stable_frequencies()).value();
   ASSERT_TRUE(std::isfinite(p_min));
   const double budget = 0.5 * (p_max + p_min);
-  const auto r = minimize_delay_with_power_budget(model, budget);
+  const auto r = minimize_delay_with_power_budget(model, units::watts(budget));
   ASSERT_TRUE(r.feasible);
-  EXPECT_LE(r.power, budget * 1.001);
+  EXPECT_LE(r.power.value(), budget * 1.001);
   // With a binding budget the optimum nearly exhausts it.
-  EXPECT_GT(r.power, 0.95 * budget);
+  EXPECT_GT(r.power.value(), 0.95 * budget);
   EXPECT_GT(r.mean_delay, model.mean_delay_at(model.max_frequencies()));
 }
 
 TEST(DelayOptimizer, InfeasibleBudgetReported) {
   const auto model = make_enterprise_model(0.6);
-  const double p_min = model.power_at(model.min_stable_frequencies());
-  const auto r = minimize_delay_with_power_budget(model, 0.5 * p_min);
+  const double p_min = model.power_at(model.min_stable_frequencies()).value();
+  const auto r = minimize_delay_with_power_budget(model, units::watts(0.5 * p_min));
   EXPECT_FALSE(r.feasible);
 }
 
 TEST(DelayOptimizer, BeatsUniformBaseline) {
   const auto model = make_enterprise_model(0.7);
-  const double p_max = model.power_at(model.max_frequencies());
-  const double p_min = model.power_at(model.min_stable_frequencies());
+  const double p_max = model.power_at(model.max_frequencies()).value();
+  const double p_min = model.power_at(model.min_stable_frequencies()).value();
   const double budget = p_min + 0.4 * (p_max - p_min);
-  const auto opt = minimize_delay_with_power_budget(model, budget);
-  const auto base = uniform_frequency_baseline(model, budget);
+  const auto opt = minimize_delay_with_power_budget(model, units::watts(budget));
+  const auto base = uniform_frequency_baseline(model, units::watts(budget));
   ASSERT_TRUE(opt.feasible);
   ASSERT_TRUE(base.feasible);
   EXPECT_LE(opt.mean_delay, base.mean_delay * 1.005);
@@ -56,60 +56,60 @@ TEST(DelayOptimizer, BeatsUniformBaseline) {
 
 TEST(DelayOptimizer, TighterBudgetNeverImprovesDelay) {
   const auto model = make_enterprise_model(0.6);
-  const double p_max = model.power_at(model.max_frequencies());
-  const double p_min = model.power_at(model.min_stable_frequencies());
+  const double p_max = model.power_at(model.max_frequencies()).value();
+  const double p_min = model.power_at(model.min_stable_frequencies()).value();
   double prev_delay = 0.0;
   for (double t : {0.8, 0.5, 0.25}) {
     const double budget = p_min + t * (p_max - p_min);
-    const auto r = minimize_delay_with_power_budget(model, budget);
+    const auto r = minimize_delay_with_power_budget(model, units::watts(budget));
     ASSERT_TRUE(r.feasible) << "t=" << t;
-    EXPECT_GE(r.mean_delay, prev_delay * 0.999) << "t=" << t;
-    prev_delay = r.mean_delay;
+    EXPECT_GE(r.mean_delay.value(), prev_delay * 0.999) << "t=" << t;
+    prev_delay = r.mean_delay.value();
   }
 }
 
 TEST(EnergyOptimizer, LooseBoundApproachesMinPower) {
   const auto model = make_enterprise_model(0.5);
   const double loose = 100.0;  // seconds; delays here are ~0.1s
-  const auto r = minimize_power_with_delay_bound(model, loose);
+  const auto r = minimize_power_with_delay_bound(model, units::seconds(loose));
   ASSERT_TRUE(r.feasible);
-  const double p_min = model.power_at(model.min_stable_frequencies());
+  const double p_min = model.power_at(model.min_stable_frequencies()).value();
   ASSERT_TRUE(std::isfinite(p_min));
-  EXPECT_NEAR(r.power, p_min, 0.01 * p_min);
+  EXPECT_NEAR(r.power.value(), p_min, 0.01 * p_min);
 }
 
 TEST(EnergyOptimizer, BoundRespectedAndBinding) {
   const auto model = make_enterprise_model(0.6);
-  const double d_fast = model.mean_delay_at(model.max_frequencies());
-  const double d_slow = model.mean_delay_at(model.min_stable_frequencies());
+  const double d_fast = model.mean_delay_at(model.max_frequencies()).value();
+  const double d_slow = model.mean_delay_at(model.min_stable_frequencies()).value();
   double bound;
   if (std::isfinite(d_slow)) {
     bound = 0.5 * (d_fast + d_slow);
   } else {
     bound = 2.0 * d_fast;
   }
-  const auto r = minimize_power_with_delay_bound(model, bound);
+  const auto r = minimize_power_with_delay_bound(model, units::seconds(bound));
   ASSERT_TRUE(r.feasible);
-  EXPECT_LE(r.mean_delay, bound * 1.001);
+  EXPECT_LE(r.mean_delay.value(), bound * 1.001);
   EXPECT_LT(r.power, model.power_at(model.max_frequencies()));
 }
 
 TEST(EnergyOptimizer, InfeasibleBoundReported) {
   const auto model = make_enterprise_model(0.6);
-  const double d_fast = model.mean_delay_at(model.max_frequencies());
-  const auto r = minimize_power_with_delay_bound(model, 0.5 * d_fast);
+  const double d_fast = model.mean_delay_at(model.max_frequencies()).value();
+  const auto r = minimize_power_with_delay_bound(model, units::seconds(0.5 * d_fast));
   EXPECT_FALSE(r.feasible);
 }
 
 TEST(EnergyOptimizer, TighterBoundCostsMorePower) {
   const auto model = make_enterprise_model(0.6);
-  const double d_fast = model.mean_delay_at(model.max_frequencies());
+  const double d_fast = model.mean_delay_at(model.max_frequencies()).value();
   double prev_power = 0.0;
   for (double mult : {4.0, 2.0, 1.2}) {  // progressively tighter bounds
-    const auto r = minimize_power_with_delay_bound(model, mult * d_fast);
+    const auto r = minimize_power_with_delay_bound(model, units::seconds(mult * d_fast));
     ASSERT_TRUE(r.feasible) << "mult=" << mult;
-    EXPECT_GE(r.power, prev_power * 0.999) << "mult=" << mult;
-    prev_power = r.power;
+    EXPECT_GE(r.power.value(), prev_power * 0.999) << "mult=" << mult;
+    prev_power = r.power.value();
   }
 }
 
@@ -117,8 +117,8 @@ TEST(EnergyOptimizer, PerClassBoundsRespected) {
   const auto model = make_enterprise_model(0.6);
   const auto fast = model.evaluate(model.max_frequencies());
   ASSERT_TRUE(fast.stable);
-  std::vector<double> bounds;
-  for (double d : fast.net.e2e_delay) bounds.push_back(2.0 * d);
+  std::vector<units::Seconds> bounds;
+  for (units::Seconds d : fast.net.e2e_delay) bounds.push_back(2.0 * d);
   const auto r = minimize_power_with_class_delay_bounds(model, bounds);
   ASSERT_TRUE(r.feasible);
   for (std::size_t k = 0; k < bounds.size(); ++k)
@@ -131,25 +131,26 @@ TEST(EnergyOptimizer, PerClassTighterThanAggregate) {
   // aggregate constraint implied by them.
   const auto model = make_enterprise_model(0.6);
   const auto fast = model.evaluate(model.max_frequencies());
-  std::vector<double> bounds;
-  for (double d : fast.net.e2e_delay) bounds.push_back(1.5 * d);
+  std::vector<units::Seconds> bounds;
+  for (units::Seconds d : fast.net.e2e_delay) bounds.push_back(1.5 * d);
   // Aggregate bound at the traffic-weighted mix of the per-class bounds.
   double agg = 0.0;
   for (std::size_t k = 0; k < bounds.size(); ++k)
-    agg += model.classes()[k].rate * bounds[k];
-  agg /= model.total_rate();
+    agg += model.classes()[k].rate.value() * bounds[k].value();
+  agg /= model.total_rate().value();
   const auto per_class = minimize_power_with_class_delay_bounds(model, bounds);
-  const auto aggregate = minimize_power_with_delay_bound(model, agg);
+  const auto aggregate = minimize_power_with_delay_bound(model, units::seconds(agg));
   ASSERT_TRUE(per_class.feasible && aggregate.feasible);
-  EXPECT_GE(per_class.power, aggregate.power - 0.5);
+  EXPECT_GE(per_class.power.value(), aggregate.power.value() - 0.5);
 }
 
 TEST(NoDvfsBaseline, FeasibleIffBoundsHoldAtMax) {
   const auto model = make_enterprise_model(0.6);
   const auto fast = model.evaluate(model.max_frequencies());
-  std::vector<double> loose(model.num_classes(), 100.0);
+  std::vector<units::Seconds> loose(model.num_classes(), units::seconds(100.0));
   EXPECT_TRUE(no_dvfs_baseline(model, loose).feasible);
-  std::vector<double> tight(model.num_classes(), fast.net.e2e_delay[0] * 0.5);
+  std::vector<units::Seconds> tight(
+      model.num_classes(), units::seconds(fast.net.e2e_delay[0].value() * 0.5));
   EXPECT_FALSE(no_dvfs_baseline(model, tight).feasible);
 }
 
@@ -215,7 +216,7 @@ TEST(CostOptimizer, InfeasibleSlaReported) {
   auto model = make_enterprise_model(0.8);
   // Rebuild with an impossible gold SLA (below raw service time).
   std::vector<WorkloadClass> classes = model.classes();
-  classes[0].sla.max_mean_e2e_delay = 1e-6;
+  classes[0].sla.max_mean_e2e_delay = units::seconds(1e-6);
   const ClusterModel impossible(model.tiers(), classes);
   const auto r = minimize_cost_for_slas(impossible);
   EXPECT_FALSE(r.feasible);
@@ -227,17 +228,17 @@ TEST(CostOptimizer, PercentileSlaRequiresAtLeastMeanSlaCost) {
   const auto base = make_enterprise_model(0.8);
   const auto mean_only = minimize_cost_for_slas(base);
   ASSERT_TRUE(mean_only.feasible);
-  const double gold_p95 = queueing::percentile_e2e_delay(
-      mean_only.evaluation.net, 0, 0.95);
+  const double gold_p95 =
+      queueing::percentile_e2e_delay(mean_only.evaluation.net, 0, 0.95).value();
 
   std::vector<WorkloadClass> classes = base.classes();
-  classes[0].sla.max_percentile_e2e_delay = gold_p95 * 0.9;  // tighter
+  classes[0].sla.max_percentile_e2e_delay = units::seconds(gold_p95 * 0.9);  // tighter
   const ClusterModel stricter(base.tiers(), classes);
   const auto with_p95 = minimize_cost_for_slas(stricter);
   ASSERT_TRUE(with_p95.feasible);
   EXPECT_GE(with_p95.total_cost, mean_only.total_cost);
   // And the chosen allocation honours the percentile bound analytically.
-  EXPECT_LE(queueing::percentile_e2e_delay(with_p95.evaluation.net, 0, 0.95),
+  EXPECT_LE(queueing::percentile_e2e_delay(with_p95.evaluation.net, 0, 0.95).value(),
             gold_p95 * 0.9 * 1.0001);
 }
 
@@ -245,26 +246,27 @@ TEST(CostOptimizer, PercentileOnlySlaWorks) {
   const auto base = make_enterprise_model(0.8);
   std::vector<WorkloadClass> classes = base.classes();
   for (auto& c : classes) {
-    c.sla.max_mean_e2e_delay = std::numeric_limits<double>::infinity();
+    c.sla.max_mean_e2e_delay = units::seconds(std::numeric_limits<double>::infinity());
   }
-  classes[0].sla.max_percentile_e2e_delay = 0.5;
+  classes[0].sla.max_percentile_e2e_delay = units::seconds(0.5);
   classes[0].sla.percentile = 0.95;
   const ClusterModel model(base.tiers(), classes);
   const auto r = minimize_cost_for_slas(model);
   ASSERT_TRUE(r.feasible);
-  EXPECT_LE(queueing::percentile_e2e_delay(r.evaluation.net, 0, 0.95), 0.5);
+  EXPECT_LE(queueing::percentile_e2e_delay(r.evaluation.net, 0, 0.95).value(),
+            0.5);
 }
 
 TEST(Sla, BoundednessPredicates) {
   Sla none;
   EXPECT_FALSE(none.bounded());
   Sla mean;
-  mean.max_mean_e2e_delay = 1.0;
+  mean.max_mean_e2e_delay = units::seconds(1.0);
   EXPECT_TRUE(mean.bounded());
   EXPECT_TRUE(mean.mean_bounded());
   EXPECT_FALSE(mean.percentile_bounded());
   Sla pct;
-  pct.max_percentile_e2e_delay = 2.0;
+  pct.max_percentile_e2e_delay = units::seconds(2.0);
   EXPECT_TRUE(pct.bounded());
   EXPECT_FALSE(pct.mean_bounded());
   EXPECT_TRUE(pct.percentile_bounded());
@@ -283,9 +285,9 @@ TEST(DiscreteDvfs, GridsSpanTheDvfsRange) {
 
 TEST(DiscreteDvfs, ResultLiesOnTheGrid) {
   const auto model = make_enterprise_model(0.6);
-  const double bound = 2.0 * model.mean_delay_at(model.max_frequencies());
+  const double bound = 2.0 * model.mean_delay_at(model.max_frequencies()).value();
   const int levels = 5;
-  const auto r = minimize_power_with_delay_bound_discrete(model, bound, levels);
+  const auto r = minimize_power_with_delay_bound_discrete(model, units::seconds(bound), levels);
   ASSERT_TRUE(r.feasible);
   const auto grids = frequency_grids(model, levels);
   for (std::size_t i = 0; i < r.frequencies.size(); ++i) {
@@ -294,27 +296,27 @@ TEST(DiscreteDvfs, ResultLiesOnTheGrid) {
       if (std::abs(g - r.frequencies[i]) < 1e-12) on_grid = true;
     EXPECT_TRUE(on_grid) << "tier " << i;
   }
-  EXPECT_LE(r.mean_delay, bound);
+  EXPECT_LE(r.mean_delay.value(), bound);
 }
 
 TEST(DiscreteDvfs, NeverBeatsContinuous) {
   const auto model = make_enterprise_model(0.6);
-  const double bound = 2.0 * model.mean_delay_at(model.max_frequencies());
-  const auto cont = minimize_power_with_delay_bound(model, bound);
-  const auto disc = minimize_power_with_delay_bound_discrete(model, bound, 7);
+  const double bound = 2.0 * model.mean_delay_at(model.max_frequencies()).value();
+  const auto cont = minimize_power_with_delay_bound(model, units::seconds(bound));
+  const auto disc = minimize_power_with_delay_bound_discrete(model, units::seconds(bound), 7);
   ASSERT_TRUE(cont.feasible && disc.feasible);
-  EXPECT_GE(disc.power, cont.power - 0.5);  // small solver slack
+  EXPECT_GE(disc.power.value(), cont.power.value() - 0.5);  // small solver slack
 }
 
 TEST(DiscreteDvfs, ConvergesToContinuousWithFinerGrids) {
   const auto model = make_enterprise_model(0.6);
-  const double bound = 2.0 * model.mean_delay_at(model.max_frequencies());
-  const auto cont = minimize_power_with_delay_bound(model, bound);
+  const double bound = 2.0 * model.mean_delay_at(model.max_frequencies()).value();
+  const auto cont = minimize_power_with_delay_bound(model, units::seconds(bound));
   double prev_gap = 1e18;
   for (int levels : {3, 9, 33}) {
-    const auto disc = minimize_power_with_delay_bound_discrete(model, bound, levels);
+    const auto disc = minimize_power_with_delay_bound_discrete(model, units::seconds(bound), levels);
     ASSERT_TRUE(disc.feasible) << levels;
-    const double gap = disc.power - cont.power;
+    const double gap = disc.power.value() - cont.power.value();
     EXPECT_LE(gap, prev_gap + 0.5) << levels;
     prev_gap = gap;
   }
@@ -323,23 +325,23 @@ TEST(DiscreteDvfs, ConvergesToContinuousWithFinerGrids) {
 
 TEST(DiscreteDvfs, DelayVariantRespectsBudget) {
   const auto model = make_enterprise_model(0.6);
-  const double p_max = model.power_at(model.max_frequencies());
-  const double p_min = model.power_at(model.min_stable_frequencies());
+  const double p_max = model.power_at(model.max_frequencies()).value();
+  const double p_min = model.power_at(model.min_stable_frequencies()).value();
   const double budget = 0.5 * (p_max + p_min);
-  const auto r = minimize_delay_with_power_budget_discrete(model, budget, 9);
+  const auto r = minimize_delay_with_power_budget_discrete(model, units::watts(budget), 9);
   ASSERT_TRUE(r.feasible);
-  EXPECT_LE(r.power, budget);
-  const auto cont = minimize_delay_with_power_budget(model, budget);
-  EXPECT_GE(r.mean_delay, cont.mean_delay - 1e-6);
+  EXPECT_LE(r.power.value(), budget);
+  const auto cont = minimize_delay_with_power_budget(model, units::watts(budget));
+  EXPECT_GE(r.mean_delay.value(), cont.mean_delay.value() - 1e-6);
 }
 
 TEST(DiscreteDvfs, InfeasibleReported) {
   const auto model = make_enterprise_model(0.6);
-  const double d_fast = model.mean_delay_at(model.max_frequencies());
+  const double d_fast = model.mean_delay_at(model.max_frequencies()).value();
   const auto r =
-      minimize_power_with_delay_bound_discrete(model, 0.5 * d_fast, 5);
+      minimize_power_with_delay_bound_discrete(model, units::seconds(0.5 * d_fast), 5);
   EXPECT_FALSE(r.feasible);
-  EXPECT_THROW(minimize_power_with_delay_bound_discrete(model, 1.0, 1), Error);
+  EXPECT_THROW(minimize_power_with_delay_bound_discrete(model, units::seconds(1.0), 1), Error);
 }
 
 TEST(TcoOptimizer, FeasibleAndMeetsSlas) {
@@ -386,9 +388,9 @@ TEST(TcoOptimizer, ExpensiveEnergyBuysMoreIronAndClocksLower) {
     opts.levels = 5;
     const auto r = minimize_total_cost_of_ownership(model, opts);
     ASSERT_TRUE(r.feasible) << price;
-    EXPECT_LE(r.power, prev_power + 1e-6) << price;
+    EXPECT_LE(r.power.value(), prev_power + 1e-6) << price;
     EXPECT_GE(r.capex, prev_capex - 1e-9) << price;  // never buys less iron
-    prev_power = r.power;
+    prev_power = r.power.value();
     prev_capex = r.capex;
   }
 }
@@ -396,7 +398,7 @@ TEST(TcoOptimizer, ExpensiveEnergyBuysMoreIronAndClocksLower) {
 TEST(TcoOptimizer, InfeasibleSlaReported) {
   auto base = make_enterprise_model(0.8);
   std::vector<WorkloadClass> classes = base.classes();
-  classes[0].sla.max_mean_e2e_delay = 1e-6;
+  classes[0].sla.max_mean_e2e_delay = units::seconds(1e-6);
   const ClusterModel impossible(base.tiers(), classes);
   TcoOptions opts;
   opts.max_servers_per_tier = 3;
@@ -416,9 +418,11 @@ TEST(TcoOptimizer, Validation) {
 
 TEST(Optimizers, InputValidation) {
   const auto model = make_enterprise_model(0.6);
-  EXPECT_THROW(minimize_delay_with_power_budget(model, -1.0), Error);
-  EXPECT_THROW(minimize_power_with_delay_bound(model, 0.0), Error);
-  EXPECT_THROW(minimize_power_with_class_delay_bounds(model, {1.0}), Error);
+  EXPECT_THROW(minimize_delay_with_power_budget(model, units::watts(-1.0)), Error);
+  EXPECT_THROW(minimize_power_with_delay_bound(model, units::seconds(0.0)), Error);
+  EXPECT_THROW(
+      minimize_power_with_class_delay_bounds(model, {units::seconds(1.0)}),
+      Error);
   CostOptOptions bad;
   bad.max_servers_per_tier = 0;
   EXPECT_THROW(minimize_cost_for_slas(model, bad), Error);

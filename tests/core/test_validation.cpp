@@ -71,7 +71,7 @@ TEST(ValidateModel, AnalyticP95TracksSimulatedP95) {
   rep.replications = 6;
   const auto sr = sim::replicate(model.to_sim_config(f, 30.0, 530.0, 77), rep);
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
-    const double analytic = queueing::percentile_e2e_delay(ev.net, k, 0.95);
+    const double analytic = queueing::percentile_e2e_delay(ev.net, k, 0.95).value();
     const double simulated = sr.classes[k].p95_e2e_delay.mean;
     // The conditional-exponential wait approximation carries ~5% error for
     // the exponential-service classes and ~20% for the SCV-2 bronze class
@@ -79,7 +79,7 @@ TEST(ValidateModel, AnalyticP95TracksSimulatedP95) {
     EXPECT_NEAR(analytic, simulated, 0.25 * simulated)
         << model.classes()[k].name;
     // And the p95 must exceed the mean for these stochastic delays.
-    EXPECT_GT(analytic, ev.net.e2e_delay[k]);
+    EXPECT_GT(analytic, ev.net.e2e_delay[k].value());
   }
 }
 

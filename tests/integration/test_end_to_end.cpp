@@ -16,9 +16,9 @@ TEST(EndToEnd, OptimizedOperatingPointSurvivesSimulation) {
   // P-E picks a frequency vector analytically; the simulator must confirm
   // the delay bound approximately holds at that operating point.
   const auto model = make_enterprise_model(0.6);
-  const double d_fast = model.mean_delay_at(model.max_frequencies());
+  const double d_fast = model.mean_delay_at(model.max_frequencies()).value();
   const double bound = 2.0 * d_fast;
-  const auto opt = core::minimize_power_with_delay_bound(model, bound);
+  const auto opt = core::minimize_power_with_delay_bound(model, units::seconds(bound));
   ASSERT_TRUE(opt.feasible);
 
   sim::ReplicationOptions rep;
@@ -29,7 +29,8 @@ TEST(EndToEnd, OptimizedOperatingPointSurvivesSimulation) {
   EXPECT_LT(sim.mean_e2e_delay.mean, bound * 1.25);
   // Simulated power must cover the analytic optimum: replication noise
   // from the t-interval, plus 2% for the decomposition's model error.
-  EXPECT_TRUE(testing::AgreesWithCi(sim.cluster_avg_power, opt.power, 0.02));
+  EXPECT_TRUE(
+      testing::AgreesWithCi(sim.cluster_avg_power, opt.power.value(), 0.02));
 }
 
 TEST(EndToEnd, CostOptimizedClusterMeetsSlasInSimulation) {
@@ -47,7 +48,7 @@ TEST(EndToEnd, CostOptimizedClusterMeetsSlasInSimulation) {
     // The sizing is analytic; the simulated delay may exceed the SLA by
     // replication noise plus the decomposition's model error at 0.8 load.
     EXPECT_TRUE(testing::BelowWithSlack(sim.classes[k].mean_e2e_delay,
-                                        sla.max_mean_e2e_delay, 0.3))
+                                        sla.max_mean_e2e_delay.value(), 0.3))
         << model.classes()[k].name;
   }
 }
@@ -87,7 +88,7 @@ TEST(EndToEnd, AnalyticAndSimulatedEnergyAgreeAcrossFrequencies) {
     ASSERT_TRUE(ev.stable);
     const auto sim = sim::replicate(model.to_sim_config(f, 30.0, 330.0, 8), rep);
     EXPECT_TRUE(testing::AgreesWithCi(sim.cluster_avg_power,
-                                      ev.energy.cluster_avg_power, 0.02))
+                                      ev.energy.cluster_avg_power.value(), 0.02))
         << "f_db " << f_db;
   }
 }

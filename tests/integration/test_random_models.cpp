@@ -38,16 +38,16 @@ TEST_P(RandomModelAgreement, SimTracksAnalyticDelayAndPower) {
   const auto sr = sim::replicate(model.to_sim_config(f, 50.0, 650.0, GetParam()), rep);
 
   // Power and utilisation: near-exact.
-  EXPECT_NEAR(sr.cluster_avg_power.mean, ev.energy.cluster_avg_power,
-              0.02 * ev.energy.cluster_avg_power);
+  EXPECT_NEAR(sr.cluster_avg_power.mean, ev.energy.cluster_avg_power.value(),
+              0.02 * ev.energy.cluster_avg_power.value());
   for (std::size_t s = 0; s < model.num_tiers(); ++s)
     EXPECT_NEAR(sr.station_utilization[s].mean, ev.net.station_utilization[s],
                 0.03 + 0.05 * ev.net.station_utilization[s]);
 
   // Delays: within the decomposition envelope at moderate load.
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
-    EXPECT_NEAR(sr.classes[k].mean_e2e_delay.mean, ev.net.e2e_delay[k],
-                0.20 * ev.net.e2e_delay[k] + 0.003)
+    EXPECT_NEAR(sr.classes[k].mean_e2e_delay.mean, ev.net.e2e_delay[k].value(),
+                0.20 * ev.net.e2e_delay[k].value() + 0.003)
         << "class " << k;
   }
 }
@@ -63,19 +63,19 @@ TEST_P(RandomModelAgreement, StructuralInvariants) {
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
     double raw_service = 0.0;
     for (const auto& d : model.classes()[k].route) raw_service += d.base_service.mean();
-    EXPECT_GE(ev.net.e2e_delay[k], raw_service - 1e-12);
-    EXPECT_TRUE(std::isfinite(ev.net.e2e_delay[k]));
+    EXPECT_GE(ev.net.e2e_delay[k].value(), raw_service - 1e-12);
+    EXPECT_TRUE(std::isfinite(ev.net.e2e_delay[k].value()));
     // Percentile above the mean for stochastic delays.
-    const double p95 = queueing::percentile_e2e_delay(ev.net, k, 0.95);
-    EXPECT_GE(p95, ev.net.e2e_delay[k] * 0.999);
+    const double p95 = queueing::percentile_e2e_delay(ev.net, k, 0.95).value();
+    EXPECT_GE(p95, ev.net.e2e_delay[k].value() * 0.999);
   }
 
   // Energy conservation: proportional attribution recovers cluster power.
   double recovered = 0.0;
   for (std::size_t k = 0; k < model.num_classes(); ++k)
-    recovered += model.classes()[k].rate * ev.energy.per_request_energy[k];
-  EXPECT_NEAR(recovered, ev.energy.cluster_avg_power,
-              1e-6 * ev.energy.cluster_avg_power);
+    recovered += model.classes()[k].rate.value() * ev.energy.per_request_energy[k].value();
+  EXPECT_NEAR(recovered, ev.energy.cluster_avg_power.value(),
+              1e-6 * ev.energy.cluster_avg_power.value());
 
   // Slowing any single tier can only save power and cost delay.
   for (std::size_t i = 0; i < model.num_tiers(); ++i) {
@@ -84,9 +84,9 @@ TEST_P(RandomModelAgreement, StructuralInvariants) {
     if (slower[i] == f[i]) continue;
     const auto ev2 = model.evaluate(slower);
     if (!ev2.stable) continue;  // slowed into saturation: fine
-    EXPECT_LE(ev2.energy.cluster_avg_power,
-              ev.energy.cluster_avg_power + 1e-9);
-    EXPECT_GE(ev2.net.mean_e2e_delay, ev.net.mean_e2e_delay - 1e-9);
+    EXPECT_LE(ev2.energy.cluster_avg_power.value(),
+              ev.energy.cluster_avg_power.value() + 1e-9);
+    EXPECT_GE(ev2.net.mean_e2e_delay.value(), ev.net.mean_e2e_delay.value() - 1e-9);
   }
 }
 
@@ -97,8 +97,8 @@ TEST_P(RandomModelAgreement, SimulatorDeterminismAcrossRebuilds) {
   const auto a = sim::simulate(cfg);
   const auto b = sim::simulate(cfg);
   EXPECT_EQ(a.events_fired, b.events_fired);
-  EXPECT_DOUBLE_EQ(a.mean_e2e_delay, b.mean_e2e_delay);
-  EXPECT_DOUBLE_EQ(a.cluster_avg_power, b.cluster_avg_power);
+  EXPECT_DOUBLE_EQ(a.mean_e2e_delay.value(), b.mean_e2e_delay.value());
+  EXPECT_DOUBLE_EQ(a.cluster_avg_power.value(), b.cluster_avg_power.value());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelAgreement,

@@ -160,7 +160,7 @@ TEST(LintDocument, L003FiresAtExactFloor) {
   // core function so the comparison is bit-exact.
   const auto model = make_enterprise_model(0.5);
   const double floor =
-      core::class_delay_floor(model, 0, model.max_frequencies());
+      core::class_delay_floor(model, 0, model.max_frequencies()).value();
   const Json doc = with_sla(base_doc(), 0, "max_mean_delay", floor);
   EXPECT_EQ(count_rule(lint::lint_document(doc), "CPM-L003"), 1u);
   // Just above the floor is feasible again.
@@ -182,7 +182,7 @@ TEST(LintDocument, L004FiresOnPercentileSlaBelowFloorAsWarningOnly) {
 TEST(LintDocument, L004NearMissAtExactFloor) {
   const auto model = make_enterprise_model(0.5);
   const double floor =
-      core::class_delay_floor(model, 0, model.max_frequencies());
+      core::class_delay_floor(model, 0, model.max_frequencies()).value();
   const Json doc = with_sla(base_doc(), 0, "max_percentile_delay", floor);
   EXPECT_EQ(count_rule(lint::lint_document(doc), "CPM-L004"), 0u);
 }

@@ -36,12 +36,12 @@ sim::ControlSnapshot healthy_snapshot(const core::ClusterModel& model,
   snap.window_within_sla.resize(classes);
   snap.window_mean_delay.assign(classes, 0.1);
   for (std::size_t k = 0; k < classes; ++k) {
-    snap.arrival_rate[k] = model.classes()[k].rate;
+    snap.arrival_rate[k] = model.classes()[k].rate.value();
     snap.window_completed[k] =
-        static_cast<std::uint64_t>(model.classes()[k].rate * snap.window);
+        static_cast<std::uint64_t>(model.classes()[k].rate.value() * snap.window);
     snap.window_within_sla[k] = snap.window_completed[k];
   }
-  snap.window_energy_joules = 100.0;
+  snap.window_energy_joules = units::joules(100.0);
   snap.admitted.assign(classes, 1);
   return snap;
 }
@@ -82,7 +82,7 @@ TEST(Controller, SteadyStateMakesNoDecisions) {
     EXPECT_TRUE(decision.admit.empty());
   }
   EXPECT_EQ(ctl.reoptimizations(), 0u);
-  EXPECT_DOUBLE_EQ(ctl.total_switching_cost(), 0.0);
+  EXPECT_DOUBLE_EQ(ctl.total_switching_cost().value(), 0.0);
   ASSERT_EQ(ctl.history().size(), 10u);
   for (const auto& rec : ctl.history()) {
     EXPECT_FALSE(rec.reoptimized);
@@ -154,7 +154,7 @@ TEST(Controller, ActuationRespectsSlewLimitsAndChargesSwitching) {
   opts.drift_windows = 1;
   opts.cooldown_windows = 0;
   opts.hysteresis = 0.05;
-  opts.max_freq_step = 0.1;
+  opts.max_freq_step = units::hertz(0.1);
   OnlineController ctl(model, opts);
   auto hook = ctl.hook();
 
@@ -177,17 +177,17 @@ TEST(Controller, ActuationRespectsSlewLimitsAndChargesSwitching) {
       EXPECT_LE(std::abs(rec.actuated_servers[i] - prev_servers[i]),
                 opts.max_server_step);
       EXPECT_LE(std::abs(rec.actuated_freq[i] - prev_freq[i]),
-                opts.max_freq_step + 1e-12);
+                opts.max_freq_step.value() + 1e-12);
     }
     prev_servers = rec.actuated_servers;
     prev_freq = rec.actuated_freq;
-    cost_sum += rec.switching_cost_j;
+    cost_sum += rec.switching_cost_j.value();
   }
   EXPECT_GT(ctl.reoptimizations(), 0u);
   // Frequencies actually moved off the initial plan, and every change was
   // charged: per-window costs add up to the reported total.
-  EXPECT_GT(ctl.total_switching_cost(), 0.0);
-  EXPECT_DOUBLE_EQ(ctl.total_switching_cost(), cost_sum);
+  EXPECT_GT(ctl.total_switching_cost().value(), 0.0);
+  EXPECT_DOUBLE_EQ(ctl.total_switching_cost().value(), cost_sum);
 }
 
 TEST(Controller, OverloadShedsLowestPriorityFirstNeverGold) {

@@ -106,9 +106,9 @@ TEST(BuildSchedule, ConstantScalesTheBaseRate) {
   ArrivalShape shape;
   shape.kind = ArrivalShape::Kind::kConstant;
   shape.factor = 1.5;
-  const auto sched = build_schedule(shape, 10.0, 1000.0);
-  EXPECT_DOUBLE_EQ(sched.rate_at(0.0), 15.0);
-  EXPECT_DOUBLE_EQ(sched.rate_at(999.0), 15.0);
+  const auto sched = build_schedule(shape, units::per_second(10.0), 1000.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(0.0).value(), 15.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(999.0).value(), 15.0);
 }
 
 TEST(BuildSchedule, StepSwitchesAtTheStepTime) {
@@ -116,10 +116,10 @@ TEST(BuildSchedule, StepSwitchesAtTheStepTime) {
   shape.kind = ArrivalShape::Kind::kStep;
   shape.at = 500.0;
   shape.factor = 2.0;
-  const auto sched = build_schedule(shape, 10.0, 1000.0);
-  EXPECT_DOUBLE_EQ(sched.rate_at(100.0), 10.0);
-  EXPECT_DOUBLE_EQ(sched.rate_at(900.0), 20.0);
-  EXPECT_DOUBLE_EQ(sched.max_rate(), 20.0);
+  const auto sched = build_schedule(shape, units::per_second(10.0), 1000.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(100.0).value(), 10.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(900.0).value(), 20.0);
+  EXPECT_DOUBLE_EQ(sched.max_rate().value(), 20.0);
 }
 
 TEST(BuildSchedule, RampInterpolatesBetweenEndpoints) {
@@ -128,10 +128,10 @@ TEST(BuildSchedule, RampInterpolatesBetweenEndpoints) {
   shape.from = 200.0;
   shape.to = 800.0;
   shape.factor = 3.0;
-  const auto sched = build_schedule(shape, 10.0, 1000.0);
-  EXPECT_DOUBLE_EQ(sched.rate_at(0.0), 10.0);
-  EXPECT_DOUBLE_EQ(sched.rate_at(999.0), 30.0);
-  const double mid = sched.rate_at(500.0);
+  const auto sched = build_schedule(shape, units::per_second(10.0), 1000.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(0.0).value(), 10.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(999.0).value(), 30.0);
+  const double mid = sched.rate_at(500.0).value();
   EXPECT_GT(mid, 15.0);
   EXPECT_LT(mid, 25.0);
 }
@@ -142,10 +142,10 @@ TEST(BuildSchedule, FlashCrowdSpikesOnlyDuringTheSpike) {
   shape.spike_start = 300.0;
   shape.spike_duration = 100.0;
   shape.factor = 4.0;
-  const auto sched = build_schedule(shape, 10.0, 1000.0);
-  EXPECT_DOUBLE_EQ(sched.rate_at(100.0), 10.0);
-  EXPECT_DOUBLE_EQ(sched.rate_at(350.0), 40.0);
-  EXPECT_DOUBLE_EQ(sched.rate_at(600.0), 10.0);
+  const auto sched = build_schedule(shape, units::per_second(10.0), 1000.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(100.0).value(), 10.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(350.0).value(), 40.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(600.0).value(), 10.0);
 }
 
 TEST(BuildSchedule, DiurnalPeaksAboveBase) {
@@ -153,9 +153,9 @@ TEST(BuildSchedule, DiurnalPeaksAboveBase) {
   shape.kind = ArrivalShape::Kind::kDiurnal;
   shape.factor = 2.0;
   shape.peak_time = 500.0;
-  const auto sched = build_schedule(shape, 10.0, 1000.0);
+  const auto sched = build_schedule(shape, units::per_second(10.0), 1000.0);
   EXPECT_GT(sched.rate_at(500.0), sched.rate_at(0.0));
-  EXPECT_GE(sched.max_rate(), 10.0);
+  EXPECT_GE(sched.max_rate().value(), 10.0);
 }
 
 TEST(CompileFaults, ResolvesTierNamesAgainstTheModel) {
@@ -182,9 +182,9 @@ TEST(CompileSlaThresholds, ThreeTimesMeanBoundWhenNoPercentile) {
   const auto model = core::make_enterprise_model(0.6);
   const auto thresholds = compile_sla_thresholds(model);
   ASSERT_EQ(thresholds.size(), 3u);
-  EXPECT_DOUBLE_EQ(thresholds[0], 0.75);
-  EXPECT_DOUBLE_EQ(thresholds[1], 1.80);
-  EXPECT_DOUBLE_EQ(thresholds[2], 6.00);
+  EXPECT_DOUBLE_EQ(thresholds[0].value(), 0.75);
+  EXPECT_DOUBLE_EQ(thresholds[1].value(), 1.80);
+  EXPECT_DOUBLE_EQ(thresholds[2].value(), 6.00);
 }
 
 }  // namespace

@@ -28,10 +28,12 @@ EnergyCase make_two_tier() {
     return std::vector<Visit>{Visit{0, Distribution::exponential(ma)},
                               Visit{1, Distribution::exponential(mb)}};
   };
-  s.classes = {CustomerClass{"hi", 2.0, route(0.10, 0.15)},
-               CustomerClass{"lo", 3.0, route(0.12, 0.20)}};
-  const ServerPower sp(100.0, 250.0, 3.0, DvfsRange{0.5, 1.0, 1.0});
-  s.tiers = {TierPower{sp, 1.0, 1}, TierPower{sp, 0.8, 2}};
+  s.classes = {CustomerClass{"hi", units::per_second(2.0), route(0.10, 0.15)},
+               CustomerClass{"lo", units::per_second(3.0), route(0.12, 0.20)}};
+  const ServerPower sp(units::watts(100.0), units::watts(250.0), 3.0,
+                       DvfsRange{units::hertz(0.5), units::hertz(1.0),
+                                 units::hertz(1.0)});
+  s.tiers = {TierPower{sp, units::hertz(1.0), 1}, TierPower{sp, units::hertz(0.8), 2}};
   // Note: the frequencies here only affect power curves; the service times
   // in `classes` are taken as already expressed at these frequencies.
   s.net = queueing::analyze_network(s.stations, s.classes);
@@ -46,9 +48,9 @@ TEST(ComputeEnergy, ClusterPowerMatchesHandComputation) {
   // Station b: per-server rho = (2*0.15 + 3*0.2)/2 = 0.45;
   // dynamic at f=0.8: 150*0.512 = 76.8; per server 100 + 76.8*0.45.
   const double pb = 2.0 * (100.0 + 76.8 * 0.45);
-  EXPECT_NEAR(em.station_avg_power[0], pa, 1e-9);
-  EXPECT_NEAR(em.station_avg_power[1], pb, 1e-9);
-  EXPECT_NEAR(em.cluster_avg_power, pa + pb, 1e-9);
+  EXPECT_NEAR(em.station_avg_power[0].value(), pa, 1e-9);
+  EXPECT_NEAR(em.station_avg_power[1].value(), pb, 1e-9);
+  EXPECT_NEAR(em.cluster_avg_power.value(), pa + pb, 1e-9);
 }
 
 TEST(ComputeEnergy, MarginalEnergyIsRouteSum) {
@@ -56,8 +58,8 @@ TEST(ComputeEnergy, MarginalEnergyIsRouteSum) {
   const auto em =
       compute_energy(s.tiers, s.classes, s.net, IdleAttribution::kMarginalOnly);
   // hi: 150*0.10 at tier a + 76.8*0.15 at tier b.
-  EXPECT_NEAR(em.per_request_energy[0], 150.0 * 0.10 + 76.8 * 0.15, 1e-9);
-  EXPECT_NEAR(em.per_request_energy[1], 150.0 * 0.12 + 76.8 * 0.20, 1e-9);
+  EXPECT_NEAR(em.per_request_energy[0].value(), 150.0 * 0.10 + 76.8 * 0.15, 1e-9);
+  EXPECT_NEAR(em.per_request_energy[1].value(), 150.0 * 0.12 + 76.8 * 0.20, 1e-9);
 }
 
 TEST(ComputeEnergy, ProportionalAttributionRecoversFullPower) {
@@ -66,8 +68,8 @@ TEST(ComputeEnergy, ProportionalAttributionRecoversFullPower) {
   const auto em = compute_energy(s.tiers, s.classes, s.net,
                                  IdleAttribution::kProportionalToLoad);
   const double recovered =
-      2.0 * em.per_request_energy[0] + 3.0 * em.per_request_energy[1];
-  EXPECT_NEAR(recovered, em.cluster_avg_power, 1e-9);
+      2.0 * em.per_request_energy[0].value() + 3.0 * em.per_request_energy[1].value();
+  EXPECT_NEAR(recovered, em.cluster_avg_power.value(), 1e-9);
 }
 
 TEST(ComputeEnergy, ProportionalExceedsMarginal) {
@@ -84,8 +86,8 @@ TEST(ComputeEnergy, MeanEnergyIsTrafficWeighted) {
   const EnergyCase s = make_two_tier();
   const auto em = compute_energy(s.tiers, s.classes, s.net);
   const double expected =
-      (2.0 * em.per_request_energy[0] + 3.0 * em.per_request_energy[1]) / 5.0;
-  EXPECT_NEAR(em.mean_per_request_energy, expected, 1e-12);
+      (2.0 * em.per_request_energy[0].value() + 3.0 * em.per_request_energy[1].value()) / 5.0;
+  EXPECT_NEAR(em.mean_per_request_energy.value(), expected, 1e-12);
 }
 
 TEST(ComputeEnergy, SizeMismatchThrows) {
@@ -99,28 +101,32 @@ TEST(ComputeEnergy, IdleStationStillDrawsIdlePower) {
       NetworkStation{"used", 1, Discipline::kFcfs},
       NetworkStation{"spare", 3, Discipline::kFcfs}};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"c", 1.0, {Visit{0, Distribution::exponential(0.3)}}}};
+      CustomerClass{"c", units::per_second(1.0), {Visit{0, Distribution::exponential(0.3)}}}};
   const auto net = queueing::analyze_network(stations, classes);
-  const ServerPower sp(100.0, 200.0, 1.0, DvfsRange{0.5, 1.0, 1.0});
-  const std::vector<TierPower> tiers = {TierPower{sp, 1.0, 1}, TierPower{sp, 1.0, 3}};
+  const ServerPower sp(units::watts(100.0), units::watts(200.0), 1.0,
+                       DvfsRange{units::hertz(0.5), units::hertz(1.0),
+                                 units::hertz(1.0)});
+  const std::vector<TierPower> tiers = {TierPower{sp, units::hertz(1.0), 1}, TierPower{sp, units::hertz(1.0), 3}};
   const auto em = compute_energy(tiers, classes, net);
-  EXPECT_NEAR(em.station_avg_power[1], 300.0, 1e-9);  // 3 idle servers
+  EXPECT_NEAR(em.station_avg_power[1].value(), 300.0, 1e-9);  // 3 idle servers
   // Idle power of the unvisited station is attributed to nobody.
-  const double recovered = 1.0 * em.per_request_energy[0];
-  EXPECT_NEAR(recovered, em.station_avg_power[0], 1e-9);
+  const double recovered = 1.0 * em.per_request_energy[0].value();
+  EXPECT_NEAR(recovered, em.station_avg_power[0].value(), 1e-9);
 }
 
 TEST(ComputeEnergy, ZeroRateClassGetsNoIdleShare) {
   std::vector<NetworkStation> stations = {NetworkStation{"s", 1, Discipline::kFcfs}};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"busy", 1.0, {Visit{0, Distribution::exponential(0.4)}}},
-      CustomerClass{"probe", 0.0, {Visit{0, Distribution::exponential(0.4)}}}};
+      CustomerClass{"busy", units::per_second(1.0), {Visit{0, Distribution::exponential(0.4)}}},
+      CustomerClass{"probe", units::per_second(0.0), {Visit{0, Distribution::exponential(0.4)}}}};
   const auto net = queueing::analyze_network(stations, classes);
-  const ServerPower sp(100.0, 200.0, 1.0, DvfsRange{0.5, 1.0, 1.0});
-  const std::vector<TierPower> tiers = {TierPower{sp, 1.0, 1}};
+  const ServerPower sp(units::watts(100.0), units::watts(200.0), 1.0,
+                       DvfsRange{units::hertz(0.5), units::hertz(1.0),
+                                 units::hertz(1.0)});
+  const std::vector<TierPower> tiers = {TierPower{sp, units::hertz(1.0), 1}};
   const auto em = compute_energy(tiers, classes, net);
   // The probe still has a defined marginal energy but no idle share.
-  EXPECT_NEAR(em.per_request_energy[1], 100.0 * 0.4, 1e-9);
+  EXPECT_NEAR(em.per_request_energy[1].value(), 100.0 * 0.4, 1e-9);
 }
 
 }  // namespace

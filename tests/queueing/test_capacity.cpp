@@ -16,7 +16,7 @@ TEST(Kleinrock, SymmetricCaseSplitsEvenly) {
   ASSERT_TRUE(r.feasible);
   for (double mu : r.mu) EXPECT_NEAR(mu, 2.0, 1e-12);
   // Delay: each station 1/(2-1) = 1.
-  EXPECT_NEAR(r.mean_delay, 1.0, 1e-12);
+  EXPECT_NEAR(r.mean_delay.value(), 1.0, 1e-12);
 }
 
 TEST(Kleinrock, BudgetExactlyConsumed) {
@@ -72,7 +72,7 @@ TEST(Kleinrock, MatchesNumericalConstrainedSolver) {
   ASSERT_TRUE(numeric.feasible);
   EXPECT_NEAR(numeric.x[0], exact.mu[0], 1e-2);
   EXPECT_NEAR(numeric.x[1], exact.mu[1], 1e-2);
-  EXPECT_NEAR(numeric.value, exact.mean_delay, 1e-3);
+  EXPECT_NEAR(numeric.value, exact.mean_delay.value(), 1e-3);
 }
 
 TEST(Kleinrock, MoreBudgetLessDelay) {
@@ -80,8 +80,8 @@ TEST(Kleinrock, MoreBudgetLessDelay) {
   for (double budget : {4.0, 6.0, 10.0, 20.0}) {
     const auto r = kleinrock_assignment({1.0, 1.0}, {1.0, 1.0}, budget);
     ASSERT_TRUE(r.feasible);
-    EXPECT_LT(r.mean_delay, prev);
-    prev = r.mean_delay;
+    EXPECT_LT(r.mean_delay.value(), prev);
+    prev = r.mean_delay.value();
   }
 }
 

@@ -63,7 +63,7 @@ TEST(Gg1, ErlangRenewalArrivalsMatchSimulatedReplay) {
   EXPECT_NEAR(trace.stats().interarrival_scv, 1.0 / 3.0, 0.03);
 
   sim::SimConfig cfg;
-  cfg.stations = {sim::SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0, 1.0}};
+  cfg.stations = {sim::SimStation{"s", 1, Discipline::kFcfs, units::watts(0.0), units::watts(0.0), 1.0}};
   sim::SimClass cls;
   cls.name = "renewal";
   cls.route = {Visit{0, Distribution::exponential(1.0)}};
@@ -76,12 +76,12 @@ TEST(Gg1, ErlangRenewalArrivalsMatchSimulatedReplay) {
 
   const auto approx = gg1(0.8, 1.0 / 3.0, Distribution::exponential(1.0));
   // Two-moment approximations for E/M/1 are good to ~10%.
-  EXPECT_NEAR(r.classes[0].mean_e2e_delay, approx.mean_sojourn,
+  EXPECT_NEAR(r.classes[0].mean_e2e_delay.value(), approx.mean_sojourn,
               0.12 * approx.mean_sojourn);
   // And clearly better than the Poisson assumption, which overestimates.
   const auto poisson = mm1(0.8, 1.0);
-  EXPECT_LT(std::abs(r.classes[0].mean_e2e_delay - approx.mean_sojourn),
-            std::abs(r.classes[0].mean_e2e_delay - poisson.mean_sojourn));
+  EXPECT_LT(std::abs(r.classes[0].mean_e2e_delay.value() - approx.mean_sojourn),
+            std::abs(r.classes[0].mean_e2e_delay.value() - poisson.mean_sojourn));
 }
 
 TEST(Ggc, Validation) {

@@ -17,18 +17,18 @@ NetworkStation fcfs_station(const std::string& name, int servers = 1) {
 TEST(ValidateNetwork, CatchesMalformedInput) {
   std::vector<NetworkStation> stations = {fcfs_station("s0")};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"c", 1.0, {Visit{0, Distribution::exponential(0.1)}}}};
+      CustomerClass{"c", units::per_second(1.0), {Visit{0, Distribution::exponential(0.1)}}}};
   EXPECT_NO_THROW(validate_network(stations, classes));
 
   std::vector<CustomerClass> bad_route = {
-      CustomerClass{"c", 1.0, {Visit{5, Distribution::exponential(0.1)}}}};
+      CustomerClass{"c", units::per_second(1.0), {Visit{5, Distribution::exponential(0.1)}}}};
   EXPECT_THROW(validate_network(stations, bad_route), Error);
 
-  std::vector<CustomerClass> empty_route = {CustomerClass{"c", 1.0, {}}};
+  std::vector<CustomerClass> empty_route = {CustomerClass{"c", units::per_second(1.0), {}}};
   EXPECT_THROW(validate_network(stations, empty_route), Error);
 
   std::vector<CustomerClass> negative = {
-      CustomerClass{"c", -1.0, {Visit{0, Distribution::exponential(0.1)}}}};
+      CustomerClass{"c", units::per_second(-1.0), {Visit{0, Distribution::exponential(0.1)}}}};
   EXPECT_THROW(validate_network(stations, negative), Error);
 
   EXPECT_THROW(validate_network({}, classes), Error);
@@ -38,11 +38,11 @@ TEST(ValidateNetwork, CatchesMalformedInput) {
 TEST(AnalyzeNetwork, SingleStationMatchesMm1) {
   std::vector<NetworkStation> stations = {fcfs_station("only")};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"c", 0.5, {Visit{0, Distribution::exponential(1.0)}}}};
+      CustomerClass{"c", units::per_second(0.5), {Visit{0, Distribution::exponential(1.0)}}}};
   const auto net = analyze_network(stations, classes);
   const auto ref = mm1(0.5, 1.0);
-  EXPECT_NEAR(net.e2e_delay[0], ref.mean_sojourn, 1e-12);
-  EXPECT_NEAR(net.mean_e2e_delay, ref.mean_sojourn, 1e-12);
+  EXPECT_NEAR(net.e2e_delay[0].value(), ref.mean_sojourn, 1e-12);
+  EXPECT_NEAR(net.mean_e2e_delay.value(), ref.mean_sojourn, 1e-12);
   EXPECT_NEAR(net.station_utilization[0], 0.5, 1e-12);
 }
 
@@ -54,7 +54,7 @@ TEST(AnalyzeNetwork, TandemMm1SumsSojourns) {
   const double lambda = 0.4;
   std::vector<CustomerClass> classes = {
       CustomerClass{"c",
-                    lambda,
+                    units::per_second(lambda),
                     {Visit{0, Distribution::exponential(1.0)},
                      Visit{1, Distribution::exponential(0.5)},
                      Visit{2, Distribution::exponential(2.0)}}}};
@@ -62,7 +62,7 @@ TEST(AnalyzeNetwork, TandemMm1SumsSojourns) {
   const double expected = mm1(lambda, 1.0).mean_sojourn +
                           mm1(lambda, 2.0).mean_sojourn +
                           mm1(lambda, 0.5).mean_sojourn;
-  EXPECT_NEAR(net.e2e_delay[0], expected, 1e-12);
+  EXPECT_NEAR(net.e2e_delay[0].value(), expected, 1e-12);
   ASSERT_EQ(net.visit_sojourn[0].size(), 3u);
   EXPECT_NEAR(net.visit_sojourn[0][0], mm1(lambda, 1.0).mean_sojourn, 1e-12);
 }
@@ -72,26 +72,26 @@ TEST(AnalyzeNetwork, RevisitsAggregateLoad) {
   std::vector<NetworkStation> stations = {fcfs_station("s")};
   std::vector<CustomerClass> classes = {
       CustomerClass{"c",
-                    0.3,
+                    units::per_second(0.3),
                     {Visit{0, Distribution::exponential(1.0)},
                      Visit{0, Distribution::exponential(1.0)}}}};
   const auto net = analyze_network(stations, classes);
   EXPECT_NEAR(net.station_utilization[0], 0.6, 1e-12);
   // Station behaves as M/M/1 with lambda = 0.6; the class passes twice.
   const auto ref = mm1(0.6, 1.0);
-  EXPECT_NEAR(net.e2e_delay[0], 2.0 * ref.mean_sojourn, 1e-12);
+  EXPECT_NEAR(net.e2e_delay[0].value(), 2.0 * ref.mean_sojourn, 1e-12);
 }
 
 TEST(AnalyzeNetwork, ClassesOnlyLoadTheirOwnRoute) {
   std::vector<NetworkStation> stations = {fcfs_station("a"), fcfs_station("b")};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"left", 0.5, {Visit{0, Distribution::exponential(1.0)}}},
-      CustomerClass{"right", 0.25, {Visit{1, Distribution::exponential(1.0)}}}};
+      CustomerClass{"left", units::per_second(0.5), {Visit{0, Distribution::exponential(1.0)}}},
+      CustomerClass{"right", units::per_second(0.25), {Visit{1, Distribution::exponential(1.0)}}}};
   const auto net = analyze_network(stations, classes);
   EXPECT_NEAR(net.station_utilization[0], 0.5, 1e-12);
   EXPECT_NEAR(net.station_utilization[1], 0.25, 1e-12);
-  EXPECT_NEAR(net.e2e_delay[0], mm1(0.5, 1.0).mean_sojourn, 1e-12);
-  EXPECT_NEAR(net.e2e_delay[1], mm1(0.25, 1.0).mean_sojourn, 1e-12);
+  EXPECT_NEAR(net.e2e_delay[0].value(), mm1(0.5, 1.0).mean_sojourn, 1e-12);
+  EXPECT_NEAR(net.e2e_delay[1].value(), mm1(0.25, 1.0).mean_sojourn, 1e-12);
   // Per-station rho of the absent class is zero.
   EXPECT_DOUBLE_EQ(net.station_rho[0][1], 0.0);
   EXPECT_DOUBLE_EQ(net.station_rho[1][0], 0.0);
@@ -100,13 +100,13 @@ TEST(AnalyzeNetwork, ClassesOnlyLoadTheirOwnRoute) {
 TEST(AnalyzeNetwork, TrafficWeightedMeanDelay) {
   std::vector<NetworkStation> stations = {fcfs_station("a")};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"fast", 0.1, {Visit{0, Distribution::exponential(0.5)}}},
-      CustomerClass{"slow", 0.3, {Visit{0, Distribution::exponential(1.0)}}}};
+      CustomerClass{"fast", units::per_second(0.1), {Visit{0, Distribution::exponential(0.5)}}},
+      CustomerClass{"slow", units::per_second(0.3), {Visit{0, Distribution::exponential(1.0)}}}};
   const auto net = analyze_network(stations, classes);
   const double expected =
-      (0.1 * net.e2e_delay[0] + 0.3 * net.e2e_delay[1]) / 0.4;
-  EXPECT_NEAR(net.mean_e2e_delay, expected, 1e-12);
-  EXPECT_NEAR(net.total_rate, 0.4, 1e-12);
+      (0.1 * net.e2e_delay[0].value() + 0.3 * net.e2e_delay[1].value()) / 0.4;
+  EXPECT_NEAR(net.mean_e2e_delay.value(), expected, 1e-12);
+  EXPECT_NEAR(net.total_rate.value(), 0.4, 1e-12);
 }
 
 TEST(AnalyzeNetwork, PriorityOrderingAcrossNetwork) {
@@ -117,8 +117,8 @@ TEST(AnalyzeNetwork, PriorityOrderingAcrossNetwork) {
     return std::vector<Visit>{Visit{0, Distribution::exponential(mean)},
                               Visit{1, Distribution::exponential(mean)}};
   };
-  std::vector<CustomerClass> classes = {CustomerClass{"hi", 0.3, route(1.0)},
-                                        CustomerClass{"lo", 0.3, route(1.0)}};
+  std::vector<CustomerClass> classes = {CustomerClass{"hi", units::per_second(0.3), route(1.0)},
+                                        CustomerClass{"lo", units::per_second(0.3), route(1.0)}};
   const auto net = analyze_network(stations, classes);
   EXPECT_LT(net.e2e_delay[0], net.e2e_delay[1]);
 }
@@ -126,7 +126,7 @@ TEST(AnalyzeNetwork, PriorityOrderingAcrossNetwork) {
 TEST(AnalyzeNetwork, ThrowsOnUnstableStation) {
   std::vector<NetworkStation> stations = {fcfs_station("s")};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"c", 2.0, {Visit{0, Distribution::exponential(1.0)}}}};
+      CustomerClass{"c", units::per_second(2.0), {Visit{0, Distribution::exponential(1.0)}}}};
   EXPECT_FALSE(network_stable(stations, classes));
   EXPECT_THROW(analyze_network(stations, classes), Error);
 }
@@ -134,7 +134,7 @@ TEST(AnalyzeNetwork, ThrowsOnUnstableStation) {
 TEST(NetworkUtilizations, MultiServerDividesLoad) {
   std::vector<NetworkStation> stations = {fcfs_station("s", 4)};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"c", 2.0, {Visit{0, Distribution::exponential(1.0)}}}};
+      CustomerClass{"c", units::per_second(2.0), {Visit{0, Distribution::exponential(1.0)}}}};
   const auto util = network_utilizations(stations, classes);
   EXPECT_NEAR(util[0], 0.5, 1e-12);
 }
@@ -142,7 +142,7 @@ TEST(NetworkUtilizations, MultiServerDividesLoad) {
 TEST(AnalyzeNetwork, StationWithNoVisitorsIsIdle) {
   std::vector<NetworkStation> stations = {fcfs_station("used"), fcfs_station("idle")};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"c", 0.5, {Visit{0, Distribution::exponential(1.0)}}}};
+      CustomerClass{"c", units::per_second(0.5), {Visit{0, Distribution::exponential(1.0)}}}};
   const auto net = analyze_network(stations, classes);
   EXPECT_DOUBLE_EQ(net.station_utilization[1], 0.0);
 }
@@ -152,14 +152,14 @@ TEST(PercentileDelay, Mm1SojournIsExactlyExponential) {
   // shape 1 and hence the exact quantile.
   std::vector<NetworkStation> stations = {fcfs_station("s")};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"c", 0.5, {Visit{0, Distribution::exponential(1.0)}}}};
+      CustomerClass{"c", units::per_second(0.5), {Visit{0, Distribution::exponential(1.0)}}}};
   const auto net = analyze_network(stations, classes);
   // Mean 2, variance 4 (Exp(0.5)).
-  EXPECT_NEAR(net.e2e_delay[0], 2.0, 1e-12);
-  EXPECT_NEAR(net.e2e_delay_variance[0], 4.0, 1e-9);
+  EXPECT_NEAR(net.e2e_delay[0].value(), 2.0, 1e-12);
+  EXPECT_NEAR(net.e2e_delay_variance[0].value(), 4.0, 1e-9);
   for (double p : {0.5, 0.9, 0.95, 0.99}) {
     const double expected = -2.0 * std::log(1.0 - p);
-    EXPECT_NEAR(percentile_e2e_delay(net, 0, p), expected, 1e-6 * expected);
+    EXPECT_NEAR(percentile_e2e_delay(net, 0, p).value(), expected, 1e-6 * expected);
   }
 }
 
@@ -167,7 +167,7 @@ TEST(PercentileDelay, TakacsSecondMomentMm1) {
   // M/M/1 lambda=0.5, mu=1: E[W^2] = rho * 2/(mu-lambda)^2 = 4.
   std::vector<NetworkStation> stations = {fcfs_station("s")};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"c", 0.5, {Visit{0, Distribution::exponential(1.0)}}}};
+      CustomerClass{"c", units::per_second(0.5), {Visit{0, Distribution::exponential(1.0)}}}};
   const auto net = analyze_network(stations, classes);
   EXPECT_NEAR(net.station_wait_m2[0][0], 4.0, 1e-9);
 }
@@ -177,26 +177,26 @@ TEST(PercentileDelay, DeterministicRouteHasServiceVarianceOnly) {
   // stations; variance from waits plus service variance.
   std::vector<NetworkStation> stations = {fcfs_station("s")};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"c", 1e-9, {Visit{0, Distribution::deterministic(1.0)}}}};
+      CustomerClass{"c", units::per_second(1e-9), {Visit{0, Distribution::deterministic(1.0)}}}};
   const auto net = analyze_network(stations, classes);
-  EXPECT_NEAR(net.e2e_delay_variance[0], 0.0, 1e-8);
+  EXPECT_NEAR(net.e2e_delay_variance[0].value(), 0.0, 1e-8);
   // Near-degenerate variance: percentile collapses to (almost) the mean.
-  EXPECT_NEAR(percentile_e2e_delay(net, 0, 0.95), net.e2e_delay[0], 1e-3);
+  EXPECT_NEAR(percentile_e2e_delay(net, 0, 0.95).value(), net.e2e_delay[0].value(), 1e-3);
 }
 
 TEST(PercentileDelay, TandemVarianceAdds) {
   std::vector<NetworkStation> stations = {fcfs_station("a"), fcfs_station("b")};
   std::vector<CustomerClass> classes = {
       CustomerClass{"c",
-                    0.5,
+                    units::per_second(0.5),
                     {Visit{0, Distribution::exponential(1.0)},
                      Visit{1, Distribution::exponential(1.0)}}}};
   const auto net = analyze_network(stations, classes);
   // Two independent Exp(0.5) sojourns: variance 4 + 4.
-  EXPECT_NEAR(net.e2e_delay_variance[0], 8.0, 1e-9);
+  EXPECT_NEAR(net.e2e_delay_variance[0].value(), 8.0, 1e-9);
   // Sum of two iid exponentials is Erlang-2: p95 quantile known via the
   // gamma fit being EXACT here (shape = 16/8 = 2).
-  const double q = percentile_e2e_delay(net, 0, 0.95);
+  const double q = percentile_e2e_delay(net, 0, 0.95).value();
   // Erlang-2 with rate 0.5: q solves 1 - e^{-x/2}(1 + x/2) = 0.95.
   EXPECT_NEAR(1.0 - std::exp(-q / 2.0) * (1.0 + q / 2.0), 0.95, 1e-9);
 }
@@ -205,8 +205,8 @@ TEST(PercentileDelay, HigherPercentileIsLarger) {
   std::vector<NetworkStation> stations = {
       NetworkStation{"s", 1, Discipline::kNonPreemptivePriority}};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"hi", 0.3, {Visit{0, Distribution::exponential(1.0)}}},
-      CustomerClass{"lo", 0.4, {Visit{0, Distribution::exponential(1.0)}}}};
+      CustomerClass{"hi", units::per_second(0.3), {Visit{0, Distribution::exponential(1.0)}}},
+      CustomerClass{"lo", units::per_second(0.4), {Visit{0, Distribution::exponential(1.0)}}}};
   const auto net = analyze_network(stations, classes);
   for (std::size_t k = 0; k < 2; ++k) {
     EXPECT_GT(percentile_e2e_delay(net, k, 0.95), percentile_e2e_delay(net, k, 0.5));
@@ -219,16 +219,16 @@ TEST(PercentileDelay, InfiniteVarianceHeavyTail) {
   // a FCFS station -> infinite variance -> +inf percentile (honest answer).
   std::vector<NetworkStation> stations = {fcfs_station("s")};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"c", 0.5, {Visit{0, Distribution::pareto(2.5, 1.0)}}}};
+      CustomerClass{"c", units::per_second(0.5), {Visit{0, Distribution::pareto(2.5, 1.0)}}}};
   const auto net = analyze_network(stations, classes);
-  EXPECT_TRUE(std::isinf(net.e2e_delay_variance[0]));
-  EXPECT_TRUE(std::isinf(percentile_e2e_delay(net, 0, 0.95)));
+  EXPECT_TRUE(std::isinf(net.e2e_delay_variance[0].value()));
+  EXPECT_TRUE(std::isinf(percentile_e2e_delay(net, 0, 0.95).value()));
 }
 
 TEST(PercentileDelay, Validation) {
   std::vector<NetworkStation> stations = {fcfs_station("s")};
   std::vector<CustomerClass> classes = {
-      CustomerClass{"c", 0.5, {Visit{0, Distribution::exponential(1.0)}}}};
+      CustomerClass{"c", units::per_second(0.5), {Visit{0, Distribution::exponential(1.0)}}}};
   const auto net = analyze_network(stations, classes);
   EXPECT_THROW(percentile_e2e_delay(net, 5, 0.9), Error);
   EXPECT_THROW(percentile_e2e_delay(net, 0, 0.0), Error);
@@ -245,8 +245,8 @@ TEST_P(NetworkLoadSweep, DelayMonotoneInLoad) {
       NetworkStation{"a", 1, Discipline::kNonPreemptivePriority}};
   auto classes_at = [&](double load) {
     return std::vector<CustomerClass>{
-        CustomerClass{"hi", load / 2.0, {Visit{0, Distribution::exponential(1.0)}}},
-        CustomerClass{"lo", load / 2.0, {Visit{0, Distribution::exponential(1.0)}}}};
+        CustomerClass{"hi", units::per_second(load / 2.0), {Visit{0, Distribution::exponential(1.0)}}},
+        CustomerClass{"lo", units::per_second(load / 2.0), {Visit{0, Distribution::exponential(1.0)}}}};
   };
   const auto at = analyze_network(stations, classes_at(rho));
   const auto above = analyze_network(stations, classes_at(rho + 0.02));

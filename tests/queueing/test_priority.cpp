@@ -13,8 +13,8 @@ namespace cpm::queueing {
 namespace {
 
 std::vector<ClassFlow> two_classes() {
-  return {ClassFlow{0.3, Distribution::exponential(1.0)},
-          ClassFlow{0.4, Distribution::exponential(1.0)}};
+  return {ClassFlow{units::per_second(0.3), Distribution::exponential(1.0)},
+          ClassFlow{units::per_second(0.4), Distribution::exponential(1.0)}};
 }
 
 TEST(StationUtilization, SumsLoads) {
@@ -24,7 +24,7 @@ TEST(StationUtilization, SumsLoads) {
 
 TEST(StationStable, Boundary) {
   EXPECT_TRUE(station_stable(1, two_classes()));
-  std::vector<ClassFlow> heavy = {ClassFlow{1.0, Distribution::exponential(1.0)}};
+  std::vector<ClassFlow> heavy = {ClassFlow{units::per_second(1.0), Distribution::exponential(1.0)}};
   EXPECT_FALSE(station_stable(1, heavy));
   EXPECT_TRUE(station_stable(2, heavy));
 }
@@ -33,7 +33,7 @@ TEST(AnalyzeStation, SingleClassAllDisciplinesMatchMg1Sojourn) {
   // With one class there is no one to preempt or prioritise: FCFS, NP and
   // PS coincide with M/G/1 in mean sojourn (PR too, for the mean).
   const std::vector<ClassFlow> flows = {
-      ClassFlow{0.6, Distribution::erlang(2, 1.0)}};
+      ClassFlow{units::per_second(0.6), Distribution::erlang(2, 1.0)}};
   const auto ref = mg1(0.6, Distribution::erlang(2, 1.0));
   for (auto d : {Discipline::kFcfs, Discipline::kNonPreemptivePriority,
                  Discipline::kPreemptiveResume}) {
@@ -79,10 +79,10 @@ TEST(AnalyzeStation, PreemptiveResumeExplicitTwoClass) {
 TEST(AnalyzeStation, PreemptiveClassZeroImmuneToLowerClasses) {
   // Under preemptive-resume, class 0 metrics must not change when class-1
   // load changes.
-  std::vector<ClassFlow> light = {ClassFlow{0.3, Distribution::exponential(1.0)},
-                                  ClassFlow{0.1, Distribution::exponential(1.0)}};
-  std::vector<ClassFlow> heavy = {ClassFlow{0.3, Distribution::exponential(1.0)},
-                                  ClassFlow{0.6, Distribution::exponential(1.0)}};
+  std::vector<ClassFlow> light = {ClassFlow{units::per_second(0.3), Distribution::exponential(1.0)},
+                                  ClassFlow{units::per_second(0.1), Distribution::exponential(1.0)}};
+  std::vector<ClassFlow> heavy = {ClassFlow{units::per_second(0.3), Distribution::exponential(1.0)},
+                                  ClassFlow{units::per_second(0.6), Distribution::exponential(1.0)}};
   const auto a = analyze_station(1, Discipline::kPreemptiveResume, light);
   const auto b = analyze_station(1, Discipline::kPreemptiveResume, heavy);
   EXPECT_NEAR(a.mean_sojourn[0], b.mean_sojourn[0], 1e-12);
@@ -90,10 +90,10 @@ TEST(AnalyzeStation, PreemptiveClassZeroImmuneToLowerClasses) {
 
 TEST(AnalyzeStation, NonPreemptiveClassZeroSeesLowerClassResidual) {
   // Unlike PR, NP class 0 does feel lower classes through residual service.
-  std::vector<ClassFlow> light = {ClassFlow{0.3, Distribution::exponential(1.0)},
-                                  ClassFlow{0.1, Distribution::exponential(1.0)}};
-  std::vector<ClassFlow> heavy = {ClassFlow{0.3, Distribution::exponential(1.0)},
-                                  ClassFlow{0.6, Distribution::exponential(1.0)}};
+  std::vector<ClassFlow> light = {ClassFlow{units::per_second(0.3), Distribution::exponential(1.0)},
+                                  ClassFlow{units::per_second(0.1), Distribution::exponential(1.0)}};
+  std::vector<ClassFlow> heavy = {ClassFlow{units::per_second(0.3), Distribution::exponential(1.0)},
+                                  ClassFlow{units::per_second(0.6), Distribution::exponential(1.0)}};
   const auto a = analyze_station(1, Discipline::kNonPreemptivePriority, light);
   const auto b = analyze_station(1, Discipline::kNonPreemptivePriority, heavy);
   EXPECT_GT(b.mean_wait[0], a.mean_wait[0]);
@@ -101,10 +101,10 @@ TEST(AnalyzeStation, NonPreemptiveClassZeroSeesLowerClassResidual) {
 
 TEST(AnalyzeStation, PriorityOrderingHolds) {
   std::vector<ClassFlow> flows = {
-      ClassFlow{0.2, Distribution::exponential(1.0)},
-      ClassFlow{0.2, Distribution::exponential(1.0)},
-      ClassFlow{0.2, Distribution::exponential(1.0)},
-      ClassFlow{0.2, Distribution::exponential(1.0)},
+      ClassFlow{units::per_second(0.2), Distribution::exponential(1.0)},
+      ClassFlow{units::per_second(0.2), Distribution::exponential(1.0)},
+      ClassFlow{units::per_second(0.2), Distribution::exponential(1.0)},
+      ClassFlow{units::per_second(0.2), Distribution::exponential(1.0)},
   };
   for (auto d : {Discipline::kNonPreemptivePriority, Discipline::kPreemptiveResume}) {
     const auto m = analyze_station(1, d, flows);
@@ -117,9 +117,9 @@ TEST(AnalyzeStation, KleinrockConservationLaw) {
   // For M/G/1 work-conserving, non-preemptive disciplines:
   // sum_k rho_k W_k is invariant (equals rho * W_fcfs).
   std::vector<ClassFlow> flows = {
-      ClassFlow{0.25, Distribution::erlang(2, 0.8)},
-      ClassFlow{0.30, Distribution::exponential(0.9)},
-      ClassFlow{0.10, Distribution::hyper_exp2(1.2, 3.0)},
+      ClassFlow{units::per_second(0.25), Distribution::erlang(2, 0.8)},
+      ClassFlow{units::per_second(0.30), Distribution::exponential(0.9)},
+      ClassFlow{units::per_second(0.10), Distribution::hyper_exp2(1.2, 3.0)},
   };
   const auto fcfs = analyze_station(1, Discipline::kFcfs, flows);
   const auto np = analyze_station(1, Discipline::kNonPreemptivePriority, flows);
@@ -138,8 +138,8 @@ TEST(AnalyzeStation, MmcPriorityEqualRatesMatchesExactFormula) {
   const int c = 3;
   const double mu = 2.0;
   std::vector<ClassFlow> flows = {
-      ClassFlow{1.2, Distribution::exponential(1.0 / mu)},
-      ClassFlow{1.8, Distribution::exponential(1.0 / mu)},
+      ClassFlow{units::per_second(1.2), Distribution::exponential(1.0 / mu)},
+      ClassFlow{units::per_second(1.8), Distribution::exponential(1.0 / mu)},
   };
   const double a = (1.2 + 1.8) / mu;
   const double s1 = 1.2 / (c * mu);
@@ -152,7 +152,7 @@ TEST(AnalyzeStation, MmcPriorityEqualRatesMatchesExactFormula) {
 }
 
 TEST(AnalyzeStation, MultiServerFcfsMatchesErlangCForExponential) {
-  std::vector<ClassFlow> flows = {ClassFlow{2.0, Distribution::exponential(0.5)}};
+  std::vector<ClassFlow> flows = {ClassFlow{units::per_second(2.0), Distribution::exponential(0.5)}};
   const auto m = analyze_station(4, Discipline::kFcfs, flows);
   EXPECT_NEAR(m.mean_wait[0], mmc_mean_wait(4, 2.0, 2.0), 1e-9);
 }
@@ -160,8 +160,8 @@ TEST(AnalyzeStation, MultiServerFcfsMatchesErlangCForExponential) {
 TEST(AnalyzeStation, ZeroRateClassHasDefinedWait) {
   // A zero-rate (probe) class still gets the wait it would experience.
   std::vector<ClassFlow> flows = {
-      ClassFlow{0.5, Distribution::exponential(1.0)},
-      ClassFlow{0.0, Distribution::exponential(1.0)},
+      ClassFlow{units::per_second(0.5), Distribution::exponential(1.0)},
+      ClassFlow{units::per_second(0.0), Distribution::exponential(1.0)},
   };
   const auto m = analyze_station(1, Discipline::kNonPreemptivePriority, flows);
   EXPECT_GT(m.mean_wait[1], 0.0);
@@ -169,11 +169,11 @@ TEST(AnalyzeStation, ZeroRateClassHasDefinedWait) {
 }
 
 TEST(AnalyzeStation, RejectsUnstableAndMalformed) {
-  std::vector<ClassFlow> heavy = {ClassFlow{2.0, Distribution::exponential(1.0)}};
+  std::vector<ClassFlow> heavy = {ClassFlow{units::per_second(2.0), Distribution::exponential(1.0)}};
   EXPECT_THROW(analyze_station(1, Discipline::kFcfs, heavy), Error);
   EXPECT_THROW(analyze_station(0, Discipline::kFcfs, two_classes()), Error);
   EXPECT_THROW(analyze_station(1, Discipline::kFcfs, {}), Error);
-  std::vector<ClassFlow> negative = {ClassFlow{-0.1, Distribution::exponential(1.0)}};
+  std::vector<ClassFlow> negative = {ClassFlow{units::per_second(-0.1), Distribution::exponential(1.0)}};
   EXPECT_THROW(analyze_station(1, Discipline::kFcfs, negative), Error);
 }
 
@@ -198,9 +198,9 @@ class PrioritySweep : public ::testing::TestWithParam<double> {};
 TEST_P(PrioritySweep, OrderedAndFinite) {
   const double rho = GetParam();
   std::vector<ClassFlow> flows = {
-      ClassFlow{rho / 3.0, Distribution::exponential(1.0)},
-      ClassFlow{rho / 3.0, Distribution::exponential(1.0)},
-      ClassFlow{rho / 3.0, Distribution::exponential(1.0)},
+      ClassFlow{units::per_second(rho / 3.0), Distribution::exponential(1.0)},
+      ClassFlow{units::per_second(rho / 3.0), Distribution::exponential(1.0)},
+      ClassFlow{units::per_second(rho / 3.0), Distribution::exponential(1.0)},
   };
   const auto m = analyze_station(1, Discipline::kNonPreemptivePriority, flows);
   EXPECT_TRUE(std::isfinite(m.mean_wait[2]));

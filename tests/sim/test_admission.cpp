@@ -15,11 +15,12 @@ using queueing::Visit;
 SimConfig finite_queue(int servers, int capacity, double lambda,
                        double end_time = 4000.0) {
   SimConfig cfg;
-  SimStation st{"s", servers, Discipline::kFcfs, 0.0, 0.0, 1.0};
+  SimStation st{"s", servers, Discipline::kFcfs, units::watts(0.0),
+                units::watts(0.0), 1.0};
   st.capacity = capacity;
   cfg.stations = {st};
   cfg.classes = {
-      SimClass{"c", lambda, {Visit{0, Distribution::exponential(1.0)}}}};
+      SimClass{"c", units::per_second(lambda), {Visit{0, Distribution::exponential(1.0)}}}};
   cfg.warmup_time = 200.0;
   cfg.end_time = end_time;
   cfg.seed = 97;
@@ -35,7 +36,7 @@ TEST(Admission, BlockingMatchesMmckTheory) {
       static_cast<double>(r.classes[0].blocked + r.classes[0].completed);
   EXPECT_NEAR(measured, theory.blocking_probability,
               0.20 * theory.blocking_probability);
-  EXPECT_NEAR(r.classes[0].mean_e2e_delay, theory.mean_sojourn,
+  EXPECT_NEAR(r.classes[0].mean_e2e_delay.value(), theory.mean_sojourn,
               0.10 * theory.mean_sojourn);
 }
 
@@ -46,7 +47,7 @@ TEST(Admission, LossSystemMatchesErlangB) {
   EXPECT_NEAR(r.classes[0].blocking_probability(), theory.blocking_probability,
               0.15 * theory.blocking_probability);
   // Accepted jobs never wait.
-  EXPECT_NEAR(r.classes[0].mean_e2e_delay, 1.0, 0.05);
+  EXPECT_NEAR(r.classes[0].mean_e2e_delay.value(), 1.0, 0.05);
 }
 
 TEST(Admission, OverloadedFiniteQueueStaysStable) {
@@ -56,7 +57,7 @@ TEST(Admission, OverloadedFiniteQueueStaysStable) {
   EXPECT_NEAR(r.classes[0].blocking_probability(), theory.blocking_probability,
               0.05);
   EXPECT_NEAR(r.stations[0].utilization, theory.utilization, 0.03);
-  EXPECT_NEAR(r.classes[0].mean_e2e_delay, theory.mean_sojourn,
+  EXPECT_NEAR(r.classes[0].mean_e2e_delay.value(), theory.mean_sojourn,
               0.10 * theory.mean_sojourn);
 }
 
@@ -75,11 +76,11 @@ TEST(Admission, MidRouteBlockingAbortsRequest) {
   // Two stations; the second is a loss system. Blocked requests never
   // complete, so completions < arrivals at station 1.
   SimConfig cfg;
-  cfg.stations = {SimStation{"a", 1, Discipline::kFcfs, 0.0, 0.0, 1.0},
-                  SimStation{"b", 1, Discipline::kFcfs, 0.0, 0.0, 1.0}};
+  cfg.stations = {SimStation{"a", 1, Discipline::kFcfs, units::watts(0.0), units::watts(0.0), 1.0},
+                  SimStation{"b", 1, Discipline::kFcfs, units::watts(0.0), units::watts(0.0), 1.0}};
   cfg.stations[1].capacity = 1;
   cfg.classes = {SimClass{"c",
-                          0.7,
+                          units::per_second(0.7),
                           {Visit{0, Distribution::exponential(0.5)},
                            Visit{1, Distribution::exponential(1.0)}}}};
   cfg.warmup_time = 100.0;

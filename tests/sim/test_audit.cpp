@@ -23,10 +23,10 @@ TEST(SimAudit, AuditedRunMatchesUnauditedRunExactly) {
   EXPECT_EQ(plain.classes.size(), audited.classes.size());
   for (std::size_t k = 0; k < plain.classes.size(); ++k) {
     EXPECT_EQ(plain.classes[k].completed, audited.classes[k].completed);
-    EXPECT_DOUBLE_EQ(plain.classes[k].mean_e2e_delay,
-                     audited.classes[k].mean_e2e_delay);
+    EXPECT_DOUBLE_EQ(plain.classes[k].mean_e2e_delay.value(),
+                     audited.classes[k].mean_e2e_delay.value());
   }
-  EXPECT_DOUBLE_EQ(plain.cluster_avg_power, audited.cluster_avg_power);
+  EXPECT_DOUBLE_EQ(plain.cluster_avg_power.value(), audited.cluster_avg_power.value());
 }
 
 TEST(SimAudit, FlowCountersBalancePerClass) {
@@ -64,7 +64,7 @@ TEST(SimAudit, SurvivesDvfsRetuningMidRun) {
     std::vector<sim::TierSetting> out(n);
     for (auto& t : out) {
       t.speed = flip ? 0.8 : 1.0;
-      t.dynamic_watts = flip ? 120.0 : 160.0;
+      t.dynamic_watts = units::watts(flip ? 120.0 : 160.0);
     }
     return out;
   };

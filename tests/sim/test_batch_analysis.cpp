@@ -14,8 +14,8 @@ using queueing::Visit;
 
 SimConfig mm1(double rho, double end_time) {
   SimConfig cfg;
-  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0, 1.0}};
-  cfg.classes = {SimClass{"c", rho, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, units::watts(0.0), units::watts(0.0), 1.0}};
+  cfg.classes = {SimClass{"c", units::per_second(rho), {Visit{0, Distribution::exponential(1.0)}}}};
   cfg.warmup_time = 200.0;
   cfg.end_time = end_time;
   cfg.seed = 123;

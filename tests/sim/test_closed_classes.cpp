@@ -14,8 +14,8 @@ using queueing::Visit;
 SimConfig interactive(int population, double think, double d_cpu, double d_disk,
                       double end_time = 4000.0) {
   SimConfig cfg;
-  cfg.stations = {SimStation{"cpu", 1, Discipline::kFcfs, 0.0, 0.0, 1.0},
-                  SimStation{"disk", 1, Discipline::kFcfs, 0.0, 0.0, 1.0}};
+  cfg.stations = {SimStation{"cpu", 1, Discipline::kFcfs, units::watts(0.0), units::watts(0.0), 1.0},
+                  SimStation{"disk", 1, Discipline::kFcfs, units::watts(0.0), units::watts(0.0), 1.0}};
   SimClass cls;
   cls.name = "users";
   cls.population = population;
@@ -40,7 +40,7 @@ TEST(ClosedClasses, MatchesExactMvaAcrossPopulations) {
         static_cast<double>(r.classes[0].completed) / r.measured_time;
     EXPECT_NEAR(sim_x, theory.throughput[0], 0.06 * theory.throughput[0])
         << "N=" << n;
-    EXPECT_NEAR(r.classes[0].mean_e2e_delay, theory.response_time[0],
+    EXPECT_NEAR(r.classes[0].mean_e2e_delay.value(), theory.response_time[0],
                 0.08 * theory.response_time[0] + 0.01)
         << "N=" << n;
   }
@@ -69,7 +69,7 @@ TEST(ClosedClasses, MixedOpenAndClosedClassesCoexist) {
   SimConfig cfg = interactive(5, 1.0, 0.2, 0.2, 3000.0);
   SimClass open;
   open.name = "batch";
-  open.rate = 0.5;
+  open.rate = units::per_second(0.5);
   open.route = {Visit{0, Distribution::exponential(0.2)}};
   cfg.classes.push_back(open);
   const auto r = simulate(cfg);
@@ -94,7 +94,7 @@ TEST(ClosedClasses, Validation) {
   cfg.classes[0].population = -1;
   EXPECT_THROW(simulate(cfg), Error);
   cfg = interactive(3, 1.0, 0.2, 0.2);
-  cfg.classes[0].schedule = workload::RateSchedule::constant(1.0);
+  cfg.classes[0].schedule = workload::RateSchedule::constant(units::per_second(1.0));
   EXPECT_THROW(simulate(cfg), Error);
 }
 

@@ -17,8 +17,8 @@ using queueing::Visit;
 
 SimConfig single_queue(double rate, double end_time = 2000.0) {
   SimConfig cfg;
-  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, 100.0, 50.0, 1.0}};
-  cfg.classes = {SimClass{"c", rate, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, units::watts(100.0), units::watts(50.0), 1.0}};
+  cfg.classes = {SimClass{"c", units::per_second(rate), {Visit{0, Distribution::exponential(1.0)}}}};
   cfg.warmup_time = 100.0;
   cfg.end_time = end_time;
   cfg.seed = 21;
@@ -28,11 +28,11 @@ SimConfig single_queue(double rate, double end_time = 2000.0) {
 TEST(ScheduledArrivals, ConstantScheduleMatchesStationary) {
   // A constant RateSchedule must reproduce stationary M/M/1 statistics.
   SimConfig cfg = single_queue(0.5);
-  cfg.classes[0].schedule = workload::RateSchedule::constant(0.5);
-  cfg.classes[0].rate = 0.0;  // schedule takes precedence
+  cfg.classes[0].schedule = workload::RateSchedule::constant(units::per_second(0.5));
+  cfg.classes[0].rate = units::per_second(0.0);  // schedule takes precedence
   const auto r = simulate(cfg);
   const double theory = 1.0 / (1.0 - 0.5) * 1.0;  // M/M/1 sojourn = 2
-  EXPECT_NEAR(r.classes[0].mean_e2e_delay, theory, 0.15 * theory);
+  EXPECT_NEAR(r.classes[0].mean_e2e_delay.value(), theory, 0.15 * theory);
   EXPECT_NEAR(r.stations[0].utilization, 0.5, 0.05);
 }
 
@@ -75,13 +75,13 @@ TEST(ControlHook, SpeedChangeAffectsServiceTimes) {
   SimConfig slow = single_queue(0.2, 3000.0);
   slow.control_period = 1.0;  // retune immediately and keep it
   slow.control = [](const ControlSnapshot&) {
-    return std::vector<TierSetting>{TierSetting{0.5, 20.0}};
+    return std::vector<TierSetting>{TierSetting{0.5, units::watts(20.0)}};
   };
   const auto r_slow = simulate(slow);
   const auto r_fast = simulate(single_queue(0.2, 3000.0));
   // M/M/1: sojourn 1/(mu - lambda); mu 1 vs 0.5 -> 1.25 vs 3.33.
-  EXPECT_NEAR(r_fast.classes[0].mean_e2e_delay, 1.25, 0.2);
-  EXPECT_NEAR(r_slow.classes[0].mean_e2e_delay, 1.0 / (0.5 - 0.2), 0.6);
+  EXPECT_NEAR(r_fast.classes[0].mean_e2e_delay.value(), 1.25, 0.2);
+  EXPECT_NEAR(r_slow.classes[0].mean_e2e_delay.value(), 1.0 / (0.5 - 0.2), 0.6);
 }
 
 TEST(ControlHook, PowerAccountingTracksWattsChanges) {
@@ -93,11 +93,11 @@ TEST(ControlHook, PowerAccountingTracksWattsChanges) {
   cfg.control_period = 500.0;
   cfg.control = [](const ControlSnapshot& snap) {
     if (snap.time < 600.0)
-      return std::vector<TierSetting>{TierSetting{1.0, 10.0}};
+      return std::vector<TierSetting>{TierSetting{1.0, units::watts(10.0)}};
     return std::vector<TierSetting>{};
   };
   const auto r = simulate(cfg);
-  const double dyn = r.stations[0].avg_power - 100.0;  // subtract idle
+  const double dyn = r.stations[0].avg_power.value() - 100.0;  // subtract idle
   // First half: 50 W x util, second half: 10 W x util, util ~ 0.5.
   EXPECT_NEAR(dyn, 0.5 * (50.0 + 10.0) * 0.5, 4.0);
 }
@@ -106,12 +106,12 @@ TEST(ControlHook, InvalidSettingsRejected) {
   SimConfig cfg = single_queue(0.5, 300.0);
   cfg.control_period = 100.0;
   cfg.control = [](const ControlSnapshot&) {
-    return std::vector<TierSetting>{TierSetting{-1.0, 10.0}};
+    return std::vector<TierSetting>{TierSetting{-1.0, units::watts(10.0)}};
   };
   EXPECT_THROW(simulate(cfg), Error);
 
   cfg.control = [](const ControlSnapshot&) {
-    return std::vector<TierSetting>{TierSetting{1.0, 1.0}, TierSetting{1.0, 1.0}};
+    return std::vector<TierSetting>{TierSetting{1.0, units::watts(1.0)}, TierSetting{1.0, units::watts(1.0)}};
   };
   EXPECT_THROW(simulate(cfg), Error);  // wrong station count
 }
@@ -120,10 +120,10 @@ TEST(ControlHook, PreemptiveStationSurvivesRetuning) {
   // Speed changes while preemption is in play: invariants (no crash, all
   // jobs complete, delays positive and finite) must hold.
   SimConfig cfg;
-  cfg.stations = {SimStation{"s", 1, Discipline::kPreemptiveResume, 0.0, 30.0, 1.0}};
+  cfg.stations = {SimStation{"s", 1, Discipline::kPreemptiveResume, units::watts(0.0), units::watts(30.0), 1.0}};
   cfg.classes = {
-      SimClass{"hi", 0.2, {Visit{0, Distribution::exponential(1.0)}}},
-      SimClass{"lo", 0.3, {Visit{0, Distribution::exponential(1.0)}}}};
+      SimClass{"hi", units::per_second(0.2), {Visit{0, Distribution::exponential(1.0)}}},
+      SimClass{"lo", units::per_second(0.3), {Visit{0, Distribution::exponential(1.0)}}}};
   cfg.warmup_time = 50.0;
   cfg.end_time = 1550.0;
   cfg.seed = 31;
@@ -132,13 +132,13 @@ TEST(ControlHook, PreemptiveStationSurvivesRetuning) {
   cfg.control = [&flip](const ControlSnapshot&) {
     ++flip;
     const double speed = (flip % 2 == 0) ? 1.0 : 1.4;
-    return std::vector<TierSetting>{TierSetting{speed, 30.0 * speed}};
+    return std::vector<TierSetting>{TierSetting{speed, units::watts(30.0 * speed)}};
   };
   const auto r = simulate(cfg);
   EXPECT_GT(r.classes[0].completed, 100u);
   EXPECT_GT(r.classes[1].completed, 100u);
-  EXPECT_TRUE(std::isfinite(r.classes[1].mean_e2e_delay));
-  EXPECT_GT(r.classes[0].mean_e2e_delay, 0.0);
+  EXPECT_TRUE(std::isfinite(r.classes[1].mean_e2e_delay.value()));
+  EXPECT_GT(r.classes[0].mean_e2e_delay.value(), 0.0);
 }
 
 TEST(ReactiveController, KeepsSlaUnderDiurnalLoad) {
@@ -146,10 +146,10 @@ TEST(ReactiveController, KeepsSlaUnderDiurnalLoad) {
   // re-planning every 20 time units, SLA respected while saving power vs
   // the static f_max policy.
   const auto model = core::make_enterprise_model(0.75);
-  const double bound = 4.0 * model.mean_delay_at(model.max_frequencies());
+  const double bound = 4.0 * model.mean_delay_at(model.max_frequencies()).value();
 
   core::ReactiveDvfsController::Options copts;
-  copts.delay_bound = bound;
+  copts.delay_bound = units::seconds(bound);
   copts.levels = 7;
   core::ReactiveDvfsController controller(model, copts);
 
@@ -157,10 +157,10 @@ TEST(ReactiveController, KeepsSlaUnderDiurnalLoad) {
                                             50.0, 1250.0, 77);
   // Scale each class's rate with a shared diurnal shape (period 600).
   for (auto& cls : cfg.classes) {
-    const double base = cls.rate;
-    cfg.classes.at(0).rate = base;  // silence unused warning pattern
-    cls.schedule = workload::RateSchedule::diurnal(0.5 * base, base, 600.0);
-    cls.rate = 0.0;
+    const double base = cls.rate.value();
+    cfg.classes.at(0).rate = units::per_second(base);  // silence unused warning pattern
+    cls.schedule = workload::RateSchedule::diurnal(units::per_second(0.5 * base), units::per_second(base), 600.0);
+    cls.rate = units::per_second(0.0);
   }
   cfg.control_period = 20.0;
   cfg.control = controller.hook();
@@ -171,13 +171,13 @@ TEST(ReactiveController, KeepsSlaUnderDiurnalLoad) {
                                              1250.0, 77);
   for (std::size_t k = 0; k < flat.classes.size(); ++k) {
     flat.classes[k].schedule = cfg.classes[k].schedule;
-    flat.classes[k].rate = 0.0;
+    flat.classes[k].rate = units::per_second(0.0);
   }
   const auto baseline = simulate(flat);
 
   EXPECT_FALSE(controller.history().empty());
   EXPECT_LT(managed.cluster_avg_power, baseline.cluster_avg_power);
-  EXPECT_LT(managed.mean_e2e_delay, bound * 1.3);  // SLA (with sim slack)
+  EXPECT_LT(managed.mean_e2e_delay.value(), bound * 1.3);  // SLA (with sim slack)
 }
 
 }  // namespace

@@ -16,8 +16,8 @@ using queueing::Visit;
 SimConfig two_server_queue(double rate, double end_time = 2000.0,
                            Discipline discipline = Discipline::kFcfs) {
   SimConfig cfg;
-  cfg.stations = {SimStation{"s", 2, discipline, 100.0, 50.0, 1.0}};
-  cfg.classes = {SimClass{"c", rate, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.stations = {SimStation{"s", 2, discipline, units::watts(100.0), units::watts(50.0), 1.0}};
+  cfg.classes = {SimClass{"c", units::per_second(rate), {Visit{0, Distribution::exponential(1.0)}}}};
   cfg.warmup_time = 0.0;
   cfg.end_time = end_time;
   cfg.seed = 33;
@@ -133,8 +133,8 @@ TEST(Faults, BeyondHorizonAreIgnored) {
   const auto r_plain = simulate(plain);
   const auto r_late = simulate(late);
   EXPECT_EQ(r_plain.classes[0].completed, r_late.classes[0].completed);
-  EXPECT_DOUBLE_EQ(r_plain.mean_e2e_delay, r_late.mean_e2e_delay);
-  EXPECT_DOUBLE_EQ(r_plain.cluster_avg_power, r_late.cluster_avg_power);
+  EXPECT_DOUBLE_EQ(r_plain.mean_e2e_delay.value(), r_late.mean_e2e_delay.value());
+  EXPECT_DOUBLE_EQ(r_plain.cluster_avg_power.value(), r_late.cluster_avg_power.value());
 }
 
 TEST(Faults, IdlePowerTracksFleetSize) {
@@ -144,7 +144,7 @@ TEST(Faults, IdlePowerTracksFleetSize) {
   SimConfig cfg = two_server_queue(1.0e-9, 1000.0);
   cfg.faults = {FaultEvent{0.0, 0, FaultKind::kSetServers, 1}};
   const auto r = simulate(cfg);
-  EXPECT_NEAR(r.cluster_avg_power, 100.0, 1.0);
+  EXPECT_NEAR(r.cluster_avg_power.value(), 100.0, 1.0);
 }
 
 }  // namespace

@@ -13,8 +13,8 @@ using queueing::Visit;
 
 SimConfig base_config() {
   SimConfig cfg;
-  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, 10.0, 5.0}};
-  cfg.classes = {SimClass{"c", 0.5, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, units::watts(10.0), units::watts(5.0)}};
+  cfg.classes = {SimClass{"c", units::per_second(0.5), {Visit{0, Distribution::exponential(1.0)}}}};
   cfg.warmup_time = 100.0;
   cfg.end_time = 1100.0;
   cfg.seed = 42;

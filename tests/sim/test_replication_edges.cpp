@@ -77,10 +77,10 @@ TEST(Replicate, TenThousandReplicationsNeverExceedHardwareConcurrency) {
   // hardware_concurrency and still run every replication exactly once.
   sim::SimConfig tiny;
   tiny.stations.push_back(
-      sim::SimStation{"s", 1, queueing::Discipline::kFcfs, 1.0, 2.0, 1.0, -1});
+      sim::SimStation{"s", 1, queueing::Discipline::kFcfs, units::watts(1.0), units::watts(2.0), 1.0, -1});
   sim::SimClass c;
   c.name = "c";
-  c.rate = 2.0;
+  c.rate = units::per_second(2.0);
   c.route = {queueing::Visit{0, Distribution::exponential(0.2)}};
   tiny.classes.push_back(c);
   tiny.warmup_time = 0.0;

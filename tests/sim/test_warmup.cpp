@@ -65,8 +65,8 @@ TEST(MserTruncationRaw, BatchesThenTruncates) {
 
 TEST(SimulatorRecording, CompletionsRecordedInOrder) {
   SimConfig cfg;
-  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0}};
-  cfg.classes = {SimClass{"c", 0.5, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, units::watts(0.0), units::watts(0.0)}};
+  cfg.classes = {SimClass{"c", units::per_second(0.5), {Visit{0, Distribution::exponential(1.0)}}}};
   cfg.warmup_time = 0.0;
   cfg.end_time = 500.0;
   cfg.seed = 3;
@@ -76,15 +76,15 @@ TEST(SimulatorRecording, CompletionsRecordedInOrder) {
   double prev = 0.0;
   for (const auto& c : r.completions) {
     EXPECT_GE(c.time, prev);
-    EXPECT_GT(c.e2e_delay, 0.0);
+    EXPECT_GT(c.e2e_delay.value(), 0.0);
     prev = c.time;
   }
 }
 
 TEST(SimulatorRecording, OffByDefault) {
   SimConfig cfg;
-  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0}};
-  cfg.classes = {SimClass{"c", 0.5, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, units::watts(0.0), units::watts(0.0)}};
+  cfg.classes = {SimClass{"c", units::per_second(0.5), {Visit{0, Distribution::exponential(1.0)}}}};
   cfg.end_time = 100.0;
   const auto r = simulate(cfg);
   EXPECT_TRUE(r.completions.empty());
@@ -94,8 +94,8 @@ TEST(PilotWarmup, ProducesUsableEstimate) {
   // A queue started empty at rho = 0.8: the pilot should suggest a
   // strictly positive but modest warm-up.
   SimConfig cfg;
-  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0}};
-  cfg.classes = {SimClass{"c", 0.8, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, units::watts(0.0), units::watts(0.0)}};
+  cfg.classes = {SimClass{"c", units::per_second(0.8), {Visit{0, Distribution::exponential(1.0)}}}};
   cfg.end_time = 3000.0;
   cfg.seed = 11;
   const auto est = pilot_warmup(cfg);
@@ -106,8 +106,8 @@ TEST(PilotWarmup, ProducesUsableEstimate) {
 
 TEST(PilotWarmup, ThrowsOnTinyPilot) {
   SimConfig cfg;
-  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0}};
-  cfg.classes = {SimClass{"c", 0.1, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, units::watts(0.0), units::watts(0.0)}};
+  cfg.classes = {SimClass{"c", units::per_second(0.1), {Visit{0, Distribution::exponential(1.0)}}}};
   cfg.end_time = 10.0;  // ~1 completion
   EXPECT_THROW(pilot_warmup(cfg), Error);
 }
@@ -116,8 +116,8 @@ TEST(PilotWarmup, WarmupImprovesAgreementWithTheory) {
   // Using the estimated warm-up should not hurt the M/M/1 mean-delay
   // estimate compared with no warm-up at all.
   SimConfig cfg;
-  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, 0.0, 0.0}};
-  cfg.classes = {SimClass{"c", 0.8, {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, units::watts(0.0), units::watts(0.0)}};
+  cfg.classes = {SimClass{"c", units::per_second(0.8), {Visit{0, Distribution::exponential(1.0)}}}};
   cfg.end_time = 10000.0;  // mean-delay estimates at rho=0.8 are noisy
   cfg.seed = 13;
   const auto est = pilot_warmup(cfg);
@@ -127,7 +127,7 @@ TEST(PilotWarmup, WarmupImprovesAgreementWithTheory) {
   with.end_time = cfg.end_time + est.warmup_time;
   const auto r = simulate(with);
   const double theory = 1.0 / (1.0 - 0.8);  // M/M/1 sojourn
-  EXPECT_NEAR(r.classes[0].mean_e2e_delay, theory, 0.20 * theory);
+  EXPECT_NEAR(r.classes[0].mean_e2e_delay.value(), theory, 0.20 * theory);
 }
 
 }  // namespace

@@ -39,16 +39,16 @@ TEST(SweepApplyParams, RateScaleMatchesWithRateScale) {
   const auto scaled = apply_model_params(m, {{"rate_scale", 0.5}});
   const auto expected = m.with_rate_scale(0.5);
   for (std::size_t k = 0; k < m.num_classes(); ++k)
-    EXPECT_DOUBLE_EQ(scaled.classes()[k].rate, expected.classes()[k].rate);
+    EXPECT_DOUBLE_EQ(scaled.classes()[k].rate.value(), expected.classes()[k].rate.value());
 }
 
 TEST(SweepApplyParams, PerClassRateOverridesOneClass) {
   const auto m = model();
   const std::string first = m.classes()[0].name;
   const auto changed = apply_model_params(m, {{"rate:" + first, 2.5}});
-  EXPECT_DOUBLE_EQ(changed.classes()[0].rate, 2.5);
+  EXPECT_DOUBLE_EQ(changed.classes()[0].rate.value(), 2.5);
   for (std::size_t k = 1; k < m.num_classes(); ++k)
-    EXPECT_DOUBLE_EQ(changed.classes()[k].rate, m.classes()[k].rate);
+    EXPECT_DOUBLE_EQ(changed.classes()[k].rate.value(), m.classes()[k].rate.value());
 }
 
 TEST(SweepApplyParams, PerTierServersOverride) {
@@ -75,9 +75,9 @@ TEST(SweepPipelineRun, EvaluateMatchesDirectEvaluation) {
   const auto direct = m.evaluate(m.max_frequencies());
   ASSERT_TRUE(r.at("stable").as_bool());
   EXPECT_DOUBLE_EQ(r.at("mean_e2e_delay").as_number(),
-                   direct.net.mean_e2e_delay);
+                   direct.net.mean_e2e_delay.value());
   EXPECT_DOUBLE_EQ(r.at("cluster_power").as_number(),
-                   direct.energy.cluster_avg_power);
+                   direct.energy.cluster_avg_power.value());
 }
 
 TEST(SweepPipelineRun, EvaluateHonoursFrequencyOverride) {
@@ -89,7 +89,7 @@ TEST(SweepPipelineRun, EvaluateHonoursFrequencyOverride) {
   const Json r = run_point(spec, &m, {{"freq:" + tier, f[0]}}, 1);
   const auto direct = m.evaluate(f);
   EXPECT_DOUBLE_EQ(r.at("mean_e2e_delay").as_number(),
-                   direct.net.mean_e2e_delay);
+                   direct.net.mean_e2e_delay.value());
   EXPECT_DOUBLE_EQ(r.at("frequencies").at(tier).as_number(), f[0]);
 }
 
@@ -102,14 +102,14 @@ TEST(SweepPipelineRun, OptimizeDelayMatchesOptimizer) {
 
   const double frac = 0.5;
   const Json r = run_point(spec, &m, {{"power_budget_frac", frac}}, 1);
-  const double p_min = m.power_at(m.min_stable_frequencies());
-  const double p_max = m.power_at(m.max_frequencies());
+  const double p_min = m.power_at(m.min_stable_frequencies()).value();
+  const double p_max = m.power_at(m.max_frequencies()).value();
   const double budget = p_min + frac * (p_max - p_min);
-  const auto direct = core::minimize_delay_with_power_budget(m, budget);
+  const auto direct = core::minimize_delay_with_power_budget(m, units::watts(budget));
 
   ASSERT_TRUE(r.at("feasible").as_bool());
   EXPECT_DOUBLE_EQ(r.at("power_budget").as_number(), budget);
-  EXPECT_DOUBLE_EQ(r.at("mean_delay").as_number(), direct.mean_delay);
+  EXPECT_DOUBLE_EQ(r.at("mean_delay").as_number(), direct.mean_delay.value());
   EXPECT_TRUE(r.at("baseline").at("feasible").as_bool());
   EXPECT_GE(r.at("baseline").at("gain_pct").as_number(), 0.0);
 }
@@ -123,18 +123,18 @@ TEST(SweepPipelineRun, OptimizePowerMatchesOptimizer) {
 
   const double factor = 2.0;
   const Json r = run_point(spec, &m, {{"delay_bound_factor", factor}}, 1);
-  const double bound = factor * m.mean_delay_at(m.max_frequencies());
-  const auto direct = core::minimize_power_with_delay_bound(m, bound);
+  const double bound = factor * m.mean_delay_at(m.max_frequencies()).value();
+  const auto direct = core::minimize_power_with_delay_bound(m, units::seconds(bound));
 
   ASSERT_TRUE(r.at("feasible").as_bool());
   EXPECT_DOUBLE_EQ(r.at("delay_bound").as_number(), bound);
-  EXPECT_DOUBLE_EQ(r.at("power").as_number(), direct.power);
+  EXPECT_DOUBLE_EQ(r.at("power").as_number(), direct.power.value());
   EXPECT_GT(r.at("baseline").at("saving_pct").as_number(), 0.0);
 }
 
 TEST(SweepPipelineRun, OptimizeDelayAbsoluteBudgetAndLevels) {
   const auto m = model();
-  const double p_max = m.power_at(m.max_frequencies());
+  const double p_max = m.power_at(m.max_frequencies()).value();
   JsonObject p;
   p["kind"] = Json("optimize-delay");
   p["power_budget"] = Json(p_max);  // fixed option, not an axis
@@ -145,8 +145,8 @@ TEST(SweepPipelineRun, OptimizeDelayAbsoluteBudgetAndLevels) {
   ASSERT_TRUE(r.at("feasible").as_bool());
   EXPECT_DOUBLE_EQ(r.at("power_budget").as_number(), p_max);
   const auto direct =
-      core::minimize_delay_with_power_budget_discrete(m, p_max, 5);
-  EXPECT_DOUBLE_EQ(r.at("mean_delay").as_number(), direct.mean_delay);
+      core::minimize_delay_with_power_budget_discrete(m, units::watts(p_max), 5);
+  EXPECT_DOUBLE_EQ(r.at("mean_delay").as_number(), direct.mean_delay.value());
   EXPECT_TRUE(r.at("audit").at("passed").as_bool());
 }
 
@@ -158,7 +158,7 @@ TEST(SweepPipelineRun, OptimizeDelayMissingBudgetThrows) {
 
 TEST(SweepPipelineRun, OptimizePowerAbsoluteBoundAndLevels) {
   const auto m = model();
-  const double bound = 3.0 * m.mean_delay_at(m.max_frequencies());
+  const double bound = 3.0 * m.mean_delay_at(m.max_frequencies()).value();
   JsonObject p;
   p["kind"] = Json("optimize-power");
   p["delay_bound"] = Json(bound);
@@ -168,8 +168,8 @@ TEST(SweepPipelineRun, OptimizePowerAbsoluteBoundAndLevels) {
   const Json r = run_point(spec, &m, {}, 1);
   ASSERT_TRUE(r.at("feasible").as_bool());
   const auto direct =
-      core::minimize_power_with_delay_bound_discrete(m, bound, 5);
-  EXPECT_DOUBLE_EQ(r.at("power").as_number(), direct.power);
+      core::minimize_power_with_delay_bound_discrete(m, units::seconds(bound), 5);
+  EXPECT_DOUBLE_EQ(r.at("power").as_number(), direct.power.value());
   EXPECT_TRUE(r.at("audit").at("passed").as_bool());
 }
 

@@ -39,9 +39,9 @@ TEST(ArrivalTrace, ParseCsvErrorsCarryLineNumbers) {
 }
 
 TEST(ArrivalTrace, PoissonStatsLookPoisson) {
-  const auto t = ArrivalTrace::poisson(5.0, 2000.0, 7);
+  const auto t = ArrivalTrace::poisson(units::per_second(5.0), 2000.0, 7);
   const auto s = t.stats();
-  EXPECT_NEAR(s.mean_rate, 5.0, 0.25);
+  EXPECT_NEAR(s.mean_rate.value(), 5.0, 0.25);
   EXPECT_NEAR(s.interarrival_scv, 1.0, 0.1);  // exponential gaps
   EXPECT_LT(s.peak_to_mean, 1.5);
   EXPECT_GT(s.count, 9000u);
@@ -64,7 +64,7 @@ TEST(ArrivalTrace, BurstyTraceHasHighScv) {
 }
 
 TEST(ArrivalTrace, RateScheduleIntegratesToCount) {
-  const auto t = ArrivalTrace::poisson(3.0, 500.0, 9);
+  const auto t = ArrivalTrace::poisson(units::per_second(3.0), 500.0, 9);
   const auto sched = t.to_rate_schedule(50);
   const double expected =
       sched.expected_arrivals(0.0, sched.horizon());
@@ -81,10 +81,10 @@ TEST(ArrivalTrace, TimeScaleAndShift) {
 }
 
 TEST(TraceReplay, SimulatorReplaysExactCount) {
-  const auto trace = ArrivalTrace::poisson(0.5, 1000.0, 11);
+  const auto trace = ArrivalTrace::poisson(units::per_second(0.5), 1000.0, 11);
   sim::SimConfig cfg;
-  cfg.stations = {sim::SimStation{"s", 1, queueing::Discipline::kFcfs, 0.0,
-                                  0.0, 1.0}};
+  cfg.stations = {sim::SimStation{"s", 1, queueing::Discipline::kFcfs,
+                                  units::watts(0.0), units::watts(0.0), 1.0}};
   sim::SimClass cls;
   cls.name = "replay";
   cls.route = {queueing::Visit{0, Distribution::exponential(0.2)}};
@@ -99,10 +99,10 @@ TEST(TraceReplay, SimulatorReplaysExactCount) {
 
 TEST(TraceReplay, PoissonTraceMatchesPoissonTheory) {
   // Replaying a Poisson trace must reproduce M/M/1 behaviour.
-  const auto trace = ArrivalTrace::poisson(0.5, 4000.0, 13);
+  const auto trace = ArrivalTrace::poisson(units::per_second(0.5), 4000.0, 13);
   sim::SimConfig cfg;
-  cfg.stations = {sim::SimStation{"s", 1, queueing::Discipline::kFcfs, 0.0,
-                                  0.0, 1.0}};
+  cfg.stations = {sim::SimStation{"s", 1, queueing::Discipline::kFcfs,
+                                  units::watts(0.0), units::watts(0.0), 1.0}};
   sim::SimClass cls;
   cls.name = "replay";
   cls.route = {queueing::Visit{0, Distribution::exponential(1.0)}};
@@ -113,13 +113,13 @@ TEST(TraceReplay, PoissonTraceMatchesPoissonTheory) {
   cfg.seed = 3;
   const auto r = sim::simulate(cfg);
   const double theory = queueing::mm1(0.5, 1.0).mean_sojourn;
-  EXPECT_NEAR(r.classes[0].mean_e2e_delay, theory, 0.15 * theory);
+  EXPECT_NEAR(r.classes[0].mean_e2e_delay.value(), theory, 0.15 * theory);
 }
 
 TEST(TraceReplay, ValidationRejectsUnsortedTrace) {
   sim::SimConfig cfg;
-  cfg.stations = {sim::SimStation{"s", 1, queueing::Discipline::kFcfs, 0.0,
-                                  0.0, 1.0}};
+  cfg.stations = {sim::SimStation{"s", 1, queueing::Discipline::kFcfs,
+                                  units::watts(0.0), units::watts(0.0), 1.0}};
   sim::SimClass cls;
   cls.name = "bad";
   cls.route = {queueing::Visit{0, Distribution::exponential(0.2)}};

@@ -182,13 +182,15 @@ int cmd_describe(const std::string& path) {
         .add(t.servers)
         .add(queueing::discipline_name(t.discipline))
         .add(t.server_cost, 2)
-        .add(t.power.idle_power(), 1)
-        .add(t.power.idle_power() + t.power.dynamic_power(t.power.dvfs().f_base), 1)
+        .add(t.power.idle_power().value(), 1)
+        .add((t.power.idle_power() + t.power.dynamic_power(t.power.dvfs().f_base))
+                 .value(),
+             1)
         .add(t.power.alpha(), 1);
     std::string dvfs_range = "[";
-    dvfs_range += format_double(t.power.dvfs().f_min, 2);
+    dvfs_range += format_double(t.power.dvfs().f_min.value(), 2);
     dvfs_range += ", ";
-    dvfs_range += format_double(t.power.dvfs().f_max, 2);
+    dvfs_range += format_double(t.power.dvfs().f_max.value(), 2);
     dvfs_range += "]";
     tiers.add(dvfs_range);
   }
@@ -204,8 +206,8 @@ int cmd_describe(const std::string& path) {
     }
     classes.row()
         .add(c.name)
-        .add(c.rate, 3)
-        .add(c.sla.mean_bounded() ? format_double(c.sla.max_mean_e2e_delay, 3) : "-")
+        .add(c.rate.value(), 3)
+        .add(c.sla.mean_bounded() ? format_double(c.sla.max_mean_e2e_delay.value(), 3) : "-")
         .add(route);
   }
   classes.print(std::cout);
@@ -226,13 +228,13 @@ int cmd_evaluate(const std::string& path, const Args& args) {
   if (p95) headers.insert(headers.begin() + 2, "p95 delay s");
   Table t(std::move(headers));
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
-    t.row().add(model.classes()[k].name).add(ev.net.e2e_delay[k]);
-    if (p95) t.add(queueing::percentile_e2e_delay(ev.net, k, 0.95));
-    t.add(ev.energy.per_request_energy[k], 2);
+    t.row().add(model.classes()[k].name).add(ev.net.e2e_delay[k].value());
+    if (p95) t.add(queueing::percentile_e2e_delay(ev.net, k, 0.95).value());
+    t.add(ev.energy.per_request_energy[k].value(), 2);
   }
   t.print(std::cout);
-  std::cout << "mean E2E delay: " << format_double(ev.net.mean_e2e_delay)
-            << " s\ncluster power:  " << format_double(ev.energy.cluster_avg_power, 1)
+  std::cout << "mean E2E delay: " << format_double(ev.net.mean_e2e_delay.value())
+            << " s\ncluster power:  " << format_double(ev.energy.cluster_avg_power.value(), 1)
             << " W\n";
   Table u({"tier", "utilization"});
   for (std::size_t s = 0; s < model.num_tiers(); ++s)
@@ -248,16 +250,16 @@ int cmd_optimize_delay(const std::string& path, const Args& args) {
   const double watts = std::stod(*budget);
   const int levels = static_cast<int>(args.number("--levels", 0));
   const auto r = levels > 0
-                     ? core::minimize_delay_with_power_budget_discrete(model, watts,
+                     ? core::minimize_delay_with_power_budget_discrete(model, units::watts(watts),
                                                                        levels)
-                     : core::minimize_delay_with_power_budget(model, watts);
+                     : core::minimize_delay_with_power_budget(model, units::watts(watts));
   if (!r.feasible) {
     std::cerr << "infeasible: no stable operating point fits " << watts << " W\n";
     return 2;
   }
   print_frequencies(r.frequencies);
-  std::cout << "mean E2E delay: " << format_double(r.mean_delay) << " s\n"
-            << "cluster power:  " << format_double(r.power, 1) << " W (budget "
+  std::cout << "mean E2E delay: " << format_double(r.mean_delay.value()) << " s\n"
+            << "cluster power:  " << format_double(r.power.value(), 1) << " W (budget "
             << format_double(watts, 1) << ")\n";
   return 0;
 }
@@ -267,28 +269,30 @@ int cmd_optimize_power(const std::string& path, const Args& args) {
   const int levels = static_cast<int>(args.number("--levels", 0));
   core::FrequencyOptResult r;
   if (const auto per_class = args.value("--per-class")) {
-    auto bounds = parse_csv_doubles(*per_class);
-    if (bounds.size() != model.num_classes())
+    const auto raw_bounds = parse_csv_doubles(*per_class);
+    if (raw_bounds.size() != model.num_classes())
       throw Error("--per-class needs one bound per class");
+    std::vector<units::Seconds> bounds;
+    for (double b : raw_bounds) bounds.push_back(units::seconds(b));
     r = core::minimize_power_with_class_delay_bounds(model, bounds);
   } else {
     const auto bound = args.value("--bound");
     if (!bound) usage("optimize-power requires --bound SECONDS (or --per-class)");
     const double secs = std::stod(*bound);
     r = levels > 0
-            ? core::minimize_power_with_delay_bound_discrete(model, secs, levels)
-            : core::minimize_power_with_delay_bound(model, secs);
+            ? core::minimize_power_with_delay_bound_discrete(model, units::seconds(secs), levels)
+            : core::minimize_power_with_delay_bound(model, units::seconds(secs));
   }
   if (!r.feasible) {
     std::cerr << "infeasible: the delay bound cannot be met even at f_max\n";
     return 2;
   }
   print_frequencies(r.frequencies);
-  std::cout << "cluster power:  " << format_double(r.power, 1) << " W\n"
-            << "mean E2E delay: " << format_double(r.mean_delay) << " s\n";
+  std::cout << "cluster power:  " << format_double(r.power.value(), 1) << " W\n"
+            << "mean E2E delay: " << format_double(r.mean_delay.value()) << " s\n";
   for (std::size_t k = 0; k < model.num_classes(); ++k)
     std::cout << "  " << model.classes()[k].name << ": "
-              << format_double(r.evaluation.net.e2e_delay[k]) << " s\n";
+              << format_double(r.evaluation.net.e2e_delay[k].value()) << " s\n";
   return 0;
 }
 
@@ -317,9 +321,9 @@ int cmd_size(const std::string& path, const Args& args) {
   for (std::size_t k = 0; k < model.num_classes(); ++k) {
     const auto& c = model.classes()[k];
     std::cout << "  " << c.name << ": delay "
-              << format_double(r.evaluation.net.e2e_delay[k]) << " s"
+              << format_double(r.evaluation.net.e2e_delay[k].value()) << " s"
               << (c.sla.mean_bounded()
-                      ? " (SLA " + format_double(c.sla.max_mean_e2e_delay, 3) + ")"
+                      ? " (SLA " + format_double(c.sla.max_mean_e2e_delay.value(), 3) + ")"
                       : "")
               << '\n';
   }
@@ -357,7 +361,7 @@ int cmd_simulate(const std::string& path, const Args& args) {
     for (auto& cls : cfg.classes) {
       if (cls.name != *trace_class) continue;
       cls.arrival_times = trace.timestamps();
-      cls.rate = 0.0;
+      cls.rate = units::per_second(0.0);
       found = true;
     }
     if (!found) throw Error("no class named '" + *trace_class + "'");
@@ -480,13 +484,13 @@ int cmd_online(const std::string& path, const Args& args) {
   if (args.has("--summary")) {
     std::cerr << "windows: " << result.windows.size()
               << "  reoptimizations: " << result.reoptimizations
-              << "  switching cost: " << result.switching_cost_joules
+              << "  switching cost: " << result.switching_cost_joules.value()
               << " J\n";
     for (std::size_t k = 0; k < model.num_classes(); ++k) {
       const auto& c = result.sim.classes[k];
       std::cerr << "  " << model.classes()[k].name
                 << ": completed " << c.completed << ", blocked " << c.blocked
-                << ", mean delay " << c.mean_e2e_delay << " s\n";
+                << ", mean delay " << c.mean_e2e_delay.value() << " s\n";
     }
   }
   return 0;
@@ -581,7 +585,8 @@ int cmd_certify(const std::string& path, const Args& args) {
       const auto bound = args.value("--bound");
       if (!bound) usage("certify --solution power requires --bound SECONDS");
       const auto r =
-          core::minimize_power_with_delay_bound(model, std::stod(*bound));
+          core::minimize_power_with_delay_bound(model,
+                                                units::seconds(std::stod(*bound)));
       cert = certify::certify_frequency_solution(model, r, box, options);
     } else {
       usage("unknown --solution '" + *solution + "' (expected size | power)");
@@ -777,7 +782,7 @@ int cmd_trace_stats(const std::string& path) {
   Table t({"metric", "value"});
   t.row().add("arrivals").add(s.count);
   t.row().add("duration").add(s.duration);
-  t.row().add("mean rate /s").add(s.mean_rate);
+  t.row().add("mean rate /s").add(s.mean_rate.value());
   t.row().add("interarrival SCV").add(s.interarrival_scv);
   t.row().add("peak/mean (100 bins)").add(s.peak_to_mean);
   t.print(std::cout);

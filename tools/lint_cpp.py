@@ -46,6 +46,20 @@ rules ban the ambient-state entry points at the source level:
           reinterpret_cast to uintptr_t): ASLR makes addresses differ
           every run, so any output or key containing one is unstable.
 
+Units rules (UNIT): cpm::units makes dimension mix-ups (rate-for-delay,
+W-for-J) unrepresentable, but only where the types are actually used.
+These rules flag raw `double` declarations in src/ public headers whose
+names carry dimension vocabulary (rate, delay, power, freq, energy,
+watts, joules) — the places where `units::Rate`, `units::Seconds`,
+`units::Watts`, ... belong. Genuine dimensionless scalars (utilization,
+smoothing factors, percentiles) and policy-sanctioned raw containers
+(per-tier frequency vectors) carry waivers:
+
+  UNIT-1  dimension-named double PARAMETER in a src/ header.
+  UNIT-2  dimension-named double FIELD (or header-scope variable).
+  UNIT-3  dimension-named function RETURNING raw double.
+  UNIT-4  dimension-named std::vector<double> parameter or field.
+
 All rules skip comments and string/char literals (a "std::cout" inside a
 doc string is prose, not a violation) — except the %p half of DET-5,
 which by nature lives inside format strings and is matched there.
@@ -55,11 +69,13 @@ A trailing "// conv-ok: RULE-ID" comment waives that rule for the line
 comment explaining why the line is sound.
 
 Usage: tools/lint_cpp.py [root] [--format text|sarif] [--out FILE]
+                         [--changed-only]
 Exit code 0 when clean, 1 when any violation is found.
 """
 import argparse
 import json
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -280,6 +296,73 @@ ZERO_LITERAL = re.compile(
     rf"(?<![\w.])0+\.0*(?:[eE][-+]?\d+)?\s*[!=]=|[!=]=\s*(?<![\w.])0+\.0*(?:[eE][-+]?\d+)?(?![\w.])")
 WAIVER = re.compile(r"//\s*conv-ok:\s*([A-Z0-9-]+(?:\s*,\s*[A-Z0-9-]+)*)")
 
+# UNIT-1..4: raw-double declarations with dimension vocabulary in their
+# identifier. The name is split on underscores and each token matched
+# exactly, so `max_rate` and `delay_bound` fire while `separate` and
+# `accelerated` do not. The character after the declarator classifies it:
+# '(' opens a function (UNIT-3), ',' / ')' ends a parameter (UNIT-1),
+# ';' / '=' / '{' ends a field (UNIT-2). A bare end-of-line is treated as
+# a wrapped parameter list (the common clang-format break).
+UNIT_VOCAB = frozenset({
+    "rate", "rates", "delay", "delays", "power", "powers",
+    "freq", "freqs", "frequency", "frequencies",
+    "energy", "energies", "watt", "watts", "joule", "joules",
+})
+DOUBLE_DECL = re.compile(r"(?<![\w:<.>])double\s+(\w+)\s*(.?)")
+VECTOR_DOUBLE_DECL = re.compile(
+    r"std::vector<\s*double\s*>\s*(?:const\s+)?[&*]?\s*(\w+)\s*(.?)")
+
+UNIT_MESSAGES = {
+    "UNIT-1": ("raw double parameter '{name}' carries a dimension: take a "
+               "cpm::units quantity (units::Rate, units::Seconds, "
+               "units::Watts, ...) or waive a genuine scalar"),
+    "UNIT-2": ("raw double field '{name}' carries a dimension: store a "
+               "cpm::units quantity or waive a genuine scalar"),
+    "UNIT-3": ("'{name}' returns a raw double that carries a dimension: "
+               "return a cpm::units quantity or waive a genuine scalar"),
+    "UNIT-4": ("'{name}' is a vector<double> with a dimension name: use "
+               "std::vector of a cpm::units quantity, or waive it where "
+               "the raw-container boundary policy applies"),
+}
+
+
+# Frequency tokens are excluded from the CONTAINER rule only: the repo's
+# frequency vectors are normalized DVFS operating points (f / f_base, a
+# dimensionless speedup multiplier), the optimizers' decision-variable
+# representation. Scalar `double freq`-style declarations still fire.
+UNIT_VECTOR_EXEMPT = frozenset({"freq", "freqs", "frequency", "frequencies"})
+
+
+def dimension_named(name: str, exempt: frozenset = frozenset()) -> bool:
+    toks = name.lower().split("_")
+    return (any(tok in UNIT_VOCAB for tok in toks)
+            and not any(tok in exempt for tok in toks))
+
+
+def unit_violations(path: Path, lineno: int, code: str) -> list["Violation"]:
+    out = []
+    for m in VECTOR_DOUBLE_DECL.finditer(code):
+        name = m.group(1)
+        if dimension_named(name, UNIT_VECTOR_EXEMPT):
+            out.append(Violation(path, lineno, "UNIT-4",
+                                 UNIT_MESSAGES["UNIT-4"].format(name=name)))
+    # Blank vector<double> spans so DOUBLE_DECL cannot re-match inside them.
+    scalar_view = VECTOR_DOUBLE_DECL.sub(lambda m: " " * len(m.group(0)),
+                                         code)
+    for m in DOUBLE_DECL.finditer(scalar_view):
+        name, after = m.group(1), m.group(2)
+        if not dimension_named(name):
+            continue
+        if after == "(":
+            rule = "UNIT-3"
+        elif after in {";", "=", "{"}:
+            rule = "UNIT-2"
+        else:  # ',' / ')' / wrapped parameter list
+            rule = "UNIT-1"
+        out.append(Violation(path, lineno, rule,
+                             UNIT_MESSAGES[rule].format(name=name)))
+    return out
+
 # Registry for SARIF rule metadata: id -> short description.
 RULE_HELP = {
     "CONV-1": "No rand()/srand() in library code",
@@ -293,6 +376,13 @@ RULE_HELP = {
     "DET-3": "No environment reads in library code",
     "DET-4": "No iteration over unordered containers in library code",
     "DET-5": "No pointer-address formatting or hashing in library code",
+    "UNIT-1": "Dimension-named double parameters in src/ headers use "
+              "cpm::units",
+    "UNIT-2": "Dimension-named double fields in src/ headers use cpm::units",
+    "UNIT-3": "Dimension-named functions in src/ headers return cpm::units "
+              "quantities",
+    "UNIT-4": "Dimension-named vector<double> in src/ headers uses "
+              "cpm::units (or a boundary-policy waiver)",
 }
 
 
@@ -365,6 +455,13 @@ def lint_file(path: Path, in_library: bool) -> list[Violation]:
             if iterated & unordered:
                 violations.append(Violation(path, lineno, "DET-4",
                                             DET4_MESSAGE))
+        if in_library and is_header:
+            # UNIT waivers may sit on the declaration line or on the doc
+            # comment immediately above it (the house style for fields).
+            prev_raw = raw_lines[lineno - 2] if lineno >= 2 else ""
+            violations.extend(
+                v for v in unit_violations(path, lineno, code)
+                if not (waived(raw, v.rule) or waived(prev_raw, v.rule)))
     return violations
 
 
@@ -416,6 +513,27 @@ def to_sarif(violations: list[Violation], root: Path) -> dict:
     }
 
 
+def changed_files(root: Path) -> list[Path] | None:
+    """Files changed vs. git HEAD (staged, unstaged and untracked), or None
+    when git is unavailable — the caller falls back to a full scan."""
+    try:
+        diff = subprocess.run(
+            ["git", "-C", str(root), "diff", "--name-only", "HEAD", "--"],
+            capture_output=True, text=True, check=True).stdout
+        untracked = subprocess.run(
+            ["git", "-C", str(root), "ls-files", "--others",
+             "--exclude-standard"],
+            capture_output=True, text=True, check=True).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    out = []
+    for rel in sorted(set(diff.splitlines()) | set(untracked.splitlines())):
+        p = root / rel
+        if p.is_file():
+            out.append(p)
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Repo-convention and determinism linter for C++ sources")
@@ -425,15 +543,33 @@ def main(argv: list[str] | None = None) -> int:
                         default="text")
     parser.add_argument("--out", default=None,
                         help="write the report here instead of stdout")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="lint only files changed vs. git HEAD (plus "
+                             "untracked); falls back to a full scan when "
+                             "git is unavailable")
     args = parser.parse_args(argv)
 
     root = Path(args.root) if args.root else Path(__file__).parent.parent
+    scopes = (("src", True), ("tools", False), ("tests", False))
+    candidates: list[tuple[Path, bool]] = []
+    changed = changed_files(root) if args.changed_only else None
+    if changed is not None:
+        for path in changed:
+            if path.suffix not in (".cpp", ".hpp"):
+                continue
+            rel = path.relative_to(root)
+            for top, in_library in scopes:
+                if rel.parts and rel.parts[0] == top:
+                    candidates.append((path, in_library))
+                    break
+    else:
+        for top, in_library in scopes:
+            for path in sorted(root.glob(f"{top}/**/*.[ch]pp")):
+                candidates.append((path, in_library))
+
     violations: list[Violation] = []
-    for pattern, in_library in (("src/**/*.[ch]pp", True),
-                                ("tools/**/*.[ch]pp", False),
-                                ("tests/**/*.[ch]pp", False)):
-        for path in sorted(root.glob(pattern)):
-            violations.extend(lint_file(path, in_library))
+    for path, in_library in candidates:
+        violations.extend(lint_file(path, in_library))
 
     if args.format == "sarif":
         report = json.dumps(to_sarif(violations, root), indent=2) + "\n"

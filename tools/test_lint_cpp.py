@@ -243,6 +243,68 @@ class Det5Test(unittest.TestCase):
             "oss << static_cast<const void*>(ptr);  // conv-ok: DET-5\n"))
 
 
+class UnitRulesTest(unittest.TestCase):
+    def test_unit1_parameter_trigger(self):
+        self.assertIn("UNIT-1", lint_src(
+            "void set_bound(double delay_bound);\n", header=True))
+        self.assertIn("UNIT-1", lint_src(
+            "void observe(double arrival_rate, int k);\n", header=True))
+
+    def test_unit1_scalar_freq_still_fires(self):
+        # Only the CONTAINER rule exempts frequency tokens.
+        self.assertIn("UNIT-1", lint_src(
+            "void tune(double freq);\n", header=True))
+
+    def test_unit2_field_trigger(self):
+        self.assertIn("UNIT-2", lint_src(
+            "struct S { double max_power = 0.0; };\n", header=True))
+
+    def test_unit3_return_trigger(self):
+        self.assertIn("UNIT-3", lint_src(
+            "double mean_delay() const;\n", header=True))
+
+    def test_unit4_vector_trigger(self):
+        self.assertIn("UNIT-4", lint_src(
+            "std::vector<double> rates;\n", header=True))
+
+    def test_unit4_frequency_vector_exempt(self):
+        # Normalized DVFS operating points are dimensionless multipliers.
+        self.assertEqual([], lint_src(
+            "std::vector<double> frequencies;\n", header=True))
+
+    def test_near_miss_vocab_must_be_a_token(self):
+        # "rate" inside "separate"/"iterate" is not dimension vocabulary.
+        self.assertEqual([], lint_src(
+            "double separate = 0.0;\n", header=True))
+        self.assertEqual([], lint_src(
+            "void f(double iterate);\n", header=True))
+
+    def test_near_miss_dimensionless_name(self):
+        self.assertEqual([], lint_src(
+            "double utilization = 0.0;\n", header=True))
+
+    def test_out_of_scope_sources_and_tools(self):
+        # UNIT rules govern src/ public headers only.
+        self.assertEqual([], lint_src("double mean_delay() const;\n"))
+        self.assertEqual([], lint_src(
+            "struct S { double max_power = 0.0; };\n",
+            header=True, in_library=False))
+
+    def test_waiver_on_the_line(self):
+        self.assertEqual([], lint_src(
+            "struct S { double rate_smoothing = 0.5; "
+            "};  // conv-ok: UNIT-2\n", header=True))
+
+    def test_waiver_on_preceding_doc_comment(self):
+        self.assertEqual([], lint_src(
+            "/// EWMA weight, dimensionless. // conv-ok: UNIT-2\n"
+            "double rate_smoothing = 0.5;\n", header=True))
+
+    def test_waiver_for_other_rule_does_not_apply(self):
+        self.assertIn("UNIT-4", lint_src(
+            "std::vector<double> rates;  // conv-ok: UNIT-2\n", header=True))
+
+
 class WaiverMechanismTest(unittest.TestCase):
     def test_comma_separated_waivers(self):
         line = ("bool f(double x) { assert(x == 1.5); return true; }"

@@ -1,0 +1,103 @@
+// The I/O seam: every artifact read/write in the library routes through
+// the FileSystem interface so failures can be injected, classified, and
+// retried deterministically. RealFileSystem is the only place in src/
+// allowed to touch raw streams / std::filesystem mutation (enforced by
+// lint rules IO-1/IO-2); everything else — the sweep cache, spec/model
+// loading, run journals, cpmctl output — takes a FileSystem&.
+//
+// Error classification contract (see docs/resilience.md):
+//   kTransient  the operation may succeed if retried (EIO, EINTR, EAGAIN,
+//               descriptor exhaustion). RetryPolicy retries these.
+//   kPermanent  retrying cannot help (ENOENT, EACCES, ENOSPC, EROFS).
+//   kCorrupt    the bytes were read but fail validation (checksum or
+//               parse mismatch); raised by callers, not by the
+//               filesystem itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm {
+
+enum class IoErrorKind {
+  kTransient,
+  kPermanent,
+  kCorrupt,
+};
+
+/// Stable lowercase name ("transient", "permanent", "corrupt") used in
+/// error messages and test assertions.
+const char* io_error_kind_name(IoErrorKind kind);
+
+/// Maps an errno value onto the retry taxonomy above.
+IoErrorKind classify_errno(int err);
+
+/// I/O failure carrying its retry classification. Derives from cpm::Error
+/// so existing catch sites keep working; new code catches IoError first
+/// to map the kind onto distinct cpmctl exit codes.
+class IoError : public Error {
+ public:
+  IoError(IoErrorKind kind, const std::string& what)
+      : Error(what), kind_(kind) {}
+
+  IoErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  IoErrorKind kind_;
+};
+
+/// Abstract filesystem. Paths are plain strings (native separators);
+/// all methods throw IoError on failure. Implementations must be safe
+/// for concurrent calls from multiple threads.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Reads the whole file. Throws IoError(kPermanent) when missing.
+  virtual std::string read(const std::string& path) = 0;
+
+  /// True when `path` exists (file or directory).
+  virtual bool exists(const std::string& path) = 0;
+
+  /// Publishes `content` at `path` atomically: parent directories are
+  /// created, the bytes land in a unique temp file which is then
+  /// renamed over `path`. Readers never observe a partial file (crash
+  /// mid-write leaves the old content or nothing, not a torn file).
+  virtual void write_atomic(const std::string& path,
+                            const std::string& content) = 0;
+
+  /// Appends `data` to `path` (creating it if absent) and flushes to
+  /// the kernel before returning, so the bytes survive SIGKILL of the
+  /// writing process. Used by the append-only run journal.
+  virtual void append(const std::string& path, const std::string& data) = 0;
+
+  /// Removes a file if present; missing files are not an error.
+  virtual void remove(const std::string& path) = 0;
+
+  /// mkdir -p.
+  virtual void create_directories(const std::string& path) = 0;
+
+  /// All regular files under `dir`, recursively, sorted by path.
+  /// A missing directory yields an empty list.
+  virtual std::vector<std::string> list_files(const std::string& dir) = 0;
+};
+
+/// Passthrough to the host filesystem.
+class RealFileSystem final : public FileSystem {
+ public:
+  std::string read(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  void write_atomic(const std::string& path,
+                    const std::string& content) override;
+  void append(const std::string& path, const std::string& data) override;
+  void remove(const std::string& path) override;
+  void create_directories(const std::string& path) override;
+  std::vector<std::string> list_files(const std::string& dir) override;
+};
+
+/// Process-wide RealFileSystem used when callers do not inject one.
+FileSystem& real_filesystem();
+
+}  // namespace cpm

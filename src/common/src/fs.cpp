@@ -1,0 +1,177 @@
+#include "cpm/common/fs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace cpm {
+
+namespace stdfs = std::filesystem;
+
+const char* io_error_kind_name(IoErrorKind kind) {
+  switch (kind) {
+    case IoErrorKind::kTransient: return "transient";
+    case IoErrorKind::kPermanent: return "permanent";
+    case IoErrorKind::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+IoErrorKind classify_errno(int err) {
+  switch (err) {
+    case EIO:
+    case EINTR:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EBUSY:
+    case EMFILE:
+    case ENFILE:
+      return IoErrorKind::kTransient;
+    default:
+      // ENOENT, EACCES, ENOSPC, EROFS, EISDIR, ... — retrying the same
+      // call cannot help; the caller must change something first.
+      return IoErrorKind::kPermanent;
+  }
+}
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& op, const std::string& path,
+                              int err) {
+  IoErrorKind kind = classify_errno(err);
+  throw IoError(kind, op + " failed for '" + path + "': " +
+                          std::strerror(err) + " (" +
+                          io_error_kind_name(kind) + ")");
+}
+
+// RAII for C stdio handles; fopen/fwrite give reliable errno, and an
+// explicit fflush pushes appends into the kernel page cache so they
+// survive SIGKILL of this process.
+struct File {
+  std::FILE* f = nullptr;
+  ~File() {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+void write_all(const std::string& path, const std::string& content,
+               const char* mode) {
+  File file;
+  file.f = std::fopen(path.c_str(), mode);
+  if (file.f == nullptr) throw_errno("open", path, errno);
+  if (!content.empty() &&
+      std::fwrite(content.data(), 1, content.size(), file.f) !=
+          content.size()) {
+    throw_errno("write", path, errno != 0 ? errno : EIO);
+  }
+  if (std::fflush(file.f) != 0) throw_errno("flush", path, errno);
+  std::FILE* f = file.f;
+  file.f = nullptr;
+  if (std::fclose(f) != 0) throw_errno("close", path, errno);
+}
+
+int process_id() {
+#ifdef _WIN32
+  return _getpid();
+#else
+  return static_cast<int>(::getpid());
+#endif
+}
+
+}  // namespace
+
+std::string RealFileSystem::read(const std::string& path) {
+  File file;
+  file.f = std::fopen(path.c_str(), "rb");
+  if (file.f == nullptr) throw_errno("open", path, errno);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    std::size_t n = std::fread(buf, 1, sizeof buf, file.f);
+    out.append(buf, n);
+    if (n < sizeof buf) {
+      if (std::ferror(file.f) != 0) {
+        throw_errno("read", path, errno != 0 ? errno : EIO);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+bool RealFileSystem::exists(const std::string& path) {
+  std::error_code ec;
+  return stdfs::exists(stdfs::path(path), ec);
+}
+
+void RealFileSystem::write_atomic(const std::string& path,
+                                  const std::string& content) {
+  stdfs::path target(path);
+  if (target.has_parent_path()) create_directories(target.parent_path().string());
+  // Unique per process and per call, so concurrent publishers of the
+  // same target never share a temp file.
+  static std::atomic<unsigned long long> counter{0};
+  unsigned long long n = counter.fetch_add(1, std::memory_order_relaxed);
+  std::string tmp = path + ".tmp." + std::to_string(process_id()) + "." +
+                    std::to_string(n);
+  write_all(tmp, content, "wb");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    std::error_code ignored;
+    stdfs::remove(stdfs::path(tmp), ignored);
+    throw_errno("rename", path, err);
+  }
+}
+
+void RealFileSystem::append(const std::string& path, const std::string& data) {
+  stdfs::path target(path);
+  if (target.has_parent_path()) create_directories(target.parent_path().string());
+  write_all(path, data, "ab");
+}
+
+void RealFileSystem::remove(const std::string& path) {
+  std::error_code ec;
+  stdfs::remove(stdfs::path(path), ec);
+  if (ec && ec != std::errc::no_such_file_or_directory) {
+    throw_errno("remove", path, ec.value());
+  }
+}
+
+void RealFileSystem::create_directories(const std::string& path) {
+  std::error_code ec;
+  stdfs::create_directories(stdfs::path(path), ec);
+  if (ec) throw_errno("mkdir", path, ec.value());
+}
+
+std::vector<std::string> RealFileSystem::list_files(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  stdfs::recursive_directory_iterator it(stdfs::path(dir), ec);
+  if (ec) return out;
+  for (const auto& entry :
+       stdfs::recursive_directory_iterator(stdfs::path(dir), ec)) {
+    std::error_code entry_ec;
+    if (entry.is_regular_file(entry_ec)) out.push_back(entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+FileSystem& real_filesystem() {
+  static RealFileSystem fs;
+  return fs;
+}
+
+}  // namespace cpm

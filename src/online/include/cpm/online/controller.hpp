@@ -39,6 +39,19 @@
 
 namespace cpm::online {
 
+/// Wall-time interval [start, end) during which the controller must
+/// treat its telemetry as stale (sensor/collector dropout). While stale
+/// the controller holds the last known-good plan: estimators are not
+/// fed, fault/drift/SLA triggers are suppressed, and the window is
+/// marked degraded with reason "telemetry". Normal mode re-entry is
+/// hysteretic: for `drift_windows` windows after telemetry returns the
+/// estimators re-warm but drift/SLA triggers stay suppressed, so one
+/// noisy first sample cannot cause a spurious re-plan.
+struct TelemetryDropout {
+  units::Seconds start;
+  units::Seconds end;
+};
+
 struct ControllerOptions {
   /// Relative drift band around the planned per-class rates.
   double hysteresis = 0.25;
@@ -91,7 +104,7 @@ struct WindowRecord {
   std::vector<int> observed_servers;
   // Decision.
   bool reoptimized = false;
-  std::string reason;        ///< "", "fault", "drift", "sla", "slew"
+  std::string reason;  ///< "", "fault", "drift", "sla", "slew", "telemetry"
   bool feasible = true;      ///< re-plan found an admissible operating point
   bool degraded = false;     ///< fell back to the last known-good plan
   std::vector<int> target_servers;     ///< plan endpoint
@@ -108,6 +121,11 @@ class OnlineController {
   /// The hook to install as sim::SimConfig::manage. The controller must
   /// outlive the simulation run.
   [[nodiscard]] sim::ManagementHook hook();
+
+  /// Installs the telemetry-dropout schedule (see TelemetryDropout).
+  void set_telemetry_dropouts(std::vector<TelemetryDropout> dropouts) {
+    dropouts_ = std::move(dropouts);
+  }
 
   /// Frequencies of the initial plan (discrete P-E at the model's nominal
   /// rates and server counts; f_max when infeasible) — pass to
@@ -147,6 +165,9 @@ class OnlineController {
   std::vector<int> current_servers_;  ///< actuated, expected in next snapshot
   std::vector<double> current_freq_;
   std::vector<std::uint8_t> admitted_;
+  std::vector<TelemetryDropout> dropouts_;
+  bool was_stale_ = false;  ///< previous window was inside a dropout
+  int reentry_ = 0;         ///< post-dropout windows with triggers held
   int cooldown_ = 0;
   int drift_streak_ = 0;
   int sla_streak_ = 0;

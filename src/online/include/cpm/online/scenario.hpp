@@ -22,7 +22,9 @@
 //
 // Classes without an arrivals entry run at their nominal rate. Fault kinds
 // are "servers-delta", "set-servers" and "set-capacity", mirroring
-// sim::FaultKind. Tier/class references are by name and validated against
+// sim::FaultKind, plus "telemetry-dropout" ({"time", "duration"}, no
+// tier/value) which blinds the controller instead of touching the
+// cluster. Tier/class references are by name and validated against
 // the model when the scenario is compiled, not parsed.
 #pragma once
 
@@ -69,6 +71,11 @@ struct Scenario {
   std::uint64_t seed = 1;
   std::vector<ArrivalShape> arrivals;
   std::vector<ScenarioFault> faults;
+  /// Stale-sensor intervals parsed from faults entries with kind
+  /// "telemetry-dropout" ({"time", "duration"}; no tier/value). These
+  /// never reach the simulator — the cluster keeps running — they blind
+  /// the controller (see TelemetryDropout).
+  std::vector<TelemetryDropout> dropouts;
   ControllerOptions controller;
 };
 

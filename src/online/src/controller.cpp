@@ -138,11 +138,28 @@ sim::ManagementDecision OnlineController::on_window(
   rec.mean_delay = snap.window_mean_delay;
   rec.energy_joules = snap.window_energy_joules;
   rec.observed_servers = snap.servers;
+  // Telemetry dropout: this window's measurements are stale. Hold the
+  // last known-good plan — keep slewing toward the existing target but
+  // make no new decisions — and keep the stale samples out of the
+  // estimators so they cannot poison the post-dropout state.
+  const bool stale = std::any_of(
+      dropouts_.begin(), dropouts_.end(), [&](const TelemetryDropout& d) {
+        return snap.time >= d.start.value() && snap.time < d.end.value();
+      });
+  if (stale) {
+    was_stale_ = true;
+  } else if (was_stale_) {
+    was_stale_ = false;
+    // Re-entry hysteresis: estimators re-warm on fresh telemetry for
+    // drift_windows windows before drift/SLA triggers may fire again.
+    reentry_ = options_.drift_windows;
+  }
+
   rec.ewma_rate.resize(classes);
   rec.windowed_rate.resize(classes);
   rec.sla_compliance.resize(classes);
   for (std::size_t k = 0; k < classes; ++k) {
-    estimators_[k].observe(snap.arrival_rate[k]);
+    if (!stale) estimators_[k].observe(snap.arrival_rate[k]);
     rec.ewma_rate[k] = estimators_[k].ewma();
     rec.windowed_rate[k] = estimators_[k].windowed_mean();
     rec.sla_compliance[k] =
@@ -156,13 +173,15 @@ sim::ManagementDecision OnlineController::on_window(
   // Update the availability estimate by the surprise delta (a failure
   // shrinks it, a repair restores it) and re-plan immediately.
   std::string reason;
-  for (std::size_t i = 0; i < tiers; ++i) {
-    if (snap.servers[i] == current_servers_[i]) continue;
-    const int delta = snap.servers[i] - current_servers_[i];
-    available_[i] =
-        clamp_int(available_[i] + delta, 1, options_.max_servers_per_tier);
-    current_servers_[i] = snap.servers[i];
-    reason = "fault";
+  if (!stale) {
+    for (std::size_t i = 0; i < tiers; ++i) {
+      if (snap.servers[i] == current_servers_[i]) continue;
+      const int delta = snap.servers[i] - current_servers_[i];
+      available_[i] =
+          clamp_int(available_[i] + delta, 1, options_.max_servers_per_tier);
+      current_servers_[i] = snap.servers[i];
+      reason = "fault";
+    }
   }
 
   // Drift: windowed mean outside the hysteresis band of the planned rate.
@@ -187,6 +206,14 @@ sim::ManagementDecision OnlineController::on_window(
       sla_bad = true;
   }
   sla_streak_ = sla_bad ? sla_streak_ + 1 : 0;
+
+  // Stale windows and the re-entry period contribute no trigger
+  // evidence: streaks restart from fresh, trusted samples only.
+  if (stale || reentry_ > 0) {
+    drift_streak_ = 0;
+    sla_streak_ = 0;
+    if (!stale) --reentry_;
+  }
 
   if (cooldown_ > 0) --cooldown_;
   if (reason.empty() && cooldown_ == 0) {
@@ -224,6 +251,11 @@ sim::ManagementDecision OnlineController::on_window(
     cooldown_ = options_.cooldown_windows;
     drift_streak_ = 0;
     sla_streak_ = 0;
+  }
+
+  if (stale) {
+    rec.degraded = true;
+    rec.reason = "telemetry";
   }
 
   // Actuation: every window moves at most max_server_step servers and

@@ -138,8 +138,24 @@ Scenario scenario_from_json(const Json& json) {
   }
 
   if (json.contains("faults"))
-    for (const auto& f : json.at("faults").as_array())
+    for (const auto& f : json.at("faults").as_array()) {
+      require(f.is_object(), "scenario: faults entries must be objects");
+      if (f.string_or("kind", "") == "telemetry-dropout") {
+        require(f.contains("time"),
+                "scenario: telemetry-dropout needs 'time'");
+        require(f.contains("duration"),
+                "scenario: telemetry-dropout needs 'duration'");
+        const double start = f.at("time").as_number();
+        const double duration = f.at("duration").as_number();
+        require(start >= 0.0, "scenario: fault time must be >= 0");
+        require(duration > 0.0,
+                "scenario: telemetry-dropout duration must be positive");
+        s.dropouts.push_back(TelemetryDropout{
+            units::seconds(start), units::seconds(start + duration)});
+        continue;
+      }
       s.faults.push_back(fault_from_json(f));
+    }
 
   if (json.contains("controller"))
     controller_from_json(json.at("controller"), s.controller);

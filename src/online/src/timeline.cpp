@@ -75,6 +75,7 @@ sim::SimConfig compile_scenario(const core::ClusterModel& model,
   cfg.faults = compile_faults(scenario, model);
   cfg.sla_thresholds = compile_sla_thresholds(model);
   cfg.control_period = scenario.window;
+  controller.set_telemetry_dropouts(scenario.dropouts);
   cfg.manage = controller.hook();
   return cfg;
 }

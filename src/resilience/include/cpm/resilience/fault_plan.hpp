@@ -1,0 +1,63 @@
+// Declarative fault plans for FaultingFileSystem (cpm-fault-plan/v1).
+//
+// A plan is a seed plus an ordered list of rules. Each rule matches a
+// filesystem operation (by op name and a path substring) and describes a
+// fault to inject: which kind, how many matching calls to let through
+// first (`after`), how many times to fire (`count`, 0 = forever), and an
+// optional probability < 1 drawn from the plan's seeded stream so the
+// whole injection schedule is a pure function of (plan, call sequence).
+//
+//   {
+//     "schema": "cpm-fault-plan/v1",
+//     "seed": 42,
+//     "rules": [
+//       {"op": "write", "path": "cache", "kind": "eio",
+//        "after": 2, "count": 1},
+//       {"op": "append", "path": ".journal", "kind": "torn",
+//        "probability": 0.25}
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpm/common/json.hpp"
+
+namespace cpm::resilience {
+
+/// What the decorator does to a matched call.
+enum class FaultKind {
+  kEio,         // throw IoError(kTransient), as if the device errored
+  kEnospc,      // throw IoError(kPermanent), as if the disk filled
+  kTorn,        // write/append only a prefix of the bytes, then succeed
+  kRenameFail,  // atomic publish fails after the temp write (transient)
+  kBitFlip,     // flip one bit of the payload, then succeed (reads too)
+};
+
+FaultKind fault_kind_from_name(const std::string& name);
+const char* fault_kind_name(FaultKind kind);
+
+/// One matching rule. `op` is the FileSystem method name ("read",
+/// "write", "append", "remove", "mkdir", "list") or "*" for any; `path`
+/// is a substring match against the call's path ("" matches all).
+struct FaultRule {
+  std::string op = "*";
+  std::string path;
+  FaultKind kind = FaultKind::kEio;
+  std::uint64_t after = 0;        // matching calls to pass through first
+  std::uint64_t count = 0;        // times to fire; 0 = every match
+  double probability = 1.0;       // chance an eligible match fires
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+};
+
+/// Parses a cpm-fault-plan/v1 document. Unknown kinds/ops, bad ranges,
+/// or a wrong schema raise cpm::Error with a field-specific message.
+FaultPlan fault_plan_from_json(const Json& doc);
+
+}  // namespace cpm::resilience

@@ -1,0 +1,57 @@
+// FaultingFileSystem: a FileSystem decorator that injects failures from
+// a declarative FaultPlan, deterministically. Given the same plan and
+// the same sequence of calls, the same faults fire at the same points —
+// probabilistic rules draw from a stream seeded by the plan, never from
+// entropy — so every injected-fault test replays exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpm/common/fs.hpp"
+#include "cpm/common/mutex.hpp"
+#include "cpm/common/rng.hpp"
+#include "cpm/resilience/fault_plan.hpp"
+
+namespace cpm::resilience {
+
+class FaultingFileSystem final : public FileSystem {
+ public:
+  FaultingFileSystem(FileSystem& inner, FaultPlan plan);
+
+  std::string read(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  void write_atomic(const std::string& path,
+                    const std::string& content) override;
+  void append(const std::string& path, const std::string& data) override;
+  void remove(const std::string& path) override;
+  void create_directories(const std::string& path) override;
+  std::vector<std::string> list_files(const std::string& dir) override;
+
+  /// Total faults fired so far (all kinds).
+  std::uint64_t injected() const CPM_EXCLUDES(mutex_);
+
+ private:
+  struct RuleState {
+    std::uint64_t matched = 0;
+    std::uint64_t fired = 0;
+  };
+
+  // Returns the kind to inject for this call, or -1 to pass through.
+  // Throwing kinds are raised here; mangling kinds are returned so the
+  // op can corrupt its payload.
+  int decide(const char* op, const std::string& path) CPM_EXCLUDES(mutex_);
+
+  // Seeded payload mangling for torn writes / bit flips.
+  std::string mangle(int kind, const std::string& data) CPM_EXCLUDES(mutex_);
+
+  FileSystem& inner_;
+  FaultPlan plan_;
+  mutable Mutex mutex_;
+  Rng rng_ CPM_GUARDED_BY(mutex_);
+  std::vector<RuleState> state_ CPM_GUARDED_BY(mutex_);
+  std::uint64_t injected_ CPM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace cpm::resilience

@@ -1,0 +1,70 @@
+// RetryPolicy: bounded exponential backoff with seeded jitter around
+// transient I/O failures. Wraps publish paths (cache stores, journal
+// appends, cpmctl artifact writes) so a flaky device costs latency, not
+// a run. Only IoErrorKind::kTransient is retried — permanent and
+// corrupt failures propagate immediately — and when the attempt budget
+// is exhausted the final IoError keeps the transient kind so callers
+// (cpmctl) can map it onto the transient-exhausted exit code.
+//
+// Determinism: the jitter sequence is a pure function of (seed,
+// attempt); nothing reads the wall clock or entropy. The sleeper is
+// injectable so tests run at full speed and record the pauses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "cpm/common/fs.hpp"
+#include "cpm/common/units.hpp"
+
+namespace cpm::resilience {
+
+struct RetryPolicy {
+  int max_attempts = 4;                // total tries, including the first
+  units::Seconds backoff_base = units::seconds(0.01);
+  double backoff_multiplier = 2.0;
+  units::Seconds backoff_cap = units::seconds(1.0);
+  double jitter = 0.25;                // +/- fraction of each pause
+  std::uint64_t seed = 0;              // jitter stream seed
+};
+
+/// Pause before retry number `attempt` (0-based):
+/// min(base * multiplier^attempt, cap), scaled by a seeded jitter factor
+/// in [1 - jitter, 1 + jitter].
+units::Seconds retry_backoff(const RetryPolicy& policy, int attempt);
+
+/// Blocks the calling thread for `pause` (duration-based; no clock read).
+void default_retry_sleep(units::Seconds pause);
+
+/// Runs `fn`, retrying transient IoErrors per `policy`. `what` names the
+/// operation in the exhaustion message. `sleeper` defaults to a real
+/// sleep; tests inject a recorder.
+template <typename Fn>
+auto with_retry(const RetryPolicy& policy, const std::string& what, Fn&& fn,
+                const std::function<void(units::Seconds)>& sleeper = {})
+    -> decltype(fn()) {
+  int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return fn();
+    } catch (const IoError& e) {
+      if (e.kind() != IoErrorKind::kTransient) throw;
+      if (attempt + 1 >= attempts) {
+        throw IoError(IoErrorKind::kTransient,
+                      what + ": transient I/O failure persisted through " +
+                          std::to_string(attempts) +
+                          " attempts; last error: " + e.what());
+      }
+      units::Seconds pause = retry_backoff(policy, attempt);
+      if (sleeper) {
+        sleeper(pause);
+      } else {
+        default_retry_sleep(pause);
+      }
+    }
+  }
+}
+
+}  // namespace cpm::resilience

@@ -1,0 +1,151 @@
+#include "cpm/resilience/faulting_fs.hpp"
+
+#include <algorithm>
+
+namespace cpm::resilience {
+
+namespace {
+
+constexpr int kPass = -1;
+
+[[noreturn]] void throw_injected(FaultKind kind, const char* op,
+                                 const std::string& path) {
+  IoErrorKind io_kind = kind == FaultKind::kEnospc ? IoErrorKind::kPermanent
+                                                   : IoErrorKind::kTransient;
+  throw IoError(io_kind, std::string("injected ") + fault_kind_name(kind) +
+                             " on " + op + " '" + path + "' (" +
+                             io_error_kind_name(io_kind) + ")");
+}
+
+}  // namespace
+
+FaultingFileSystem::FaultingFileSystem(FileSystem& inner, FaultPlan plan)
+    : inner_(inner), plan_(std::move(plan)), rng_(plan_.seed) {
+  state_.resize(plan_.rules.size());
+}
+
+int FaultingFileSystem::decide(const char* op, const std::string& path) {
+  MutexLock lock(mutex_);
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (rule.op != "*" && rule.op != op) continue;
+    if (!rule.path.empty() && path.find(rule.path) == std::string::npos) {
+      continue;
+    }
+    RuleState& st = state_[i];
+    ++st.matched;
+    if (st.matched <= rule.after) continue;
+    if (rule.count != 0 && st.fired >= rule.count) continue;
+    if (rule.probability < 1.0 && rng_.uniform01() >= rule.probability) {
+      continue;
+    }
+    ++st.fired;
+    ++injected_;
+    return static_cast<int>(plan_.rules[i].kind);
+  }
+  return kPass;
+}
+
+std::string FaultingFileSystem::mangle(int kind, const std::string& data) {
+  MutexLock lock(mutex_);
+  if (data.empty()) return data;
+  if (kind == static_cast<int>(FaultKind::kTorn)) {
+    // Keep a strict prefix: at least zero bytes, at most size-1.
+    std::size_t keep = static_cast<std::size_t>(rng_.below(data.size()));
+    return data.substr(0, keep);
+  }
+  // Bit flip: one seeded bit anywhere in the payload.
+  std::string out = data;
+  std::uint64_t bit = rng_.below(static_cast<std::uint64_t>(out.size()) * 8);
+  out[static_cast<std::size_t>(bit / 8)] ^=
+      static_cast<char>(1u << (bit % 8));
+  return out;
+}
+
+std::string FaultingFileSystem::read(const std::string& path) {
+  int kind = decide("read", path);
+  if (kind == static_cast<int>(FaultKind::kBitFlip)) {
+    return mangle(kind, inner_.read(path));
+  }
+  if (kind == static_cast<int>(FaultKind::kTorn)) {
+    return mangle(kind, inner_.read(path));
+  }
+  if (kind != kPass) {
+    throw_injected(static_cast<FaultKind>(kind), "read", path);
+  }
+  return inner_.read(path);
+}
+
+bool FaultingFileSystem::exists(const std::string& path) {
+  // Existence probes are never faulted: every interesting failure mode
+  // shows up on the read/write that follows.
+  return inner_.exists(path);
+}
+
+void FaultingFileSystem::write_atomic(const std::string& path,
+                                      const std::string& content) {
+  int kind = decide("write", path);
+  if (kind == static_cast<int>(FaultKind::kTorn) ||
+      kind == static_cast<int>(FaultKind::kBitFlip)) {
+    // The publish "succeeds" but the visible bytes are damaged — the
+    // shape a torn rename or silent media corruption leaves behind.
+    inner_.write_atomic(path, mangle(kind, content));
+    return;
+  }
+  if (kind == static_cast<int>(FaultKind::kRenameFail)) {
+    // Temp write happened, the rename did not: target is untouched.
+    throw_injected(FaultKind::kRenameFail, "write", path);
+  }
+  if (kind != kPass) {
+    throw_injected(static_cast<FaultKind>(kind), "write", path);
+  }
+  inner_.write_atomic(path, content);
+}
+
+void FaultingFileSystem::append(const std::string& path,
+                                const std::string& data) {
+  int kind = decide("append", path);
+  if (kind == static_cast<int>(FaultKind::kTorn) ||
+      kind == static_cast<int>(FaultKind::kBitFlip)) {
+    // Partial/corrupt bytes reach the file and the call reports success:
+    // the journal's per-record checksums must catch this at replay.
+    inner_.append(path, mangle(kind, data));
+    return;
+  }
+  if (kind != kPass) {
+    throw_injected(static_cast<FaultKind>(kind), "append", path);
+  }
+  inner_.append(path, data);
+}
+
+void FaultingFileSystem::remove(const std::string& path) {
+  int kind = decide("remove", path);
+  if (kind != kPass) {
+    throw_injected(static_cast<FaultKind>(kind), "remove", path);
+  }
+  inner_.remove(path);
+}
+
+void FaultingFileSystem::create_directories(const std::string& path) {
+  int kind = decide("mkdir", path);
+  if (kind != kPass) {
+    throw_injected(static_cast<FaultKind>(kind), "mkdir", path);
+  }
+  inner_.create_directories(path);
+}
+
+std::vector<std::string> FaultingFileSystem::list_files(
+    const std::string& dir) {
+  int kind = decide("list", dir);
+  if (kind != kPass) {
+    throw_injected(static_cast<FaultKind>(kind), "list", dir);
+  }
+  return inner_.list_files(dir);
+}
+
+std::uint64_t FaultingFileSystem::injected() const {
+  MutexLock lock(mutex_);
+  return injected_;
+}
+
+}  // namespace cpm::resilience

@@ -1,0 +1,38 @@
+#include "cpm/resilience/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "cpm/common/rng.hpp"
+
+namespace cpm::resilience {
+
+units::Seconds retry_backoff(const RetryPolicy& policy, int attempt) {
+  double base = std::max(0.0, policy.backoff_base.value());
+  double mult = std::max(1.0, policy.backoff_multiplier);
+  double pause = base;
+  for (int i = 0; i < attempt; ++i) {
+    pause *= mult;
+    if (pause >= policy.backoff_cap.value()) break;
+  }
+  pause = std::min(pause, std::max(0.0, policy.backoff_cap.value()));
+  double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter > 0.0) {
+    // One SplitMix64 step per (seed, attempt) pair: deterministic and
+    // independent of how many other retries the process has run.
+    SplitMix64 mix(policy.seed +
+                   0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(
+                                               attempt + 1));
+    double u = static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+    pause *= 1.0 - jitter + 2.0 * jitter * u;
+  }
+  return units::seconds(pause);
+}
+
+void default_retry_sleep(units::Seconds pause) {
+  if (pause.value() <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(pause.value()));
+}
+
+}  // namespace cpm::resilience

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cpm/common/mutex.hpp"
 #include "cpm/common/stats.hpp"
+#include "cpm/common/units.hpp"
 #include "cpm/sim/simulator.hpp"
 
 namespace cpm::sim {
@@ -38,12 +40,46 @@ class ReplicationProgress {
   std::uint64_t events_fired_ CPM_GUARDED_BY(mutex_) = 0;
 };
 
+/// Everything the replicate() aggregation needs from one finished
+/// replication, flattened so a checkpoint layer (cpm::resilience's run
+/// journal, wired up in cpmctl) can persist it and restore it verbatim
+/// after a crash. Doubles round-trip exactly through the JSON journal,
+/// so a resumed aggregate is bit-identical to an uninterrupted one.
+struct RepClassSummary {
+  units::Seconds mean_e2e_delay;
+  units::Seconds p95_e2e_delay;
+  units::Joules mean_e2e_energy;
+  double blocking_probability = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t blocked = 0;
+};
+
+struct RepSummary {
+  std::vector<RepClassSummary> classes;
+  units::Seconds mean_e2e_delay;
+  units::Watts cluster_avg_power;
+  std::vector<double> station_utilization;
+  std::uint64_t events_fired = 0;
+};
+
+/// Flattens one simulation result into its aggregation summary.
+RepSummary summarize_replication(const SimResult& result);
+
 struct ReplicationOptions {
   int replications = 10;
   int threads = 0;         ///< 0 = std::thread::hardware_concurrency()
   double confidence = 0.95;
   /// Optional progress observer; must outlive the replicate() call.
   ReplicationProgress* progress = nullptr;
+  /// Resume hook: called once per replication index before simulating.
+  /// Returning true (and filling the summary) marks the replication as
+  /// already done — the simulation is skipped and the stored summary
+  /// feeds the aggregate. The sim layer stays I/O-free: persistence
+  /// lives with the caller (see cpmctl simulate --journal/--resume).
+  std::function<bool(std::size_t, RepSummary&)> restore;
+  /// Checkpoint hook: called from pool workers as each simulated
+  /// replication finishes (not for restored ones). Must be thread-safe.
+  std::function<void(std::size_t, const RepSummary&)> checkpoint;
 };
 
 struct ReplicatedClassResult {
@@ -61,6 +97,7 @@ struct ReplicatedResult {
   ConfidenceInterval cluster_avg_power;
   std::vector<ConfidenceInterval> station_utilization;
   int replications = 0;
+  std::size_t restored = 0;  ///< replications served by the restore hook
   std::uint64_t total_events = 0;
   /// Worker threads the run actually used: min(requested or hardware
   /// concurrency, replications) — never one thread per replication, so

@@ -9,9 +9,13 @@
 // every stale entry at once because the salt participates in the key.
 //
 // Layout: <dir>/<key[0:2]>/<key>.json, each entry a small JSON object
-// {"engine", "key", "pipeline", "result"}. Writes go through a temp file
-// plus atomic rename, so concurrent sweeps sharing a cache directory can
-// only ever observe complete entries.
+// {"engine", "key", "pipeline", "result", "sum"} where "sum" is the
+// SHA-256 of the compact result serialisation. All I/O goes through the
+// cpm::FileSystem seam: writes are atomic (temp + rename) and retried
+// per the configured RetryPolicy; a store that still fails degrades to a
+// counted no-op (the sweep recomputes next time) instead of aborting the
+// run. Reads treat every failure — unreadable file, torn JSON, checksum
+// mismatch, foreign entry — as a miss, never as an error.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +23,10 @@
 #include <optional>
 #include <string>
 
+#include "cpm/common/fs.hpp"
 #include "cpm/common/json.hpp"
 #include "cpm/common/mutex.hpp"
+#include "cpm/resilience/retry.hpp"
 
 namespace cpm::sweep {
 
@@ -34,6 +40,11 @@ struct CacheOptions {
   std::string engine_salt = kEngineSalt;
   /// false = never read or write (every point recomputes).
   bool enabled = true;
+  /// Filesystem the cache talks to; null = cpm::real_filesystem().
+  /// Non-owning — tests inject a FaultingFileSystem.
+  FileSystem* fs = nullptr;
+  /// Retry policy around entry publication.
+  resilience::RetryPolicy retry;
 };
 
 /// Aggregate statistics over a cache directory (`cpmctl sweep stat`).
@@ -48,10 +59,11 @@ struct CacheStats {
 /// per-instance (not per-directory): two sweeps sharing a directory each
 /// see only their own traffic.
 struct CacheActivity {
-  std::uint64_t loads = 0;   ///< load() calls while enabled
-  std::uint64_t hits = 0;    ///< loads that returned a result
-  std::uint64_t misses = 0;  ///< loads that returned nullopt
-  std::uint64_t stores = 0;  ///< entries published
+  std::uint64_t loads = 0;           ///< load() calls while enabled
+  std::uint64_t hits = 0;            ///< loads that returned a result
+  std::uint64_t misses = 0;          ///< loads that returned nullopt
+  std::uint64_t stores = 0;          ///< entries published
+  std::uint64_t store_failures = 0;  ///< stores abandoned after retries
 };
 
 class ResultCache {
@@ -64,11 +76,15 @@ class ResultCache {
   [[nodiscard]] std::string path_for(const std::string& key) const;
 
   /// Returns the cached result for `key`, or nullopt on miss. Unreadable
-  /// or corrupt entries (truncated writes from a killed process, foreign
-  /// files) are treated as misses, never as errors.
+  /// or corrupt entries (truncated writes from a killed process, bit
+  /// flips caught by the "sum" checksum, foreign files) are treated as
+  /// misses, never as errors.
   [[nodiscard]] std::optional<Json> load(const std::string& key) const;
 
   /// Persists a point result under `key` (no-op when disabled).
+  /// Transient write failures are retried; a store that still cannot
+  /// publish is dropped and counted in CacheActivity::store_failures —
+  /// a lossy cache is slower, never wrong.
   void store(const std::string& key, const std::string& pipeline_kind,
              const Json& result) const;
 
@@ -83,6 +99,8 @@ class ResultCache {
  private:
   /// Reads and validates the on-disk entry (no counter updates).
   [[nodiscard]] std::optional<Json> read_entry(const std::string& key) const;
+
+  [[nodiscard]] FileSystem& filesystem() const;
 
   CacheOptions options_;
   mutable Mutex mutex_;

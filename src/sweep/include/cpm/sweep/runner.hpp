@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cpm/common/json.hpp"
+#include "cpm/resilience/journal.hpp"
 #include "cpm/sweep/cache.hpp"
 #include "cpm/sweep/spec.hpp"
 
@@ -41,12 +42,24 @@ struct RunOptions {
   ShardSpec shard;
   CacheOptions cache;
   unsigned threads = 0;  ///< 0 = hardware concurrency
+  /// When non-empty, every completed point (computed or cache-served) is
+  /// appended to this cpm-journal/v1 file as it finishes, so a killed
+  /// run can be resumed without recomputing finished work. The journal
+  /// shares the cache's FileSystem and retry policy.
+  std::string journal_path;
+  /// Replay `journal_path` before running: points with a valid journal
+  /// record are restored verbatim (zero recomputation), the rest run
+  /// normally. The final document is byte-identical to an uninterrupted
+  /// run. A journal from a different sweep (spec_hash/engine/shard
+  /// mismatch) raises IoError(kCorrupt).
+  bool resume = false;
 };
 
 /// Volatile provenance of one executed point (stats sidecar only).
 struct PointStats {
   std::size_t index = 0;
   bool cached = false;
+  bool restored = false;  ///< served from the resume journal
   double wall_seconds = 0.0;
 };
 
@@ -55,6 +68,8 @@ struct RunStats {
   std::size_t shard_points = 0;  ///< points this shard owns
   std::size_t computed = 0;
   std::size_t cache_hits = 0;
+  std::size_t restored = 0;         ///< points restored from the journal
+  std::size_t journal_dropped = 0;  ///< torn/corrupt journal lines skipped
   double wall_seconds = 0.0;
   unsigned threads_used = 1;
   std::vector<PointStats> points;

@@ -1,16 +1,11 @@
 #include "cpm/sweep/cache.hpp"
 
-#include <atomic>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "cpm/common/error.hpp"
+#include "cpm/common/hash.hpp"
 
 namespace cpm::sweep {
-
-namespace fs = std::filesystem;
 
 std::string default_cache_dir() {
   // The cache location changes where results are stored, never what they
@@ -23,6 +18,10 @@ std::string default_cache_dir() {
 
 ResultCache::ResultCache(CacheOptions options) : options_(std::move(options)) {
   if (options_.directory.empty()) options_.directory = default_cache_dir();
+}
+
+FileSystem& ResultCache::filesystem() const {
+  return options_.fs != nullptr ? *options_.fs : real_filesystem();
 }
 
 std::string ResultCache::path_for(const std::string& key) const {
@@ -42,18 +41,24 @@ std::optional<Json> ResultCache::load(const std::string& key) const {
 }
 
 std::optional<Json> ResultCache::read_entry(const std::string& key) const {
-  std::ifstream in(path_for(key));
-  if (!in) return std::nullopt;
-  std::ostringstream ss;
-  ss << in.rdbuf();
+  std::string text;
   try {
-    const Json entry = Json::parse(ss.str());
+    text = filesystem().read(path_for(key));
+  } catch (const IoError&) {
+    return std::nullopt;  // unreadable entry == miss
+  }
+  try {
+    const Json entry = Json::parse(text);
     // Defence in depth: the salt already participates in the key, but a
     // hand-edited or foreign file must still never be served.
     if (entry.string_or("engine", "") != options_.engine_salt)
       return std::nullopt;
     if (entry.string_or("key", "") != key) return std::nullopt;
     if (!entry.contains("result")) return std::nullopt;
+    // The result checksum catches silent corruption (bit flips) that
+    // still parses as JSON.
+    if (entry.string_or("sum", "") != sha256_hex(entry.at("result").dump()))
+      return std::nullopt;
     return entry.at("result");
   } catch (const Error&) {
     return std::nullopt;  // truncated or corrupt entry == miss
@@ -69,31 +74,20 @@ void ResultCache::store(const std::string& key,
   entry["key"] = Json(key);
   entry["pipeline"] = Json(pipeline_kind);
   entry["result"] = result;
-
-  const fs::path target = path_for(key);
-  std::error_code ec;
-  fs::create_directories(target.parent_path(), ec);
-  if (ec)
-    throw Error("sweep cache: cannot create '" +
-                target.parent_path().string() + "': " + ec.message());
-
-  // Unique temp name per writer, then atomic rename: concurrent sweeps
-  // sharing the directory never observe a half-written entry.
-  static std::atomic<unsigned long long> counter{0};
-  const fs::path tmp =
-      target.parent_path() /
-      (key + ".tmp." + std::to_string(counter.fetch_add(1)) + "." +
-       std::to_string(static_cast<unsigned long long>(
-           std::hash<std::string>{}(options_.directory))));
-  {
-    std::ofstream out(tmp);
-    if (!out) throw Error("sweep cache: cannot write '" + tmp.string() + "'");
-    out << Json(std::move(entry)).dump(2) << '\n';
-  }
-  fs::rename(tmp, target, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    throw Error("sweep cache: cannot publish '" + target.string() + "'");
+  entry["sum"] = Json(sha256_hex(result.dump()));
+  const std::string path = path_for(key);
+  const std::string content = Json(std::move(entry)).dump(2) + "\n";
+  try {
+    resilience::with_retry(
+        options_.retry, "sweep cache store '" + path + "'",
+        [&] { filesystem().write_atomic(path, content); });
+  } catch (const IoError&) {
+    // Publication failed even after retries. The cache is an
+    // accelerator, not a ledger: drop the entry, count the failure, and
+    // let a future run recompute the point.
+    const MutexLock lock(mutex_);
+    ++activity_.store_failures;
+    return;
   }
   const MutexLock lock(mutex_);
   ++activity_.stores;
@@ -106,21 +100,20 @@ CacheActivity ResultCache::activity() const {
 
 CacheStats ResultCache::stat() const {
   CacheStats stats;
-  std::error_code ec;
-  if (!fs::exists(options_.directory, ec)) return stats;
-  for (const auto& entry : fs::recursive_directory_iterator(
-           options_.directory, fs::directory_options::skip_permission_denied)) {
-    if (!entry.is_regular_file()) continue;
-    if (entry.path().extension() != ".json") continue;
-    std::ifstream in(entry.path());
-    if (!in) continue;
-    std::ostringstream ss;
-    ss << in.rdbuf();
+  FileSystem& fs = filesystem();
+  for (const std::string& path : fs.list_files(options_.directory)) {
+    if (path.size() < 5 || path.substr(path.size() - 5) != ".json") continue;
+    std::string text;
     try {
-      const Json doc = Json::parse(ss.str());
+      text = fs.read(path);
+    } catch (const IoError&) {
+      continue;
+    }
+    try {
+      const Json doc = Json::parse(text);
       if (!doc.contains("key") || !doc.contains("result")) continue;
       stats.entries += 1;
-      stats.bytes += static_cast<std::uint64_t>(entry.file_size());
+      stats.bytes += static_cast<std::uint64_t>(text.size());
       stats.by_pipeline[doc.string_or("pipeline", "?")] += 1;
       stats.by_engine[doc.string_or("engine", "?")] += 1;
     } catch (const Error&) {

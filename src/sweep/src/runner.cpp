@@ -112,6 +112,7 @@ RunResult run_sweep(const SweepSpec& spec, const RunOptions& options) {
   const std::size_t total = grid_size(spec.axes);
   const ResultCache cache(options.cache);
   const std::string& salt = cache.options().engine_salt;
+  const std::string fingerprint = spec_hash(spec, salt);
 
   struct PendingPoint {
     std::size_t index;
@@ -120,6 +121,7 @@ RunResult run_sweep(const SweepSpec& spec, const RunOptions& options) {
     std::uint64_t seed;
     Json result;
     bool cached = false;
+    bool restored = false;
     double wall_seconds = 0.0;
   };
   std::vector<PendingPoint> owned;
@@ -133,21 +135,93 @@ RunResult run_sweep(const SweepSpec& spec, const RunOptions& options) {
     owned.push_back(std::move(p));
   }
 
+  RunStats stats;
+  stats.total_points = total;
+  stats.shard_points = owned.size();
+
+  // Crash-safe journal: replay the survivor on --resume, then append
+  // every completion so a later resume starts from here.
+  FileSystem& fs = options.cache.fs != nullptr ? *options.cache.fs
+                                               : real_filesystem();
+  std::unique_ptr<resilience::RunJournal> journal;
+  if (!options.journal_path.empty()) {
+    journal = std::make_unique<resilience::RunJournal>(
+        fs, options.journal_path, options.cache.retry);
+    bool continuing = false;
+    if (options.resume) {
+      const resilience::JournalReplay replay =
+          resilience::RunJournal::replay(fs, options.journal_path);
+      stats.journal_dropped = replay.dropped;
+      if (replay.found && !replay.header.is_null()) {
+        const Json& h = replay.header;
+        if (h.string_or("schema", "") != "cpm-journal/v1" ||
+            h.string_or("kind", "") != "sweep" ||
+            h.string_or("spec_hash", "") != fingerprint ||
+            h.string_or("engine", "") != salt ||
+            static_cast<int>(h.number_or("shard_index", 0)) !=
+                options.shard.index ||
+            static_cast<int>(h.number_or("shard_count", 0)) !=
+                options.shard.count) {
+          throw IoError(IoErrorKind::kCorrupt,
+                        "sweep resume: journal '" + options.journal_path +
+                            "' belongs to a different sweep or shard "
+                            "(header mismatch)");
+        }
+        continuing = true;
+        // Index completed points by grid index; the key must also match
+        // (defence in depth against a reused journal path).
+        std::map<std::size_t, const Json*> by_index;
+        for (const Json& rec : replay.records) {
+          by_index[static_cast<std::size_t>(rec.number_or("index", -1.0))] =
+              &rec;
+        }
+        for (PendingPoint& p : owned) {
+          auto it = by_index.find(p.index);
+          if (it == by_index.end()) continue;
+          if (it->second->string_or("key", "") != p.key) continue;
+          if (!it->second->contains("result")) continue;
+          p.result = it->second->at("result");
+          p.restored = true;
+          ++stats.restored;
+        }
+      }
+    }
+    if (!continuing) {
+      JsonObject header;
+      header["schema"] = Json("cpm-journal/v1");
+      header["kind"] = Json("sweep");
+      header["spec_hash"] = Json(fingerprint);
+      header["engine"] = Json(salt);
+      header["shard_index"] = Json(options.shard.index);
+      header["shard_count"] = Json(options.shard.count);
+      header["seed"] = Json(static_cast<double>(spec.seed));
+      journal->begin(Json(std::move(header)));
+    }
+  }
+
+  auto journal_point = [&](const PendingPoint& p) {
+    if (journal == nullptr) return;
+    JsonObject rec;
+    rec["index"] = Json(static_cast<double>(p.index));
+    rec["key"] = Json(p.key);
+    rec["result"] = p.result;
+    journal->append(Json(std::move(rec)));
+  };
+
   // Serve cache hits serially (cheap file reads), collect the misses.
   std::vector<std::size_t> misses;
   for (std::size_t j = 0; j < owned.size(); ++j) {
+    if (owned[j].restored) continue;
     if (auto hit = cache.load(owned[j].key)) {
       owned[j].result = *hit;
       owned[j].cached = true;
+      journal_point(owned[j]);
     } else {
       misses.push_back(j);
     }
   }
 
-  RunStats stats;
-  stats.total_points = total;
-  stats.shard_points = owned.size();
-  stats.cache_hits = owned.size() - misses.size();
+  stats.cache_hits = owned.size() - misses.size() - stats.restored;
   stats.computed = misses.size();
 
   if (!misses.empty()) {
@@ -158,10 +232,10 @@ RunResult run_sweep(const SweepSpec& spec, const RunOptions& options) {
           p.result = run_point(spec, model.get(), p.params, p.seed);
           p.wall_seconds = elapsed_seconds(t_point);
           cache.store(p.key, kind, p.result);
+          journal_point(p);
         });
   }
 
-  const std::string fingerprint = spec_hash(spec, salt);
   JsonObject doc;
   doc["schema"] = Json("cpm-sweep/v1");
   doc["name"] = Json(spec.name);
@@ -189,7 +263,8 @@ RunResult run_sweep(const SweepSpec& spec, const RunOptions& options) {
     pj["seed"] = Json(static_cast<double>(p.seed));
     pj["result"] = p.result;
     points.push_back(Json(std::move(pj)));
-    stats.points.push_back(PointStats{p.index, p.cached, p.wall_seconds});
+    stats.points.push_back(
+        PointStats{p.index, p.cached, p.restored, p.wall_seconds});
   }
   doc["points"] = Json(std::move(points));
 
@@ -272,6 +347,8 @@ Json stats_to_json(const RunStats& stats) {
   doc["shard_points"] = Json(static_cast<double>(stats.shard_points));
   doc["computed"] = Json(static_cast<double>(stats.computed));
   doc["cache_hits"] = Json(static_cast<double>(stats.cache_hits));
+  doc["restored"] = Json(static_cast<double>(stats.restored));
+  doc["journal_dropped"] = Json(static_cast<double>(stats.journal_dropped));
   doc["cache_hit_rate"] =
       Json(stats.shard_points == 0
                ? 0.0
@@ -284,6 +361,7 @@ Json stats_to_json(const RunStats& stats) {
     JsonObject pj;
     pj["index"] = Json(static_cast<double>(p.index));
     pj["cached"] = Json(p.cached);
+    pj["restored"] = Json(p.restored);
     pj["wall_seconds"] = Json(p.wall_seconds);
     points.push_back(Json(std::move(pj)));
   }

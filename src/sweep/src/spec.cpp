@@ -1,10 +1,9 @@
 #include "cpm/sweep/spec.hpp"
 
 #include <cmath>
-#include <fstream>
-#include <sstream>
 
 #include "cpm/common/error.hpp"
+#include "cpm/common/fs.hpp"
 
 namespace cpm::sweep {
 
@@ -28,11 +27,9 @@ std::string axis_kind_name(Axis::Kind kind) {
 }
 
 std::string read_file_text(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw Error("sweep: cannot open referenced file '" + path + "'");
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  // Through the I/O seam: fault plans can hit referenced-model loads,
+  // and the IoError classification reaches cpmctl's exit taxonomy.
+  return real_filesystem().read(path);
 }
 
 /// Resolves `file_key` ("model_file" / "scenario_file") in `object` into

@@ -1,0 +1,147 @@
+// Telemetry-dropout degradation: when the sensors go dark the controller
+// must hold the last known-good plan (no re-plans, estimators frozen),
+// mark the blind windows degraded with reason "telemetry", and re-enter
+// normal operation hysteretically — the first windows after telemetry
+// returns re-warm the estimators but keep drift/SLA triggers suppressed.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cpm/common/error.hpp"
+#include "cpm/core/cpm.hpp"
+#include "cpm/online/scenario.hpp"
+#include "cpm/online/timeline.hpp"
+
+namespace cpm::online {
+namespace {
+
+constexpr double kDropStart = 200.0;
+constexpr double kDropEnd = 300.0;
+constexpr double kWindow = 10.0;
+
+Scenario dropout_scenario() {
+  // A strong mid-run step lands entirely inside the blind interval; the
+  // controller must not answer it until telemetry returns.
+  return scenario_from_json_text(R"({
+    "schema": "cpm-scenario/v1",
+    "horizon": 600, "window": 10, "seed": 20110516,
+    "arrivals": [
+      {"class": "bronze", "kind": "step", "at": 230, "factor": 1.9}
+    ],
+    "faults": [
+      {"time": 200, "kind": "telemetry-dropout", "duration": 100}
+    ],
+    "controller": {"size_servers": false, "levels": 7,
+                   "drift_windows": 2, "cooldown_windows": 1,
+                   "hysteresis": 0.15}
+  })");
+}
+
+// The controller treats a window as stale when start <= t < end.
+bool in_dropout(double time) { return time >= kDropStart && time < kDropEnd; }
+
+TEST(TelemetryDropout, ScenarioParsesDropoutsSeparatelyFromClusterFaults) {
+  const auto scenario = dropout_scenario();
+  ASSERT_EQ(scenario.dropouts.size(), 1u);
+  EXPECT_DOUBLE_EQ(scenario.dropouts[0].start.value(), kDropStart);
+  EXPECT_DOUBLE_EQ(scenario.dropouts[0].end.value(), kDropEnd);
+  // The dropout never reaches the simulator's fault schedule.
+  EXPECT_TRUE(scenario.faults.empty());
+  const auto model = core::make_enterprise_model(0.8);
+  EXPECT_TRUE(compile_faults(scenario, model).empty());
+}
+
+TEST(TelemetryDropout, RejectsMalformedDropoutEntries) {
+  EXPECT_THROW(scenario_from_json_text(R"({
+    "schema": "cpm-scenario/v1",
+    "faults": [{"time": 200, "kind": "telemetry-dropout"}]
+  })"),
+               Error);  // missing duration
+  EXPECT_THROW(scenario_from_json_text(R"({
+    "schema": "cpm-scenario/v1",
+    "faults": [{"time": 200, "kind": "telemetry-dropout",
+                "duration": -5}]
+  })"),
+               Error);
+}
+
+TEST(TelemetryDropout, HoldsPlanAndMarksWindowsDegraded) {
+  const auto model = core::make_enterprise_model(0.85);
+  const auto result = run_online(model, dropout_scenario());
+  ASSERT_FALSE(result.windows.empty());
+
+  std::size_t blind = 0;
+  for (const auto& rec : result.windows) {
+    if (!in_dropout(rec.time)) continue;
+    ++blind;
+    // No re-plan while blind, whatever the (unseen) traffic does.
+    EXPECT_FALSE(rec.reoptimized) << "replanned at t=" << rec.time;
+    EXPECT_TRUE(rec.degraded) << "window at t=" << rec.time;
+    EXPECT_EQ(rec.reason, "telemetry") << "window at t=" << rec.time;
+  }
+  EXPECT_EQ(blind, static_cast<std::size_t>((kDropEnd - kDropStart) / kWindow));
+
+  // Outside the dropout no window carries the telemetry reason.
+  for (const auto& rec : result.windows) {
+    if (!in_dropout(rec.time)) {
+      EXPECT_NE(rec.reason, "telemetry");
+    }
+  }
+}
+
+TEST(TelemetryDropout, EstimatorsAreNotFedWhileBlind) {
+  const auto model = core::make_enterprise_model(0.85);
+  const auto result = run_online(model, dropout_scenario());
+
+  // The EWMA estimate is frozen across every blind window: the step at
+  // t=230 moves the measured rates but must not move the estimate until
+  // telemetry returns.
+  const WindowRecord* before = nullptr;
+  for (const auto& rec : result.windows) {
+    if (rec.time < kDropStart) before = &rec;
+    if (!in_dropout(rec.time) || before == nullptr) continue;
+    for (std::size_t k = 0; k < rec.ewma_rate.size(); ++k) {
+      EXPECT_DOUBLE_EQ(rec.ewma_rate[k], before->ewma_rate[k])
+          << "class " << k << " estimate moved at t=" << rec.time;
+    }
+  }
+  ASSERT_NE(before, nullptr);
+}
+
+TEST(TelemetryDropout, ReentryIsHystereticThenAnswersTheStep) {
+  const auto model = core::make_enterprise_model(0.85);
+  const auto scenario = dropout_scenario();
+  const auto result = run_online(model, scenario);
+
+  // For drift_windows windows after telemetry returns, drift/SLA triggers
+  // stay suppressed while the estimators re-warm.
+  const double reentry_end =
+      kDropEnd + scenario.controller.drift_windows * kWindow;
+  for (const auto& rec : result.windows) {
+    if (rec.time < kDropEnd || rec.time > reentry_end) continue;
+    EXPECT_FALSE(rec.reoptimized && (rec.reason == "drift" ||
+                                     rec.reason == "sla"))
+        << "spurious first-sample replan at t=" << rec.time;
+  }
+
+  // But the step is real and persistent, so the controller does answer
+  // it shortly after the hysteresis clears.
+  bool answered = false;
+  for (const auto& rec : result.windows)
+    if (rec.time > reentry_end && rec.time <= reentry_end + 6.0 * kWindow &&
+        rec.reoptimized)
+      answered = true;
+  EXPECT_TRUE(answered) << "step inside the dropout was never answered";
+}
+
+TEST(TelemetryDropout, RunIsDeterministic) {
+  const auto model = core::make_enterprise_model(0.85);
+  const auto a = run_online(model, dropout_scenario());
+  const auto b = run_online(model, dropout_scenario());
+  EXPECT_EQ(a.timeline.dump(), b.timeline.dump());
+}
+
+}  // namespace
+}  // namespace cpm::online

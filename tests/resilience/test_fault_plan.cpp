@@ -1,0 +1,77 @@
+#include "cpm/resilience/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cpm/common/error.hpp"
+
+namespace cpm::resilience {
+namespace {
+
+Json parse(const std::string& text) { return Json::parse(text); }
+
+TEST(FaultPlan, ParsesFullDocument) {
+  const auto plan = fault_plan_from_json(parse(R"({
+    "schema": "cpm-fault-plan/v1",
+    "seed": 42,
+    "rules": [
+      {"op": "write", "path": "cache", "kind": "eio", "after": 2, "count": 1},
+      {"op": "append", "path": ".journal", "kind": "torn",
+       "probability": 0.25}
+    ]
+  })"));
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.rules.size(), 2u);
+  EXPECT_EQ(plan.rules[0].op, "write");
+  EXPECT_EQ(plan.rules[0].kind, FaultKind::kEio);
+  EXPECT_EQ(plan.rules[0].after, 2u);
+  EXPECT_EQ(plan.rules[0].count, 1u);
+  EXPECT_DOUBLE_EQ(plan.rules[0].probability, 1.0);
+  EXPECT_EQ(plan.rules[1].kind, FaultKind::kTorn);
+  EXPECT_DOUBLE_EQ(plan.rules[1].probability, 0.25);
+}
+
+TEST(FaultPlan, DefaultsMatchAnyOpAndPath) {
+  const auto plan = fault_plan_from_json(parse(
+      R"({"schema": "cpm-fault-plan/v1", "rules": [{"kind": "enospc"}]})"));
+  ASSERT_EQ(plan.rules.size(), 1u);
+  EXPECT_EQ(plan.rules[0].op, "*");
+  EXPECT_TRUE(plan.rules[0].path.empty());
+  EXPECT_EQ(plan.rules[0].count, 0u);  // 0 = fire forever
+}
+
+TEST(FaultPlan, RejectsWrongSchema) {
+  EXPECT_THROW(fault_plan_from_json(parse(R"({"schema": "nope"})")), Error);
+}
+
+TEST(FaultPlan, RejectsUnknownKind) {
+  EXPECT_THROW(fault_plan_from_json(parse(
+                   R"({"schema": "cpm-fault-plan/v1",
+                       "rules": [{"kind": "meteor"}]})")),
+               Error);
+}
+
+TEST(FaultPlan, RejectsUnknownOp) {
+  EXPECT_THROW(fault_plan_from_json(parse(
+                   R"({"schema": "cpm-fault-plan/v1",
+                       "rules": [{"op": "chmod", "kind": "eio"}]})")),
+               Error);
+}
+
+TEST(FaultPlan, RejectsProbabilityOutOfRange) {
+  EXPECT_THROW(fault_plan_from_json(parse(
+                   R"({"schema": "cpm-fault-plan/v1",
+                       "rules": [{"kind": "eio", "probability": 1.5}]})")),
+               Error);
+}
+
+TEST(FaultKindNames, RoundTrip) {
+  for (const auto kind :
+       {FaultKind::kEio, FaultKind::kEnospc, FaultKind::kTorn,
+        FaultKind::kRenameFail, FaultKind::kBitFlip}) {
+    EXPECT_EQ(fault_kind_from_name(fault_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(fault_kind_from_name("nope"), Error);
+}
+
+}  // namespace
+}  // namespace cpm::resilience

@@ -1,0 +1,157 @@
+#include "cpm/resilience/faulting_fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+namespace cpm::resilience {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+std::string current_test_name() {
+  return testing::UnitTest::GetInstance()->current_test_info()->name();
+}
+
+FaultRule rule(const std::string& op, const std::string& path,
+               FaultKind kind) {
+  FaultRule r;
+  r.op = op;
+  r.path = path;
+  r.kind = kind;
+  return r;
+}
+
+class FaultingFsTest : public testing::Test {
+ protected:
+  std::string dir_ =
+      testing::TempDir() + "/cpm-faultfs-test-" + current_test_name();
+
+  void SetUp() override { stdfs::remove_all(dir_); }
+  void TearDown() override { stdfs::remove_all(dir_); }
+
+  FaultPlan plan_with(const FaultRule& r, std::uint64_t seed = 1) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.rules = {r};
+    return plan;
+  }
+};
+
+TEST_F(FaultingFsTest, PassesThroughWhenNoRuleMatches) {
+  FaultingFileSystem fs(real_filesystem(),
+                        plan_with(rule("read", "other-file", FaultKind::kEio)));
+  fs.write_atomic(dir_ + "/a", "payload");
+  EXPECT_EQ(fs.read(dir_ + "/a"), "payload");
+  EXPECT_EQ(fs.injected(), 0u);
+}
+
+TEST_F(FaultingFsTest, EioIsTransient) {
+  FaultingFileSystem fs(real_filesystem(),
+                        plan_with(rule("write", "/a", FaultKind::kEio)));
+  try {
+    fs.write_atomic(dir_ + "/a", "x");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kTransient);
+  }
+  EXPECT_EQ(fs.injected(), 1u);
+}
+
+TEST_F(FaultingFsTest, EnospcIsPermanent) {
+  FaultingFileSystem fs(real_filesystem(),
+                        plan_with(rule("append", "", FaultKind::kEnospc)));
+  try {
+    fs.append(dir_ + "/log", "x");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kPermanent);
+  }
+}
+
+TEST_F(FaultingFsTest, AfterSkipsLeadingMatchesAndCountBoundsFiring) {
+  FaultRule r = rule("write", "", FaultKind::kEio);
+  r.after = 1;
+  r.count = 1;
+  FaultingFileSystem fs(real_filesystem(), plan_with(r));
+  EXPECT_NO_THROW(fs.write_atomic(dir_ + "/one", "1"));   // passes (after)
+  EXPECT_THROW(fs.write_atomic(dir_ + "/two", "2"), IoError);  // fires
+  EXPECT_NO_THROW(fs.write_atomic(dir_ + "/three", "3"));  // count spent
+  EXPECT_EQ(fs.injected(), 1u);
+}
+
+TEST_F(FaultingFsTest, TornWritePublishesAPrefix) {
+  const std::string payload = "0123456789abcdef0123456789abcdef";
+  FaultingFileSystem fs(real_filesystem(),
+                        plan_with(rule("write", "", FaultKind::kTorn)));
+  fs.write_atomic(dir_ + "/torn", payload);  // reports success
+  const std::string on_disk = real_filesystem().read(dir_ + "/torn");
+  EXPECT_LT(on_disk.size(), payload.size());
+  EXPECT_EQ(on_disk, payload.substr(0, on_disk.size()));
+}
+
+TEST_F(FaultingFsTest, BitFlipCorruptsExactlyOneBit) {
+  const std::string payload(64, 'A');
+  FaultingFileSystem fs(real_filesystem(),
+                        plan_with(rule("write", "", FaultKind::kBitFlip)));
+  fs.write_atomic(dir_ + "/flip", payload);
+  const std::string on_disk = real_filesystem().read(dir_ + "/flip");
+  ASSERT_EQ(on_disk.size(), payload.size());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    unsigned diff = static_cast<unsigned char>(on_disk[i]) ^
+                    static_cast<unsigned char>(payload[i]);
+    while (diff != 0) {
+      flipped_bits += static_cast<int>(diff & 1u);
+      diff >>= 1u;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+}
+
+TEST_F(FaultingFsTest, RenameFailLeavesTargetUntouched) {
+  real_filesystem().write_atomic(dir_ + "/out", "original");
+  FaultingFileSystem fs(real_filesystem(),
+                        plan_with(rule("write", "/out", FaultKind::kRenameFail)));
+  try {
+    fs.write_atomic(dir_ + "/out", "replacement");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kTransient);
+  }
+  EXPECT_EQ(real_filesystem().read(dir_ + "/out"), "original");
+}
+
+TEST_F(FaultingFsTest, ScheduleIsDeterministicForAGivenSeed) {
+  FaultRule r = rule("write", "", FaultKind::kEio);
+  r.probability = 0.5;
+  const auto fired_pattern = [&](std::uint64_t seed) {
+    FaultingFileSystem fs(real_filesystem(), plan_with(r, seed));
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) {
+      try {
+        fs.write_atomic(dir_ + "/p" + std::to_string(i), "x");
+        pattern += '.';
+      } catch (const IoError&) {
+        pattern += 'X';
+      }
+    }
+    return pattern;
+  };
+  const std::string a = fired_pattern(7);
+  EXPECT_EQ(a, fired_pattern(7));             // same seed: same schedule
+  EXPECT_NE(a, fired_pattern(8));             // different seed: different
+  EXPECT_NE(a.find('X'), std::string::npos);  // some fired
+  EXPECT_NE(a.find('.'), std::string::npos);  // some passed
+}
+
+TEST_F(FaultingFsTest, ExistsIsNeverFaulted) {
+  FaultingFileSystem fs(real_filesystem(),
+                        plan_with(rule("*", "", FaultKind::kEio)));
+  EXPECT_FALSE(fs.exists(dir_ + "/anything"));
+  EXPECT_EQ(fs.injected(), 0u);
+}
+
+}  // namespace
+}  // namespace cpm::resilience

@@ -1,0 +1,129 @@
+#include "cpm/resilience/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace cpm::resilience {
+namespace {
+
+RetryPolicy fast_policy() {
+  RetryPolicy p;
+  p.max_attempts = 4;
+  p.seed = 11;
+  return p;
+}
+
+TEST(WithRetry, SucceedsAfterTransientFailures) {
+  int calls = 0;
+  std::vector<units::Seconds> pauses;
+  const int result = with_retry(
+      fast_policy(), "op",
+      [&] {
+        if (++calls < 3) throw IoError(IoErrorKind::kTransient, "flaky");
+        return 99;
+      },
+      [&](units::Seconds s) { pauses.push_back(s); });
+  EXPECT_EQ(result, 99);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(pauses.size(), 2u);  // one pause per retried failure
+}
+
+TEST(WithRetry, PermanentIsNotRetried) {
+  int calls = 0;
+  EXPECT_THROW(
+      with_retry(
+          fast_policy(), "op",
+          [&]() -> int {
+            ++calls;
+            throw IoError(IoErrorKind::kPermanent, "enoent");
+          },
+          [](units::Seconds) {}),
+      IoError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(WithRetry, CorruptIsNotRetried) {
+  int calls = 0;
+  EXPECT_THROW(
+      with_retry(
+          fast_policy(), "op",
+          [&]() -> int {
+            ++calls;
+            throw IoError(IoErrorKind::kCorrupt, "bad bytes");
+          },
+          [](units::Seconds) {}),
+      IoError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(WithRetry, ExhaustionKeepsTransientKindAndNamesTheOp) {
+  int calls = 0;
+  try {
+    with_retry(
+        fast_policy(), "write 'out.json'",
+        [&]() -> int {
+          ++calls;
+          throw IoError(IoErrorKind::kTransient, "eio");
+        },
+        [](units::Seconds) {});
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kTransient);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("write 'out.json'"), std::string::npos);
+    EXPECT_NE(what.find("persisted through 4 attempts"), std::string::npos);
+    EXPECT_NE(what.find("eio"), std::string::npos);
+  }
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(WithRetry, NonIoErrorsPropagateUntouched) {
+  EXPECT_THROW(with_retry(
+                   fast_policy(), "op",
+                   []() -> int { throw Error("logic bug"); },
+                   [](units::Seconds) {}),
+               Error);
+}
+
+TEST(RetryBackoff, GrowsGeometricallyWithinJitterBounds) {
+  RetryPolicy p = fast_policy();
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const double nominal =
+        std::min(p.backoff_base.value() *
+                     std::pow(p.backoff_multiplier, attempt),
+                 p.backoff_cap.value());
+    const double pause = retry_backoff(p, attempt).value();
+    EXPECT_GE(pause, nominal * (1.0 - p.jitter) - 1e-12);
+    EXPECT_LE(pause, nominal * (1.0 + p.jitter) + 1e-12);
+  }
+}
+
+TEST(RetryBackoff, CapBoundsLateAttempts) {
+  RetryPolicy p = fast_policy();
+  p.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(retry_backoff(p, 50).value(), p.backoff_cap.value());
+}
+
+TEST(RetryBackoff, JitterIsDeterministicPerSeed) {
+  RetryPolicy a = fast_policy();
+  RetryPolicy b = fast_policy();
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_DOUBLE_EQ(retry_backoff(a, attempt).value(),
+                     retry_backoff(b, attempt).value());
+  }
+  RetryPolicy c = fast_policy();
+  c.seed = 12;
+  bool any_differ = false;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    any_differ = any_differ || retry_backoff(a, attempt).value() !=
+                                   retry_backoff(c, attempt).value();
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+}  // namespace
+}  // namespace cpm::resilience

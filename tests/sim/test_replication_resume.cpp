@@ -1,0 +1,182 @@
+// Resume hooks on replicate(): a crash-interrupted run restored from
+// persisted summaries must aggregate bit-identically to an uninterrupted
+// run, checkpoint only what it simulated, and recompute anything the
+// restore layer could not supply.
+#include "cpm/sim/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "cpm/queueing/basic.hpp"
+
+namespace cpm::sim {
+namespace {
+
+using queueing::Discipline;
+using queueing::Visit;
+
+SimConfig base_config() {
+  SimConfig cfg;
+  cfg.stations = {SimStation{"s", 1, Discipline::kFcfs, units::watts(10.0),
+                             units::watts(5.0)}};
+  cfg.classes = {SimClass{"c", units::per_second(0.5),
+                          {Visit{0, Distribution::exponential(1.0)}}}};
+  cfg.warmup_time = 100.0;
+  cfg.end_time = 1100.0;
+  cfg.seed = 42;
+  return cfg;
+}
+
+/// Collects every checkpointed summary, keyed by replication index.
+struct Checkpoints {
+  std::mutex mutex;
+  std::map<std::size_t, RepSummary> by_index;
+
+  std::function<void(std::size_t, const RepSummary&)> hook() {
+    return [this](std::size_t index, const RepSummary& summary) {
+      std::lock_guard<std::mutex> lock(mutex);
+      by_index[index] = summary;
+    };
+  }
+};
+
+TEST(ReplicateResume, CheckpointSeesEverySimulatedReplication) {
+  ReplicationOptions opts;
+  opts.replications = 6;
+  Checkpoints saved;
+  opts.checkpoint = saved.hook();
+  const auto r = replicate(base_config(), opts);
+  EXPECT_EQ(r.restored, 0u);
+  ASSERT_EQ(saved.by_index.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_TRUE(saved.by_index.count(i));
+}
+
+TEST(ReplicateResume, FullRestoreIsBitIdenticalAndSkipsSimulation) {
+  ReplicationOptions first;
+  first.replications = 6;
+  Checkpoints saved;
+  first.checkpoint = saved.hook();
+  const auto gold = replicate(base_config(), first);
+
+  ReplicationOptions resumed;
+  resumed.replications = 6;
+  std::size_t restore_calls = 0;
+  resumed.restore = [&](std::size_t index, RepSummary& out) {
+    ++restore_calls;
+    out = saved.by_index.at(index);
+    return true;
+  };
+  Checkpoints again;
+  resumed.checkpoint = again.hook();
+  const auto r = replicate(base_config(), resumed);
+
+  EXPECT_EQ(restore_calls, 6u);
+  EXPECT_EQ(r.restored, 6u);
+  EXPECT_TRUE(again.by_index.empty());  // nothing simulated, nothing saved
+
+  // The aggregate is bit-identical, not merely close.
+  EXPECT_EQ(r.mean_e2e_delay.mean, gold.mean_e2e_delay.mean);
+  EXPECT_EQ(r.mean_e2e_delay.half_width, gold.mean_e2e_delay.half_width);
+  EXPECT_EQ(r.cluster_avg_power.mean, gold.cluster_avg_power.mean);
+  EXPECT_EQ(r.classes[0].mean_e2e_delay.mean,
+            gold.classes[0].mean_e2e_delay.mean);
+  EXPECT_EQ(r.classes[0].p95_e2e_delay.half_width,
+            gold.classes[0].p95_e2e_delay.half_width);
+  EXPECT_EQ(r.classes[0].blocking_probability.mean,
+            gold.classes[0].blocking_probability.mean);
+  ASSERT_EQ(r.station_utilization.size(), gold.station_utilization.size());
+  EXPECT_EQ(r.station_utilization[0].mean, gold.station_utilization[0].mean);
+  EXPECT_EQ(r.total_events, gold.total_events);
+  EXPECT_EQ(r.classes[0].total_completed, gold.classes[0].total_completed);
+}
+
+TEST(ReplicateResume, PartialRestoreRecomputesOnlyTheMissingReps) {
+  ReplicationOptions first;
+  first.replications = 6;
+  Checkpoints saved;
+  first.checkpoint = saved.hook();
+  const auto gold = replicate(base_config(), first);
+
+  // Pretend the crash lost replications 1 and 4.
+  const std::set<std::size_t> lost = {1, 4};
+  ReplicationOptions resumed;
+  resumed.replications = 6;
+  resumed.restore = [&](std::size_t index, RepSummary& out) {
+    if (lost.count(index)) return false;
+    out = saved.by_index.at(index);
+    return true;
+  };
+  Checkpoints recomputed;
+  resumed.checkpoint = recomputed.hook();
+  const auto r = replicate(base_config(), resumed);
+
+  EXPECT_EQ(r.restored, 4u);
+  // Exactly the lost replications were simulated (and re-checkpointed).
+  ASSERT_EQ(recomputed.by_index.size(), 2u);
+  for (const auto index : lost) {
+    ASSERT_TRUE(recomputed.by_index.count(index));
+    // Seed-substream determinism: the recomputed summary matches what
+    // the first run checkpointed for that index.
+    EXPECT_EQ(recomputed.by_index.at(index).events_fired,
+              saved.by_index.at(index).events_fired);
+    EXPECT_EQ(recomputed.by_index.at(index).mean_e2e_delay.value(),
+              saved.by_index.at(index).mean_e2e_delay.value());
+  }
+  EXPECT_EQ(r.mean_e2e_delay.mean, gold.mean_e2e_delay.mean);
+  EXPECT_EQ(r.total_events, gold.total_events);
+}
+
+TEST(ReplicateResume, WrongShapeRestoredSummaryFallsBackToRecompute) {
+  ReplicationOptions opts;
+  opts.replications = 4;
+  std::size_t offered = 0;
+  opts.restore = [&](std::size_t, RepSummary& out) {
+    ++offered;
+    out = RepSummary{};  // no classes, no stations: not this config's shape
+    return true;
+  };
+  const auto gold = replicate(base_config(), [] {
+    ReplicationOptions o;
+    o.replications = 4;
+    return o;
+  }());
+  const auto r = replicate(base_config(), opts);
+  EXPECT_EQ(offered, 4u);
+  EXPECT_EQ(r.restored, 0u);  // every offer was rejected
+  EXPECT_EQ(r.mean_e2e_delay.mean, gold.mean_e2e_delay.mean);
+  EXPECT_EQ(r.total_events, gold.total_events);
+}
+
+TEST(ReplicateResume, RestoredRunIsIndependentOfThreadCount) {
+  ReplicationOptions first;
+  first.replications = 6;
+  Checkpoints saved;
+  first.checkpoint = saved.hook();
+  replicate(base_config(), first);
+
+  const auto restore = [&](std::size_t index, RepSummary& out) {
+    if (index % 2 == 0) return false;  // half restored, half simulated
+    out = saved.by_index.at(index);
+    return true;
+  };
+  ReplicationOptions serial;
+  serial.replications = 6;
+  serial.threads = 1;
+  serial.restore = restore;
+  ReplicationOptions parallel = serial;
+  parallel.threads = 4;
+  const auto a = replicate(base_config(), serial);
+  const auto b = replicate(base_config(), parallel);
+  EXPECT_EQ(a.restored, 3u);
+  EXPECT_EQ(b.restored, 3u);
+  EXPECT_EQ(a.mean_e2e_delay.mean, b.mean_e2e_delay.mean);
+  EXPECT_EQ(a.total_events, b.total_events);
+}
+
+}  // namespace
+}  // namespace cpm::sim

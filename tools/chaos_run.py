@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Kill-and-resume chaos harness for cpmctl's journaled sweeps.
+
+Proves the crash-safety contract of `cpmctl sweep run --journal/--resume`
+end to end, with real SIGKILLs:
+
+  1. A golden (uninterrupted, cache-disabled) run of the spec records the
+     expected output bytes — per shard, and merged when sharded.
+  2. For each seeded kill point, a fresh journaled run is launched and
+     SIGKILLed after a randomized delay drawn from the harness seed. The
+     surviving journal is parsed (checksummed lines only) to count the
+     work that provably reached disk.
+  3. The run is resumed with --resume until it completes (a resumed run
+     may be killed again at later kill points' discretion — here each
+     kill point resumes once, uninterrupted, which is the property the
+     acceptance gate pins).
+
+Assertions, per kill point:
+  * the final output file is byte-identical to the golden run's;
+  * zero journaled work is recomputed: the resumed run's stats sidecar
+    reports exactly as many `restored` points as the journal held valid
+    point records at kill time;
+  * sharded mode: `cpmctl sweep merge` over the resumed shards is
+    byte-identical to the golden merged document.
+
+The kill schedule is a pure function of --seed, so a failure reproduces
+exactly. Exit 0 when every kill point passes, 1 otherwise.
+
+Usage:
+  tools/chaos_run.py --cpmctl build/tools/cpmctl \\
+      --spec examples/sweeps/e4_energy.json \\
+      --kill-points 20 --shards 2 --seed 7 [--workdir DIR] [--verbose]
+"""
+import argparse
+import hashlib
+import json
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def log(msg: str) -> None:
+    print(f"chaos_run: {msg}", flush=True)
+
+
+def run_cpmctl(cpmctl: str, args: list[str], cwd: Path) -> None:
+    """Runs cpmctl to completion; raises on nonzero exit."""
+    proc = subprocess.run([cpmctl, *args], cwd=cwd,
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"cpmctl {' '.join(args)} exited {proc.returncode}:\n"
+            f"{proc.stdout}{proc.stderr}")
+
+
+def run_and_kill(cpmctl: str, args: list[str], cwd: Path,
+                 delay: float) -> bool:
+    """Launches cpmctl and SIGKILLs it after `delay` seconds. Returns True
+    when the kill landed while the process was still running."""
+    proc = subprocess.Popen([cpmctl, *args], cwd=cwd,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    try:
+        proc.wait(timeout=delay)
+        return False  # finished before the kill point
+    except subprocess.TimeoutExpired:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        return True
+
+
+def valid_journal_points(path: Path) -> int:
+    """Unique valid point records in a journal (header excluded). Mirrors
+    the library's framing: `sum16 <compact-json>` per non-blank line, where
+    sum16 is the first 16 hex digits of the payload's SHA-256. Torn or
+    corrupt lines are skipped, exactly as RunJournal::replay drops them."""
+    if not path.exists():
+        return 0
+    indexes = set()
+    header_seen = False
+    for line in path.read_bytes().decode("utf-8", "replace").split("\n"):
+        if not line:
+            continue
+        if len(line) < 18 or line[16] != " ":
+            continue
+        payload = line[17:]
+        digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        if digest != line[:16]:
+            continue
+        try:
+            record = json.loads(payload)
+        except ValueError:
+            continue
+        if not header_seen:
+            header_seen = True  # first valid record is the run header
+            continue
+        if isinstance(record, dict) and "index" in record:
+            indexes.add(record["index"])
+    return len(indexes)
+
+
+def read_stats(path: Path) -> dict:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def shard_flags(shard: int, shards: int) -> list[str]:
+    return ["--shard", f"{shard}/{shards}"] if shards > 1 else []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="SIGKILL/resume chaos harness for cpmctl sweeps")
+    parser.add_argument("--cpmctl", required=True,
+                        help="path to the cpmctl binary")
+    parser.add_argument("--spec", required=True, help="sweep spec JSON")
+    parser.add_argument("--kill-points", type=int, default=20)
+    parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a fresh tempdir)")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    cpmctl = str(Path(args.cpmctl).resolve())
+    spec = str(Path(args.spec).resolve())
+    if args.workdir:
+        work = Path(args.workdir).resolve()
+        if work.exists():
+            shutil.rmtree(work)
+        work.mkdir(parents=True)
+        cleanup = None
+    else:
+        cleanup = tempfile.TemporaryDirectory(prefix="chaos_run.")
+        work = Path(cleanup.name)
+
+    rng = random.Random(args.seed)
+    shards = max(1, args.shards)
+    base = ["sweep", "run", spec, "--no-cache"]
+
+    # Golden pass: expected bytes and a wall-clock scale for kill delays.
+    t0 = time.monotonic()
+    for s in range(1, shards + 1):
+        run_cpmctl(cpmctl, base + shard_flags(s, shards) +
+                   ["--out", f"gold_{s}.json"], work)
+    wall = max(time.monotonic() - t0, 0.01) / shards
+    golden = {s: (work / f"gold_{s}.json").read_bytes()
+              for s in range(1, shards + 1)}
+    if shards > 1:
+        run_cpmctl(cpmctl, ["sweep", "merge", "gold_merged.json"] +
+                   [f"gold_{s}.json" for s in range(1, shards + 1)], work)
+        golden_merged = (work / "gold_merged.json").read_bytes()
+    log(f"golden run: {shards} shard(s), ~{wall:.3f} s/shard")
+
+    failures = 0
+    kills_landed = 0
+    for k in range(args.kill_points):
+        point_dir = work / f"kill_{k:03d}"
+        point_dir.mkdir()
+        # One randomized kill delay per shard, drawn from the seeded
+        # stream regardless of whether the kill lands, so the schedule
+        # stays a pure function of (seed, kill index, shard).
+        for s in range(1, shards + 1):
+            out = f"run_{s}.json"
+            journal = f"run_{s}.journal"
+            flags = shard_flags(s, shards)
+            delay = rng.uniform(0.2, 1.1) * wall
+            killed = run_and_kill(
+                cpmctl, base + flags + ["--out", out, "--journal", journal],
+                point_dir, delay)
+            if killed:
+                kills_landed += 1
+            journaled = valid_journal_points(point_dir / journal)
+            run_cpmctl(cpmctl, base + flags +
+                       ["--out", out, "--journal", journal, "--resume"],
+                       point_dir)
+            stats = read_stats(point_dir / f"{out}.stats.json")
+            ok = True
+            if (point_dir / out).read_bytes() != golden[s]:
+                log(f"FAIL kill {k} shard {s}: output differs from golden")
+                ok = False
+            if stats["restored"] != journaled:
+                log(f"FAIL kill {k} shard {s}: {journaled} journaled "
+                    f"points but {stats['restored']} restored "
+                    "(journaled work was recomputed or lost)")
+                ok = False
+            if stats["computed"] + stats["restored"] != stats["shard_points"]:
+                log(f"FAIL kill {k} shard {s}: computed {stats['computed']} "
+                    f"+ restored {stats['restored']} != owned "
+                    f"{stats['shard_points']}")
+                ok = False
+            if not ok:
+                failures += 1
+            elif args.verbose:
+                log(f"kill {k} shard {s}: killed={killed} "
+                    f"journaled={journaled} restored={stats['restored']} "
+                    f"computed={stats['computed']} -> identical")
+        if shards > 1:
+            run_cpmctl(cpmctl, ["sweep", "merge", "merged.json"] +
+                       [f"run_{s}.json" for s in range(1, shards + 1)],
+                       point_dir)
+            if (point_dir / "merged.json").read_bytes() != golden_merged:
+                log(f"FAIL kill {k}: merged document differs from golden")
+                failures += 1
+
+    log(f"{args.kill_points} kill point(s), {kills_landed} kill(s) landed "
+        f"mid-run, {failures} failure(s)")
+    if cleanup is not None:
+        cleanup.cleanup()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ from pathlib import Path
 # keeps it honest against the real include graph.
 LAYERS: dict[str, list[str]] = {
     "common": [],
+    "resilience": ["common"],
     "opt": ["common"],
     "queueing": ["common"],
     "workload": ["common"],
@@ -45,7 +46,8 @@ LAYERS: dict[str, list[str]] = {
     "online": ["common", "core", "sim", "workload"],
     "certify": ["common", "core", "lint", "queueing"],
     "check": ["certify", "common", "core", "lint", "queueing", "sim"],
-    "sweep": ["check", "common", "core", "online", "queueing", "sim"],
+    "sweep": ["check", "common", "core", "online", "queueing",
+              "resilience", "sim"],
     "bench": ["common", "core", "online"],
 }
 

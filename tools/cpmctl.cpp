@@ -12,6 +12,7 @@
 //   cpmctl size           <model.json> [--max-servers N] [--greedy]
 //   cpmctl simulate       <model.json> [--time T] [--warmup W|auto]
 //                                      [--reps N] [--seed S]
+//                                      [--journal FILE] [--resume]
 //   cpmctl validate       <model.json> [--reps N]
 //   cpmctl check          <model.json> [--reps N] [--seed S] [--random N]
 //                                      [--analytic-only]
@@ -29,17 +30,25 @@
 //                                      [--solution size|power ...]
 //   cpmctl sweep run      <spec.json>  [--out FILE] [--cache DIR] [--no-cache]
 //                                      [--shard K/N] [--threads N] [--audit]
-//                                      [--salt S]
+//                                      [--salt S] [--journal FILE] [--resume]
+//                                      [--fault-plan plan.json]
 //   cpmctl sweep merge    <out.json> <shard.json>...
 //   cpmctl sweep stat     [--cache DIR]
 //
-// Exit status: 0 success, 1 usage error, 2 model/solver/IO error (for
-// `check`: any invariant violated). `lint` and `certify` additionally exit
-// 3 when any diagnostic at or above the --error-on threshold (default:
-// error) fired.
+// Exit status taxonomy (pinned by ctests; see docs/resilience.md):
+//   0  success
+//   1  usage error
+//   2  model/solver error (for `check`: any invariant violated)
+//   3  `lint`/`certify`: diagnostics at or above the --error-on threshold
+//   4  transient I/O failure persisted through the retry budget
+//      (IoErrorKind::kTransient, e.g. injected EIO on every attempt)
+//   5  permanent I/O failure (IoErrorKind::kPermanent: missing file,
+//      EACCES, ENOSPC)
+//   6  corrupt input (IoErrorKind::kCorrupt: unparseable JSON input,
+//      resume journal from a different run)
 #include <cstdio>
-#include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -48,11 +57,17 @@
 #include "cpm/bench/suites.hpp"
 #include "cpm/certify/certificate.hpp"
 #include "cpm/check/differential.hpp"
+#include "cpm/common/fs.hpp"
+#include "cpm/common/hash.hpp"
 #include "cpm/core/cpm.hpp"
 #include "cpm/core/model_io.hpp"
 #include "cpm/lint/analyze.hpp"
 #include "cpm/lint/render.hpp"
 #include "cpm/online/timeline.hpp"
+#include "cpm/resilience/fault_plan.hpp"
+#include "cpm/resilience/faulting_fs.hpp"
+#include "cpm/resilience/journal.hpp"
+#include "cpm/resilience/retry.hpp"
 #include "cpm/sim/warmup.hpp"
 #include "cpm/sweep/runner.hpp"
 #include "cpm/workload/trace.hpp"
@@ -73,6 +88,7 @@ using namespace cpm;
       "  size           <model.json> [--max-servers N] [--greedy]\n"
       "  simulate       <model.json> [--time T] [--warmup W|auto] [--reps N] [--seed S]\n"
       "                 [--trace-class NAME --trace-file arrivals.csv]\n"
+      "                 [--journal FILE] [--resume]\n"
       "  validate       <model.json> [--reps N]\n"
       "  check          <model.json> [--reps N] [--seed S] [--random N]\n"
       "                 [--analytic-only]\n"
@@ -92,17 +108,34 @@ using namespace cpm;
       "                 [--out FILE] [--list]\n"
       "  sweep run      <spec.json> [--out FILE] [--cache DIR] [--no-cache]\n"
       "                 [--shard K/N] [--threads N] [--audit] [--salt S]\n"
+      "                 [--journal FILE] [--resume] [--fault-plan plan.json]\n"
       "  sweep merge    <out.json> <shard.json>...\n"
       "  sweep stat     [--cache DIR]\n";
   std::exit(1);
 }
 
 std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw Error("cannot open '" + path + "'");
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  return real_filesystem().read(path);
+}
+
+/// Parses a top-level JSON input file. A file that reads fine but fails
+/// to parse is classified kCorrupt (exit 6), distinct from the
+/// kPermanent failure of a missing/unreadable file (exit 5).
+Json parse_json_file(const std::string& path) {
+  const std::string text = read_file(path);
+  try {
+    return Json::parse(text);
+  } catch (const Error& e) {
+    throw IoError(IoErrorKind::kCorrupt,
+                  "corrupt input '" + path + "': " + e.what());
+  }
+}
+
+/// All cpmctl artifact publishes go through the I/O seam: atomic
+/// tmp-then-rename write with bounded-backoff retry on transient errors.
+void write_text_file(const std::string& path, const std::string& text) {
+  resilience::with_retry(resilience::RetryPolicy{}, "write '" + path + "'",
+                         [&] { real_filesystem().write_atomic(path, text); });
 }
 
 std::vector<double> parse_csv_doubles(const std::string& text) {
@@ -145,7 +178,7 @@ class Args {
 };
 
 core::ClusterModel load_model(const std::string& path) {
-  return core::model_from_json_text(read_file(path));
+  return core::model_from_json(parse_json_file(path));
 }
 
 std::vector<double> frequencies_for(const core::ClusterModel& model,
@@ -330,6 +363,51 @@ int cmd_size(const std::string& path, const Args& args) {
   return 0;
 }
 
+/// RepSummary <-> journal JSON. Doubles are dumped with full precision
+/// (%.17g) so a restored summary is bit-identical to the one simulated.
+Json summary_to_json(const sim::RepSummary& s) {
+  JsonObject o;
+  JsonArray classes;
+  for (const auto& c : s.classes) {
+    JsonObject cj;
+    cj["mean_delay"] = c.mean_e2e_delay.value();
+    cj["p95_delay"] = c.p95_e2e_delay.value();
+    cj["mean_energy"] = c.mean_e2e_energy.value();
+    cj["blocking"] = c.blocking_probability;
+    cj["completed"] = static_cast<double>(c.completed);
+    cj["blocked"] = static_cast<double>(c.blocked);
+    classes.emplace_back(std::move(cj));
+  }
+  o["classes"] = Json(std::move(classes));
+  o["mean_delay"] = s.mean_e2e_delay.value();
+  o["power"] = s.cluster_avg_power.value();
+  JsonArray util;
+  for (double u : s.station_utilization) util.emplace_back(u);
+  o["utilization"] = Json(std::move(util));
+  o["events"] = static_cast<double>(s.events_fired);
+  return Json(std::move(o));
+}
+
+sim::RepSummary summary_from_json(const Json& j) {
+  sim::RepSummary s;
+  for (const auto& cj : j.at("classes").as_array()) {
+    sim::RepClassSummary c;
+    c.mean_e2e_delay = units::seconds(cj.at("mean_delay").as_number());
+    c.p95_e2e_delay = units::seconds(cj.at("p95_delay").as_number());
+    c.mean_e2e_energy = units::joules(cj.at("mean_energy").as_number());
+    c.blocking_probability = cj.at("blocking").as_number();
+    c.completed = static_cast<std::uint64_t>(cj.at("completed").as_number());
+    c.blocked = static_cast<std::uint64_t>(cj.at("blocked").as_number());
+    s.classes.push_back(c);
+  }
+  s.mean_e2e_delay = units::seconds(j.at("mean_delay").as_number());
+  s.cluster_avg_power = units::watts(j.at("power").as_number());
+  for (const auto& u : j.at("utilization").as_array())
+    s.station_utilization.push_back(u.as_number());
+  s.events_fired = static_cast<std::uint64_t>(j.at("events").as_number());
+  return s;
+}
+
 int cmd_simulate(const std::string& path, const Args& args) {
   const auto model = load_model(path);
   const auto f = frequencies_for(model, args);
@@ -353,10 +431,13 @@ int cmd_simulate(const std::string& path, const Args& args) {
   auto cfg = model.to_sim_config(f, warmup, warmup + end_time, seed);
 
   // Optional exact trace replay for one class.
+  std::string trace_sum;
+  std::string trace_cls;
   if (const auto trace_class = args.value("--trace-class")) {
     const auto trace_file = args.value("--trace-file");
     if (!trace_file) usage("--trace-class requires --trace-file");
-    const auto trace = workload::ArrivalTrace::parse_csv(read_file(*trace_file));
+    const std::string trace_text = read_file(*trace_file);
+    const auto trace = workload::ArrivalTrace::parse_csv(trace_text);
     bool found = false;
     for (auto& cls : cfg.classes) {
       if (cls.name != *trace_class) continue;
@@ -365,10 +446,85 @@ int cmd_simulate(const std::string& path, const Args& args) {
       found = true;
     }
     if (!found) throw Error("no class named '" + *trace_class + "'");
+    trace_cls = *trace_class;
+    trace_sum = sha256_hex(trace_text);
     // A trace is one sample path: replications would all replay it
     // identically on the arrival side, so run service-side variation only.
     std::cout << "replaying " << trace.stats().count << " arrivals from "
               << *trace_file << " for class " << *trace_class << '\n';
+  }
+
+  // Crash-safe resume: each finished replication's summary is appended
+  // to the checksummed run journal; --resume replays the survivor and
+  // skips the replications already on disk. The aggregate over restored
+  // summaries is bit-identical to the uninterrupted run's.
+  const auto journal_flag = args.value("--journal");
+  const bool resume = args.has("--resume");
+  if (resume && !journal_flag)
+    usage("simulate --resume requires --journal FILE");
+  std::unique_ptr<resilience::RunJournal> journal;
+  std::vector<std::optional<sim::RepSummary>> restored(
+      static_cast<std::size_t>(reps));
+  if (journal_flag) {
+    JsonObject fp;
+    fp["model"] = core::model_to_json(model);
+    JsonArray freqs;
+    for (double fi : f) freqs.emplace_back(fi);
+    fp["frequencies"] = Json(std::move(freqs));
+    fp["time"] = end_time;
+    fp["warmup"] = warmup;
+    fp["seed"] = static_cast<double>(seed);
+    fp["reps"] = static_cast<double>(reps);
+    if (!trace_cls.empty()) {
+      fp["trace_class"] = trace_cls;
+      fp["trace_sum"] = trace_sum;
+    }
+    const std::string config_sum = sha256_hex(Json(std::move(fp)).dump());
+
+    journal = std::make_unique<resilience::RunJournal>(real_filesystem(),
+                                                       *journal_flag);
+    bool have_survivor = false;
+    if (resume) {
+      const auto replay =
+          resilience::RunJournal::replay(real_filesystem(), *journal_flag);
+      if (replay.found && !replay.header.is_null()) {
+        if (replay.header.string_or("schema", "") != "cpm-journal/v1" ||
+            replay.header.string_or("kind", "") != "replicate" ||
+            replay.header.string_or("config", "") != config_sum)
+          throw IoError(IoErrorKind::kCorrupt,
+                        "simulate resume: journal '" + *journal_flag +
+                            "' belongs to a different run (header mismatch)");
+        have_survivor = true;
+        for (const auto& recj : replay.records) {
+          const double idx = recj.number_or("rep", -1.0);
+          if (idx < 0.0 || !recj.contains("summary")) continue;
+          const auto i = static_cast<std::size_t>(idx);
+          if (i < restored.size())
+            restored[i] = summary_from_json(recj.at("summary"));
+        }
+      }
+    }
+    if (!have_survivor) {
+      JsonObject hdr;
+      hdr["schema"] = "cpm-journal/v1";
+      hdr["kind"] = "replicate";
+      hdr["config"] = config_sum;
+      hdr["reps"] = static_cast<double>(reps);
+      journal->begin(Json(std::move(hdr)));
+    }
+    rep.restore = [&restored](std::size_t i, sim::RepSummary& out) {
+      if (i < restored.size() && restored[i]) {
+        out = *restored[i];
+        return true;
+      }
+      return false;
+    };
+    rep.checkpoint = [&journal](std::size_t i, const sim::RepSummary& s) {
+      JsonObject recj;
+      recj["rep"] = static_cast<double>(i);
+      recj["summary"] = summary_to_json(s);
+      journal->append(Json(std::move(recj)));
+    };
   }
 
   const auto r = sim::replicate(cfg, rep);
@@ -388,7 +544,10 @@ int cmd_simulate(const std::string& path, const Args& args) {
             << format_double(r.mean_e2e_delay.half_width) << " s\n"
             << "cluster power:  " << format_double(r.cluster_avg_power.mean, 1)
             << " +- " << format_double(r.cluster_avg_power.half_width, 1) << " W\n"
-            << "(" << reps << " replications, " << r.total_events << " events)\n";
+            << "(" << reps << " replications, " << r.total_events << " events";
+  if (r.restored > 0)
+    std::cout << ", " << r.restored << " restored from journal";
+  std::cout << ")\n";
   return 0;
 }
 
@@ -466,17 +625,15 @@ std::vector<std::string> parse_csv_strings(const std::string& text) {
 int cmd_online(const std::string& path, const Args& args) {
   const auto scenario_path = args.value("--scenario");
   if (!scenario_path) usage("online requires --scenario <scenario.json>");
-  const auto model = core::model_from_json_text(read_file(path));
-  auto scenario = online::scenario_from_json_text(read_file(*scenario_path));
+  const auto model = load_model(path);
+  auto scenario = online::scenario_from_json(parse_json_file(*scenario_path));
   if (const auto seed = args.value("--seed"))
     scenario.seed = static_cast<std::uint64_t>(std::stoull(*seed));
 
   const auto result = online::run_online(model, scenario);
   const std::string doc = result.timeline.dump(2);
   if (const auto out = args.value("--out")) {
-    std::ofstream f(*out);
-    if (!f) throw Error("cannot write '" + *out + "'");
-    f << doc << '\n';
+    write_text_file(*out, doc + "\n");
   } else {
     std::cout << doc << '\n';
   }
@@ -541,7 +698,7 @@ int cmd_lint(const std::string& path, const Args& args) {
 }
 
 int cmd_certify(const std::string& path, const Args& args) {
-  const Json doc = Json::parse(read_file(path));
+  const Json doc = parse_json_file(path);
   const auto model = core::model_from_json(doc);
 
   // Box precedence: --box file, then the model's embedded "certify" block
@@ -549,7 +706,7 @@ int cmd_certify(const std::string& path, const Args& args) {
   // the degenerate nominal box.
   certify::BoxSpec box;
   if (const auto box_path = args.value("--box"))
-    box = certify::box_from_json(model, Json::parse(read_file(*box_path)));
+    box = certify::box_from_json(model, parse_json_file(*box_path));
   else if (doc.contains("certify"))
     box = certify::box_from_json(model, doc.at("certify"));
   else
@@ -658,17 +815,9 @@ int cmd_bench(const Args& args) {
             << opt.repeats << " repeats, " << opt.warmup << " warmup"
             << (opt.quick ? ", quick" : "") << ")\n";
 
-  std::ofstream out(out_path);
-  if (!out) throw Error("cannot write '" + out_path + "'");
-  out << bench::to_json(result).dump(2) << '\n';
+  write_text_file(out_path, bench::to_json(result).dump(2) + "\n");
   std::cout << "wrote " << out_path << '\n';
   return 0;
-}
-
-void write_text_file(const std::string& path, const std::string& text) {
-  std::ofstream out(path);
-  if (!out) throw Error("cannot write '" + path + "'");
-  out << text;
 }
 
 std::string dir_of(const std::string& path) {
@@ -700,8 +849,6 @@ int cmd_sweep_run(const std::string& spec_path, const Args& args) {
   if (const auto shard = args.value("--shard"))
     options.shard = sweep::shard_from_string(*shard);
 
-  const auto r = sweep::run_sweep(spec, options);
-
   std::string out_path;
   if (const auto out = args.value("--out")) {
     out_path = *out;
@@ -712,6 +859,27 @@ int cmd_sweep_run(const std::string& spec_path, const Args& args) {
                   std::to_string(options.shard.count);
     out_path += ".json";
   }
+
+  // Fault injection: wrap the real filesystem so cache and journal
+  // traffic flows through a deterministic FaultingFileSystem (drives the
+  // chaos harness and the negative-path exit-code ctests).
+  std::unique_ptr<resilience::FaultingFileSystem> faulting;
+  if (const auto plan_path = args.value("--fault-plan")) {
+    const auto plan =
+        resilience::fault_plan_from_json(parse_json_file(*plan_path));
+    faulting = std::make_unique<resilience::FaultingFileSystem>(
+        real_filesystem(), plan);
+    options.cache.fs = faulting.get();
+  }
+
+  if (const auto j = args.value("--journal"))
+    options.journal_path = *j;
+  else if (args.has("--resume"))
+    options.journal_path = out_path + ".journal";
+  options.resume = args.has("--resume");
+
+  const auto r = sweep::run_sweep(spec, options);
+
   write_text_file(out_path, r.document.dump(2) + "\n");
   write_text_file(out_path + ".stats.json",
                   sweep::stats_to_json(r.stats).dump(2) + "\n");
@@ -730,8 +898,14 @@ int cmd_sweep_run(const std::string& spec_path, const Args& args) {
   std::cout << ", " << r.stats.computed << " computed, " << r.stats.cache_hits
             << " cached (" << format_double(hit_pct, 1) << "% hit rate), "
             << format_double(r.stats.wall_seconds, 2) << " s, "
-            << r.stats.threads_used << " thread(s)\n"
-            << "wrote " << out_path << " and " << out_path << ".stats.json\n";
+            << r.stats.threads_used << " thread(s)\n";
+  if (!options.journal_path.empty())
+    std::cout << "journal " << options.journal_path << ": " << r.stats.restored
+              << " restored, " << r.stats.journal_dropped
+              << " dropped line(s)\n";
+  if (faulting != nullptr)
+    std::cout << "fault plan: " << faulting->injected() << " fault(s) injected\n";
+  std::cout << "wrote " << out_path << " and " << out_path << ".stats.json\n";
   return 0;
 }
 
@@ -739,8 +913,7 @@ int cmd_sweep_merge(int argc, char** argv) {
   if (argc < 5) usage("sweep merge needs <out.json> and >= 1 shard document");
   const std::string out_path = argv[3];
   std::vector<Json> shards;
-  for (int i = 4; i < argc; ++i)
-    shards.push_back(Json::parse(read_file(argv[i])));
+  for (int i = 4; i < argc; ++i) shards.push_back(parse_json_file(argv[i]));
   const Json merged = sweep::merge_shards(shards);
   write_text_file(out_path, merged.dump(2) + "\n");
   std::cout << "merged " << shards.size() << " shard(s), "
@@ -822,6 +995,17 @@ int main(int argc, char** argv) {
     if (cmd == "check") return cmd_check(path, args);
     if (cmd == "online") return cmd_online(path, args);
     usage("unknown command '" + cmd + "'");
+  } catch (const cpm::IoError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    switch (e.kind()) {
+      case cpm::IoErrorKind::kTransient:
+        return 4;
+      case cpm::IoErrorKind::kPermanent:
+        return 5;
+      case cpm::IoErrorKind::kCorrupt:
+        return 6;
+    }
+    return 5;
   } catch (const cpm::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;

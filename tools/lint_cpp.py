@@ -46,6 +46,25 @@ rules ban the ambient-state entry points at the source level:
           reinterpret_cast to uintptr_t): ASLR makes addresses differ
           every run, so any output or key containing one is unstable.
 
+I/O-seam rules (IO): the resilience guarantees — deterministic fault
+injection, crash-safe journaled resume, classified retry — only hold if
+every artifact read/write in library code flows through the
+cpm::FileSystem seam (cpm/common/fs.hpp). RealFileSystem is the single
+sanctioned implementation; these rules keep raw I/O from leaking back in:
+
+  IO-1    library code must not open raw file streams or CRT handles
+          (std::ofstream/ifstream/fstream, fopen, std::FILE): reads and
+          writes go through a FileSystem& so faults can be injected and
+          transient errors retried.
+  IO-2    library code must not mutate the filesystem directly
+          (std::filesystem::rename/remove/remove_all/create_directories/
+          copy/resize_file, std::rename): atomic publish and cleanup
+          live behind the seam, where crash-safety is proven once.
+
+Both rules exempt the sanctioned seam implementation
+(src/common/src/fs.cpp and its header) and apply to src/ only — tools/
+and tests/ may talk to the disk directly.
+
 Units rules (UNIT): cpm::units makes dimension mix-ups (rate-for-delay,
 W-for-J) unrepresentable, but only where the types are actually used.
 These rules flag raw `double` declarations in src/ public headers whose
@@ -271,7 +290,26 @@ RULES = [
      "run"),
     ("DET-5", True, False, "nocomment", re.compile(r"%p(?![\w])"),
      "%p formats a pointer address: ASLR makes it differ every run"),
+    ("IO-1", True, False, "code", re.compile(
+        r"std::[io]?fstream\b|(?<![\w.])(?:std::)?fopen\s*\(|std::FILE\b"),
+     "raw file I/O in library code: route reads/writes through the "
+     "cpm::FileSystem seam (cpm/common/fs.hpp) so faults can be injected "
+     "and transient errors retried"),
+    ("IO-2", True, False, "code", re.compile(
+        r"(?:std::filesystem|stdfs|(?<!\w)fs)\s*::\s*"
+        r"(?:rename|remove(?:_all)?|create_director(?:y|ies)"
+        r"|copy(?:_file)?|resize_file)\b"
+        r"|std::rename\s*\("),
+     "raw filesystem mutation in library code: atomic publish and cleanup "
+     "live behind the cpm::FileSystem seam, where crash-safety is proven "
+     "once"),
 ]
+
+# The seam implementation itself is the one sanctioned home for raw I/O.
+IO_SANCTIONED_SUFFIXES = (
+    "src/common/src/fs.cpp",
+    "src/common/include/cpm/common/fs.hpp",
+)
 
 # DET-4 needs file-level context (which identifiers are unordered
 # containers), so it is implemented as a dedicated pass below.
@@ -376,6 +414,10 @@ RULE_HELP = {
     "DET-3": "No environment reads in library code",
     "DET-4": "No iteration over unordered containers in library code",
     "DET-5": "No pointer-address formatting or hashing in library code",
+    "IO-1": "No raw file streams/handles in library code — use the "
+            "cpm::FileSystem seam",
+    "IO-2": "No raw filesystem mutation in library code — use the "
+            "cpm::FileSystem seam",
     "UNIT-1": "Dimension-named double parameters in src/ headers use "
               "cpm::units",
     "UNIT-2": "Dimension-named double fields in src/ headers use cpm::units",
@@ -432,6 +474,7 @@ def lint_file(path: Path, in_library: bool) -> list[Violation]:
             Violation(path, 1, "CONV-3", "header lacks #pragma once"))
 
     unordered = unordered_names(code_lines) if in_library else set()
+    io_sanctioned = path.as_posix().endswith(IO_SANCTIONED_SUFFIXES)
 
     for lineno, raw in enumerate(raw_lines, start=1):
         code = code_lines[lineno - 1]
@@ -440,6 +483,8 @@ def lint_file(path: Path, in_library: bool) -> list[Violation]:
             if library_only and not in_library:
                 continue
             if headers_only and not is_header:
+                continue
+            if rule.startswith("IO-") and io_sanctioned:
                 continue
             subject = code if view == "code" else nocomment
             if pattern.search(subject) and not waived(raw, rule):

@@ -305,6 +305,54 @@ class UnitRulesTest(unittest.TestCase):
             "std::vector<double> rates;  // conv-ok: UNIT-2\n", header=True))
 
 
+class IoRulesTest(unittest.TestCase):
+    def test_io1_ofstream_trigger(self):
+        self.assertIn("IO-1", lint_src("std::ofstream out(path);\n"))
+
+    def test_io1_ifstream_trigger(self):
+        self.assertIn("IO-1", lint_src("std::ifstream in(path);\n"))
+
+    def test_io1_fopen_trigger(self):
+        self.assertIn("IO-1", lint_src('auto* f = std::fopen(p, "rb");\n'))
+
+    def test_io1_bare_fopen_trigger(self):
+        self.assertIn("IO-1", lint_src('FILE* f = fopen(p, "rb");\n'))
+
+    def test_io2_rename_trigger(self):
+        self.assertIn("IO-2", lint_src("std::filesystem::rename(a, b);\n"))
+
+    def test_io2_alias_triggers(self):
+        ids = lint_src("stdfs::remove(p);\nfs::create_directories(d);\n")
+        self.assertEqual(ids.count("IO-2"), 2)
+
+    def test_io2_c_rename_trigger(self):
+        self.assertIn("IO-2", lint_src("std::rename(tmp, path);\n"))
+
+    def test_near_miss_prose_and_member_calls(self):
+        self.assertEqual([], lint_src(
+            'const char* kDoc = "std::ofstream is banned";\n'
+            "void create_directories(const std::string& p) override;\n"
+            "inner_.remove(path);\n"
+            "int transfstream = 0;\n"))
+
+    def test_out_of_scope_tools_and_tests(self):
+        self.assertEqual([], lint_src("std::ofstream f(p);\n",
+                                      in_library=False))
+
+    def test_sanctioned_seam_file_exempt(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "src" / "common" / "src" / "fs.cpp"
+            path.parent.mkdir(parents=True)
+            path.write_text('std::FILE* f = std::fopen(p, "rb");\n'
+                            "std::rename(tmp2, path2);\n", encoding="utf-8")
+            rules = [v.rule for v in lint_cpp.lint_file(path, True)]
+        self.assertEqual([], rules)
+
+    def test_waiver_canary(self):
+        self.assertEqual([], lint_src(
+            "std::ofstream f(p);  // conv-ok: IO-1\n"))
+
+
 class WaiverMechanismTest(unittest.TestCase):
     def test_comma_separated_waivers(self):
         line = ("bool f(double x) { assert(x == 1.5); return true; }"
